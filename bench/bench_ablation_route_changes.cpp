@@ -1,0 +1,52 @@
+// Ablation (paper related work, Nucci et al. [14]): how many deliberate
+// routing changes until link loads alone pin down the traffic matrix?
+//
+// The paper keeps routing constant and regularizes; the route-change
+// line of work adds equations instead.  This bench sweeps the number of
+// IGP-weight perturbations on the Europe scenario and reports the
+// stacked rank and the prior-free NNLS estimation error, quantifying
+// the trade the paper's Section 2 sketches.
+#include "bench_common.hpp"
+
+#include "core/route_change.hpp"
+
+int main() {
+    using namespace tme;
+    bench::header(
+        "Ablation - traffic inference from routing changes",
+        "Section 2 / Nucci et al.: change routing, use shifted loads to "
+        "infer demands (not evaluated in the paper)",
+        "stacked rank grows with each configuration; MRE collapses once "
+        "rank reaches the number of OD pairs - no prior needed");
+
+    const scenario::Scenario& sc = bench::europe();
+    const linalg::Vector& truth = sc.busy_snapshot_demands();
+    const double thr = bench::report_threshold(truth);
+
+    // Pre-build perturbed routings (operator's weight-change schedule).
+    std::vector<linalg::SparseMatrix> alts;
+    for (unsigned seed : {11u, 22u, 33u, 44u, 55u, 66u, 77u}) {
+        alts.push_back(core::perturbed_routing(sc.topo, 0.8, seed));
+    }
+
+    std::printf("\n%8s %12s %12s %10s\n", "configs", "stacked rank",
+                "of pairs", "MRE");
+    std::vector<core::RoutingObservation> obs;
+    obs.push_back({&sc.routing, sc.routing.multiply(truth)});
+    for (std::size_t j = 0; j <= alts.size(); ++j) {
+        const core::RouteChangeResult r = core::route_change_estimate(obs);
+        std::printf("%8zu %12zu %12zu %10.4f\n", obs.size(),
+                    r.stacked_rank, truth.size(),
+                    core::mean_relative_error(truth, r.s, thr));
+        if (j < alts.size()) {
+            obs.push_back({&alts[j], alts[j].multiply(truth)});
+        }
+    }
+    std::printf(
+        "\nEach weight change adds independent equations and cuts the\n"
+        "prior-free error; full identification requires rank P, which\n"
+        "needs many changes on a sparse European topology (alternative\n"
+        "paths are limited) - the trade-off Nucci et al. navigate with\n"
+        "optimized weight-change designs.\n");
+    return 0;
+}

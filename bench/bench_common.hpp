@@ -1,0 +1,59 @@
+// Shared plumbing for the figure/table reproduction benches.
+//
+// Every bench binary regenerates one table or figure from the paper's
+// evaluation section, printing the same series the paper plots plus a
+// crude ASCII rendering where it helps eyeballing the shape.
+#pragma once
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/metrics.hpp"
+#include "scenario/scenario.hpp"
+
+namespace tme::bench {
+
+inline const scenario::Scenario& europe() {
+    static const scenario::Scenario sc =
+        scenario::make_scenario(scenario::Network::europe);
+    return sc;
+}
+
+inline const scenario::Scenario& usa() {
+    static const scenario::Scenario sc =
+        scenario::make_scenario(scenario::Network::usa);
+    return sc;
+}
+
+inline void header(const std::string& experiment,
+                   const std::string& paper_ref,
+                   const std::string& expectation) {
+    std::printf("==================================================\n");
+    std::printf("%s\n", experiment.c_str());
+    std::printf("Paper: %s\n", paper_ref.c_str());
+    std::printf("Expected shape: %s\n", expectation.c_str());
+    std::printf("==================================================\n");
+}
+
+/// One-line ASCII bar, scaled to `width` characters at value `vmax`.
+inline std::string bar(double value, double vmax, int width = 40) {
+    const int n = vmax > 0.0
+                      ? std::max(0, std::min(width, static_cast<int>(
+                                                        value / vmax *
+                                                        width)))
+                      : 0;
+    return std::string(static_cast<std::size_t>(n), '#');
+}
+
+/// MRE threshold set info for a demand vector (prints paper-comparable
+/// large-demand counts).
+inline double report_threshold(const linalg::Vector& truth) {
+    const double thr = core::threshold_for_coverage(truth, 0.9);
+    std::printf("large-demand set: %zu demands carry ~90%% of traffic\n",
+                core::demands_above(truth, thr).size());
+    return thr;
+}
+
+}  // namespace tme::bench

@@ -1,0 +1,48 @@
+// Figure 1: normalized total network traffic over 24 hours for the
+// European and American subnetworks.
+#include "bench_common.hpp"
+
+int main() {
+    using namespace tme;
+    bench::header(
+        "Figure 1 - total network traffic over time",
+        "Fig. 1: diurnal cycle, busy periods overlap around 18:00 GMT",
+        "clear day/night cycle; Europe peaks earlier (GMT) than USA; "
+        "trough ~0.3-0.4 of peak");
+
+    const scenario::Scenario& eu = bench::europe();
+    const scenario::Scenario& us = bench::usa();
+    std::printf("%-7s %10s %10s\n", "time", "Europe", "USA");
+    for (std::size_t k = 0; k < eu.demands.size(); k += 6) {  // half-hourly
+        const int hh = static_cast<int>(k * 5) / 60;
+        const int mm = static_cast<int>(k * 5) % 60;
+        std::printf("%02d:%02d   %10.3f %10.3f  %s\n", hh, mm,
+                    eu.total_at(k), us.total_at(k),
+                    bench::bar(eu.total_at(k) + us.total_at(k), 2.0,
+                               30)
+                        .c_str());
+    }
+    // Busy-period diagnostics.
+    auto stats = [](const scenario::Scenario& sc) {
+        double mn = 1e300;
+        std::size_t peak = 0;
+        double mx = 0.0;
+        for (std::size_t k = 0; k < sc.demands.size(); ++k) {
+            const double t = sc.total_at(k);
+            mn = std::min(mn, t);
+            if (t > mx) {
+                mx = t;
+                peak = k;
+            }
+        }
+        std::printf(
+            "%s: peak at %02zu:%02zu GMT, trough/peak = %.2f, busy window "
+            "samples %zu-%zu\n",
+            sc.name.c_str(), peak * 5 / 60, peak * 5 % 60, mn / mx,
+            sc.busy_start, sc.busy_start + sc.busy_length - 1);
+    };
+    std::printf("\n");
+    stats(eu);
+    stats(us);
+    return 0;
+}

@@ -1,0 +1,76 @@
+// Figure 3: spatial distribution of traffic — a limited subset of PoPs
+// accounts for the majority of network traffic.
+#include "bench_common.hpp"
+
+#include <cmath>
+
+#include "traffic/traffic_matrix.hpp"
+
+namespace {
+
+void heatmap(const tme::scenario::Scenario& sc) {
+    using namespace tme;
+    const std::size_t n = sc.topo.pop_count();
+    traffic::TrafficMatrix tm(n, sc.busy_mean_demands());
+    double vmax = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < n; ++j) vmax = std::max(vmax, tm(i, j));
+    }
+    // Log-scale shading like the paper's heat map.
+    const char shades[] = " .:-=+*#%@";
+    std::printf("\n%s demand heat map (rows = source, cols = dest, "
+                "log shading, '@' = max):\n    ",
+                sc.name.c_str());
+    for (std::size_t j = 0; j < n; ++j) std::printf("%c", 'A' + static_cast<char>(j % 26));
+    std::printf("\n");
+    for (std::size_t i = 0; i < n; ++i) {
+        std::printf("%c %-2zu", 'A' + static_cast<char>(i % 26), i);
+        for (std::size_t j = 0; j < n; ++j) {
+            if (i == j) {
+                std::printf(".");
+                continue;
+            }
+            const double v = tm(i, j);
+            int idx = 0;
+            if (v > 0.0 && vmax > 0.0) {
+                // map [1e-4 vmax, vmax] log range onto the shade ramp
+                const double r = std::log10(std::max(v / vmax, 1e-4)) / 4.0 +
+                                 1.0;  // in (0, 1]
+                idx = std::max(
+                    1, std::min(9, static_cast<int>(r * 9.0 + 0.5)));
+            }
+            std::printf("%c", shades[idx]);
+        }
+        std::printf("  %s\n", sc.topo.pop(i).name.c_str());
+    }
+    // Top sources by share.
+    const linalg::Vector rows = tm.row_totals();
+    const double total = tm.total();
+    std::printf("top sources: ");
+    std::vector<std::size_t> order(n);
+    for (std::size_t i = 0; i < n; ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&rows](auto a, auto b) {
+        return rows[a] > rows[b];
+    });
+    double top4 = 0.0;
+    for (int i = 0; i < 4; ++i) {
+        top4 += rows[order[static_cast<std::size_t>(i)]];
+        std::printf("%s (%.0f%%) ",
+                    sc.topo.pop(order[static_cast<std::size_t>(i)]).name.c_str(),
+                    100.0 * rows[order[static_cast<std::size_t>(i)]] / total);
+    }
+    std::printf("- top 4 PoPs originate %.0f%% of traffic\n",
+                100.0 * top4 / total);
+}
+
+}  // namespace
+
+int main() {
+    tme::bench::header(
+        "Figure 3 - spatial distribution of traffic",
+        "Fig. 3: per source-destination demand heat maps",
+        "a few hub rows/columns dominate both matrices");
+    heatmap(tme::bench::europe());
+    heatmap(tme::bench::usa());
+    return 0;
+}

@@ -1,0 +1,62 @@
+// Figure 4: the four largest outgoing demands from the four largest PoPs
+// in the American network, over 24 hours — demands swing with the
+// diurnal cycle.
+#include "bench_common.hpp"
+
+#include "traffic/traffic_matrix.hpp"
+
+int main() {
+    using namespace tme;
+    bench::header(
+        "Figure 4 - demands of the largest US PoPs over time",
+        "Fig. 4: four largest outgoing demands of the 4 largest sources",
+        "strong diurnal swings (factor ~3 peak/trough)");
+
+    const scenario::Scenario& sc = bench::usa();
+    const std::size_t n = sc.topo.pop_count();
+    traffic::TrafficMatrix mean_tm(n, sc.busy_mean_demands());
+    const linalg::Vector totals = mean_tm.row_totals();
+    std::vector<std::size_t> sources(n);
+    for (std::size_t i = 0; i < n; ++i) sources[i] = i;
+    std::sort(sources.begin(), sources.end(),
+              [&totals](auto a, auto b) { return totals[a] > totals[b]; });
+    sources.resize(4);
+
+    for (std::size_t src : sources) {
+        // Four largest demands from this source.
+        std::vector<std::size_t> dests;
+        for (std::size_t m = 0; m < n; ++m) {
+            if (m != src) dests.push_back(m);
+        }
+        std::sort(dests.begin(), dests.end(), [&](auto a, auto b) {
+            return mean_tm(src, a) > mean_tm(src, b);
+        });
+        dests.resize(4);
+        std::printf("\nsource %s -> {%s, %s, %s, %s} (normalized demand):\n",
+                    sc.topo.pop(src).name.c_str(),
+                    sc.topo.pop(dests[0]).name.c_str(),
+                    sc.topo.pop(dests[1]).name.c_str(),
+                    sc.topo.pop(dests[2]).name.c_str(),
+                    sc.topo.pop(dests[3]).name.c_str());
+        std::printf("%-7s %9s %9s %9s %9s\n", "time", "d1", "d2", "d3",
+                    "d4");
+        double peak = 0.0;
+        double trough = 1e300;
+        for (std::size_t k = 0; k < sc.demands.size(); k += 18) {
+            std::printf("%02zu:%02zu  ", k * 5 / 60, k * 5 % 60);
+            for (std::size_t d : dests) {
+                const double v =
+                    sc.demands[k][sc.topo.pair_index(src, d)];
+                std::printf(" %9.5f", v);
+            }
+            std::printf("\n");
+            const double v0 =
+                sc.demands[k][sc.topo.pair_index(src, dests[0])];
+            peak = std::max(peak, v0);
+            trough = std::min(trough, v0);
+        }
+        std::printf("largest demand peak/trough ratio: %.2f\n",
+                    peak / std::max(trough, 1e-12));
+    }
+    return 0;
+}

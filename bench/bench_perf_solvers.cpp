@@ -1,0 +1,155 @@
+// Engineering micro-benchmarks (google-benchmark): the numerical kernels
+// behind the reproduction.  Not a paper figure — this quantifies the
+// cost of each method so the per-figure benches' runtimes are explained,
+// and doubles as an ablation of the warm-start and Gram-form choices
+// called out in DESIGN.md.
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "topology/builders.hpp"
+#include "core/bayesian.hpp"
+#include "core/entropy.hpp"
+#include "core/fanout.hpp"
+#include "core/gravity.hpp"
+#include "core/vardi.hpp"
+#include "core/wcb.hpp"
+#include "linalg/nnls.hpp"
+#include "linalg/simplex.hpp"
+#include "routing/routing_matrix.hpp"
+#include "scenario/scenario.hpp"
+
+namespace {
+
+using namespace tme;
+
+const scenario::Scenario& europe() {
+    static const scenario::Scenario sc =
+        scenario::make_scenario(scenario::Network::europe);
+    return sc;
+}
+
+void BM_CspfMeshEurope(benchmark::State& state) {
+    const topology::Topology topo = topology::europe_backbone();
+    std::vector<double> bw(topo.pair_count(), 25.0);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(routing::build_lsp_mesh(topo, bw));
+    }
+}
+BENCHMARK(BM_CspfMeshEurope);
+
+void BM_RoutingMatrixUs(benchmark::State& state) {
+    const topology::Topology topo = topology::us_backbone();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(routing::igp_routing_matrix(topo));
+    }
+}
+BENCHMARK(BM_RoutingMatrixUs);
+
+void BM_GravityEstimate(benchmark::State& state) {
+    const core::SnapshotProblem snap = europe().busy_snapshot();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(core::gravity_estimate(snap));
+    }
+}
+BENCHMARK(BM_GravityEstimate);
+
+void BM_BayesianEurope(benchmark::State& state) {
+    const core::SnapshotProblem snap = europe().busy_snapshot();
+    const linalg::Vector prior = core::gravity_estimate(snap);
+    core::BayesianOptions options;
+    options.regularization = 1e4;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            core::bayesian_estimate(snap, prior, options));
+    }
+}
+BENCHMARK(BM_BayesianEurope);
+
+void BM_EntropyEurope(benchmark::State& state) {
+    const core::SnapshotProblem snap = europe().busy_snapshot();
+    const linalg::Vector prior = core::gravity_estimate(snap);
+    core::EntropyOptions options;
+    options.regularization = 1e3;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            core::entropy_estimate(snap, prior, options));
+    }
+}
+BENCHMARK(BM_EntropyEurope);
+
+void BM_VardiEurope(benchmark::State& state) {
+    const core::SeriesProblem series = europe().busy_series();
+    core::VardiOptions options;
+    options.second_moment_weight = 1.0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(core::vardi_estimate(series, options));
+    }
+}
+BENCHMARK(BM_VardiEurope);
+
+void BM_FanoutEurope(benchmark::State& state) {
+    const core::SeriesProblem series = europe().busy_series();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(core::fanout_estimate(series));
+    }
+}
+BENCHMARK(BM_FanoutEurope);
+
+// Ablation: worst-case bounds with and without LP warm starting.
+void BM_WcbWarmStart(benchmark::State& state) {
+    const core::SnapshotProblem snap = europe().busy_snapshot();
+    core::WcbOptions options;
+    options.warm_start = state.range(0) != 0;
+    std::vector<std::size_t> pairs;  // first 12 pairs keep runtime sane
+    for (std::size_t p = 0; p < 12; ++p) pairs.push_back(p);
+    std::size_t iterations = 0;
+    for (auto _ : state) {
+        const core::WcbResult r =
+            core::worst_case_bounds(snap, options, pairs);
+        iterations += r.simplex_iterations;
+        benchmark::DoNotOptimize(r);
+    }
+    state.counters["simplex_iters"] = static_cast<double>(iterations);
+}
+BENCHMARK(BM_WcbWarmStart)->Arg(0)->Arg(1);
+
+// Ablation: NNLS via explicit matrix vs Gram form (the Vardi second-
+// moment system makes the Gram form mandatory at scale).
+void BM_NnlsExplicit(benchmark::State& state) {
+    const auto n = static_cast<std::size_t>(state.range(0));
+    linalg::Matrix a(2 * n, n);
+    std::mt19937_64 rng(1);
+    std::uniform_real_distribution<double> dist(0.0, 1.0);
+    for (std::size_t i = 0; i < a.rows(); ++i) {
+        for (std::size_t j = 0; j < a.cols(); ++j) a(i, j) = dist(rng);
+    }
+    linalg::Vector b(2 * n);
+    for (double& v : b) v = dist(rng);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(linalg::nnls(a, b));
+    }
+}
+BENCHMARK(BM_NnlsExplicit)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_NnlsGram(benchmark::State& state) {
+    const auto n = static_cast<std::size_t>(state.range(0));
+    linalg::Matrix a(2 * n, n);
+    std::mt19937_64 rng(1);
+    std::uniform_real_distribution<double> dist(0.0, 1.0);
+    for (std::size_t i = 0; i < a.rows(); ++i) {
+        for (std::size_t j = 0; j < a.cols(); ++j) a(i, j) = dist(rng);
+    }
+    linalg::Vector b(2 * n);
+    for (double& v : b) v = dist(rng);
+    const linalg::Matrix g = linalg::gram(a);
+    const linalg::Vector atb = linalg::gemv_transpose(a, b);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(linalg::nnls_gram(g, atb));
+    }
+}
+BENCHMARK(BM_NnlsGram)->Arg(64)->Arg(128)->Arg(256);
+
+}  // namespace
+
+BENCHMARK_MAIN();

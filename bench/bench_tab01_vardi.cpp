@@ -1,0 +1,39 @@
+// Table 1: Vardi-approach MRE for sigma^-2 in {0.01, 1} with K = 50 busy
+// period samples.
+#include "bench_common.hpp"
+
+#include "core/vardi.hpp"
+
+namespace {
+
+void row(const tme::scenario::Scenario& sc, double weight,
+         double paper_mre) {
+    using namespace tme;
+    const core::SeriesProblem series = sc.busy_series();
+    const linalg::Vector reference = sc.busy_mean_demands();
+    const double thr = core::threshold_for_coverage(reference, 0.9);
+    core::VardiOptions options;
+    options.second_moment_weight = weight;
+    const core::VardiResult r = core::vardi_estimate(series, options);
+    const double mre =
+        core::mean_relative_error(reference, r.lambda, thr);
+    std::printf("%-8s sigma^-2=%-5.2f  MRE = %8.2f   (paper: %.2f)\n",
+                sc.name.c_str(), weight, mre, paper_mre);
+}
+
+}  // namespace
+
+int main() {
+    tme::bench::header(
+        "Table 1 - Vardi approach, K = 50",
+        "Table 1: MRE 0.47/0.98 at sigma^-2=0.01; 302/1183 at "
+        "sigma^-2=1 (EU/US)",
+        "sigma^-2=1 catastrophically worse than 0.01; both far worse "
+        "than the regularized snapshot methods (real traffic is not "
+        "Poisson and K=50 cannot estimate the covariance)");
+    row(tme::bench::europe(), 0.01, 0.47);
+    row(tme::bench::usa(), 0.01, 0.98);
+    row(tme::bench::europe(), 1.0, 302.0);
+    row(tme::bench::usa(), 1.0, 1183.0);
+    return 0;
+}

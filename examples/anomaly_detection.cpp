@@ -1,0 +1,89 @@
+// Fanout-drift anomaly detection.
+//
+// Section 5.2.2 of the paper shows fanout factors are far more stable
+// over time than raw demands.  That stability is operationally useful:
+// a sudden fanout change at a PoP signals a traffic anomaly (prefix
+// hijack, flash crowd, peering failure) even while total volumes swing
+// with the normal diurnal cycle.  This example estimates fanouts over a
+// sliding window of link loads and flags windows whose fanouts deviate
+// from the long-run profile — injecting a synthetic hijack to show the
+// detector fires.
+#include <cmath>
+#include <cstdio>
+
+#include "core/fanout.hpp"
+#include "scenario/scenario.hpp"
+#include "traffic/traffic_matrix.hpp"
+
+int main() {
+    using namespace tme;
+    scenario::Scenario sc =
+        scenario::make_scenario(scenario::Network::europe);
+    const std::size_t nodes = sc.topo.pop_count();
+
+    // Inject an anomaly: from 20:00, PoP 0 (London) suddenly redirects
+    // most of its traffic to a single destination.
+    const std::size_t anomaly_start = 240;  // sample index (20:00)
+    const std::size_t victim_dst = 6;       // Stockholm
+    for (std::size_t k = anomaly_start; k < sc.demands.size(); ++k) {
+        traffic::TrafficMatrix tm(nodes, sc.demands[k]);
+        const double row = tm.row_totals()[0];
+        // 60% of London's traffic now goes to one destination.
+        for (std::size_t m = 1; m < nodes; ++m) {
+            sc.demands[k][sc.topo.pair_index(0, m)] *= 0.4;
+        }
+        sc.demands[k][sc.topo.pair_index(0, victim_dst)] += 0.6 * row;
+        sc.loads[k] = sc.routing.multiply(sc.demands[k]);
+    }
+
+    // Baseline fanouts from a clean reference window (morning).
+    core::SeriesProblem reference;
+    reference.topo = &sc.topo;
+    reference.routing = &sc.routing;
+    for (std::size_t k = 96; k < 120; ++k) {
+        reference.loads.push_back(sc.loads[k]);
+    }
+    const core::FanoutResult baseline = core::fanout_estimate(reference);
+
+    std::printf("Sliding-window fanout drift (L1 distance per source):\n\n");
+    std::printf("%-8s %-10s %-10s %s\n", "window", "maxdrift", "source",
+                "verdict");
+
+    // Slide a 6-sample (30 min) window across the evening.
+    for (std::size_t start = 192; start + 6 <= 286; start += 12) {
+        core::SeriesProblem window;
+        window.topo = &sc.topo;
+        window.routing = &sc.routing;
+        for (std::size_t k = start; k < start + 6; ++k) {
+            window.loads.push_back(sc.loads[k]);
+        }
+        const core::FanoutResult current = core::fanout_estimate(window);
+
+        // Per-source L1 fanout drift vs. baseline.
+        double worst = 0.0;
+        std::size_t worst_src = 0;
+        for (std::size_t n = 0; n < nodes; ++n) {
+            double drift = 0.0;
+            for (std::size_t m = 0; m < nodes; ++m) {
+                if (m == n) continue;
+                const std::size_t p = sc.topo.pair_index(n, m);
+                drift += std::abs(current.fanouts[p] - baseline.fanouts[p]);
+            }
+            if (drift > worst) {
+                worst = drift;
+                worst_src = n;
+            }
+        }
+        const int hh = static_cast<int>(start * 5) / 60;
+        const int mm = static_cast<int>(start * 5) % 60;
+        std::printf("%02d:%02d    %-10.3f %-10s %s\n", hh, mm, worst,
+                    sc.topo.pop(worst_src).name.c_str(),
+                    worst > 0.5 ? "ANOMALY" : "ok");
+    }
+    std::printf(
+        "\nWindows past 20:00 flag London: its fanout vector shifted\n"
+        "massively toward one destination, while pre-anomaly windows\n"
+        "stay quiet despite the diurnal traffic swing - exactly the\n"
+        "stability property of paper Figs. 4-5.\n");
+    return 0;
+}

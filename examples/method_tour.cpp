@@ -1,0 +1,96 @@
+// Tour of every estimation method in the library on one scenario.
+//
+// Runs gravity, Kruithof (marginal IPF), Entropy, Bayesian, worst-case
+// bounds, fanout estimation, Vardi and the Cao generalized-scaling
+// variant on the Europe reference scenario, and prints a Table-2-style
+// summary.  A compact map of the public API.
+#include <cstdio>
+
+#include "core/bayesian.hpp"
+#include "core/cao.hpp"
+#include "core/entropy.hpp"
+#include "core/fanout.hpp"
+#include "core/gravity.hpp"
+#include "core/kruithof.hpp"
+#include "core/metrics.hpp"
+#include "core/vardi.hpp"
+#include "core/wcb.hpp"
+#include "scenario/scenario.hpp"
+#include "traffic/traffic_matrix.hpp"
+
+int main() {
+    using namespace tme;
+    const scenario::Scenario sc =
+        scenario::make_scenario(scenario::Network::europe);
+    const core::SnapshotProblem snap = sc.busy_snapshot();
+    const linalg::Vector& truth = sc.busy_snapshot_demands();
+    const double thr = core::threshold_for_coverage(truth, 0.9);
+    auto mre = [&](const linalg::Vector& est) {
+        return core::mean_relative_error(truth, est, thr);
+    };
+    std::printf("Method tour on the %s scenario (busy-hour snapshot,\n"
+                "MRE over demands carrying 90%% of traffic):\n\n",
+                sc.name.c_str());
+
+    // --- Snapshot methods -------------------------------------------
+    const linalg::Vector gravity = core::gravity_estimate(snap);
+    std::printf("  %-34s %.3f\n", "simple gravity model", mre(gravity));
+
+    // Kruithof: adjust the gravity estimate to the measured node totals.
+    traffic::TrafficMatrix truth_tm(sc.topo.pop_count(), truth);
+    const core::KruithofResult ipf = core::kruithof_ipf(
+        sc.topo.pop_count(), gravity, truth_tm.row_totals(),
+        truth_tm.col_totals());
+    std::printf("  %-34s %.3f (%zu iterations)\n",
+                "Kruithof IPF on node totals", mre(ipf.s), ipf.iterations);
+
+    core::EntropyOptions entropy_options;
+    entropy_options.regularization = 1000.0;
+    const linalg::Vector entropy =
+        core::entropy_estimate(snap, gravity, entropy_options);
+    std::printf("  %-34s %.3f\n", "entropy (gravity prior)", mre(entropy));
+
+    core::BayesianOptions bayes_options;
+    bayes_options.regularization = 10000.0;
+    const linalg::Vector bayes =
+        core::bayesian_estimate(snap, gravity, bayes_options);
+    std::printf("  %-34s %.3f\n", "Bayesian (gravity prior)", mre(bayes));
+
+    const core::WcbResult wcb = core::worst_case_bounds(snap);
+    std::printf("  %-34s %.3f (%zu LPs, %zu simplex iterations)\n",
+                "worst-case-bound midpoint prior", mre(wcb.midpoint),
+                wcb.lps_solved, wcb.simplex_iterations);
+
+    const linalg::Vector bayes_wcb =
+        core::bayesian_estimate(snap, wcb.midpoint, bayes_options);
+    std::printf("  %-34s %.3f\n", "Bayesian (WCB prior)", mre(bayes_wcb));
+
+    // --- Time-series methods ----------------------------------------
+    const core::SeriesProblem series = sc.busy_series();
+    const linalg::Vector reference = sc.busy_mean_demands();
+    const double thr_series = core::threshold_for_coverage(reference, 0.9);
+    auto mre_series = [&](const linalg::Vector& est) {
+        return core::mean_relative_error(reference, est, thr_series);
+    };
+
+    const core::FanoutResult fanout = core::fanout_estimate(series);
+    std::printf("  %-34s %.3f (window %zu)\n", "fanout estimation",
+                mre_series(fanout.mean_demands), series.loads.size());
+
+    core::VardiOptions vardi_weak;
+    vardi_weak.second_moment_weight = 0.01;
+    std::printf("  %-34s %.3f\n", "Vardi (sigma^-2 = 0.01)",
+                mre_series(core::vardi_estimate(series, vardi_weak).lambda));
+
+    core::CaoOptions cao_options;
+    cao_options.phi = 0.8;
+    cao_options.c = 1.6;
+    cao_options.second_moment_weight = 0.01;
+    std::printf("  %-34s %.3f\n", "Cao generalized scaling (c=1.6)",
+                mre_series(core::cao_estimate(series, cao_options).lambda));
+
+    std::printf(
+        "\nRegularized methods dominate, gravity is a usable prior, and\n"
+        "moment-matching methods trail - the ordering of paper Table 2.\n");
+    return 0;
+}

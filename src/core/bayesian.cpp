@@ -1,0 +1,31 @@
+#include "core/bayesian.hpp"
+
+#include <stdexcept>
+
+#include "linalg/nnls.hpp"
+
+namespace tme::core {
+
+linalg::Vector bayesian_estimate(const SnapshotProblem& problem,
+                                 const linalg::Vector& prior,
+                                 const BayesianOptions& options) {
+    problem.validate();
+    const linalg::SparseMatrix& r = *problem.routing;
+    if (prior.size() != r.cols()) {
+        throw std::invalid_argument("bayesian_estimate: prior size mismatch");
+    }
+    if (options.regularization <= 0.0) {
+        throw std::invalid_argument(
+            "bayesian_estimate: regularization must be positive");
+    }
+    const double w = 1.0 / options.regularization;  // sigma^{-2}
+
+    linalg::Matrix g = r.gram();
+    for (std::size_t i = 0; i < g.rows(); ++i) g(i, i) += w;
+    linalg::Vector rhs = r.multiply_transpose(problem.loads);
+    for (std::size_t i = 0; i < rhs.size(); ++i) rhs[i] += w * prior[i];
+
+    return linalg::nnls_gram(g, rhs).x;
+}
+
+}  // namespace tme::core

@@ -1,0 +1,29 @@
+// Bayesian / regularized least-squares estimation (paper Section 4.2.3).
+//
+// With a Gaussian prior s ~ N(s_prior, sigma^2 I) and unit-variance
+// measurement noise t = R s + v, the MAP estimate solves (eq. 7)
+//
+//     minimize  ||R s - t||^2 + sigma^{-2} ||s - s_prior||^2,   s >= 0.
+//
+// We parameterize by the regularization parameter lambda = sigma^2: small
+// lambda pins the estimate to the prior, large lambda trusts the link
+// measurements (the regime the paper finds best, Fig. 13).  The problem
+// is a stacked NNLS solved in Gram form:  G = R'R + (1/lambda) I,
+// g = R't + (1/lambda) s_prior.
+#pragma once
+
+#include "core/problem.hpp"
+
+namespace tme::core {
+
+struct BayesianOptions {
+    /// Regularization parameter lambda = sigma^2 (> 0).
+    double regularization = 1000.0;
+};
+
+/// MAP estimate with non-negativity.  `prior` is pair-indexed.
+linalg::Vector bayesian_estimate(const SnapshotProblem& problem,
+                                 const linalg::Vector& prior,
+                                 const BayesianOptions& options = {});
+
+}  // namespace tme::core

@@ -1,0 +1,87 @@
+#include "core/cao.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "linalg/nnls.hpp"
+#include "linalg/stats.hpp"
+
+namespace tme::core {
+
+CaoResult cao_estimate(const SeriesProblem& problem,
+                       const CaoOptions& options) {
+    problem.validate();
+    if (options.phi <= 0.0) {
+        throw std::invalid_argument("cao_estimate: phi must be positive");
+    }
+    const linalg::SparseMatrix& r = *problem.routing;
+    const std::size_t pairs = r.cols();
+    const double w = options.second_moment_weight;
+
+    const linalg::Vector that = linalg::sample_mean(problem.loads);
+    const linalg::Matrix sigma = linalg::sample_covariance(problem.loads);
+    const linalg::Matrix g1 = r.gram();
+    const linalg::Vector g1_rhs = r.multiply_transpose(that);
+
+    // Column supports for the quadratic forms.
+    std::vector<std::vector<std::pair<std::size_t, double>>> columns(pairs);
+    const auto& offsets = r.row_offsets();
+    const auto& cols = r.column_indices();
+    const auto& vals = r.values();
+    for (std::size_t l = 0; l < r.rows(); ++l) {
+        for (std::size_t k = offsets[l]; k < offsets[l + 1]; ++k) {
+            columns[cols[k]].push_back({l, vals[k]});
+        }
+    }
+    linalg::Vector q(pairs, 0.0);
+    for (std::size_t p = 0; p < pairs; ++p) {
+        for (const auto& [l, vl] : columns[p]) {
+            for (const auto& [m, vm] : columns[p]) {
+                q[p] += vl * vm * sigma(l, m);
+            }
+        }
+    }
+
+    // Initial iterate: first moments only.
+    CaoResult result;
+    result.lambda = linalg::nnls_gram(g1, g1_rhs).x;
+    if (w == 0.0) return result;
+
+    const double lam_scale =
+        std::max(1e-300, linalg::nrm_inf(result.lambda));
+    for (std::size_t outer = 0; outer < options.outer_iterations; ++outer) {
+        // Per-demand variance weights d_p = phi * lambda_p^{c-1},
+        // linearizing var_p = phi lambda_p^c at the current iterate.
+        linalg::Vector d(pairs, 0.0);
+        for (std::size_t p = 0; p < pairs; ++p) {
+            const double lp = std::max(result.lambda[p], 1e-9 * lam_scale);
+            d[p] = options.phi * std::pow(lp, options.c - 1.0);
+        }
+        // Second-moment block with column scaling D:
+        // rows (l,m): sum_p r_lp r_mp d_p lambda_p = Sigma_lm.
+        // Gram contribution: G2[p][q] = d_p d_q (G1[p][q])^2,
+        // rhs contribution: d_p * q_p.
+        linalg::Matrix g = g1;
+        linalg::Vector rhs = g1_rhs;
+        for (std::size_t p = 0; p < pairs; ++p) {
+            rhs[p] += w * d[p] * q[p];
+            for (std::size_t qq = 0; qq < pairs; ++qq) {
+                const double base = g1(p, qq);
+                g(p, qq) = base + w * d[p] * d[qq] * base * base;
+            }
+        }
+        linalg::Vector next = linalg::nnls_gram(g, rhs).x;
+        double change = 0.0;
+        for (std::size_t p = 0; p < pairs; ++p) {
+            change = std::max(change,
+                              std::abs(next[p] - result.lambda[p]));
+        }
+        result.lambda = std::move(next);
+        result.iterate_change = change;
+        ++result.outer_iterations;
+        if (change <= 1e-9 * lam_scale) break;
+    }
+    return result;
+}
+
+}  // namespace tme::core

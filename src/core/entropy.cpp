@@ -1,0 +1,24 @@
+#include "core/entropy.hpp"
+
+#include <stdexcept>
+
+namespace tme::core {
+
+linalg::Vector entropy_estimate(const SnapshotProblem& problem,
+                                const linalg::Vector& prior,
+                                const EntropyOptions& options) {
+    problem.validate();
+    if (prior.size() != problem.routing->cols()) {
+        throw std::invalid_argument("entropy_estimate: prior size mismatch");
+    }
+    if (options.regularization <= 0.0) {
+        throw std::invalid_argument(
+            "entropy_estimate: regularization must be positive");
+    }
+    const double w = 1.0 / options.regularization;
+    return linalg::kl_regularized_ls(*problem.routing, problem.loads, prior,
+                                     w, options.solver)
+        .s;
+}
+
+}  // namespace tme::core

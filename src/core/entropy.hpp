@@ -1,0 +1,29 @@
+// Entropy / information-theoretic estimation (paper Section 4.2.1, eq. 6;
+// Zhang et al., SIGCOMM 2003).
+//
+//     minimize  ||R s - t||^2 + sigma^{-2} D(s || s_prior),   s >= 0,
+//
+// where D is the (generalized) Kullback-Leibler distance from the prior.
+// Like the Bayesian method this is parameterized by lambda = sigma^2; the
+// optimization is delegated to the exponentiated-gradient solver in
+// linalg (the objective is convex over the positive orthant).
+#pragma once
+
+#include "core/problem.hpp"
+#include "linalg/entropy_solver.hpp"
+
+namespace tme::core {
+
+struct EntropyOptions {
+    /// Regularization parameter lambda = sigma^2 (> 0).
+    double regularization = 1000.0;
+    linalg::EntropySolverOptions solver;
+};
+
+/// Entropy-regularized estimate.  `prior` is pair-indexed and is clamped
+/// strictly positive internally.
+linalg::Vector entropy_estimate(const SnapshotProblem& problem,
+                                const linalg::Vector& prior,
+                                const EntropyOptions& options = {});
+
+}  // namespace tme::core

@@ -1,0 +1,125 @@
+#include "core/fanout.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "linalg/qp.hpp"
+
+namespace tme::core {
+
+namespace {
+
+// w_k[p] = te(src(p))[k]: per-pair source totals from the ingress rows.
+linalg::Vector pair_source_totals(const topology::Topology& topo,
+                                  const linalg::Vector& loads) {
+    linalg::Vector w(topo.pair_count(), 0.0);
+    for (std::size_t p = 0; p < topo.pair_count(); ++p) {
+        const auto [src, dst] = topo.pair_nodes(p);
+        (void)dst;
+        w[p] = loads[topo.ingress_link(src)];
+    }
+    return w;
+}
+
+}  // namespace
+
+FanoutResult fanout_estimate(const SeriesProblem& problem,
+                             const FanoutOptions& options) {
+    problem.validate_with_topology();
+    const topology::Topology& topo = *problem.topo;
+    const linalg::SparseMatrix& r = *problem.routing;
+    const std::size_t pairs = r.cols();
+    const std::size_t nodes = topo.pop_count();
+    const std::size_t window = problem.loads.size();
+
+    // Accumulate H = sum_k W_k G1 W_k (elementwise weighting of the Gram
+    // matrix) and f = sum_k W_k R' t[k].
+    const linalg::Matrix g1 = r.gram();
+    linalg::Matrix h(pairs, pairs, 0.0);
+    linalg::Vector f(pairs, 0.0);
+    // sum_k w_k[p] w_k[q] accumulated in h first, then scaled by G1.
+    for (std::size_t k = 0; k < window; ++k) {
+        const linalg::Vector w = pair_source_totals(topo, problem.loads[k]);
+        const linalg::Vector rt = r.multiply_transpose(problem.loads[k]);
+        for (std::size_t p = 0; p < pairs; ++p) {
+            f[p] += w[p] * rt[p];
+            if (w[p] == 0.0) continue;
+            for (std::size_t q = 0; q < pairs; ++q) {
+                if (g1(p, q) != 0.0) h(p, q) += w[p] * w[q] * g1(p, q);
+            }
+        }
+    }
+
+    // Weak gravity-fanout tie-break (see FanoutOptions): alpha_gravity
+    // for pair (n, m) is the destination's share of mean exit traffic.
+    if (options.gravity_tiebreak_weight > 0.0) {
+        linalg::Vector mean_loads(r.rows(), 0.0);
+        for (const linalg::Vector& t : problem.loads) {
+            linalg::axpy(1.0, t, mean_loads);
+        }
+        linalg::scale(1.0 / static_cast<double>(window), mean_loads);
+        double total_exit = 0.0;
+        for (std::size_t m = 0; m < nodes; ++m) {
+            total_exit += mean_loads[topo.egress_link(m)];
+        }
+        double hmax = 0.0;
+        for (std::size_t p = 0; p < pairs; ++p) {
+            hmax = std::max(hmax, h(p, p));
+        }
+        const double eps =
+            options.gravity_tiebreak_weight * std::max(hmax, 1e-300);
+        for (std::size_t p = 0; p < pairs; ++p) {
+            const auto [src, dst] = topo.pair_nodes(p);
+            (void)src;
+            const double alpha_gravity =
+                total_exit > 0.0
+                    ? mean_loads[topo.egress_link(dst)] / total_exit
+                    : 0.0;
+            h(p, p) += eps;
+            f[p] += eps * alpha_gravity;
+        }
+    }
+
+    // Equality constraints: per source, fanouts sum to one.
+    linalg::Matrix e(nodes, pairs, 0.0);
+    for (std::size_t p = 0; p < pairs; ++p) {
+        const auto [src, dst] = topo.pair_nodes(p);
+        (void)dst;
+        e(src, p) = 1.0;
+    }
+    const linalg::Vector ones(nodes, 1.0);
+
+    const linalg::EqQpNonnegResult qp =
+        linalg::solve_eq_qp_nonneg(h, f, e, ones);
+
+    FanoutResult result;
+    result.fanouts = qp.x;
+    result.equality_violation = qp.equality_violation;
+
+    // Window-averaged demand estimate.
+    result.mean_demands.assign(pairs, 0.0);
+    for (std::size_t k = 0; k < window; ++k) {
+        const linalg::Vector w = pair_source_totals(topo, problem.loads[k]);
+        for (std::size_t p = 0; p < pairs; ++p) {
+            result.mean_demands[p] += result.fanouts[p] * w[p];
+        }
+    }
+    for (double& v : result.mean_demands) {
+        v /= static_cast<double>(window);
+    }
+    return result;
+}
+
+linalg::Vector demands_from_fanout_snapshot(const SnapshotProblem& problem,
+                                            const linalg::Vector& fanouts) {
+    problem.validate_with_topology();
+    if (fanouts.size() != problem.topo->pair_count()) {
+        throw std::invalid_argument(
+            "demands_from_fanout_snapshot: fanout size mismatch");
+    }
+    const linalg::Vector w = pair_source_totals(*problem.topo,
+                                                problem.loads);
+    return linalg::hadamard(fanouts, w);
+}
+
+}  // namespace tme::core

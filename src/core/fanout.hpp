@@ -1,0 +1,51 @@
+// Fanout estimation from a time series of link loads (paper Section
+// 4.2.4 — the paper's novel method).
+//
+// Assume fanouts are constant over the window (all load fluctuation comes
+// from per-source total traffic changes; Section 5.2.2 shows this is a
+// good model for large sources).  With S[k] = diag of per-source totals
+// applied to pairs, solve
+//
+//     minimize    sum_k || R S[k] a - t[k] ||^2
+//     subject to  sum_m a_nm = 1  for every source n,    a >= 0.
+//
+// The per-source totals te(n)[k] are read from the ingress edge-link rows
+// of t[k] itself, so the method needs nothing beyond (R, t[k]).  The
+// window makes the system overdetermined for K >= 3 even when R is rank
+// deficient (paper Fig. 10); accuracy saturates quickly with K (Fig. 11).
+#pragma once
+
+#include "core/problem.hpp"
+
+namespace tme::core {
+
+struct FanoutOptions {
+    /// Weight (relative to the data term's diagonal) of a weak Tikhonov
+    /// pull toward the gravity fanouts computed from the window's mean
+    /// edge loads.  The LS system identifies fanouts only up to the
+    /// directions excited by differential per-source total variation;
+    /// when the busy-hour totals are nearly flat those directions are
+    /// data-starved, and this term selects the gravity-consistent
+    /// solution among the near-optimal ones instead of an arbitrary
+    /// vertex.  Set to 0 for the paper's pure formulation.
+    double gravity_tiebreak_weight = 1e-3;
+};
+
+struct FanoutResult {
+    linalg::Vector fanouts;          ///< alpha, pair-indexed
+    /// Estimated demands averaged over the window:
+    /// mean_k alpha_p * te(src(p))[k].
+    linalg::Vector mean_demands;
+    double equality_violation = 0.0; ///< worst |sum_m a_nm - 1|
+};
+
+/// Estimates constant fanouts over the window.
+FanoutResult fanout_estimate(const SeriesProblem& problem,
+                             const FanoutOptions& options = {});
+
+/// Demands implied by fanouts at a single snapshot (using its edge-link
+/// loads for the per-source totals).
+linalg::Vector demands_from_fanout_snapshot(const SnapshotProblem& problem,
+                                            const linalg::Vector& fanouts);
+
+}  // namespace tme::core

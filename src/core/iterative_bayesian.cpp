@@ -1,0 +1,51 @@
+#include "core/iterative_bayesian.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace tme::core {
+
+IterativeBayesianResult iterative_bayesian_estimate(
+    const SeriesProblem& problem, const linalg::Vector& initial_prior,
+    const IterativeBayesianOptions& options) {
+    problem.validate();
+    if (initial_prior.size() != problem.routing->cols()) {
+        throw std::invalid_argument(
+            "iterative_bayesian_estimate: prior size mismatch");
+    }
+    if (options.max_passes == 0) {
+        throw std::invalid_argument(
+            "iterative_bayesian_estimate: max_passes must be >= 1");
+    }
+
+    BayesianOptions map_options;
+    map_options.regularization = options.regularization;
+
+    IterativeBayesianResult result;
+    result.s = initial_prior;
+
+    for (result.passes = 0; result.passes < options.max_passes;
+         ++result.passes) {
+        SnapshotProblem snap =
+            problem.snapshot(result.passes % problem.loads.size());
+        const linalg::Vector next =
+            bayesian_estimate(snap, result.s, map_options);
+
+        double change = 0.0;
+        double scale = 0.0;
+        for (std::size_t p = 0; p < next.size(); ++p) {
+            change = std::max(change, std::abs(next[p] - result.s[p]));
+            scale = std::max(scale, std::abs(next[p]));
+        }
+        result.s = next;
+        result.last_change = (scale > 0.0 ? change / scale : 0.0);
+        if (result.passes > 0 && result.last_change <= options.tolerance) {
+            ++result.passes;
+            result.converged = true;
+            break;
+        }
+    }
+    return result;
+}
+
+}  // namespace tme::core

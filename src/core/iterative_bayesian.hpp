@@ -1,0 +1,44 @@
+// Iterative Bayesian prior refinement (Vaton & Gravey, ITC 2003 —
+// reference [11] of the paper).
+//
+// The paper's related-work section describes the scheme: estimate the
+// traffic matrix from one link-load measurement, use that estimate as
+// the prior for the next measurement, and repeat until the estimate
+// stops changing.  Each pass is one MAP (Bayesian) solve; over a window
+// of measurements the prior accumulates information that a single
+// snapshot cannot provide, without assuming any mean-variance model
+// (unlike Vardi/Cao).
+//
+// Implementation notes: measurements are consumed in order, cycling over
+// the window when `passes` exceeds its length.  Convergence is declared
+// when the relative change of the estimate between consecutive passes
+// drops below `tolerance`.
+#pragma once
+
+#include "core/bayesian.hpp"
+#include "core/problem.hpp"
+
+namespace tme::core {
+
+struct IterativeBayesianOptions {
+    /// Regularization for each MAP solve (lambda = sigma^2).
+    double regularization = 100.0;
+    /// Maximum number of passes over measurements.
+    std::size_t max_passes = 20;
+    /// Relative-change convergence threshold.
+    double tolerance = 1e-4;
+};
+
+struct IterativeBayesianResult {
+    linalg::Vector s;           ///< final estimate
+    std::size_t passes = 0;     ///< measurement passes consumed
+    bool converged = false;
+    double last_change = 0.0;   ///< final relative iterate change
+};
+
+/// Refines `initial_prior` over the measurement window.
+IterativeBayesianResult iterative_bayesian_estimate(
+    const SeriesProblem& problem, const linalg::Vector& initial_prior,
+    const IterativeBayesianOptions& options = {});
+
+}  // namespace tme::core

@@ -1,0 +1,137 @@
+#include "core/kruithof.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "traffic/traffic_matrix.hpp"
+
+namespace tme::core {
+
+KruithofResult kruithof_ipf(std::size_t nodes, const linalg::Vector& prior,
+                            const linalg::Vector& row_totals,
+                            const linalg::Vector& col_totals,
+                            const KruithofOptions& options) {
+    if (prior.size() != nodes * (nodes - 1) || row_totals.size() != nodes ||
+        col_totals.size() != nodes) {
+        throw std::invalid_argument("kruithof_ipf: size mismatch");
+    }
+    const double row_sum = linalg::sum(row_totals);
+    const double col_sum = linalg::sum(col_totals);
+    if (row_sum <= 0.0 ||
+        std::abs(row_sum - col_sum) > 1e-9 * std::max(row_sum, col_sum)) {
+        throw std::invalid_argument(
+            "kruithof_ipf: row and column totals must agree");
+    }
+
+    traffic::TrafficMatrix tm(nodes, prior);
+    KruithofResult result;
+    for (result.iterations = 0; result.iterations < options.max_iterations;
+         ++result.iterations) {
+        // Row scaling.
+        linalg::Vector rt = tm.row_totals();
+        for (std::size_t i = 0; i < nodes; ++i) {
+            if (rt[i] <= 0.0) continue;
+            const double f = row_totals[i] / rt[i];
+            for (std::size_t j = 0; j < nodes; ++j) {
+                if (i != j) tm.set(i, j, tm(i, j) * f);
+            }
+        }
+        // Column scaling.
+        linalg::Vector ct = tm.col_totals();
+        for (std::size_t j = 0; j < nodes; ++j) {
+            if (ct[j] <= 0.0) continue;
+            const double f = col_totals[j] / ct[j];
+            for (std::size_t i = 0; i < nodes; ++i) {
+                if (i != j) tm.set(i, j, tm(i, j) * f);
+            }
+        }
+        // Violation check (after the column pass, rows may drift).
+        rt = tm.row_totals();
+        ct = tm.col_totals();
+        double viol = 0.0;
+        for (std::size_t i = 0; i < nodes; ++i) {
+            if (row_totals[i] > 0.0) {
+                viol = std::max(viol, std::abs(rt[i] - row_totals[i]) /
+                                          row_totals[i]);
+            }
+            if (col_totals[i] > 0.0) {
+                viol = std::max(viol, std::abs(ct[i] - col_totals[i]) /
+                                          col_totals[i]);
+            }
+        }
+        result.max_violation = viol;
+        if (viol <= options.tolerance) {
+            result.converged = true;
+            break;
+        }
+    }
+    result.s = tm.to_pair_vector();
+    return result;
+}
+
+KruithofResult kruithof_general(const SnapshotProblem& problem,
+                                const linalg::Vector& prior,
+                                const KruithofOptions& options) {
+    problem.validate();
+    const linalg::SparseMatrix& r = *problem.routing;
+    if (prior.size() != r.cols()) {
+        throw std::invalid_argument("kruithof_general: prior size mismatch");
+    }
+    const linalg::Vector& t = problem.loads;
+
+    double tmax = linalg::nrm_inf(t);
+    if (tmax == 0.0) tmax = 1.0;
+
+    KruithofResult result;
+    result.s = prior;
+    // Strictly positive start.
+    double pmean = linalg::sum(result.s) /
+                   static_cast<double>(result.s.size());
+    if (pmean <= 0.0) {
+        throw std::invalid_argument("kruithof_general: degenerate prior");
+    }
+    for (double& v : result.s) v = std::max(v, 1e-12 * pmean);
+
+    const auto& offsets = r.row_offsets();
+    const auto& cols = r.column_indices();
+    const auto& vals = r.values();
+
+    for (result.iterations = 0; result.iterations < options.max_iterations;
+         ++result.iterations) {
+        // Cyclic MART pass: for each constraint l, scale the demands on
+        // the constraint multiplicatively toward t_l.  Exponent
+        // r_lp/max_l keeps the update stable for fractional matrices.
+        for (std::size_t l = 0; l < r.rows(); ++l) {
+            double pred = 0.0;
+            for (std::size_t k = offsets[l]; k < offsets[l + 1]; ++k) {
+                pred += vals[k] * result.s[cols[k]];
+            }
+            if (pred <= 0.0) continue;
+            if (t[l] <= 0.0) {
+                // Zero measured load: demands on this link must vanish.
+                for (std::size_t k = offsets[l]; k < offsets[l + 1]; ++k) {
+                    result.s[cols[k]] = 0.0;
+                }
+                continue;
+            }
+            const double ratio = t[l] / pred;
+            for (std::size_t k = offsets[l]; k < offsets[l + 1]; ++k) {
+                result.s[cols[k]] *= std::pow(ratio, vals[k]);
+            }
+        }
+        // Convergence: relative residual of R s = t.
+        const linalg::Vector pred = r.multiply(result.s);
+        double viol = 0.0;
+        for (std::size_t l = 0; l < t.size(); ++l) {
+            viol = std::max(viol, std::abs(pred[l] - t[l]) / tmax);
+        }
+        result.max_violation = viol;
+        if (viol <= options.tolerance) {
+            result.converged = true;
+            break;
+        }
+    }
+    return result;
+}
+
+}  // namespace tme::core

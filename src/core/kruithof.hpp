@@ -1,0 +1,49 @@
+// Kruithof's projection method (paper Section 4.2.1).
+//
+// The 1937 original adjusts a prior traffic matrix to match measured
+// row/column totals by alternating proportional scaling (iterative
+// proportional fitting); Krupp (1979) showed it minimizes the Kullback-
+// Leibler distance from the prior and extended it to general linear
+// constraints R s = t.  Both are provided:
+//
+//  * kruithof_ipf      — classic biproportional fitting to node totals;
+//  * kruithof_general  — multiplicative iterative scaling (MART) for
+//                        general non-negative constraint matrices.
+#pragma once
+
+#include "core/problem.hpp"
+
+namespace tme::core {
+
+struct KruithofOptions {
+    std::size_t max_iterations = 500;
+    /// Convergence: max relative marginal/constraint violation.
+    double tolerance = 1e-10;
+};
+
+struct KruithofResult {
+    linalg::Vector s;
+    std::size_t iterations = 0;
+    bool converged = false;
+    double max_violation = 0.0;  ///< final relative constraint violation
+};
+
+/// Classic Kruithof/IPF: scales `prior` (pair-indexed, nodes inferred
+/// from size) so row sums match `row_totals` and column sums match
+/// `col_totals`.  Totals must agree (sum row == sum col) within 1e-9
+/// relative, else std::invalid_argument.
+KruithofResult kruithof_ipf(std::size_t nodes, const linalg::Vector& prior,
+                            const linalg::Vector& row_totals,
+                            const linalg::Vector& col_totals,
+                            const KruithofOptions& options = {});
+
+/// Krupp's extension: minimize D(s || prior) subject to R s = t, s >= 0,
+/// via multiplicative iterative scaling over the constraints.  Requires
+/// a consistent system (t in the cone of R's columns) for convergence;
+/// with inconsistent data it stalls at max_iterations with the violation
+/// reported (use the Entropy estimator for noisy data).
+KruithofResult kruithof_general(const SnapshotProblem& problem,
+                                const linalg::Vector& prior,
+                                const KruithofOptions& options = {});
+
+}  // namespace tme::core

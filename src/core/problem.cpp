@@ -1,0 +1,61 @@
+#include "core/problem.hpp"
+
+#include <stdexcept>
+
+namespace tme::core {
+
+void SnapshotProblem::validate() const {
+    if (routing == nullptr) {
+        throw std::invalid_argument("SnapshotProblem: null routing");
+    }
+    if (loads.size() != routing->rows()) {
+        throw std::invalid_argument("SnapshotProblem: load vector size");
+    }
+}
+
+void SnapshotProblem::validate_with_topology() const {
+    validate();
+    if (topo == nullptr) {
+        throw std::invalid_argument("SnapshotProblem: null topology");
+    }
+    if (routing->rows() != topo->link_count() ||
+        routing->cols() != topo->pair_count()) {
+        throw std::invalid_argument(
+            "SnapshotProblem: routing does not match topology");
+    }
+}
+
+void SeriesProblem::validate() const {
+    if (routing == nullptr) {
+        throw std::invalid_argument("SeriesProblem: null routing");
+    }
+    if (loads.empty()) {
+        throw std::invalid_argument("SeriesProblem: empty load window");
+    }
+    for (const linalg::Vector& t : loads) {
+        if (t.size() != routing->rows()) {
+            throw std::invalid_argument("SeriesProblem: load vector size");
+        }
+    }
+}
+
+void SeriesProblem::validate_with_topology() const {
+    validate();
+    if (topo == nullptr) {
+        throw std::invalid_argument("SeriesProblem: null topology");
+    }
+    if (routing->rows() != topo->link_count() ||
+        routing->cols() != topo->pair_count()) {
+        throw std::invalid_argument(
+            "SeriesProblem: routing does not match topology");
+    }
+}
+
+SnapshotProblem SeriesProblem::snapshot(std::size_t k) const {
+    if (k >= loads.size()) {
+        throw std::out_of_range("SeriesProblem::snapshot");
+    }
+    return SnapshotProblem{topo, routing, loads[k]};
+}
+
+}  // namespace tme::core

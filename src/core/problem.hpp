@@ -1,0 +1,49 @@
+// Common problem descriptions shared by all estimators.
+//
+// Estimation always sees the network through (R, t): the routing matrix
+// and link loads (paper eq. (2), t = R s).  Snapshot methods (gravity,
+// Kruithof, Bayesian, Entropy, worst-case bounds) take a single load
+// vector; time-series methods (Vardi, fanout estimation) take a window
+// of load vectors.
+#pragma once
+
+#include <vector>
+
+#include "linalg/sparse.hpp"
+#include "linalg/vector_ops.hpp"
+#include "topology/topology.hpp"
+
+namespace tme::core {
+
+/// One snapshot of the estimation problem.
+///
+/// `topo` may be null for estimators that work purely from (R, t)
+/// (Bayesian, Entropy, Kruithof-general, worst-case bounds, and the
+/// reduced problems of tomo_direct); methods that need edge-link or PoP
+/// structure (gravity, fanout) call validate_with_topology().
+struct SnapshotProblem {
+    const topology::Topology* topo = nullptr;
+    const linalg::SparseMatrix* routing = nullptr;
+    linalg::Vector loads;  ///< t, length = routing->rows()
+
+    /// Checks routing/loads consistency only.
+    void validate() const;
+
+    /// Additionally checks topo is present and matches the routing.
+    void validate_with_topology() const;
+};
+
+/// A window of K load measurements.
+struct SeriesProblem {
+    const topology::Topology* topo = nullptr;
+    const linalg::SparseMatrix* routing = nullptr;
+    std::vector<linalg::Vector> loads;  ///< t[k], k = 0..K-1
+
+    void validate() const;
+    void validate_with_topology() const;
+
+    /// Snapshot view of sample k.
+    SnapshotProblem snapshot(std::size_t k) const;
+};
+
+}  // namespace tme::core

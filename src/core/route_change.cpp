@@ -1,0 +1,88 @@
+#include "core/route_change.hpp"
+
+#include <random>
+#include <stdexcept>
+
+#include "linalg/nnls.hpp"
+#include "linalg/qr.hpp"
+#include "routing/routing_matrix.hpp"
+
+namespace tme::core {
+
+RouteChangeResult route_change_estimate(
+    const std::vector<RoutingObservation>& observations) {
+    if (observations.empty()) {
+        throw std::invalid_argument(
+            "route_change_estimate: need >= 1 observation");
+    }
+    const std::size_t pairs = observations.front().routing->cols();
+    for (const RoutingObservation& obs : observations) {
+        if (obs.routing == nullptr) {
+            throw std::invalid_argument(
+                "route_change_estimate: null routing");
+        }
+        if (obs.routing->cols() != pairs ||
+            obs.loads.size() != obs.routing->rows()) {
+            throw std::invalid_argument(
+                "route_change_estimate: inconsistent observation");
+        }
+    }
+
+    // Accumulate the Gram system of the stacked problem:
+    // G = sum_j R_j' R_j, g = sum_j R_j' t_j.
+    linalg::Matrix g(pairs, pairs, 0.0);
+    linalg::Vector rhs(pairs, 0.0);
+    double btb = 0.0;
+    std::size_t total_rows = 0;
+    for (const RoutingObservation& obs : observations) {
+        g = linalg::add(1.0, g, 1.0, obs.routing->gram());
+        linalg::axpy(1.0, obs.routing->multiply_transpose(obs.loads), rhs);
+        btb += linalg::dot(obs.loads, obs.loads);
+        total_rows += obs.routing->rows();
+    }
+
+    RouteChangeResult result;
+    const linalg::NnlsResult nn = linalg::nnls_gram(g, rhs, btb);
+    result.s = nn.x;
+    result.residual_norm = nn.residual_norm;
+
+    // Numerical rank of the stacked matrix via QR of the (tall) stack.
+    linalg::Matrix stacked(total_rows, pairs, 0.0);
+    std::size_t row = 0;
+    for (const RoutingObservation& obs : observations) {
+        const linalg::Matrix dense = obs.routing->to_dense();
+        for (std::size_t i = 0; i < dense.rows(); ++i, ++row) {
+            stacked.set_row(row, dense.row(i));
+        }
+    }
+    if (stacked.rows() >= stacked.cols()) {
+        result.stacked_rank = linalg::Qr(stacked).rank();
+    } else {
+        result.stacked_rank = linalg::Qr(stacked.transposed()).rank();
+    }
+    return result;
+}
+
+linalg::SparseMatrix perturbed_routing(const topology::Topology& topo,
+                                       double spread, unsigned seed) {
+    if (spread < 0.0) {
+        throw std::invalid_argument("perturbed_routing: negative spread");
+    }
+    std::mt19937_64 rng(seed);
+    std::uniform_real_distribution<double> factor(1.0, 1.0 + spread);
+
+    // Copy the topology with perturbed core metrics.  (Rebuild from
+    // scratch: Topology is immutable-after-build by design.)
+    topology::Topology perturbed;
+    for (const topology::Pop& p : topo.pops()) {
+        perturbed.add_pop(p, topo.link(topo.ingress_link(0)).capacity_mbps);
+    }
+    for (std::size_t lid : topo.core_links()) {
+        const topology::Link& l = topo.link(lid);
+        perturbed.add_core_link(l.src, l.dst, l.capacity_mbps,
+                                l.igp_metric * factor(rng));
+    }
+    return routing::igp_routing_matrix(perturbed);
+}
+
+}  // namespace tme::core

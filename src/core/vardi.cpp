@@ -1,0 +1,101 @@
+#include "core/vardi.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "linalg/nnls.hpp"
+#include "linalg/stats.hpp"
+
+namespace tme::core {
+
+VardiResult vardi_estimate(const SeriesProblem& problem,
+                           const VardiOptions& options) {
+    problem.validate();
+    if (options.second_moment_weight < 0.0) {
+        throw std::invalid_argument("vardi_estimate: negative weight");
+    }
+    const linalg::SparseMatrix& r = *problem.routing;
+    const std::size_t pairs = r.cols();
+    const double w = options.second_moment_weight;
+
+    const linalg::Vector that = linalg::sample_mean(problem.loads);
+    const linalg::Matrix sigma = linalg::sample_covariance(problem.loads);
+
+    // Gram pieces.  G1 = R'R; the second-moment block contributes
+    // G2 = G1 .* G1 (see header) and q_p = r_p' Sigmahat r_p.
+    linalg::Matrix g = r.gram();
+    linalg::Vector rhs = r.multiply_transpose(that);
+
+    if (w > 0.0) {
+        // Column supports of R for the quadratic forms.
+        std::vector<std::vector<std::pair<std::size_t, double>>> columns(
+            pairs);
+        const auto& offsets = r.row_offsets();
+        const auto& cols = r.column_indices();
+        const auto& vals = r.values();
+        for (std::size_t l = 0; l < r.rows(); ++l) {
+            for (std::size_t k = offsets[l]; k < offsets[l + 1]; ++k) {
+                columns[cols[k]].push_back({l, vals[k]});
+            }
+        }
+        for (std::size_t p = 0; p < pairs; ++p) {
+            double q = 0.0;
+            for (const auto& [l, vl] : columns[p]) {
+                for (const auto& [m, vm] : columns[p]) {
+                    q += vl * vm * sigma(l, m);
+                }
+            }
+            rhs[p] += w * q;
+        }
+        for (std::size_t p = 0; p < pairs; ++p) {
+            for (std::size_t qx = 0; qx < pairs; ++qx) {
+                const double g1 = g(p, qx);
+                g(p, qx) = g1 + w * g1 * g1;
+            }
+        }
+    }
+
+    VardiResult result;
+    result.lambda = linalg::nnls_gram(g, rhs).x;
+
+    // Residual diagnostics.
+    const linalg::Vector pred = r.multiply(result.lambda);
+    result.first_moment_residual = linalg::nrm2(linalg::sub(pred, that));
+    if (w > 0.0) {
+        // ||R diag(lambda) R' - Sigmahat||_F: accumulate the model
+        // covariance M = R D R' from R's column supports (each demand p
+        // adds lambda_p r_p r_p'), then take the Frobenius difference.
+        double acc = 0.0;
+        const std::size_t links = r.rows();
+        const auto& offsets = r.row_offsets();
+        const auto& cols = r.column_indices();
+        const auto& vals = r.values();
+        std::vector<std::vector<std::pair<std::size_t, double>>> columns(
+            pairs);
+        for (std::size_t l = 0; l < r.rows(); ++l) {
+            for (std::size_t k = offsets[l]; k < offsets[l + 1]; ++k) {
+                columns[cols[k]].push_back({l, vals[k]});
+            }
+        }
+        linalg::Matrix m(links, links, 0.0);
+        for (std::size_t p = 0; p < pairs; ++p) {
+            const double lp = result.lambda[p];
+            if (lp == 0.0) continue;
+            for (const auto& [l, vl] : columns[p]) {
+                for (const auto& [mm, vm] : columns[p]) {
+                    m(l, mm) += vl * vm * lp;
+                }
+            }
+        }
+        for (std::size_t l = 0; l < links; ++l) {
+            for (std::size_t mm = 0; mm < links; ++mm) {
+                const double d = m(l, mm) - sigma(l, mm);
+                acc += d * d;
+            }
+        }
+        result.second_moment_residual = std::sqrt(acc);
+    }
+    return result;
+}
+
+}  // namespace tme::core

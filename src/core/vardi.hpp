@@ -1,0 +1,40 @@
+// Vardi's Poissonian moment-matching estimator (paper Section 4.2.2;
+// Vardi 1996).
+//
+// Under s_p ~ Poisson(lambda_p), link loads satisfy E{t} = R lambda and
+// Cov{t} = R diag(lambda) R'.  Matching sample moments in least squares
+// (Csiszar's argument for LS over KL when observations may be negative)
+// gives
+//
+//   minimize  ||R lambda - that||^2
+//             + w * || R diag(lambda) R' - Sigmahat ||_F^2,  lambda >= 0
+//
+// with w = sigma^{-2} in [0, 1] expressing faith in the Poisson
+// assumption.  Both terms are linear in lambda, so this is one big NNLS;
+// the second-moment block has L^2 rows but its Gram contribution has the
+// closed form (R'R) .* (R'R), and its right-hand side is
+// q_p = r_p' Sigmahat r_p — so the problem is solved entirely in Gram
+// form without materializing the stacked matrix.
+#pragma once
+
+#include "core/problem.hpp"
+
+namespace tme::core {
+
+struct VardiOptions {
+    /// Weight w = sigma^{-2} on the second-moment equations (paper uses
+    /// 0.01 and 1 in Table 1).
+    double second_moment_weight = 1.0;
+};
+
+struct VardiResult {
+    linalg::Vector lambda;          ///< estimated mean rates
+    double first_moment_residual = 0.0;   ///< ||R lambda - that||_2
+    double second_moment_residual = 0.0;  ///< ||R diag(l) R' - Sigmahat||_F
+};
+
+/// Estimates lambda from a window of load measurements.
+VardiResult vardi_estimate(const SeriesProblem& problem,
+                           const VardiOptions& options = {});
+
+}  // namespace tme::core

@@ -1,0 +1,67 @@
+#include "core/wcb.hpp"
+
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+#include "linalg/simplex.hpp"
+
+namespace tme::core {
+
+WcbResult worst_case_bounds(const SnapshotProblem& problem,
+                            const WcbOptions& options,
+                            const std::vector<std::size_t>& pairs) {
+    problem.validate();
+    const linalg::SparseMatrix& r = *problem.routing;
+    const std::size_t n = r.cols();
+
+    std::vector<std::size_t> targets = pairs;
+    if (targets.empty()) {
+        targets.resize(n);
+        std::iota(targets.begin(), targets.end(), 0);
+    }
+
+    WcbResult result;
+    result.lower.assign(n, 0.0);
+    result.upper.assign(n, std::numeric_limits<double>::infinity());
+    result.midpoint.assign(n, 0.0);
+
+    linalg::LpProblem lp;
+    lp.a = r.to_dense();
+    lp.b = problem.loads;
+    lp.c.assign(n, 0.0);
+
+    linalg::LpOptions lp_options;
+    lp_options.max_iterations = options.max_iterations;
+
+    std::vector<std::size_t> warm_basis;
+    auto solve_one = [&](std::size_t p, double sign) -> double {
+        lp.c.assign(n, 0.0);
+        lp.c[p] = sign;  // minimize sign * s_p
+        lp_options.initial_basis =
+            options.warm_start ? warm_basis : std::vector<std::size_t>{};
+        const linalg::LpResult sol = linalg::solve_lp(lp, lp_options);
+        ++result.lps_solved;
+        result.simplex_iterations += sol.iterations;
+        if (sol.status != linalg::LpStatus::optimal) {
+            ++result.failures;
+            return std::numeric_limits<double>::quiet_NaN();
+        }
+        if (options.warm_start) warm_basis = sol.basis;
+        return sign * sol.objective;  // = optimal s_p value
+    };
+
+    for (std::size_t p : targets) {
+        const double lo = solve_one(p, +1.0);  // min s_p
+        const double hi = solve_one(p, -1.0);  // max s_p
+        if (!std::isnan(lo)) result.lower[p] = std::max(0.0, lo);
+        if (!std::isnan(hi)) result.upper[p] = hi;
+        if (!std::isnan(lo) && !std::isnan(hi)) {
+            result.midpoint[p] = 0.5 * (result.lower[p] + result.upper[p]);
+        }
+    }
+    return result;
+}
+
+}  // namespace tme::core

@@ -1,0 +1,42 @@
+// Worst-case bounds on demands (paper Section 4.3.1).
+//
+// With no statistical assumptions, a load snapshot t confines the demand
+// vector to the polytope S = { s >= 0 : R s = t }.  Bounds for demand p:
+//
+//     upper_p = max { s_p : s in S },    lower_p = min { s_p : s in S }
+//
+// — two linear programs per OD pair.  All 2P programs share one feasible
+// region, so after the first solve every subsequent program is warm-
+// started from the previous optimal basis (phase 1 runs once).  The
+// midpoint (upper+lower)/2 is the paper's WCB prior (Fig. 9), which beats
+// the gravity prior on their data (Table 2).
+#pragma once
+
+#include "core/problem.hpp"
+
+namespace tme::core {
+
+struct WcbOptions {
+    /// Use the previous optimal basis to warm-start the next LP.
+    bool warm_start = true;
+    /// Per-LP iteration cap (0 = solver default).
+    std::size_t max_iterations = 0;
+};
+
+struct WcbResult {
+    linalg::Vector lower;
+    linalg::Vector upper;
+    linalg::Vector midpoint;  ///< (lower + upper) / 2, the WCB prior
+    std::size_t lps_solved = 0;
+    std::size_t simplex_iterations = 0;  ///< total across all LPs
+    std::size_t failures = 0;  ///< LPs that did not reach optimality
+};
+
+/// Computes worst-case bounds for every OD pair (or the subset `pairs`
+/// if non-empty).  For pairs not in the subset, bounds are [0, +inf) and
+/// midpoint falls back to 0.
+WcbResult worst_case_bounds(const SnapshotProblem& problem,
+                            const WcbOptions& options = {},
+                            const std::vector<std::size_t>& pairs = {});
+
+}  // namespace tme::core

@@ -1,0 +1,101 @@
+#include "linalg/cholesky.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace tme::linalg {
+
+namespace {
+
+// Returns the lower Cholesky factor, or an empty matrix on failure.
+Matrix factorize(const Matrix& a, double jitter) {
+    const std::size_t n = a.rows();
+    Matrix l(n, n, 0.0);
+    for (std::size_t j = 0; j < n; ++j) {
+        double diag = a(j, j) + jitter;
+        for (std::size_t k = 0; k < j; ++k) diag -= l(j, k) * l(j, k);
+        if (diag <= 0.0 || !std::isfinite(diag)) return Matrix();
+        const double ljj = std::sqrt(diag);
+        l(j, j) = ljj;
+        for (std::size_t i = j + 1; i < n; ++i) {
+            double v = a(i, j);
+            for (std::size_t k = 0; k < j; ++k) v -= l(i, k) * l(j, k);
+            l(i, j) = v / ljj;
+        }
+    }
+    return l;
+}
+
+}  // namespace
+
+Cholesky::Cholesky(const Matrix& a, double jitter) {
+    if (a.rows() != a.cols()) {
+        throw std::invalid_argument("Cholesky: matrix must be square");
+    }
+    l_ = factorize(a, jitter);
+    if (l_.empty() && a.rows() > 0) {
+        throw std::runtime_error("Cholesky: matrix not positive definite");
+    }
+}
+
+Vector Cholesky::solve(const Vector& b) const {
+    const std::size_t n = l_.rows();
+    if (b.size() != n) {
+        throw std::invalid_argument("Cholesky::solve: size mismatch");
+    }
+    // Forward substitution: L y = b.
+    Vector y(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        double v = b[i];
+        for (std::size_t k = 0; k < i; ++k) v -= l_(i, k) * y[k];
+        y[i] = v / l_(i, i);
+    }
+    // Back substitution: L' x = y.
+    Vector x(n);
+    for (std::size_t ii = n; ii-- > 0;) {
+        double v = y[ii];
+        for (std::size_t k = ii + 1; k < n; ++k) v -= l_(k, ii) * x[k];
+        x[ii] = v / l_(ii, ii);
+    }
+    return x;
+}
+
+Matrix Cholesky::solve(const Matrix& b) const {
+    if (b.rows() != l_.rows()) {
+        throw std::invalid_argument("Cholesky::solve: size mismatch");
+    }
+    Matrix x(b.rows(), b.cols());
+    for (std::size_t j = 0; j < b.cols(); ++j) {
+        x.set_col(j, solve(b.col(j)));
+    }
+    return x;
+}
+
+std::optional<Cholesky> try_cholesky(const Matrix& a, double jitter) {
+    if (a.rows() != a.cols()) return std::nullopt;
+    Matrix l = factorize(a, jitter);
+    if (l.empty() && a.rows() > 0) return std::nullopt;
+    Cholesky c;
+    // Reuse the computed factor rather than refactorizing.
+    c.l_ = std::move(l);
+    return c;
+}
+
+Vector solve_spd_robust(const Matrix& a, const Vector& b) {
+    if (a.rows() != a.cols() || a.rows() != b.size()) {
+        throw std::invalid_argument("solve_spd_robust: dimension mismatch");
+    }
+    const std::size_t n = a.rows();
+    if (n == 0) return {};
+    double trace = 0.0;
+    for (std::size_t i = 0; i < n; ++i) trace += a(i, i);
+    const double base = (trace > 0.0 ? trace / static_cast<double>(n) : 1.0);
+    double jitter = 0.0;
+    for (int attempt = 0; attempt < 24; ++attempt) {
+        if (auto c = try_cholesky(a, jitter)) return c->solve(b);
+        jitter = (jitter == 0.0 ? base * 1e-12 : jitter * 10.0);
+    }
+    throw std::runtime_error("solve_spd_robust: factorization failed");
+}
+
+}  // namespace tme::linalg

@@ -1,0 +1,54 @@
+// Cholesky (LL') factorization of symmetric positive-definite matrices.
+//
+// The NNLS and QP solvers repeatedly solve small SPD systems built from
+// Gram matrices of routing matrices; Cholesky is the workhorse for those.
+// An optional diagonal "jitter" makes semi-definite Gram matrices (rank
+// deficient routing submatrices) solvable in a least-norm sense.
+#pragma once
+
+#include <optional>
+
+#include "linalg/matrix.hpp"
+
+namespace tme::linalg {
+
+/// Lower-triangular Cholesky factor of an SPD matrix.
+class Cholesky {
+  public:
+    /// Factorizes a (must be square and symmetric).  `jitter` is added to
+    /// the diagonal before factorization; use a small positive value to
+    /// regularize near-singular systems.  Throws std::invalid_argument if
+    /// a is not square, std::runtime_error if factorization fails (matrix
+    /// not positive definite even after jitter).
+    explicit Cholesky(const Matrix& a, double jitter = 0.0);
+
+    /// Solves A x = b via forward/back substitution.
+    Vector solve(const Vector& b) const;
+
+    /// Solves A X = B column-by-column.
+    Matrix solve(const Matrix& b) const;
+
+    const Matrix& factor() const { return l_; }
+
+    std::size_t dim() const { return l_.rows(); }
+
+  private:
+    Cholesky() = default;
+    friend std::optional<Cholesky> try_cholesky(const Matrix& a,
+                                                double jitter);
+
+    Matrix l_;
+};
+
+/// Attempts a Cholesky factorization; returns std::nullopt instead of
+/// throwing when the matrix is not positive definite.
+std::optional<Cholesky> try_cholesky(const Matrix& a, double jitter = 0.0);
+
+/// Solves the SPD system A x = b with automatic escalating jitter: tries
+/// exact factorization first, then adds geometrically increasing diagonal
+/// regularization (relative to trace(A)/n) until factorization succeeds.
+/// This is the robust primitive the active-set solvers use on possibly
+/// rank-deficient passive sets.
+Vector solve_spd_robust(const Matrix& a, const Vector& b);
+
+}  // namespace tme::linalg

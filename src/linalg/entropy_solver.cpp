@@ -1,0 +1,126 @@
+#include "linalg/entropy_solver.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace tme::linalg {
+
+double generalized_kl(const Vector& s, const Vector& p) {
+    if (s.size() != p.size()) {
+        throw std::invalid_argument("generalized_kl: size mismatch");
+    }
+    double acc = 0.0;
+    for (std::size_t i = 0; i < s.size(); ++i) {
+        if (p[i] <= 0.0) {
+            throw std::invalid_argument("generalized_kl: prior must be > 0");
+        }
+        if (s[i] > 0.0) {
+            acc += s[i] * std::log(s[i] / p[i]) - s[i] + p[i];
+        } else {
+            acc += p[i];
+        }
+    }
+    return acc;
+}
+
+namespace {
+
+double objective(const SparseMatrix& a, const Vector& b, const Vector& prior,
+                 double w, const Vector& s) {
+    const Vector r = sub(a.multiply(s), b);
+    return dot(r, r) + (w > 0.0 ? w * generalized_kl(s, prior) : 0.0);
+}
+
+}  // namespace
+
+EntropySolverResult kl_regularized_ls(const SparseMatrix& a, const Vector& b,
+                                      const Vector& prior, double w,
+                                      const EntropySolverOptions& options) {
+    const std::size_t n = a.cols();
+    if (b.size() != a.rows() || prior.size() != n) {
+        throw std::invalid_argument("kl_regularized_ls: dimension mismatch");
+    }
+    if (w < 0.0) {
+        throw std::invalid_argument("kl_regularized_ls: w must be >= 0");
+    }
+
+    // Clamp the prior away from zero so log(s/p) stays finite.
+    Vector p = prior;
+    double pmean = 0.0;
+    for (double v : p) pmean += std::max(v, 0.0);
+    pmean = (pmean > 0.0 ? pmean / static_cast<double>(n) : 1.0);
+    const double floor = options.prior_floor * pmean;
+    for (double& v : p) v = std::max(v, floor);
+
+    EntropySolverResult result;
+    result.s = p;  // start at the prior (strictly positive)
+
+    // Scale for the stationarity test.
+    double bscale = nrm_inf(b);
+    if (bscale == 0.0) bscale = 1.0;
+    const double grad_scale = std::max(1.0, bscale * bscale);
+
+    double f = objective(a, b, p, w, result.s);
+    double eta = options.initial_step;
+
+    for (result.iterations = 0; result.iterations < options.max_iterations;
+         ++result.iterations) {
+        // grad F = 2 A'(A s - b) + w log(s ./ p).
+        const Vector resid = sub(a.multiply(result.s), b);
+        Vector grad = a.multiply_transpose(resid);
+        scale(2.0, grad);
+        if (w > 0.0) {
+            for (std::size_t i = 0; i < n; ++i) {
+                grad[i] += w * std::log(result.s[i] / p[i]);
+            }
+        }
+
+        // First-order stationarity for the positive-orthant problem with
+        // multiplicative iterates: |s_i * grad_i| must vanish.
+        double stat = 0.0;
+        for (std::size_t i = 0; i < n; ++i) {
+            stat = std::max(stat, std::abs(result.s[i] * grad[i]));
+        }
+        if (stat <= options.tolerance * grad_scale) {
+            result.converged = true;
+            break;
+        }
+
+        // Exponentiated-gradient step with Armijo backtracking.  The step
+        // is normalized by the largest |s grad| so exp() stays tame.
+        const double norm = std::max(stat, 1e-300);
+        bool accepted = false;
+        for (int bt = 0; bt < 60; ++bt) {
+            Vector trial(n);
+            const double step = eta / norm;
+            for (std::size_t i = 0; i < n; ++i) {
+                // Clip the exponent to avoid overflow; +-40 changes s by
+                // a factor e^40, far beyond any useful single step.
+                double ex = -step * result.s[i] * grad[i];
+                ex = std::clamp(ex, -40.0, 40.0);
+                trial[i] = result.s[i] * std::exp(ex);
+            }
+            const double ft = objective(a, b, p, w, trial);
+            if (ft < f - 1e-12 * std::abs(f)) {
+                result.s = std::move(trial);
+                f = ft;
+                accepted = true;
+                // Allow the step to grow again after a success.
+                eta = std::min(eta * 2.0, 1e6);
+                break;
+            }
+            eta *= 0.5;
+            if (eta < 1e-18) break;
+        }
+        if (!accepted) {
+            // No descent direction at machine precision: stationary.
+            result.converged = true;
+            break;
+        }
+    }
+    result.objective = f;
+    return result;
+}
+
+}  // namespace tme::linalg

@@ -1,0 +1,202 @@
+#include "linalg/matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace tme::linalg {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows) {
+    rows_ = rows.size();
+    cols_ = rows_ == 0 ? 0 : rows.begin()->size();
+    data_.reserve(rows_ * cols_);
+    for (const auto& r : rows) {
+        if (r.size() != cols_) {
+            throw std::invalid_argument("Matrix: ragged initializer list");
+        }
+        data_.insert(data_.end(), r.begin(), r.end());
+    }
+}
+
+Matrix Matrix::identity(std::size_t n) {
+    Matrix m(n, n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+    return m;
+}
+
+Matrix Matrix::diagonal(const Vector& d) {
+    Matrix m(d.size(), d.size(), 0.0);
+    for (std::size_t i = 0; i < d.size(); ++i) m(i, i) = d[i];
+    return m;
+}
+
+double Matrix::at(std::size_t i, std::size_t j) const {
+    if (i >= rows_ || j >= cols_) {
+        throw std::out_of_range("Matrix::at: index out of range");
+    }
+    return (*this)(i, j);
+}
+
+Vector Matrix::row(std::size_t i) const {
+    if (i >= rows_) throw std::out_of_range("Matrix::row: index out of range");
+    return Vector(row_data(i), row_data(i) + cols_);
+}
+
+Vector Matrix::col(std::size_t j) const {
+    if (j >= cols_) throw std::out_of_range("Matrix::col: index out of range");
+    Vector v(rows_);
+    for (std::size_t i = 0; i < rows_; ++i) v[i] = (*this)(i, j);
+    return v;
+}
+
+void Matrix::set_row(std::size_t i, const Vector& v) {
+    if (i >= rows_ || v.size() != cols_) {
+        throw std::invalid_argument("Matrix::set_row: bad row or size");
+    }
+    std::copy(v.begin(), v.end(), row_data(i));
+}
+
+void Matrix::set_col(std::size_t j, const Vector& v) {
+    if (j >= cols_ || v.size() != rows_) {
+        throw std::invalid_argument("Matrix::set_col: bad column or size");
+    }
+    for (std::size_t i = 0; i < rows_; ++i) (*this)(i, j) = v[i];
+}
+
+Matrix Matrix::transposed() const {
+    Matrix t(cols_, rows_);
+    for (std::size_t i = 0; i < rows_; ++i) {
+        for (std::size_t j = 0; j < cols_; ++j) t(j, i) = (*this)(i, j);
+    }
+    return t;
+}
+
+double Matrix::frobenius_norm() const {
+    double acc = 0.0;
+    for (double v : data_) acc += v * v;
+    return std::sqrt(acc);
+}
+
+double Matrix::max_abs() const {
+    double acc = 0.0;
+    for (double v : data_) acc = std::max(acc, std::abs(v));
+    return acc;
+}
+
+std::string Matrix::to_string(int precision) const {
+    std::ostringstream os;
+    os.precision(precision);
+    for (std::size_t i = 0; i < rows_; ++i) {
+        for (std::size_t j = 0; j < cols_; ++j) {
+            os << (*this)(i, j) << (j + 1 == cols_ ? "" : " ");
+        }
+        os << '\n';
+    }
+    return os.str();
+}
+
+Vector gemv(const Matrix& a, const Vector& x) {
+    if (a.cols() != x.size()) {
+        throw std::invalid_argument("gemv: dimension mismatch");
+    }
+    Vector y(a.rows(), 0.0);
+    for (std::size_t i = 0; i < a.rows(); ++i) {
+        const double* row = a.row_data(i);
+        double acc = 0.0;
+        for (std::size_t j = 0; j < a.cols(); ++j) acc += row[j] * x[j];
+        y[i] = acc;
+    }
+    return y;
+}
+
+Vector gemv_transpose(const Matrix& a, const Vector& x) {
+    if (a.rows() != x.size()) {
+        throw std::invalid_argument("gemv_transpose: dimension mismatch");
+    }
+    Vector y(a.cols(), 0.0);
+    for (std::size_t i = 0; i < a.rows(); ++i) {
+        const double* row = a.row_data(i);
+        const double xi = x[i];
+        if (xi == 0.0) continue;
+        for (std::size_t j = 0; j < a.cols(); ++j) y[j] += xi * row[j];
+    }
+    return y;
+}
+
+Matrix gemm(const Matrix& a, const Matrix& b) {
+    if (a.cols() != b.rows()) {
+        throw std::invalid_argument("gemm: dimension mismatch");
+    }
+    Matrix c(a.rows(), b.cols(), 0.0);
+    for (std::size_t i = 0; i < a.rows(); ++i) {
+        const double* arow = a.row_data(i);
+        double* crow = c.row_data(i);
+        for (std::size_t k = 0; k < a.cols(); ++k) {
+            const double aik = arow[k];
+            if (aik == 0.0) continue;
+            const double* brow = b.row_data(k);
+            for (std::size_t j = 0; j < b.cols(); ++j) crow[j] += aik * brow[j];
+        }
+    }
+    return c;
+}
+
+Matrix gram(const Matrix& a) {
+    const std::size_t n = a.cols();
+    Matrix g(n, n, 0.0);
+    for (std::size_t i = 0; i < a.rows(); ++i) {
+        const double* row = a.row_data(i);
+        for (std::size_t p = 0; p < n; ++p) {
+            const double rp = row[p];
+            if (rp == 0.0) continue;
+            double* grow = g.row_data(p);
+            for (std::size_t q = p; q < n; ++q) grow[q] += rp * row[q];
+        }
+    }
+    for (std::size_t p = 0; p < n; ++p) {
+        for (std::size_t q = 0; q < p; ++q) g(p, q) = g(q, p);
+    }
+    return g;
+}
+
+Matrix add(double alpha, const Matrix& a, double beta, const Matrix& b) {
+    if (a.rows() != b.rows() || a.cols() != b.cols()) {
+        throw std::invalid_argument("add: dimension mismatch");
+    }
+    Matrix c(a.rows(), a.cols());
+    for (std::size_t i = 0; i < a.rows(); ++i) {
+        for (std::size_t j = 0; j < a.cols(); ++j) {
+            c(i, j) = alpha * a(i, j) + beta * b(i, j);
+        }
+    }
+    return c;
+}
+
+Matrix vstack(const Matrix& a, const Matrix& b) {
+    if (a.cols() != b.cols()) {
+        throw std::invalid_argument("vstack: column count mismatch");
+    }
+    Matrix c(a.rows() + b.rows(), a.cols());
+    for (std::size_t i = 0; i < a.rows(); ++i) c.set_row(i, a.row(i));
+    for (std::size_t i = 0; i < b.rows(); ++i) c.set_row(a.rows() + i, b.row(i));
+    return c;
+}
+
+double max_abs_diff(const Matrix& a, const Matrix& b) {
+    if (a.rows() != b.rows() || a.cols() != b.cols()) {
+        throw std::invalid_argument("max_abs_diff: dimension mismatch");
+    }
+    double acc = 0.0;
+    for (std::size_t i = 0; i < a.rows(); ++i) {
+        for (std::size_t j = 0; j < a.cols(); ++j) {
+            acc = std::max(acc, std::abs(a(i, j) - b(i, j)));
+        }
+    }
+    return acc;
+}
+
+}  // namespace tme::linalg

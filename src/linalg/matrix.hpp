@@ -1,0 +1,102 @@
+// Dense row-major matrix of doubles plus the BLAS-level-2/3 surface needed
+// by the traffic-matrix estimation solvers (gemv, gemm, transpose, Gram
+// products).  Sizes in this library are small (hundreds of rows/columns),
+// so a straightforward cache-friendly implementation is sufficient.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "linalg/vector_ops.hpp"
+
+namespace tme::linalg {
+
+/// Dense row-major matrix.  Invariant: data_.size() == rows_*cols_.
+class Matrix {
+  public:
+    /// Empty 0x0 matrix.
+    Matrix() = default;
+
+    /// rows x cols matrix, all entries set to `fill`.
+    Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+
+    /// Builds from nested initializer lists; all rows must have equal size.
+    Matrix(std::initializer_list<std::initializer_list<double>> rows);
+
+    static Matrix identity(std::size_t n);
+
+    /// Diagonal matrix with d on the diagonal.
+    static Matrix diagonal(const Vector& d);
+
+    std::size_t rows() const { return rows_; }
+    std::size_t cols() const { return cols_; }
+    bool empty() const { return rows_ == 0 || cols_ == 0; }
+
+    double& operator()(std::size_t i, std::size_t j) {
+        return data_[i * cols_ + j];
+    }
+    double operator()(std::size_t i, std::size_t j) const {
+        return data_[i * cols_ + j];
+    }
+
+    /// Bounds-checked access; throws std::out_of_range.
+    double at(std::size_t i, std::size_t j) const;
+
+    /// Pointer to the start of row i (row-major contiguous storage).
+    double* row_data(std::size_t i) { return data_.data() + i * cols_; }
+    const double* row_data(std::size_t i) const {
+        return data_.data() + i * cols_;
+    }
+
+    /// Copies row i into a vector.
+    Vector row(std::size_t i) const;
+
+    /// Copies column j into a vector.
+    Vector col(std::size_t j) const;
+
+    void set_row(std::size_t i, const Vector& v);
+    void set_col(std::size_t j, const Vector& v);
+
+    Matrix transposed() const;
+
+    /// Frobenius norm.
+    double frobenius_norm() const;
+
+    /// Max |a_ij|.
+    double max_abs() const;
+
+    bool operator==(const Matrix& other) const = default;
+
+    /// Human-readable dump (for test failure messages).
+    std::string to_string(int precision = 4) const;
+
+  private:
+    std::size_t rows_ = 0;
+    std::size_t cols_ = 0;
+    std::vector<double> data_;
+};
+
+/// y = A x.
+Vector gemv(const Matrix& a, const Vector& x);
+
+/// y = A' x  (transpose product without forming A').
+Vector gemv_transpose(const Matrix& a, const Vector& x);
+
+/// C = A B.
+Matrix gemm(const Matrix& a, const Matrix& b);
+
+/// C = A' A  (Gram matrix, exploits symmetry).
+Matrix gram(const Matrix& a);
+
+/// C = alpha*A + beta*B.
+Matrix add(double alpha, const Matrix& a, double beta, const Matrix& b);
+
+/// Stacks A on top of B (same column count).
+Matrix vstack(const Matrix& a, const Matrix& b);
+
+/// Maximum absolute difference between two equally-sized matrices.
+double max_abs_diff(const Matrix& a, const Matrix& b);
+
+}  // namespace tme::linalg

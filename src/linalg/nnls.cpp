@@ -1,0 +1,282 @@
+#include "linalg/nnls.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "linalg/cholesky.hpp"
+
+namespace tme::linalg {
+
+namespace {
+
+// Maintains the Cholesky factor of G[passive, passive] incrementally:
+// appending a variable costs O(k^2); removals trigger a rebuild (O(k^3),
+// rare in practice).  This keeps Lawson-Hanson at ~O(n^3) overall instead
+// of the O(n^4) a refactorize-every-step implementation would cost.
+class PassiveFactor {
+  public:
+    PassiveFactor(const Matrix& gram, double jitter)
+        : gram_(&gram), jitter_(jitter), l_(gram.rows(), gram.rows(), 0.0) {}
+
+    const std::vector<std::size_t>& passive() const { return passive_; }
+
+    bool append(std::size_t j) {
+        const std::size_t k = passive_.size();
+        // New column: c = G[passive + {j}, j].
+        Vector c(k);
+        for (std::size_t i = 0; i < k; ++i) c[i] = (*gram_)(passive_[i], j);
+        // Solve L w = c (forward substitution on the kxk leading block).
+        Vector w(k);
+        for (std::size_t i = 0; i < k; ++i) {
+            double v = c[i];
+            for (std::size_t t = 0; t < i; ++t) v -= l_(i, t) * w[t];
+            w[i] = v / l_(i, i);
+        }
+        double diag = (*gram_)(j, j) + jitter_ - dot(w, w);
+        if (diag <= 0.0 || !std::isfinite(diag)) {
+            // Rank-deficient addition: retry with escalated jitter via a
+            // full rebuild including j.
+            passive_.push_back(j);
+            if (rebuild()) return true;
+            passive_.pop_back();
+            rebuild();
+            return false;
+        }
+        for (std::size_t i = 0; i < k; ++i) l_(k, i) = w[i];
+        l_(k, k) = std::sqrt(diag);
+        passive_.push_back(j);
+        return true;
+    }
+
+    void remove_indices(const std::vector<std::size_t>& to_remove) {
+        std::vector<std::size_t> next;
+        next.reserve(passive_.size());
+        for (std::size_t j : passive_) {
+            if (std::find(to_remove.begin(), to_remove.end(), j) ==
+                to_remove.end()) {
+                next.push_back(j);
+            }
+        }
+        passive_.swap(next);
+        rebuild();
+    }
+
+    // Solves G[passive,passive] z = rhs[passive].
+    Vector solve(const Vector& atb) const {
+        const std::size_t k = passive_.size();
+        Vector y(k);
+        for (std::size_t i = 0; i < k; ++i) {
+            double v = atb[passive_[i]];
+            for (std::size_t t = 0; t < i; ++t) v -= l_(i, t) * y[t];
+            y[i] = v / l_(i, i);
+        }
+        Vector z(k);
+        for (std::size_t ii = k; ii-- > 0;) {
+            double v = y[ii];
+            for (std::size_t t = ii + 1; t < k; ++t) v -= l_(t, ii) * z[t];
+            z[ii] = v / l_(ii, ii);
+        }
+        return z;
+    }
+
+  private:
+    bool rebuild() {
+        const std::size_t k = passive_.size();
+        double jitter = jitter_;
+        for (int attempt = 0; attempt < 20; ++attempt) {
+            bool ok = true;
+            for (std::size_t col = 0; col < k && ok; ++col) {
+                double diag =
+                    (*gram_)(passive_[col], passive_[col]) + jitter;
+                for (std::size_t t = 0; t < col; ++t) {
+                    diag -= l_(col, t) * l_(col, t);
+                }
+                if (diag <= 0.0 || !std::isfinite(diag)) {
+                    ok = false;
+                    break;
+                }
+                l_(col, col) = std::sqrt(diag);
+                for (std::size_t row = col + 1; row < k; ++row) {
+                    double v = (*gram_)(passive_[row], passive_[col]);
+                    for (std::size_t t = 0; t < col; ++t) {
+                        v -= l_(row, t) * l_(col, t);
+                    }
+                    l_(row, col) = v / l_(col, col);
+                }
+            }
+            if (ok) {
+                jitter_ = jitter;
+                return true;
+            }
+            double scale = 0.0;
+            for (std::size_t i = 0; i < k; ++i) {
+                scale = std::max(scale, (*gram_)(passive_[i], passive_[i]));
+            }
+            jitter = (jitter == 0.0 ? std::max(scale, 1.0) * 1e-12
+                                    : jitter * 100.0);
+        }
+        return false;
+    }
+
+    const Matrix* gram_;
+    double jitter_;
+    Matrix l_;  // leading k x k block holds the factor
+    std::vector<std::size_t> passive_;
+};
+
+}  // namespace
+
+NnlsResult nnls_gram(const Matrix& gram_matrix, const Vector& atb, double btb,
+                     const NnlsOptions& options) {
+    const std::size_t n = atb.size();
+    if (gram_matrix.rows() != n || gram_matrix.cols() != n) {
+        throw std::invalid_argument("nnls_gram: dimension mismatch");
+    }
+    const std::size_t max_iter =
+        options.max_iterations > 0 ? options.max_iterations : 3 * n + 16;
+
+    NnlsResult result;
+    result.x.assign(n, 0.0);
+    std::vector<bool> in_passive(n, false);
+    PassiveFactor factor(gram_matrix, 0.0);
+
+    double scale = nrm_inf(atb);
+    if (scale == 0.0) scale = 1.0;
+    const double tol = options.tolerance * scale;
+
+    // Dual w = g - G x; x = 0 initially.
+    Vector w = atb;
+
+    for (result.iterations = 0; result.iterations < max_iter;
+         ++result.iterations) {
+        // Most infeasible dual coordinate among active variables.
+        std::size_t best = n;
+        double best_w = tol;
+        for (std::size_t j = 0; j < n; ++j) {
+            if (!in_passive[j] && w[j] > best_w) {
+                best_w = w[j];
+                best = j;
+            }
+        }
+        if (best == n) {
+            result.converged = true;
+            break;
+        }
+        if (!factor.append(best)) {
+            // Numerically dependent column; treat as converged to avoid
+            // cycling on a singular passive set.
+            result.converged = true;
+            break;
+        }
+        in_passive[best] = true;
+
+        // Inner loop: restore primal feasibility of the passive solve.
+        while (true) {
+            const std::vector<std::size_t>& passive = factor.passive();
+            Vector z = factor.solve(atb);
+            bool all_positive = true;
+            for (double v : z) {
+                if (v <= 0.0) {
+                    all_positive = false;
+                    break;
+                }
+            }
+            if (all_positive) {
+                for (std::size_t i = 0; i < passive.size(); ++i) {
+                    result.x[passive[i]] = z[i];
+                }
+                break;
+            }
+            double alpha = 1.0;
+            for (std::size_t i = 0; i < passive.size(); ++i) {
+                if (z[i] <= 0.0) {
+                    const double xj = result.x[passive[i]];
+                    const double denom = xj - z[i];
+                    if (denom > 0.0) alpha = std::min(alpha, xj / denom);
+                }
+            }
+            double xmax = 0.0;
+            for (std::size_t i = 0; i < passive.size(); ++i) {
+                const std::size_t j = passive[i];
+                result.x[j] = result.x[j] + alpha * (z[i] - result.x[j]);
+                xmax = std::max(xmax, result.x[j]);
+            }
+            // Remove coordinates pinned at (numerical) zero by the step.
+            const double removal_tol = 1e-12 * std::max(1.0, xmax);
+            std::vector<std::size_t> to_remove;
+            for (std::size_t i = 0; i < passive.size(); ++i) {
+                const std::size_t j = passive[i];
+                if (result.x[j] <= removal_tol && z[i] <= 0.0) {
+                    result.x[j] = 0.0;
+                    to_remove.push_back(j);
+                    in_passive[j] = false;
+                }
+            }
+            if (to_remove.empty()) {
+                // Defensive: force out the most negative z to guarantee
+                // progress.
+                std::size_t worst = passive[0];
+                double worst_z = z[0];
+                for (std::size_t i = 1; i < passive.size(); ++i) {
+                    if (z[i] < worst_z) {
+                        worst_z = z[i];
+                        worst = passive[i];
+                    }
+                }
+                result.x[worst] = 0.0;
+                to_remove.push_back(worst);
+                in_passive[worst] = false;
+            }
+            factor.remove_indices(to_remove);
+            if (factor.passive().empty()) break;
+        }
+
+        // Refresh dual: w = g - G x restricted to passive support.
+        const std::vector<std::size_t>& passive = factor.passive();
+        for (std::size_t j = 0; j < n; ++j) {
+            double acc = atb[j];
+            for (std::size_t p : passive) {
+                acc -= gram_matrix(j, p) * result.x[p];
+            }
+            w[j] = acc;
+        }
+    }
+
+    if (btb > 0.0) {
+        double quad = 0.0;
+        for (std::size_t p = 0; p < n; ++p) {
+            if (result.x[p] == 0.0) continue;
+            double gx = 0.0;
+            for (std::size_t q = 0; q < n; ++q) {
+                if (result.x[q] != 0.0) gx += gram_matrix(p, q) * result.x[q];
+            }
+            quad += result.x[p] * (gx - 2.0 * atb[p]);
+        }
+        result.residual_norm = std::sqrt(std::max(0.0, quad + btb));
+    }
+    return result;
+}
+
+NnlsResult nnls(const Matrix& a, const Vector& b, const NnlsOptions& options) {
+    if (a.rows() != b.size()) {
+        throw std::invalid_argument("nnls: dimension mismatch");
+    }
+    NnlsResult r =
+        nnls_gram(gram(a), gemv_transpose(a, b), dot(b, b), options);
+    r.residual_norm = nrm2(sub(gemv(a, r.x), b));
+    return r;
+}
+
+NnlsResult nnls(const SparseMatrix& a, const Vector& b,
+                const NnlsOptions& options) {
+    if (a.rows() != b.size()) {
+        throw std::invalid_argument("nnls: dimension mismatch");
+    }
+    NnlsResult r =
+        nnls_gram(a.gram(), a.multiply_transpose(b), dot(b, b), options);
+    r.residual_norm = nrm2(sub(a.multiply(r.x), b));
+    return r;
+}
+
+}  // namespace tme::linalg

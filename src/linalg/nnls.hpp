@@ -1,0 +1,53 @@
+// Non-negative least squares:  minimize ||A x - b||_2  subject to x >= 0.
+//
+// Implemented as Lawson-Hanson active-set iteration working on the normal
+// equations.  Two entry points are provided:
+//
+//  * nnls(A, b)            — dense or sparse A supplied explicitly;
+//  * nnls_gram(AtA, Atb)   — caller supplies the Gram matrix A'A and the
+//                            right-hand side A'b.  This is essential for
+//                            the Vardi estimator, whose stacked second-
+//                            moment system has L(L+1)/2 rows (tens of
+//                            thousands) but whose Gram matrix has a cheap
+//                            closed form.
+//
+// The Bayesian/MAP estimator and the penalized fanout QP also route
+// through nnls_gram.
+#pragma once
+
+#include <cstddef>
+
+#include "linalg/matrix.hpp"
+#include "linalg/sparse.hpp"
+
+namespace tme::linalg {
+
+struct NnlsOptions {
+    /// Dual-feasibility tolerance on the gradient w = A'(b - Ax).
+    double tolerance = 1e-10;
+    /// Hard cap on outer iterations; 0 means 3 * number of variables.
+    std::size_t max_iterations = 0;
+};
+
+struct NnlsResult {
+    Vector x;                    ///< the non-negative solution
+    double residual_norm = 0.0;  ///< ||A x - b||_2 (when computable)
+    std::size_t iterations = 0;  ///< outer active-set iterations used
+    bool converged = false;      ///< dual feasibility reached
+};
+
+/// Lawson-Hanson NNLS on an explicit dense matrix.
+NnlsResult nnls(const Matrix& a, const Vector& b,
+                const NnlsOptions& options = {});
+
+/// Lawson-Hanson NNLS on an explicit sparse matrix.
+NnlsResult nnls(const SparseMatrix& a, const Vector& b,
+                const NnlsOptions& options = {});
+
+/// Lawson-Hanson NNLS given the Gram matrix G = A'A and g = A'b.
+/// residual_norm in the result is sqrt(max(0, x'Gx - 2 g'x + btb)) when
+/// btb (= b'b) is supplied, otherwise 0.
+NnlsResult nnls_gram(const Matrix& gram_matrix, const Vector& atb,
+                     double btb = 0.0, const NnlsOptions& options = {});
+
+}  // namespace tme::linalg

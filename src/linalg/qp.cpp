@@ -1,0 +1,133 @@
+#include "linalg/qp.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "linalg/lu.hpp"
+#include <vector>
+
+namespace tme::linalg {
+
+Vector solve_eq_qp(const Matrix& h, const Vector& f, const Matrix& e,
+                   const Vector& d) {
+    const std::size_t n = h.rows();
+    const std::size_t m = e.rows();
+    if (h.cols() != n || f.size() != n || (m > 0 && e.cols() != n) ||
+        d.size() != m) {
+        throw std::invalid_argument("solve_eq_qp: dimension mismatch");
+    }
+    // KKT system: [H E'; E 0] [x; nu] = [f; d].
+    Matrix kkt(n + m, n + m, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < n; ++j) kkt(i, j) = h(i, j);
+    }
+    for (std::size_t i = 0; i < m; ++i) {
+        for (std::size_t j = 0; j < n; ++j) {
+            kkt(n + i, j) = e(i, j);
+            kkt(j, n + i) = e(i, j);
+        }
+    }
+    Vector rhs(n + m, 0.0);
+    for (std::size_t i = 0; i < n; ++i) rhs[i] = f[i];
+    for (std::size_t i = 0; i < m; ++i) rhs[n + i] = d[i];
+
+    Lu lu(kkt);
+    if (lu.singular()) {
+        throw std::runtime_error("solve_eq_qp: singular KKT system");
+    }
+    Vector sol = lu.solve(rhs);
+    return Vector(sol.begin(), sol.begin() + static_cast<std::ptrdiff_t>(n));
+}
+
+EqQpNonnegResult solve_eq_qp_nonneg(const Matrix& h, const Vector& f,
+                                    const Matrix& e, const Vector& d,
+                                    const EqQpNonnegOptions& options) {
+    const std::size_t n = h.rows();
+    const std::size_t m = e.rows();
+    if (h.cols() != n || f.size() != n || (m > 0 && e.cols() != n) ||
+        d.size() != m) {
+        throw std::invalid_argument("solve_eq_qp_nonneg: dimension mismatch");
+    }
+    // Active-set on the non-negativity constraints over exact KKT solves
+    // of the equality-constrained subproblem (free variables only).  A
+    // penalty reformulation would bury the data term's fine structure
+    // under the penalty's conditioning; the KKT route preserves it.
+    double hmax = 1.0;
+    for (std::size_t i = 0; i < n; ++i) hmax = std::max(hmax, h(i, i));
+    const double tol = 1e-12 * hmax;
+
+    std::vector<bool> fixed_zero(n, false);
+    EqQpNonnegResult result;
+    result.x.assign(n, 0.0);
+
+    for (std::size_t round = 0; round < n + 1; ++round) {
+        ++result.iterations;
+        std::vector<std::size_t> free_vars;
+        for (std::size_t j = 0; j < n; ++j) {
+            if (!fixed_zero[j]) free_vars.push_back(j);
+        }
+        if (free_vars.empty()) break;
+        const std::size_t k = free_vars.size();
+
+        // KKT system on the free variables, ridge-regularized because H
+        // restricted to the constraint manifold may be singular.
+        double ridge = 1e-10 * hmax;
+        Vector sol;
+        for (int attempt = 0; attempt < 12; ++attempt) {
+            Matrix kkt(k + m, k + m, 0.0);
+            Vector rhs(k + m, 0.0);
+            for (std::size_t a = 0; a < k; ++a) {
+                rhs[a] = f[free_vars[a]];
+                for (std::size_t b = 0; b < k; ++b) {
+                    kkt(a, b) = h(free_vars[a], free_vars[b]);
+                }
+                kkt(a, a) += ridge;
+                for (std::size_t r = 0; r < m; ++r) {
+                    kkt(a, k + r) = e(r, free_vars[a]);
+                    kkt(k + r, a) = e(r, free_vars[a]);
+                }
+            }
+            for (std::size_t r = 0; r < m; ++r) rhs[k + r] = d[r];
+            Lu lu(kkt);
+            if (!lu.singular()) {
+                sol = lu.solve(rhs);
+                break;
+            }
+            ridge *= 100.0;
+        }
+        if (sol.empty()) {
+            throw std::runtime_error(
+                "solve_eq_qp_nonneg: singular KKT system");
+        }
+
+        // Fix the most negative coordinates at zero and re-solve; stop
+        // when all free variables are (numerically) non-negative.
+        bool any_negative = false;
+        for (std::size_t a = 0; a < k; ++a) {
+            if (sol[a] < -1e-9) {
+                any_negative = true;
+                break;
+            }
+        }
+        if (!any_negative) {
+            result.x.assign(n, 0.0);
+            for (std::size_t a = 0; a < k; ++a) {
+                result.x[free_vars[a]] = std::max(0.0, sol[a]);
+            }
+            result.converged = true;
+            break;
+        }
+        for (std::size_t a = 0; a < k; ++a) {
+            if (sol[a] < -1e-9) fixed_zero[free_vars[a]] = true;
+        }
+    }
+    (void)tol;
+    if (m > 0) {
+        Vector viol = sub(gemv(e, result.x), d);
+        result.equality_violation = nrm_inf(viol);
+    }
+    return result;
+}
+
+}  // namespace tme::linalg

@@ -1,0 +1,51 @@
+// Quadratic programming utilities.
+//
+// The fanout estimator (paper Section 4.2.4) solves
+//
+//     minimize    sum_k || R S[k] a - t[k] ||^2
+//     subject to  sum_m a_nm = 1 for every source n,   a >= 0
+//
+// i.e. an equality-constrained QP with non-negativity.  Two solvers are
+// provided:
+//
+//  * solve_eq_qp        — KKT system solve, equality constraints only
+//                         (used when the non-negativity constraint is
+//                         known to be inactive, and inside tests);
+//  * solve_eq_qp_nonneg — quadratic-penalty reformulation routed through
+//                         NNLS, which honours both constraint families.
+#pragma once
+
+#include "linalg/matrix.hpp"
+#include "linalg/nnls.hpp"
+
+namespace tme::linalg {
+
+/// Minimizes (1/2) x'Hx - f'x  subject to  E x = d.
+/// H must be symmetric positive semi-definite on the nullspace of E.
+/// Solved via the KKT system [H E'; E 0][x; nu] = [f; d] with LU.
+/// Throws std::runtime_error if the KKT matrix is singular.
+Vector solve_eq_qp(const Matrix& h, const Vector& f, const Matrix& e,
+                   const Vector& d);
+
+struct EqQpNonnegOptions {
+    /// Relative weight of the equality-constraint penalty.  The penalty
+    /// mu * ||Ex - d||^2 uses mu = penalty_scale * max(diag(H), 1).
+    double penalty_scale = 1e8;
+    NnlsOptions nnls;
+};
+
+struct EqQpNonnegResult {
+    Vector x;
+    double equality_violation = 0.0;  ///< ||E x - d||_inf after solve
+    std::size_t iterations = 0;
+    bool converged = false;
+};
+
+/// Minimizes (1/2) x'Hx - f'x  subject to  E x = d,  x >= 0, by adding a
+/// large quadratic penalty on the equality constraints and solving the
+/// resulting NNLS-equivalent problem via nnls_gram.
+EqQpNonnegResult solve_eq_qp_nonneg(const Matrix& h, const Vector& f,
+                                    const Matrix& e, const Vector& d,
+                                    const EqQpNonnegOptions& options = {});
+
+}  // namespace tme::linalg

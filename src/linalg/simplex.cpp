@@ -1,0 +1,319 @@
+#include "linalg/simplex.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+
+#include "linalg/lu.hpp"
+
+namespace tme::linalg {
+
+namespace {
+
+// Internal working state for the revised simplex.  Columns 0..n-1 are the
+// structural variables; columns n..n+m-1 are artificials (used by phase 1
+// and by redundant-row bookkeeping).
+class SimplexState {
+  public:
+    SimplexState(const Matrix& a, const Vector& b, double tol)
+        : m_(a.rows()), n_(a.cols()), a_(a), b_(b), tol_(tol) {
+        // Normalize to b >= 0 so the artificial basis is feasible.
+        for (std::size_t i = 0; i < m_; ++i) {
+            if (b_[i] < 0.0) {
+                b_[i] = -b_[i];
+                for (std::size_t j = 0; j < n_; ++j) a_(i, j) = -a_(i, j);
+            }
+        }
+    }
+
+    std::size_t m() const { return m_; }
+    std::size_t n() const { return n_; }
+
+    // Column j of the extended matrix [A | I].
+    Vector column(std::size_t j) const {
+        Vector col(m_, 0.0);
+        if (j < n_) {
+            for (std::size_t i = 0; i < m_; ++i) col[i] = a_(i, j);
+        } else {
+            col[j - n_] = 1.0;
+        }
+        return col;
+    }
+
+    // Installs the all-artificial basis (phase-1 start).
+    void install_artificial_basis() {
+        basis_.resize(m_);
+        for (std::size_t i = 0; i < m_; ++i) basis_[i] = n_ + i;
+        binv_ = Matrix::identity(m_);
+        xb_ = b_;
+        rebuild_basic_flags();
+    }
+
+    // Tries to install a caller-supplied basis; returns false when the
+    // basis is singular or primal-infeasible.
+    bool install_basis(const std::vector<std::size_t>& basis) {
+        if (basis.size() != m_) return false;
+        for (std::size_t j : basis) {
+            if (j >= n_ + m_) return false;
+        }
+        Matrix bmat(m_, m_);
+        for (std::size_t k = 0; k < m_; ++k) {
+            bmat.set_col(k, column(basis[k]));
+        }
+        Lu lu(bmat);
+        if (lu.singular()) return false;
+        Matrix binv(m_, m_);
+        for (std::size_t k = 0; k < m_; ++k) {
+            Vector e(m_, 0.0);
+            e[k] = 1.0;
+            binv.set_col(k, lu.solve(e));
+        }
+        Vector xb = gemv(binv, b_);
+        for (double v : xb) {
+            if (v < -tol_) return false;
+        }
+        basis_ = basis;
+        binv_ = std::move(binv);
+        xb_ = std::move(xb);
+        for (double& v : xb_) v = std::max(v, 0.0);
+        rebuild_basic_flags();
+        return true;
+    }
+
+    // Runs simplex iterations for the given objective over the extended
+    // variable space.  `allow` marks columns eligible to enter the basis.
+    // Returns the status and accumulates the iteration count.
+    LpStatus iterate(const Vector& cost, const std::vector<bool>& allow,
+                     std::size_t max_iterations, std::size_t& iterations) {
+        std::size_t degenerate_run = 0;
+        while (iterations < max_iterations) {
+            ++iterations;
+            if (iterations % 256 == 0) refactorize();
+
+            // Simplex multipliers y' = c_B' B^-1.
+            Vector cb(m_);
+            for (std::size_t i = 0; i < m_; ++i) cb[i] = cost[basis_[i]];
+            Vector y = gemv_transpose(binv_, cb);
+
+            // Pricing: Dantzig by default, Bland after degenerate streaks.
+            const bool bland = degenerate_run > 2 * (m_ + n_);
+            std::size_t entering = SIZE_MAX;
+            double best = -tol_;
+            for (std::size_t j = 0; j < n_ + m_; ++j) {
+                if (!allow[j] || is_basic(j)) continue;
+                const double dj = cost[j] - reduced_dot(y, j);
+                if (bland) {
+                    if (dj < -tol_) {
+                        entering = j;
+                        break;
+                    }
+                } else if (dj < best) {
+                    best = dj;
+                    entering = j;
+                }
+            }
+            if (entering == SIZE_MAX) return LpStatus::optimal;
+
+            // Direction u = B^-1 a_entering.
+            Vector u = gemv(binv_, column(entering));
+
+            // Ratio test.
+            std::size_t leaving_row = SIZE_MAX;
+            double best_ratio = std::numeric_limits<double>::infinity();
+            for (std::size_t i = 0; i < m_; ++i) {
+                if (u[i] > tol_) {
+                    const double ratio = xb_[i] / u[i];
+                    if (ratio < best_ratio - tol_ ||
+                        (ratio < best_ratio + tol_ &&
+                         (leaving_row == SIZE_MAX ||
+                          basis_[i] < basis_[leaving_row]))) {
+                        best_ratio = ratio;
+                        leaving_row = i;
+                    }
+                }
+            }
+            if (leaving_row == SIZE_MAX) return LpStatus::unbounded;
+            if (best_ratio <= tol_) {
+                ++degenerate_run;
+            } else {
+                degenerate_run = 0;
+            }
+            pivot(entering, leaving_row, u, best_ratio);
+        }
+        return LpStatus::iteration_limit;
+    }
+
+    // After phase 1: pivot out artificials that remain basic (at zero),
+    // or detect that their row is redundant.  Redundant rows keep their
+    // artificial basic; it stays at zero because the row is linearly
+    // dependent on the others.
+    void clean_artificials() {
+        for (std::size_t i = 0; i < m_; ++i) {
+            if (basis_[i] < n_) continue;
+            // Try to replace with any structural column having a nonzero
+            // pivot element in row i of B^-1 A.
+            std::size_t replacement = SIZE_MAX;
+            Vector binv_row(m_);
+            for (std::size_t k = 0; k < m_; ++k) binv_row[k] = binv_(i, k);
+            for (std::size_t j = 0; j < n_; ++j) {
+                if (is_basic(j)) continue;
+                double piv = 0.0;
+                for (std::size_t k = 0; k < m_; ++k) {
+                    piv += binv_row[k] * a_(k, j);
+                }
+                if (std::abs(piv) > 1e3 * tol_) {
+                    replacement = j;
+                    break;
+                }
+            }
+            if (replacement != SIZE_MAX) {
+                Vector u = gemv(binv_, column(replacement));
+                pivot(replacement, i, u, 0.0);
+            }
+        }
+    }
+
+    bool artificials_positive() const {
+        for (std::size_t i = 0; i < m_; ++i) {
+            if (basis_[i] >= n_ && xb_[i] > 1e3 * tol_) return true;
+        }
+        return false;
+    }
+
+    Vector solution() const {
+        Vector x(n_, 0.0);
+        for (std::size_t i = 0; i < m_; ++i) {
+            if (basis_[i] < n_) x[basis_[i]] = std::max(0.0, xb_[i]);
+        }
+        return x;
+    }
+
+    const std::vector<std::size_t>& basis() const { return basis_; }
+
+  private:
+    bool is_basic(std::size_t j) const { return basic_flag_[j]; }
+
+    void rebuild_basic_flags() {
+        basic_flag_.assign(n_ + m_, false);
+        for (std::size_t j : basis_) basic_flag_[j] = true;
+    }
+
+    // y' * (column j of [A|I]) without materializing the column.
+    double reduced_dot(const Vector& y, std::size_t j) const {
+        if (j < n_) {
+            double acc = 0.0;
+            for (std::size_t i = 0; i < m_; ++i) acc += y[i] * a_(i, j);
+            return acc;
+        }
+        return y[j - n_];
+    }
+
+    void pivot(std::size_t entering, std::size_t leaving_row, const Vector& u,
+               double ratio) {
+        // Update basic solution.
+        for (std::size_t i = 0; i < m_; ++i) xb_[i] -= ratio * u[i];
+        xb_[leaving_row] = ratio;
+        basic_flag_[basis_[leaving_row]] = false;
+        basic_flag_[entering] = true;
+        basis_[leaving_row] = entering;
+        // Eta update of B^-1: row ops making column `entering` the unit
+        // vector e_leaving_row.
+        const double piv = u[leaving_row];
+        double* prow = binv_.row_data(leaving_row);
+        for (std::size_t k = 0; k < m_; ++k) prow[k] /= piv;
+        for (std::size_t i = 0; i < m_; ++i) {
+            if (i == leaving_row) continue;
+            const double f = u[i];
+            if (f == 0.0) continue;
+            double* row = binv_.row_data(i);
+            for (std::size_t k = 0; k < m_; ++k) row[k] -= f * prow[k];
+        }
+    }
+
+    // Recomputes B^-1 and x_B from scratch to flush accumulated drift.
+    void refactorize() {
+        Matrix bmat(m_, m_);
+        for (std::size_t k = 0; k < m_; ++k) {
+            bmat.set_col(k, column(basis_[k]));
+        }
+        Lu lu(bmat);
+        if (lu.singular()) return;  // keep the updated inverse
+        for (std::size_t k = 0; k < m_; ++k) {
+            Vector e(m_, 0.0);
+            e[k] = 1.0;
+            binv_.set_col(k, lu.solve(e));
+        }
+        xb_ = gemv(binv_, b_);
+        for (double& v : xb_) v = std::max(v, 0.0);
+    }
+
+    std::size_t m_;
+    std::size_t n_;
+    Matrix a_;
+    Vector b_;
+    double tol_;
+    std::vector<std::size_t> basis_;
+    std::vector<bool> basic_flag_;
+    Matrix binv_;
+    Vector xb_;
+};
+
+}  // namespace
+
+LpResult solve_lp(const LpProblem& problem, const LpOptions& options) {
+    const std::size_t m = problem.a.rows();
+    const std::size_t n = problem.a.cols();
+    if (problem.b.size() != m || problem.c.size() != n) {
+        throw std::invalid_argument("solve_lp: dimension mismatch");
+    }
+    const std::size_t max_iter = options.max_iterations > 0
+                                     ? options.max_iterations
+                                     : 50 * (m + n) + 1000;
+
+    SimplexState state(problem.a, problem.b, options.tolerance);
+    LpResult result;
+
+    bool warm = false;
+    if (!options.initial_basis.empty()) {
+        warm = state.install_basis(options.initial_basis);
+    }
+
+    if (!warm) {
+        // Phase 1: minimize the sum of artificials.
+        state.install_artificial_basis();
+        Vector phase1_cost(n + m, 0.0);
+        for (std::size_t j = n; j < n + m; ++j) phase1_cost[j] = 1.0;
+        std::vector<bool> allow(n + m, true);
+        const LpStatus s1 =
+            state.iterate(phase1_cost, allow, max_iter, result.iterations);
+        if (s1 == LpStatus::iteration_limit) {
+            result.status = LpStatus::iteration_limit;
+            return result;
+        }
+        if (state.artificials_positive()) {
+            result.status = LpStatus::infeasible;
+            return result;
+        }
+        state.clean_artificials();
+    }
+
+    // Phase 2: minimize the real objective; artificials may not re-enter.
+    Vector phase2_cost(n + m, 0.0);
+    for (std::size_t j = 0; j < n; ++j) phase2_cost[j] = problem.c[j];
+    std::vector<bool> allow(n + m, false);
+    for (std::size_t j = 0; j < n; ++j) allow[j] = true;
+    const LpStatus s2 =
+        state.iterate(phase2_cost, allow, max_iter, result.iterations);
+
+    result.status = s2;
+    if (s2 == LpStatus::optimal) {
+        result.x = state.solution();
+        result.objective = dot(problem.c, result.x);
+        result.basis = state.basis();
+    }
+    return result;
+}
+
+}  // namespace tme::linalg

@@ -1,0 +1,52 @@
+// Two-phase revised simplex for linear programs in standard form:
+//
+//     minimize    c'x
+//     subject to  A x = b,   x >= 0
+//
+// This is the engine behind the paper's worst-case demand bounds
+// (Section 4.3.1): for every OD pair p we solve max/min s_p subject to
+// R s = t, s >= 0.  Those 2*P programs share one feasible region, so the
+// solver supports warm-starting from a previously optimal basis — phase 1
+// then runs once per network instead of once per program.
+//
+// Robustness features: Dantzig pricing with automatic fallback to Bland's
+// rule after a run of degenerate pivots (anti-cycling), explicit basis
+// inverse with periodic refactorization, and detection of redundant rows
+// (artificials stuck at zero after phase 1).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace tme::linalg {
+
+struct LpProblem {
+    Matrix a;  ///< m x n constraint matrix
+    Vector b;  ///< right-hand side (length m)
+    Vector c;  ///< objective (length n)
+};
+
+enum class LpStatus { optimal, infeasible, unbounded, iteration_limit };
+
+struct LpResult {
+    LpStatus status = LpStatus::iteration_limit;
+    Vector x;                 ///< primal solution (length n) when optimal
+    double objective = 0.0;   ///< c'x when optimal
+    std::size_t iterations = 0;
+    std::vector<std::size_t> basis;  ///< optimal basis (for warm starts)
+};
+
+struct LpOptions {
+    std::size_t max_iterations = 0;  ///< 0 = 50*(m+n)+1000
+    double tolerance = 1e-9;         ///< feasibility/optimality tolerance
+    /// Optional warm-start basis (column indices, one per row).  If the
+    /// basis is singular or infeasible the solver falls back to phase 1.
+    std::vector<std::size_t> initial_basis;
+};
+
+/// Solves the LP.  Throws std::invalid_argument on dimension mismatch.
+LpResult solve_lp(const LpProblem& problem, const LpOptions& options = {});
+
+}  // namespace tme::linalg

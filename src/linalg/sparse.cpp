@@ -1,0 +1,201 @@
+#include "linalg/sparse.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <stdexcept>
+
+namespace tme::linalg {
+
+SparseMatrix::SparseMatrix(std::size_t rows, std::size_t cols,
+                           std::vector<Triplet> triplets)
+    : rows_(rows), cols_(cols) {
+    for (const Triplet& t : triplets) {
+        if (t.row >= rows || t.col >= cols) {
+            throw std::invalid_argument("SparseMatrix: triplet out of range");
+        }
+    }
+    std::sort(triplets.begin(), triplets.end(),
+              [](const Triplet& a, const Triplet& b) {
+                  return a.row != b.row ? a.row < b.row : a.col < b.col;
+              });
+    offsets_.assign(rows_ + 1, 0);
+    cols_idx_.reserve(triplets.size());
+    values_.reserve(triplets.size());
+    std::size_t i = 0;
+    while (i < triplets.size()) {
+        // Sum duplicates.
+        std::size_t j = i;
+        double v = 0.0;
+        while (j < triplets.size() && triplets[j].row == triplets[i].row &&
+               triplets[j].col == triplets[i].col) {
+            v += triplets[j].value;
+            ++j;
+        }
+        if (v != 0.0) {
+            cols_idx_.push_back(triplets[i].col);
+            values_.push_back(v);
+            ++offsets_[triplets[i].row + 1];
+        }
+        i = j;
+    }
+    for (std::size_t r = 0; r < rows_; ++r) offsets_[r + 1] += offsets_[r];
+}
+
+SparseMatrix SparseMatrix::from_dense(const Matrix& dense, double drop_tol) {
+    std::vector<Triplet> trips;
+    for (std::size_t i = 0; i < dense.rows(); ++i) {
+        for (std::size_t j = 0; j < dense.cols(); ++j) {
+            const double v = dense(i, j);
+            if (std::abs(v) > drop_tol) trips.push_back({i, j, v});
+        }
+    }
+    return SparseMatrix(dense.rows(), dense.cols(), std::move(trips));
+}
+
+Vector SparseMatrix::multiply(const Vector& x) const {
+    if (x.size() != cols_) {
+        throw std::invalid_argument("SparseMatrix::multiply: size mismatch");
+    }
+    Vector y(rows_, 0.0);
+    for (std::size_t i = 0; i < rows_; ++i) {
+        double acc = 0.0;
+        for (std::size_t k = offsets_[i]; k < offsets_[i + 1]; ++k) {
+            acc += values_[k] * x[cols_idx_[k]];
+        }
+        y[i] = acc;
+    }
+    return y;
+}
+
+Vector SparseMatrix::multiply_transpose(const Vector& x) const {
+    if (x.size() != rows_) {
+        throw std::invalid_argument(
+            "SparseMatrix::multiply_transpose: size mismatch");
+    }
+    Vector y(cols_, 0.0);
+    for (std::size_t i = 0; i < rows_; ++i) {
+        const double xi = x[i];
+        if (xi == 0.0) continue;
+        for (std::size_t k = offsets_[i]; k < offsets_[i + 1]; ++k) {
+            y[cols_idx_[k]] += xi * values_[k];
+        }
+    }
+    return y;
+}
+
+Matrix SparseMatrix::gram() const {
+    Matrix g(cols_, cols_, 0.0);
+    for (std::size_t i = 0; i < rows_; ++i) {
+        for (std::size_t k = offsets_[i]; k < offsets_[i + 1]; ++k) {
+            const std::size_t p = cols_idx_[k];
+            const double vp = values_[k];
+            for (std::size_t l = k; l < offsets_[i + 1]; ++l) {
+                g(p, cols_idx_[l]) += vp * values_[l];
+            }
+        }
+    }
+    // The loop above fills the upper triangle (CSR columns are sorted per
+    // row); mirror it.
+    for (std::size_t p = 0; p < cols_; ++p) {
+        for (std::size_t q = 0; q < p; ++q) g(p, q) = g(q, p);
+    }
+    return g;
+}
+
+Matrix SparseMatrix::to_dense() const {
+    Matrix d(rows_, cols_, 0.0);
+    for (std::size_t i = 0; i < rows_; ++i) {
+        for (std::size_t k = offsets_[i]; k < offsets_[i + 1]; ++k) {
+            d(i, cols_idx_[k]) = values_[k];
+        }
+    }
+    return d;
+}
+
+double SparseMatrix::at(std::size_t i, std::size_t j) const {
+    if (i >= rows_ || j >= cols_) {
+        throw std::out_of_range("SparseMatrix::at: index out of range");
+    }
+    for (std::size_t k = offsets_[i]; k < offsets_[i + 1]; ++k) {
+        if (cols_idx_[k] == j) return values_[k];
+    }
+    return 0.0;
+}
+
+Vector SparseMatrix::row_dense(std::size_t i) const {
+    if (i >= rows_) {
+        throw std::out_of_range("SparseMatrix::row_dense: index out of range");
+    }
+    Vector r(cols_, 0.0);
+    for (std::size_t k = offsets_[i]; k < offsets_[i + 1]; ++k) {
+        r[cols_idx_[k]] = values_[k];
+    }
+    return r;
+}
+
+SparseMatrix SparseMatrix::select_columns(
+    const std::vector<std::size_t>& cols) const {
+    std::vector<std::size_t> new_index(cols_, SIZE_MAX);
+    for (std::size_t j = 0; j < cols.size(); ++j) {
+        if (cols[j] >= cols_) {
+            throw std::out_of_range("select_columns: index out of range");
+        }
+        new_index[cols[j]] = j;
+    }
+    std::vector<Triplet> trips;
+    for (std::size_t i = 0; i < rows_; ++i) {
+        for (std::size_t k = offsets_[i]; k < offsets_[i + 1]; ++k) {
+            const std::size_t nj = new_index[cols_idx_[k]];
+            if (nj != SIZE_MAX) trips.push_back({i, nj, values_[k]});
+        }
+    }
+    return SparseMatrix(rows_, cols.size(), std::move(trips));
+}
+
+SparseMatrix SparseMatrix::select_rows(
+    const std::vector<std::size_t>& rows) const {
+    std::vector<Triplet> trips;
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const std::size_t r = rows[i];
+        if (r >= rows_) {
+            throw std::out_of_range("select_rows: index out of range");
+        }
+        for (std::size_t k = offsets_[r]; k < offsets_[r + 1]; ++k) {
+            trips.push_back({i, cols_idx_[k], values_[k]});
+        }
+    }
+    return SparseMatrix(rows.size(), cols_, std::move(trips));
+}
+
+std::size_t SparseMatrix::column_nonzeros(std::size_t j) const {
+    std::size_t count = 0;
+    for (std::size_t c : cols_idx_) {
+        if (c == j) ++count;
+    }
+    return count;
+}
+
+SparseMatrix sparse_vstack(const SparseMatrix& a, const SparseMatrix& b) {
+    if (a.cols() != b.cols()) {
+        throw std::invalid_argument("sparse_vstack: column count mismatch");
+    }
+    std::vector<Triplet> trips;
+    trips.reserve(a.nonzeros() + b.nonzeros());
+    const auto& ao = a.row_offsets();
+    for (std::size_t i = 0; i < a.rows(); ++i) {
+        for (std::size_t k = ao[i]; k < ao[i + 1]; ++k) {
+            trips.push_back({i, a.column_indices()[k], a.values()[k]});
+        }
+    }
+    const auto& bo = b.row_offsets();
+    for (std::size_t i = 0; i < b.rows(); ++i) {
+        for (std::size_t k = bo[i]; k < bo[i + 1]; ++k) {
+            trips.push_back(
+                {a.rows() + i, b.column_indices()[k], b.values()[k]});
+        }
+    }
+    return SparseMatrix(a.rows() + b.rows(), a.cols(), std::move(trips));
+}
+
+}  // namespace tme::linalg

@@ -1,0 +1,83 @@
+// Compressed-sparse-row matrix.
+//
+// Routing matrices R (links x OD-pairs) are very sparse: a column has one
+// nonzero per link on the OD pair's path.  The estimation solvers need
+// R*x, R'*x, Gram products R'R, and row/column slicing; all are provided
+// here without densifying.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "linalg/vector_ops.hpp"
+
+namespace tme::linalg {
+
+/// One nonzero entry for triplet-based construction.
+struct Triplet {
+    std::size_t row = 0;
+    std::size_t col = 0;
+    double value = 0.0;
+};
+
+/// Immutable CSR sparse matrix.  Duplicate triplets are summed.
+class SparseMatrix {
+  public:
+    SparseMatrix() = default;
+
+    /// Builds from triplets; entries that sum to exactly zero are kept out.
+    SparseMatrix(std::size_t rows, std::size_t cols,
+                 std::vector<Triplet> triplets);
+
+    static SparseMatrix from_dense(const Matrix& dense,
+                                   double drop_tol = 0.0);
+
+    std::size_t rows() const { return rows_; }
+    std::size_t cols() const { return cols_; }
+    std::size_t nonzeros() const { return values_.size(); }
+
+    /// y = A x.
+    Vector multiply(const Vector& x) const;
+
+    /// y = A' x.
+    Vector multiply_transpose(const Vector& x) const;
+
+    /// Dense Gram matrix G = A' A (cols x cols).
+    Matrix gram() const;
+
+    /// Dense copy.
+    Matrix to_dense() const;
+
+    /// Entry lookup (O(row nnz)); returns 0 for structural zeros.
+    double at(std::size_t i, std::size_t j) const;
+
+    /// Copies row i into a dense vector of length cols().
+    Vector row_dense(std::size_t i) const;
+
+    /// New matrix keeping only the given columns (in the given order).
+    SparseMatrix select_columns(const std::vector<std::size_t>& cols) const;
+
+    /// New matrix keeping only the given rows (in the given order).
+    SparseMatrix select_rows(const std::vector<std::size_t>& rows) const;
+
+    /// Number of nonzeros in column j (O(nnz) scan).
+    std::size_t column_nonzeros(std::size_t j) const;
+
+    // Raw CSR access for tight solver loops.
+    const std::vector<std::size_t>& row_offsets() const { return offsets_; }
+    const std::vector<std::size_t>& column_indices() const { return cols_idx_; }
+    const std::vector<double>& values() const { return values_; }
+
+  private:
+    std::size_t rows_ = 0;
+    std::size_t cols_ = 0;
+    std::vector<std::size_t> offsets_;   // rows_+1 entries
+    std::vector<std::size_t> cols_idx_;  // column index per nonzero
+    std::vector<double> values_;
+};
+
+/// Stacks A over B (A.cols() == B.cols()).
+SparseMatrix sparse_vstack(const SparseMatrix& a, const SparseMatrix& b);
+
+}  // namespace tme::linalg

@@ -1,0 +1,177 @@
+#include "linalg/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace tme::linalg {
+
+double mean(const Vector& x) {
+    if (x.empty()) throw std::invalid_argument("mean: empty sample");
+    return sum(x) / static_cast<double>(x.size());
+}
+
+double variance(const Vector& x) {
+    if (x.size() < 2) return 0.0;
+    const double m = mean(x);
+    double acc = 0.0;
+    for (double v : x) acc += (v - m) * (v - m);
+    return acc / static_cast<double>(x.size() - 1);
+}
+
+Vector sample_mean(const std::vector<Vector>& samples) {
+    if (samples.empty()) {
+        throw std::invalid_argument("sample_mean: no samples");
+    }
+    const std::size_t n = samples.front().size();
+    Vector m(n, 0.0);
+    for (const Vector& s : samples) {
+        if (s.size() != n) {
+            throw std::invalid_argument("sample_mean: ragged samples");
+        }
+        axpy(1.0, s, m);
+    }
+    scale(1.0 / static_cast<double>(samples.size()), m);
+    return m;
+}
+
+Matrix sample_covariance(const std::vector<Vector>& samples) {
+    if (samples.empty()) {
+        throw std::invalid_argument("sample_covariance: no samples");
+    }
+    const std::size_t n = samples.front().size();
+    const Vector m = sample_mean(samples);
+    Matrix cov(n, n, 0.0);
+    for (const Vector& s : samples) {
+        Vector d = sub(s, m);
+        for (std::size_t i = 0; i < n; ++i) {
+            if (d[i] == 0.0) continue;
+            for (std::size_t j = i; j < n; ++j) {
+                cov(i, j) += d[i] * d[j];
+            }
+        }
+    }
+    const double inv_k = 1.0 / static_cast<double>(samples.size());
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = i; j < n; ++j) {
+            cov(i, j) *= inv_k;
+            cov(j, i) = cov(i, j);
+        }
+    }
+    return cov;
+}
+
+LineFit fit_line(const Vector& x, const Vector& y) {
+    if (x.size() != y.size() || x.size() < 2) {
+        throw std::invalid_argument("fit_line: need >= 2 paired points");
+    }
+    const double mx = mean(x);
+    const double my = mean(y);
+    double sxx = 0.0;
+    double sxy = 0.0;
+    double syy = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        const double dx = x[i] - mx;
+        const double dy = y[i] - my;
+        sxx += dx * dx;
+        sxy += dx * dy;
+        syy += dy * dy;
+    }
+    LineFit fit;
+    if (sxx == 0.0) {
+        fit.slope = 0.0;
+        fit.intercept = my;
+        fit.r_squared = 0.0;
+        return fit;
+    }
+    fit.slope = sxy / sxx;
+    fit.intercept = my - fit.slope * mx;
+    fit.r_squared = (syy == 0.0 ? 1.0 : (sxy * sxy) / (sxx * syy));
+    return fit;
+}
+
+ScalingLawFit fit_scaling_law(const Vector& means, const Vector& variances,
+                              double floor) {
+    if (means.size() != variances.size()) {
+        throw std::invalid_argument("fit_scaling_law: size mismatch");
+    }
+    Vector lx;
+    Vector ly;
+    for (std::size_t i = 0; i < means.size(); ++i) {
+        if (means[i] > floor && variances[i] > floor) {
+            lx.push_back(std::log(means[i]));
+            ly.push_back(std::log(variances[i]));
+        }
+    }
+    ScalingLawFit fit;
+    fit.points_used = lx.size();
+    if (lx.size() < 2) return fit;
+    const LineFit line = fit_line(lx, ly);
+    fit.phi = std::exp(line.intercept);
+    fit.c = line.slope;
+    fit.r_squared = line.r_squared;
+    return fit;
+}
+
+double pearson(const Vector& x, const Vector& y) {
+    if (x.size() != y.size() || x.size() < 2) {
+        throw std::invalid_argument("pearson: need >= 2 paired points");
+    }
+    const double mx = mean(x);
+    const double my = mean(y);
+    double sxx = 0.0;
+    double sxy = 0.0;
+    double syy = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        const double dx = x[i] - mx;
+        const double dy = y[i] - my;
+        sxx += dx * dx;
+        sxy += dx * dy;
+        syy += dy * dy;
+    }
+    if (sxx == 0.0 || syy == 0.0) return 0.0;
+    return sxy / std::sqrt(sxx * syy);
+}
+
+namespace {
+
+Vector ranks(const Vector& x) {
+    std::vector<std::size_t> order(x.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(),
+              [&x](std::size_t a, std::size_t b) { return x[a] < x[b]; });
+    Vector r(x.size(), 0.0);
+    std::size_t i = 0;
+    while (i < order.size()) {
+        std::size_t j = i;
+        while (j + 1 < order.size() && x[order[j + 1]] == x[order[i]]) ++j;
+        // Average rank over the tie group [i, j].
+        const double avg = (static_cast<double>(i) + static_cast<double>(j)) /
+                               2.0 + 1.0;
+        for (std::size_t k = i; k <= j; ++k) r[order[k]] = avg;
+        i = j + 1;
+    }
+    return r;
+}
+
+}  // namespace
+
+double spearman(const Vector& x, const Vector& y) {
+    return pearson(ranks(x), ranks(y));
+}
+
+double quantile(Vector x, double q) {
+    if (x.empty()) throw std::invalid_argument("quantile: empty sample");
+    if (q < 0.0 || q > 1.0) {
+        throw std::invalid_argument("quantile: q outside [0, 1]");
+    }
+    std::sort(x.begin(), x.end());
+    const double pos = q * static_cast<double>(x.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(pos);
+    const std::size_t hi = std::min(lo + 1, x.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return x[lo] * (1.0 - frac) + x[hi] * frac;
+}
+
+}  // namespace tme::linalg

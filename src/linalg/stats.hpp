@@ -1,0 +1,58 @@
+// Statistics used by the paper's data analysis (Section 5.2): sample
+// moments of multivariate time series, the mean-variance log-log
+// regression that fits Var{s_p} = phi * lambda_p^c, correlation metrics
+// used to compare estimated and true traffic matrices, and quantiles.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "linalg/vector_ops.hpp"
+
+namespace tme::linalg {
+
+/// Arithmetic mean of a scalar sample; throws on empty input.
+double mean(const Vector& x);
+
+/// Unbiased (n-1) sample variance; returns 0 for n < 2.
+double variance(const Vector& x);
+
+/// Per-coordinate sample mean of a vector time series samples[k] (all of
+/// equal length).
+Vector sample_mean(const std::vector<Vector>& samples);
+
+/// Sample covariance matrix (normalized by K, matching the paper's
+/// Sigma-hat definition in Section 4.2.2).
+Matrix sample_covariance(const std::vector<Vector>& samples);
+
+/// Ordinary least squares fit y ~ intercept + slope * x.
+struct LineFit {
+    double intercept = 0.0;
+    double slope = 0.0;
+    double r_squared = 0.0;
+};
+LineFit fit_line(const Vector& x, const Vector& y);
+
+/// Fits the scaling law var = phi * mean^c over strictly positive pairs
+/// by regressing log(var) on log(mean).  Pairs with mean or var below
+/// `floor` are skipped.  Returns {phi, c, r^2 of the log-log fit}.
+struct ScalingLawFit {
+    double phi = 0.0;
+    double c = 0.0;
+    double r_squared = 0.0;
+    std::size_t points_used = 0;
+};
+ScalingLawFit fit_scaling_law(const Vector& means, const Vector& variances,
+                              double floor = 0.0);
+
+/// Pearson linear correlation coefficient.
+double pearson(const Vector& x, const Vector& y);
+
+/// Spearman rank correlation (average ranks on ties).
+double spearman(const Vector& x, const Vector& y);
+
+/// q-th quantile (0 <= q <= 1) with linear interpolation.
+double quantile(Vector x, double q);
+
+}  // namespace tme::linalg

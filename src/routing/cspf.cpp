@@ -1,0 +1,110 @@
+#include "routing/cspf.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace tme::routing {
+
+BandwidthLedger::BandwidthLedger(const topology::Topology& topo,
+                                 double max_utilization)
+    : topo_(&topo),
+      max_utilization_(max_utilization),
+      reserved_(topo.link_count(), 0.0) {
+    if (max_utilization <= 0.0) {
+        throw std::invalid_argument(
+            "BandwidthLedger: max_utilization must be positive");
+    }
+}
+
+double BandwidthLedger::available(std::size_t link_id) const {
+    const topology::Link& l = topo_->link(link_id);
+    return l.capacity_mbps * max_utilization_ - reserved_[link_id];
+}
+
+bool BandwidthLedger::can_fit(std::size_t link_id, double mbps) const {
+    return available(link_id) >= mbps - 1e-9;
+}
+
+void BandwidthLedger::reserve(const Path& path, double mbps) {
+    for (std::size_t lid : path) {
+        if (!can_fit(lid, mbps)) {
+            throw std::logic_error("BandwidthLedger: over-reservation");
+        }
+    }
+    for (std::size_t lid : path) reserved_[lid] += mbps;
+}
+
+double BandwidthLedger::reserved(std::size_t link_id) const {
+    if (link_id >= reserved_.size()) {
+        throw std::out_of_range("BandwidthLedger::reserved");
+    }
+    return reserved_[link_id];
+}
+
+std::optional<Lsp> route_lsp(const topology::Topology& topo,
+                             BandwidthLedger& ledger, std::size_t src,
+                             std::size_t dst, double bandwidth_mbps,
+                             const CspfOptions& options) {
+    Lsp lsp;
+    lsp.src = src;
+    lsp.dst = dst;
+    lsp.bandwidth_mbps = bandwidth_mbps;
+
+    // CSPF: prune links that cannot fit the LSP.
+    const LinkFilter fit = [&ledger, bandwidth_mbps](const topology::Link& l) {
+        return ledger.can_fit(l.id, bandwidth_mbps);
+    };
+    if (auto path = shortest_path(topo, src, dst, fit)) {
+        lsp.path = std::move(*path);
+        lsp.constrained = true;
+        ledger.reserve(lsp.path, bandwidth_mbps);
+        return lsp;
+    }
+    if (!options.fallback_to_igp) return std::nullopt;
+    // Unconstrained fallback: the LSP is set up along the IGP path without
+    // reserving (it would not fit), mirroring an operator temporarily
+    // oversubscribing rather than blackholing traffic.
+    if (auto path = shortest_path(topo, src, dst)) {
+        lsp.path = std::move(*path);
+        lsp.constrained = false;
+        return lsp;
+    }
+    return std::nullopt;
+}
+
+std::vector<Lsp> build_lsp_mesh(const topology::Topology& topo,
+                                const std::vector<double>& bandwidth,
+                                const CspfOptions& options) {
+    const std::size_t pairs = topo.pair_count();
+    if (bandwidth.size() != pairs) {
+        throw std::invalid_argument("build_lsp_mesh: bandwidth size mismatch");
+    }
+    // Descending bandwidth order; ties broken by pair index for
+    // determinism.
+    std::vector<std::size_t> order(pairs);
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(),
+              [&bandwidth](std::size_t a, std::size_t b) {
+                  if (bandwidth[a] != bandwidth[b]) {
+                      return bandwidth[a] > bandwidth[b];
+                  }
+                  return a < b;
+              });
+
+    BandwidthLedger ledger(topo, options.max_utilization);
+    std::vector<Lsp> mesh(pairs);
+    for (std::size_t p : order) {
+        const auto [src, dst] = topo.pair_nodes(p);
+        auto lsp = route_lsp(topo, ledger, src, dst, bandwidth[p], options);
+        if (!lsp) {
+            throw std::runtime_error("build_lsp_mesh: unreachable PoP pair " +
+                                     topo.pop(src).name + " -> " +
+                                     topo.pop(dst).name);
+        }
+        mesh[p] = std::move(*lsp);
+    }
+    return mesh;
+}
+
+}  // namespace tme::routing

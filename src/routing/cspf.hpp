@@ -1,0 +1,83 @@
+// Constraint-based shortest path first (CSPF) with RSVP-TE-style
+// bandwidth accounting, and the full-mesh LSP setup used by the paper's
+// operator network (Section 5.1.1):
+//
+//   "A mesh of Label Switched Paths has been established between all the
+//    core routers ... Every LSP has a bandwidth value associated with it,
+//    and the head-end will use a constraint based routing algorithm
+//    (CSPF) to find the shortest path that has the required bandwidth
+//    available."
+//
+// The paper's authors reproduce the operator's routing by simulating
+// CSPF with Cariden MATE; this module is our open equivalent.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "routing/dijkstra.hpp"
+#include "topology/topology.hpp"
+
+namespace tme::routing {
+
+/// Tracks unreserved bandwidth per link during LSP placement.
+class BandwidthLedger {
+  public:
+    explicit BandwidthLedger(const topology::Topology& topo,
+                             double max_utilization = 1.0);
+
+    /// Unreserved capacity remaining on a link.
+    double available(std::size_t link_id) const;
+
+    /// Reserves `mbps` on every link of `path`; throws std::logic_error if
+    /// any reservation would exceed the allowed utilization (callers are
+    /// expected to have routed with `can_fit`).
+    void reserve(const Path& path, double mbps);
+
+    /// True when the link can accept `mbps` more.
+    bool can_fit(std::size_t link_id, double mbps) const;
+
+    double reserved(std::size_t link_id) const;
+
+  private:
+    const topology::Topology* topo_;
+    double max_utilization_;
+    std::vector<double> reserved_;
+};
+
+struct Lsp {
+    std::size_t src = 0;
+    std::size_t dst = 0;
+    double bandwidth_mbps = 0.0;
+    Path path;
+    bool constrained = false;  ///< true if placed respecting bandwidth
+};
+
+struct CspfOptions {
+    /// Fraction of link capacity CSPF may reserve (RSVP subscription).
+    double max_utilization = 1.0;
+    /// When no bandwidth-feasible path exists, fall back to the
+    /// unconstrained shortest path (the LSP is then marked
+    /// constrained=false) instead of failing.
+    bool fallback_to_igp = true;
+};
+
+/// Routes one LSP with CSPF against the ledger; reserves on success.
+/// Returns std::nullopt only when the destination is unreachable even
+/// without constraints (or fallback disabled and no feasible path).
+std::optional<Lsp> route_lsp(const topology::Topology& topo,
+                             BandwidthLedger& ledger, std::size_t src,
+                             std::size_t dst, double bandwidth_mbps,
+                             const CspfOptions& options = {});
+
+/// Sets up the full LSP mesh: one LSP per ordered PoP pair, placed in
+/// descending bandwidth order (the usual offline TE ordering, which also
+/// makes placement deterministic).  `bandwidth` is indexed by
+/// Topology::pair_index.  Throws std::runtime_error if any destination is
+/// unreachable.
+std::vector<Lsp> build_lsp_mesh(const topology::Topology& topo,
+                                const std::vector<double>& bandwidth,
+                                const CspfOptions& options = {});
+
+}  // namespace tme::routing

@@ -1,0 +1,104 @@
+#include "routing/dijkstra.hpp"
+
+#include <limits>
+#include <queue>
+#include <stdexcept>
+#include <tuple>
+
+namespace tme::routing {
+
+ShortestPathTree dijkstra(const topology::Topology& topo, std::size_t src,
+                          const LinkFilter& filter) {
+    const std::size_t n = topo.pop_count();
+    if (src >= n) throw std::out_of_range("dijkstra: bad source");
+
+    ShortestPathTree tree;
+    tree.distance.assign(n, std::numeric_limits<double>::infinity());
+    tree.hops.assign(n, 0);
+    tree.via_link.assign(n, std::nullopt);
+    tree.distance[src] = 0.0;
+
+    // Priority queue keyed by (distance, hops, pop) for deterministic
+    // tie-breaking.
+    using Entry = std::tuple<double, std::size_t, std::size_t>;
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> pq;
+    pq.push({0.0, 0, src});
+    std::vector<bool> settled(n, false);
+
+    while (!pq.empty()) {
+        const auto [dist, hops, u] = pq.top();
+        pq.pop();
+        if (settled[u]) continue;
+        settled[u] = true;
+        for (std::size_t lid : topo.outgoing_core(u)) {
+            const topology::Link& l = topo.link(lid);
+            if (filter && !filter(l)) continue;
+            const double nd = dist + l.igp_metric;
+            const std::size_t nh = hops + 1;
+            const std::size_t v = l.dst;
+            const bool better =
+                nd < tree.distance[v] ||
+                (nd == tree.distance[v] &&
+                 (nh < tree.hops[v] ||
+                  (nh == tree.hops[v] && tree.via_link[v] &&
+                   lid < *tree.via_link[v])));
+            if (!settled[v] && better) {
+                tree.distance[v] = nd;
+                tree.hops[v] = nh;
+                tree.via_link[v] = lid;
+                pq.push({nd, nh, v});
+            }
+        }
+    }
+    return tree;
+}
+
+std::optional<Path> extract_path(const topology::Topology& topo,
+                                 const ShortestPathTree& tree,
+                                 std::size_t src, std::size_t dst) {
+    if (dst >= tree.distance.size()) {
+        throw std::out_of_range("extract_path: bad destination");
+    }
+    if (tree.distance[dst] == std::numeric_limits<double>::infinity()) {
+        return std::nullopt;
+    }
+    Path reversed;
+    std::size_t cur = dst;
+    while (cur != src) {
+        if (!tree.via_link[cur]) return std::nullopt;
+        const std::size_t lid = *tree.via_link[cur];
+        reversed.push_back(lid);
+        cur = topo.link(lid).src;
+        if (reversed.size() > topo.pop_count()) {
+            return std::nullopt;  // defensive: corrupt tree
+        }
+    }
+    return Path(reversed.rbegin(), reversed.rend());
+}
+
+std::optional<Path> shortest_path(const topology::Topology& topo,
+                                  std::size_t src, std::size_t dst,
+                                  const LinkFilter& filter) {
+    return extract_path(topo, dijkstra(topo, src, filter), src, dst);
+}
+
+double path_metric(const topology::Topology& topo, const Path& path) {
+    double acc = 0.0;
+    for (std::size_t lid : path) acc += topo.link(lid).igp_metric;
+    return acc;
+}
+
+bool path_is_valid(const topology::Topology& topo, std::size_t src,
+                   std::size_t dst, const Path& path) {
+    if (path.empty()) return src == dst;
+    std::size_t cur = src;
+    for (std::size_t lid : path) {
+        if (lid >= topo.link_count()) return false;
+        const topology::Link& l = topo.link(lid);
+        if (l.kind != topology::LinkKind::core || l.src != cur) return false;
+        cur = l.dst;
+    }
+    return cur == dst;
+}
+
+}  // namespace tme::routing

@@ -1,0 +1,54 @@
+// Shortest-path computation over a topology's core links.
+//
+// Deterministic tie-breaking (by path length in hops, then by smallest
+// predecessor link id) makes routing reproducible across runs, which the
+// evaluation pipeline relies on.  A link filter supports CSPF pruning
+// (exclude links with insufficient unreserved bandwidth) and failure
+// what-if analysis (exclude failed links).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "topology/topology.hpp"
+
+namespace tme::routing {
+
+/// A path is the sequence of core link ids from source PoP to
+/// destination PoP.
+using Path = std::vector<std::size_t>;
+
+/// Predicate deciding whether a core link may be used.
+using LinkFilter = std::function<bool(const topology::Link&)>;
+
+struct ShortestPathTree {
+    std::vector<double> distance;            ///< per PoP; +inf if unreachable
+    std::vector<std::size_t> hops;           ///< hop count of chosen path
+    std::vector<std::optional<std::size_t>> via_link;  ///< predecessor link
+};
+
+/// Dijkstra from `src` over all core links passing `filter` (nullptr means
+/// all links pass).  Metric is Link::igp_metric.
+ShortestPathTree dijkstra(const topology::Topology& topo, std::size_t src,
+                          const LinkFilter& filter = nullptr);
+
+/// Extracts the path src -> dst from a tree; std::nullopt if unreachable.
+std::optional<Path> extract_path(const topology::Topology& topo,
+                                 const ShortestPathTree& tree,
+                                 std::size_t src, std::size_t dst);
+
+/// Convenience: single-pair shortest path.
+std::optional<Path> shortest_path(const topology::Topology& topo,
+                                  std::size_t src, std::size_t dst,
+                                  const LinkFilter& filter = nullptr);
+
+/// Total metric of a path.
+double path_metric(const topology::Topology& topo, const Path& path);
+
+/// Validates that `path` is a contiguous src->dst walk over core links.
+bool path_is_valid(const topology::Topology& topo, std::size_t src,
+                   std::size_t dst, const Path& path);
+
+}  // namespace tme::routing

@@ -1,0 +1,131 @@
+#include "routing/routing_matrix.hpp"
+
+#include <stdexcept>
+
+namespace tme::routing {
+
+linalg::SparseMatrix build_routing_matrix(const topology::Topology& topo,
+                                          const std::vector<Lsp>& mesh) {
+    const std::size_t pairs = topo.pair_count();
+    if (mesh.size() != pairs) {
+        throw std::invalid_argument(
+            "build_routing_matrix: mesh size mismatch");
+    }
+    std::vector<linalg::Triplet> trips;
+    trips.reserve(pairs * 6);
+    for (std::size_t p = 0; p < pairs; ++p) {
+        const auto [src, dst] = topo.pair_nodes(p);
+        const Lsp& lsp = mesh[p];
+        if (lsp.src != src || lsp.dst != dst) {
+            throw std::invalid_argument(
+                "build_routing_matrix: mesh entry does not match pair");
+        }
+        if (!path_is_valid(topo, src, dst, lsp.path)) {
+            throw std::invalid_argument(
+                "build_routing_matrix: invalid LSP path");
+        }
+        trips.push_back({topo.ingress_link(src), p, 1.0});
+        trips.push_back({topo.egress_link(dst), p, 1.0});
+        for (std::size_t lid : lsp.path) trips.push_back({lid, p, 1.0});
+    }
+    return linalg::SparseMatrix(topo.link_count(), pairs, std::move(trips));
+}
+
+linalg::SparseMatrix igp_routing_matrix(const topology::Topology& topo) {
+    const std::size_t pairs = topo.pair_count();
+    std::vector<Lsp> mesh(pairs);
+    for (std::size_t src = 0; src < topo.pop_count(); ++src) {
+        const ShortestPathTree tree = dijkstra(topo, src);
+        for (std::size_t dst = 0; dst < topo.pop_count(); ++dst) {
+            if (src == dst) continue;
+            auto path = extract_path(topo, tree, src, dst);
+            if (!path) {
+                throw std::runtime_error(
+                    "igp_routing_matrix: disconnected topology");
+            }
+            const std::size_t p = topo.pair_index(src, dst);
+            mesh[p].src = src;
+            mesh[p].dst = dst;
+            mesh[p].path = std::move(*path);
+            mesh[p].constrained = true;
+        }
+    }
+    return build_routing_matrix(topo, mesh);
+}
+
+linalg::Vector link_loads(const linalg::SparseMatrix& routing,
+                          const linalg::Vector& demands) {
+    return routing.multiply(demands);
+}
+
+std::string validate_routing_matrix(const topology::Topology& topo,
+                                    const linalg::SparseMatrix& routing) {
+    if (routing.rows() != topo.link_count() ||
+        routing.cols() != topo.pair_count()) {
+        return "dimension mismatch";
+    }
+    for (std::size_t p = 0; p < routing.cols(); ++p) {
+        const auto [src, dst] = topo.pair_nodes(p);
+        // Reconstruct this column.
+        std::size_t in_hits = 0;
+        std::size_t out_hits = 0;
+        Path core;
+        for (std::size_t l = 0; l < routing.rows(); ++l) {
+            const double v = routing.at(l, p);
+            if (v == 0.0) continue;
+            const topology::Link& link = topo.link(l);
+            switch (link.kind) {
+                case topology::LinkKind::access_in:
+                    if (l != topo.ingress_link(src)) {
+                        return "pair " + std::to_string(p) +
+                               ": wrong ingress link";
+                    }
+                    ++in_hits;
+                    break;
+                case topology::LinkKind::access_out:
+                    if (l != topo.egress_link(dst)) {
+                        return "pair " + std::to_string(p) +
+                               ": wrong egress link";
+                    }
+                    ++out_hits;
+                    break;
+                case topology::LinkKind::core:
+                    core.push_back(l);
+                    break;
+            }
+        }
+        if (in_hits != 1) {
+            return "pair " + std::to_string(p) + ": ingress row count != 1";
+        }
+        if (out_hits != 1) {
+            return "pair " + std::to_string(p) + ": egress row count != 1";
+        }
+        // Core links from at() scan are ordered by link id, not by path
+        // order; re-walk them greedily from src.
+        Path ordered;
+        std::size_t cur = src;
+        while (cur != dst) {
+            bool advanced = false;
+            for (std::size_t lid : core) {
+                if (topo.link(lid).src == cur) {
+                    ordered.push_back(lid);
+                    cur = topo.link(lid).dst;
+                    advanced = true;
+                    break;
+                }
+            }
+            if (!advanced) {
+                return "pair " + std::to_string(p) + ": broken core path";
+            }
+            if (ordered.size() > core.size()) {
+                return "pair " + std::to_string(p) + ": core path loop";
+            }
+        }
+        if (ordered.size() != core.size()) {
+            return "pair " + std::to_string(p) + ": stray core links";
+        }
+    }
+    return {};
+}
+
+}  // namespace tme::routing

@@ -1,0 +1,38 @@
+// Routing matrix construction (paper eq. (1)).
+//
+// R is an L x P 0/1 matrix (fractional entries supported for multipath):
+// r_lp = 1 iff the demand of ordered PoP pair p traverses link l.  Rows
+// cover ALL links — each pair's column contains the ingress edge link of
+// its source, the egress edge link of its destination, and every core
+// link on its LSP path.  With this convention the edge-link rows of
+// t = R s are exactly the node totals t_e(n) and t_x(m) used by the
+// gravity and fanout formulations.
+#pragma once
+
+#include <vector>
+
+#include "linalg/sparse.hpp"
+#include "routing/cspf.hpp"
+#include "topology/topology.hpp"
+
+namespace tme::routing {
+
+/// Builds R from an LSP mesh (mesh[p] routes pair p).
+linalg::SparseMatrix build_routing_matrix(const topology::Topology& topo,
+                                          const std::vector<Lsp>& mesh);
+
+/// Builds R from plain IGP shortest paths (no bandwidth constraints);
+/// convenient for tests.
+linalg::SparseMatrix igp_routing_matrix(const topology::Topology& topo);
+
+/// Link loads t = R s for a demand vector s (paper eq. (2)).
+linalg::Vector link_loads(const linalg::SparseMatrix& routing,
+                          const linalg::Vector& demands);
+
+/// Sanity checks on a routing matrix: every column must contain exactly
+/// one access_in row, one access_out row, and a contiguous core path.
+/// Returns a human-readable problem description, or empty if consistent.
+std::string validate_routing_matrix(const topology::Topology& topo,
+                                    const linalg::SparseMatrix& routing);
+
+}  // namespace tme::routing

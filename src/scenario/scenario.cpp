@@ -1,0 +1,240 @@
+#include "scenario/scenario.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "linalg/cholesky.hpp"
+#include "linalg/stats.hpp"
+#include "routing/routing_matrix.hpp"
+#include "topology/builders.hpp"
+#include "traffic/demand_model.hpp"
+
+namespace tme::scenario {
+
+core::SeriesProblem Scenario::busy_series() const {
+    return busy_series_window(busy_length);
+}
+
+core::SeriesProblem Scenario::busy_series_window(std::size_t k) const {
+    if (k == 0 || busy_start + k > loads.size()) {
+        throw std::invalid_argument("busy_series_window: bad window");
+    }
+    core::SeriesProblem problem;
+    problem.topo = &topo;
+    problem.routing = &routing;
+    problem.loads.assign(loads.begin() + static_cast<std::ptrdiff_t>(busy_start),
+                         loads.begin() + static_cast<std::ptrdiff_t>(busy_start + k));
+    return problem;
+}
+
+core::SnapshotProblem Scenario::busy_snapshot() const {
+    core::SnapshotProblem problem;
+    problem.topo = &topo;
+    problem.routing = &routing;
+    problem.loads = loads[busy_mid()];
+    return problem;
+}
+
+const linalg::Vector& Scenario::busy_snapshot_demands() const {
+    return demands[busy_mid()];
+}
+
+linalg::Vector Scenario::busy_mean_demands() const {
+    std::vector<linalg::Vector> window(
+        demands.begin() + static_cast<std::ptrdiff_t>(busy_start),
+        demands.begin() + static_cast<std::ptrdiff_t>(busy_start + busy_length));
+    return linalg::sample_mean(window);
+}
+
+double Scenario::total_at(std::size_t k) const {
+    return linalg::sum(demands.at(k));
+}
+
+namespace {
+
+// Orthogonal projection of x onto the row space of R, computed via the
+// normal equations on RR' (regularized for rank deficiency).
+linalg::Vector project_rowspace(const linalg::SparseMatrix& r,
+                                const linalg::Vector& x) {
+    const std::size_t links = r.rows();
+    // RR' assembled densely (links x links; at most 284 here).
+    const linalg::Matrix dense = r.to_dense();
+    linalg::Matrix rrt(links, links, 0.0);
+    for (std::size_t i = 0; i < links; ++i) {
+        for (std::size_t j = i; j < links; ++j) {
+            double acc = 0.0;
+            for (std::size_t k = 0; k < dense.cols(); ++k) {
+                acc += dense(i, k) * dense(j, k);
+            }
+            rrt(i, j) = acc;
+            rrt(j, i) = acc;
+        }
+    }
+    const linalg::Vector w =
+        linalg::solve_spd_robust(rrt, r.multiply(x));
+    return r.multiply_transpose(w);
+}
+
+Scenario assemble(std::string name, topology::Topology topo,
+                  const traffic::DemandModelConfig& demand_config,
+                  const traffic::SeriesConfig& series_config,
+                  std::size_t busy_start, double rowspace_alignment) {
+    Scenario sc;
+    sc.name = std::move(name);
+    sc.topo = std::move(topo);
+    sc.busy_start = busy_start;
+    sc.busy_length = 50;
+
+    // Spatial base demands (normalized to unit total).
+    sc.base_mean = traffic::base_demands(sc.topo, demand_config);
+
+    // CSPF LSP mesh: bandwidth values from the base demands, scaled so
+    // the largest demand is ~1200 Mbps (the paper mentions this as the
+    // order of the largest demands).
+    double max_base = 0.0;
+    for (double v : sc.base_mean) max_base = std::max(max_base, v);
+    sc.scale_mbps = 1200.0 / std::max(max_base, 1e-12);
+    linalg::Vector bandwidth = sc.base_mean;
+    for (double& v : bandwidth) v *= sc.scale_mbps;
+    routing::CspfOptions cspf;
+    cspf.max_utilization = 1.0;
+    cspf.fallback_to_igp = true;
+    const std::vector<routing::Lsp> mesh =
+        routing::build_lsp_mesh(sc.topo, bandwidth, cspf);
+    sc.routing = routing::build_routing_matrix(sc.topo, mesh);
+
+    // Row-space alignment (see the header): shrink the component of the
+    // matrix's own gravity error that the link loads cannot see.  The
+    // error is measured against the matrix's gravity image (so it covers
+    // the structural zero-diagonal bias as well as jitter/hotspots); a
+    // few sweeps are needed because reshaping changes the marginals.
+    if (rowspace_alignment > 0.0) {
+        const linalg::Vector structural =
+            traffic::structural_demands(sc.topo);
+        const std::size_t nodes = sc.topo.pop_count();
+        for (int sweep = 0; sweep < 3; ++sweep) {
+            const linalg::Vector gravity_image =
+                traffic::gravity_from_marginals(nodes, sc.base_mean);
+            linalg::Vector pert =
+                linalg::sub(sc.base_mean, gravity_image);
+            const linalg::Vector visible =
+                project_rowspace(sc.routing, pert);
+            double total = 0.0;
+            for (std::size_t p = 0; p < sc.base_mean.size(); ++p) {
+                const double hidden = pert[p] - visible[p];
+                double v = gravity_image[p] + visible[p] +
+                           (1.0 - rowspace_alignment) * hidden;
+                // Keep demands positive; tiny floor relative to the
+                // structural pattern.
+                v = std::max(v, 0.01 * structural[p]);
+                sc.base_mean[p] = v;
+                total += v;
+            }
+            for (double& v : sc.base_mean) v /= total;
+        }
+    }
+
+    // 24 h of 5-minute traffic matrices.
+    sc.demands = traffic::generate_series(sc.topo, sc.base_mean,
+                                          series_config);
+
+    // Normalize by the maximum total traffic over the period (the paper
+    // scales all plots this way).
+    double max_total = 0.0;
+    for (const linalg::Vector& s : sc.demands) {
+        max_total = std::max(max_total, linalg::sum(s));
+    }
+    if (max_total <= 0.0) {
+        throw std::logic_error("assemble: degenerate traffic series");
+    }
+    for (linalg::Vector& s : sc.demands) {
+        for (double& v : s) v /= max_total;
+    }
+    for (double& v : sc.base_mean) v /= max_total;
+    sc.scale_mbps *= max_total;
+
+    // Consistent link loads (evaluation data set, Section 5.1.4).
+    sc.loads.reserve(sc.demands.size());
+    for (const linalg::Vector& s : sc.demands) {
+        sc.loads.push_back(sc.routing.multiply(s));
+    }
+    return sc;
+}
+
+}  // namespace
+
+Scenario make_scenario(Network network, unsigned seed) {
+    // Busy window: 17:00-21:10 GMT (samples 204..253), where the
+    // continental busy periods overlap (paper Fig. 1 shading).
+    constexpr std::size_t busy_start = 204;
+
+    if (network == Network::europe) {
+        traffic::DemandModelConfig demand;
+        demand.seed = 1000 + seed;
+        demand.lognormal_sigma = 0.12;   // near-gravity spatial structure
+        demand.hotspots_per_source = 2;
+        demand.hotspot_strength = 0.25;  // mild gravity violations
+
+        traffic::SeriesConfig series;
+        series.profile.peak_minute = 16.0 * 60.0;  // 16:00 GMT
+        series.profile.trough_fraction = 0.35;
+        series.profile.sharpness = 2.0;
+        series.reference_longitude = 8.0;  // central Europe
+        series.minutes_per_degree = 4.0;
+        series.noise.phi = 0.0008;
+        series.noise.c = 1.6;             // paper Fig. 6 (Europe)
+        series.seed = 2000 + seed;
+
+        return assemble("Europe", topology::europe_backbone(), demand,
+                        series, busy_start, /*rowspace_alignment=*/0.5);
+    }
+
+    traffic::DemandModelConfig demand;
+    demand.seed = 3000 + seed;
+    demand.lognormal_sigma = 0.30;
+    demand.hotspots_per_source = 2;
+    demand.hotspot_strength = 4.0;  // strong per-PoP dominating destinations
+
+    traffic::SeriesConfig series;
+    series.profile.peak_minute = 20.0 * 60.0;  // 20:00 GMT
+    series.profile.trough_fraction = 0.35;
+    series.profile.sharpness = 2.0;
+    series.reference_longitude = -95.0;  // central US
+    series.minutes_per_degree = 4.0;
+    series.noise.phi = 0.0015;
+    series.noise.c = 1.5;                // paper Fig. 6 (America)
+    series.seed = 4000 + seed;
+
+    return assemble("USA", topology::us_backbone(), demand, series,
+                    busy_start, /*rowspace_alignment=*/0.55);
+}
+
+Scenario make_custom_scenario(topology::Topology topo,
+                              const CustomScenarioConfig& config,
+                              const std::string& name) {
+    traffic::DemandModelConfig demand;
+    demand.seed = 5000 + config.seed;
+    demand.lognormal_sigma = config.lognormal_sigma;
+    demand.additive_sigma = config.additive_sigma;
+    demand.hotspots_per_source = config.hotspots_per_source;
+    demand.hotspot_strength = config.hotspot_strength;
+
+    traffic::SeriesConfig series;
+    series.profile.peak_minute = config.peak_minute;
+    series.reference_longitude = config.reference_longitude;
+    series.minutes_per_degree = config.minutes_per_degree;
+    series.noise.phi = config.noise_phi;
+    series.noise.c = config.noise_c;
+    series.seed = 6000 + config.seed;
+
+    // Busy window centred on the configured peak.
+    const std::size_t peak_sample = static_cast<std::size_t>(
+        config.peak_minute / 5.0);
+    const std::size_t busy_start =
+        peak_sample >= 25 ? peak_sample - 25 : 0;
+
+    return assemble(name, std::move(topo), demand, series, busy_start,
+                    config.rowspace_alignment);
+}
+
+}  // namespace tme::scenario

@@ -1,0 +1,93 @@
+#include "telemetry/poller.hpp"
+
+#include <cmath>
+#include <random>
+#include <stdexcept>
+
+namespace tme::telemetry {
+
+namespace {
+
+// Integral of the piecewise-constant true rate from time 0 to t (seconds).
+// Beyond the end of the series the last interval's rate continues (the
+// traffic does not stop because our trace does).
+double counter_at(const std::vector<std::vector<double>>& rates,
+                  std::size_t object, double t, double interval_seconds) {
+    if (t <= 0.0) return 0.0;
+    const std::size_t intervals = rates.size();
+    double acc = 0.0;
+    const std::size_t whole = std::min(
+        intervals, static_cast<std::size_t>(t / interval_seconds));
+    for (std::size_t k = 0; k < whole; ++k) acc += rates[k][object] *
+                                                   interval_seconds;
+    const double frac = t - static_cast<double>(whole) * interval_seconds;
+    const std::size_t tail = std::min(whole, intervals - 1);
+    if (frac > 0.0) acc += rates[tail][object] * frac;
+    return acc;
+}
+
+}  // namespace
+
+PollingOutcome simulate_polling(
+    const std::vector<std::vector<double>>& true_rates,
+    const PollerConfig& config) {
+    if (true_rates.empty() || true_rates.front().empty()) {
+        throw std::invalid_argument("simulate_polling: empty input");
+    }
+    if (config.poller_count == 0) {
+        throw std::invalid_argument("simulate_polling: need >= 1 poller");
+    }
+    const std::size_t intervals = true_rates.size();
+    const std::size_t objects = true_rates.front().size();
+    for (const auto& row : true_rates) {
+        if (row.size() != objects) {
+            throw std::invalid_argument("simulate_polling: ragged input");
+        }
+    }
+
+    std::mt19937_64 rng(config.seed);
+    std::normal_distribution<double> jitter(0.0,
+                                            config.jitter_stddev_seconds);
+    std::uniform_real_distribution<double> coin(0.0, 1.0);
+
+    PollingOutcome outcome{TimeSeriesStore(objects, intervals), 0, 0, 0};
+
+    // Per-object previous successful poll (time, counter).
+    std::vector<double> prev_time(objects, 0.0);
+    std::vector<double> prev_counter(objects, 0.0);
+
+    for (std::size_t k = 0; k < intervals; ++k) {
+        for (std::size_t o = 0; o < objects; ++o) {
+            ++outcome.polls_attempted;
+            // Poll k nominally happens at the END of interval k.
+            const double nominal =
+                static_cast<double>(k + 1) * config.interval_seconds;
+            double t = nominal + jitter(rng);
+            t = std::max(t, prev_time[o] + 1.0);  // monotone poll times
+
+            bool lost = coin(rng) < config.loss_probability;
+            if (lost && coin(rng) < config.backup_recovery_probability) {
+                // A neighbouring poller retries a little later.
+                lost = false;
+                t += std::abs(jitter(rng)) + 1.0;
+                ++outcome.polls_recovered;
+            }
+            if (lost) {
+                ++outcome.polls_lost;
+                outcome.store.record_loss(o, k);
+                continue;
+            }
+            const double counter =
+                counter_at(true_rates, o, t, config.interval_seconds);
+            const double window = t - prev_time[o];
+            const double rate =
+                window > 0.0 ? (counter - prev_counter[o]) / window : 0.0;
+            outcome.store.record(o, k, rate);
+            prev_time[o] = t;
+            prev_counter[o] = counter;
+        }
+    }
+    return outcome;
+}
+
+}  // namespace tme::telemetry

@@ -1,0 +1,55 @@
+// Distributed SNMP poller simulation (paper Section 5.1.2).
+//
+// Global Crossing collects LSP and link counters with a geographically
+// distributed fleet of pollers: each poller owns a set of routers, polls
+// every 5 minutes at fixed timestamps, records the actual response time,
+// and adjusts rates for the real measurement interval; SNMP rides UDP,
+// so polls can be lost, and neighbouring pollers act as backups.
+//
+// This module reproduces those mechanics against "true" piecewise-
+// constant rate series, producing the uniform rate series of a
+// TimeSeriesStore.  The estimation benches use the exactly-consistent
+// t = R s data set instead (Section 5.1.4); this simulator exists to
+// model and test the measurement path itself (and supports the future-
+// work experiments the paper lists on measurement errors).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "telemetry/timeseries.hpp"
+
+namespace tme::telemetry {
+
+struct PollerConfig {
+    std::size_t poller_count = 4;
+    /// Std-dev (seconds) of per-poll response-time jitter around the
+    /// nominal 5-minute timestamps.
+    double jitter_stddev_seconds = 3.0;
+    /// Probability that a poll's UDP response is lost.
+    double loss_probability = 0.0;
+    /// Probability that a neighbouring backup poller recovers a lost poll.
+    double backup_recovery_probability = 0.9;
+    /// Nominal polling interval in seconds.
+    double interval_seconds = 300.0;
+    unsigned seed = 5;
+};
+
+/// Result of simulating the poller fleet over a day of true rates.
+struct PollingOutcome {
+    TimeSeriesStore store;           ///< measured (rate-adjusted) series
+    std::size_t polls_attempted = 0;
+    std::size_t polls_lost = 0;      ///< lost after backup attempts
+    std::size_t polls_recovered = 0; ///< recovered by a backup poller
+};
+
+/// Simulates polling `true_rates` (true_rates[k][object] = rate during
+/// interval k).  Counters are integrated exactly over the jittered poll
+/// windows and divided by the real window length, reproducing the
+/// paper's interval-length adjustment; the residual error is only the
+/// rate variation inside the misaligned boundary slivers.
+PollingOutcome simulate_polling(
+    const std::vector<std::vector<double>>& true_rates,
+    const PollerConfig& config);
+
+}  // namespace tme::telemetry

@@ -1,0 +1,94 @@
+#include "telemetry/timeseries.hpp"
+
+namespace tme::telemetry {
+
+TimeSeriesStore::TimeSeriesStore(std::size_t objects, std::size_t intervals)
+    : objects_(objects),
+      intervals_(intervals),
+      values_(objects * intervals, 0.0),
+      present_(objects * intervals, false) {}
+
+void TimeSeriesStore::check(std::size_t object, std::size_t interval) const {
+    if (object >= objects_ || interval >= intervals_) {
+        throw std::out_of_range("TimeSeriesStore: index out of range");
+    }
+}
+
+void TimeSeriesStore::record(std::size_t object, std::size_t interval,
+                             double rate) {
+    check(object, interval);
+    values_[object * intervals_ + interval] = rate;
+    present_[object * intervals_ + interval] = true;
+}
+
+void TimeSeriesStore::record_loss(std::size_t object, std::size_t interval) {
+    check(object, interval);
+    present_[object * intervals_ + interval] = false;
+}
+
+bool TimeSeriesStore::has(std::size_t object, std::size_t interval) const {
+    check(object, interval);
+    return present_[object * intervals_ + interval];
+}
+
+double TimeSeriesStore::at(std::size_t object, std::size_t interval) const {
+    check(object, interval);
+    if (!present_[object * intervals_ + interval]) {
+        throw std::logic_error("TimeSeriesStore::at: missing sample");
+    }
+    return values_[object * intervals_ + interval];
+}
+
+double TimeSeriesStore::interpolate(std::size_t object,
+                                    std::size_t interval) const {
+    // Nearest present samples on each side.
+    std::optional<std::size_t> left;
+    for (std::size_t i = interval; i-- > 0;) {
+        if (present_[object * intervals_ + i]) {
+            left = i;
+            break;
+        }
+    }
+    std::optional<std::size_t> right;
+    for (std::size_t i = interval + 1; i < intervals_; ++i) {
+        if (present_[object * intervals_ + i]) {
+            right = i;
+            break;
+        }
+    }
+    if (left && right) {
+        const double lv = values_[object * intervals_ + *left];
+        const double rv = values_[object * intervals_ + *right];
+        const double frac = static_cast<double>(interval - *left) /
+                            static_cast<double>(*right - *left);
+        return lv + frac * (rv - lv);
+    }
+    if (left) return values_[object * intervals_ + *left];
+    if (right) return values_[object * intervals_ + *right];
+    return 0.0;  // object never polled successfully
+}
+
+std::vector<double> TimeSeriesStore::snapshot(std::size_t interval) const {
+    if (interval >= intervals_) {
+        throw std::out_of_range("TimeSeriesStore::snapshot");
+    }
+    std::vector<double> snap(objects_, 0.0);
+    for (std::size_t o = 0; o < objects_; ++o) {
+        snap[o] = present_[o * intervals_ + interval]
+                      ? values_[o * intervals_ + interval]
+                      : interpolate(o, interval);
+    }
+    return snap;
+}
+
+double TimeSeriesStore::loss_fraction() const {
+    if (present_.empty()) return 0.0;
+    std::size_t missing = 0;
+    for (bool p : present_) {
+        if (!p) ++missing;
+    }
+    return static_cast<double>(missing) /
+           static_cast<double>(present_.size());
+}
+
+}  // namespace tme::telemetry

@@ -1,0 +1,51 @@
+// Uniform time-series store for link/LSP utilization counters.
+//
+// The paper's collection system (Section 5.1.2) polls SNMP counters every
+// 5 minutes at fixed timestamps, records the exact response time, and
+// normalizes the byte counts by the real measurement interval, producing
+// uniform rate series.  This container is that end product: per-object
+// rates on a fixed 5-minute grid, with gap bookkeeping for lost polls.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <stdexcept>
+#include <vector>
+
+namespace tme::telemetry {
+
+/// Rates for a fixed set of objects over a fixed number of intervals.
+class TimeSeriesStore {
+  public:
+    TimeSeriesStore(std::size_t objects, std::size_t intervals);
+
+    std::size_t objects() const { return objects_; }
+    std::size_t intervals() const { return intervals_; }
+
+    void record(std::size_t object, std::size_t interval, double rate);
+
+    /// Marks a poll as lost (value stays missing).
+    void record_loss(std::size_t object, std::size_t interval);
+
+    bool has(std::size_t object, std::size_t interval) const;
+    double at(std::size_t object, std::size_t interval) const;
+
+    /// Vector of all object rates at one interval; missing values filled
+    /// by linear interpolation from the object's neighbouring samples
+    /// (operators do the same when a poll is lost).
+    std::vector<double> snapshot(std::size_t interval) const;
+
+    /// Fraction of polls missing.
+    double loss_fraction() const;
+
+  private:
+    void check(std::size_t object, std::size_t interval) const;
+    double interpolate(std::size_t object, std::size_t interval) const;
+
+    std::size_t objects_;
+    std::size_t intervals_;
+    std::vector<double> values_;
+    std::vector<bool> present_;
+};
+
+}  // namespace tme::telemetry

@@ -1,0 +1,43 @@
+// Reference topology builders.
+//
+// The paper evaluates on two subnetworks extracted from Global Crossing's
+// backbone: Europe (12 PoPs, 132 OD pairs, 72 links) and America (25
+// PoPs, 600 OD pairs, 284 links), where the link counts include edge
+// (access/peering) links.  The exact operator topology is proprietary, so
+// these builders construct continental backbones with identical published
+// dimensions:
+//
+//   * europe_backbone(): 12 PoPs, 24 access links + 48 directed core
+//     links (24 bidirectional adjacencies) = 72 links, hand-crafted from
+//     typical pan-European fibre adjacencies.
+//   * us_backbone(): 25 PoPs, 50 access links + 234 directed core links
+//     (117 bidirectional adjacencies) = 284 links; adjacencies chosen
+//     deterministically by geographic proximity plus long-haul chords
+//     (spanning tree first, then shortest remaining pairs subject to a
+//     degree cap).
+//
+// PoP weights model relative served population; they drive the synthetic
+// demand generator.
+#pragma once
+
+#include "topology/topology.hpp"
+
+namespace tme::topology {
+
+/// Europe-like backbone: 12 PoPs / 72 links (48 core + 24 edge).
+Topology europe_backbone();
+
+/// USA-like backbone: 25 PoPs / 284 links (234 core + 50 edge).
+Topology us_backbone();
+
+/// Small 4-PoP test network (4 PoPs, 8 edge + 10 core = 18 links);
+/// convenient for unit tests and the quickstart example.
+Topology tiny_backbone();
+
+/// Deterministic pseudo-random backbone for property tests: `pops` PoPs
+/// placed on a grid, connected (spanning tree + extra chords) with the
+/// given average core degree.  Same seed -> same topology.
+Topology random_backbone(std::size_t pops, double avg_core_degree,
+                         unsigned seed);
+
+}  // namespace tme::topology

@@ -1,0 +1,155 @@
+#include "topology/topology.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <queue>
+#include <stdexcept>
+
+namespace tme::topology {
+
+std::size_t Topology::add_pop(Pop pop, double edge_capacity_mbps) {
+    const std::size_t idx = pops_.size();
+    pops_.push_back(std::move(pop));
+    out_.emplace_back();
+
+    Link in;
+    in.id = links_.size();
+    in.kind = LinkKind::access_in;
+    in.src = idx;
+    in.dst = idx;
+    in.capacity_mbps = edge_capacity_mbps;
+    links_.push_back(in);
+    ingress_.push_back(in.id);
+
+    Link out;
+    out.id = links_.size();
+    out.kind = LinkKind::access_out;
+    out.src = idx;
+    out.dst = idx;
+    out.capacity_mbps = edge_capacity_mbps;
+    links_.push_back(out);
+    egress_.push_back(out.id);
+    return idx;
+}
+
+std::size_t Topology::add_core_link(std::size_t src, std::size_t dst,
+                                    double capacity_mbps, double igp_metric) {
+    if (src >= pops_.size() || dst >= pops_.size() || src == dst) {
+        throw std::invalid_argument("add_core_link: bad endpoints");
+    }
+    if (capacity_mbps <= 0.0 || igp_metric <= 0.0) {
+        throw std::invalid_argument(
+            "add_core_link: capacity and metric must be positive");
+    }
+    Link l;
+    l.id = links_.size();
+    l.kind = LinkKind::core;
+    l.src = src;
+    l.dst = dst;
+    l.capacity_mbps = capacity_mbps;
+    l.igp_metric = igp_metric;
+    links_.push_back(l);
+    core_links_.push_back(l.id);
+    out_[src].push_back(l.id);
+    return l.id;
+}
+
+void Topology::add_core_link_pair(std::size_t a, std::size_t b,
+                                  double capacity_mbps, double igp_metric) {
+    add_core_link(a, b, capacity_mbps, igp_metric);
+    add_core_link(b, a, capacity_mbps, igp_metric);
+}
+
+const Pop& Topology::pop(std::size_t i) const {
+    if (i >= pops_.size()) throw std::out_of_range("Topology::pop");
+    return pops_[i];
+}
+
+const Link& Topology::link(std::size_t id) const {
+    if (id >= links_.size()) throw std::out_of_range("Topology::link");
+    return links_[id];
+}
+
+const std::vector<std::size_t>& Topology::outgoing_core(
+    std::size_t pop) const {
+    if (pop >= out_.size()) throw std::out_of_range("Topology::outgoing_core");
+    return out_[pop];
+}
+
+std::size_t Topology::ingress_link(std::size_t pop) const {
+    if (pop >= ingress_.size()) {
+        throw std::out_of_range("Topology::ingress_link");
+    }
+    return ingress_[pop];
+}
+
+std::size_t Topology::egress_link(std::size_t pop) const {
+    if (pop >= egress_.size()) throw std::out_of_range("Topology::egress_link");
+    return egress_[pop];
+}
+
+bool Topology::strongly_connected() const {
+    const std::size_t n = pops_.size();
+    if (n == 0) return true;
+
+    // BFS over core links from node 0, then BFS over reversed links.
+    auto reachable = [this, n](bool reversed) {
+        std::vector<bool> seen(n, false);
+        std::queue<std::size_t> q;
+        seen[0] = true;
+        q.push(0);
+        while (!q.empty()) {
+            const std::size_t u = q.front();
+            q.pop();
+            for (std::size_t lid : core_links_) {
+                const Link& l = links_[lid];
+                const std::size_t from = reversed ? l.dst : l.src;
+                const std::size_t to = reversed ? l.src : l.dst;
+                if (from == u && !seen[to]) {
+                    seen[to] = true;
+                    q.push(to);
+                }
+            }
+        }
+        for (bool s : seen) {
+            if (!s) return false;
+        }
+        return true;
+    };
+    return reachable(false) && reachable(true);
+}
+
+std::size_t Topology::pair_index(std::size_t src, std::size_t dst) const {
+    const std::size_t n = pops_.size();
+    if (src >= n || dst >= n || src == dst) {
+        throw std::invalid_argument("pair_index: bad pair");
+    }
+    return src * (n - 1) + (dst < src ? dst : dst - 1);
+}
+
+std::pair<std::size_t, std::size_t> Topology::pair_nodes(
+    std::size_t pair) const {
+    const std::size_t n = pops_.size();
+    if (pair >= pair_count()) {
+        throw std::out_of_range("pair_nodes: index out of range");
+    }
+    const std::size_t src = pair / (n - 1);
+    std::size_t dst = pair % (n - 1);
+    if (dst >= src) ++dst;
+    return {src, dst};
+}
+
+double great_circle_km(const Pop& a, const Pop& b) {
+    constexpr double earth_radius_km = 6371.0;
+    constexpr double deg = std::numbers::pi / 180.0;
+    const double lat1 = a.latitude * deg;
+    const double lat2 = b.latitude * deg;
+    const double dlat = (b.latitude - a.latitude) * deg;
+    const double dlon = (b.longitude - a.longitude) * deg;
+    const double h = std::sin(dlat / 2) * std::sin(dlat / 2) +
+                     std::cos(lat1) * std::cos(lat2) * std::sin(dlon / 2) *
+                         std::sin(dlon / 2);
+    return 2.0 * earth_radius_km * std::asin(std::min(1.0, std::sqrt(h)));
+}
+
+}  // namespace tme::topology

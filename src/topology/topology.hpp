@@ -1,0 +1,118 @@
+// Network model: PoPs (points of presence) connected by directed core
+// links, each PoP terminating one ingress and one egress edge link.
+//
+// This mirrors the paper's Section 3.1 setup: L directed links split into
+// interior (core) links and access/peering edge links; t_e(n) is the load
+// on the ingress edge link of node n (total traffic entering the network
+// there) and t_x(m) the load on the egress edge link of node m.  Edge
+// links appear as ordinary rows of the routing matrix, which is what
+// makes gravity models and fanout normalization computable from link
+// data alone.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace tme::topology {
+
+/// Whether a PoP's edge links attach customers (access) or another
+/// network (peering).  The generalized gravity model zeroes peer-to-peer
+/// demand (paper Section 4.1).
+enum class PopRole { access, peering };
+
+struct Pop {
+    std::string name;
+    double latitude = 0.0;    ///< degrees, for distance-based IGP metrics
+    double longitude = 0.0;   ///< degrees
+    double weight = 1.0;      ///< relative user population served
+    PopRole role = PopRole::access;
+};
+
+enum class LinkKind {
+    core,        ///< interior link between two PoPs
+    access_in,   ///< edge link carrying traffic INTO the network at a PoP
+    access_out,  ///< edge link carrying traffic OUT of the network at a PoP
+};
+
+struct Link {
+    std::size_t id = 0;
+    LinkKind kind = LinkKind::core;
+    /// Core: source PoP.  access_in: the PoP entered.  access_out: the PoP
+    /// exited.  (Edge links keep src == dst == the PoP.)
+    std::size_t src = 0;
+    std::size_t dst = 0;
+    double capacity_mbps = 0.0;
+    double igp_metric = 1.0;  ///< CSPF path cost
+};
+
+/// Immutable-after-build network topology.
+///
+/// Invariants maintained by the builder API:
+///  * every PoP has exactly one access_in and one access_out link;
+///  * link ids are dense 0..link_count()-1;
+///  * core links are directed; add_core_link_pair adds both directions.
+class Topology {
+  public:
+    /// Adds a PoP and its two edge links; returns the PoP index.
+    std::size_t add_pop(Pop pop, double edge_capacity_mbps = 40000.0);
+
+    /// Adds one directed core link; returns its id.
+    std::size_t add_core_link(std::size_t src, std::size_t dst,
+                              double capacity_mbps, double igp_metric);
+
+    /// Adds both directions with equal capacity/metric.
+    void add_core_link_pair(std::size_t a, std::size_t b,
+                            double capacity_mbps, double igp_metric);
+
+    std::size_t pop_count() const { return pops_.size(); }
+    std::size_t link_count() const { return links_.size(); }
+    std::size_t core_link_count() const { return core_links_.size(); }
+
+    /// Number of distinct ordered PoP pairs P = N(N-1).
+    std::size_t pair_count() const {
+        return pops_.size() * (pops_.size() - 1);
+    }
+
+    const Pop& pop(std::size_t i) const;
+    const Link& link(std::size_t id) const;
+    const std::vector<Pop>& pops() const { return pops_; }
+    const std::vector<Link>& links() const { return links_; }
+
+    /// Ids of all core links (directed).
+    const std::vector<std::size_t>& core_links() const { return core_links_; }
+
+    /// Core links leaving PoP n (for shortest-path traversal).
+    const std::vector<std::size_t>& outgoing_core(std::size_t pop) const;
+
+    /// Edge link over which traffic enters the network at PoP n (e(n)).
+    std::size_t ingress_link(std::size_t pop) const;
+
+    /// Edge link over which traffic exits the network at PoP m (x(m)).
+    std::size_t egress_link(std::size_t pop) const;
+
+    /// True if the core graph is strongly connected (every PoP reaches
+    /// every other over core links).
+    bool strongly_connected() const;
+
+    /// Index of the ordered pair (src, dst), src != dst, in the canonical
+    /// demand-vector enumeration.  Throws std::invalid_argument if
+    /// src == dst or out of range.
+    std::size_t pair_index(std::size_t src, std::size_t dst) const;
+
+    /// Inverse of pair_index.
+    std::pair<std::size_t, std::size_t> pair_nodes(std::size_t pair) const;
+
+  private:
+    std::vector<Pop> pops_;
+    std::vector<Link> links_;
+    std::vector<std::size_t> core_links_;
+    std::vector<std::size_t> ingress_;            // per PoP
+    std::vector<std::size_t> egress_;             // per PoP
+    std::vector<std::vector<std::size_t>> out_;   // per PoP core adjacency
+};
+
+/// Great-circle distance in kilometres between two PoPs (haversine).
+double great_circle_km(const Pop& a, const Pop& b);
+
+}  // namespace tme::topology

@@ -1,0 +1,136 @@
+#include "traffic/demand_model.hpp"
+
+#include <cmath>
+#include <random>
+#include <stdexcept>
+
+#include "traffic/traffic_matrix.hpp"
+
+namespace tme::traffic {
+
+linalg::Vector base_demands(const topology::Topology& topo,
+                            const DemandModelConfig& config) {
+    const std::size_t n = topo.pop_count();
+    const std::size_t pairs = topo.pair_count();
+    std::mt19937_64 rng(config.seed);
+    std::normal_distribution<double> gauss(0.0, 1.0);
+
+    // Product form...
+    linalg::Vector s(pairs, 0.0);
+    for (std::size_t src = 0; src < n; ++src) {
+        for (std::size_t dst = 0; dst < n; ++dst) {
+            if (src == dst) continue;
+            s[topo.pair_index(src, dst)] =
+                topo.pop(src).weight * topo.pop(dst).weight;
+        }
+    }
+    // Log-normal multiplicative jitter.  (Note: with a zero diagonal a
+    // product-form matrix is not exactly gravity-reconstructible — the
+    // excluded self-traffic skews hub marginals by a few tens of percent
+    // for strongly-skewed weights.  This structural error is real in
+    // operational networks too and forms the floor of the gravity MRE;
+    // jitter and hotspots add the controlled error on top.)
+    for (std::size_t src = 0; src < n; ++src) {
+        for (std::size_t dst = 0; dst < n; ++dst) {
+            if (src == dst) continue;
+            s[topo.pair_index(src, dst)] *=
+                std::exp(config.lognormal_sigma * gauss(rng));
+        }
+    }
+
+    // Hotspots: each source concentrates extra traffic on a few
+    // destinations of its own (content/peering affinity).  The choice is
+    // weighted by destination weight so hotspots land on plausible PoPs,
+    // but differs per source, which is exactly what breaks the gravity
+    // model's "same fraction to every destination" assumption.
+    if (config.hotspot_strength > 0.0 && config.hotspots_per_source > 0) {
+        for (std::size_t src = 0; src < n; ++src) {
+            double source_total = 0.0;
+            for (std::size_t dst = 0; dst < n; ++dst) {
+                if (dst != src) source_total += s[topo.pair_index(src, dst)];
+            }
+            // Weighted sampling without replacement.
+            std::vector<std::size_t> candidates;
+            std::vector<double> weights;
+            for (std::size_t dst = 0; dst < n; ++dst) {
+                if (dst == src) continue;
+                candidates.push_back(dst);
+                weights.push_back(topo.pop(dst).weight);
+            }
+            const std::size_t picks =
+                std::min(config.hotspots_per_source, candidates.size());
+            for (std::size_t k = 0; k < picks; ++k) {
+                std::discrete_distribution<std::size_t> pick(weights.begin(),
+                                                             weights.end());
+                const std::size_t chosen = pick(rng);
+                const std::size_t dst = candidates[chosen];
+                weights[chosen] = 0.0;  // without replacement
+                // Boost is itself jittered so hotspot sizes vary.
+                const double boost = config.hotspot_strength * source_total /
+                                     static_cast<double>(picks) *
+                                     std::exp(0.5 * gauss(rng));
+                s[topo.pair_index(src, dst)] += boost;
+            }
+        }
+    }
+
+    // Additive iid jitter relative to the mean demand, floored so no
+    // demand goes negative (small demands saturate near zero instead).
+    if (config.additive_sigma > 0.0) {
+        double mean_demand = 0.0;
+        for (double v : s) mean_demand += v;
+        mean_demand /= static_cast<double>(pairs);
+        for (double& v : s) {
+            const double bump =
+                config.additive_sigma * mean_demand * gauss(rng);
+            v = std::max(0.05 * v, v + bump);
+        }
+    }
+
+    // Normalize to unit total network traffic.
+    double total = 0.0;
+    for (double v : s) total += v;
+    if (total <= 0.0) {
+        throw std::logic_error("base_demands: degenerate total");
+    }
+    for (double& v : s) v /= total;
+    return s;
+}
+
+linalg::Vector structural_demands(const topology::Topology& topo) {
+    const std::size_t n = topo.pop_count();
+    linalg::Vector s(topo.pair_count(), 0.0);
+    double total = 0.0;
+    for (std::size_t src = 0; src < n; ++src) {
+        for (std::size_t dst = 0; dst < n; ++dst) {
+            if (src == dst) continue;
+            const double v = topo.pop(src).weight * topo.pop(dst).weight;
+            s[topo.pair_index(src, dst)] = v;
+            total += v;
+        }
+    }
+    for (double& v : s) v /= total;
+    return s;
+}
+
+linalg::Vector gravity_from_marginals(std::size_t nodes,
+                                      const linalg::Vector& demands) {
+    TrafficMatrix tm(nodes, demands);
+    const linalg::Vector in = tm.row_totals();
+    const linalg::Vector out = tm.col_totals();
+    double total = tm.total();
+    if (total <= 0.0) {
+        throw std::invalid_argument("gravity_from_marginals: zero traffic");
+    }
+    linalg::Vector g(demands.size(), 0.0);
+    TrafficMatrix gm(nodes);
+    for (std::size_t s = 0; s < nodes; ++s) {
+        for (std::size_t d = 0; d < nodes; ++d) {
+            if (s == d) continue;
+            gm.set(s, d, in[s] * out[d] / total);
+        }
+    }
+    return gm.to_pair_vector();
+}
+
+}  // namespace tme::traffic

@@ -1,0 +1,19 @@
+#include "traffic/diurnal.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace tme::traffic {
+
+double diurnal_factor(const DiurnalProfile& profile, double minute_of_day) {
+    constexpr double day = 24.0 * 60.0;
+    const double phase =
+        2.0 * std::numbers::pi * (minute_of_day - profile.peak_minute) / day;
+    // Raised cosine in [0,1], sharpened, then lifted to the trough level.
+    const double bump = std::pow(0.5 * (1.0 + std::cos(phase)),
+                                 profile.sharpness);
+    return profile.trough_fraction +
+           (1.0 - profile.trough_fraction) * bump;
+}
+
+}  // namespace tme::traffic

@@ -1,0 +1,32 @@
+// Diurnal traffic profiles (paper Fig. 1).
+//
+// Total network traffic follows a clear 24-hour cycle with a pronounced
+// busy period; the European and American subnetworks peak at different
+// GMT hours, overlapping around 18:00 GMT.  The profile here is a
+// raised-cosine day shape sharpened to produce a distinct busy plateau,
+// evaluated at 5-minute timestamps.
+#pragma once
+
+#include <cstddef>
+
+namespace tme::traffic {
+
+struct DiurnalProfile {
+    /// Minute of day (GMT) where the profile peaks.
+    double peak_minute = 18.0 * 60.0;
+    /// Fraction of the peak that remains at the nightly trough (0..1).
+    double trough_fraction = 0.35;
+    /// Sharpness exponent; larger values concentrate the busy period.
+    double sharpness = 2.0;
+};
+
+/// Profile value in (0, 1] at a given minute of day (wraps modulo 1440).
+double diurnal_factor(const DiurnalProfile& profile, double minute_of_day);
+
+/// Number of 5-minute samples in 24 hours (288).
+inline constexpr std::size_t samples_per_day = 288;
+
+/// Minute-of-day of sample k (k * 5).
+inline double sample_minute(std::size_t k) { return 5.0 * static_cast<double>(k); }
+
+}  // namespace tme::traffic

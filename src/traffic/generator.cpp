@@ -1,0 +1,122 @@
+#include "traffic/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <random>
+#include <stdexcept>
+
+namespace tme::traffic {
+
+namespace {
+
+// Deterministic per-source hash in [0, 1) (splitmix64 finalizer), used
+// to diversify day shapes without consuming the series RNG stream.
+double source_hash(std::size_t src, unsigned seed, unsigned salt) {
+    std::uint64_t z = 0x9e3779b97f4a7c15ull * (src + 1) + seed + salt;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    z ^= z >> 31;
+    return static_cast<double>(z >> 11) / 9007199254740992.0;  // 2^53
+}
+
+// Per-source diurnal factor at sample k.
+double source_factor(const topology::Topology& topo, std::size_t src,
+                     const SeriesConfig& config, std::size_t k) {
+    DiurnalProfile shifted = config.profile;
+    // West of the reference longitude -> solar peak later in GMT.
+    shifted.peak_minute +=
+        config.minutes_per_degree *
+        (config.reference_longitude - topo.pop(src).longitude);
+    // Customer-mix diversity: deeper/shallower troughs and sharper or
+    // flatter busy periods per PoP.
+    const double d = config.per_source_profile_diversity;
+    if (d > 0.0) {
+        const double h1 = source_hash(src, config.seed, 1) - 0.5;
+        const double h2 = source_hash(src, config.seed, 2) - 0.5;
+        shifted.trough_fraction = std::clamp(
+            shifted.trough_fraction * (1.0 + 0.8 * d * h1), 0.05, 0.95);
+        shifted.sharpness =
+            std::max(0.5, shifted.sharpness * (1.0 + 0.8 * d * h2));
+    }
+    return diurnal_factor(shifted, sample_minute(k));
+}
+
+// Draws one Gamma sample with the requested mean and variance.
+double gamma_sample(std::mt19937_64& rng, double mean, double var) {
+    if (mean <= 0.0) return 0.0;
+    if (var <= 0.0) return mean;
+    const double shape = mean * mean / var;
+    const double scale = var / mean;
+    std::gamma_distribution<double> dist(shape, scale);
+    return dist(rng);
+}
+
+}  // namespace
+
+linalg::Vector series_mean_at(const topology::Topology& topo,
+                              const linalg::Vector& base_mean,
+                              const SeriesConfig& config, std::size_t k) {
+    const std::size_t pairs = topo.pair_count();
+    if (base_mean.size() != pairs) {
+        throw std::invalid_argument("series_mean_at: base size mismatch");
+    }
+    linalg::Vector mean(pairs, 0.0);
+    for (std::size_t src = 0; src < topo.pop_count(); ++src) {
+        const double f = source_factor(topo, src, config, k);
+        for (std::size_t dst = 0; dst < topo.pop_count(); ++dst) {
+            if (src == dst) continue;
+            const std::size_t p = topo.pair_index(src, dst);
+            mean[p] = base_mean[p] * f;
+        }
+    }
+    return mean;
+}
+
+std::vector<linalg::Vector> generate_series(const topology::Topology& topo,
+                                            const linalg::Vector& base_mean,
+                                            const SeriesConfig& config) {
+    const std::size_t pairs = topo.pair_count();
+    if (base_mean.size() != pairs) {
+        throw std::invalid_argument("generate_series: base size mismatch");
+    }
+    if (config.noise.phi < 0.0) {
+        throw std::invalid_argument("generate_series: phi must be >= 0");
+    }
+    std::mt19937_64 rng(config.seed);
+    std::vector<linalg::Vector> series;
+    series.reserve(config.samples);
+    for (std::size_t k = 0; k < config.samples; ++k) {
+        linalg::Vector s = series_mean_at(topo, base_mean, config, k);
+        for (double& v : s) {
+            const double var = config.noise.phi *
+                               std::pow(v, config.noise.c);
+            v = gamma_sample(rng, v, var);
+        }
+        series.push_back(std::move(s));
+    }
+    return series;
+}
+
+std::vector<linalg::Vector> generate_poisson_series(
+    const linalg::Vector& lambda, double scale, std::size_t samples,
+    unsigned seed) {
+    if (scale <= 0.0) {
+        throw std::invalid_argument("generate_poisson_series: bad scale");
+    }
+    std::mt19937_64 rng(seed);
+    std::vector<linalg::Vector> series;
+    series.reserve(samples);
+    for (std::size_t k = 0; k < samples; ++k) {
+        linalg::Vector s(lambda.size(), 0.0);
+        for (std::size_t p = 0; p < lambda.size(); ++p) {
+            if (lambda[p] <= 0.0) continue;
+            std::poisson_distribution<long long> dist(scale * lambda[p]);
+            s[p] = static_cast<double>(dist(rng)) / scale;
+        }
+        series.push_back(std::move(s));
+    }
+    return series;
+}
+
+}  // namespace tme::traffic

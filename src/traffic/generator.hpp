@@ -1,0 +1,72 @@
+// Time-series traffic generation: 24 hours of 5-minute traffic matrices.
+//
+// Temporal model (calibrated to paper Sections 5.2.1-5.2.3):
+//
+//   s_p[k] ~ Gamma(mean = lambda_p * f_src(p)(t_k),
+//                  var  = phi * mean^c)
+//
+//  * lambda_p is the busy-hour mean from the spatial demand model;
+//  * f_src is a diurnal factor per source PoP — a continent-wide profile
+//    shifted by the PoP's longitude (timezones), producing Fig. 1's
+//    staggered busy periods and keeping each source's fanouts constant
+//    in expectation (Figs. 4-5: fanouts much more stable than demands);
+//  * the Gamma marginal reproduces the mean-variance scaling law
+//    Var{s_p} = phi * lambda^c of Fig. 6 exactly, with CV growing as
+//    demand shrinks (small demands relatively noisier, so their fanouts
+//    fluctuate more — the paper's footnote on small-demand fanouts).
+//
+// A separate Poisson generator supports the synthetic study of Fig. 12.
+#pragma once
+
+#include <vector>
+
+#include "linalg/vector_ops.hpp"
+#include "topology/topology.hpp"
+#include "traffic/diurnal.hpp"
+
+namespace tme::traffic {
+
+struct ScalingLawNoiseConfig {
+    double phi = 0.003;  ///< Var = phi * mean^c in normalized units
+    double c = 1.6;      ///< scaling exponent (Poisson would be 1)
+};
+
+struct SeriesConfig {
+    DiurnalProfile profile;       ///< continent-wide day shape
+    double reference_longitude = 0.0;
+    /// Peak-time shift per degree of longitude west of the reference
+    /// (4 min/degree is solar time).
+    double minutes_per_degree = 4.0;
+    /// Per-source day-shape diversity in [0, 1]: PoPs serve different
+    /// customer mixes (residential vs hosting vs enterprise), so their
+    /// trough depth and busy-period sharpness differ.  This makes the
+    /// per-source totals te(n)[k] vary DIFFERENTIALLY over a window,
+    /// which is what renders the constant-fanout system identifiable
+    /// (paper Section 4.2.4: "the system of equations becomes
+    /// overdetermined already for a window length of 3").  Fanouts stay
+    /// exactly constant because the modulation is per source.
+    double per_source_profile_diversity = 0.5;
+    ScalingLawNoiseConfig noise;
+    unsigned seed = 99;
+    std::size_t samples = samples_per_day;  ///< 288 = 24 h of 5-min bins
+};
+
+/// One traffic matrix (pair vector) per 5-minute sample.
+std::vector<linalg::Vector> generate_series(const topology::Topology& topo,
+                                            const linalg::Vector& base_mean,
+                                            const SeriesConfig& config);
+
+/// The noiseless mean of sample k (for tests and calibration).
+linalg::Vector series_mean_at(const topology::Topology& topo,
+                              const linalg::Vector& base_mean,
+                              const SeriesConfig& config, std::size_t k);
+
+/// Independent Poisson demands: s_p[k] ~ Poisson(scale * lambda_p) / scale.
+/// Used by the Fig. 12 study ("synthetic traffic matrices with Poisson
+/// distributed elements with the calculated mean"); `scale` converts
+/// normalized demands to count units (packets per interval).
+std::vector<linalg::Vector> generate_poisson_series(
+    const linalg::Vector& lambda, double scale, std::size_t samples,
+    unsigned seed);
+
+}  // namespace tme::traffic

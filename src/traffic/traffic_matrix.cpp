@@ -1,0 +1,128 @@
+#include "traffic/traffic_matrix.hpp"
+
+#include <stdexcept>
+
+namespace tme::traffic {
+
+namespace {
+
+std::size_t pair_index(std::size_t n, std::size_t src, std::size_t dst) {
+    return src * (n - 1) + (dst < src ? dst : dst - 1);
+}
+
+}  // namespace
+
+TrafficMatrix::TrafficMatrix(std::size_t nodes)
+    : n_(nodes), m_(nodes, nodes, 0.0) {
+    if (nodes < 2) {
+        throw std::invalid_argument("TrafficMatrix: need >= 2 nodes");
+    }
+}
+
+TrafficMatrix::TrafficMatrix(std::size_t nodes,
+                             const linalg::Vector& pair_vector)
+    : TrafficMatrix(nodes) {
+    if (pair_vector.size() != nodes * (nodes - 1)) {
+        throw std::invalid_argument("TrafficMatrix: pair vector size");
+    }
+    for (std::size_t s = 0; s < nodes; ++s) {
+        for (std::size_t d = 0; d < nodes; ++d) {
+            if (s == d) continue;
+            m_(s, d) = pair_vector[pair_index(nodes, s, d)];
+        }
+    }
+}
+
+double TrafficMatrix::operator()(std::size_t src, std::size_t dst) const {
+    return m_.at(src, dst);
+}
+
+void TrafficMatrix::set(std::size_t src, std::size_t dst, double value) {
+    if (src >= n_ || dst >= n_) {
+        throw std::out_of_range("TrafficMatrix::set");
+    }
+    if (src == dst && value != 0.0) {
+        throw std::invalid_argument(
+            "TrafficMatrix::set: diagonal must stay zero");
+    }
+    m_(src, dst) = value;
+}
+
+linalg::Vector TrafficMatrix::to_pair_vector() const {
+    linalg::Vector v(n_ * (n_ - 1), 0.0);
+    for (std::size_t s = 0; s < n_; ++s) {
+        for (std::size_t d = 0; d < n_; ++d) {
+            if (s == d) continue;
+            v[pair_index(n_, s, d)] = m_(s, d);
+        }
+    }
+    return v;
+}
+
+double TrafficMatrix::total() const {
+    double acc = 0.0;
+    for (std::size_t s = 0; s < n_; ++s) {
+        for (std::size_t d = 0; d < n_; ++d) acc += m_(s, d);
+    }
+    return acc;
+}
+
+linalg::Vector TrafficMatrix::row_totals() const {
+    linalg::Vector r(n_, 0.0);
+    for (std::size_t s = 0; s < n_; ++s) {
+        for (std::size_t d = 0; d < n_; ++d) r[s] += m_(s, d);
+    }
+    return r;
+}
+
+linalg::Vector TrafficMatrix::col_totals() const {
+    linalg::Vector c(n_, 0.0);
+    for (std::size_t s = 0; s < n_; ++s) {
+        for (std::size_t d = 0; d < n_; ++d) c[d] += m_(s, d);
+    }
+    return c;
+}
+
+TrafficMatrix TrafficMatrix::fanouts() const {
+    TrafficMatrix f(n_);
+    const linalg::Vector rows = row_totals();
+    for (std::size_t s = 0; s < n_; ++s) {
+        for (std::size_t d = 0; d < n_; ++d) {
+            if (s == d) continue;
+            f.m_(s, d) = rows[s] > 0.0
+                             ? m_(s, d) / rows[s]
+                             : 1.0 / static_cast<double>(n_ - 1);
+        }
+    }
+    return f;
+}
+
+linalg::Vector fanouts_from_demands(std::size_t nodes,
+                                    const linalg::Vector& demands) {
+    return TrafficMatrix(nodes, demands).fanouts().to_pair_vector();
+}
+
+linalg::Vector demands_from_fanouts(std::size_t nodes,
+                                    const linalg::Vector& fanouts,
+                                    const linalg::Vector& node_totals) {
+    if (node_totals.size() != nodes ||
+        fanouts.size() != nodes * (nodes - 1)) {
+        throw std::invalid_argument("demands_from_fanouts: size mismatch");
+    }
+    linalg::Vector s(fanouts.size(), 0.0);
+    for (std::size_t src = 0; src < nodes; ++src) {
+        for (std::size_t dst = 0; dst < nodes; ++dst) {
+            if (src == dst) continue;
+            const std::size_t p = pair_index(nodes, src, dst);
+            s[p] = fanouts[p] * node_totals[src];
+        }
+    }
+    return s;
+}
+
+linalg::Vector node_totals_from_demands(std::size_t nodes,
+                                        const linalg::Vector& demands) {
+    return TrafficMatrix(nodes, demands).row_totals();
+}
+
+}  // namespace tme::traffic

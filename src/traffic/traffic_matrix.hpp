@@ -1,0 +1,69 @@
+// Traffic matrix container and fanout arithmetic (paper Sections 3.1-3.2).
+//
+// The demand between ordered PoP pair (n, m) is s_nm; the vector form s
+// enumerates pairs via Topology::pair_index.  Fanouts are the row-
+// normalized demands alpha_nm = s_nm / sum_m s_nm (eq. 4): the fraction
+// of traffic entering at n that exits at m.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "linalg/vector_ops.hpp"
+#include "topology/topology.hpp"
+
+namespace tme::traffic {
+
+/// Square demand matrix with a structural zero diagonal.
+class TrafficMatrix {
+  public:
+    explicit TrafficMatrix(std::size_t nodes);
+
+    /// From a pair-indexed demand vector (length N(N-1)).
+    TrafficMatrix(std::size_t nodes, const linalg::Vector& pair_vector);
+
+    std::size_t nodes() const { return n_; }
+
+    double operator()(std::size_t src, std::size_t dst) const;
+    void set(std::size_t src, std::size_t dst, double value);
+
+    /// Vectorizes in canonical pair order (length N(N-1)).
+    linalg::Vector to_pair_vector() const;
+
+    /// Total network traffic sum_nm s_nm.
+    double total() const;
+
+    /// Row sums: total traffic entering the network at each node.
+    linalg::Vector row_totals() const;
+
+    /// Column sums: total traffic exiting the network at each node.
+    linalg::Vector col_totals() const;
+
+    /// Fanout matrix alpha_nm = s_nm / row_total(n); rows with zero total
+    /// get uniform fanouts 1/(N-1).
+    TrafficMatrix fanouts() const;
+
+    const linalg::Matrix& matrix() const { return m_; }
+
+  private:
+    std::size_t n_;
+    linalg::Matrix m_;
+};
+
+/// Fanout vector (pair-indexed) from a demand vector.  Rows with zero
+/// total get uniform fanouts.
+linalg::Vector fanouts_from_demands(std::size_t nodes,
+                                    const linalg::Vector& demands);
+
+/// Demands from fanouts and per-node entering totals:
+/// s_nm = alpha_nm * total_n.
+linalg::Vector demands_from_fanouts(std::size_t nodes,
+                                    const linalg::Vector& fanouts,
+                                    const linalg::Vector& node_totals);
+
+/// Per-source node totals te(n) from a pair-indexed demand vector.
+linalg::Vector node_totals_from_demands(std::size_t nodes,
+                                        const linalg::Vector& demands);
+
+}  // namespace tme::traffic

@@ -1,0 +1,114 @@
+#include "core/bayesian.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/metrics.hpp"
+#include "test_helpers.hpp"
+
+namespace tme::core {
+namespace {
+
+using testing::SmallNetwork;
+using testing::tiny_network;
+
+TEST(Bayesian, TruePriorIsFixedPoint) {
+    const SmallNetwork net = tiny_network();
+    BayesianOptions options;
+    options.regularization = 100.0;
+    const linalg::Vector est =
+        bayesian_estimate(net.snapshot(), net.truth, options);
+    for (std::size_t p = 0; p < net.truth.size(); ++p) {
+        EXPECT_NEAR(est[p], net.truth[p], 1e-6);
+    }
+}
+
+TEST(Bayesian, SmallRegularizationSticksToPrior) {
+    const SmallNetwork net = tiny_network();
+    linalg::Vector prior(net.truth.size(), 1.0);
+    BayesianOptions options;
+    options.regularization = 1e-9;  // w huge -> prior dominates
+    const linalg::Vector est =
+        bayesian_estimate(net.snapshot(), prior, options);
+    for (std::size_t p = 0; p < prior.size(); ++p) {
+        EXPECT_NEAR(est[p], prior[p], 1e-3);
+    }
+}
+
+TEST(Bayesian, LargeRegularizationMatchesLoads) {
+    const SmallNetwork net = tiny_network();
+    linalg::Vector prior(net.truth.size(), 1.0);
+    BayesianOptions options;
+    options.regularization = 1e8;
+    const linalg::Vector est =
+        bayesian_estimate(net.snapshot(), prior, options);
+    const linalg::Vector pred = net.routing.multiply(est);
+    const SnapshotProblem snap = net.snapshot();
+    for (std::size_t l = 0; l < pred.size(); ++l) {
+        EXPECT_NEAR(pred[l], snap.loads[l], 1e-4 * (1.0 + snap.loads[l]));
+    }
+}
+
+TEST(Bayesian, EstimatesAreNonNegative) {
+    const SmallNetwork net = tiny_network(9);
+    // Deliberately bad prior with big values.
+    linalg::Vector prior(net.truth.size(), 10.0);
+    const linalg::Vector est = bayesian_estimate(net.snapshot(), prior);
+    for (double v : est) EXPECT_GE(v, 0.0);
+}
+
+TEST(Bayesian, ImprovesOnScaledPrior) {
+    // Prior = truth * 0.5: the link data fixes most of the scale error.
+    const SmallNetwork net = tiny_network(5);
+    linalg::Vector prior = net.truth;
+    for (double& v : prior) v *= 0.5;
+    BayesianOptions options;
+    options.regularization = 1e6;
+    const linalg::Vector est =
+        bayesian_estimate(net.snapshot(), prior, options);
+    EXPECT_LT(mre_at_coverage(net.truth, est, 0.9),
+              mre_at_coverage(net.truth, prior, 0.9));
+}
+
+TEST(Bayesian, Validation) {
+    const SmallNetwork net = tiny_network();
+    EXPECT_THROW(
+        bayesian_estimate(net.snapshot(), linalg::Vector(3, 1.0)),
+        std::invalid_argument);
+    BayesianOptions bad;
+    bad.regularization = 0.0;
+    EXPECT_THROW(bayesian_estimate(net.snapshot(), net.truth, bad),
+                 std::invalid_argument);
+}
+
+TEST(Bayesian, WorksWithoutTopology) {
+    // The Bayesian estimator needs only (R, t).
+    const SmallNetwork net = tiny_network();
+    SnapshotProblem snap = net.snapshot();
+    snap.topo = nullptr;
+    const linalg::Vector est = bayesian_estimate(snap, net.truth);
+    EXPECT_EQ(est.size(), net.truth.size());
+}
+
+class BayesianMonotonicity : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(BayesianMonotonicity, ResidualDecreasesWithRegularization) {
+    const SmallNetwork net = tiny_network(GetParam());
+    linalg::Vector prior(net.truth.size(), 1.0);
+    const SnapshotProblem snap = net.snapshot();
+    double prev_resid = 1e300;
+    for (double lam : {1e-3, 1e0, 1e3, 1e6}) {
+        BayesianOptions options;
+        options.regularization = lam;
+        const linalg::Vector est = bayesian_estimate(snap, prior, options);
+        const double resid =
+            linalg::nrm2(linalg::sub(net.routing.multiply(est), snap.loads));
+        EXPECT_LE(resid, prev_resid + 1e-9);
+        prev_resid = resid;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BayesianMonotonicity,
+                         ::testing::Values(1u, 2u, 3u, 4u));
+
+}  // namespace
+}  // namespace tme::core

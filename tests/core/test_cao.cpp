@@ -1,0 +1,100 @@
+#include "core/cao.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "linalg/stats.hpp"
+
+#include "core/metrics.hpp"
+#include "test_helpers.hpp"
+#include "traffic/generator.hpp"
+
+namespace tme::core {
+namespace {
+
+using testing::SmallNetwork;
+using testing::tiny_network;
+
+// Demands with Var = phi * mean^c via the Gamma generator.
+SeriesProblem scaled_series(const SmallNetwork& net, double phi, double c,
+                            std::size_t samples, unsigned seed) {
+    std::mt19937_64 rng(seed);
+    std::vector<linalg::Vector> demands;
+    demands.reserve(samples);
+    for (std::size_t k = 0; k < samples; ++k) {
+        linalg::Vector s(net.truth.size());
+        for (std::size_t p = 0; p < s.size(); ++p) {
+            const double mean = net.truth[p];
+            const double var = phi * std::pow(mean, c);
+            const double shape = mean * mean / var;
+            std::gamma_distribution<double> dist(shape, var / mean);
+            s[p] = dist(rng);
+        }
+        demands.push_back(std::move(s));
+    }
+    return net.series(demands);
+}
+
+TEST(Cao, PoissonSpecialCaseMatchesVardiBehaviour) {
+    // phi = 1, c = 1 is exactly the Poisson moment model.
+    const SmallNetwork net = tiny_network(2);
+    const SeriesProblem series = scaled_series(net, 1.0, 1.0, 600, 3);
+    CaoOptions options;
+    options.phi = 1.0;
+    options.c = 1.0;
+    const CaoResult r = cao_estimate(series, options);
+    EXPECT_LT(mre_at_coverage(net.truth, r.lambda, 0.95), 0.4);
+}
+
+TEST(Cao, RecoversUnderGeneralizedScalingLaw) {
+    const SmallNetwork net = tiny_network(6);
+    const double phi = 0.5;
+    const double c = 1.6;
+    const SeriesProblem series = scaled_series(net, phi, c, 800, 4);
+    CaoOptions options;
+    options.phi = phi;
+    options.c = c;
+    options.second_moment_weight = 1.0;
+    const CaoResult r = cao_estimate(series, options);
+    EXPECT_GT(r.outer_iterations, 0u);
+    EXPECT_LT(mre_at_coverage(net.truth, r.lambda, 0.95), 0.4);
+}
+
+TEST(Cao, ZeroWeightReducesToFirstMoments) {
+    const SmallNetwork net = tiny_network();
+    const SeriesProblem series = scaled_series(net, 0.5, 1.5, 50, 5);
+    CaoOptions options;
+    options.second_moment_weight = 0.0;
+    const CaoResult r = cao_estimate(series, options);
+    EXPECT_EQ(r.outer_iterations, 0u);
+    const linalg::Vector mean = linalg::sample_mean(series.loads);
+    const linalg::Vector pred = net.routing.multiply(r.lambda);
+    for (std::size_t l = 0; l < pred.size(); ++l) {
+        EXPECT_NEAR(pred[l], mean[l], 1e-6 * (1.0 + mean[l]));
+    }
+}
+
+TEST(Cao, IterationConverges) {
+    const SmallNetwork net = tiny_network(8);
+    const SeriesProblem series = scaled_series(net, 0.8, 1.4, 400, 6);
+    CaoOptions options;
+    options.phi = 0.8;
+    options.c = 1.4;
+    options.outer_iterations = 12;
+    const CaoResult r = cao_estimate(series, options);
+    // The damped fixed point should have settled.
+    EXPECT_LT(r.iterate_change,
+              0.15 * (1.0 + linalg::nrm_inf(r.lambda)));
+}
+
+TEST(Cao, RejectsBadPhi) {
+    const SmallNetwork net = tiny_network();
+    const SeriesProblem series = scaled_series(net, 1.0, 1.0, 5, 1);
+    CaoOptions bad;
+    bad.phi = 0.0;
+    EXPECT_THROW(cao_estimate(series, bad), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tme::core

@@ -1,0 +1,93 @@
+#include "core/entropy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/metrics.hpp"
+#include "test_helpers.hpp"
+
+namespace tme::core {
+namespace {
+
+using testing::SmallNetwork;
+using testing::tiny_network;
+
+TEST(Entropy, TruePriorStaysPut) {
+    const SmallNetwork net = tiny_network();
+    EntropyOptions options;
+    options.regularization = 100.0;
+    const linalg::Vector est =
+        entropy_estimate(net.snapshot(), net.truth, options);
+    for (std::size_t p = 0; p < net.truth.size(); ++p) {
+        EXPECT_NEAR(est[p], net.truth[p], 1e-4 * (1.0 + net.truth[p]));
+    }
+}
+
+TEST(Entropy, SmallRegularizationSticksToPrior) {
+    const SmallNetwork net = tiny_network();
+    linalg::Vector prior(net.truth.size(), 1.5);
+    EntropyOptions options;
+    options.regularization = 1e-9;
+    const linalg::Vector est =
+        entropy_estimate(net.snapshot(), prior, options);
+    for (std::size_t p = 0; p < prior.size(); ++p) {
+        EXPECT_NEAR(est[p], prior[p], 1e-2);
+    }
+}
+
+TEST(Entropy, LargeRegularizationMatchesLoads) {
+    const SmallNetwork net = tiny_network();
+    linalg::Vector prior(net.truth.size(), 1.0);
+    EntropyOptions options;
+    options.regularization = 1e7;
+    options.solver.max_iterations = 20000;
+    const linalg::Vector est =
+        entropy_estimate(net.snapshot(), prior, options);
+    const SnapshotProblem snap = net.snapshot();
+    const linalg::Vector pred = net.routing.multiply(est);
+    for (std::size_t l = 0; l < pred.size(); ++l) {
+        EXPECT_NEAR(pred[l], snap.loads[l], 5e-3 * (1.0 + snap.loads[l]));
+    }
+}
+
+TEST(Entropy, OutputStrictlyPositive) {
+    const SmallNetwork net = tiny_network(11);
+    linalg::Vector prior(net.truth.size(), 0.5);
+    const linalg::Vector est = entropy_estimate(net.snapshot(), prior);
+    for (double v : est) EXPECT_GT(v, 0.0);
+}
+
+TEST(Entropy, ImprovesOnProportionallyWrongPrior) {
+    const SmallNetwork net = tiny_network(5);
+    linalg::Vector prior = net.truth;
+    for (std::size_t p = 0; p < prior.size(); ++p) {
+        prior[p] *= (p % 2 == 0 ? 0.6 : 1.7);
+    }
+    EntropyOptions options;
+    options.regularization = 1e5;
+    const linalg::Vector est =
+        entropy_estimate(net.snapshot(), prior, options);
+    EXPECT_LT(mre_at_coverage(net.truth, est, 0.9),
+              mre_at_coverage(net.truth, prior, 0.9));
+}
+
+TEST(Entropy, Validation) {
+    const SmallNetwork net = tiny_network();
+    EXPECT_THROW(
+        entropy_estimate(net.snapshot(), linalg::Vector(2, 1.0)),
+        std::invalid_argument);
+    EntropyOptions bad;
+    bad.regularization = -1.0;
+    EXPECT_THROW(entropy_estimate(net.snapshot(), net.truth, bad),
+                 std::invalid_argument);
+}
+
+TEST(Entropy, WorksWithoutTopology) {
+    const SmallNetwork net = tiny_network();
+    SnapshotProblem snap = net.snapshot();
+    snap.topo = nullptr;
+    const linalg::Vector est = entropy_estimate(snap, net.truth);
+    EXPECT_EQ(est.size(), net.truth.size());
+}
+
+}  // namespace
+}  // namespace tme::core

@@ -1,0 +1,135 @@
+#include "core/gravity.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/metrics.hpp"
+#include "test_helpers.hpp"
+#include "traffic/traffic_matrix.hpp"
+
+namespace tme::core {
+namespace {
+
+using testing::SmallNetwork;
+using testing::tiny_network;
+
+TEST(Gravity, EstimateIsRankOneInMarginals) {
+    const SmallNetwork net = tiny_network();
+    const linalg::Vector g = gravity_estimate(net.snapshot());
+    // g_nm * g_km == g_km * g_nm trivially; check the product form:
+    // g_nm / (te(n) * tx(m)) is constant.
+    const SnapshotProblem snap = net.snapshot();
+    const topology::Topology& t = net.topo;
+    double ratio0 = 0.0;
+    for (std::size_t n = 0; n < t.pop_count(); ++n) {
+        for (std::size_t m = 0; m < t.pop_count(); ++m) {
+            if (n == m) continue;
+            const double te = snap.loads[t.ingress_link(n)];
+            const double tx = snap.loads[t.egress_link(m)];
+            const double r = g[t.pair_index(n, m)] / (te * tx);
+            if (ratio0 == 0.0) {
+                ratio0 = r;
+            } else {
+                EXPECT_NEAR(r, ratio0, 1e-12 * ratio0);
+            }
+        }
+    }
+}
+
+TEST(Gravity, FanoutFormEquivalence) {
+    // Paper Section 4.1: with C = 1/sum(tx), gravity == fanout model
+    // alpha_nm = tx(m)/sum(tx), i.e. row sums equal te(n)*(1 - share_n).
+    const SmallNetwork net = tiny_network();
+    const SnapshotProblem snap = net.snapshot();
+    const topology::Topology& t = net.topo;
+    const linalg::Vector g = gravity_estimate(snap);
+    double total_exit = 0.0;
+    for (std::size_t m = 0; m < t.pop_count(); ++m) {
+        total_exit += snap.loads[t.egress_link(m)];
+    }
+    for (std::size_t n = 0; n < t.pop_count(); ++n) {
+        double row = 0.0;
+        for (std::size_t m = 0; m < t.pop_count(); ++m) {
+            if (m != n) row += g[t.pair_index(n, m)];
+        }
+        const double te = snap.loads[t.ingress_link(n)];
+        const double share =
+            snap.loads[t.egress_link(n)] / total_exit;
+        EXPECT_NEAR(row, te * (1.0 - share), 1e-9);
+    }
+}
+
+TEST(Gravity, UniformTrafficScaledByDiagonalExclusion) {
+    // All demands equal to d: te(n) = tx(m) = (N-1)d for every node, so
+    // the gravity prediction is uniform at d*(N-1)/N — the structural
+    // zero-diagonal bias (self-traffic mass (1/N) is redistributed).
+    SmallNetwork net = tiny_network();
+    net.truth.assign(net.truth.size(), 2.0);
+    const std::size_t n = net.topo.pop_count();
+    const double expected =
+        2.0 * static_cast<double>(n - 1) / static_cast<double>(n);
+    const linalg::Vector g = gravity_estimate(net.snapshot());
+    for (std::size_t p = 0; p < g.size(); ++p) {
+        EXPECT_NEAR(g[p], expected, 1e-9);
+    }
+}
+
+TEST(Gravity, ValidationErrors) {
+    SnapshotProblem empty;
+    EXPECT_THROW(gravity_estimate(empty), std::invalid_argument);
+    SmallNetwork net = tiny_network();
+    SnapshotProblem snap = net.snapshot();
+    snap.loads.assign(snap.loads.size(), 0.0);
+    EXPECT_THROW(gravity_estimate(snap), std::invalid_argument);
+}
+
+TEST(GeneralizedGravity, ZeroesPeerToPeer) {
+    SmallNetwork net = tiny_network();
+    net.topo = topology::tiny_backbone();
+    // Make PoPs 0 and 1 peering points.
+    topology::Topology t;
+    t.add_pop({"A", 0.0, 0.0, 1.0, topology::PopRole::peering});
+    t.add_pop({"B", 0.0, 3.0, 1.0, topology::PopRole::peering});
+    t.add_pop({"C", 3.0, 0.0, 1.0, topology::PopRole::access});
+    t.add_pop({"D", 3.0, 3.0, 1.0, topology::PopRole::access});
+    t.add_core_link_pair(0, 1, 2500.0, 1.0);
+    t.add_core_link_pair(0, 2, 2500.0, 1.0);
+    t.add_core_link_pair(1, 3, 2500.0, 1.0);
+    t.add_core_link_pair(2, 3, 2500.0, 1.0);
+    SmallNetwork peer_net;
+    peer_net.topo = std::move(t);
+    peer_net.routing = routing::igp_routing_matrix(peer_net.topo);
+    peer_net.truth.assign(peer_net.topo.pair_count(), 1.0);
+
+    const linalg::Vector g =
+        generalized_gravity_estimate(peer_net.snapshot());
+    EXPECT_DOUBLE_EQ(g[peer_net.topo.pair_index(0, 1)], 0.0);
+    EXPECT_DOUBLE_EQ(g[peer_net.topo.pair_index(1, 0)], 0.0);
+    EXPECT_GT(g[peer_net.topo.pair_index(0, 2)], 0.0);
+
+    // Each source's entering total is preserved.
+    const SnapshotProblem snap = peer_net.snapshot();
+    for (std::size_t n = 0; n < peer_net.topo.pop_count(); ++n) {
+        double row = 0.0;
+        for (std::size_t m = 0; m < peer_net.topo.pop_count(); ++m) {
+            if (m != n) row += g[peer_net.topo.pair_index(n, m)];
+        }
+        EXPECT_NEAR(row, snap.loads[peer_net.topo.ingress_link(n)], 1e-9);
+    }
+}
+
+TEST(GeneralizedGravity, ReducesTowardSimpleWithoutPeers) {
+    // All-access topology: generalized == simple up to the per-source
+    // normalization difference; both must rank demands identically.
+    const SmallNetwork net = tiny_network();
+    const linalg::Vector simple = gravity_estimate(net.snapshot());
+    const linalg::Vector general =
+        generalized_gravity_estimate(net.snapshot());
+    for (std::size_t p = 0; p + 1 < simple.size(); ++p) {
+        const bool simple_less = simple[p] < simple[p + 1];
+        const bool general_less = general[p] < general[p + 1];
+        EXPECT_EQ(simple_less, general_less);
+    }
+}
+
+}  // namespace
+}  // namespace tme::core

@@ -1,0 +1,65 @@
+// Shared fixtures for estimator tests: a small consistent network where
+// ground truth is known exactly and the load vectors satisfy t = R s.
+#pragma once
+
+#include <random>
+
+#include "core/problem.hpp"
+#include "routing/routing_matrix.hpp"
+#include "topology/builders.hpp"
+
+namespace tme::core::testing {
+
+struct SmallNetwork {
+    topology::Topology topo;
+    linalg::SparseMatrix routing;
+    linalg::Vector truth;
+
+    SnapshotProblem snapshot() const {
+        SnapshotProblem p;
+        p.topo = &topo;
+        p.routing = &routing;
+        p.loads = routing.multiply(truth);
+        return p;
+    }
+
+    SeriesProblem series(const std::vector<linalg::Vector>& demands) const {
+        SeriesProblem p;
+        p.topo = &topo;
+        p.routing = &routing;
+        for (const linalg::Vector& s : demands) {
+            p.loads.push_back(routing.multiply(s));
+        }
+        return p;
+    }
+};
+
+/// 4-PoP network with deterministic pseudo-random positive demands.
+inline SmallNetwork tiny_network(unsigned seed = 1) {
+    SmallNetwork net;
+    net.topo = topology::tiny_backbone();
+    net.routing = routing::igp_routing_matrix(net.topo);
+    std::mt19937_64 rng(seed);
+    std::uniform_real_distribution<double> dist(0.5, 4.0);
+    net.truth.resize(net.topo.pair_count());
+    for (double& v : net.truth) v = dist(rng);
+    return net;
+}
+
+/// Europe-sized network with product-form-plus-jitter demands.
+inline SmallNetwork europe_network(unsigned seed = 1) {
+    SmallNetwork net;
+    net.topo = topology::europe_backbone();
+    net.routing = routing::igp_routing_matrix(net.topo);
+    std::mt19937_64 rng(seed);
+    std::normal_distribution<double> gauss(0.0, 0.2);
+    net.truth.resize(net.topo.pair_count());
+    for (std::size_t p = 0; p < net.truth.size(); ++p) {
+        const auto [src, dst] = net.topo.pair_nodes(p);
+        net.truth[p] = net.topo.pop(src).weight * net.topo.pop(dst).weight *
+                       std::exp(gauss(rng));
+    }
+    return net;
+}
+
+}  // namespace tme::core::testing

@@ -1,0 +1,104 @@
+#include "core/iterative_bayesian.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "core/gravity.hpp"
+#include "core/metrics.hpp"
+#include "test_helpers.hpp"
+
+namespace tme::core {
+namespace {
+
+using testing::SmallNetwork;
+using testing::tiny_network;
+
+// Window of noisy measurements around the same mean demands.
+SeriesProblem noisy_window(const SmallNetwork& net, std::size_t samples,
+                           double cv, unsigned seed) {
+    std::mt19937_64 rng(seed);
+    std::normal_distribution<double> gauss(0.0, 1.0);
+    std::vector<linalg::Vector> demands;
+    for (std::size_t k = 0; k < samples; ++k) {
+        linalg::Vector s = net.truth;
+        for (double& v : s) {
+            v = std::max(0.0, v * (1.0 + cv * gauss(rng)));
+        }
+        demands.push_back(std::move(s));
+    }
+    return net.series(demands);
+}
+
+TEST(IterativeBayesian, ConvergesOnNoiselessWindow) {
+    const SmallNetwork net = tiny_network(3);
+    const SeriesProblem series = noisy_window(net, 4, 0.0, 1);
+    linalg::Vector prior(net.truth.size(), 1.0);
+    IterativeBayesianOptions options;
+    options.max_passes = 30;
+    const IterativeBayesianResult r =
+        iterative_bayesian_estimate(series, prior, options);
+    EXPECT_TRUE(r.converged);
+    EXPECT_LT(r.last_change, options.tolerance + 1e-12);
+}
+
+TEST(IterativeBayesian, RefinementImprovesOnSinglePass) {
+    const SmallNetwork net = tiny_network(5);
+    const SeriesProblem series = noisy_window(net, 8, 0.05, 2);
+    linalg::Vector prior(net.truth.size(), 1.0);
+
+    IterativeBayesianOptions one_pass;
+    one_pass.max_passes = 1;
+    IterativeBayesianOptions many;
+    many.max_passes = 16;
+
+    const double mre_one = mre_at_coverage(
+        net.truth,
+        iterative_bayesian_estimate(series, prior, one_pass).s, 0.9);
+    const double mre_many = mre_at_coverage(
+        net.truth, iterative_bayesian_estimate(series, prior, many).s,
+        0.9);
+    EXPECT_LE(mre_many, mre_one + 1e-9);
+}
+
+TEST(IterativeBayesian, FixedPointAtTruth) {
+    const SmallNetwork net = tiny_network(7);
+    const SeriesProblem series = noisy_window(net, 3, 0.0, 3);
+    IterativeBayesianOptions options;
+    const IterativeBayesianResult r =
+        iterative_bayesian_estimate(series, net.truth, options);
+    for (std::size_t p = 0; p < net.truth.size(); ++p) {
+        EXPECT_NEAR(r.s[p], net.truth[p], 1e-6 * (1.0 + net.truth[p]));
+    }
+    EXPECT_TRUE(r.converged);
+}
+
+TEST(IterativeBayesian, Validation) {
+    const SmallNetwork net = tiny_network();
+    const SeriesProblem series = noisy_window(net, 2, 0.0, 4);
+    EXPECT_THROW(
+        iterative_bayesian_estimate(series, linalg::Vector(2, 1.0)),
+        std::invalid_argument);
+    IterativeBayesianOptions bad;
+    bad.max_passes = 0;
+    linalg::Vector prior(net.truth.size(), 1.0);
+    EXPECT_THROW(iterative_bayesian_estimate(series, prior, bad),
+                 std::invalid_argument);
+}
+
+TEST(IterativeBayesian, CyclesOverWindow) {
+    // More passes than samples: the pass counter can exceed the window
+    // because measurements are reused cyclically.
+    const SmallNetwork net = tiny_network(8);
+    const SeriesProblem series = noisy_window(net, 2, 0.02, 5);
+    linalg::Vector prior(net.truth.size(), 1.0);
+    IterativeBayesianOptions options;
+    options.max_passes = 9;
+    options.tolerance = 0.0;  // force all passes
+    const IterativeBayesianResult r =
+        iterative_bayesian_estimate(series, prior, options);
+    EXPECT_EQ(r.passes, 9u);
+}
+
+}  // namespace
+}  // namespace tme::core

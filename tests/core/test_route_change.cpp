@@ -1,0 +1,95 @@
+#include "core/route_change.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/metrics.hpp"
+#include "test_helpers.hpp"
+
+namespace tme::core {
+namespace {
+
+using testing::SmallNetwork;
+using testing::europe_network;
+using testing::tiny_network;
+
+std::vector<RoutingObservation> observe(
+    const SmallNetwork& net,
+    const std::vector<const linalg::SparseMatrix*>& routings) {
+    std::vector<RoutingObservation> obs;
+    for (const linalg::SparseMatrix* r : routings) {
+        obs.push_back({r, r->multiply(net.truth)});
+    }
+    return obs;
+}
+
+TEST(RouteChange, SingleObservationMatchesPlainNnls) {
+    const SmallNetwork net = tiny_network(2);
+    const auto obs = observe(net, {&net.routing});
+    const RouteChangeResult r = route_change_estimate(obs);
+    EXPECT_LE(r.residual_norm, 1e-6);
+    EXPECT_LE(r.stacked_rank, net.truth.size());
+}
+
+TEST(RouteChange, AdditionalConfigurationsIncreaseRank) {
+    const SmallNetwork net = europe_network(3);
+    const linalg::SparseMatrix alt1 =
+        perturbed_routing(net.topo, 0.6, 11);
+    const linalg::SparseMatrix alt2 =
+        perturbed_routing(net.topo, 0.6, 22);
+
+    const RouteChangeResult one =
+        route_change_estimate(observe(net, {&net.routing}));
+    const RouteChangeResult three = route_change_estimate(
+        observe(net, {&net.routing, &alt1, &alt2}));
+    EXPECT_GT(three.stacked_rank, one.stacked_rank);
+}
+
+TEST(RouteChange, EnoughConfigurationsRecoverDemandsExactly) {
+    // With several independent routings the stacked system pins the
+    // demands without any prior — the Nucci et al. premise.
+    const SmallNetwork net = europe_network(4);
+    std::vector<linalg::SparseMatrix> alts;
+    for (unsigned seed : {11u, 22u, 33u, 44u, 55u, 66u}) {
+        alts.push_back(perturbed_routing(net.topo, 0.8, seed));
+    }
+    std::vector<const linalg::SparseMatrix*> routings{&net.routing};
+    for (const auto& r : alts) routings.push_back(&r);
+    const RouteChangeResult res =
+        route_change_estimate(observe(net, routings));
+    if (res.stacked_rank < net.truth.size()) {
+        GTEST_SKIP() << "perturbations insufficient for full rank";
+    }
+    EXPECT_LT(mre_at_coverage(net.truth, res.s, 0.9), 1e-4);
+}
+
+TEST(RouteChange, PerturbedRoutingDiffersButStaysValid) {
+    const SmallNetwork net = europe_network(5);
+    const linalg::SparseMatrix alt = perturbed_routing(net.topo, 0.9, 7);
+    EXPECT_EQ(alt.rows(), net.routing.rows());
+    EXPECT_EQ(alt.cols(), net.routing.cols());
+    // Same deterministic inputs -> same perturbation.
+    const linalg::SparseMatrix alt_again =
+        perturbed_routing(net.topo, 0.9, 7);
+    EXPECT_EQ(alt.nonzeros(), alt_again.nonzeros());
+    // Different seed -> (almost surely) different paths somewhere.
+    const linalg::SparseMatrix other = perturbed_routing(net.topo, 0.9, 8);
+    bool differs = other.nonzeros() != alt.nonzeros();
+    if (!differs) {
+        for (std::size_t p = 0; p < alt.cols() && !differs; ++p) {
+            differs = alt.column_nonzeros(p) != other.column_nonzeros(p);
+        }
+    }
+    EXPECT_TRUE(differs);
+}
+
+TEST(RouteChange, Validation) {
+    EXPECT_THROW(route_change_estimate({}), std::invalid_argument);
+    const SmallNetwork net = tiny_network();
+    RoutingObservation bad{&net.routing, linalg::Vector(3, 0.0)};
+    EXPECT_THROW(route_change_estimate({bad}), std::invalid_argument);
+    EXPECT_THROW(perturbed_routing(net.topo, -1.0, 1),
+                 std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tme::core

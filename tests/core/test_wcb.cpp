@@ -1,0 +1,103 @@
+#include "core/wcb.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/metrics.hpp"
+#include "test_helpers.hpp"
+
+namespace tme::core {
+namespace {
+
+using testing::SmallNetwork;
+using testing::tiny_network;
+
+TEST(Wcb, BoundsBracketTruth) {
+    const SmallNetwork net = tiny_network(3);
+    const WcbResult r = worst_case_bounds(net.snapshot());
+    EXPECT_EQ(r.failures, 0u);
+    for (std::size_t p = 0; p < net.truth.size(); ++p) {
+        EXPECT_LE(r.lower[p], net.truth[p] + 1e-6) << "pair " << p;
+        EXPECT_GE(r.upper[p], net.truth[p] - 1e-6) << "pair " << p;
+        EXPECT_LE(r.lower[p], r.upper[p] + 1e-9);
+    }
+}
+
+TEST(Wcb, UpperBoundedByPathLinkLoads) {
+    // No demand can exceed the smallest load among its links.
+    const SmallNetwork net = tiny_network(5);
+    const SnapshotProblem snap = net.snapshot();
+    const WcbResult r = worst_case_bounds(snap);
+    for (std::size_t p = 0; p < net.truth.size(); ++p) {
+        double min_load = 1e300;
+        for (std::size_t l = 0; l < snap.loads.size(); ++l) {
+            if (net.routing.at(l, p) > 0.0) {
+                min_load = std::min(min_load, snap.loads[l]);
+            }
+        }
+        EXPECT_LE(r.upper[p], min_load + 1e-6);
+    }
+}
+
+TEST(Wcb, MidpointIsAverage) {
+    const SmallNetwork net = tiny_network(2);
+    const WcbResult r = worst_case_bounds(net.snapshot());
+    for (std::size_t p = 0; p < net.truth.size(); ++p) {
+        EXPECT_NEAR(r.midpoint[p], 0.5 * (r.lower[p] + r.upper[p]), 1e-9);
+    }
+}
+
+TEST(Wcb, SubsetOnlyComputesRequestedPairs) {
+    const SmallNetwork net = tiny_network();
+    const WcbResult r = worst_case_bounds(net.snapshot(), {}, {0, 3});
+    EXPECT_EQ(r.lps_solved, 4u);
+    // Unrequested pairs keep the trivial bounds.
+    EXPECT_EQ(r.lower[1], 0.0);
+    EXPECT_TRUE(std::isinf(r.upper[1]));
+    EXPECT_FALSE(std::isinf(r.upper[0]));
+}
+
+TEST(Wcb, WarmStartAgreesWithColdStart) {
+    const SmallNetwork net = tiny_network(4);
+    WcbOptions cold;
+    cold.warm_start = false;
+    WcbOptions warm;
+    warm.warm_start = true;
+    const WcbResult a = worst_case_bounds(net.snapshot(), cold);
+    const WcbResult b = worst_case_bounds(net.snapshot(), warm);
+    for (std::size_t p = 0; p < net.truth.size(); ++p) {
+        EXPECT_NEAR(a.lower[p], b.lower[p], 1e-6);
+        EXPECT_NEAR(a.upper[p], b.upper[p], 1e-6);
+    }
+    // Warm starting must save simplex iterations overall.
+    EXPECT_LT(b.simplex_iterations, a.simplex_iterations);
+}
+
+TEST(Wcb, ExactlyDeterminedDemandHasTightBounds) {
+    // Two PoPs, one pair each way: the single demand equals the edge
+    // loads, so lower == upper.
+    topology::Topology t;
+    t.add_pop({"A", 0.0, 0.0, 1.0, topology::PopRole::access});
+    t.add_pop({"B", 1.0, 0.0, 1.0, topology::PopRole::access});
+    t.add_core_link_pair(0, 1, 100.0, 1.0);
+    SmallNetwork net;
+    net.topo = std::move(t);
+    net.routing = routing::igp_routing_matrix(net.topo);
+    net.truth = {2.5, 1.5};
+    const WcbResult r = worst_case_bounds(net.snapshot());
+    for (std::size_t p = 0; p < 2; ++p) {
+        EXPECT_NEAR(r.lower[p], net.truth[p], 1e-8);
+        EXPECT_NEAR(r.upper[p], net.truth[p], 1e-8);
+    }
+}
+
+TEST(Wcb, MidpointPriorBeatsNothing) {
+    // The midpoint prior should be a sane estimate: finite MRE and
+    // correlated with the truth.
+    const SmallNetwork net = tiny_network(8);
+    const WcbResult r = worst_case_bounds(net.snapshot());
+    const double mre = mre_at_coverage(net.truth, r.midpoint, 0.9);
+    EXPECT_LT(mre, 1.0);
+}
+
+}  // namespace
+}  // namespace tme::core

@@ -1,0 +1,283 @@
+// Miniature end-to-end reproductions of the paper's qualitative results.
+// These guard the shape of every benched experiment so regressions are
+// caught by ctest rather than by eyeballing bench output.
+#include <gtest/gtest.h>
+
+#include "core/bayesian.hpp"
+#include "core/entropy.hpp"
+#include "core/fanout.hpp"
+#include "core/gravity.hpp"
+#include "core/metrics.hpp"
+#include "core/tomo_direct.hpp"
+#include "core/vardi.hpp"
+#include "core/wcb.hpp"
+#include "linalg/stats.hpp"
+#include "scenario/scenario.hpp"
+#include "telemetry/poller.hpp"
+#include "traffic/generator.hpp"
+#include "traffic/traffic_matrix.hpp"
+
+namespace tme {
+namespace {
+
+// Shared scenarios (built once; construction is the expensive part).
+const scenario::Scenario& europe() {
+    static const scenario::Scenario sc =
+        scenario::make_scenario(scenario::Network::europe);
+    return sc;
+}
+
+const scenario::Scenario& usa() {
+    static const scenario::Scenario sc =
+        scenario::make_scenario(scenario::Network::usa);
+    return sc;
+}
+
+struct MethodErrors {
+    double gravity = 0.0;
+    double bayes = 0.0;
+    double entropy = 0.0;
+};
+
+MethodErrors snapshot_errors(const scenario::Scenario& sc) {
+    const core::SnapshotProblem snap = sc.busy_snapshot();
+    const linalg::Vector& truth = sc.busy_snapshot_demands();
+    const double thr = core::threshold_for_coverage(truth, 0.9);
+    MethodErrors e;
+    const linalg::Vector grav = core::gravity_estimate(snap);
+    e.gravity = core::mean_relative_error(truth, grav, thr);
+    core::BayesianOptions bo;
+    bo.regularization = 1e4;
+    e.bayes = core::mean_relative_error(
+        truth, core::bayesian_estimate(snap, grav, bo), thr);
+    core::EntropyOptions eo;
+    eo.regularization = 1e3;
+    e.entropy = core::mean_relative_error(
+        truth, core::entropy_estimate(snap, grav, eo), thr);
+    return e;
+}
+
+TEST(EndToEnd, RegularizedMethodsBeatGravityEurope) {
+    const MethodErrors e = snapshot_errors(europe());
+    // Paper Table 2 (Europe): gravity 0.26, Bayes 0.08, Entropy 0.11.
+    EXPECT_LT(e.bayes, 0.6 * e.gravity);
+    EXPECT_LT(e.entropy, 0.8 * e.gravity);
+    EXPECT_LT(e.gravity, 0.45);
+    EXPECT_GT(e.gravity, 0.15);
+}
+
+TEST(EndToEnd, RegularizedMethodsBeatGravityUsa) {
+    const MethodErrors e = snapshot_errors(usa());
+    // Paper Table 2 (America): gravity 0.78, Bayes 0.25, Entropy 0.22.
+    EXPECT_LT(e.bayes, 0.5 * e.gravity);
+    EXPECT_LT(e.entropy, 0.8 * e.gravity);
+    EXPECT_GT(e.gravity, 0.4);
+}
+
+TEST(EndToEnd, GravityWorseInUsaThanEurope) {
+    // Section 5.2.4: hotspot structure breaks gravity in the US network.
+    EXPECT_GT(snapshot_errors(usa()).gravity,
+              snapshot_errors(europe()).gravity);
+}
+
+TEST(EndToEnd, WcbPriorComparableAndConvergesAtLargeRegularization) {
+    // Fig. 15's robust content: at large regularization the choice of
+    // prior stops mattering, and the WCB midpoint is a usable prior in
+    // its own right.  (The paper's data had tight enough bounds for the
+    // midpoint to clearly BEAT gravity; our synthetic topologies give
+    // looser bounds and the two priors are merely comparable — the
+    // divergence is recorded in EXPERIMENTS.md.)
+    const scenario::Scenario& sc = usa();
+    const core::SnapshotProblem snap = sc.busy_snapshot();
+    const linalg::Vector& truth = sc.busy_snapshot_demands();
+    const double thr = core::threshold_for_coverage(truth, 0.9);
+    const linalg::Vector grav = core::gravity_estimate(snap);
+    const core::WcbResult wcb = core::worst_case_bounds(snap);
+
+    // Comparable as raw priors (within 30%).
+    const double prior_grav = core::mean_relative_error(truth, grav, thr);
+    const double prior_wcb =
+        core::mean_relative_error(truth, wcb.midpoint, thr);
+    EXPECT_LT(prior_wcb, 1.3 * prior_grav);
+
+    // Regularized estimation improves on each prior (large lambda pulls
+    // both toward the load-consistent manifold).
+    core::BayesianOptions bo;
+    bo.regularization = 1e4;
+    const double with_grav = core::mean_relative_error(
+        truth, core::bayesian_estimate(snap, grav, bo), thr);
+    const double with_wcb = core::mean_relative_error(
+        truth, core::bayesian_estimate(snap, wcb.midpoint, bo), thr);
+    EXPECT_LT(with_grav, prior_grav);
+    EXPECT_LT(with_wcb, prior_wcb);
+}
+
+TEST(EndToEnd, WcbBoundsBracketTruthOnEurope) {
+    const scenario::Scenario& sc = europe();
+    const core::WcbResult wcb = core::worst_case_bounds(sc.busy_snapshot());
+    const linalg::Vector& truth = sc.busy_snapshot_demands();
+    EXPECT_EQ(wcb.failures, 0u);
+    for (std::size_t p = 0; p < truth.size(); ++p) {
+        EXPECT_LE(wcb.lower[p], truth[p] + 1e-6);
+        EXPECT_GE(wcb.upper[p], truth[p] - 1e-6);
+    }
+}
+
+TEST(EndToEnd, FanoutEstimationImprovesWithWindowThenSaturates) {
+    // Fig. 11: error drops for short windows, then levels out.
+    const scenario::Scenario& sc = europe();
+    const linalg::Vector reference = sc.busy_mean_demands();
+    const double thr = core::threshold_for_coverage(reference, 0.9);
+    auto mre_for_window = [&](std::size_t k) {
+        const core::FanoutResult r =
+            core::fanout_estimate(sc.busy_series_window(k));
+        return core::mean_relative_error(reference, r.mean_demands, thr);
+    };
+    const double w1 = mre_for_window(1);
+    const double w10 = mre_for_window(10);
+    const double w40 = mre_for_window(40);
+    // The full window is at least as good as a single snapshot, and the
+    // curve stays in one regime (the "levels out" of Fig. 11) — our
+    // synthetic busy period is flatter than the paper's, so the initial
+    // drop is milder (see EXPERIMENTS.md).
+    EXPECT_LT(w40, w1 + 1e-9);
+    EXPECT_LT(std::abs(w40 - w10), 0.5 * std::max(w10, w1) + 0.05);
+    EXPECT_LT(std::max({w1, w10, w40}), 0.45);  // paper-range errors
+}
+
+TEST(EndToEnd, FanoutSolverNotWorseThanTrueFanoutsInObjective) {
+    // Regression guard: with the default gravity tie-break, the fanout
+    // QP solution's DATA objective must be within a few percent of what
+    // the true mean fanouts achieve (an earlier penalty formulation
+    // lost the data term under the penalty's conditioning and landed
+    // 2.5x above it; the pure formulation without the tie-break also
+    // fails this on flat busy-hour data — see EXPERIMENTS.md).
+    const scenario::Scenario& sc = europe();
+    const core::SeriesProblem series = sc.busy_series_window(10);
+    const core::FanoutResult r = core::fanout_estimate(series);
+
+    const linalg::Vector true_fanouts = traffic::fanouts_from_demands(
+        sc.topo.pop_count(), sc.busy_mean_demands());
+    auto objective = [&](const linalg::Vector& alpha) {
+        double acc = 0.0;
+        for (const linalg::Vector& t : series.loads) {
+            linalg::Vector s(alpha.size());
+            for (std::size_t p = 0; p < alpha.size(); ++p) {
+                const auto [src, dst] = sc.topo.pair_nodes(p);
+                (void)dst;
+                s[p] = alpha[p] * t[sc.topo.ingress_link(src)];
+            }
+            const linalg::Vector resid =
+                linalg::sub(sc.routing.multiply(s), t);
+            acc += linalg::dot(resid, resid);
+        }
+        return acc;
+    };
+    EXPECT_LE(objective(r.fanouts), 1.10 * objective(true_fanouts));
+    EXPECT_LT(r.equality_violation, 1e-8);
+}
+
+TEST(EndToEnd, VardiPoorOnRealLikeTraffic) {
+    // Table 1: sigma^-2 = 1 is catastrophic, 0.01 mediocre; both far
+    // worse than the regularized snapshot methods.
+    const scenario::Scenario& sc = europe();
+    const core::SeriesProblem series = sc.busy_series();
+    const linalg::Vector reference = sc.busy_mean_demands();
+    const double thr = core::threshold_for_coverage(reference, 0.9);
+
+    core::VardiOptions strong;
+    strong.second_moment_weight = 1.0;
+    const double mre_strong = core::mean_relative_error(
+        reference, core::vardi_estimate(series, strong).lambda, thr);
+
+    core::VardiOptions weak;
+    weak.second_moment_weight = 0.01;
+    const double mre_weak = core::mean_relative_error(
+        reference, core::vardi_estimate(series, weak).lambda, thr);
+
+    const MethodErrors e = snapshot_errors(sc);
+    EXPECT_GT(mre_weak, e.bayes);
+    EXPECT_GT(mre_strong, 0.3);
+}
+
+TEST(EndToEnd, VardiSyntheticPoissonNeedsLargeWindows) {
+    // Fig. 12: even on true Poisson data, small windows give large MRE
+    // and accuracy improves with window size.
+    const scenario::Scenario& sc = europe();
+    linalg::Vector lambda = sc.busy_mean_demands();
+    // Scale to Mbps so Poisson counts have realistic relative noise.
+    for (double& v : lambda) v *= sc.scale_mbps;
+    const double thr = core::threshold_for_coverage(lambda, 0.9);
+
+    auto mre_for_window = [&](std::size_t k) {
+        const auto demands =
+            traffic::generate_poisson_series(lambda, 1.0, k, 33);
+        core::SeriesProblem series;
+        series.topo = &sc.topo;
+        series.routing = &sc.routing;
+        for (const auto& s : demands) {
+            series.loads.push_back(sc.routing.multiply(s));
+        }
+        core::VardiOptions options;
+        options.second_moment_weight = 1.0;
+        return core::mean_relative_error(
+            lambda, core::vardi_estimate(series, options).lambda, thr);
+    };
+    const double small = mre_for_window(20);
+    const double large = mre_for_window(400);
+    EXPECT_LT(large, small);
+}
+
+TEST(EndToEnd, DirectMeasurementsCollapseEntropyError) {
+    // Fig. 16: measuring a handful of (greedily chosen) demands slashes
+    // the MRE.
+    const scenario::Scenario& sc = europe();
+    const core::SnapshotProblem snap = sc.busy_snapshot();
+    const linalg::Vector& truth = sc.busy_snapshot_demands();
+    const linalg::Vector grav = core::gravity_estimate(snap);
+    core::DirectMeasurementOptions options;
+    options.max_measured = 8;
+    options.estimator = [](const core::SnapshotProblem& p,
+                           const linalg::Vector& prior) {
+        core::BayesianOptions bo;
+        bo.regularization = 1e4;
+        return core::bayesian_estimate(p, prior, bo);
+    };
+    const core::DirectMeasurementCurve curve =
+        core::greedy_direct_measurements(snap, grav, truth, options);
+    ASSERT_EQ(curve.mre.size(), 9u);
+    EXPECT_LT(curve.mre.back(), 0.5 * curve.mre.front());
+}
+
+TEST(EndToEnd, PollerMeasuresScenarioLoadsAccurately) {
+    // Telemetry path: polling the true rate series reproduces the loads
+    // within the boundary-sliver error.
+    const scenario::Scenario& sc = europe();
+    std::vector<std::vector<double>> rates;
+    for (std::size_t k = 0; k < 36; ++k) {
+        rates.push_back(sc.loads[200 + k]);
+    }
+    telemetry::PollerConfig config;
+    config.jitter_stddev_seconds = 2.0;
+    config.loss_probability = 0.01;
+    config.seed = 4;
+    const telemetry::PollingOutcome out =
+        telemetry::simulate_polling(rates, config);
+    linalg::Vector rel_errors;
+    for (std::size_t k = 1; k < rates.size(); ++k) {
+        const auto snap = out.store.snapshot(k);
+        for (std::size_t l = 0; l < snap.size(); ++l) {
+            if (rates[k][l] > 1e-6) {
+                rel_errors.push_back(std::abs(snap[l] - rates[k][l]) /
+                                     rates[k][l]);
+            }
+        }
+    }
+    // Rate-adjusted polling stays close: tiny typical error, modest
+    // tail (interpolated losses across rate changes).
+    EXPECT_LT(linalg::quantile(rel_errors, 0.5), 0.02);
+    EXPECT_LT(linalg::quantile(rel_errors, 0.95), 0.25);
+}
+
+}  // namespace
+}  // namespace tme

@@ -1,0 +1,197 @@
+#include "scenario/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include <algorithm>
+
+#include "core/metrics.hpp"
+#include "topology/builders.hpp"
+#include "linalg/stats.hpp"
+#include "routing/routing_matrix.hpp"
+#include "traffic/traffic_matrix.hpp"
+
+namespace tme::scenario {
+namespace {
+
+class ScenarioTest : public ::testing::TestWithParam<Network> {};
+
+TEST_P(ScenarioTest, DimensionsMatchPaper) {
+    const Scenario sc = make_scenario(GetParam());
+    if (GetParam() == Network::europe) {
+        EXPECT_EQ(sc.topo.pop_count(), 12u);
+        EXPECT_EQ(sc.topo.link_count(), 72u);
+        EXPECT_EQ(sc.topo.pair_count(), 132u);
+    } else {
+        EXPECT_EQ(sc.topo.pop_count(), 25u);
+        EXPECT_EQ(sc.topo.link_count(), 284u);
+        EXPECT_EQ(sc.topo.pair_count(), 600u);
+    }
+    EXPECT_EQ(sc.demands.size(), 288u);
+    EXPECT_EQ(sc.loads.size(), 288u);
+}
+
+TEST_P(ScenarioTest, LoadsAreConsistentWithDemands) {
+    // Evaluation data set property (paper 5.1.4): t[k] = R s[k] exactly.
+    const Scenario sc = make_scenario(GetParam());
+    for (std::size_t k = 0; k < sc.demands.size(); k += 37) {
+        const linalg::Vector pred = sc.routing.multiply(sc.demands[k]);
+        for (std::size_t l = 0; l < pred.size(); ++l) {
+            EXPECT_NEAR(pred[l], sc.loads[k][l], 1e-12);
+        }
+    }
+}
+
+TEST_P(ScenarioTest, RoutingMatrixValid) {
+    const Scenario sc = make_scenario(GetParam());
+    EXPECT_EQ(routing::validate_routing_matrix(sc.topo, sc.routing), "");
+}
+
+TEST_P(ScenarioTest, NormalizedTotalPeaksAtOne) {
+    const Scenario sc = make_scenario(GetParam());
+    double mx = 0.0;
+    for (std::size_t k = 0; k < sc.demands.size(); ++k) {
+        mx = std::max(mx, sc.total_at(k));
+    }
+    EXPECT_NEAR(mx, 1.0, 1e-9);
+}
+
+TEST_P(ScenarioTest, DiurnalCyclePresent) {
+    // Fig. 1: pronounced cycle with trough well below the peak.
+    const Scenario sc = make_scenario(GetParam());
+    double mn = 1e300;
+    for (std::size_t k = 0; k < sc.demands.size(); ++k) {
+        mn = std::min(mn, sc.total_at(k));
+    }
+    EXPECT_LT(mn, 0.55);
+    EXPECT_GT(mn, 0.15);
+}
+
+TEST_P(ScenarioTest, BusyWindowIsBusy) {
+    const Scenario sc = make_scenario(GetParam());
+    double busy_avg = 0.0;
+    for (std::size_t k = sc.busy_start; k < sc.busy_start + sc.busy_length;
+         ++k) {
+        busy_avg += sc.total_at(k);
+    }
+    busy_avg /= static_cast<double>(sc.busy_length);
+    double day_avg = 0.0;
+    for (std::size_t k = 0; k < sc.demands.size(); ++k) {
+        day_avg += sc.total_at(k);
+    }
+    day_avg /= static_cast<double>(sc.demands.size());
+    EXPECT_GT(busy_avg, day_avg);
+}
+
+TEST_P(ScenarioTest, ScalingLawHolds) {
+    // Fig. 6: strong mean-variance relation over the busy window with
+    // exponent near the configured c.
+    const Scenario sc = make_scenario(GetParam());
+    std::vector<linalg::Vector> window(
+        sc.demands.begin() + static_cast<std::ptrdiff_t>(sc.busy_start),
+        sc.demands.begin() +
+            static_cast<std::ptrdiff_t>(sc.busy_start + sc.busy_length));
+    const linalg::Vector mean = linalg::sample_mean(window);
+    linalg::Vector var(mean.size());
+    for (std::size_t p = 0; p < mean.size(); ++p) {
+        linalg::Vector xs(window.size());
+        for (std::size_t k = 0; k < window.size(); ++k) xs[k] = window[k][p];
+        var[p] = linalg::variance(xs);
+    }
+    const linalg::ScalingLawFit fit = linalg::fit_scaling_law(mean, var);
+    EXPECT_GT(fit.r_squared, 0.9);
+    const double expected_c =
+        GetParam() == Network::europe ? 1.6 : 1.5;
+    EXPECT_NEAR(fit.c, expected_c, 0.35);
+}
+
+TEST_P(ScenarioTest, LargeDemandSetSizeNearPaper) {
+    const Scenario sc = make_scenario(GetParam());
+    const linalg::Vector& truth = sc.busy_snapshot_demands();
+    const double thr = core::threshold_for_coverage(truth, 0.9);
+    const std::size_t n = core::demands_above(truth, thr).size();
+    if (GetParam() == Network::europe) {
+        EXPECT_GE(n, 20u);  // paper: 29
+        EXPECT_LE(n, 60u);
+    } else {
+        EXPECT_GE(n, 110u);  // paper: 155
+        EXPECT_LE(n, 210u);
+    }
+}
+
+TEST_P(ScenarioTest, FanoutsMoreStableThanDemands) {
+    // Figs. 4-5: for the largest sources, fanout coefficient of
+    // variation over the day is much smaller than demand CV.
+    const Scenario sc = make_scenario(GetParam());
+    const std::size_t nodes = sc.topo.pop_count();
+    // Find the largest source by busy mean.
+    const linalg::Vector mean = sc.busy_mean_demands();
+    const linalg::Vector totals =
+        traffic::node_totals_from_demands(nodes, mean);
+    std::size_t big_src = 0;
+    for (std::size_t n = 1; n < nodes; ++n) {
+        if (totals[n] > totals[big_src]) big_src = n;
+    }
+    // Largest demand from that source.
+    std::size_t big_pair = 0;
+    double best = -1.0;
+    for (std::size_t m = 0; m < nodes; ++m) {
+        if (m == big_src) continue;
+        const std::size_t p = sc.topo.pair_index(big_src, m);
+        if (mean[p] > best) {
+            best = mean[p];
+            big_pair = p;
+        }
+    }
+    linalg::Vector demand_series;
+    linalg::Vector fanout_series;
+    for (std::size_t k = 0; k < sc.demands.size(); ++k) {
+        const double d = sc.demands[k][big_pair];
+        const linalg::Vector tk =
+            traffic::node_totals_from_demands(nodes, sc.demands[k]);
+        demand_series.push_back(d);
+        fanout_series.push_back(tk[big_src] > 0.0 ? d / tk[big_src] : 0.0);
+    }
+    auto cv = [](const linalg::Vector& xs) {
+        return std::sqrt(linalg::variance(xs)) / linalg::mean(xs);
+    };
+    EXPECT_LT(cv(fanout_series), 0.5 * cv(demand_series));
+}
+
+TEST_P(ScenarioTest, DeterministicForFixedSeed) {
+    const Scenario a = make_scenario(GetParam(), 5);
+    const Scenario b = make_scenario(GetParam(), 5);
+    EXPECT_EQ(a.demands[100], b.demands[100]);
+    const Scenario c = make_scenario(GetParam(), 6);
+    EXPECT_NE(a.demands[100], c.demands[100]);
+}
+
+INSTANTIATE_TEST_SUITE_P(Networks, ScenarioTest,
+                         ::testing::Values(Network::europe, Network::usa),
+                         [](const auto& info) {
+                             return info.param == Network::europe
+                                        ? "Europe"
+                                        : "USA";
+                         });
+
+TEST(CustomScenario, RespectsTopology) {
+    CustomScenarioConfig config;
+    config.seed = 2;
+    const Scenario sc = make_custom_scenario(
+        topology::europe_backbone(), config, "custom-eu");
+    EXPECT_EQ(sc.name, "custom-eu");
+    EXPECT_EQ(sc.topo.pop_count(), 12u);
+    EXPECT_EQ(sc.demands.size(), 288u);
+}
+
+TEST(Scenario, WindowAccessorsValidate) {
+    const Scenario sc = make_scenario(Network::europe);
+    EXPECT_THROW(sc.busy_series_window(0), std::invalid_argument);
+    EXPECT_THROW(sc.busy_series_window(10000), std::invalid_argument);
+    const auto series = sc.busy_series();
+    EXPECT_EQ(series.loads.size(), sc.busy_length);
+}
+
+}  // namespace
+}  // namespace tme::scenario

@@ -1,0 +1,157 @@
+#include "linalg/entropy_solver.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "linalg/matrix.hpp"
+
+namespace tme::linalg {
+namespace {
+
+TEST(GeneralizedKl, ZeroAtPrior) {
+    EXPECT_NEAR(generalized_kl({1.0, 2.0}, {1.0, 2.0}), 0.0, 1e-14);
+}
+
+TEST(GeneralizedKl, PositiveAwayFromPrior) {
+    EXPECT_GT(generalized_kl({2.0, 1.0}, {1.0, 2.0}), 0.0);
+}
+
+TEST(GeneralizedKl, HandlesZeroEntries) {
+    // s_i = 0 contributes p_i.
+    EXPECT_NEAR(generalized_kl({0.0}, {1.5}), 1.5, 1e-14);
+}
+
+TEST(GeneralizedKl, RejectsNonpositivePrior) {
+    EXPECT_THROW(generalized_kl({1.0}, {0.0}), std::invalid_argument);
+}
+
+TEST(EntropySolver, NoRegularizationSolvesLeastSquares) {
+    // Full-rank consistent system: solution is exact regardless of prior.
+    SparseMatrix a = SparseMatrix::from_dense(Matrix{{1.0, 0.0},
+                                                     {0.0, 1.0},
+                                                     {1.0, 1.0}});
+    const Vector b{2.0, 3.0, 5.0};
+    const Vector prior{1.0, 1.0};
+    const EntropySolverResult r = kl_regularized_ls(a, b, prior, 0.0);
+    EXPECT_NEAR(r.s[0], 2.0, 1e-4);
+    EXPECT_NEAR(r.s[1], 3.0, 1e-4);
+}
+
+TEST(EntropySolver, InfiniteRegularizationSticksToPrior) {
+    SparseMatrix a = SparseMatrix::from_dense(Matrix{{1.0, 1.0}});
+    const Vector b{10.0};
+    const Vector prior{1.0, 2.0};
+    // w huge -> stay at the prior.
+    const EntropySolverResult r = kl_regularized_ls(a, b, prior, 1e12);
+    EXPECT_NEAR(r.s[0], prior[0], 1e-3);
+    EXPECT_NEAR(r.s[1], prior[1], 1e-3);
+}
+
+TEST(EntropySolver, UnderdeterminedNoWorseThanKlProjection) {
+    // One equation, two unknowns: x0 + x1 = 6; prior (1, 2).  The exact
+    // KL projection onto the constraint scales the prior: (2, 4).  The
+    // solver's objective must not exceed that candidate's.
+    SparseMatrix a = SparseMatrix::from_dense(Matrix{{1.0, 1.0}});
+    const Vector b{6.0};
+    const Vector prior{1.0, 2.0};
+    const double w = 1e-3;
+    EntropySolverOptions options;
+    options.max_iterations = 50000;
+    options.tolerance = 1e-13;
+    const EntropySolverResult r =
+        kl_regularized_ls(a, b, prior, w, options);
+    const Vector projection{2.0, 4.0};
+    const auto objective = [&](const Vector& s) {
+        const Vector resid = sub(a.multiply(s), b);
+        return dot(resid, resid) + w * generalized_kl(s, prior);
+    };
+    EXPECT_NEAR(r.s[0] + r.s[1], 6.0, 1e-2);
+    // First-order methods stop at a numerical stationary point; allow a
+    // few percent of objective slack against the analytic candidate.
+    EXPECT_LE(objective(r.s), 1.05 * objective(projection));
+}
+
+TEST(EntropySolver, RejectsNegativeWeight) {
+    SparseMatrix a = SparseMatrix::from_dense(Matrix{{1.0}});
+    EXPECT_THROW(kl_regularized_ls(a, {1.0}, {1.0}, -1.0),
+                 std::invalid_argument);
+}
+
+TEST(EntropySolver, DimensionMismatchThrows) {
+    SparseMatrix a = SparseMatrix::from_dense(Matrix{{1.0, 1.0}});
+    EXPECT_THROW(kl_regularized_ls(a, {1.0, 2.0}, {1.0, 1.0}, 1.0),
+                 std::invalid_argument);
+}
+
+TEST(EntropySolver, ZeroPriorEntriesAreFloored) {
+    SparseMatrix a = SparseMatrix::from_dense(Matrix{{1.0, 1.0}});
+    const Vector b{2.0};
+    // A zero prior entry must not produce NaNs.
+    const EntropySolverResult r = kl_regularized_ls(a, b, {0.0, 1.0}, 1.0);
+    EXPECT_TRUE(all_finite(r.s));
+    // Mass should concentrate on the pair the prior favours.
+    EXPECT_GT(r.s[1], r.s[0]);
+}
+
+class EntropySolverProperty : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(EntropySolverProperty, ObjectiveNotWorseThanPrior) {
+    std::mt19937_64 rng(GetParam());
+    std::uniform_real_distribution<double> dist(0.1, 2.0);
+    const std::size_t m = 5;
+    const std::size_t n = 9;
+    Matrix dense(m, n, 0.0);
+    std::uniform_int_distribution<int> coin(0, 1);
+    for (std::size_t i = 0; i < m; ++i) {
+        for (std::size_t j = 0; j < n; ++j) {
+            if (coin(rng) != 0) dense(i, j) = 1.0;
+        }
+    }
+    SparseMatrix a = SparseMatrix::from_dense(dense);
+    Vector truth(n);
+    for (double& v : truth) v = dist(rng);
+    const Vector b = a.multiply(truth);
+    Vector prior(n);
+    for (double& v : prior) v = dist(rng);
+
+    const double w = 0.1;
+    const EntropySolverResult r = kl_regularized_ls(a, b, prior, w);
+
+    auto objective = [&](const Vector& s) {
+        const Vector resid = sub(a.multiply(s), b);
+        return dot(resid, resid) + w * generalized_kl(s, prior);
+    };
+    EXPECT_LE(r.objective, objective(prior) + 1e-9);
+    EXPECT_NEAR(r.objective, objective(r.s), 1e-9);
+    for (double v : r.s) EXPECT_GT(v, 0.0);  // multiplicative iterates
+}
+
+TEST_P(EntropySolverProperty, GradientStationarityAtSolution) {
+    std::mt19937_64 rng(GetParam() + 99);
+    std::uniform_real_distribution<double> dist(0.2, 1.5);
+    SparseMatrix a = SparseMatrix::from_dense(
+        Matrix{{1.0, 1.0, 0.0}, {0.0, 1.0, 1.0}});
+    Vector truth{dist(rng), dist(rng), dist(rng)};
+    const Vector b = a.multiply(truth);
+    Vector prior{dist(rng), dist(rng), dist(rng)};
+    const double w = 0.5;
+    EntropySolverOptions options;
+    options.max_iterations = 20000;
+    options.tolerance = 1e-12;
+    const EntropySolverResult r =
+        kl_regularized_ls(a, b, prior, w, options);
+    // grad = 2A'(As-b) + w log(s/p); complementarity |s .* grad| ~ 0.
+    Vector grad = a.multiply_transpose(sub(a.multiply(r.s), b));
+    scale(2.0, grad);
+    for (std::size_t i = 0; i < 3; ++i) {
+        grad[i] += w * std::log(r.s[i] / prior[i]);
+        EXPECT_NEAR(r.s[i] * grad[i], 0.0, 1e-5);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EntropySolverProperty,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u));
+
+}  // namespace
+}  // namespace tme::linalg

@@ -1,0 +1,108 @@
+#include "linalg/qp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace tme::linalg {
+namespace {
+
+TEST(EqQp, SimpleProjection) {
+    // min 1/2||x||^2 - 0 s.t. x0 + x1 = 2 -> x = (1, 1).
+    const Matrix h = Matrix::identity(2);
+    const Vector f{0.0, 0.0};
+    const Matrix e{{1.0, 1.0}};
+    const Vector d{2.0};
+    const Vector x = solve_eq_qp(h, f, e, d);
+    EXPECT_NEAR(x[0], 1.0, 1e-10);
+    EXPECT_NEAR(x[1], 1.0, 1e-10);
+}
+
+TEST(EqQp, UnconstrainedReducesToLinearSolve) {
+    const Matrix h{{2.0, 0.0}, {0.0, 4.0}};
+    const Vector f{2.0, 8.0};
+    const Vector x = solve_eq_qp(h, f, Matrix(0, 2), {});
+    EXPECT_NEAR(x[0], 1.0, 1e-10);
+    EXPECT_NEAR(x[1], 2.0, 1e-10);
+}
+
+TEST(EqQp, DimensionMismatchThrows) {
+    EXPECT_THROW(
+        solve_eq_qp(Matrix::identity(2), {1.0}, Matrix(0, 2), {}),
+        std::invalid_argument);
+}
+
+TEST(EqQp, SingularKktThrows) {
+    // Duplicate equality constraints make the KKT system singular.
+    const Matrix h = Matrix::identity(2);
+    const Matrix e{{1.0, 1.0}, {1.0, 1.0}};
+    EXPECT_THROW(solve_eq_qp(h, {0.0, 0.0}, e, {1.0, 1.0}),
+                 std::runtime_error);
+}
+
+TEST(EqQpNonneg, MatchesEqualityOnlyWhenInterior) {
+    const Matrix h = Matrix::identity(2);
+    const Vector f{0.0, 0.0};
+    const Matrix e{{1.0, 1.0}};
+    const Vector d{2.0};
+    const EqQpNonnegResult r = solve_eq_qp_nonneg(h, f, e, d);
+    EXPECT_NEAR(r.x[0], 1.0, 1e-5);
+    EXPECT_NEAR(r.x[1], 1.0, 1e-5);
+    EXPECT_LT(r.equality_violation, 1e-6);
+}
+
+TEST(EqQpNonneg, ClampsNegativeCoordinates) {
+    // min 1/2 x'Ix - f'x with f = (3, -1), sum = 2: unconstrained
+    // equality solution is (3, -1)+nu*(1,1) -> (2.5, -0.5)... must clamp
+    // x1 to 0 and put everything on x0.
+    const Matrix h = Matrix::identity(2);
+    const Vector f{3.0, -1.0};
+    const Matrix e{{1.0, 1.0}};
+    const Vector d{2.0};
+    const EqQpNonnegResult r = solve_eq_qp_nonneg(h, f, e, d);
+    EXPECT_NEAR(r.x[0], 2.0, 1e-5);
+    EXPECT_NEAR(r.x[1], 0.0, 1e-8);
+}
+
+class EqQpNonnegProperty : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(EqQpNonnegProperty, FeasibleAndNoWorseThanProjectedCandidates) {
+    std::mt19937_64 rng(GetParam());
+    std::uniform_real_distribution<double> dist(-1.0, 1.0);
+    const std::size_t n = 6;
+    Matrix a(8, n);
+    for (std::size_t i = 0; i < 8; ++i) {
+        for (std::size_t j = 0; j < n; ++j) a(i, j) = dist(rng);
+    }
+    Matrix h = gram(a);
+    for (std::size_t i = 0; i < n; ++i) h(i, i) += 0.1;
+    Vector f(n);
+    for (double& v : f) v = dist(rng);
+    // Two disjoint sum constraints.
+    Matrix e(2, n, 0.0);
+    for (std::size_t j = 0; j < n / 2; ++j) e(0, j) = 1.0;
+    for (std::size_t j = n / 2; j < n; ++j) e(1, j) = 1.0;
+    const Vector d{1.0, 1.0};
+
+    const EqQpNonnegResult r = solve_eq_qp_nonneg(h, f, e, d);
+    EXPECT_LT(r.equality_violation, 1e-5);
+    for (double v : r.x) EXPECT_GE(v, -1e-12);
+
+    // Objective no worse than a uniform feasible candidate.
+    auto objective = [&](const Vector& x) {
+        double acc = 0.0;
+        const Vector hx = gemv(h, x);
+        for (std::size_t i = 0; i < n; ++i) {
+            acc += 0.5 * x[i] * hx[i] - f[i] * x[i];
+        }
+        return acc;
+    };
+    Vector uniform(n, 1.0 / static_cast<double>(n / 2));
+    EXPECT_LE(objective(r.x), objective(uniform) + 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EqQpNonnegProperty,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u));
+
+}  // namespace
+}  // namespace tme::linalg

@@ -1,0 +1,158 @@
+#include "linalg/simplex.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace tme::linalg {
+namespace {
+
+TEST(Simplex, SolvesBasicLp) {
+    // min -x0 - x1  s.t.  x0 + x1 + s = 4, x0 <= 3 (x0 + s2 = 3), x >= 0.
+    LpProblem p;
+    p.a = Matrix{{1.0, 1.0, 1.0, 0.0}, {1.0, 0.0, 0.0, 1.0}};
+    p.b = {4.0, 3.0};
+    p.c = {-1.0, -1.0, 0.0, 0.0};
+    const LpResult r = solve_lp(p);
+    ASSERT_EQ(r.status, LpStatus::optimal);
+    EXPECT_NEAR(r.objective, -4.0, 1e-9);
+}
+
+TEST(Simplex, DetectsInfeasible) {
+    // x0 = -1 with x0 >= 0 is infeasible.
+    LpProblem p;
+    p.a = Matrix{{1.0}};
+    p.b = {-1.0};
+    p.c = {1.0};
+    // b is negated internally; row becomes -x0 = 1, still infeasible.
+    const LpResult r = solve_lp(p);
+    EXPECT_EQ(r.status, LpStatus::infeasible);
+}
+
+TEST(Simplex, DetectsUnbounded) {
+    // min -x0 s.t. x0 - x1 = 0: increase both without bound.
+    LpProblem p;
+    p.a = Matrix{{1.0, -1.0}};
+    p.b = {0.0};
+    p.c = {-1.0, 0.0};
+    const LpResult r = solve_lp(p);
+    EXPECT_EQ(r.status, LpStatus::unbounded);
+}
+
+TEST(Simplex, HandlesRedundantRows) {
+    // Duplicate constraint row; phase 1 must park the artificial.
+    LpProblem p;
+    p.a = Matrix{{1.0, 1.0}, {1.0, 1.0}};
+    p.b = {2.0, 2.0};
+    p.c = {1.0, 0.0};
+    const LpResult r = solve_lp(p);
+    ASSERT_EQ(r.status, LpStatus::optimal);
+    EXPECT_NEAR(r.objective, 0.0, 1e-9);
+    EXPECT_NEAR(r.x[1], 2.0, 1e-9);
+}
+
+TEST(Simplex, NegativeRhsNormalized) {
+    // -x0 = -3 -> x0 = 3.
+    LpProblem p;
+    p.a = Matrix{{-1.0}};
+    p.b = {-3.0};
+    p.c = {1.0};
+    const LpResult r = solve_lp(p);
+    ASSERT_EQ(r.status, LpStatus::optimal);
+    EXPECT_NEAR(r.x[0], 3.0, 1e-9);
+}
+
+TEST(Simplex, DimensionMismatchThrows) {
+    LpProblem p;
+    p.a = Matrix(2, 3);
+    p.b = {1.0};
+    p.c = {0.0, 0.0, 0.0};
+    EXPECT_THROW(solve_lp(p), std::invalid_argument);
+}
+
+TEST(Simplex, WarmStartReusesBasis) {
+    LpProblem p;
+    p.a = Matrix{{1.0, 1.0, 1.0, 0.0}, {1.0, 0.0, 0.0, 1.0}};
+    p.b = {4.0, 3.0};
+    p.c = {-1.0, 0.0, 0.0, 0.0};
+    const LpResult first = solve_lp(p);
+    ASSERT_EQ(first.status, LpStatus::optimal);
+
+    // Same feasible region, new objective, warm-started.
+    p.c = {0.0, -1.0, 0.0, 0.0};
+    LpOptions options;
+    options.initial_basis = first.basis;
+    const LpResult second = solve_lp(p, options);
+    ASSERT_EQ(second.status, LpStatus::optimal);
+    EXPECT_NEAR(second.objective, -4.0, 1e-9);
+}
+
+// Brute-force check: enumerate all basic feasible solutions of random
+// small LPs and compare the simplex optimum against the vertex minimum.
+class SimplexBruteForce : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(SimplexBruteForce, MatchesVertexEnumeration) {
+    std::mt19937_64 rng(GetParam());
+    std::uniform_real_distribution<double> dist(-1.0, 1.0);
+    std::uniform_real_distribution<double> pos(0.2, 1.5);
+    const std::size_t m = 2;
+    const std::size_t n = 5;
+    Matrix a(m, n);
+    for (std::size_t i = 0; i < m; ++i) {
+        for (std::size_t j = 0; j < n; ++j) a(i, j) = dist(rng);
+    }
+    // Feasible by construction: b = A x0 with x0 > 0.
+    Vector x0(n);
+    for (double& v : x0) v = pos(rng);
+    const Vector b = gemv(a, x0);
+    Vector c(n);
+    for (double& v : c) v = dist(rng);
+
+    LpProblem p{a, b, c};
+    const LpResult r = solve_lp(p);
+    if (r.status == LpStatus::unbounded) {
+        GTEST_SKIP() << "unbounded instance";
+    }
+    ASSERT_EQ(r.status, LpStatus::optimal);
+
+    // Enumerate all (n choose m) bases.
+    double best = 1e300;
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = i + 1; j < n; ++j) {
+            Matrix basis(2, 2);
+            basis(0, 0) = a(0, i);
+            basis(0, 1) = a(0, j);
+            basis(1, 0) = a(1, i);
+            basis(1, 1) = a(1, j);
+            const double det = basis(0, 0) * basis(1, 1) -
+                               basis(0, 1) * basis(1, 0);
+            if (std::abs(det) < 1e-9) continue;
+            const double xi = (b[0] * basis(1, 1) - basis(0, 1) * b[1]) / det;
+            const double xj = (basis(0, 0) * b[1] - b[0] * basis(1, 0)) / det;
+            if (xi < -1e-9 || xj < -1e-9) continue;
+            best = std::min(best, c[i] * xi + c[j] * xj);
+        }
+    }
+    ASSERT_LT(best, 1e299) << "enumeration found no vertex";
+    EXPECT_NEAR(r.objective, best, 1e-6 * (1.0 + std::abs(best)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimplexBruteForce,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u, 9u,
+                                           10u, 11u, 12u, 13u, 14u, 15u));
+
+// Degenerate LP with many ties: anti-cycling must terminate.
+TEST(Simplex, DegenerateProblemTerminates) {
+    LpProblem p;
+    p.a = Matrix{{1.0, 1.0, 0.0, 0.0},
+                 {1.0, 0.0, 1.0, 0.0},
+                 {1.0, 0.0, 0.0, 1.0}};
+    p.b = {1.0, 1.0, 1.0};
+    p.c = {-1.0, 0.0, 0.0, 0.0};
+    const LpResult r = solve_lp(p);
+    ASSERT_EQ(r.status, LpStatus::optimal);
+    EXPECT_NEAR(r.objective, -1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace tme::linalg

@@ -1,0 +1,134 @@
+#include "linalg/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+namespace tme::linalg {
+namespace {
+
+TEST(Stats, MeanVariance) {
+    EXPECT_DOUBLE_EQ(mean({1.0, 2.0, 3.0}), 2.0);
+    EXPECT_DOUBLE_EQ(variance({1.0, 2.0, 3.0}), 1.0);
+    EXPECT_DOUBLE_EQ(variance({5.0}), 0.0);
+    EXPECT_THROW(mean({}), std::invalid_argument);
+}
+
+TEST(Stats, SampleMean) {
+    const Vector m = sample_mean({{1.0, 2.0}, {3.0, 4.0}});
+    EXPECT_DOUBLE_EQ(m[0], 2.0);
+    EXPECT_DOUBLE_EQ(m[1], 3.0);
+    EXPECT_THROW(sample_mean({}), std::invalid_argument);
+    EXPECT_THROW(sample_mean({{1.0}, {1.0, 2.0}}), std::invalid_argument);
+}
+
+TEST(Stats, SampleCovarianceDiagonal) {
+    // Two coordinates, perfectly anti-correlated.
+    const Matrix cov =
+        sample_covariance({{1.0, -1.0}, {-1.0, 1.0}, {0.0, 0.0}});
+    EXPECT_NEAR(cov(0, 0), 2.0 / 3.0, 1e-12);
+    EXPECT_NEAR(cov(1, 1), 2.0 / 3.0, 1e-12);
+    EXPECT_NEAR(cov(0, 1), -2.0 / 3.0, 1e-12);
+    EXPECT_NEAR(cov(0, 1), cov(1, 0), 1e-15);
+}
+
+TEST(Stats, FitLineExact) {
+    const LineFit fit = fit_line({0.0, 1.0, 2.0}, {1.0, 3.0, 5.0});
+    EXPECT_NEAR(fit.intercept, 1.0, 1e-12);
+    EXPECT_NEAR(fit.slope, 2.0, 1e-12);
+    EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+}
+
+TEST(Stats, FitLineDegenerateX) {
+    const LineFit fit = fit_line({1.0, 1.0}, {2.0, 4.0});
+    EXPECT_DOUBLE_EQ(fit.slope, 0.0);
+    EXPECT_DOUBLE_EQ(fit.intercept, 3.0);
+}
+
+TEST(Stats, ScalingLawRecoversParameters) {
+    // var = 2.5 * mean^1.7 exactly.
+    Vector means;
+    Vector vars;
+    for (double m = 1e-5; m < 1.0; m *= 3.0) {
+        means.push_back(m);
+        vars.push_back(2.5 * std::pow(m, 1.7));
+    }
+    const ScalingLawFit fit = fit_scaling_law(means, vars);
+    EXPECT_NEAR(fit.phi, 2.5, 1e-9);
+    EXPECT_NEAR(fit.c, 1.7, 1e-9);
+    EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+    EXPECT_EQ(fit.points_used, means.size());
+}
+
+TEST(Stats, ScalingLawSkipsNonpositive) {
+    const ScalingLawFit fit =
+        fit_scaling_law({0.0, 1.0, 2.0}, {1.0, 1.0, 2.0});
+    EXPECT_EQ(fit.points_used, 2u);
+}
+
+TEST(Stats, PearsonPerfectCorrelation) {
+    EXPECT_NEAR(pearson({1.0, 2.0, 3.0}, {2.0, 4.0, 6.0}), 1.0, 1e-12);
+    EXPECT_NEAR(pearson({1.0, 2.0, 3.0}, {-2.0, -4.0, -6.0}), -1.0, 1e-12);
+}
+
+TEST(Stats, SpearmanMonotonicTransformInvariance) {
+    const Vector x{1.0, 2.0, 3.0, 4.0};
+    const Vector y{1.0, 8.0, 27.0, 64.0};  // monotone in x
+    EXPECT_NEAR(spearman(x, y), 1.0, 1e-12);
+}
+
+TEST(Stats, SpearmanHandlesTies) {
+    const Vector x{1.0, 1.0, 2.0};
+    const Vector y{3.0, 3.0, 5.0};
+    EXPECT_NEAR(spearman(x, y), 1.0, 1e-12);
+}
+
+TEST(Stats, Quantile) {
+    Vector x{4.0, 1.0, 3.0, 2.0};
+    EXPECT_DOUBLE_EQ(quantile(x, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(quantile(x, 1.0), 4.0);
+    EXPECT_DOUBLE_EQ(quantile(x, 0.5), 2.5);
+    EXPECT_THROW(quantile({}, 0.5), std::invalid_argument);
+    EXPECT_THROW(quantile(x, 1.5), std::invalid_argument);
+}
+
+class StatsProperty : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(StatsProperty, CovarianceIsPsd) {
+    std::mt19937_64 rng(GetParam());
+    std::normal_distribution<double> dist(0.0, 1.0);
+    std::vector<Vector> samples;
+    for (int k = 0; k < 30; ++k) {
+        Vector s(5);
+        for (double& v : s) v = dist(rng);
+        samples.push_back(s);
+    }
+    const Matrix cov = sample_covariance(samples);
+    // x' C x >= 0 for random x.
+    for (int trial = 0; trial < 10; ++trial) {
+        Vector x(5);
+        for (double& v : x) v = dist(rng);
+        EXPECT_GE(dot(x, gemv(cov, x)), -1e-10);
+    }
+}
+
+TEST_P(StatsProperty, PearsonBounded) {
+    std::mt19937_64 rng(GetParam() + 50);
+    std::normal_distribution<double> dist(0.0, 2.0);
+    Vector x(40);
+    Vector y(40);
+    for (std::size_t i = 0; i < 40; ++i) {
+        x[i] = dist(rng);
+        y[i] = dist(rng);
+    }
+    const double r = pearson(x, y);
+    EXPECT_GE(r, -1.0 - 1e-12);
+    EXPECT_LE(r, 1.0 + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StatsProperty,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+}  // namespace
+}  // namespace tme::linalg

@@ -1,0 +1,130 @@
+#include "routing/cspf.hpp"
+
+#include <gtest/gtest.h>
+
+#include "topology/builders.hpp"
+
+namespace tme::routing {
+namespace {
+
+topology::Topology diamond() {
+    topology::Topology t;
+    for (const char* name : {"A", "B", "C", "D"}) {
+        t.add_pop({name, 0.0, 0.0, 1.0, topology::PopRole::access});
+    }
+    t.add_core_link(0, 1, 100.0, 1.0);  // cheap path, low capacity
+    t.add_core_link(1, 3, 100.0, 1.0);
+    t.add_core_link(0, 2, 1000.0, 5.0);  // expensive path, high capacity
+    t.add_core_link(2, 3, 1000.0, 5.0);
+    return t;
+}
+
+TEST(BandwidthLedger, TracksReservations) {
+    const topology::Topology t = diamond();
+    BandwidthLedger ledger(t);
+    EXPECT_DOUBLE_EQ(ledger.available(t.core_links()[0]), 100.0);
+    ledger.reserve({t.core_links()[0]}, 60.0);
+    EXPECT_DOUBLE_EQ(ledger.available(t.core_links()[0]), 40.0);
+    EXPECT_TRUE(ledger.can_fit(t.core_links()[0], 40.0));
+    EXPECT_FALSE(ledger.can_fit(t.core_links()[0], 41.0));
+    EXPECT_THROW(ledger.reserve({t.core_links()[0]}, 41.0),
+                 std::logic_error);
+}
+
+TEST(BandwidthLedger, MaxUtilizationScalesCapacity) {
+    const topology::Topology t = diamond();
+    BandwidthLedger ledger(t, 0.5);
+    EXPECT_DOUBLE_EQ(ledger.available(t.core_links()[0]), 50.0);
+    EXPECT_THROW(BandwidthLedger(t, 0.0), std::invalid_argument);
+}
+
+TEST(Cspf, PrefersCheapPathWhenItFits) {
+    const topology::Topology t = diamond();
+    BandwidthLedger ledger(t);
+    const auto lsp = route_lsp(t, ledger, 0, 3, 80.0);
+    ASSERT_TRUE(lsp.has_value());
+    EXPECT_TRUE(lsp->constrained);
+    EXPECT_EQ(t.link(lsp->path[0]).dst, 1u);  // via B
+}
+
+TEST(Cspf, DivertsWhenCheapPathIsFull) {
+    const topology::Topology t = diamond();
+    BandwidthLedger ledger(t);
+    ASSERT_TRUE(route_lsp(t, ledger, 0, 3, 80.0).has_value());
+    // Second LSP of 80 no longer fits on the 100-capacity path.
+    const auto second = route_lsp(t, ledger, 0, 3, 80.0);
+    ASSERT_TRUE(second.has_value());
+    EXPECT_TRUE(second->constrained);
+    EXPECT_EQ(t.link(second->path[0]).dst, 2u);  // via C
+}
+
+TEST(Cspf, FallsBackToIgpWhenNothingFits) {
+    const topology::Topology t = diamond();
+    BandwidthLedger ledger(t);
+    const auto lsp = route_lsp(t, ledger, 0, 3, 5000.0);
+    ASSERT_TRUE(lsp.has_value());
+    EXPECT_FALSE(lsp->constrained);
+    EXPECT_EQ(t.link(lsp->path[0]).dst, 1u);  // IGP shortest
+}
+
+TEST(Cspf, NoFallbackReturnsNullopt) {
+    const topology::Topology t = diamond();
+    BandwidthLedger ledger(t);
+    CspfOptions options;
+    options.fallback_to_igp = false;
+    EXPECT_FALSE(route_lsp(t, ledger, 0, 3, 5000.0, options).has_value());
+}
+
+TEST(LspMesh, CoversAllPairsInOrder) {
+    const topology::Topology t = topology::europe_backbone();
+    std::vector<double> bw(t.pair_count(), 10.0);
+    const std::vector<Lsp> mesh = build_lsp_mesh(t, bw);
+    ASSERT_EQ(mesh.size(), t.pair_count());
+    for (std::size_t p = 0; p < mesh.size(); ++p) {
+        const auto [src, dst] = t.pair_nodes(p);
+        EXPECT_EQ(mesh[p].src, src);
+        EXPECT_EQ(mesh[p].dst, dst);
+        EXPECT_TRUE(path_is_valid(t, src, dst, mesh[p].path));
+    }
+}
+
+TEST(LspMesh, ReservationsNeverExceedCapacity) {
+    const topology::Topology t = topology::us_backbone();
+    // Heavy but feasible-ish demands; constrained LSPs must respect
+    // capacities exactly.
+    std::vector<double> bw(t.pair_count(), 0.0);
+    for (std::size_t p = 0; p < bw.size(); ++p) {
+        bw[p] = 20.0 + static_cast<double>(p % 7) * 15.0;
+    }
+    const std::vector<Lsp> mesh = build_lsp_mesh(t, bw);
+    std::vector<double> reserved(t.link_count(), 0.0);
+    for (const Lsp& lsp : mesh) {
+        if (!lsp.constrained) continue;
+        for (std::size_t lid : lsp.path) reserved[lid] += lsp.bandwidth_mbps;
+    }
+    for (std::size_t lid : t.core_links()) {
+        EXPECT_LE(reserved[lid], t.link(lid).capacity_mbps + 1e-6);
+    }
+}
+
+TEST(LspMesh, BandwidthSizeMismatchThrows) {
+    const topology::Topology t = diamond();
+    EXPECT_THROW(build_lsp_mesh(t, std::vector<double>(3, 1.0)),
+                 std::invalid_argument);
+}
+
+TEST(LspMesh, DeterministicPlacement) {
+    const topology::Topology t = topology::europe_backbone();
+    std::vector<double> bw(t.pair_count());
+    for (std::size_t p = 0; p < bw.size(); ++p) {
+        bw[p] = 5.0 + static_cast<double>(p % 11);
+    }
+    const std::vector<Lsp> a = build_lsp_mesh(t, bw);
+    const std::vector<Lsp> b = build_lsp_mesh(t, bw);
+    for (std::size_t p = 0; p < a.size(); ++p) {
+        EXPECT_EQ(a[p].path, b[p].path);
+    }
+}
+
+}  // namespace
+}  // namespace tme::routing

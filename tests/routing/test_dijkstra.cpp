@@ -1,0 +1,106 @@
+#include "routing/dijkstra.hpp"
+
+#include <gtest/gtest.h>
+
+#include "topology/builders.hpp"
+
+namespace tme::routing {
+namespace {
+
+topology::Topology diamond() {
+    // A -> B -> D and A -> C -> D, with A-B-D cheaper.
+    topology::Topology t;
+    for (const char* name : {"A", "B", "C", "D"}) {
+        t.add_pop({name, 0.0, 0.0, 1.0, topology::PopRole::access});
+    }
+    t.add_core_link(0, 1, 100.0, 1.0);
+    t.add_core_link(1, 3, 100.0, 1.0);
+    t.add_core_link(0, 2, 100.0, 5.0);
+    t.add_core_link(2, 3, 100.0, 5.0);
+    return t;
+}
+
+TEST(Dijkstra, PicksCheapestPath) {
+    const topology::Topology t = diamond();
+    const auto path = shortest_path(t, 0, 3);
+    ASSERT_TRUE(path.has_value());
+    EXPECT_EQ(path->size(), 2u);
+    EXPECT_EQ(t.link((*path)[0]).dst, 1u);  // via B
+    EXPECT_DOUBLE_EQ(path_metric(t, *path), 2.0);
+}
+
+TEST(Dijkstra, FilterForcesDetour) {
+    const topology::Topology t = diamond();
+    // Exclude the A->B link.
+    const LinkFilter filter = [](const topology::Link& l) {
+        return !(l.src == 0 && l.dst == 1);
+    };
+    const auto path = shortest_path(t, 0, 3, filter);
+    ASSERT_TRUE(path.has_value());
+    EXPECT_EQ(t.link((*path)[0]).dst, 2u);  // via C
+}
+
+TEST(Dijkstra, UnreachableReturnsNullopt) {
+    topology::Topology t = diamond();
+    t.add_pop({"E", 0.0, 0.0, 1.0, topology::PopRole::access});
+    EXPECT_FALSE(shortest_path(t, 0, 4).has_value());
+}
+
+TEST(Dijkstra, SelfPathIsEmpty) {
+    const topology::Topology t = diamond();
+    const auto path = shortest_path(t, 2, 2);
+    ASSERT_TRUE(path.has_value());
+    EXPECT_TRUE(path->empty());
+}
+
+TEST(Dijkstra, TreeDistancesAreConsistent) {
+    const topology::Topology t = topology::europe_backbone();
+    const ShortestPathTree tree = dijkstra(t, 0);
+    for (std::size_t dst = 1; dst < t.pop_count(); ++dst) {
+        const auto path = extract_path(t, tree, 0, dst);
+        ASSERT_TRUE(path.has_value()) << "unreachable " << dst;
+        EXPECT_TRUE(path_is_valid(t, 0, dst, *path));
+        EXPECT_DOUBLE_EQ(path_metric(t, *path), tree.distance[dst]);
+        EXPECT_EQ(path->size(), tree.hops[dst]);
+    }
+}
+
+TEST(Dijkstra, DeterministicAcrossRuns) {
+    const topology::Topology t = topology::us_backbone();
+    const ShortestPathTree a = dijkstra(t, 3);
+    const ShortestPathTree b = dijkstra(t, 3);
+    for (std::size_t i = 0; i < t.pop_count(); ++i) {
+        EXPECT_EQ(a.via_link[i].has_value(), b.via_link[i].has_value());
+        if (a.via_link[i]) EXPECT_EQ(*a.via_link[i], *b.via_link[i]);
+    }
+}
+
+TEST(Dijkstra, TriangleInequalityOverTree) {
+    // Property: settled distances never exceed distance-via-neighbour.
+    const topology::Topology t = topology::us_backbone();
+    const ShortestPathTree tree = dijkstra(t, 7);
+    for (std::size_t lid : t.core_links()) {
+        const topology::Link& l = t.link(lid);
+        EXPECT_LE(tree.distance[l.dst],
+                  tree.distance[l.src] + l.igp_metric + 1e-9);
+    }
+}
+
+TEST(Dijkstra, BadSourceThrows) {
+    EXPECT_THROW(dijkstra(diamond(), 9), std::out_of_range);
+}
+
+TEST(PathValidation, RejectsBrokenWalks) {
+    const topology::Topology t = diamond();
+    const auto good = shortest_path(t, 0, 3);
+    ASSERT_TRUE(good);
+    EXPECT_TRUE(path_is_valid(t, 0, 3, *good));
+    // Reversed path is not a valid walk from 0.
+    Path reversed(good->rbegin(), good->rend());
+    EXPECT_FALSE(path_is_valid(t, 0, 3, reversed));
+    // Edge link ids are not core links.
+    EXPECT_FALSE(path_is_valid(t, 0, 0, {t.ingress_link(0)}));
+}
+
+}  // namespace
+}  // namespace tme::routing

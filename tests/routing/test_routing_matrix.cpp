@@ -1,0 +1,101 @@
+#include "routing/routing_matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include "topology/builders.hpp"
+
+namespace tme::routing {
+namespace {
+
+TEST(RoutingMatrix, DimensionsMatchTopology) {
+    const topology::Topology t = topology::europe_backbone();
+    const linalg::SparseMatrix r = igp_routing_matrix(t);
+    EXPECT_EQ(r.rows(), t.link_count());
+    EXPECT_EQ(r.cols(), t.pair_count());
+}
+
+TEST(RoutingMatrix, ValidatorAcceptsIgpMatrix) {
+    const topology::Topology t = topology::europe_backbone();
+    const linalg::SparseMatrix r = igp_routing_matrix(t);
+    EXPECT_EQ(validate_routing_matrix(t, r), "");
+}
+
+TEST(RoutingMatrix, ValidatorAcceptsUsMatrix) {
+    const topology::Topology t = topology::us_backbone();
+    const linalg::SparseMatrix r = igp_routing_matrix(t);
+    EXPECT_EQ(validate_routing_matrix(t, r), "");
+}
+
+TEST(RoutingMatrix, EveryColumnHasEdgeRows) {
+    const topology::Topology t = topology::tiny_backbone();
+    const linalg::SparseMatrix r = igp_routing_matrix(t);
+    for (std::size_t p = 0; p < r.cols(); ++p) {
+        const auto [src, dst] = t.pair_nodes(p);
+        EXPECT_DOUBLE_EQ(r.at(t.ingress_link(src), p), 1.0);
+        EXPECT_DOUBLE_EQ(r.at(t.egress_link(dst), p), 1.0);
+    }
+}
+
+TEST(RoutingMatrix, EdgeRowsSumNodeTraffic) {
+    // t = R s: the ingress row of node n must equal sum of demands from
+    // n (paper Section 3.1's t_e(n)).
+    const topology::Topology t = topology::tiny_backbone();
+    const linalg::SparseMatrix r = igp_routing_matrix(t);
+    linalg::Vector s(t.pair_count());
+    for (std::size_t p = 0; p < s.size(); ++p) {
+        s[p] = 1.0 + static_cast<double>(p);
+    }
+    const linalg::Vector loads = link_loads(r, s);
+    for (std::size_t n = 0; n < t.pop_count(); ++n) {
+        double expected = 0.0;
+        for (std::size_t m = 0; m < t.pop_count(); ++m) {
+            if (m != n) expected += s[t.pair_index(n, m)];
+        }
+        EXPECT_NEAR(loads[t.ingress_link(n)], expected, 1e-12);
+    }
+}
+
+TEST(RoutingMatrix, FlowConservationAtEveryPop) {
+    // Traffic into a PoP (ingress + incoming core) equals traffic out
+    // (egress + outgoing core) for any demand vector.
+    const topology::Topology t = topology::europe_backbone();
+    const linalg::SparseMatrix r = igp_routing_matrix(t);
+    linalg::Vector s(t.pair_count());
+    for (std::size_t p = 0; p < s.size(); ++p) {
+        s[p] = 0.5 + static_cast<double>((p * 13) % 7);
+    }
+    const linalg::Vector loads = link_loads(r, s);
+    for (std::size_t n = 0; n < t.pop_count(); ++n) {
+        double in = loads[t.ingress_link(n)];
+        double out = loads[t.egress_link(n)];
+        for (std::size_t lid : t.core_links()) {
+            const topology::Link& l = t.link(lid);
+            if (l.dst == n) in += loads[lid];
+            if (l.src == n) out += loads[lid];
+        }
+        EXPECT_NEAR(in, out, 1e-9) << "PoP " << t.pop(n).name;
+    }
+}
+
+TEST(RoutingMatrix, MeshMismatchThrows) {
+    const topology::Topology t = topology::tiny_backbone();
+    std::vector<Lsp> mesh(t.pair_count());
+    // Leave paths empty/wrong: src/dst default to 0,0 which mismatches.
+    EXPECT_THROW(build_routing_matrix(t, mesh), std::invalid_argument);
+    EXPECT_THROW(build_routing_matrix(t, std::vector<Lsp>(3)),
+                 std::invalid_argument);
+}
+
+TEST(RoutingMatrix, ColumnNonzerosEqualsPathPlusEdges) {
+    const topology::Topology t = topology::europe_backbone();
+    const linalg::SparseMatrix r = igp_routing_matrix(t);
+    for (std::size_t p = 0; p < r.cols(); p += 17) {
+        const auto [src, dst] = t.pair_nodes(p);
+        const auto path = shortest_path(t, src, dst);
+        ASSERT_TRUE(path);
+        EXPECT_EQ(r.column_nonzeros(p), path->size() + 2);
+    }
+}
+
+}  // namespace
+}  // namespace tme::routing

@@ -1,0 +1,121 @@
+#include "telemetry/poller.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace tme::telemetry {
+namespace {
+
+std::vector<std::vector<double>> constant_rates(std::size_t intervals,
+                                                std::size_t objects,
+                                                double rate) {
+    return std::vector<std::vector<double>>(
+        intervals, std::vector<double>(objects, rate));
+}
+
+TEST(Poller, ExactWithoutJitterOrLoss) {
+    PollerConfig config;
+    config.jitter_stddev_seconds = 0.0;
+    config.loss_probability = 0.0;
+    const PollingOutcome out =
+        simulate_polling(constant_rates(6, 3, 100.0), config);
+    EXPECT_EQ(out.polls_lost, 0u);
+    for (std::size_t k = 0; k < 6; ++k) {
+        for (std::size_t o = 0; o < 3; ++o) {
+            EXPECT_NEAR(out.store.at(o, k), 100.0, 1e-9);
+        }
+    }
+}
+
+TEST(Poller, IntervalAdjustmentHandlesJitter) {
+    // With constant true rates, any poll window still measures the exact
+    // rate because the counter is divided by the real window length
+    // (the paper's Section 5.1.2 adjustment).
+    PollerConfig config;
+    config.jitter_stddev_seconds = 10.0;
+    config.loss_probability = 0.0;
+    config.seed = 42;
+    const PollingOutcome out =
+        simulate_polling(constant_rates(12, 2, 55.0), config);
+    for (std::size_t k = 0; k < 12; ++k) {
+        for (std::size_t o = 0; o < 2; ++o) {
+            EXPECT_NEAR(out.store.at(o, k), 55.0, 1e-9);
+        }
+    }
+}
+
+TEST(Poller, JitterErrorBoundedByRateVariation) {
+    // Step change in rate: jittered windows smear only boundary slivers.
+    std::vector<std::vector<double>> rates(10,
+                                           std::vector<double>(1, 100.0));
+    for (std::size_t k = 5; k < 10; ++k) rates[k][0] = 200.0;
+    PollerConfig config;
+    config.jitter_stddev_seconds = 5.0;
+    config.loss_probability = 0.0;
+    config.seed = 9;
+    const PollingOutcome out = simulate_polling(rates, config);
+    for (std::size_t k = 0; k < 10; ++k) {
+        const double truth = rates[k][0];
+        // 5s jitter on a 300s window changes the measured rate by at
+        // most ~ (2*3sigma/300) * |rate step|.
+        EXPECT_NEAR(out.store.at(0, k), truth, 100.0 * 30.0 / 300.0 + 1e-6);
+    }
+}
+
+TEST(Poller, LossAndBackupAccounting) {
+    PollerConfig config;
+    config.loss_probability = 0.3;
+    config.backup_recovery_probability = 0.5;
+    config.seed = 7;
+    const PollingOutcome out =
+        simulate_polling(constant_rates(50, 10, 10.0), config);
+    EXPECT_EQ(out.polls_attempted, 500u);
+    EXPECT_GT(out.polls_lost, 0u);
+    EXPECT_GT(out.polls_recovered, 0u);
+    // Unrecovered rate ~ 0.3 * 0.5 = 0.15.
+    const double loss_rate = static_cast<double>(out.polls_lost) / 500.0;
+    EXPECT_NEAR(loss_rate, 0.15, 0.08);
+    EXPECT_NEAR(out.store.loss_fraction(), loss_rate, 1e-12);
+}
+
+TEST(Poller, RecoveredPollsStillMeasureRate) {
+    PollerConfig config;
+    config.loss_probability = 0.4;
+    config.backup_recovery_probability = 1.0;  // backup always succeeds
+    config.jitter_stddev_seconds = 2.0;
+    config.seed = 3;
+    const PollingOutcome out =
+        simulate_polling(constant_rates(20, 4, 70.0), config);
+    EXPECT_EQ(out.polls_lost, 0u);
+    for (std::size_t k = 0; k < 20; ++k) {
+        for (std::size_t o = 0; o < 4; ++o) {
+            EXPECT_NEAR(out.store.at(o, k), 70.0, 1e-9);
+        }
+    }
+}
+
+TEST(Poller, ValidatesInput) {
+    PollerConfig config;
+    EXPECT_THROW(simulate_polling({}, config), std::invalid_argument);
+    std::vector<std::vector<double>> ragged{{1.0, 2.0}, {1.0}};
+    EXPECT_THROW(simulate_polling(ragged, config), std::invalid_argument);
+    config.poller_count = 0;
+    EXPECT_THROW(simulate_polling(constant_rates(2, 2, 1.0), config),
+                 std::invalid_argument);
+}
+
+TEST(Poller, Deterministic) {
+    PollerConfig config;
+    config.loss_probability = 0.2;
+    config.seed = 12;
+    const PollingOutcome a =
+        simulate_polling(constant_rates(10, 3, 5.0), config);
+    const PollingOutcome b =
+        simulate_polling(constant_rates(10, 3, 5.0), config);
+    EXPECT_EQ(a.polls_lost, b.polls_lost);
+    EXPECT_EQ(a.polls_recovered, b.polls_recovered);
+}
+
+}  // namespace
+}  // namespace tme::telemetry

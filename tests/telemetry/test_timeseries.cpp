@@ -1,0 +1,65 @@
+#include "telemetry/timeseries.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tme::telemetry {
+namespace {
+
+TEST(TimeSeries, RecordAndRead) {
+    TimeSeriesStore store(2, 3);
+    store.record(0, 1, 5.0);
+    EXPECT_TRUE(store.has(0, 1));
+    EXPECT_FALSE(store.has(0, 0));
+    EXPECT_DOUBLE_EQ(store.at(0, 1), 5.0);
+    EXPECT_THROW(store.at(0, 0), std::logic_error);
+    EXPECT_THROW(store.record(5, 0, 1.0), std::out_of_range);
+}
+
+TEST(TimeSeries, LossMarksMissing) {
+    TimeSeriesStore store(1, 2);
+    store.record(0, 0, 1.0);
+    store.record(0, 1, 2.0);
+    store.record_loss(0, 1);
+    EXPECT_FALSE(store.has(0, 1));
+    EXPECT_DOUBLE_EQ(store.loss_fraction(), 0.5);
+}
+
+TEST(TimeSeries, SnapshotInterpolatesGaps) {
+    TimeSeriesStore store(1, 5);
+    store.record(0, 0, 10.0);
+    store.record(0, 4, 20.0);
+    // Samples 1..3 missing -> linear interpolation.
+    EXPECT_DOUBLE_EQ(store.snapshot(2)[0], 15.0);
+    EXPECT_DOUBLE_EQ(store.snapshot(1)[0], 12.5);
+}
+
+TEST(TimeSeries, SnapshotExtrapolatesEdges) {
+    TimeSeriesStore store(1, 4);
+    store.record(0, 2, 8.0);
+    EXPECT_DOUBLE_EQ(store.snapshot(0)[0], 8.0);  // nearest on the right
+    EXPECT_DOUBLE_EQ(store.snapshot(3)[0], 8.0);  // nearest on the left
+}
+
+TEST(TimeSeries, NeverPolledObjectYieldsZero) {
+    TimeSeriesStore store(2, 3);
+    store.record(0, 1, 4.0);
+    EXPECT_DOUBLE_EQ(store.snapshot(1)[1], 0.0);
+}
+
+TEST(TimeSeries, LossFractionFullRange) {
+    TimeSeriesStore store(2, 2);
+    EXPECT_DOUBLE_EQ(store.loss_fraction(), 1.0);
+    store.record(0, 0, 1.0);
+    store.record(0, 1, 1.0);
+    store.record(1, 0, 1.0);
+    store.record(1, 1, 1.0);
+    EXPECT_DOUBLE_EQ(store.loss_fraction(), 0.0);
+}
+
+TEST(TimeSeries, SnapshotBoundsChecked) {
+    TimeSeriesStore store(1, 2);
+    EXPECT_THROW(store.snapshot(2), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace tme::telemetry

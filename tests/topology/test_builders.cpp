@@ -1,0 +1,110 @@
+#include "topology/builders.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tme::topology {
+namespace {
+
+// The paper's published dimensions (Section 5.1.4) are hard requirements.
+TEST(Builders, EuropeMatchesPaperDimensions) {
+    const Topology t = europe_backbone();
+    EXPECT_EQ(t.pop_count(), 12u);
+    EXPECT_EQ(t.link_count(), 72u);
+    EXPECT_EQ(t.pair_count(), 132u);
+    EXPECT_EQ(t.core_link_count(), 48u);
+}
+
+TEST(Builders, UsMatchesPaperDimensions) {
+    const Topology t = us_backbone();
+    EXPECT_EQ(t.pop_count(), 25u);
+    EXPECT_EQ(t.link_count(), 284u);
+    EXPECT_EQ(t.pair_count(), 600u);
+    EXPECT_EQ(t.core_link_count(), 234u);
+}
+
+TEST(Builders, EuropeStronglyConnected) {
+    EXPECT_TRUE(europe_backbone().strongly_connected());
+}
+
+TEST(Builders, UsStronglyConnected) {
+    EXPECT_TRUE(us_backbone().strongly_connected());
+}
+
+TEST(Builders, CoreLinksComeInPairs) {
+    for (const Topology& t : {europe_backbone(), us_backbone()}) {
+        for (std::size_t lid : t.core_links()) {
+            const Link& l = t.link(lid);
+            bool reverse_found = false;
+            for (std::size_t other : t.core_links()) {
+                const Link& o = t.link(other);
+                if (o.src == l.dst && o.dst == l.src) {
+                    reverse_found = true;
+                    EXPECT_DOUBLE_EQ(o.capacity_mbps, l.capacity_mbps);
+                    EXPECT_DOUBLE_EQ(o.igp_metric, l.igp_metric);
+                    break;
+                }
+            }
+            EXPECT_TRUE(reverse_found)
+                << "no reverse for " << t.pop(l.src).name << "->"
+                << t.pop(l.dst).name;
+        }
+    }
+}
+
+TEST(Builders, MetricsReflectDistance) {
+    const Topology t = europe_backbone();
+    // London-Dublin is much shorter than Frankfurt-Stockholm.
+    double lon_dub = 0.0;
+    double fra_sto = 0.0;
+    for (std::size_t lid : t.core_links()) {
+        const Link& l = t.link(lid);
+        const std::string& a = t.pop(l.src).name;
+        const std::string& b = t.pop(l.dst).name;
+        if (a == "London" && b == "Dublin") lon_dub = l.igp_metric;
+        if (a == "Frankfurt" && b == "Stockholm") fra_sto = l.igp_metric;
+    }
+    ASSERT_GT(lon_dub, 0.0);
+    ASSERT_GT(fra_sto, 0.0);
+    EXPECT_LT(lon_dub, fra_sto);
+}
+
+TEST(Builders, WeightsAreHubSkewed) {
+    const Topology t = europe_backbone();
+    double wmax = 0.0;
+    double wmin = 1e18;
+    for (const Pop& p : t.pops()) {
+        wmax = std::max(wmax, p.weight);
+        wmin = std::min(wmin, p.weight);
+    }
+    EXPECT_GT(wmax / wmin, 10.0);  // hub dominance drives Fig. 2/3 skew
+}
+
+TEST(Builders, TinyBackboneIsUsable) {
+    const Topology t = tiny_backbone();
+    EXPECT_EQ(t.pop_count(), 4u);
+    EXPECT_TRUE(t.strongly_connected());
+}
+
+TEST(Builders, RandomBackboneDeterministic) {
+    const Topology a = random_backbone(10, 3.0, 77);
+    const Topology b = random_backbone(10, 3.0, 77);
+    ASSERT_EQ(a.link_count(), b.link_count());
+    for (std::size_t i = 0; i < a.link_count(); ++i) {
+        EXPECT_EQ(a.link(i).src, b.link(i).src);
+        EXPECT_EQ(a.link(i).dst, b.link(i).dst);
+    }
+}
+
+TEST(Builders, RandomBackboneConnected) {
+    for (unsigned seed : {1u, 2u, 3u, 4u}) {
+        EXPECT_TRUE(random_backbone(8, 3.0, seed).strongly_connected())
+            << "seed " << seed;
+    }
+}
+
+TEST(Builders, RandomBackboneRejectsDegenerate) {
+    EXPECT_THROW(random_backbone(1, 2.0, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tme::topology

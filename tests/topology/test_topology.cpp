@@ -1,0 +1,85 @@
+#include "topology/topology.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tme::topology {
+namespace {
+
+Topology two_pop() {
+    Topology t;
+    t.add_pop({"A", 0.0, 0.0, 1.0, PopRole::access});
+    t.add_pop({"B", 1.0, 1.0, 2.0, PopRole::access});
+    t.add_core_link_pair(0, 1, 1000.0, 5.0);
+    return t;
+}
+
+TEST(Topology, PopAddsEdgeLinks) {
+    const Topology t = two_pop();
+    EXPECT_EQ(t.pop_count(), 2u);
+    EXPECT_EQ(t.link_count(), 6u);  // 4 edge + 2 core
+    EXPECT_EQ(t.core_link_count(), 2u);
+    EXPECT_EQ(t.link(t.ingress_link(0)).kind, LinkKind::access_in);
+    EXPECT_EQ(t.link(t.egress_link(1)).kind, LinkKind::access_out);
+}
+
+TEST(Topology, PairIndexRoundTrip) {
+    Topology t;
+    for (int i = 0; i < 5; ++i) {
+        t.add_pop({"P" + std::to_string(i), 0.0, 0.0, 1.0,
+                   PopRole::access});
+    }
+    EXPECT_EQ(t.pair_count(), 20u);
+    for (std::size_t p = 0; p < t.pair_count(); ++p) {
+        const auto [src, dst] = t.pair_nodes(p);
+        EXPECT_NE(src, dst);
+        EXPECT_EQ(t.pair_index(src, dst), p);
+    }
+    EXPECT_THROW(t.pair_index(1, 1), std::invalid_argument);
+    EXPECT_THROW(t.pair_nodes(20), std::out_of_range);
+}
+
+TEST(Topology, CoreLinkValidation) {
+    Topology t = two_pop();
+    EXPECT_THROW(t.add_core_link(0, 0, 10.0, 1.0), std::invalid_argument);
+    EXPECT_THROW(t.add_core_link(0, 5, 10.0, 1.0), std::invalid_argument);
+    EXPECT_THROW(t.add_core_link(0, 1, -1.0, 1.0), std::invalid_argument);
+    EXPECT_THROW(t.add_core_link(0, 1, 10.0, 0.0), std::invalid_argument);
+}
+
+TEST(Topology, OutgoingCore) {
+    const Topology t = two_pop();
+    ASSERT_EQ(t.outgoing_core(0).size(), 1u);
+    EXPECT_EQ(t.link(t.outgoing_core(0)[0]).dst, 1u);
+}
+
+TEST(Topology, StronglyConnected) {
+    Topology t = two_pop();
+    EXPECT_TRUE(t.strongly_connected());
+    t.add_pop({"C", 2.0, 2.0, 1.0, PopRole::access});
+    EXPECT_FALSE(t.strongly_connected());
+    t.add_core_link(1, 2, 100.0, 1.0);
+    EXPECT_FALSE(t.strongly_connected());  // one-way only
+    t.add_core_link(2, 0, 100.0, 1.0);
+    EXPECT_TRUE(t.strongly_connected());
+}
+
+TEST(Topology, GreatCircleKnownDistance) {
+    Pop london{"London", 51.51, -0.13, 1.0, PopRole::access};
+    Pop paris{"Paris", 48.86, 2.35, 1.0, PopRole::access};
+    const double km = great_circle_km(london, paris);
+    EXPECT_GT(km, 300.0);
+    EXPECT_LT(km, 400.0);  // ~344 km
+    EXPECT_NEAR(great_circle_km(london, london), 0.0, 1e-9);
+}
+
+TEST(Topology, OutOfRangeAccessorsThrow) {
+    const Topology t = two_pop();
+    EXPECT_THROW(t.pop(2), std::out_of_range);
+    EXPECT_THROW(t.link(100), std::out_of_range);
+    EXPECT_THROW(t.ingress_link(5), std::out_of_range);
+    EXPECT_THROW(t.egress_link(5), std::out_of_range);
+    EXPECT_THROW(t.outgoing_core(5), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace tme::topology

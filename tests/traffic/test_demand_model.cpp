@@ -1,0 +1,141 @@
+#include "traffic/demand_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/metrics.hpp"
+#include "topology/builders.hpp"
+#include "traffic/traffic_matrix.hpp"
+
+namespace tme::traffic {
+namespace {
+
+TEST(DemandModel, NormalizedToUnitTotal) {
+    const topology::Topology t = topology::europe_backbone();
+    DemandModelConfig config;
+    const linalg::Vector s = base_demands(t, config);
+    EXPECT_EQ(s.size(), t.pair_count());
+    EXPECT_NEAR(linalg::sum(s), 1.0, 1e-12);
+    for (double v : s) EXPECT_GE(v, 0.0);
+}
+
+TEST(DemandModel, Deterministic) {
+    const topology::Topology t = topology::europe_backbone();
+    DemandModelConfig config;
+    config.seed = 42;
+    const linalg::Vector a = base_demands(t, config);
+    const linalg::Vector b = base_demands(t, config);
+    EXPECT_EQ(a, b);
+}
+
+TEST(DemandModel, SeedChangesOutput) {
+    const topology::Topology t = topology::europe_backbone();
+    DemandModelConfig a;
+    a.seed = 1;
+    DemandModelConfig b;
+    b.seed = 2;
+    EXPECT_NE(base_demands(t, a), base_demands(t, b));
+}
+
+TEST(DemandModel, StructuralIsProductForm) {
+    const topology::Topology t = topology::tiny_backbone();
+    const linalg::Vector s = structural_demands(t);
+    // s_nm / (w_n w_m) constant across pairs.
+    const double r0 = s[t.pair_index(0, 1)] /
+                      (t.pop(0).weight * t.pop(1).weight);
+    for (std::size_t src = 0; src < t.pop_count(); ++src) {
+        for (std::size_t dst = 0; dst < t.pop_count(); ++dst) {
+            if (src == dst) continue;
+            const double r = s[t.pair_index(src, dst)] /
+                             (t.pop(src).weight * t.pop(dst).weight);
+            EXPECT_NEAR(r, r0, 1e-12);
+        }
+    }
+}
+
+TEST(DemandModel, HotspotsIncreaseGravityError) {
+    const topology::Topology t = topology::us_backbone();
+    DemandModelConfig mild;
+    mild.lognormal_sigma = 0.1;
+    mild.hotspot_strength = 0.0;
+    DemandModelConfig hot = mild;
+    hot.hotspot_strength = 3.0;
+    hot.hotspots_per_source = 2;
+
+    auto gravity_mre = [&t](const linalg::Vector& s) {
+        const linalg::Vector g =
+            gravity_from_marginals(t.pop_count(), s);
+        return core::mre_at_coverage(s, g, 0.9);
+    };
+    EXPECT_GT(gravity_mre(base_demands(t, hot)),
+              gravity_mre(base_demands(t, mild)));
+}
+
+TEST(DemandModel, JitterIncreasesSpread) {
+    const topology::Topology t = topology::europe_backbone();
+    DemandModelConfig small;
+    small.lognormal_sigma = 0.01;
+    small.hotspot_strength = 0.0;
+    DemandModelConfig big = small;
+    big.lognormal_sigma = 1.0;
+
+    auto spread = [](const linalg::Vector& s) {
+        const double mx = linalg::max_element(s);
+        double mn = 1e300;
+        for (double v : s) {
+            if (v > 0.0) mn = std::min(mn, v);
+        }
+        return mx / mn;
+    };
+    EXPECT_GT(spread(base_demands(t, big)),
+              spread(base_demands(t, small)));
+}
+
+TEST(DemandModel, AdditiveJitterKeepsDemandsPositive) {
+    const topology::Topology t = topology::europe_backbone();
+    DemandModelConfig config;
+    config.additive_sigma = 3.0;  // aggressive
+    const linalg::Vector s = base_demands(t, config);
+    for (double v : s) EXPECT_GT(v, 0.0);
+}
+
+TEST(GravityFromMarginals, DiagonalMassIdentity) {
+    // The gravity image's total satisfies the exact zero-diagonal
+    // identity: sum(g) = T - sum_n r_n c_n / T, where r/c are the row
+    // and column totals of the source matrix.
+    const topology::Topology t = topology::tiny_backbone();
+    DemandModelConfig config;
+    const linalg::Vector s = base_demands(t, config);
+    const linalg::Vector g = gravity_from_marginals(t.pop_count(), s);
+    TrafficMatrix tm(t.pop_count(), s);
+    const linalg::Vector rows = tm.row_totals();
+    const linalg::Vector cols = tm.col_totals();
+    const double total = tm.total();
+    double diag_mass = 0.0;
+    for (std::size_t n = 0; n < t.pop_count(); ++n) {
+        diag_mass += rows[n] * cols[n] / total;
+    }
+    EXPECT_NEAR(linalg::sum(g), total - diag_mass, 1e-9);
+    EXPECT_THROW(
+        gravity_from_marginals(3, linalg::Vector(6, 0.0)),
+        std::invalid_argument);
+}
+
+TEST(DemandModel, TopPairsCarryMostTraffic) {
+    // Fig. 2 calibration: top 20% of demands carry >= 60% of traffic in
+    // both reference networks (the scenario tightens this to ~80%).
+    for (auto topo : {topology::europe_backbone(), topology::us_backbone()}) {
+        DemandModelConfig config;
+        config.lognormal_sigma = 0.2;
+        const linalg::Vector s = base_demands(topo, config);
+        linalg::Vector sorted = s;
+        std::sort(sorted.begin(), sorted.end(), std::greater<>());
+        double top = 0.0;
+        for (std::size_t i = 0; i < sorted.size() / 5; ++i) top += sorted[i];
+        EXPECT_GT(top, 0.6);
+    }
+}
+
+}  // namespace
+}  // namespace tme::traffic

@@ -1,0 +1,63 @@
+#include "traffic/diurnal.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tme::traffic {
+namespace {
+
+TEST(Diurnal, PeaksAtPeakMinute) {
+    DiurnalProfile p;
+    p.peak_minute = 18.0 * 60.0;
+    EXPECT_NEAR(diurnal_factor(p, 18.0 * 60.0), 1.0, 1e-12);
+}
+
+TEST(Diurnal, TroughOppositePeak) {
+    DiurnalProfile p;
+    p.peak_minute = 12.0 * 60.0;
+    p.trough_fraction = 0.4;
+    EXPECT_NEAR(diurnal_factor(p, 0.0), 0.4, 1e-12);
+}
+
+TEST(Diurnal, WrapsAroundMidnight) {
+    DiurnalProfile p;
+    p.peak_minute = 0.0;
+    EXPECT_NEAR(diurnal_factor(p, 24.0 * 60.0), 1.0, 1e-12);
+    EXPECT_NEAR(diurnal_factor(p, -5.0), diurnal_factor(p, 1435.0), 1e-12);
+}
+
+TEST(Diurnal, BoundedBetweenTroughAndOne) {
+    DiurnalProfile p;
+    p.trough_fraction = 0.35;
+    p.sharpness = 2.0;
+    for (std::size_t k = 0; k < samples_per_day; ++k) {
+        const double f = diurnal_factor(p, sample_minute(k));
+        EXPECT_GE(f, p.trough_fraction - 1e-12);
+        EXPECT_LE(f, 1.0 + 1e-12);
+    }
+}
+
+TEST(Diurnal, SharpnessNarrowsBusyPeriod) {
+    DiurnalProfile soft;
+    soft.sharpness = 1.0;
+    DiurnalProfile sharp;
+    sharp.sharpness = 4.0;
+    // Away from the peak, the sharper profile is lower.
+    const double off_peak = 18.0 * 60.0 + 4.0 * 60.0;
+    EXPECT_LT(diurnal_factor(sharp, off_peak),
+              diurnal_factor(soft, off_peak));
+}
+
+TEST(Diurnal, SampleMinuteGrid) {
+    EXPECT_DOUBLE_EQ(sample_minute(0), 0.0);
+    EXPECT_DOUBLE_EQ(sample_minute(287), 1435.0);
+    EXPECT_EQ(samples_per_day, 288u);
+}
+
+TEST(Diurnal, SymmetricAroundPeak) {
+    DiurnalProfile p;
+    p.peak_minute = 600.0;
+    EXPECT_NEAR(diurnal_factor(p, 500.0), diurnal_factor(p, 700.0), 1e-12);
+}
+
+}  // namespace
+}  // namespace tme::traffic

@@ -1,0 +1,141 @@
+#include "traffic/generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/stats.hpp"
+#include "topology/builders.hpp"
+#include "traffic/demand_model.hpp"
+#include "traffic/traffic_matrix.hpp"
+
+namespace tme::traffic {
+namespace {
+
+SeriesConfig quiet_config() {
+    SeriesConfig config;
+    config.noise.phi = 0.0;
+    config.seed = 3;
+    return config;
+}
+
+TEST(Generator, ProducesRequestedSamples) {
+    const topology::Topology t = topology::tiny_backbone();
+    const linalg::Vector base = structural_demands(t);
+    SeriesConfig config = quiet_config();
+    config.samples = 10;
+    const auto series = generate_series(t, base, config);
+    EXPECT_EQ(series.size(), 10u);
+    EXPECT_EQ(series.front().size(), t.pair_count());
+}
+
+TEST(Generator, NoiselessFollowsDiurnalMean) {
+    const topology::Topology t = topology::tiny_backbone();
+    const linalg::Vector base = structural_demands(t);
+    SeriesConfig config = quiet_config();
+    const auto series = generate_series(t, base, config);
+    for (std::size_t k = 0; k < series.size(); k += 48) {
+        const linalg::Vector mean = series_mean_at(t, base, config, k);
+        for (std::size_t p = 0; p < mean.size(); ++p) {
+            EXPECT_NEAR(series[k][p], mean[p], 1e-12);
+        }
+    }
+}
+
+TEST(Generator, DiurnalCycleVisibleInTotals) {
+    const topology::Topology t = topology::tiny_backbone();
+    const linalg::Vector base = structural_demands(t);
+    SeriesConfig config = quiet_config();
+    config.profile.peak_minute = 12.0 * 60.0;
+    config.profile.trough_fraction = 0.3;
+    const auto series = generate_series(t, base, config);
+    const double noon = linalg::sum(series[144]);
+    const double midnight = linalg::sum(series[0]);
+    EXPECT_GT(noon, 2.0 * midnight);
+}
+
+TEST(Generator, FanoutsStableUnderDiurnalOnly) {
+    // With noise off, per-source diurnal scaling keeps fanouts constant.
+    const topology::Topology t = topology::tiny_backbone();
+    const linalg::Vector base = structural_demands(t);
+    const auto series = generate_series(t, base, quiet_config());
+    const linalg::Vector f0 =
+        fanouts_from_demands(t.pop_count(), series[0]);
+    const linalg::Vector f1 =
+        fanouts_from_demands(t.pop_count(), series[144]);
+    for (std::size_t p = 0; p < f0.size(); ++p) {
+        EXPECT_NEAR(f0[p], f1[p], 1e-9);
+    }
+}
+
+TEST(Generator, ScalingLawRecovered) {
+    // Generate with known (phi, c) at constant mean; the fitted scaling
+    // law must recover the exponent (paper Fig. 6 machinery).
+    const topology::Topology t = topology::us_backbone();
+    DemandModelConfig dm;
+    dm.lognormal_sigma = 0.4;
+    const linalg::Vector base = base_demands(t, dm);
+    SeriesConfig config;
+    config.noise.phi = 0.01;
+    config.noise.c = 1.5;
+    config.profile.trough_fraction = 1.0;  // flat day: constant mean
+    config.samples = 200;
+    config.seed = 11;
+    const auto series = generate_series(t, base, config);
+
+    const linalg::Vector mean = linalg::sample_mean(series);
+    linalg::Vector var(mean.size());
+    for (std::size_t p = 0; p < mean.size(); ++p) {
+        linalg::Vector xs(series.size());
+        for (std::size_t k = 0; k < series.size(); ++k) xs[k] = series[k][p];
+        var[p] = linalg::variance(xs);
+    }
+    const linalg::ScalingLawFit fit = linalg::fit_scaling_law(mean, var);
+    EXPECT_NEAR(fit.c, 1.5, 0.12);
+    EXPECT_GT(fit.r_squared, 0.9);
+}
+
+TEST(Generator, RejectsBadInput) {
+    const topology::Topology t = topology::tiny_backbone();
+    SeriesConfig config;
+    EXPECT_THROW(generate_series(t, linalg::Vector(3, 0.1), config),
+                 std::invalid_argument);
+    config.noise.phi = -1.0;
+    EXPECT_THROW(generate_series(t, structural_demands(t), config),
+                 std::invalid_argument);
+}
+
+TEST(Generator, PoissonSeriesMatchesMoments) {
+    linalg::Vector lambda{50.0, 500.0, 5000.0};
+    const auto series = generate_poisson_series(lambda, 1.0, 4000, 5);
+    ASSERT_EQ(series.size(), 4000u);
+    for (std::size_t p = 0; p < lambda.size(); ++p) {
+        linalg::Vector xs(series.size());
+        for (std::size_t k = 0; k < series.size(); ++k) xs[k] = series[k][p];
+        const double m = linalg::mean(xs);
+        const double v = linalg::variance(xs);
+        EXPECT_NEAR(m, lambda[p], 0.1 * lambda[p]);
+        // Poisson: variance == mean.
+        EXPECT_NEAR(v / m, 1.0, 0.15);
+    }
+}
+
+TEST(Generator, PoissonScaleShrinksRelativeNoise) {
+    linalg::Vector lambda{10.0};
+    const auto coarse = generate_poisson_series(lambda, 1.0, 500, 7);
+    const auto fine = generate_poisson_series(lambda, 100.0, 500, 7);
+    auto cv = [&](const std::vector<linalg::Vector>& s) {
+        linalg::Vector xs(s.size());
+        for (std::size_t k = 0; k < s.size(); ++k) xs[k] = s[k][0];
+        return std::sqrt(linalg::variance(xs)) / linalg::mean(xs);
+    };
+    EXPECT_GT(cv(coarse), 2.0 * cv(fine));
+}
+
+TEST(Generator, PoissonRejectsBadScale) {
+    EXPECT_THROW(generate_poisson_series({1.0}, 0.0, 10, 1),
+                 std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tme::traffic

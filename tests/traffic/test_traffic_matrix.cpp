@@ -1,0 +1,86 @@
+#include "traffic/traffic_matrix.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tme::traffic {
+namespace {
+
+TEST(TrafficMatrix, BasicRoundTrip) {
+    TrafficMatrix tm(3);
+    tm.set(0, 1, 5.0);
+    tm.set(2, 0, 3.0);
+    const linalg::Vector v = tm.to_pair_vector();
+    TrafficMatrix back(3, v);
+    EXPECT_DOUBLE_EQ(back(0, 1), 5.0);
+    EXPECT_DOUBLE_EQ(back(2, 0), 3.0);
+    EXPECT_DOUBLE_EQ(back(1, 2), 0.0);
+}
+
+TEST(TrafficMatrix, DiagonalStaysZero) {
+    TrafficMatrix tm(3);
+    EXPECT_THROW(tm.set(1, 1, 2.0), std::invalid_argument);
+    tm.set(1, 1, 0.0);  // setting zero is allowed
+    EXPECT_DOUBLE_EQ(tm(1, 1), 0.0);
+}
+
+TEST(TrafficMatrix, RejectsTooSmall) {
+    EXPECT_THROW(TrafficMatrix(1), std::invalid_argument);
+    EXPECT_THROW(TrafficMatrix(3, linalg::Vector(5, 0.0)),
+                 std::invalid_argument);
+}
+
+TEST(TrafficMatrix, Totals) {
+    TrafficMatrix tm(3);
+    tm.set(0, 1, 1.0);
+    tm.set(0, 2, 2.0);
+    tm.set(1, 0, 4.0);
+    EXPECT_DOUBLE_EQ(tm.total(), 7.0);
+    EXPECT_EQ(tm.row_totals(), (linalg::Vector{3.0, 4.0, 0.0}));
+    EXPECT_EQ(tm.col_totals(), (linalg::Vector{4.0, 1.0, 2.0}));
+}
+
+TEST(TrafficMatrix, Fanouts) {
+    TrafficMatrix tm(3);
+    tm.set(0, 1, 1.0);
+    tm.set(0, 2, 3.0);
+    const TrafficMatrix f = tm.fanouts();
+    EXPECT_DOUBLE_EQ(f(0, 1), 0.25);
+    EXPECT_DOUBLE_EQ(f(0, 2), 0.75);
+    // Row with zero total -> uniform fanouts.
+    EXPECT_DOUBLE_EQ(f(1, 0), 0.5);
+    EXPECT_DOUBLE_EQ(f(1, 2), 0.5);
+}
+
+TEST(TrafficMatrix, FanoutsSumToOne) {
+    TrafficMatrix tm(4);
+    tm.set(2, 0, 0.3);
+    tm.set(2, 1, 0.5);
+    tm.set(2, 3, 1.2);
+    const TrafficMatrix f = tm.fanouts();
+    double row = 0.0;
+    for (std::size_t m = 0; m < 4; ++m) row += f(2, m);
+    EXPECT_NEAR(row, 1.0, 1e-12);
+}
+
+TEST(FanoutHelpers, RoundTripDemandsFanouts) {
+    const std::size_t n = 4;
+    linalg::Vector demands(n * (n - 1));
+    for (std::size_t p = 0; p < demands.size(); ++p) {
+        demands[p] = 1.0 + static_cast<double>(p % 5);
+    }
+    const linalg::Vector fan = fanouts_from_demands(n, demands);
+    const linalg::Vector totals = node_totals_from_demands(n, demands);
+    const linalg::Vector back = demands_from_fanouts(n, fan, totals);
+    for (std::size_t p = 0; p < demands.size(); ++p) {
+        EXPECT_NEAR(back[p], demands[p], 1e-12);
+    }
+}
+
+TEST(FanoutHelpers, SizeValidation) {
+    EXPECT_THROW(demands_from_fanouts(3, linalg::Vector(6, 0.1),
+                                      linalg::Vector(2, 1.0)),
+                 std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tme::traffic
