@@ -20,12 +20,24 @@ linalg::Vector bayesian_estimate(const SnapshotProblem& problem,
     }
     const double w = 1.0 / options.regularization;  // sigma^{-2}
 
-    linalg::Matrix g = r.gram();
+    linalg::Matrix g;
+    if (options.shared_gram != nullptr) {
+        if (options.shared_gram->rows() != r.cols() ||
+            options.shared_gram->cols() != r.cols()) {
+            throw std::invalid_argument(
+                "bayesian_estimate: shared gram dimension mismatch");
+        }
+        g = *options.shared_gram;
+    } else {
+        g = r.gram();
+    }
     for (std::size_t i = 0; i < g.rows(); ++i) g(i, i) += w;
     linalg::Vector rhs = r.multiply_transpose(problem.loads);
     for (std::size_t i = 0; i < rhs.size(); ++i) rhs[i] += w * prior[i];
 
-    return linalg::nnls_gram(g, rhs).x;
+    linalg::NnlsOptions nnls_options;
+    nnls_options.warm_start = options.warm_start;
+    return linalg::nnls_gram(g, rhs, 0.0, nnls_options).x;
 }
 
 }  // namespace tme::core

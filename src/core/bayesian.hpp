@@ -19,6 +19,15 @@ namespace tme::core {
 struct BayesianOptions {
     /// Regularization parameter lambda = sigma^2 (> 0).
     double regularization = 1000.0;
+    /// Optional precomputed Gram matrix R'R (pairs x pairs).  The online
+    /// engine's routing-epoch cache hands this in so repeated windows
+    /// under an unchanged routing skip the Gram assembly; it MUST equal
+    /// problem.routing->gram().  Not owned.
+    const linalg::Matrix* shared_gram = nullptr;
+    /// Optional warm start for the active-set NNLS (see NnlsOptions).
+    /// G + (1/lambda) I is positive definite, so the minimizer is unique
+    /// and unchanged by warm starting.  Not owned.
+    const linalg::Vector* warm_start = nullptr;
 };
 
 /// MAP estimate with non-negativity.  `prior` is pair-indexed.

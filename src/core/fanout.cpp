@@ -32,20 +32,68 @@ FanoutResult fanout_estimate(const SeriesProblem& problem,
     const std::size_t nodes = topo.pop_count();
     const std::size_t window = problem.loads.size();
 
+    const FanoutWindowAggregates& agg = options.aggregates;
+    if (!agg.complete() && !agg.empty()) {
+        throw std::invalid_argument(
+            "fanout_estimate: window aggregates must be supplied together");
+    }
+    if (agg.complete() &&
+        (agg.source_outer->rows() != nodes ||
+         agg.source_outer->cols() != nodes ||
+         agg.weighted_rhs->size() != pairs ||
+         agg.mean_loads->size() != r.rows())) {
+        throw std::invalid_argument(
+            "fanout_estimate: aggregate dimension mismatch");
+    }
+
+    // g1 is read-only here, so a shared Gram is used in place (no copy).
+    linalg::Matrix local_gram;
+    if (options.shared_gram != nullptr) {
+        if (options.shared_gram->rows() != pairs ||
+            options.shared_gram->cols() != pairs) {
+            throw std::invalid_argument(
+                "fanout_estimate: shared gram dimension mismatch");
+        }
+    } else {
+        local_gram = r.gram();
+    }
+    const linalg::Matrix& g1 =
+        options.shared_gram != nullptr ? *options.shared_gram : local_gram;
+
     // Accumulate H = sum_k W_k G1 W_k (elementwise weighting of the Gram
     // matrix) and f = sum_k W_k R' t[k].
-    const linalg::Matrix g1 = r.gram();
     linalg::Matrix h(pairs, pairs, 0.0);
     linalg::Vector f(pairs, 0.0);
-    // sum_k w_k[p] w_k[q] accumulated in h first, then scaled by G1.
-    for (std::size_t k = 0; k < window; ++k) {
-        const linalg::Vector w = pair_source_totals(topo, problem.loads[k]);
-        const linalg::Vector rt = r.multiply_transpose(problem.loads[k]);
+    if (agg.complete()) {
+        // The weighting sum_k w_k[p] w_k[q] only depends on the source
+        // nodes of p and q, so the nodes x nodes aggregate lifts to pair
+        // space in a single O(P^2) pass.
+        std::vector<std::size_t> source_of(pairs);
         for (std::size_t p = 0; p < pairs; ++p) {
-            f[p] += w[p] * rt[p];
-            if (w[p] == 0.0) continue;
+            source_of[p] = topo.pair_nodes(p).first;
+        }
+        for (std::size_t p = 0; p < pairs; ++p) {
+            const std::size_t np = source_of[p];
             for (std::size_t q = 0; q < pairs; ++q) {
-                if (g1(p, q) != 0.0) h(p, q) += w[p] * w[q] * g1(p, q);
+                if (g1(p, q) != 0.0) {
+                    h(p, q) =
+                        (*agg.source_outer)(np, source_of[q]) * g1(p, q);
+                }
+            }
+        }
+        f = *agg.weighted_rhs;
+    } else {
+        // sum_k w_k[p] w_k[q] accumulated in h first, then scaled by G1.
+        for (std::size_t k = 0; k < window; ++k) {
+            const linalg::Vector w =
+                pair_source_totals(topo, problem.loads[k]);
+            const linalg::Vector rt = r.multiply_transpose(problem.loads[k]);
+            for (std::size_t p = 0; p < pairs; ++p) {
+                f[p] += w[p] * rt[p];
+                if (w[p] == 0.0) continue;
+                for (std::size_t q = 0; q < pairs; ++q) {
+                    if (g1(p, q) != 0.0) h(p, q) += w[p] * w[q] * g1(p, q);
+                }
             }
         }
     }
@@ -54,10 +102,14 @@ FanoutResult fanout_estimate(const SeriesProblem& problem,
     // for pair (n, m) is the destination's share of mean exit traffic.
     if (options.gravity_tiebreak_weight > 0.0) {
         linalg::Vector mean_loads(r.rows(), 0.0);
-        for (const linalg::Vector& t : problem.loads) {
-            linalg::axpy(1.0, t, mean_loads);
+        if (agg.complete()) {
+            mean_loads = *agg.mean_loads;
+        } else {
+            for (const linalg::Vector& t : problem.loads) {
+                linalg::axpy(1.0, t, mean_loads);
+            }
+            linalg::scale(1.0 / static_cast<double>(window), mean_loads);
         }
-        linalg::scale(1.0 / static_cast<double>(window), mean_loads);
         double total_exit = 0.0;
         for (std::size_t m = 0; m < nodes; ++m) {
             total_exit += mean_loads[topo.egress_link(m)];
@@ -96,16 +148,26 @@ FanoutResult fanout_estimate(const SeriesProblem& problem,
     result.fanouts = qp.x;
     result.equality_violation = qp.equality_violation;
 
-    // Window-averaged demand estimate.
+    // Window-averaged demand estimate.  w_k is linear in the loads, so
+    // the mean over samples equals the value at the mean loads.
     result.mean_demands.assign(pairs, 0.0);
-    for (std::size_t k = 0; k < window; ++k) {
-        const linalg::Vector w = pair_source_totals(topo, problem.loads[k]);
+    if (agg.complete()) {
+        const linalg::Vector mean_w =
+            pair_source_totals(topo, *agg.mean_loads);
         for (std::size_t p = 0; p < pairs; ++p) {
-            result.mean_demands[p] += result.fanouts[p] * w[p];
+            result.mean_demands[p] = result.fanouts[p] * mean_w[p];
         }
-    }
-    for (double& v : result.mean_demands) {
-        v /= static_cast<double>(window);
+    } else {
+        for (std::size_t k = 0; k < window; ++k) {
+            const linalg::Vector w =
+                pair_source_totals(topo, problem.loads[k]);
+            for (std::size_t p = 0; p < pairs; ++p) {
+                result.mean_demands[p] += result.fanouts[p] * w[p];
+            }
+        }
+        for (double& v : result.mean_demands) {
+            v /= static_cast<double>(window);
+        }
     }
     return result;
 }

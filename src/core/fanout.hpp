@@ -19,6 +19,30 @@
 
 namespace tme::core {
 
+/// Precomputed sliding-window aggregates for fanout_estimate.  The online
+/// engine maintains these incrementally (rank-one add/downdate per
+/// sample), which turns the per-window O(K P^2) data-term accumulation
+/// into O(P^2).  All three must be supplied together; none are owned.
+struct FanoutWindowAggregates {
+    /// sum_k te_k te_k' (nodes x nodes), te_k[n] = ingress edge-link
+    /// load of source n at sample k.  The pair-space weighting matrix
+    /// sum_k w_k w_k' is its lift w_k[p] = te_k[src(p)].
+    const linalg::Matrix* source_outer = nullptr;
+    /// sum_k w_k .* (R' t[k]) (pair-indexed).
+    const linalg::Vector* weighted_rhs = nullptr;
+    /// Mean load vector over the window (length = link count).
+    const linalg::Vector* mean_loads = nullptr;
+
+    bool complete() const {
+        return source_outer != nullptr && weighted_rhs != nullptr &&
+               mean_loads != nullptr;
+    }
+    bool empty() const {
+        return source_outer == nullptr && weighted_rhs == nullptr &&
+               mean_loads == nullptr;
+    }
+};
+
 struct FanoutOptions {
     /// Weight (relative to the data term's diagonal) of a weak Tikhonov
     /// pull toward the gravity fanouts computed from the window's mean
@@ -29,6 +53,11 @@ struct FanoutOptions {
     /// solution among the near-optimal ones instead of an arbitrary
     /// vertex.  Set to 0 for the paper's pure formulation.
     double gravity_tiebreak_weight = 1e-3;
+    /// Optional precomputed Gram matrix R'R; MUST equal
+    /// problem.routing->gram().  Not owned.
+    const linalg::Matrix* shared_gram = nullptr;
+    /// Optional incremental window aggregates (see above).
+    FanoutWindowAggregates aggregates;
 };
 
 struct FanoutResult {

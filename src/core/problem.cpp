@@ -51,6 +51,20 @@ void SeriesProblem::validate_with_topology() const {
     }
 }
 
+void SeriesProblem::push_load(linalg::Vector t) {
+    if (routing != nullptr && t.size() != routing->rows()) {
+        throw std::invalid_argument("SeriesProblem::push_load: size");
+    }
+    loads.push_back(std::move(t));
+}
+
+void SeriesProblem::pop_front_load() {
+    if (loads.empty()) {
+        throw std::logic_error("SeriesProblem::pop_front_load: empty");
+    }
+    loads.erase(loads.begin());
+}
+
 SnapshotProblem SeriesProblem::snapshot(std::size_t k) const {
     if (k >= loads.size()) {
         throw std::out_of_range("SeriesProblem::snapshot");

@@ -44,6 +44,18 @@ struct SeriesProblem {
 
     /// Snapshot view of sample k.
     SnapshotProblem snapshot(std::size_t k) const;
+
+    // Incremental sliding-window maintenance (used by the online engine):
+    // appending the newest sample and dropping the oldest keeps the
+    // window chronological without reassembling the whole problem.
+
+    /// Appends the newest load vector.  Throws if the size does not match
+    /// the routing row count (when a routing matrix is set).
+    void push_load(linalg::Vector t);
+
+    /// Drops the oldest load vector (O(K) pointer moves, no copies).
+    /// Throws std::logic_error on an empty window.
+    void pop_front_load();
 };
 
 }  // namespace tme::core

@@ -1,5 +1,6 @@
 #include "core/route_change.hpp"
 
+#include <cstring>
 #include <random>
 #include <stdexcept>
 
@@ -8,6 +9,33 @@
 #include "routing/routing_matrix.hpp"
 
 namespace tme::core {
+
+namespace {
+
+inline void fnv1a_mix(std::uint64_t& h, std::uint64_t v) {
+    // Mix 8 bytes at a time; FNV-1a with the 64-bit prime.
+    for (int byte = 0; byte < 8; ++byte) {
+        h ^= (v >> (8 * byte)) & 0xffu;
+        h *= 0x100000001b3ull;
+    }
+}
+
+}  // namespace
+
+std::uint64_t routing_fingerprint(const linalg::SparseMatrix& routing) {
+    std::uint64_t h = 0xcbf29ce484222325ull;  // FNV offset basis
+    fnv1a_mix(h, routing.rows());
+    fnv1a_mix(h, routing.cols());
+    for (std::size_t off : routing.row_offsets()) fnv1a_mix(h, off);
+    for (std::size_t col : routing.column_indices()) fnv1a_mix(h, col);
+    for (double v : routing.values()) {
+        std::uint64_t bits = 0;
+        static_assert(sizeof(bits) == sizeof(v));
+        std::memcpy(&bits, &v, sizeof(bits));
+        fnv1a_mix(h, bits);
+    }
+    return h;
+}
 
 RouteChangeResult route_change_estimate(
     const std::vector<RoutingObservation>& observations) {

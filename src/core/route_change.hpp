@@ -17,11 +17,20 @@
 // needed (the bench sweeps this).
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "core/problem.hpp"
 
 namespace tme::core {
+
+/// Order-sensitive 64-bit fingerprint of a routing matrix (FNV-1a over
+/// the CSR arrays, dimensions included).  Two matrices with the same
+/// fingerprint are treated as the same routing epoch by the online
+/// engine's caches; any change produced by a reroute (new paths, new
+/// weights, new dimensions) yields a different fingerprint with
+/// overwhelming probability.
+std::uint64_t routing_fingerprint(const linalg::SparseMatrix& routing);
 
 /// One observed routing configuration and its load vector.
 struct RoutingObservation {

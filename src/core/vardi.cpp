@@ -18,12 +18,37 @@ VardiResult vardi_estimate(const SeriesProblem& problem,
     const std::size_t pairs = r.cols();
     const double w = options.second_moment_weight;
 
-    const linalg::Vector that = linalg::sample_mean(problem.loads);
-    const linalg::Matrix sigma = linalg::sample_covariance(problem.loads);
+    if ((options.mean_loads == nullptr) !=
+        (options.load_covariance == nullptr)) {
+        throw std::invalid_argument(
+            "vardi_estimate: mean_loads and load_covariance must be "
+            "supplied together");
+    }
+    const linalg::Vector that = options.mean_loads != nullptr
+                                    ? *options.mean_loads
+                                    : linalg::sample_mean(problem.loads);
+    const linalg::Matrix sigma =
+        options.load_covariance != nullptr
+            ? *options.load_covariance
+            : linalg::sample_covariance(problem.loads);
+    if (that.size() != r.rows() || sigma.rows() != r.rows() ||
+        sigma.cols() != r.rows()) {
+        throw std::invalid_argument("vardi_estimate: moment dimensions");
+    }
 
     // Gram pieces.  G1 = R'R; the second-moment block contributes
     // G2 = G1 .* G1 (see header) and q_p = r_p' Sigmahat r_p.
-    linalg::Matrix g = r.gram();
+    linalg::Matrix g;
+    if (options.shared_gram != nullptr) {
+        if (options.shared_gram->rows() != pairs ||
+            options.shared_gram->cols() != pairs) {
+            throw std::invalid_argument(
+                "vardi_estimate: shared gram dimension mismatch");
+        }
+        g = *options.shared_gram;
+    } else {
+        g = r.gram();
+    }
     linalg::Vector rhs = r.multiply_transpose(that);
 
     if (w > 0.0) {
@@ -56,7 +81,9 @@ VardiResult vardi_estimate(const SeriesProblem& problem,
     }
 
     VardiResult result;
-    result.lambda = linalg::nnls_gram(g, rhs).x;
+    linalg::NnlsOptions nnls_options;
+    nnls_options.warm_start = options.warm_start;
+    result.lambda = linalg::nnls_gram(g, rhs, 0.0, nnls_options).x;
 
     // Residual diagnostics.
     const linalg::Vector pred = r.multiply(result.lambda);

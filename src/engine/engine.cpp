@@ -1,0 +1,145 @@
+#include "engine/engine.hpp"
+
+#include <stdexcept>
+
+#include "core/metrics.hpp"
+
+namespace tme::engine {
+
+namespace {
+
+bool schedules(const std::vector<Method>& methods, Method wanted) {
+    for (Method m : methods) {
+        if (m == wanted) return true;
+    }
+    return false;
+}
+
+}  // namespace
+
+OnlineEngine::OnlineEngine(const topology::Topology& topo,
+                           const linalg::SparseMatrix& routing,
+                           EngineConfig config)
+    : topo_(&topo),
+      routing_(&routing),
+      config_(std::move(config)),
+      cache_(config_.epoch_cache_capacity),
+      window_(&topo, &routing, config_.window_size,
+              schedules(config_.methods, Method::vardi)),
+      scheduler_(config_.methods, config_.method_options, config_.threads,
+                 config_.warm_start, config_.min_series_window) {
+    if (routing.rows() != topo.link_count() ||
+        routing.cols() != topo.pair_count()) {
+        throw std::invalid_argument(
+            "OnlineEngine: routing does not match topology");
+    }
+}
+
+void OnlineEngine::set_routing(const linalg::SparseMatrix& routing) {
+    if (routing.rows() != topo_->link_count() ||
+        routing.cols() != topo_->pair_count()) {
+        throw std::invalid_argument(
+            "OnlineEngine::set_routing: routing does not match topology");
+    }
+    routing_ = &routing;
+}
+
+WindowResult OnlineEngine::ingest(std::size_t sample, linalg::Vector loads,
+                                  bool gap) {
+    const RoutingEpoch& epoch = cache_.acquire(*routing_);
+    if (!epoch_bound_ || epoch.fingerprint != window_epoch_) {
+        if (epoch_bound_) {
+            ++metrics_.epoch_changes;
+            if (!window_.empty()) ++metrics_.window_flushes;
+        }
+        // Samples measured under the previous routing cannot be mixed
+        // with the new epoch; flush the window and drop warm starts so
+        // no stale-epoch state can leak into the next estimate.
+        window_.reset(routing_);
+        scheduler_.reset_warm_state();
+        window_epoch_ = epoch.fingerprint;
+        epoch_bound_ = true;
+    } else if (window_.series().routing != routing_) {
+        // Content-identical matrix in a fresh object (same epoch): keep
+        // the window but rebind the pointer so it never dangles on a
+        // matrix the caller has replaced and may free.
+        window_.rebind_routing(routing_);
+    }
+
+    window_.push(sample, std::move(loads), gap);
+    ++metrics_.samples_ingested;
+    if (gap) ++metrics_.gap_samples;
+    metrics_.cache_hits = cache_.hits();
+    metrics_.cache_misses = cache_.misses();
+    metrics_.cache_evictions = cache_.evictions();
+
+    WindowResult result = scheduler_.run(window_, epoch);
+
+    if (truth_) {
+        // Snapshot methods estimate the newest sample's demands; series
+        // methods (Vardi, fanout) estimate the window mean, so they are
+        // scored against the truth averaged over the window's samples.
+        const linalg::Vector truth_now = truth_(sample);
+        linalg::Vector truth_mean;
+        for (MethodRun& run : result.runs) {
+            const linalg::Vector* reference = &truth_now;
+            if (is_series_method(run.method)) {
+                if (truth_mean.empty()) {
+                    truth_mean.assign(truth_now.size(), 0.0);
+                    for (std::size_t s : window_.sample_indices()) {
+                        const linalg::Vector t = truth_(s);
+                        for (std::size_t p = 0; p < truth_mean.size();
+                             ++p) {
+                            truth_mean[p] += t[p];
+                        }
+                    }
+                    const double inv_k =
+                        1.0 / static_cast<double>(window_.size());
+                    for (double& v : truth_mean) v *= inv_k;
+                }
+                reference = &truth_mean;
+            }
+            run.mre = core::mre_at_coverage(*reference, run.estimate, 0.9);
+        }
+    }
+
+    ++metrics_.windows_run;
+    metrics_.total_seconds += result.seconds;
+    metrics_.last_window_seconds = result.seconds;
+    for (const MethodRun& run : result.runs) {
+        MethodStats& stats = metrics_.methods[run.method];
+        ++stats.runs;
+        if (run.warm_started) ++stats.warm_runs;
+        stats.total_seconds += run.seconds;
+        stats.last_seconds = run.seconds;
+        if (truth_) {
+            stats.last_mre = run.mre;
+            stats.mre_sum += run.mre;
+            ++stats.mre_count;
+        }
+    }
+    return result;
+}
+
+WindowResult OnlineEngine::ingest_interval(
+    const telemetry::TimeSeriesStore& store, std::size_t interval) {
+    if (store.objects() != routing_->rows()) {
+        throw std::invalid_argument(
+            "OnlineEngine::ingest_interval: store object count must equal "
+            "the link count");
+    }
+    const bool gap = store.missing_count(interval) > 0;
+    return ingest(interval, store.snapshot(interval), gap);
+}
+
+std::vector<WindowResult> OnlineEngine::ingest_outcome(
+    const telemetry::PollingOutcome& outcome) {
+    std::vector<WindowResult> results;
+    results.reserve(outcome.store.intervals());
+    for (std::size_t k = 0; k < outcome.store.intervals(); ++k) {
+        results.push_back(ingest_interval(outcome.store, k));
+    }
+    return results;
+}
+
+}  // namespace tme::engine

@@ -1,0 +1,111 @@
+// Online traffic-matrix estimation engine.
+//
+// Turns the repository's batch estimators into a streaming pipeline:
+// link-load samples are ingested one 5-minute interval at a time (from
+// raw vectors, a telemetry::TimeSeriesStore, or a simulated
+// telemetry::PollingOutcome with gap handling for lost polls), appended
+// into a ring-buffered sliding window, and re-estimated per window by a
+// configurable set of methods running on a small thread pool.  Derived
+// data that depends only on the routing matrix lives in a routing-epoch
+// cache and is invalidated exactly when a route change produces a new
+// R; the sliding window is flushed at the same moment, because samples
+// measured under different routing cannot share one estimation problem.
+//
+//   telemetry ──> OnlineEngine::ingest ──> SlidingWindow ──┐
+//                                                          ├─> EstimatorScheduler ──> WindowResult
+//   route_change ──> set_routing ──> RoutingEpochCache  ───┘        │
+//                                                                   └──> EngineMetrics
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "engine/epoch_cache.hpp"
+#include "engine/metrics.hpp"
+#include "engine/scheduler.hpp"
+#include "engine/window.hpp"
+#include "telemetry/poller.hpp"
+#include "telemetry/timeseries.hpp"
+
+namespace tme::engine {
+
+struct EngineConfig {
+    /// Sliding-window capacity in samples (5-minute intervals).
+    std::size_t window_size = 12;
+    /// Series methods (Vardi, fanout) wait for this many samples.
+    std::size_t min_series_window = 3;
+    /// Methods re-estimated each window.
+    std::vector<Method> methods = {Method::gravity, Method::bayesian,
+                                   Method::fanout};
+    MethodOptions method_options;
+    /// Worker threads for the per-window method fan-out; 0 runs inline.
+    std::size_t threads = 0;
+    /// Routing epochs kept alive for flap recovery.
+    std::size_t epoch_cache_capacity = 4;
+    /// Seed each method's solver from the previous window's solution.
+    bool warm_start = true;
+};
+
+/// Per-sample ground truth provider (demand vector for sample k), used
+/// to score windows when a scenario supplies the truth.
+using TruthProvider = std::function<linalg::Vector(std::size_t sample)>;
+
+class OnlineEngine {
+  public:
+    /// `topo` and `routing` must outlive the engine.
+    OnlineEngine(const topology::Topology& topo,
+                 const linalg::SparseMatrix& routing,
+                 EngineConfig config = {});
+
+    /// Signals a routing change: subsequent samples are interpreted
+    /// under `routing`.  The window flush and cache (in)validation
+    /// happen on the next ingest, driven by the content fingerprint —
+    /// re-announcing a content-identical matrix keeps the epoch (and
+    /// window) alive, merely rebinding internal pointers to the new
+    /// object.
+    void set_routing(const linalg::SparseMatrix& routing);
+
+    const linalg::SparseMatrix& routing() const { return *routing_; }
+
+    /// Ingests one load sample and runs the scheduled estimators over
+    /// the updated window.  `gap` flags a sample reconstructed by
+    /// interpolation (lost polls).  Sample indices must be strictly
+    /// increasing within a routing epoch.
+    WindowResult ingest(std::size_t sample, linalg::Vector loads,
+                        bool gap = false);
+
+    /// Ingests interval `interval` of a telemetry store (objects are
+    /// link ids).  Missing polls are linearly interpolated by the store
+    /// and the sample is flagged as a gap.
+    WindowResult ingest_interval(const telemetry::TimeSeriesStore& store,
+                                 std::size_t interval);
+
+    /// Replays every interval of a polling-simulation outcome.
+    std::vector<WindowResult> ingest_outcome(
+        const telemetry::PollingOutcome& outcome);
+
+    /// Attaches/detaches the ground-truth provider used to fill
+    /// MethodRun::mre (pass an empty function to detach).
+    void set_truth(TruthProvider truth) { truth_ = std::move(truth); }
+
+    /// The currently attached truth provider (empty when detached).
+    const TruthProvider& truth() const { return truth_; }
+
+    const EngineMetrics& metrics() const { return metrics_; }
+    const SlidingWindow& window() const { return window_; }
+    std::uint64_t current_epoch() const { return window_epoch_; }
+
+  private:
+    const topology::Topology* topo_;
+    const linalg::SparseMatrix* routing_;
+    EngineConfig config_;
+    RoutingEpochCache cache_;
+    SlidingWindow window_;
+    EstimatorScheduler scheduler_;
+    EngineMetrics metrics_;
+    TruthProvider truth_;
+    std::uint64_t window_epoch_ = 0;
+    bool epoch_bound_ = false;  ///< window_epoch_ holds a real fingerprint
+};
+
+}  // namespace tme::engine

@@ -1,0 +1,40 @@
+#include "engine/epoch_cache.hpp"
+
+#include <stdexcept>
+
+#include "core/route_change.hpp"
+
+namespace tme::engine {
+
+RoutingEpochCache::RoutingEpochCache(std::size_t capacity)
+    : capacity_(capacity) {
+    if (capacity_ == 0) {
+        throw std::invalid_argument("RoutingEpochCache: zero capacity");
+    }
+}
+
+const RoutingEpoch& RoutingEpochCache::acquire(
+    const linalg::SparseMatrix& routing) {
+    const std::uint64_t fp = core::routing_fingerprint(routing);
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+        if (it->fingerprint == fp) {
+            ++hits_;
+            it->routing = &routing;
+            entries_.splice(entries_.begin(), entries_, it);
+            return entries_.front();
+        }
+    }
+    ++misses_;
+    RoutingEpoch epoch;
+    epoch.fingerprint = fp;
+    epoch.routing = &routing;
+    epoch.gram = routing.gram();
+    entries_.push_front(std::move(epoch));
+    while (entries_.size() > capacity_) {
+        entries_.pop_back();
+        ++evictions_;
+    }
+    return entries_.front();
+}
+
+}  // namespace tme::engine

@@ -1,0 +1,56 @@
+// Routing-epoch cache: per-routing-matrix precomputations keyed by the
+// content fingerprint of R.
+//
+// A backbone's routing matrix is piecewise constant in time — it changes
+// only when the IGP reconverges or an operator reroutes LSPs — while
+// load samples arrive every five minutes.  Everything derived purely
+// from R (today the dense Gram matrix R'R that the Bayesian, Vardi and
+// fanout solvers consume) is therefore cached per epoch and invalidated
+// *exactly* when a route change produces a matrix with a different
+// fingerprint.  A small LRU keeps the last few epochs alive so routing
+// flaps that revert to a previous configuration hit the cache again.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+
+#include "linalg/matrix.hpp"
+#include "linalg/sparse.hpp"
+
+namespace tme::engine {
+
+/// Cached derived data for one routing configuration.
+struct RoutingEpoch {
+    std::uint64_t fingerprint = 0;
+    /// The routing matrix this epoch was built from (not owned; rebound
+    /// to the most recent structurally-identical matrix on each hit).
+    const linalg::SparseMatrix* routing = nullptr;
+    /// Dense Gram matrix R'R (pairs x pairs).
+    linalg::Matrix gram;
+};
+
+class RoutingEpochCache {
+  public:
+    explicit RoutingEpochCache(std::size_t capacity = 4);
+
+    /// Returns the epoch for `routing`, building it on a miss.  The
+    /// reference stays valid until `capacity` further distinct epochs
+    /// have been acquired.
+    const RoutingEpoch& acquire(const linalg::SparseMatrix& routing);
+
+    std::size_t capacity() const { return capacity_; }
+    std::size_t size() const { return entries_.size(); }
+    std::size_t hits() const { return hits_; }
+    std::size_t misses() const { return misses_; }
+    std::size_t evictions() const { return evictions_; }
+
+  private:
+    std::size_t capacity_;
+    std::list<RoutingEpoch> entries_;  // most recently used first
+    std::size_t hits_ = 0;
+    std::size_t misses_ = 0;
+    std::size_t evictions_ = 0;
+};
+
+}  // namespace tme::engine

@@ -1,0 +1,47 @@
+// Estimation methods the online engine can schedule per window.
+//
+// Snapshot methods see only the newest sample of the window; series
+// methods (Vardi, fanout) consume the whole sliding window and therefore
+// only run once the window holds enough samples.
+#pragma once
+
+#include <cstddef>
+
+namespace tme::engine {
+
+enum class Method {
+    gravity,   ///< simple gravity from edge-link loads (snapshot)
+    kruithof,  ///< Kruithof/MART projection of the gravity prior (snapshot)
+    entropy,   ///< KL-regularized least squares (snapshot)
+    bayesian,  ///< Gaussian-prior regularized NNLS (snapshot)
+    vardi,     ///< Poisson moment matching over the window (series)
+    fanout,    ///< constant-fanout window LS (series)
+};
+
+/// Every method, in enum order.  Keep in sync when extending Method —
+/// method_count sizes per-method state tables (e.g. the scheduler's
+/// warm-start slots).
+inline constexpr Method all_methods[] = {
+    Method::gravity, Method::kruithof, Method::entropy,
+    Method::bayesian, Method::vardi,   Method::fanout,
+};
+inline constexpr std::size_t method_count =
+    sizeof(all_methods) / sizeof(all_methods[0]);
+
+constexpr const char* method_name(Method m) {
+    switch (m) {
+        case Method::gravity: return "gravity";
+        case Method::kruithof: return "kruithof";
+        case Method::entropy: return "entropy";
+        case Method::bayesian: return "bayesian";
+        case Method::vardi: return "vardi";
+        case Method::fanout: return "fanout";
+    }
+    return "?";
+}
+
+constexpr bool is_series_method(Method m) {
+    return m == Method::vardi || m == Method::fanout;
+}
+
+}  // namespace tme::engine

@@ -1,0 +1,43 @@
+#include "engine/metrics.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace tme::engine {
+
+std::string EngineMetrics::summary() const {
+    char line[256];
+    std::string out;
+    std::snprintf(line, sizeof(line),
+                  "samples=%zu gaps=%zu windows=%zu flushes=%zu "
+                  "epoch_changes=%zu\n",
+                  samples_ingested, gap_samples, windows_run,
+                  window_flushes, epoch_changes);
+    out += line;
+    std::snprintf(line, sizeof(line),
+                  "epoch cache: hit rate %.3f (%zu hits, %zu misses, "
+                  "%zu evictions)\n",
+                  cache_hit_rate(), cache_hits, cache_misses,
+                  cache_evictions);
+    out += line;
+    std::snprintf(line, sizeof(line),
+                  "latency: total %.3fs, last window %.2fms\n",
+                  total_seconds, last_window_seconds * 1e3);
+    out += line;
+    for (const auto& [method, stats] : methods) {
+        std::snprintf(line, sizeof(line),
+                      "  %-9s runs=%zu warm=%zu mean=%.2fms last=%.2fms",
+                      method_name(method), stats.runs, stats.warm_runs,
+                      stats.mean_seconds() * 1e3, stats.last_seconds * 1e3);
+        out += line;
+        if (stats.mre_count > 0) {
+            std::snprintf(line, sizeof(line), " mean_mre=%.4f last_mre=%.4f",
+                          stats.mean_mre(), stats.last_mre);
+            out += line;
+        }
+        out += '\n';
+    }
+    return out;
+}
+
+}  // namespace tme::engine

@@ -1,0 +1,58 @@
+// Engine observability: per-window latency, routing-epoch cache
+// statistics, gap bookkeeping, and estimation error against ground
+// truth when the feeding scenario provides it.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <map>
+#include <string>
+
+#include "engine/method.hpp"
+
+namespace tme::engine {
+
+struct MethodStats {
+    std::size_t runs = 0;
+    std::size_t warm_runs = 0;
+    double total_seconds = 0.0;
+    double last_seconds = 0.0;
+    double last_mre = std::numeric_limits<double>::quiet_NaN();
+    double mre_sum = 0.0;
+    std::size_t mre_count = 0;
+
+    double mean_seconds() const {
+        return runs > 0 ? total_seconds / static_cast<double>(runs) : 0.0;
+    }
+    double mean_mre() const {
+        return mre_count > 0
+                   ? mre_sum / static_cast<double>(mre_count)
+                   : std::numeric_limits<double>::quiet_NaN();
+    }
+};
+
+struct EngineMetrics {
+    std::size_t samples_ingested = 0;
+    std::size_t gap_samples = 0;       ///< samples flagged as interpolated
+    std::size_t windows_run = 0;
+    std::size_t window_flushes = 0;    ///< windows dropped on epoch change
+    std::size_t epoch_changes = 0;     ///< routing fingerprint transitions
+    std::size_t cache_hits = 0;
+    std::size_t cache_misses = 0;
+    std::size_t cache_evictions = 0;
+    double total_seconds = 0.0;        ///< scheduler time across windows
+    double last_window_seconds = 0.0;
+    std::map<Method, MethodStats> methods;
+
+    double cache_hit_rate() const {
+        const std::size_t total = cache_hits + cache_misses;
+        return total > 0 ? static_cast<double>(cache_hits) /
+                               static_cast<double>(total)
+                         : 0.0;
+    }
+
+    /// Multi-line human-readable dump.
+    std::string summary() const;
+};
+
+}  // namespace tme::engine

@@ -1,0 +1,65 @@
+#include "engine/replay.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace tme::engine {
+
+ReplayResult replay_scenario(OnlineEngine& engine,
+                             const scenario::Scenario& sc,
+                             const ReplayOptions& options) {
+    if (engine.routing().cols() != sc.topo.pair_count()) {
+        throw std::invalid_argument(
+            "replay_scenario: engine routing does not match scenario");
+    }
+    // The scenario truth provider is installed for the duration of the
+    // replay only; whatever the caller had attached is restored on exit
+    // (including the exception path — the replacement lambda captures
+    // the caller-scoped scenario and must never outlive this call).
+    TruthProvider saved = engine.truth();
+    if (options.attach_truth) {
+        engine.set_truth(
+            [&sc](std::size_t sample) { return sc.demands.at(sample); });
+    }
+
+    ReplayResult result;
+    result.windows.reserve(sc.demands.size());
+    try {
+        scenario::replay(
+            sc, options.events,
+            [&](std::size_t sample, const linalg::SparseMatrix& routing,
+                const linalg::Vector& loads,
+                const linalg::Vector& demands) {
+                (void)demands;
+                if (&routing != &engine.routing()) {
+                    engine.set_routing(routing);
+                }
+                result.windows.push_back(engine.ingest(sample, loads));
+            });
+    } catch (...) {
+        if (options.attach_truth) engine.set_truth(std::move(saved));
+        throw;
+    }
+    if (options.attach_truth) {
+        engine.set_truth(std::move(saved));
+    }
+
+    std::map<Method, std::pair<double, std::size_t>> acc;
+    for (const WindowResult& window : result.windows) {
+        for (const MethodRun& run : window.runs) {
+            if (std::isnan(run.mre)) continue;
+            auto& [sum, count] = acc[run.method];
+            sum += run.mre;
+            ++count;
+        }
+    }
+    for (const auto& [method, pair] : acc) {
+        if (pair.second > 0) {
+            result.mean_mre[method] =
+                pair.first / static_cast<double>(pair.second);
+        }
+    }
+    return result;
+}
+
+}  // namespace tme::engine

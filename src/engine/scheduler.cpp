@@ -1,0 +1,207 @@
+#include "engine/scheduler.hpp"
+
+#include <chrono>
+#include <optional>
+#include <stdexcept>
+#include <utility>
+
+#include "core/gravity.hpp"
+
+namespace tme::engine {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+    return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+}  // namespace
+
+const MethodRun* WindowResult::find(Method method) const {
+    for (const MethodRun& run : runs) {
+        if (run.method == method) return &run;
+    }
+    return nullptr;
+}
+
+EstimatorScheduler::EstimatorScheduler(std::vector<Method> methods,
+                                       MethodOptions options,
+                                       std::size_t threads, bool warm_start,
+                                       std::size_t min_series_window)
+    : methods_(std::move(methods)),
+      options_(std::move(options)),
+      warm_start_(warm_start),
+      min_series_window_(min_series_window < 1 ? 1 : min_series_window),
+      warm_(method_count),
+      pool_(threads) {
+    if (methods_.empty()) {
+        throw std::invalid_argument("EstimatorScheduler: no methods");
+    }
+}
+
+void EstimatorScheduler::reset_warm_state() {
+    for (WarmSlot& s : warm_) s.valid = false;
+}
+
+WindowResult EstimatorScheduler::run(const SlidingWindow& window,
+                                     const RoutingEpoch& epoch) {
+    if (window.empty()) {
+        throw std::logic_error("EstimatorScheduler::run: empty window");
+    }
+    const Clock::time_point pass_start = Clock::now();
+
+    const core::SeriesProblem& series = window.series();
+    core::SnapshotProblem latest;
+    latest.topo = series.topo;
+    latest.routing = series.routing;
+    latest.loads = window.latest();
+
+    const bool run_series = window.size() >= min_series_window_;
+    bool need_prior = false;
+    bool need_vardi = false;
+    bool need_fanout = false;
+    for (Method m : methods_) {
+        if (m == Method::gravity || m == Method::kruithof ||
+            m == Method::entropy || m == Method::bayesian) {
+            need_prior = true;
+        }
+        if (m == Method::vardi && run_series) need_vardi = true;
+        if (m == Method::fanout && run_series) need_fanout = true;
+    }
+
+    // Gravity prior, shared by Kruithof / entropy / Bayesian.
+    const Clock::time_point prior_start = Clock::now();
+    const linalg::Vector prior =
+        need_prior ? core::gravity_estimate(latest) : linalg::Vector();
+    const double prior_seconds = seconds_since(prior_start);
+
+    // Window aggregates, materialized once per window from the ring
+    // buffer's incrementally-maintained sums.
+    linalg::Vector mean_loads;
+    linalg::Matrix covariance;
+    core::FanoutWindowAggregates aggregates;
+    if (need_vardi || need_fanout) mean_loads = window.mean_loads();
+    if (need_vardi) covariance = window.covariance();
+    if (need_fanout) {
+        aggregates.source_outer = &window.source_outer();
+        aggregates.weighted_rhs = &window.weighted_rhs();
+        aggregates.mean_loads = &mean_loads;
+    }
+
+    std::vector<std::optional<MethodRun>> slots(methods_.size());
+    std::vector<std::exception_ptr> errors(methods_.size());
+    std::vector<std::function<void()>> tasks;
+
+    for (std::size_t i = 0; i < methods_.size(); ++i) {
+        const Method m = methods_[i];
+        if (is_series_method(m) && !run_series) continue;
+        if (m == Method::gravity) {
+            MethodRun run;
+            run.method = m;
+            run.estimate = prior;
+            run.seconds = prior_seconds;
+            slots[i] = std::move(run);
+            continue;
+        }
+        tasks.push_back([this, i, m, &latest, &series, &epoch, &prior,
+                         &mean_loads, &covariance, &aggregates, &slots,
+                         &errors] {
+            try {
+                const Clock::time_point start = Clock::now();
+                MethodRun run;
+                run.method = m;
+                const WarmSlot& warm = slot(m);
+                const bool use_warm = warm_start_ && warm.valid;
+                switch (m) {
+                    case Method::kruithof: {
+                        run.estimate =
+                            core::kruithof_general(latest, prior,
+                                                   options_.kruithof)
+                                .s;
+                        break;
+                    }
+                    case Method::entropy: {
+                        core::EntropyOptions opts = options_.entropy;
+                        if (use_warm) {
+                            opts.solver.initial = &warm.estimate;
+                            run.warm_started = true;
+                        }
+                        run.estimate =
+                            core::entropy_estimate(latest, prior, opts);
+                        break;
+                    }
+                    case Method::bayesian: {
+                        core::BayesianOptions opts = options_.bayesian;
+                        opts.shared_gram = &epoch.gram;
+                        if (use_warm) {
+                            opts.warm_start = &warm.estimate;
+                            run.warm_started = true;
+                        }
+                        run.estimate =
+                            core::bayesian_estimate(latest, prior, opts);
+                        break;
+                    }
+                    case Method::vardi: {
+                        core::VardiOptions opts = options_.vardi;
+                        opts.shared_gram = &epoch.gram;
+                        opts.mean_loads = &mean_loads;
+                        opts.load_covariance = &covariance;
+                        if (use_warm) {
+                            opts.warm_start = &warm.estimate;
+                            run.warm_started = true;
+                        }
+                        run.estimate =
+                            core::vardi_estimate(series, opts).lambda;
+                        break;
+                    }
+                    case Method::fanout: {
+                        core::FanoutOptions opts = options_.fanout;
+                        opts.shared_gram = &epoch.gram;
+                        opts.aggregates = aggregates;
+                        run.estimate =
+                            core::fanout_estimate(series, opts)
+                                .mean_demands;
+                        break;
+                    }
+                    case Method::gravity:
+                        break;  // handled inline above
+                }
+                run.seconds = seconds_since(start);
+                slots[i] = std::move(run);
+            } catch (...) {
+                errors[i] = std::current_exception();
+            }
+        });
+    }
+    pool_.run_batch(std::move(tasks));
+
+    for (const std::exception_ptr& error : errors) {
+        if (error) std::rethrow_exception(error);
+    }
+
+    WindowResult result;
+    result.window_start_sample = window.first_sample();
+    result.window_end_sample = window.last_sample();
+    result.window_size = window.size();
+    result.epoch_fingerprint = epoch.fingerprint;
+    for (std::optional<MethodRun>& maybe : slots) {
+        if (!maybe.has_value()) continue;
+        // Thread the solution into the next window's warm start for the
+        // methods whose optimum is start-point independent.
+        const Method m = maybe->method;
+        if (warm_start_ &&
+            (m == Method::entropy || m == Method::bayesian ||
+             m == Method::vardi)) {
+            WarmSlot& s = slot(m);
+            s.estimate = maybe->estimate;
+            s.valid = true;
+        }
+        result.runs.push_back(std::move(*maybe));
+    }
+    result.seconds = seconds_since(pass_start);
+    return result;
+}
+
+}  // namespace tme::engine

@@ -1,0 +1,89 @@
+// Minimal fixed-size thread pool for the estimator scheduler.
+//
+// One engine window fans its per-method estimation tasks out as a batch
+// and waits for completion; batches never overlap, so the pool only
+// needs a shared queue and a pending counter.  Constructed with zero
+// threads it degrades to inline execution, which keeps single-threaded
+// runs deterministic and trivially debuggable.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace tme::engine {
+
+class ThreadPool {
+  public:
+    explicit ThreadPool(std::size_t threads) {
+        workers_.reserve(threads);
+        for (std::size_t i = 0; i < threads; ++i) {
+            workers_.emplace_back([this] { worker(); });
+        }
+    }
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    ~ThreadPool() {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            stop_ = true;
+        }
+        work_cv_.notify_all();
+        for (std::thread& t : workers_) t.join();
+    }
+
+    std::size_t thread_count() const { return workers_.size(); }
+
+    /// Runs all tasks and blocks until every one has finished.  Tasks
+    /// must not throw (the scheduler wraps them to capture exceptions).
+    void run_batch(std::vector<std::function<void()>> tasks) {
+        if (workers_.empty()) {
+            for (auto& task : tasks) task();
+            return;
+        }
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            for (auto& task : tasks) queue_.push(std::move(task));
+            pending_ += tasks.size();
+        }
+        work_cv_.notify_all();
+        std::unique_lock<std::mutex> lock(mutex_);
+        done_cv_.wait(lock, [this] { return pending_ == 0; });
+    }
+
+  private:
+    void worker() {
+        while (true) {
+            std::function<void()> task;
+            {
+                std::unique_lock<std::mutex> lock(mutex_);
+                work_cv_.wait(lock,
+                              [this] { return stop_ || !queue_.empty(); });
+                if (stop_ && queue_.empty()) return;
+                task = std::move(queue_.front());
+                queue_.pop();
+            }
+            task();
+            {
+                std::lock_guard<std::mutex> lock(mutex_);
+                if (--pending_ == 0) done_cv_.notify_all();
+            }
+        }
+    }
+
+    std::vector<std::thread> workers_;
+    std::queue<std::function<void()>> queue_;
+    std::mutex mutex_;
+    std::condition_variable work_cv_;
+    std::condition_variable done_cv_;
+    std::size_t pending_ = 0;
+    bool stop_ = false;
+};
+
+}  // namespace tme::engine

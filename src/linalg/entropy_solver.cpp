@@ -54,7 +54,17 @@ EntropySolverResult kl_regularized_ls(const SparseMatrix& a, const Vector& b,
     for (double& v : p) v = std::max(v, floor);
 
     EntropySolverResult result;
-    result.s = p;  // start at the prior (strictly positive)
+    if (options.initial != nullptr) {
+        if (options.initial->size() != n) {
+            throw std::invalid_argument("kl_regularized_ls: initial size");
+        }
+        result.s = *options.initial;
+        for (double& v : result.s) {
+            v = (std::isfinite(v) && v > floor) ? v : floor;
+        }
+    } else {
+        result.s = p;  // start at the prior (strictly positive)
+    }
 
     // Scale for the stationarity test.
     double bscale = nrm_inf(b);

@@ -31,6 +31,12 @@ struct EntropySolverOptions {
     /// Prior entries are clamped below at prior_floor * mean(prior) to
     /// keep log(s/p) finite for structurally-zero priors.
     double prior_floor = 1e-12;
+    /// Optional initial iterate (warm start).  Entries are clamped to the
+    /// same strictly-positive floor as the prior.  The objective is
+    /// strictly convex for w > 0, so the minimizer is unchanged; a good
+    /// initial point (e.g. the previous window's solution in a streaming
+    /// setting) only shortens the iteration.  Not owned.
+    const Vector* initial = nullptr;
 };
 
 struct EntropySolverResult {

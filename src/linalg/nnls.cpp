@@ -148,30 +148,8 @@ NnlsResult nnls_gram(const Matrix& gram_matrix, const Vector& atb, double btb,
     // Dual w = g - G x; x = 0 initially.
     Vector w = atb;
 
-    for (result.iterations = 0; result.iterations < max_iter;
-         ++result.iterations) {
-        // Most infeasible dual coordinate among active variables.
-        std::size_t best = n;
-        double best_w = tol;
-        for (std::size_t j = 0; j < n; ++j) {
-            if (!in_passive[j] && w[j] > best_w) {
-                best_w = w[j];
-                best = j;
-            }
-        }
-        if (best == n) {
-            result.converged = true;
-            break;
-        }
-        if (!factor.append(best)) {
-            // Numerically dependent column; treat as converged to avoid
-            // cycling on a singular passive set.
-            result.converged = true;
-            break;
-        }
-        in_passive[best] = true;
-
-        // Inner loop: restore primal feasibility of the passive solve.
+    // Inner loop: restore primal feasibility of the passive solve.
+    const auto restore_feasibility = [&]() {
         while (true) {
             const std::vector<std::size_t>& passive = factor.passive();
             Vector z = factor.solve(atb);
@@ -231,8 +209,10 @@ NnlsResult nnls_gram(const Matrix& gram_matrix, const Vector& atb, double btb,
             factor.remove_indices(to_remove);
             if (factor.passive().empty()) break;
         }
+    };
 
-        // Refresh dual: w = g - G x restricted to passive support.
+    // Refresh dual: w = g - G x restricted to passive support.
+    const auto refresh_dual = [&]() {
         const std::vector<std::size_t>& passive = factor.passive();
         for (std::size_t j = 0; j < n; ++j) {
             double acc = atb[j];
@@ -241,6 +221,48 @@ NnlsResult nnls_gram(const Matrix& gram_matrix, const Vector& atb, double btb,
             }
             w[j] = acc;
         }
+    };
+
+    if (options.warm_start != nullptr) {
+        if (options.warm_start->size() != n) {
+            throw std::invalid_argument("nnls_gram: warm start size");
+        }
+        for (std::size_t j = 0; j < n; ++j) {
+            if ((*options.warm_start)[j] > 0.0 && factor.append(j)) {
+                in_passive[j] = true;
+            }
+        }
+        if (!factor.passive().empty()) {
+            restore_feasibility();
+            refresh_dual();
+        }
+    }
+
+    for (result.iterations = 0; result.iterations < max_iter;
+         ++result.iterations) {
+        // Most infeasible dual coordinate among active variables.
+        std::size_t best = n;
+        double best_w = tol;
+        for (std::size_t j = 0; j < n; ++j) {
+            if (!in_passive[j] && w[j] > best_w) {
+                best_w = w[j];
+                best = j;
+            }
+        }
+        if (best == n) {
+            result.converged = true;
+            break;
+        }
+        if (!factor.append(best)) {
+            // Numerically dependent column; treat as converged to avoid
+            // cycling on a singular passive set.
+            result.converged = true;
+            break;
+        }
+        in_passive[best] = true;
+
+        restore_feasibility();
+        refresh_dual();
     }
 
     if (btb > 0.0) {

@@ -27,6 +27,13 @@ struct NnlsOptions {
     double tolerance = 1e-10;
     /// Hard cap on outer iterations; 0 means 3 * number of variables.
     std::size_t max_iterations = 0;
+    /// Optional warm start: the passive set is seeded with the positive
+    /// entries of this vector before the Lawson-Hanson loop.  The problem
+    /// stays the same, so a strictly convex (positive-definite Gram)
+    /// system converges to the same minimizer; only the active-set path
+    /// is shortened.  Streaming callers pass the previous window's
+    /// solution here.  Not owned; must outlive the call.
+    const Vector* warm_start = nullptr;
 };
 
 struct NnlsResult {

@@ -42,7 +42,7 @@ Vector solve_eq_qp(const Matrix& h, const Vector& f, const Matrix& e,
 
 EqQpNonnegResult solve_eq_qp_nonneg(const Matrix& h, const Vector& f,
                                     const Matrix& e, const Vector& d,
-                                    const EqQpNonnegOptions& options) {
+                                    [[maybe_unused]] const EqQpNonnegOptions& options) {
     const std::size_t n = h.rows();
     const std::size_t m = e.rows();
     if (h.cols() != n || f.size() != n || (m > 0 && e.cols() != n) ||

@@ -11,8 +11,10 @@
 //  * solve_eq_qp        — KKT system solve, equality constraints only
 //                         (used when the non-negativity constraint is
 //                         known to be inactive, and inside tests);
-//  * solve_eq_qp_nonneg — quadratic-penalty reformulation routed through
-//                         NNLS, which honours both constraint families.
+//  * solve_eq_qp_nonneg — active-set iteration on the non-negativity
+//                         constraints over exact KKT solves of the
+//                         equality-constrained subproblem, honouring
+//                         both constraint families.
 #pragma once
 
 #include "linalg/matrix.hpp"
@@ -28,10 +30,10 @@ Vector solve_eq_qp(const Matrix& h, const Vector& f, const Matrix& e,
                    const Vector& d);
 
 struct EqQpNonnegOptions {
-    /// Relative weight of the equality-constraint penalty.  The penalty
-    /// mu * ||Ex - d||^2 uses mu = penalty_scale * max(diag(H), 1).
-    double penalty_scale = 1e8;
-    NnlsOptions nnls;
+    // Currently empty: the active-set implementation uses exact KKT
+    // solves with tolerances derived from diag(H), so there is nothing
+    // to configure yet.  The struct is kept in the signature as the
+    // extension point for planned warm-start support.
 };
 
 struct EqQpNonnegResult {
@@ -41,9 +43,9 @@ struct EqQpNonnegResult {
     bool converged = false;
 };
 
-/// Minimizes (1/2) x'Hx - f'x  subject to  E x = d,  x >= 0, by adding a
-/// large quadratic penalty on the equality constraints and solving the
-/// resulting NNLS-equivalent problem via nnls_gram.
+/// Minimizes (1/2) x'Hx - f'x  subject to  E x = d,  x >= 0, via an
+/// active set on the non-negativity constraints with an exact KKT solve
+/// of the equality-constrained subproblem at each step.
 EqQpNonnegResult solve_eq_qp_nonneg(const Matrix& h, const Vector& f,
                                     const Matrix& e, const Vector& d,
                                     const EqQpNonnegOptions& options = {});

@@ -209,6 +209,42 @@ Scenario make_scenario(Network network, unsigned seed) {
                     busy_start, /*rowspace_alignment=*/0.55);
 }
 
+void replay(const Scenario& sc, const std::vector<RouteChangeEvent>& events,
+            const SampleSink& sink) {
+    if (!sink) {
+        throw std::invalid_argument("replay: null sink");
+    }
+    for (std::size_t e = 0; e < events.size(); ++e) {
+        if (events[e].routing == nullptr) {
+            throw std::invalid_argument("replay: null event routing");
+        }
+        if (events[e].routing->cols() != sc.topo.pair_count() ||
+            events[e].routing->rows() != sc.routing.rows()) {
+            throw std::invalid_argument(
+                "replay: event routing dimensions do not match the "
+                "scenario");
+        }
+        if (e > 0 && events[e].at_sample < events[e - 1].at_sample) {
+            throw std::invalid_argument("replay: events not sorted");
+        }
+    }
+    std::size_t next_event = 0;
+    const linalg::SparseMatrix* active = &sc.routing;
+    for (std::size_t k = 0; k < sc.demands.size(); ++k) {
+        while (next_event < events.size() &&
+               events[next_event].at_sample <= k) {
+            active = events[next_event].routing;
+            ++next_event;
+        }
+        if (active == &sc.routing) {
+            sink(k, *active, sc.loads[k], sc.demands[k]);
+        } else {
+            sink(k, *active, active->multiply(sc.demands[k]),
+                 sc.demands[k]);
+        }
+    }
+}
+
 Scenario make_custom_scenario(topology::Topology topo,
                               const CustomScenarioConfig& config,
                               const std::string& name) {

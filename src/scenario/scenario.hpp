@@ -14,6 +14,7 @@
 // of the continental busy hours (paper Fig. 1).
 #pragma once
 
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -90,5 +91,29 @@ struct CustomScenarioConfig {
 Scenario make_custom_scenario(topology::Topology topo,
                               const CustomScenarioConfig& config,
                               const std::string& name = "custom");
+
+/// A routing change injected during a replay: every sample with index
+/// >= at_sample uses `routing` (until a later event applies).  The
+/// matrix must have the scenario's pair count as column count and is not
+/// owned — it must outlive the replay.
+struct RouteChangeEvent {
+    std::size_t at_sample = 0;
+    const linalg::SparseMatrix* routing = nullptr;
+};
+
+/// Per-sample callback for replay(): the sample index, the routing
+/// matrix in effect, the link loads t[k] = R_active s[k], and the true
+/// demands s[k].
+using SampleSink = std::function<void(
+    std::size_t sample, const linalg::SparseMatrix& routing,
+    const linalg::Vector& loads, const linalg::Vector& demands)>;
+
+/// Feeds the scenario's full day of samples through `sink` in time
+/// order, recomputing link loads under the injected routing changes
+/// (events must be sorted by at_sample; samples before the first event
+/// use the scenario's own routing).  This is the bridge between the
+/// offline evaluation data set and the streaming engine.
+void replay(const Scenario& sc, const std::vector<RouteChangeEvent>& events,
+            const SampleSink& sink);
 
 }  // namespace tme::scenario

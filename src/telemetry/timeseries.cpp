@@ -81,6 +81,17 @@ std::vector<double> TimeSeriesStore::snapshot(std::size_t interval) const {
     return snap;
 }
 
+std::size_t TimeSeriesStore::missing_count(std::size_t interval) const {
+    if (interval >= intervals_) {
+        throw std::out_of_range("TimeSeriesStore::missing_count");
+    }
+    std::size_t missing = 0;
+    for (std::size_t o = 0; o < objects_; ++o) {
+        if (!present_[o * intervals_ + interval]) ++missing;
+    }
+    return missing;
+}
+
 double TimeSeriesStore::loss_fraction() const {
     if (present_.empty()) return 0.0;
     std::size_t missing = 0;

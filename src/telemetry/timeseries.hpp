@@ -38,6 +38,10 @@ class TimeSeriesStore {
     /// Fraction of polls missing.
     double loss_fraction() const;
 
+    /// Number of objects with a missing poll at one interval (the
+    /// streaming engine uses this to flag interpolated samples).
+    std::size_t missing_count(std::size_t interval) const;
+
   private:
     void check(std::size_t object, std::size_t interval) const;
     double interpolate(std::size_t object, std::size_t interval) const;

@@ -1,0 +1,204 @@
+#include "engine/window.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "core/test_helpers.hpp"
+#include "linalg/stats.hpp"
+
+namespace tme::engine {
+namespace {
+
+using core::testing::SmallNetwork;
+using core::testing::tiny_network;
+
+std::vector<linalg::Vector> random_loads(const SmallNetwork& net,
+                                         std::size_t count, unsigned seed) {
+    std::mt19937_64 rng(seed);
+    std::uniform_real_distribution<double> dist(0.2, 3.0);
+    std::vector<linalg::Vector> loads;
+    for (std::size_t k = 0; k < count; ++k) {
+        linalg::Vector s(net.topo.pair_count());
+        for (double& v : s) v = dist(rng);
+        loads.push_back(net.routing.multiply(s));
+    }
+    return loads;
+}
+
+TEST(SlidingWindow, RingSemantics) {
+    const SmallNetwork net = tiny_network();
+    SlidingWindow window(&net.topo, &net.routing, 3);
+    EXPECT_EQ(window.capacity(), 3u);
+    EXPECT_TRUE(window.empty());
+    EXPECT_THROW(window.latest(), std::logic_error);
+    EXPECT_THROW(window.first_sample(), std::logic_error);
+
+    const std::vector<linalg::Vector> loads = random_loads(net, 5, 7);
+    window.push(10, loads[0]);
+    EXPECT_EQ(window.size(), 1u);
+    EXPECT_EQ(window.first_sample(), 10u);
+    EXPECT_EQ(window.last_sample(), 10u);
+    window.push(11, loads[1]);
+    window.push(12, loads[2]);
+    EXPECT_TRUE(window.full());
+
+    // Pushing past capacity evicts the oldest sample.
+    window.push(13, loads[3]);
+    EXPECT_EQ(window.size(), 3u);
+    EXPECT_EQ(window.first_sample(), 11u);
+    EXPECT_EQ(window.last_sample(), 13u);
+    EXPECT_EQ(window.series().loads.front(), loads[1]);
+    EXPECT_EQ(window.latest(), loads[3]);
+    EXPECT_EQ(window.total_pushed(), 4u);
+
+    // Sample indices must be strictly increasing.
+    EXPECT_THROW(window.push(13, loads[4]), std::invalid_argument);
+    EXPECT_THROW(window.push(5, loads[4]), std::invalid_argument);
+
+    // Wrong load dimension is rejected.
+    EXPECT_THROW(window.push(14, linalg::Vector(3, 1.0)),
+                 std::invalid_argument);
+}
+
+TEST(SlidingWindow, GapBookkeeping) {
+    const SmallNetwork net = tiny_network();
+    SlidingWindow window(&net.topo, &net.routing, 4);
+    const std::vector<linalg::Vector> loads = random_loads(net, 3, 11);
+    window.push(0, loads[0], false);
+    window.push(1, loads[1], true);
+    window.push(2, loads[2], true);
+    EXPECT_EQ(window.gap_count(), 2u);
+    EXPECT_EQ(window.total_pushed(), 3u);
+}
+
+TEST(SlidingWindow, IncrementalAggregatesMatchRecomputation) {
+    const SmallNetwork net = tiny_network();
+    const std::size_t capacity = 4;
+    SlidingWindow window(&net.topo, &net.routing, capacity);
+    const std::vector<linalg::Vector> loads = random_loads(net, 12, 3);
+
+    for (std::size_t k = 0; k < loads.size(); ++k) {
+        window.push(k, loads[k]);
+        // Recompute every aggregate from the current window content and
+        // compare with the incrementally maintained versions.
+        const std::vector<linalg::Vector>& in_window =
+            window.series().loads;
+        const linalg::Vector mean = linalg::sample_mean(in_window);
+        const linalg::Vector inc_mean = window.mean_loads();
+        for (std::size_t l = 0; l < mean.size(); ++l) {
+            EXPECT_NEAR(inc_mean[l], mean[l], 1e-12);
+        }
+        const linalg::Matrix cov = linalg::sample_covariance(in_window);
+        const linalg::Matrix inc_cov = window.covariance();
+        EXPECT_LT(linalg::max_abs_diff(cov, inc_cov), 1e-12);
+
+        const std::size_t nodes = net.topo.pop_count();
+        linalg::Matrix source_outer(nodes, nodes, 0.0);
+        linalg::Vector weighted_rhs(net.topo.pair_count(), 0.0);
+        for (const linalg::Vector& t : in_window) {
+            linalg::Vector te(nodes);
+            for (std::size_t n = 0; n < nodes; ++n) {
+                te[n] = t[net.topo.ingress_link(n)];
+            }
+            for (std::size_t n = 0; n < nodes; ++n) {
+                for (std::size_t m = 0; m < nodes; ++m) {
+                    source_outer(n, m) += te[n] * te[m];
+                }
+            }
+            const linalg::Vector rt = net.routing.multiply_transpose(t);
+            for (std::size_t p = 0; p < weighted_rhs.size(); ++p) {
+                weighted_rhs[p] +=
+                    te[net.topo.pair_nodes(p).first] * rt[p];
+            }
+        }
+        EXPECT_LT(linalg::max_abs_diff(source_outer, window.source_outer()),
+                  1e-12);
+        for (std::size_t p = 0; p < weighted_rhs.size(); ++p) {
+            EXPECT_NEAR(window.weighted_rhs()[p], weighted_rhs[p], 1e-12);
+        }
+    }
+}
+
+TEST(SlidingWindow, ResetFlushesAndRebinds) {
+    const SmallNetwork net = tiny_network();
+    SlidingWindow window(&net.topo, &net.routing, 3);
+    const std::vector<linalg::Vector> loads = random_loads(net, 3, 5);
+    for (std::size_t k = 0; k < loads.size(); ++k) window.push(k, loads[k]);
+    EXPECT_TRUE(window.full());
+
+    const linalg::SparseMatrix other = net.routing;  // same content, new object
+    window.reset(&other);
+    EXPECT_TRUE(window.empty());
+    EXPECT_EQ(window.series().routing, &other);
+    // Aggregates restart from zero.
+    EXPECT_EQ(window.source_outer().max_abs(), 0.0);
+    // Lifetime counters survive.
+    EXPECT_EQ(window.total_pushed(), 3u);
+
+    // Sample numbering may restart after a reset on a fresh window.
+    window.push(0, loads[0]);
+    EXPECT_EQ(window.size(), 1u);
+}
+
+TEST(SlidingWindow, MomentTrackingOptional) {
+    const SmallNetwork net = tiny_network();
+    SlidingWindow window(&net.topo, &net.routing, 3,
+                         /*track_load_moments=*/false);
+    const std::vector<linalg::Vector> loads = random_loads(net, 2, 17);
+    window.push(0, loads[0]);
+    window.push(1, loads[1]);
+    // Covariance is unavailable, everything else still works.
+    EXPECT_THROW(window.covariance(), std::logic_error);
+    EXPECT_EQ(window.mean_loads().size(), net.routing.rows());
+    EXPECT_GT(window.source_outer().max_abs(), 0.0);
+}
+
+TEST(SlidingWindow, RebindRoutingKeepsContent) {
+    const SmallNetwork net = tiny_network();
+    SlidingWindow window(&net.topo, &net.routing, 3);
+    const std::vector<linalg::Vector> loads = random_loads(net, 2, 19);
+    window.push(0, loads[0]);
+    window.push(1, loads[1]);
+
+    const linalg::SparseMatrix copy = net.routing;
+    window.rebind_routing(&copy);
+    EXPECT_EQ(window.series().routing, &copy);
+    EXPECT_EQ(window.size(), 2u);  // nothing flushed
+
+    const linalg::SparseMatrix wrong(3, 4, {});
+    EXPECT_THROW(window.rebind_routing(&wrong), std::invalid_argument);
+    EXPECT_THROW(window.rebind_routing(nullptr), std::invalid_argument);
+}
+
+TEST(SlidingWindow, CovarianceStableUnderLargeLoadLevels) {
+    // Mbps-scale absolute levels with small fluctuations: the naive
+    // E[tt'] - mm' formula loses ~10 digits to cancellation; the
+    // anchored sums must stay accurate.
+    const SmallNetwork net = tiny_network();
+    SlidingWindow window(&net.topo, &net.routing, 6);
+    std::vector<linalg::Vector> shifted = random_loads(net, 6, 23);
+    for (linalg::Vector& t : shifted) {
+        for (double& v : t) v += 1e8;
+    }
+    for (std::size_t k = 0; k < shifted.size(); ++k) {
+        window.push(k, shifted[k]);
+    }
+    const linalg::Matrix direct = linalg::sample_covariance(shifted);
+    const linalg::Matrix incremental = window.covariance();
+    // Covariance entries are O(1); demand agreement far below them.
+    EXPECT_LT(linalg::max_abs_diff(direct, incremental), 1e-6);
+}
+
+TEST(SlidingWindow, ConstructorValidation) {
+    const SmallNetwork net = tiny_network();
+    EXPECT_THROW(SlidingWindow(nullptr, &net.routing, 3),
+                 std::invalid_argument);
+    EXPECT_THROW(SlidingWindow(&net.topo, nullptr, 3),
+                 std::invalid_argument);
+    EXPECT_THROW(SlidingWindow(&net.topo, &net.routing, 0),
+                 std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tme::engine

@@ -71,7 +71,9 @@ TEST(Dijkstra, DeterministicAcrossRuns) {
     const ShortestPathTree b = dijkstra(t, 3);
     for (std::size_t i = 0; i < t.pop_count(); ++i) {
         EXPECT_EQ(a.via_link[i].has_value(), b.via_link[i].has_value());
-        if (a.via_link[i]) EXPECT_EQ(*a.via_link[i], *b.via_link[i]);
+        if (a.via_link[i]) {
+            EXPECT_EQ(*a.via_link[i], *b.via_link[i]);
+        }
     }
 }
 
