@@ -23,6 +23,21 @@ linalg::Vector pair_source_totals(const topology::Topology& topo,
 
 }  // namespace
 
+FanoutConstraints FanoutConstraints::build(const topology::Topology& topo) {
+    FanoutConstraints c;
+    const std::size_t pairs = topo.pair_count();
+    const std::size_t nodes = topo.pop_count();
+    c.source_of.resize(pairs);
+    c.equality = linalg::Matrix(nodes, pairs, 0.0);
+    for (std::size_t p = 0; p < pairs; ++p) {
+        const std::size_t src = topo.pair_nodes(p).first;
+        c.source_of[p] = src;
+        c.equality(src, p) = 1.0;
+    }
+    c.rhs.assign(nodes, 1.0);
+    return c;
+}
+
 FanoutResult fanout_estimate(const SeriesProblem& problem,
                              const FanoutOptions& options) {
     problem.validate_with_topology();
@@ -60,6 +75,23 @@ FanoutResult fanout_estimate(const SeriesProblem& problem,
     const linalg::Matrix& g1 =
         options.shared_gram != nullptr ? *options.shared_gram : local_gram;
 
+    // Equality-constraint structure (per source, fanouts sum to one):
+    // shared per routing epoch by the engine, derived locally otherwise.
+    FanoutConstraints local_constraints;
+    if (options.shared_constraints != nullptr) {
+        if (options.shared_constraints->source_of.size() != pairs ||
+            options.shared_constraints->equality.rows() != nodes ||
+            options.shared_constraints->equality.cols() != pairs) {
+            throw std::invalid_argument(
+                "fanout_estimate: shared constraints dimension mismatch");
+        }
+    } else {
+        local_constraints = FanoutConstraints::build(topo);
+    }
+    const FanoutConstraints& constraints =
+        options.shared_constraints != nullptr ? *options.shared_constraints
+                                              : local_constraints;
+
     // Accumulate H = sum_k W_k G1 W_k (elementwise weighting of the Gram
     // matrix) and f = sum_k W_k R' t[k].
     linalg::Matrix h(pairs, pairs, 0.0);
@@ -68,10 +100,7 @@ FanoutResult fanout_estimate(const SeriesProblem& problem,
         // The weighting sum_k w_k[p] w_k[q] only depends on the source
         // nodes of p and q, so the nodes x nodes aggregate lifts to pair
         // space in a single O(P^2) pass.
-        std::vector<std::size_t> source_of(pairs);
-        for (std::size_t p = 0; p < pairs; ++p) {
-            source_of[p] = topo.pair_nodes(p).first;
-        }
+        const std::vector<std::size_t>& source_of = constraints.source_of;
         for (std::size_t p = 0; p < pairs; ++p) {
             const std::size_t np = source_of[p];
             for (std::size_t q = 0; q < pairs; ++q) {
@@ -132,21 +161,22 @@ FanoutResult fanout_estimate(const SeriesProblem& problem,
         }
     }
 
-    // Equality constraints: per source, fanouts sum to one.
-    linalg::Matrix e(nodes, pairs, 0.0);
-    for (std::size_t p = 0; p < pairs; ++p) {
-        const auto [src, dst] = topo.pair_nodes(p);
-        (void)dst;
-        e(src, p) = 1.0;
+    linalg::EqQpNonnegOptions qp_options;
+    if (options.warm_start != nullptr) {
+        if (options.warm_start->size() != pairs) {
+            throw std::invalid_argument(
+                "fanout_estimate: warm start size mismatch");
+        }
+        qp_options.warm_start = options.warm_start;
     }
-    const linalg::Vector ones(nodes, 1.0);
-
-    const linalg::EqQpNonnegResult qp =
-        linalg::solve_eq_qp_nonneg(h, f, e, ones);
+    const linalg::EqQpNonnegResult qp = linalg::solve_eq_qp_nonneg(
+        h, f, constraints.equality, constraints.rhs, qp_options);
 
     FanoutResult result;
     result.fanouts = qp.x;
     result.equality_violation = qp.equality_violation;
+    result.qp_iterations = qp.iterations;
+    result.warm_accepted = qp.warm_accepted;
 
     // Window-averaged demand estimate.  w_k is linear in the loads, so
     // the mean over samples equals the value at the mean loads.

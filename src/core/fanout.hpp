@@ -15,9 +15,24 @@
 // deficient (paper Fig. 10); accuracy saturates quickly with K (Fig. 11).
 #pragma once
 
+#include <cstdint>
+
 #include "core/problem.hpp"
 
 namespace tme::core {
+
+/// The fanout QP's equality-constraint structure: per source, fanouts
+/// sum to one.  It depends only on the topology's pair enumeration (one
+/// row per source PoP, E(src(p), p) = 1), so the online engine builds
+/// it once per routing epoch and shares it across windows instead of
+/// re-deriving an O(N x P) matrix per estimate.
+struct FanoutConstraints {
+    std::vector<std::size_t> source_of;  ///< pair -> source PoP
+    linalg::Matrix equality;             ///< E (pops x pairs)
+    linalg::Vector rhs;                  ///< all-ones right-hand side
+
+    static FanoutConstraints build(const topology::Topology& topo);
+};
 
 /// Precomputed sliding-window aggregates for fanout_estimate.  The online
 /// engine maintains these incrementally (rank-one add/downdate per
@@ -56,6 +71,15 @@ struct FanoutOptions {
     /// Optional precomputed Gram matrix R'R; MUST equal
     /// problem.routing->gram().  Not owned.
     const linalg::Matrix* shared_gram = nullptr;
+    /// Optional precomputed equality-constraint structure; MUST equal
+    /// FanoutConstraints::build(*problem.topo).  Not owned.
+    const FanoutConstraints* shared_constraints = nullptr;
+    /// Optional QP active-set warm start: the previous window's fanout
+    /// vector (pair-indexed).  The QP verifies the seed's KKT
+    /// feasibility and falls back to a cold solve when it is
+    /// inconsistent, so the estimate never depends on the seed.  Not
+    /// owned.
+    const linalg::Vector* warm_start = nullptr;
     /// Optional incremental window aggregates (see above).
     FanoutWindowAggregates aggregates;
 };
@@ -66,6 +90,10 @@ struct FanoutResult {
     /// mean_k alpha_p * te(src(p))[k].
     linalg::Vector mean_demands;
     double equality_violation = 0.0; ///< worst |sum_m a_nm - 1|
+    std::size_t qp_iterations = 0;   ///< KKT solves the QP performed
+    /// True when the warm-start seed passed KKT verification (no cold
+    /// fall-back); feed `fanouts` into the next window's warm_start.
+    bool warm_accepted = false;
 };
 
 /// Estimates constant fanouts over the window.

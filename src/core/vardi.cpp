@@ -37,9 +37,21 @@ VardiResult vardi_estimate(const SeriesProblem& problem,
     }
 
     // Gram pieces.  G1 = R'R; the second-moment block contributes
-    // G2 = G1 .* G1 (see header) and q_p = r_p' Sigmahat r_p.
+    // G2 = G1 .* G1 (see header) and q_p = r_p' Sigmahat r_p.  The
+    // transformed matrix G1 + w*G2 depends only on (R, w), so the
+    // engine hands it in pre-built per routing epoch; otherwise it is
+    // derived here.
     linalg::Matrix g;
-    if (options.shared_gram != nullptr) {
+    const linalg::Matrix* gsolve = nullptr;
+    if (options.shared_transformed_gram != nullptr) {
+        if (options.shared_transformed_gram->rows() != pairs ||
+            options.shared_transformed_gram->cols() != pairs) {
+            throw std::invalid_argument(
+                "vardi_estimate: shared transformed gram dimension "
+                "mismatch");
+        }
+        gsolve = options.shared_transformed_gram;
+    } else if (options.shared_gram != nullptr) {
         if (options.shared_gram->rows() != pairs ||
             options.shared_gram->cols() != pairs) {
             throw std::invalid_argument(
@@ -72,18 +84,21 @@ VardiResult vardi_estimate(const SeriesProblem& problem,
             }
             rhs[p] += w * q;
         }
-        for (std::size_t p = 0; p < pairs; ++p) {
-            for (std::size_t qx = 0; qx < pairs; ++qx) {
-                const double g1 = g(p, qx);
-                g(p, qx) = g1 + w * g1 * g1;
+        if (gsolve == nullptr) {
+            for (std::size_t p = 0; p < pairs; ++p) {
+                for (std::size_t qx = 0; qx < pairs; ++qx) {
+                    const double g1 = g(p, qx);
+                    g(p, qx) = g1 + w * g1 * g1;
+                }
             }
         }
     }
+    if (gsolve == nullptr) gsolve = &g;
 
     VardiResult result;
     linalg::NnlsOptions nnls_options;
     nnls_options.warm_start = options.warm_start;
-    result.lambda = linalg::nnls_gram(g, rhs, 0.0, nnls_options).x;
+    result.lambda = linalg::nnls_gram(*gsolve, rhs, 0.0, nnls_options).x;
 
     // Residual diagnostics.
     const linalg::Vector pred = r.multiply(result.lambda);

@@ -28,6 +28,12 @@ struct VardiOptions {
     /// Optional precomputed Gram matrix R'R; MUST equal
     /// problem.routing->gram().  Not owned.
     const linalg::Matrix* shared_gram = nullptr;
+    /// Optional precomputed *transformed* Gram G1 + w * (G1 .* G1) with
+    /// G1 = R'R and w = second_moment_weight (the engine caches it per
+    /// routing epoch).  When set, the O(P^2) copy-and-transform of the
+    /// Gram matrix is skipped entirely and shared_gram is ignored.
+    /// MUST match second_moment_weight.  Not owned.
+    const linalg::Matrix* shared_transformed_gram = nullptr;
     /// Optional precomputed window moments: mean_loads = mean_k t[k] and
     /// load_covariance = the K-normalized sample covariance of the
     /// window (linalg::sample_mean / sample_covariance conventions).  The

@@ -1,5 +1,6 @@
 #include "engine/engine.hpp"
 
+#include <cmath>
 #include <stdexcept>
 
 #include "core/metrics.hpp"
@@ -47,7 +48,12 @@ void OnlineEngine::set_routing(const linalg::SparseMatrix& routing) {
 WindowResult OnlineEngine::ingest(std::size_t sample, linalg::Vector loads,
                                   bool gap) {
     const RoutingEpoch& epoch = cache_.acquire(*routing_);
-    if (!epoch_bound_ || epoch.fingerprint != window_epoch_) {
+    // Epoch identity is the cache serial, not the bare fingerprint: a
+    // fingerprint collision between two distinct routing matrices gets
+    // separate cache entries (structural check) and must ALSO flush
+    // the window here, or samples measured under different routings
+    // would share one estimation problem.
+    if (!epoch_bound_ || epoch.serial() != window_epoch_serial_) {
         if (epoch_bound_) {
             ++metrics_.epoch_changes;
             if (!window_.empty()) ++metrics_.window_flushes;
@@ -57,7 +63,8 @@ WindowResult OnlineEngine::ingest(std::size_t sample, linalg::Vector loads,
         // no stale-epoch state can leak into the next estimate.
         window_.reset(routing_);
         scheduler_.reset_warm_state();
-        window_epoch_ = epoch.fingerprint;
+        window_epoch_ = epoch.fingerprint();
+        window_epoch_serial_ = epoch.serial();
         epoch_bound_ = true;
     } else if (window_.series().routing != routing_) {
         // Content-identical matrix in a fresh object (same epoch): keep
@@ -72,6 +79,7 @@ WindowResult OnlineEngine::ingest(std::size_t sample, linalg::Vector loads,
     metrics_.cache_hits = cache_.hits();
     metrics_.cache_misses = cache_.misses();
     metrics_.cache_evictions = cache_.evictions();
+    metrics_.cache_collisions = cache_.collisions();
 
     WindowResult result = scheduler_.run(window_, epoch);
 
@@ -99,7 +107,15 @@ WindowResult OnlineEngine::ingest(std::size_t sample, linalg::Vector loads,
                 }
                 reference = &truth_mean;
             }
-            run.mre = core::mre_at_coverage(*reference, run.estimate, 0.9);
+            // An all-quiet truth window (no demand above the coverage
+            // threshold) has no defined MRE; score it as NaN instead of
+            // letting the metric throw out of the scheduler loop.
+            if (linalg::sum(*reference) > 0.0) {
+                run.mre =
+                    core::mre_at_coverage(*reference, run.estimate, 0.9);
+            } else {
+                ++metrics_.mre_skipped_runs;
+            }
         }
     }
 
@@ -110,9 +126,11 @@ WindowResult OnlineEngine::ingest(std::size_t sample, linalg::Vector loads,
         MethodStats& stats = metrics_.methods[run.method];
         ++stats.runs;
         if (run.warm_started) ++stats.warm_runs;
+        if (run.warm_accepted) ++stats.warm_accepted_runs;
         stats.total_seconds += run.seconds;
         stats.last_seconds = run.seconds;
-        if (truth_) {
+        if (truth_ && !std::isnan(run.mre)) {
+            // Skipped (all-quiet) windows stay out of the MRE average.
             stats.last_mre = run.mre;
             stats.mre_sum += run.mre;
             ++stats.mre_count;

@@ -104,8 +104,9 @@ class OnlineEngine {
     EstimatorScheduler scheduler_;
     EngineMetrics metrics_;
     TruthProvider truth_;
-    std::uint64_t window_epoch_ = 0;
-    bool epoch_bound_ = false;  ///< window_epoch_ holds a real fingerprint
+    std::uint64_t window_epoch_ = 0;         ///< fingerprint (reporting)
+    std::uint64_t window_epoch_serial_ = 0;  ///< cache-unique identity
+    bool epoch_bound_ = false;  ///< window_epoch_* hold a real epoch
 };
 
 }  // namespace tme::engine

@@ -1,35 +1,107 @@
 #include "engine/epoch_cache.hpp"
 
 #include <stdexcept>
+#include <utility>
 
 #include "core/route_change.hpp"
 
 namespace tme::engine {
 
-RoutingEpochCache::RoutingEpochCache(std::size_t capacity)
-    : capacity_(capacity) {
+RoutingEpoch::RoutingEpoch(std::uint64_t fingerprint, std::uint64_t serial,
+                           const linalg::SparseMatrix& routing)
+    : fingerprint_(fingerprint),
+      serial_(serial),
+      rows_(routing.rows()),
+      cols_(routing.cols()),
+      nonzeros_(routing.nonzeros()),
+      gram_(routing.gram()),
+      derived_(std::make_unique<Derived>()) {}
+
+const linalg::Matrix& RoutingEpoch::vardi_gram(double weight) const {
+    std::lock_guard<std::mutex> lock(derived_->mutex);
+    if (!derived_->vardi_built || derived_->vardi_weight != weight) {
+        const std::size_t pairs = gram_.rows();
+        linalg::Matrix g(pairs, pairs, 0.0);
+        for (std::size_t p = 0; p < pairs; ++p) {
+            for (std::size_t q = 0; q < pairs; ++q) {
+                const double g1 = gram_(p, q);
+                g(p, q) = g1 + weight * g1 * g1;
+            }
+        }
+        derived_->vardi = std::move(g);
+        derived_->vardi_weight = weight;
+        derived_->vardi_built = true;
+        ++derived_->builds;
+    }
+    return derived_->vardi;
+}
+
+const core::FanoutConstraints& RoutingEpoch::fanout_constraints(
+    const topology::Topology& topo) const {
+    if (topo.pair_count() != cols_) {
+        throw std::invalid_argument(
+            "RoutingEpoch::fanout_constraints: topology does not match "
+            "the routing matrix");
+    }
+    std::lock_guard<std::mutex> lock(derived_->mutex);
+    if (!derived_->fanout_built) {
+        derived_->fanout = core::FanoutConstraints::build(topo);
+        derived_->fanout_built = true;
+        ++derived_->builds;
+    }
+    return derived_->fanout;
+}
+
+std::shared_ptr<const core::ReducedFactor> RoutingEpoch::reduced_factor(
+    const std::vector<std::size_t>& unknown, double tau) const {
+    std::lock_guard<std::mutex> lock(derived_->mutex);
+    if (derived_->reduced == nullptr ||
+        derived_->reduced->unknown != unknown ||
+        derived_->reduced->regularization != tau) {
+        derived_->reduced = std::make_shared<const core::ReducedFactor>(
+            core::ReducedFactor::slice(gram_, unknown, tau));
+        ++derived_->builds;
+    }
+    return derived_->reduced;
+}
+
+std::size_t RoutingEpoch::derived_builds() const {
+    std::lock_guard<std::mutex> lock(derived_->mutex);
+    return derived_->builds;
+}
+
+RoutingEpochCache::RoutingEpochCache(std::size_t capacity,
+                                     Fingerprint fingerprint)
+    : capacity_(capacity), fingerprint_(std::move(fingerprint)) {
     if (capacity_ == 0) {
         throw std::invalid_argument("RoutingEpochCache: zero capacity");
+    }
+    if (!fingerprint_) {
+        fingerprint_ = [](const linalg::SparseMatrix& routing) {
+            return core::routing_fingerprint(routing);
+        };
     }
 }
 
 const RoutingEpoch& RoutingEpochCache::acquire(
     const linalg::SparseMatrix& routing) {
-    const std::uint64_t fp = core::routing_fingerprint(routing);
+    const std::uint64_t fp = fingerprint_(routing);
     for (auto it = entries_.begin(); it != entries_.end(); ++it) {
-        if (it->fingerprint == fp) {
-            ++hits_;
-            it->routing = &routing;
-            entries_.splice(entries_.begin(), entries_, it);
-            return entries_.front();
+        if (it->fingerprint() != fp) continue;
+        // A 64-bit fingerprint can collide; serving a colliding entry
+        // would hand the wrong Gram to every solver.  Cheap structural
+        // identity gates the hit; a mismatch falls through to a miss.
+        if (it->rows() != routing.rows() || it->cols() != routing.cols() ||
+            it->nonzeros() != routing.nonzeros()) {
+            ++collisions_;
+            continue;
         }
+        ++hits_;
+        entries_.splice(entries_.begin(), entries_, it);
+        return entries_.front();
     }
     ++misses_;
-    RoutingEpoch epoch;
-    epoch.fingerprint = fp;
-    epoch.routing = &routing;
-    epoch.gram = routing.gram();
-    entries_.push_front(std::move(epoch));
+    entries_.emplace_front(fp, ++next_serial_, routing);
     while (entries_.size() > capacity_) {
         entries_.pop_back();
         ++evictions_;

@@ -4,39 +4,126 @@
 // A backbone's routing matrix is piecewise constant in time — it changes
 // only when the IGP reconverges or an operator reroutes LSPs — while
 // load samples arrive every five minutes.  Everything derived purely
-// from R (today the dense Gram matrix R'R that the Bayesian, Vardi and
-// fanout solvers consume) is therefore cached per epoch and invalidated
-// *exactly* when a route change produces a matrix with a different
-// fingerprint.  A small LRU keeps the last few epochs alive so routing
-// flaps that revert to a previous configuration hit the cache again.
+// from R is therefore cached per epoch and invalidated *exactly* when a
+// route change produces a matrix with a different fingerprint.  The
+// Gram matrix R'R is built eagerly (every scheduled method consumes
+// it); the deeper derived data — Vardi's transformed Gram
+// G1 + w*(G1 .* G1), the fanout equality-constraint structure, and
+// reduced-problem factorizations for the direct-measurement workflow —
+// is built lazily on first use and dies with the epoch.  A small LRU
+// keeps the last few epochs alive so routing flaps that revert to a
+// previous configuration hit the cache again.
+//
+// Fingerprints are 64-bit, so distinct routing matrices could in
+// principle collide; acquire() therefore verifies cheap structural
+// identity (rows / cols / nonzero count) on every fingerprint hit and
+// treats a mismatch as a miss, so a collision can never silently serve
+// the wrong Gram.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <list>
+#include <memory>
+#include <mutex>
 
+#include "core/fanout.hpp"
+#include "core/tomo_direct.hpp"
 #include "linalg/matrix.hpp"
 #include "linalg/sparse.hpp"
 
 namespace tme::engine {
 
-/// Cached derived data for one routing configuration.
-struct RoutingEpoch {
-    std::uint64_t fingerprint = 0;
-    /// The routing matrix this epoch was built from (not owned; rebound
-    /// to the most recent structurally-identical matrix on each hit).
-    const linalg::SparseMatrix* routing = nullptr;
-    /// Dense Gram matrix R'R (pairs x pairs).
-    linalg::Matrix gram;
+/// Cached derived data for one routing configuration.  The epoch never
+/// retains a pointer to the matrix it was built from — callers may
+/// destroy their matrix the moment acquire() returns.
+class RoutingEpoch {
+  public:
+    RoutingEpoch(std::uint64_t fingerprint, std::uint64_t serial,
+                 const linalg::SparseMatrix& routing);
+
+    std::uint64_t fingerprint() const { return fingerprint_; }
+
+    /// Cache-unique identity of this epoch.  Two epochs built from
+    /// distinct matrices always have distinct serials even when their
+    /// 64-bit fingerprints collide — compare serials, not
+    /// fingerprints, to decide whether "the epoch changed".
+    std::uint64_t serial() const { return serial_; }
+
+    /// Structural identity of the source matrix (collision screening).
+    std::size_t rows() const { return rows_; }
+    std::size_t cols() const { return cols_; }
+    std::size_t nonzeros() const { return nonzeros_; }
+
+    /// Dense Gram matrix R'R (pairs x pairs); built eagerly.
+    const linalg::Matrix& gram() const { return gram_; }
+
+    /// Vardi's transformed Gram G1 + weight*(G1 .* G1), built lazily on
+    /// first use and cached for that weight.  Calling with a different
+    /// weight rebuilds in place, so concurrent callers must agree on
+    /// the weight (the scheduler always does — it is a per-run option).
+    /// The reference stays valid until the epoch is evicted or a
+    /// different weight is requested.
+    const linalg::Matrix& vardi_gram(double weight) const;
+
+    /// Fanout equality-constraint structure (row pattern of E and the
+    /// all-ones right-hand side), built lazily from the topology on
+    /// first use.  The topology must match the routing matrix's pair
+    /// count.  Valid until the epoch is evicted.
+    const core::FanoutConstraints& fanout_constraints(
+        const topology::Topology& topo) const;
+
+    /// Reduced-problem factorization for the direct-measurement
+    /// workflow: G_u + tau*I Cholesky for the unmeasured pair set
+    /// `unknown`, sliced from the cached Gram.  Memoizes the most
+    /// recent selection — the streaming pattern is a fixed measured set
+    /// re-estimated window after window — and returns shared ownership
+    /// so a factor stays usable across an eviction.
+    std::shared_ptr<const core::ReducedFactor> reduced_factor(
+        const std::vector<std::size_t>& unknown, double tau) const;
+
+    /// Number of lazy derived-data builds performed so far (telemetry /
+    /// tests; cache hits do not increment it).
+    std::size_t derived_builds() const;
+
+  private:
+    struct Derived {
+        std::mutex mutex;
+        bool vardi_built = false;
+        double vardi_weight = 0.0;
+        linalg::Matrix vardi;
+        bool fanout_built = false;
+        core::FanoutConstraints fanout;
+        std::shared_ptr<const core::ReducedFactor> reduced;
+        std::size_t builds = 0;
+    };
+
+    std::uint64_t fingerprint_ = 0;
+    std::uint64_t serial_ = 0;
+    std::size_t rows_ = 0;
+    std::size_t cols_ = 0;
+    std::size_t nonzeros_ = 0;
+    linalg::Matrix gram_;
+    std::unique_ptr<Derived> derived_;
 };
 
 class RoutingEpochCache {
   public:
-    explicit RoutingEpochCache(std::size_t capacity = 4);
+    /// Content fingerprint function, injectable for collision tests;
+    /// defaults to core::routing_fingerprint.
+    using Fingerprint =
+        std::function<std::uint64_t(const linalg::SparseMatrix&)>;
 
-    /// Returns the epoch for `routing`, building it on a miss.  The
-    /// reference stays valid until `capacity` further distinct epochs
-    /// have been acquired.
+    explicit RoutingEpochCache(std::size_t capacity = 4,
+                               Fingerprint fingerprint = {});
+
+    /// Returns the epoch for `routing`, building it on a miss.  A
+    /// fingerprint hit additionally requires structural identity
+    /// (rows/cols/nnz); a colliding entry is left in place and a fresh
+    /// epoch is built.  The reference stays valid until `capacity`
+    /// further distinct epochs have been acquired; no pointer to
+    /// `routing` is retained past this call.
     const RoutingEpoch& acquire(const linalg::SparseMatrix& routing);
 
     std::size_t capacity() const { return capacity_; }
@@ -44,13 +131,18 @@ class RoutingEpochCache {
     std::size_t hits() const { return hits_; }
     std::size_t misses() const { return misses_; }
     std::size_t evictions() const { return evictions_; }
+    /// Fingerprint hits rejected by the structural-identity check.
+    std::size_t collisions() const { return collisions_; }
 
   private:
     std::size_t capacity_;
+    Fingerprint fingerprint_;
+    std::uint64_t next_serial_ = 0;
     std::list<RoutingEpoch> entries_;  // most recently used first
     std::size_t hits_ = 0;
     std::size_t misses_ = 0;
     std::size_t evictions_ = 0;
+    std::size_t collisions_ = 0;
 };
 
 }  // namespace tme::engine

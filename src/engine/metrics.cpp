@@ -16,9 +16,9 @@ std::string EngineMetrics::summary() const {
     out += line;
     std::snprintf(line, sizeof(line),
                   "epoch cache: hit rate %.3f (%zu hits, %zu misses, "
-                  "%zu evictions)\n",
+                  "%zu evictions, %zu collisions)\n",
                   cache_hit_rate(), cache_hits, cache_misses,
-                  cache_evictions);
+                  cache_evictions, cache_collisions);
     out += line;
     std::snprintf(line, sizeof(line),
                   "latency: total %.3fs, last window %.2fms\n",
@@ -26,8 +26,10 @@ std::string EngineMetrics::summary() const {
     out += line;
     for (const auto& [method, stats] : methods) {
         std::snprintf(line, sizeof(line),
-                      "  %-9s runs=%zu warm=%zu mean=%.2fms last=%.2fms",
-                      method_name(method), stats.runs, stats.warm_runs,
+                      "  %-9s runs=%zu warm=%zu/%zu mean=%.2fms "
+                      "last=%.2fms",
+                      method_name(method), stats.runs,
+                      stats.warm_accepted_runs, stats.warm_runs,
                       stats.mean_seconds() * 1e3, stats.last_seconds * 1e3);
         out += line;
         if (stats.mre_count > 0) {

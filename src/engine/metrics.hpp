@@ -15,6 +15,10 @@ namespace tme::engine {
 struct MethodStats {
     std::size_t runs = 0;
     std::size_t warm_runs = 0;
+    /// Runs whose warm-start seed survived verification (the fanout
+    /// QP can reject an inconsistent seed and fall back to a cold
+    /// solve; for the other methods this tracks warm_runs).
+    std::size_t warm_accepted_runs = 0;
     double total_seconds = 0.0;
     double last_seconds = 0.0;
     double last_mre = std::numeric_limits<double>::quiet_NaN();
@@ -40,6 +44,11 @@ struct EngineMetrics {
     std::size_t cache_hits = 0;
     std::size_t cache_misses = 0;
     std::size_t cache_evictions = 0;
+    /// Fingerprint hits rejected by the structural-identity check.
+    std::size_t cache_collisions = 0;
+    /// Method runs skipped by MRE scoring because the truth reference
+    /// carried no traffic at all (all-quiet window).
+    std::size_t mre_skipped_runs = 0;
     double total_seconds = 0.0;        ///< scheduler time across windows
     double last_window_seconds = 0.0;
     std::map<Method, MethodStats> methods;

@@ -39,6 +39,19 @@ EstimatorScheduler::EstimatorScheduler(std::vector<Method> methods,
     if (methods_.empty()) {
         throw std::invalid_argument("EstimatorScheduler: no methods");
     }
+    // Uniqueness is load-bearing, not just hygiene: each method owns
+    // one warm-start slot, and the fanout task writes its slot from
+    // inside the pool — two tasks for the same method would race.
+    std::vector<bool> seen(method_count, false);
+    for (Method m : methods_) {
+        std::vector<bool>::reference slot_seen =
+            seen[static_cast<std::size_t>(m)];
+        if (slot_seen) {
+            throw std::invalid_argument(
+                "EstimatorScheduler: duplicate method");
+        }
+        slot_seen = true;
+    }
 }
 
 void EstimatorScheduler::reset_warm_state() {
@@ -127,6 +140,7 @@ WindowResult EstimatorScheduler::run(const SlidingWindow& window,
                         if (use_warm) {
                             opts.solver.initial = &warm.estimate;
                             run.warm_started = true;
+                            run.warm_accepted = true;
                         }
                         run.estimate =
                             core::entropy_estimate(latest, prior, opts);
@@ -134,10 +148,11 @@ WindowResult EstimatorScheduler::run(const SlidingWindow& window,
                     }
                     case Method::bayesian: {
                         core::BayesianOptions opts = options_.bayesian;
-                        opts.shared_gram = &epoch.gram;
+                        opts.shared_gram = &epoch.gram();
                         if (use_warm) {
                             opts.warm_start = &warm.estimate;
                             run.warm_started = true;
+                            run.warm_accepted = true;
                         }
                         run.estimate =
                             core::bayesian_estimate(latest, prior, opts);
@@ -145,12 +160,17 @@ WindowResult EstimatorScheduler::run(const SlidingWindow& window,
                     }
                     case Method::vardi: {
                         core::VardiOptions opts = options_.vardi;
-                        opts.shared_gram = &epoch.gram;
+                        // Per-epoch transformed Gram G1 + w*(G1 .* G1),
+                        // built lazily on the first Vardi window of the
+                        // epoch.
+                        opts.shared_transformed_gram = &epoch.vardi_gram(
+                            options_.vardi.second_moment_weight);
                         opts.mean_loads = &mean_loads;
                         opts.load_covariance = &covariance;
                         if (use_warm) {
                             opts.warm_start = &warm.estimate;
                             run.warm_started = true;
+                            run.warm_accepted = true;
                         }
                         run.estimate =
                             core::vardi_estimate(series, opts).lambda;
@@ -158,11 +178,29 @@ WindowResult EstimatorScheduler::run(const SlidingWindow& window,
                     }
                     case Method::fanout: {
                         core::FanoutOptions opts = options_.fanout;
-                        opts.shared_gram = &epoch.gram;
+                        opts.shared_gram = &epoch.gram();
+                        opts.shared_constraints =
+                            &epoch.fanout_constraints(*series.topo);
                         opts.aggregates = aggregates;
-                        run.estimate =
-                            core::fanout_estimate(series, opts)
-                                .mean_demands;
+                        if (use_warm) {
+                            opts.warm_start = &warm.estimate;
+                            run.warm_started = true;
+                        }
+                        core::FanoutResult fanout =
+                            core::fanout_estimate(series, opts);
+                        run.warm_accepted = fanout.warm_accepted;
+                        run.estimate = std::move(fanout.mean_demands);
+                        // The QP's variable space is the fanout vector,
+                        // not the demand estimate: thread it into the
+                        // next window's active-set seed here.  Safe
+                        // without locking — each method owns its slot
+                        // and the scheduler joins the pool before
+                        // reading any of them.
+                        if (warm_start_) {
+                            WarmSlot& s = slot(m);
+                            s.estimate = std::move(fanout.fanouts);
+                            s.valid = true;
+                        }
                         break;
                     }
                     case Method::gravity:
@@ -185,11 +223,12 @@ WindowResult EstimatorScheduler::run(const SlidingWindow& window,
     result.window_start_sample = window.first_sample();
     result.window_end_sample = window.last_sample();
     result.window_size = window.size();
-    result.epoch_fingerprint = epoch.fingerprint;
+    result.epoch_fingerprint = epoch.fingerprint();
     for (std::optional<MethodRun>& maybe : slots) {
         if (!maybe.has_value()) continue;
         // Thread the solution into the next window's warm start for the
-        // methods whose optimum is start-point independent.
+        // methods whose optimum is start-point independent (fanout
+        // threads its own QP-space state inside the task above).
         const Method m = maybe->method;
         if (warm_start_ &&
             (m == Method::entropy || m == Method::bayesian ||

@@ -4,7 +4,8 @@
 //
 // Warm starts are only applied where the optimization problem has a
 // unique minimizer independent of the starting point (Bayesian/Vardi
-// NNLS active-set seeding, entropy initial iterate), so a warm run
+// NNLS active-set seeding, entropy initial iterate, fanout QP
+// active-set seeding with KKT verification of the seed), so a warm run
 // converges to the same estimate as a cold run — it just gets there in
 // far fewer iterations when consecutive windows are similar.  The
 // gravity prior is computed once per window and shared by Kruithof,
@@ -47,6 +48,10 @@ struct MethodRun {
     linalg::Vector estimate;
     double seconds = 0.0;
     bool warm_started = false;
+    /// Whether the warm start survived verification and shaped the
+    /// solve (fanout's QP seed can be rejected and fall back to a cold
+    /// solve; for the other methods this equals warm_started).
+    bool warm_accepted = false;
     /// Mean relative error over large demands vs. ground truth; NaN when
     /// the feed provides no truth.  Filled by the engine.
     double mre = std::numeric_limits<double>::quiet_NaN();
@@ -85,6 +90,9 @@ class EstimatorScheduler {
 
   private:
     struct WarmSlot {
+        /// Previous window's solution in the solver's own variable
+        /// space: the demand estimate for entropy/Bayesian/Vardi, the
+        /// *fanout vector* (QP primal) for the fanout method.
         linalg::Vector estimate;
         bool valid = false;
     };

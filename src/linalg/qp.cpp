@@ -3,9 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <vector>
 
 #include "linalg/lu.hpp"
-#include <vector>
 
 namespace tme::linalg {
 
@@ -42,7 +42,7 @@ Vector solve_eq_qp(const Matrix& h, const Vector& f, const Matrix& e,
 
 EqQpNonnegResult solve_eq_qp_nonneg(const Matrix& h, const Vector& f,
                                     const Matrix& e, const Vector& d,
-                                    [[maybe_unused]] const EqQpNonnegOptions& options) {
+                                    const EqQpNonnegOptions& options) {
     const std::size_t n = h.rows();
     const std::size_t m = e.rows();
     if (h.cols() != n || f.size() != n || (m > 0 && e.cols() != n) ||
@@ -55,14 +55,38 @@ EqQpNonnegResult solve_eq_qp_nonneg(const Matrix& h, const Vector& f,
     // under the penalty's conditioning; the KKT route preserves it.
     double hmax = 1.0;
     for (std::size_t i = 0; i < n; ++i) hmax = std::max(hmax, h(i, i));
-    const double tol = 1e-12 * hmax;
+    double fmax = 1.0;
+    for (std::size_t i = 0; i < n; ++i) fmax = std::max(fmax, std::abs(f[i]));
 
-    std::vector<bool> fixed_zero(n, false);
+    std::vector<std::uint8_t> fixed_zero(n, 0);
     EqQpNonnegResult result;
     result.x.assign(n, 0.0);
 
-    for (std::size_t round = 0; round < n + 1; ++round) {
-        ++result.iterations;
+    // Warm start: pin the coordinates the seed holds at zero.  A seed
+    // with nothing free cannot satisfy a generic E x = d; run cold.
+    bool seeded = false;
+    if (options.warm_start != nullptr) {
+        if (options.warm_start->size() != n) {
+            throw std::invalid_argument(
+                "solve_eq_qp_nonneg: warm start size mismatch");
+        }
+        std::size_t pinned = 0;
+        for (std::size_t j = 0; j < n; ++j) {
+            fixed_zero[j] = (*options.warm_start)[j] <= 0.0 ? 1 : 0;
+            pinned += fixed_zero[j];
+        }
+        if (pinned < n) {
+            seeded = true;
+        } else {
+            std::fill(fixed_zero.begin(), fixed_zero.end(), 0);
+        }
+    }
+
+    const std::size_t max_rounds = 3 * n + 16;
+    constexpr std::size_t kMaxSeedRepairs = 4;
+    std::size_t releases = 0;
+    std::size_t seed_repairs = 0;
+    for (std::size_t round = 0; round < max_rounds; ++round) {
         std::vector<std::size_t> free_vars;
         for (std::size_t j = 0; j < n; ++j) {
             if (!fixed_zero[j]) free_vars.push_back(j);
@@ -70,25 +94,52 @@ EqQpNonnegResult solve_eq_qp_nonneg(const Matrix& h, const Vector& f,
         if (free_vars.empty()) break;
         const std::size_t k = free_vars.size();
 
+        // A seed that pins an equality row's entire support leaves the
+        // KKT system structurally singular (a multiplier row with no
+        // free columns); fall back to cold before burning ridge
+        // escalations on it.
+        if (seeded) {
+            bool rows_supported = true;
+            for (std::size_t r = 0; r < m && rows_supported; ++r) {
+                bool has_free = false;
+                for (std::size_t a = 0; a < k && !has_free; ++a) {
+                    has_free = e(r, free_vars[a]) != 0.0;
+                }
+                rows_supported = has_free;
+            }
+            if (!rows_supported) {
+                std::fill(fixed_zero.begin(), fixed_zero.end(), 0);
+                seeded = false;
+                continue;
+            }
+        }
+        ++result.iterations;
+
         // KKT system on the free variables, ridge-regularized because H
-        // restricted to the constraint manifold may be singular.
+        // restricted to the constraint manifold may be singular.  The
+        // off-diagonal blocks do not depend on the ridge, so the system
+        // is assembled once and only the diagonal is rewritten when a
+        // singular factorization forces an escalation.
+        Matrix kkt(k + m, k + m, 0.0);
+        Vector rhs(k + m, 0.0);
+        for (std::size_t a = 0; a < k; ++a) {
+            rhs[a] = f[free_vars[a]];
+            for (std::size_t b = 0; b < k; ++b) {
+                kkt(a, b) = h(free_vars[a], free_vars[b]);
+            }
+            for (std::size_t r = 0; r < m; ++r) {
+                kkt(a, k + r) = e(r, free_vars[a]);
+                kkt(k + r, a) = e(r, free_vars[a]);
+            }
+        }
+        for (std::size_t r = 0; r < m; ++r) rhs[k + r] = d[r];
+
         double ridge = 1e-10 * hmax;
         Vector sol;
         for (int attempt = 0; attempt < 12; ++attempt) {
-            Matrix kkt(k + m, k + m, 0.0);
-            Vector rhs(k + m, 0.0);
             for (std::size_t a = 0; a < k; ++a) {
-                rhs[a] = f[free_vars[a]];
-                for (std::size_t b = 0; b < k; ++b) {
-                    kkt(a, b) = h(free_vars[a], free_vars[b]);
-                }
-                kkt(a, a) += ridge;
-                for (std::size_t r = 0; r < m; ++r) {
-                    kkt(a, k + r) = e(r, free_vars[a]);
-                    kkt(k + r, a) = e(r, free_vars[a]);
-                }
+                kkt(a, a) = h(free_vars[a], free_vars[a]) + ridge;
             }
-            for (std::size_t r = 0; r < m; ++r) rhs[k + r] = d[r];
             Lu lu(kkt);
             if (!lu.singular()) {
                 sol = lu.solve(rhs);
@@ -97,32 +148,105 @@ EqQpNonnegResult solve_eq_qp_nonneg(const Matrix& h, const Vector& f,
             ridge *= 100.0;
         }
         if (sol.empty()) {
+            if (seeded) {
+                // A seed that pins an equality row's entire support
+                // leaves the KKT system structurally singular (a
+                // multiplier row with no free columns).  Treat it like
+                // any other inconsistent seed: fall back to cold.
+                std::fill(fixed_zero.begin(), fixed_zero.end(), 0);
+                seeded = false;
+                continue;
+            }
             throw std::runtime_error(
                 "solve_eq_qp_nonneg: singular KKT system");
         }
 
-        // Fix the most negative coordinates at zero and re-solve; stop
-        // when all free variables are (numerically) non-negative.
+        // Fix the negative coordinates at zero and re-solve; the
+        // threshold scales with the iterate so numerically-zero
+        // coordinates of large-magnitude solutions (loads of order
+        // 1e9) are not mislabeled negative.
+        double xmax = 0.0;
+        for (std::size_t a = 0; a < k; ++a) {
+            xmax = std::max(xmax, std::abs(sol[a]));
+        }
+        const double neg_tol = 1e-9 * std::max(1.0, xmax);
         bool any_negative = false;
         for (std::size_t a = 0; a < k; ++a) {
-            if (sol[a] < -1e-9) {
+            if (sol[a] < -neg_tol) {
+                fixed_zero[free_vars[a]] = 1;
                 any_negative = true;
-                break;
             }
         }
-        if (!any_negative) {
-            result.x.assign(n, 0.0);
+        if (any_negative) continue;
+
+        // Primal feasible: provisional solution on the free set.
+        result.x.assign(n, 0.0);
+        for (std::size_t a = 0; a < k; ++a) {
+            result.x[free_vars[a]] = std::max(0.0, sol[a]);
+        }
+        result.converged = true;
+
+        // KKT verification: at the optimum the multiplier of every
+        // pinned coordinate, mu_j = (H x - f + E' nu)_j, must be
+        // non-negative (nu comes out of the same KKT solve).  A pinned
+        // coordinate with mu_j < 0 would lower the objective if freed.
+        const double mu_tol = 1e-9 * std::max({1.0, fmax, hmax * xmax});
+        std::size_t worst = n;
+        double worst_mu = -mu_tol;
+        std::vector<std::size_t> violators;
+        for (std::size_t j = 0; j < n; ++j) {
+            if (!fixed_zero[j]) continue;
+            double mu = -f[j];
             for (std::size_t a = 0; a < k; ++a) {
-                result.x[free_vars[a]] = std::max(0.0, sol[a]);
+                mu += h(j, free_vars[a]) * sol[a];
             }
-            result.converged = true;
+            for (std::size_t r = 0; r < m; ++r) {
+                mu += e(r, j) * sol[k + r];
+            }
+            if (mu < -mu_tol) violators.push_back(j);
+            if (mu < worst_mu) {
+                worst_mu = mu;
+                worst = j;
+            }
+        }
+        if (worst == n) {
+            result.warm_accepted = seeded;
             break;
         }
-        for (std::size_t a = 0; a < k; ++a) {
-            if (sol[a] < -1e-9) fixed_zero[free_vars[a]] = true;
+        if (seeded && seed_repairs >= kMaxSeedRepairs) {
+            // The seed pinned several coordinates the optimum needs
+            // free: it describes a different active set entirely.  Fall
+            // back to the cold path wholesale instead of unwinding one
+            // coordinate at a time.
+            std::fill(fixed_zero.begin(), fixed_zero.end(), 0);
+            seeded = false;
+            result.converged = false;
+            continue;
         }
+        if (!seeded && releases >= n) {
+            // Anti-cycling cap: keep the primal-feasible point but do
+            // not claim KKT optimality — a violating multiplier was
+            // just found.
+            result.converged = false;
+            break;
+        }
+        // Release infeasible pinned coordinates and re-solve.  A seeded
+        // run repairs its mildly drifted active set by freeing every
+        // violator at once (usually one extra small KKT solve — far
+        // cheaper than a cold restart whose first solve runs on the
+        // full free set); the cold path releases one coordinate at a
+        // time, the textbook anti-cycling discipline.
+        if (seeded) {
+            ++seed_repairs;
+            for (std::size_t j : violators) fixed_zero[j] = 0;
+        } else {
+            ++releases;
+            fixed_zero[worst] = 0;
+        }
+        result.converged = false;
     }
-    (void)tol;
+
+    result.active.assign(fixed_zero.begin(), fixed_zero.end());
     if (m > 0) {
         Vector viol = sub(gemv(e, result.x), d);
         result.equality_violation = nrm_inf(viol);

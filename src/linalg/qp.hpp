@@ -17,6 +17,9 @@
 //                         both constraint families.
 #pragma once
 
+#include <cstdint>
+#include <vector>
+
 #include "linalg/matrix.hpp"
 #include "linalg/nnls.hpp"
 
@@ -30,22 +33,46 @@ Vector solve_eq_qp(const Matrix& h, const Vector& f, const Matrix& e,
                    const Vector& d);
 
 struct EqQpNonnegOptions {
-    // Currently empty: the active-set implementation uses exact KKT
-    // solves with tolerances derived from diag(H), so there is nothing
-    // to configure yet.  The struct is kept in the signature as the
-    // extension point for planned warm-start support.
+    /// Optional active-set warm start: a prior primal point (typically
+    /// the previous window's solution of a slowly drifting problem
+    /// sequence).  Coordinates that are <= 0 in this vector seed the
+    /// active set — they start pinned at zero, so the first KKT solve
+    /// already works on the reduced free set.  The seed is *verified*:
+    /// once the seeded iteration reaches primal feasibility, the
+    /// Lagrange multipliers of every pinned coordinate are checked.  A
+    /// mildly drifted seed (pinned coordinates the optimum needs free)
+    /// is repaired by releasing every violator at once and re-solving;
+    /// a seed that keeps failing verification falls back to the cold
+    /// path wholesale.  Either way a warm solve returns the same
+    /// minimizer as a cold solve.  Size must equal the number of
+    /// variables.  Not owned; must outlive the call.
+    const Vector* warm_start = nullptr;
 };
 
 struct EqQpNonnegResult {
     Vector x;
+    /// Final active set: active[j] != 0 iff x_j is pinned at zero.
+    /// Feed back into EqQpNonnegOptions::warm_start (via x itself) to
+    /// warm-start the next solve of a nearby problem.
+    std::vector<std::uint8_t> active;
     double equality_violation = 0.0;  ///< ||E x - d||_inf after solve
-    std::size_t iterations = 0;
+    std::size_t iterations = 0;       ///< KKT solves performed
     bool converged = false;
+    /// True when a warm-start seed was supplied, passed KKT
+    /// verification, and shaped the returned solution (no cold
+    /// fall-back happened).
+    bool warm_accepted = false;
 };
 
 /// Minimizes (1/2) x'Hx - f'x  subject to  E x = d,  x >= 0, via an
 /// active set on the non-negativity constraints with an exact KKT solve
-/// of the equality-constrained subproblem at each step.
+/// of the equality-constrained subproblem at each step.  At primal
+/// feasibility the multipliers of the pinned coordinates are verified
+/// and infeasible ones are released, so the returned point is the KKT
+/// point of the (ridge-regularized) problem — warm and cold runs agree
+/// to solver precision.  All tolerances are scale-relative (derived
+/// from diag(H) and the iterate magnitude), so the solver behaves
+/// identically for loads of order 1 and of order 1e9.
 EqQpNonnegResult solve_eq_qp_nonneg(const Matrix& h, const Vector& f,
                                     const Matrix& e, const Vector& d,
                                     const EqQpNonnegOptions& options = {});

@@ -119,5 +119,67 @@ TEST(Fanout, RequiresTopology) {
     EXPECT_THROW(fanout_estimate(series), std::invalid_argument);
 }
 
+TEST(Fanout, SharedConstraintsIdentical) {
+    const SmallNetwork net = tiny_network(5);
+    const SeriesProblem series = constant_fanout_series(net, 5, 8, nullptr);
+    const FanoutResult plain = fanout_estimate(series);
+
+    const FanoutConstraints constraints =
+        FanoutConstraints::build(net.topo);
+    FanoutOptions options;
+    options.shared_constraints = &constraints;
+    const FanoutResult shared = fanout_estimate(series, options);
+    // Same constraint values, same deterministic QP path: bit-for-bit.
+    ASSERT_EQ(shared.fanouts.size(), plain.fanouts.size());
+    for (std::size_t p = 0; p < plain.fanouts.size(); ++p) {
+        EXPECT_EQ(shared.fanouts[p], plain.fanouts[p]);
+    }
+
+    FanoutConstraints wrong = constraints;
+    wrong.source_of.pop_back();
+    FanoutOptions bad;
+    bad.shared_constraints = &wrong;
+    EXPECT_THROW(fanout_estimate(series, bad), std::invalid_argument);
+}
+
+TEST(Fanout, WarmStartSameEstimate) {
+    const SmallNetwork net = tiny_network(9);
+    const SeriesProblem series = constant_fanout_series(net, 6, 4, nullptr);
+    const FanoutResult cold = fanout_estimate(series);
+
+    // Warm start from the cold solution's active set: the QP verifies
+    // the seed and must land on the same minimizer in fewer KKT solves.
+    FanoutOptions options;
+    options.warm_start = &cold.fanouts;
+    const FanoutResult warm = fanout_estimate(series, options);
+    EXPECT_TRUE(warm.warm_accepted);
+    EXPECT_LE(warm.qp_iterations, cold.qp_iterations);
+    for (std::size_t p = 0; p < cold.fanouts.size(); ++p) {
+        EXPECT_NEAR(warm.fanouts[p], cold.fanouts[p], 1e-9);
+        EXPECT_NEAR(warm.mean_demands[p], cold.mean_demands[p], 1e-9);
+    }
+
+    const linalg::Vector wrong_size(3, 0.5);
+    FanoutOptions bad;
+    bad.warm_start = &wrong_size;
+    EXPECT_THROW(fanout_estimate(series, bad), std::invalid_argument);
+}
+
+TEST(Fanout, WarmStartFromDifferentWindowStillMatchesCold) {
+    // Seed window B's solve with window A's fanouts (the engine's
+    // streaming pattern); the estimate must equal B's cold solve.
+    const SmallNetwork net = tiny_network(11);
+    const SeriesProblem a = constant_fanout_series(net, 6, 21, nullptr);
+    const SeriesProblem b = constant_fanout_series(net, 6, 22, nullptr);
+    const FanoutResult seed = fanout_estimate(a);
+    const FanoutResult cold = fanout_estimate(b);
+    FanoutOptions options;
+    options.warm_start = &seed.fanouts;
+    const FanoutResult warm = fanout_estimate(b, options);
+    for (std::size_t p = 0; p < cold.fanouts.size(); ++p) {
+        EXPECT_NEAR(warm.fanouts[p], cold.fanouts[p], 1e-9);
+    }
+}
+
 }  // namespace
 }  // namespace tme::core

@@ -114,5 +114,44 @@ TEST(Vardi, GramShortcutMatchesNaiveOnMiniProblem) {
     EXPECT_NEAR(res.lambda[1], 10.0, 2.5);
 }
 
+TEST(Vardi, SharedTransformedGramIdentical) {
+    const SmallNetwork net = tiny_network(3);
+    std::mt19937_64 rng(17);
+    std::uniform_real_distribution<double> dist(0.8, 1.2);
+    std::vector<linalg::Vector> demands;
+    for (std::size_t k = 0; k < 6; ++k) {
+        linalg::Vector s = net.truth;
+        for (double& v : s) v *= dist(rng);
+        demands.push_back(std::move(s));
+    }
+    const SeriesProblem series = net.series(demands);
+
+    VardiOptions plain_options;
+    const VardiResult plain = vardi_estimate(series, plain_options);
+
+    // Transformed Gram built exactly as the engine's epoch cache does.
+    const double w = plain_options.second_moment_weight;
+    linalg::Matrix transformed = net.routing.gram();
+    for (std::size_t p = 0; p < transformed.rows(); ++p) {
+        for (std::size_t q = 0; q < transformed.cols(); ++q) {
+            const double g1 = transformed(p, q);
+            transformed(p, q) = g1 + w * g1 * g1;
+        }
+    }
+    VardiOptions options = plain_options;
+    options.shared_transformed_gram = &transformed;
+    const VardiResult shared = vardi_estimate(series, options);
+    // Same Gram values, same deterministic NNLS path: bit-for-bit.
+    ASSERT_EQ(shared.lambda.size(), plain.lambda.size());
+    for (std::size_t p = 0; p < plain.lambda.size(); ++p) {
+        EXPECT_EQ(shared.lambda[p], plain.lambda[p]);
+    }
+
+    const linalg::Matrix wrong(3, 3, 0.0);
+    VardiOptions bad;
+    bad.shared_transformed_gram = &wrong;
+    EXPECT_THROW(vardi_estimate(series, bad), std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace tme::core

@@ -1,0 +1,174 @@
+// Per-epoch derived data: lazy builds, memoization, eviction semantics,
+// and fingerprint-collision handling of the routing-epoch cache.
+#include <gtest/gtest.h>
+
+#include "core/route_change.hpp"
+#include "core/test_helpers.hpp"
+#include "engine/epoch_cache.hpp"
+
+namespace tme::engine {
+namespace {
+
+using core::testing::SmallNetwork;
+using core::testing::tiny_network;
+
+TEST(RoutingEpochDerived, VardiGramLazyBuildAndReuse) {
+    const SmallNetwork net = tiny_network();
+    RoutingEpochCache cache(2);
+    const RoutingEpoch& epoch = cache.acquire(net.routing);
+    EXPECT_EQ(epoch.derived_builds(), 0u);
+
+    const double w = 0.37;
+    const linalg::Matrix& transformed = epoch.vardi_gram(w);
+    EXPECT_EQ(epoch.derived_builds(), 1u);
+
+    // Values: G1 + w * (G1 .* G1) of the epoch's Gram.
+    const linalg::Matrix g1 = net.routing.gram();
+    ASSERT_EQ(transformed.rows(), g1.rows());
+    for (std::size_t p = 0; p < g1.rows(); ++p) {
+        for (std::size_t q = 0; q < g1.cols(); ++q) {
+            EXPECT_EQ(transformed(p, q),
+                      g1(p, q) + w * g1(p, q) * g1(p, q));
+        }
+    }
+
+    // Second call with the same weight is a cache hit...
+    epoch.vardi_gram(w);
+    EXPECT_EQ(epoch.derived_builds(), 1u);
+    // ...a different weight rebuilds in place.
+    const linalg::Matrix& other = epoch.vardi_gram(1.0);
+    EXPECT_EQ(epoch.derived_builds(), 2u);
+    EXPECT_EQ(other(0, 0), g1(0, 0) + g1(0, 0) * g1(0, 0));
+}
+
+TEST(RoutingEpochDerived, FanoutConstraintsLazyBuild) {
+    const SmallNetwork net = tiny_network();
+    RoutingEpochCache cache(2);
+    const RoutingEpoch& epoch = cache.acquire(net.routing);
+
+    const core::FanoutConstraints& cached =
+        epoch.fanout_constraints(net.topo);
+    EXPECT_EQ(epoch.derived_builds(), 1u);
+    epoch.fanout_constraints(net.topo);
+    EXPECT_EQ(epoch.derived_builds(), 1u);
+
+    const core::FanoutConstraints expected =
+        core::FanoutConstraints::build(net.topo);
+    ASSERT_EQ(cached.source_of, expected.source_of);
+    ASSERT_EQ(cached.equality.rows(), expected.equality.rows());
+    for (std::size_t i = 0; i < expected.equality.rows(); ++i) {
+        for (std::size_t j = 0; j < expected.equality.cols(); ++j) {
+            EXPECT_EQ(cached.equality(i, j), expected.equality(i, j));
+        }
+    }
+
+    // A topology that does not match the routing matrix is rejected.
+    const SmallNetwork other = core::testing::europe_network();
+    EXPECT_THROW(epoch.fanout_constraints(other.topo),
+                 std::invalid_argument);
+}
+
+TEST(RoutingEpochDerived, ReducedFactorMemoAndEvictionSafety) {
+    const SmallNetwork net = tiny_network();
+    RoutingEpochCache cache(1);
+    const RoutingEpoch& epoch = cache.acquire(net.routing);
+
+    const std::vector<std::size_t> unknown{0, 2, 5};
+    const double tau = 10.0;
+    auto factor = epoch.reduced_factor(unknown, tau);
+    EXPECT_EQ(epoch.derived_builds(), 1u);
+    // Same selection: memo hit, same object.
+    EXPECT_EQ(epoch.reduced_factor(unknown, tau).get(), factor.get());
+    EXPECT_EQ(epoch.derived_builds(), 1u);
+    // Different selection (the greedy sweep's pattern): rebuild.
+    epoch.reduced_factor({0, 2}, tau);
+    EXPECT_EQ(epoch.derived_builds(), 2u);
+
+    // The factor's Gram equals the Gram of the column-selected routing.
+    const linalg::Matrix expected =
+        net.routing.select_columns(unknown).gram();
+    ASSERT_EQ(factor->gram.rows(), unknown.size());
+    for (std::size_t i = 0; i < unknown.size(); ++i) {
+        for (std::size_t j = 0; j < unknown.size(); ++j) {
+            EXPECT_NEAR(factor->gram(i, j), expected(i, j), 1e-12);
+        }
+    }
+
+    // Evict the epoch (capacity 1) — the shared factor must stay
+    // usable: derived data dies with the epoch, not with its users.
+    const linalg::SparseMatrix rerouted =
+        core::perturbed_routing(net.topo, 0.9, 42);
+    ASSERT_NE(core::routing_fingerprint(rerouted),
+              core::routing_fingerprint(net.routing));
+    const RoutingEpoch& fresh = cache.acquire(rerouted);
+    EXPECT_EQ(cache.evictions(), 1u);
+    EXPECT_EQ(fresh.derived_builds(), 0u);  // lazily rebuilt per epoch
+    const linalg::Vector rhs(unknown.size(), 1.0);
+    EXPECT_EQ(factor->chol.solve(rhs).size(), unknown.size());
+}
+
+TEST(RoutingEpochCache, FingerprintCollisionIsNotServed) {
+    // Force every matrix onto one fingerprint: the structural identity
+    // check must keep two distinct routings in separate epochs instead
+    // of silently serving the first one's Gram for the second.
+    RoutingEpochCache cache(4, [](const linalg::SparseMatrix&) {
+        return std::uint64_t{42};
+    });
+
+    const linalg::SparseMatrix a(
+        2, 2, {{0, 0, 1.0}, {1, 1, 1.0}});
+    const linalg::SparseMatrix b(
+        2, 2, {{0, 0, 1.0}, {0, 1, 1.0}, {1, 1, 1.0}});  // different nnz
+
+    const RoutingEpoch& ea = cache.acquire(a);
+    const RoutingEpoch& eb = cache.acquire(b);
+    EXPECT_EQ(cache.misses(), 2u);
+    EXPECT_EQ(cache.collisions(), 1u);
+    EXPECT_EQ(ea.fingerprint(), eb.fingerprint());
+    // The serial disambiguates colliding epochs: it is what the engine
+    // compares to decide whether the epoch (and thus the window) must
+    // be flushed.
+    EXPECT_NE(ea.serial(), eb.serial());
+    EXPECT_EQ(linalg::max_abs_diff(ea.gram(), a.gram()), 0.0);
+    EXPECT_EQ(linalg::max_abs_diff(eb.gram(), b.gram()), 0.0);
+
+    // Both colliding epochs stay acquirable; each hit re-verifies
+    // structure and lands on the right entry.
+    EXPECT_EQ(linalg::max_abs_diff(cache.acquire(a).gram(), a.gram()),
+              0.0);
+    EXPECT_EQ(linalg::max_abs_diff(cache.acquire(b).gram(), b.gram()),
+              0.0);
+    EXPECT_EQ(cache.hits(), 2u);
+}
+
+TEST(RoutingEpochCache, EvictionRebuildsLazyDerivedData) {
+    const SmallNetwork net = tiny_network();
+    const linalg::SparseMatrix r2 =
+        core::perturbed_routing(net.topo, 0.9, 1);
+    const linalg::SparseMatrix r3 =
+        core::perturbed_routing(net.topo, 0.9, 2);
+    RoutingEpochCache cache(2);
+
+    const RoutingEpoch& first = cache.acquire(net.routing);
+    first.vardi_gram(1.0);
+    first.fanout_constraints(net.topo);
+    EXPECT_EQ(first.derived_builds(), 2u);
+
+    // Fill the cache past capacity: the first epoch (LRU) is evicted
+    // together with its derived data.
+    cache.acquire(r2);
+    cache.acquire(r3);
+    EXPECT_EQ(cache.evictions(), 1u);
+
+    // Re-acquiring the original routing is a miss that starts with a
+    // clean derived slate (nothing stale can be served).
+    const RoutingEpoch& rebuilt = cache.acquire(net.routing);
+    EXPECT_EQ(cache.misses(), 4u);
+    EXPECT_EQ(rebuilt.derived_builds(), 0u);
+    const linalg::Matrix g1 = net.routing.gram();
+    const linalg::Matrix& transformed = rebuilt.vardi_gram(0.5);
+    EXPECT_EQ(transformed(0, 0), g1(0, 0) + 0.5 * g1(0, 0) * g1(0, 0));
+}
+
+}  // namespace
+}  // namespace tme::engine

@@ -34,13 +34,13 @@ TEST(RoutingEpochCache, HitMissAndGramCorrectness) {
     const RoutingEpoch& first = cache.acquire(net.routing);
     EXPECT_EQ(cache.misses(), 1u);
     EXPECT_EQ(cache.hits(), 0u);
-    EXPECT_EQ(first.fingerprint, routing_fingerprint(net.routing));
+    EXPECT_EQ(first.fingerprint(), routing_fingerprint(net.routing));
     // The cached Gram matrix is exactly R'R of the acquired matrix.
-    EXPECT_EQ(linalg::max_abs_diff(first.gram, net.routing.gram()), 0.0);
+    EXPECT_EQ(linalg::max_abs_diff(first.gram(), net.routing.gram()), 0.0);
 
     const RoutingEpoch& again = cache.acquire(net.routing);
     EXPECT_EQ(cache.hits(), 1u);
-    EXPECT_EQ(again.fingerprint, first.fingerprint);
+    EXPECT_EQ(again.fingerprint(), first.fingerprint());
 
     // A route change invalidates: a new epoch is built, and its Gram is
     // the NEW matrix's Gram, never the stale one.
@@ -48,9 +48,10 @@ TEST(RoutingEpochCache, HitMissAndGramCorrectness) {
         core::perturbed_routing(net.topo, 0.9, 42);
     const RoutingEpoch& changed = cache.acquire(rerouted);
     EXPECT_EQ(cache.misses(), 2u);
-    EXPECT_EQ(changed.fingerprint, routing_fingerprint(rerouted));
-    EXPECT_EQ(linalg::max_abs_diff(changed.gram, rerouted.gram()), 0.0);
-    EXPECT_GT(linalg::max_abs_diff(changed.gram, net.routing.gram()), 0.0);
+    EXPECT_EQ(changed.fingerprint(), routing_fingerprint(rerouted));
+    EXPECT_EQ(linalg::max_abs_diff(changed.gram(), rerouted.gram()), 0.0);
+    EXPECT_GT(linalg::max_abs_diff(changed.gram(), net.routing.gram()),
+              0.0);
 }
 
 TEST(RoutingEpochCache, FlapRecoveryAndEviction) {

@@ -4,15 +4,18 @@
 // converge to the same point; only the iteration path differs.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <random>
 
 #include "core/bayesian.hpp"
 #include "core/entropy.hpp"
 #include "core/gravity.hpp"
+#include "core/route_change.hpp"
 #include "core/test_helpers.hpp"
 #include "core/vardi.hpp"
 #include "engine/engine.hpp"
 #include "linalg/nnls.hpp"
+#include "scenario/scenario.hpp"
 
 namespace tme::engine {
 namespace {
@@ -193,10 +196,103 @@ TEST(WarmStart, EngineWarmMatchesColdOverStream) {
                 << "method " << method_name(w.method) << " at sample " << k;
         }
     }
-    // The warm engine actually warm-started something.
+    // The warm engine actually warm-started something, and the fanout
+    // QP's active-set seeds were verified and accepted.
     const MethodStats& stats =
         warm_engine.metrics().methods.at(Method::bayesian);
     EXPECT_GT(stats.warm_runs, 0u);
+    const MethodStats& fanout_stats =
+        warm_engine.metrics().methods.at(Method::fanout);
+    EXPECT_GT(fanout_stats.warm_runs, 0u);
+    EXPECT_GT(fanout_stats.warm_accepted_runs, 0u);
+}
+
+TEST(WarmStart, FanoutWarmMatchesColdAcrossMidDayReroute) {
+    // Replay a scenario day with a routing change in the middle through
+    // a warm-starting engine and a cold one: the fanout estimates must
+    // agree to 1e-9 on every window, including the windows right after
+    // the reroute (where the warm state was flushed and the QP restarts
+    // cold on a fresh epoch).
+    const scenario::Scenario sc =
+        scenario::make_scenario(scenario::Network::europe);
+    const linalg::SparseMatrix rerouted =
+        core::perturbed_routing(sc.topo, 0.8, 5);
+    constexpr std::size_t kChangeAt = 60;
+    constexpr std::size_t kSamples = 120;
+
+    EngineConfig warm_config;
+    warm_config.window_size = 12;
+    warm_config.methods = {Method::fanout, Method::vardi};
+    warm_config.warm_start = true;
+    EngineConfig cold_config = warm_config;
+    cold_config.warm_start = false;
+    OnlineEngine warm_engine(sc.topo, sc.routing, warm_config);
+    OnlineEngine cold_engine(sc.topo, sc.routing, cold_config);
+
+    for (std::size_t k = 0; k < kSamples; ++k) {
+        if (k == kChangeAt) {
+            warm_engine.set_routing(rerouted);
+            cold_engine.set_routing(rerouted);
+        }
+        const linalg::SparseMatrix& r =
+            k < kChangeAt ? sc.routing : rerouted;
+        const linalg::Vector loads = r.multiply(sc.demands[k]);
+        const WindowResult warm_result = warm_engine.ingest(k, loads);
+        const WindowResult cold_result = cold_engine.ingest(k, loads);
+        ASSERT_EQ(warm_result.runs.size(), cold_result.runs.size());
+        for (std::size_t i = 0; i < warm_result.runs.size(); ++i) {
+            const MethodRun& w = warm_result.runs[i];
+            const MethodRun& c = cold_result.runs[i];
+            ASSERT_EQ(w.method, c.method);
+            EXPECT_LT(max_abs_diff(w.estimate, c.estimate), 1e-9)
+                << "method " << method_name(w.method) << " at sample "
+                << k;
+        }
+    }
+    EXPECT_EQ(warm_engine.metrics().epoch_changes, 1u);
+    const MethodStats& stats =
+        warm_engine.metrics().methods.at(Method::fanout);
+    EXPECT_GT(stats.warm_accepted_runs, 0u);
+    // The reroute flushed the warm state, so at least two runs (the
+    // first of each epoch) were cold.
+    EXPECT_LE(stats.warm_runs + 2, stats.runs);
+}
+
+TEST(WarmStart, DuplicateMethodsAreRejected) {
+    // Each method owns one warm-start slot (fanout writes its slot from
+    // inside the pool task), so scheduling a method twice would race.
+    const SmallNetwork net = tiny_network();
+    EngineConfig config;
+    config.methods = {Method::gravity, Method::fanout, Method::fanout};
+    EXPECT_THROW(OnlineEngine(net.topo, net.routing, config),
+                 std::invalid_argument);
+}
+
+TEST(WarmStart, AllQuietTruthWindowScoresNaNInsteadOfThrowing) {
+    // A truth provider that reports zero traffic must not let the MRE
+    // metric throw out of the scheduler; the run is scored NaN and
+    // stays out of the per-method MRE aggregates.
+    const SmallNetwork net = tiny_network();
+    EngineConfig config;
+    config.window_size = 4;
+    config.methods = {Method::gravity, Method::bayesian};
+    OnlineEngine engine(net.topo, net.routing, config);
+    engine.set_truth([&net](std::size_t) {
+        return linalg::Vector(net.topo.pair_count(), 0.0);
+    });
+
+    const linalg::Vector loads = net.routing.multiply(net.truth);
+    for (std::size_t k = 0; k < 3; ++k) {
+        const WindowResult result = engine.ingest(k, loads);
+        for (const MethodRun& run : result.runs) {
+            EXPECT_TRUE(std::isnan(run.mre));
+        }
+    }
+    EXPECT_GT(engine.metrics().mre_skipped_runs, 0u);
+    for (const auto& [method, stats] : engine.metrics().methods) {
+        EXPECT_EQ(stats.mre_count, 0u) << method_name(method);
+        EXPECT_TRUE(std::isnan(stats.mean_mre()));
+    }
 }
 
 }  // namespace

@@ -64,6 +64,106 @@ TEST(EqQpNonneg, ClampsNegativeCoordinates) {
     EXPECT_NEAR(r.x[1], 0.0, 1e-8);
 }
 
+TEST(EqQpNonneg, ReportsActiveSet) {
+    const Matrix h = Matrix::identity(2);
+    const Vector f{3.0, -1.0};
+    const Matrix e{{1.0, 1.0}};
+    const Vector d{2.0};
+    const EqQpNonnegResult r = solve_eq_qp_nonneg(h, f, e, d);
+    ASSERT_EQ(r.active.size(), 2u);
+    EXPECT_EQ(r.active[0], 0);
+    EXPECT_NE(r.active[1], 0);
+    EXPECT_EQ(r.x[1], 0.0);
+}
+
+TEST(EqQpNonnegWarm, ExactSeedConvergesInOneSolve) {
+    const Matrix h = Matrix::identity(2);
+    const Vector f{3.0, -1.0};
+    const Matrix e{{1.0, 1.0}};
+    const Vector d{2.0};
+    const EqQpNonnegResult cold = solve_eq_qp_nonneg(h, f, e, d);
+    ASSERT_TRUE(cold.converged);
+    EXPECT_GT(cold.iterations, 1u);
+
+    EqQpNonnegOptions options;
+    options.warm_start = &cold.x;
+    const EqQpNonnegResult warm = solve_eq_qp_nonneg(h, f, e, d, options);
+    ASSERT_TRUE(warm.converged);
+    EXPECT_TRUE(warm.warm_accepted);
+    EXPECT_EQ(warm.iterations, 1u);
+    EXPECT_NEAR(warm.x[0], cold.x[0], 1e-10);
+    EXPECT_NEAR(warm.x[1], cold.x[1], 1e-10);
+}
+
+TEST(EqQpNonnegWarm, InconsistentSeedStillReturnsColdMinimizer) {
+    // Seed pins the coordinate the optimum needs free (and frees the
+    // one that must be pinned): verification must repair or fall back,
+    // never return a seed-biased point.
+    const Matrix h = Matrix::identity(2);
+    const Vector f{3.0, -1.0};
+    const Matrix e{{1.0, 1.0}};
+    const Vector d{2.0};
+    const EqQpNonnegResult cold = solve_eq_qp_nonneg(h, f, e, d);
+
+    const Vector wrong{0.0, 2.0};
+    EqQpNonnegOptions options;
+    options.warm_start = &wrong;
+    const EqQpNonnegResult warm = solve_eq_qp_nonneg(h, f, e, d, options);
+    ASSERT_TRUE(warm.converged);
+    EXPECT_NEAR(warm.x[0], cold.x[0], 1e-9);
+    EXPECT_NEAR(warm.x[1], cold.x[1], 1e-9);
+}
+
+TEST(EqQpNonnegWarm, AllZeroSeedRunsCold) {
+    // A seed with nothing free cannot satisfy E x = d; the solver must
+    // ignore it and solve cold.
+    const Matrix h = Matrix::identity(2);
+    const Vector f{0.0, 0.0};
+    const Matrix e{{1.0, 1.0}};
+    const Vector d{2.0};
+    const Vector zeros(2, 0.0);
+    EqQpNonnegOptions options;
+    options.warm_start = &zeros;
+    const EqQpNonnegResult r = solve_eq_qp_nonneg(h, f, e, d, options);
+    EXPECT_FALSE(r.warm_accepted);
+    EXPECT_NEAR(r.x[0], 1.0, 1e-8);
+    EXPECT_NEAR(r.x[1], 1.0, 1e-8);
+}
+
+TEST(EqQpNonnegWarm, SeedPinningAWholeEqualityRowFallsBackCold) {
+    // Pinning every variable of one sum constraint leaves that
+    // multiplier row without free support — a structurally singular
+    // KKT system.  The solver must fall back to the cold path instead
+    // of throwing.
+    const Matrix h = Matrix::identity(4);
+    const Vector f{1.0, 2.0, 1.0, 2.0};
+    Matrix e(2, 4, 0.0);
+    e(0, 0) = e(0, 1) = 1.0;
+    e(1, 2) = e(1, 3) = 1.0;
+    const Vector d{1.0, 1.0};
+    const EqQpNonnegResult cold = solve_eq_qp_nonneg(h, f, e, d);
+
+    const Vector seed{0.0, 0.0, 0.5, 0.5};  // row 0 fully pinned
+    EqQpNonnegOptions options;
+    options.warm_start = &seed;
+    const EqQpNonnegResult warm = solve_eq_qp_nonneg(h, f, e, d, options);
+    EXPECT_FALSE(warm.warm_accepted);
+    ASSERT_TRUE(warm.converged);
+    for (std::size_t j = 0; j < 4; ++j) {
+        EXPECT_NEAR(warm.x[j], cold.x[j], 1e-9) << "var " << j;
+    }
+}
+
+TEST(EqQpNonnegWarm, SizeMismatchThrows) {
+    const Matrix h = Matrix::identity(2);
+    const Vector bad(3, 1.0);
+    EqQpNonnegOptions options;
+    options.warm_start = &bad;
+    EXPECT_THROW(solve_eq_qp_nonneg(h, {0.0, 0.0}, Matrix{{1.0, 1.0}},
+                                    {2.0}, options),
+                 std::invalid_argument);
+}
+
 class EqQpNonnegProperty : public ::testing::TestWithParam<unsigned> {};
 
 TEST_P(EqQpNonnegProperty, FeasibleAndNoWorseThanProjectedCandidates) {
@@ -102,6 +202,54 @@ TEST_P(EqQpNonnegProperty, FeasibleAndNoWorseThanProjectedCandidates) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, EqQpNonnegProperty,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u));
+
+class EqQpNonnegScale : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(EqQpNonnegScale, LargeLoadsDoNotBurnExtraRounds) {
+    // Regression for the absolute negativity threshold: scaling f and d
+    // by 1e9 scales the solution by 1e9, and LU round-off on
+    // numerically-zero coordinates lands around 1e9 * eps >> 1e-9.  An
+    // absolute threshold mislabels those coordinates negative and burns
+    // extra active-set rounds; the scale-relative threshold must make
+    // the solve path identical at both magnitudes.
+    std::mt19937_64 rng(GetParam());
+    std::uniform_real_distribution<double> dist(-1.0, 1.0);
+    const std::size_t n = 6;
+    Matrix a(8, n);
+    for (std::size_t i = 0; i < 8; ++i) {
+        for (std::size_t j = 0; j < n; ++j) a(i, j) = dist(rng);
+    }
+    Matrix h = gram(a);
+    for (std::size_t i = 0; i < n; ++i) h(i, i) += 0.1;
+    Vector f(n);
+    for (double& v : f) v = dist(rng);
+    Matrix e(2, n, 0.0);
+    for (std::size_t j = 0; j < n / 2; ++j) e(0, j) = 1.0;
+    for (std::size_t j = n / 2; j < n; ++j) e(1, j) = 1.0;
+    const Vector d{1.0, 1.0};
+
+    const EqQpNonnegResult base = solve_eq_qp_nonneg(h, f, e, d);
+    ASSERT_TRUE(base.converged);
+
+    const double scale = 1e9;
+    Vector f_big = f;
+    for (double& v : f_big) v *= scale;
+    const Vector d_big{scale, scale};
+    const EqQpNonnegResult big = solve_eq_qp_nonneg(h, f_big, e, d_big);
+    ASSERT_TRUE(big.converged);
+
+    // Same active-set path at both magnitudes, and the solution scales.
+    EXPECT_EQ(big.iterations, base.iterations);
+    ASSERT_EQ(big.active.size(), base.active.size());
+    for (std::size_t j = 0; j < n; ++j) {
+        EXPECT_EQ(big.active[j] != 0, base.active[j] != 0) << "var " << j;
+        EXPECT_NEAR(big.x[j], scale * base.x[j], 1e-6 * scale)
+            << "var " << j;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EqQpNonnegScale,
                          ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u));
 
 }  // namespace
