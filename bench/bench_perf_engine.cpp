@@ -15,14 +15,24 @@
 // the fanout QP's active-set warm start does not make the fanout
 // method at least 1.5x faster per window than its cold runs.
 //
+// A second phase benchmarks the multi-scenario fleet driver: four
+// whole-day scenarios on one topology run back to back on a serial
+// engine and then concurrently under FleetDriver (async ingestion, one
+// shared epoch cache).  The fleet's estimates must match the serial
+// engine's to 1e-9 and be bit-for-bit stable across two fleet runs;
+// on a multi-core host the fleet must reach at least 1.5x the serial
+// aggregate window throughput (the gate is skipped on a single
+// hardware thread, where no speedup is physically possible).
+//
 // Results are also written to BENCH_engine.json (per-method window
-// timings, cold/warm speedups, cache hit rate) so the perf trajectory
-// stays machine-readable across PRs.
+// timings, cold/warm speedups, cache hit rate, fleet throughput) so
+// the perf trajectory stays machine-readable across PRs.
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_common.hpp"
@@ -31,6 +41,7 @@
 #include "core/gravity.hpp"
 #include "core/vardi.hpp"
 #include "engine/engine.hpp"
+#include "engine/fleet.hpp"
 
 namespace {
 
@@ -156,6 +167,44 @@ std::pair<EngineRun, EngineRun> run_engines(const tme::scenario::Scenario& sc,
     return out;
 }
 
+/// Worst estimate difference between two full window-result streams
+/// (1e300 on any shape mismatch).
+double compare_windows(const std::vector<tme::engine::WindowResult>& a,
+                       const std::vector<tme::engine::WindowResult>& b) {
+    if (a.size() != b.size()) return 1e300;
+    double worst = 0.0;
+    for (std::size_t k = 0; k < a.size(); ++k) {
+        if (a[k].runs.size() != b[k].runs.size()) return 1e300;
+        for (std::size_t m = 0; m < a[k].runs.size(); ++m) {
+            if (a[k].runs[m].method != b[k].runs[m].method ||
+                a[k].runs[m].estimate.size() !=
+                    b[k].runs[m].estimate.size()) {
+                return 1e300;
+            }
+            worst = std::max(worst, max_abs_diff(a[k].runs[m].estimate,
+                                                 b[k].runs[m].estimate));
+        }
+    }
+    return worst;
+}
+
+/// One fleet pass over the prepared jobs (async ingestion, shared
+/// epoch cache, one worker per job), keeping full window results for
+/// the equivalence checks.
+tme::engine::FleetReport run_fleet(
+    const std::vector<tme::engine::FleetJob>& jobs,
+    const tme::engine::EngineConfig& config) {
+    using namespace tme;
+    engine::FleetConfig fleet_config;
+    fleet_config.engine = config;
+    fleet_config.concurrency = jobs.size();
+    fleet_config.async_ingest = true;
+    fleet_config.cache_capacity = jobs.size();
+    fleet_config.keep_windows = true;
+    engine::FleetDriver driver(jobs.front().scenario->topo, fleet_config);
+    return driver.run(jobs);
+}
+
 double compare(const std::vector<WindowEstimates>& a,
                const std::vector<WindowEstimates>& b) {
     if (a.size() != b.size()) return 1e300;
@@ -254,9 +303,82 @@ int main(int argc, char** argv) {
                     tme::engine::method_name(method),
                     cold_stats.mean_seconds() * 1e3,
                     warm_stats.mean_seconds() * 1e3, ratio,
-                    warm_stats.warm_accepted_runs, warm_stats.warm_runs);
+                    warm_stats.warm_accepted_runs.load(),
+                    warm_stats.warm_runs.load());
         if (method == Method::fanout) fanout_warm_speedup = ratio;
     }
+
+    // ---- Fleet phase: 4 scenarios on one topology, serial vs fleet.
+    constexpr std::size_t kFleetJobs = 4;
+    std::printf("\nfleet: %zu %s scenarios x %zu samples "
+                "(serial engines vs FleetDriver, shared epoch cache)\n",
+                kFleetJobs, sc.name.c_str(), samples);
+    std::vector<scenario::Scenario> fleet_scenarios;
+    fleet_scenarios.reserve(kFleetJobs);
+    for (unsigned s = 0; s < kFleetJobs; ++s) {
+        scenario::Scenario fsc = scenario::make_scenario(network, s + 1);
+        if (fsc.demands.size() > samples) {  // bound the replay length
+            fsc.demands.resize(samples);
+            fsc.loads.resize(samples);
+        }
+        fleet_scenarios.push_back(std::move(fsc));
+    }
+    const engine::EngineConfig fleet_engine_config =
+        engine_config(window_size, true);
+    std::vector<engine::FleetJob> fleet_jobs(kFleetJobs);
+    for (std::size_t j = 0; j < kFleetJobs; ++j) {
+        fleet_jobs[j].name = sc.name + "-seed" + std::to_string(j + 1);
+        fleet_jobs[j].scenario = &fleet_scenarios[j];
+        fleet_jobs[j].replay.attach_truth = false;
+    }
+
+    // Serial baseline: one engine at a time, each with a private cache.
+    std::vector<std::vector<engine::WindowResult>> serial_windows;
+    serial_windows.reserve(kFleetJobs);
+    double fleet_serial_seconds = 0.0;
+    for (std::size_t j = 0; j < kFleetJobs; ++j) {
+        engine::OnlineEngine eng(fleet_scenarios[j].topo,
+                                 fleet_scenarios[j].routing,
+                                 fleet_engine_config);
+        const Clock::time_point t0 = Clock::now();
+        engine::ReplayResult r = engine::replay_scenario(
+            eng, fleet_scenarios[j], fleet_jobs[j].replay);
+        fleet_serial_seconds += seconds_since(t0);
+        serial_windows.push_back(std::move(r.windows));
+    }
+
+    // Fleet runs (twice, for the bit-stability check).
+    const engine::FleetReport fleet =
+        run_fleet(fleet_jobs, fleet_engine_config);
+    const engine::FleetReport fleet_repeat =
+        run_fleet(fleet_jobs, fleet_engine_config);
+
+    double fleet_diff_vs_serial = 0.0;
+    double fleet_diff_repeat = 0.0;
+    for (std::size_t j = 0; j < kFleetJobs; ++j) {
+        fleet_diff_vs_serial = std::max(
+            fleet_diff_vs_serial,
+            compare_windows(serial_windows[j],
+                            fleet.jobs[j].window_results));
+        fleet_diff_repeat = std::max(
+            fleet_diff_repeat,
+            compare_windows(fleet.jobs[j].window_results,
+                            fleet_repeat.jobs[j].window_results));
+    }
+    const double fleet_speedup =
+        fleet.wall_seconds > 0.0 ? fleet_serial_seconds / fleet.wall_seconds
+                                 : 0.0;
+    // On a single hardware thread no concurrent speedup is physically
+    // possible; the throughput gate only applies on multi-core hosts.
+    const bool fleet_gate_applicable =
+        std::thread::hardware_concurrency() >= 2;
+    std::printf("serial %zu scenarios      : %8.3f s\n", kFleetJobs,
+                fleet_serial_seconds);
+    std::printf("fleet  %zu scenarios      : %8.3f s   speedup %.2fx   "
+                "max |diff| vs serial %.3g\n",
+                kFleetJobs, fleet.wall_seconds, fleet_speedup,
+                fleet_diff_vs_serial);
+    std::printf("%s", fleet.summary().c_str());
 
     // Machine-readable record for cross-PR perf tracking.
     std::FILE* json = std::fopen(json_path.c_str(), "w");
@@ -278,6 +400,18 @@ int main(int argc, char** argv) {
                      engine_warm.metrics.cache_hit_rate());
         std::fprintf(json, "  \"fanout_warm_speedup\": %.4f,\n",
                      fanout_warm_speedup);
+        std::fprintf(json, "  \"fleet_jobs\": %zu,\n", kFleetJobs);
+        std::fprintf(json, "  \"fleet_serial_seconds\": %.6f,\n",
+                     fleet_serial_seconds);
+        std::fprintf(json, "  \"fleet_wall_seconds\": %.6f,\n",
+                     fleet.wall_seconds);
+        std::fprintf(json, "  \"fleet_speedup\": %.4f,\n", fleet_speedup);
+        std::fprintf(json, "  \"fleet_max_diff_vs_serial\": %.3e,\n",
+                     fleet_diff_vs_serial);
+        std::fprintf(json, "  \"fleet_bitstable\": %s,\n",
+                     fleet_diff_repeat == 0.0 ? "true" : "false");
+        std::fprintf(json, "  \"fleet_gate_applied\": %s,\n",
+                     fleet_gate_applicable ? "true" : "false");
         std::fprintf(json, "  \"methods\": {\n");
         bool first = true;
         for (const auto& [method, cold_stats] :
@@ -288,7 +422,8 @@ int main(int argc, char** argv) {
             std::fprintf(json, "%s    \"%s\": {\n", first ? "" : ",\n",
                          tme::engine::method_name(method));
             first = false;
-            std::fprintf(json, "      \"runs\": %zu,\n", cold_stats.runs);
+            std::fprintf(json, "      \"runs\": %zu,\n",
+                         cold_stats.runs.load());
             std::fprintf(json,
                          "      \"cold_mean_window_seconds\": %.6e,\n",
                          cold_stats.mean_seconds());
@@ -296,9 +431,9 @@ int main(int argc, char** argv) {
                          "      \"warm_mean_window_seconds\": %.6e,\n",
                          warm_stats.mean_seconds());
             std::fprintf(json, "      \"warm_runs\": %zu,\n",
-                         warm_stats.warm_runs);
+                         warm_stats.warm_runs.load());
             std::fprintf(json, "      \"warm_accepted_runs\": %zu\n",
-                         warm_stats.warm_accepted_runs);
+                         warm_stats.warm_accepted_runs.load());
             std::fprintf(json, "    }");
         }
         std::fprintf(json, "\n  }\n}\n");
@@ -333,12 +468,35 @@ int main(int argc, char** argv) {
                     fanout_warm_speedup);
         ok = false;
     }
+    if (fleet_diff_vs_serial > 1e-9) {
+        std::printf("FAIL: fleet estimates diverge from serial engines "
+                    "(%.3g > 1e-9)\n",
+                    fleet_diff_vs_serial);
+        ok = false;
+    }
+    if (fleet_diff_repeat != 0.0) {
+        std::printf("FAIL: fleet estimates not bit-for-bit stable across "
+                    "runs (max |diff| %.3g)\n",
+                    fleet_diff_repeat);
+        ok = false;
+    }
+    if (fleet_gate_applicable && fleet_speedup < 1.5) {
+        std::printf("FAIL: fleet throughput below the 1.5x gate "
+                    "(%.2fx over serial at %zu scenarios)\n",
+                    fleet_speedup, kFleetJobs);
+        ok = false;
+    } else if (!fleet_gate_applicable) {
+        std::printf("NOTE: single hardware thread — fleet 1.5x "
+                    "throughput gate skipped (measured %.2fx)\n",
+                    fleet_speedup);
+    }
     if (ok) {
         std::printf("\nPASS: identical estimates (<= 1e-9); incremental "
                     "path %.2fx faster cold, %.2fx warm; fanout warm "
-                    "start %.2fx\n",
+                    "start %.2fx; fleet %.2fx vs serial (bit-stable)\n",
                     naive_seconds / cold_seconds,
-                    naive_seconds / warm_seconds, fanout_warm_speedup);
+                    naive_seconds / warm_seconds, fanout_warm_speedup,
+                    fleet_speedup);
     }
     return ok ? 0 : 1;
 }

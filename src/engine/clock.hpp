@@ -1,0 +1,15 @@
+// Shared wall-clock helper for the engine module's latency metrics.
+#pragma once
+
+#include <chrono>
+
+namespace tme::engine {
+
+using SteadyClock = std::chrono::steady_clock;
+
+inline double seconds_since(SteadyClock::time_point start) {
+    return std::chrono::duration<double>(SteadyClock::now() - start)
+        .count();
+}
+
+}  // namespace tme::engine

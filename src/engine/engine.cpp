@@ -7,24 +7,17 @@
 
 namespace tme::engine {
 
-namespace {
-
-bool schedules(const std::vector<Method>& methods, Method wanted) {
-    for (Method m : methods) {
-        if (m == wanted) return true;
-    }
-    return false;
-}
-
-}  // namespace
-
 OnlineEngine::OnlineEngine(const topology::Topology& topo,
                            const linalg::SparseMatrix& routing,
-                           EngineConfig config)
+                           EngineConfig config,
+                           std::shared_ptr<RoutingEpochCache> shared_cache)
     : topo_(&topo),
       routing_(&routing),
       config_(std::move(config)),
-      cache_(config_.epoch_cache_capacity),
+      cache_(shared_cache != nullptr
+                 ? std::move(shared_cache)
+                 : std::make_shared<RoutingEpochCache>(
+                       config_.epoch_cache_capacity)),
       window_(&topo, &routing, config_.window_size,
               schedules(config_.methods, Method::vardi)),
       scheduler_(config_.methods, config_.method_options, config_.threads,
@@ -34,6 +27,10 @@ OnlineEngine::OnlineEngine(const topology::Topology& topo,
         throw std::invalid_argument(
             "OnlineEngine: routing does not match topology");
     }
+    // Pre-populate the per-method stats so the map structure never
+    // changes after construction — concurrent metric readers may then
+    // iterate it while ingestion updates the atomic fields inside.
+    for (Method m : config_.methods) metrics_.methods[m];
 }
 
 void OnlineEngine::set_routing(const linalg::SparseMatrix& routing) {
@@ -47,13 +44,25 @@ void OnlineEngine::set_routing(const linalg::SparseMatrix& routing) {
 
 WindowResult OnlineEngine::ingest(std::size_t sample, linalg::Vector loads,
                                   bool gap) {
-    const RoutingEpoch& epoch = cache_.acquire(*routing_);
+    epoch_ = cache_->acquire_shared(*routing_);
+    const RoutingEpoch& epoch = *epoch_;
     // Epoch identity is the cache serial, not the bare fingerprint: a
     // fingerprint collision between two distinct routing matrices gets
     // separate cache entries (structural check) and must ALSO flush
     // the window here, or samples measured under different routings
-    // would share one estimation problem.
-    if (!epoch_bound_ || epoch.serial() != window_epoch_serial_) {
+    // would share one estimation problem.  One exception keeps a
+    // shared cache's eviction churn from perturbing this engine: a
+    // fresh serial whose fingerprint AND structure match the bound
+    // epoch is the same routing content rebuilt after an eviction
+    // (another fleet engine's traffic) — the window stays, to the same
+    // collision-risk standard the cache itself applies on a hit.
+    const bool rebuilt_same_content =
+        epoch_bound_ && epoch.fingerprint() == window_epoch_ &&
+        epoch.rows() == window_epoch_rows_ &&
+        epoch.cols() == window_epoch_cols_ &&
+        epoch.nonzeros() == window_epoch_nnz_;
+    if (!epoch_bound_ || (epoch.serial() != window_epoch_serial_ &&
+                          !rebuilt_same_content)) {
         if (epoch_bound_) {
             ++metrics_.epoch_changes;
             if (!window_.empty()) ++metrics_.window_flushes;
@@ -65,23 +74,29 @@ WindowResult OnlineEngine::ingest(std::size_t sample, linalg::Vector loads,
         scheduler_.reset_warm_state();
         window_epoch_ = epoch.fingerprint();
         window_epoch_serial_ = epoch.serial();
+        window_epoch_rows_ = epoch.rows();
+        window_epoch_cols_ = epoch.cols();
+        window_epoch_nnz_ = epoch.nonzeros();
         epoch_bound_ = true;
-    } else if (window_.series().routing != routing_) {
-        // Content-identical matrix in a fresh object (same epoch): keep
-        // the window but rebind the pointer so it never dangles on a
-        // matrix the caller has replaced and may free.
-        window_.rebind_routing(routing_);
+    } else {
+        // Same epoch (possibly rebuilt): track the live serial and keep
+        // the window bound to the caller's current matrix object so it
+        // never dangles on one the caller has replaced and may free.
+        window_epoch_serial_ = epoch.serial();
+        if (window_.series().routing != routing_) {
+            window_.rebind_routing(routing_);
+        }
     }
 
     window_.push(sample, std::move(loads), gap);
     ++metrics_.samples_ingested;
     if (gap) ++metrics_.gap_samples;
-    metrics_.cache_hits = cache_.hits();
-    metrics_.cache_misses = cache_.misses();
-    metrics_.cache_evictions = cache_.evictions();
-    metrics_.cache_collisions = cache_.collisions();
+    metrics_.cache_hits = cache_->hits();
+    metrics_.cache_misses = cache_->misses();
+    metrics_.cache_evictions = cache_->evictions();
+    metrics_.cache_collisions = cache_->collisions();
 
-    WindowResult result = scheduler_.run(window_, epoch);
+    WindowResult result = scheduler_.run(window_, epoch_);
 
     if (truth_) {
         // Snapshot methods estimate the newest sample's demands; series

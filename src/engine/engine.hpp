@@ -52,10 +52,15 @@ using TruthProvider = std::function<linalg::Vector(std::size_t sample)>;
 
 class OnlineEngine {
   public:
-    /// `topo` and `routing` must outlive the engine.
+    /// `topo` and `routing` must outlive the engine.  `shared_cache`
+    /// lets a fleet of engines on the same topology share one routing-
+    /// epoch cache (its derived data is built once and read by all);
+    /// when null the engine owns a private cache of
+    /// config.epoch_cache_capacity epochs.
     OnlineEngine(const topology::Topology& topo,
                  const linalg::SparseMatrix& routing,
-                 EngineConfig config = {});
+                 EngineConfig config = {},
+                 std::shared_ptr<RoutingEpochCache> shared_cache = nullptr);
 
     /// Signals a routing change: subsequent samples are interpreted
     /// under `routing`.  The window flush and cache (in)validation
@@ -91,21 +96,36 @@ class OnlineEngine {
     /// The currently attached truth provider (empty when detached).
     const TruthProvider& truth() const { return truth_; }
 
+    /// Live metrics.  Counters are atomics and the per-method map is
+    /// pre-populated at construction, so reading (or copying) the
+    /// metrics concurrently with ingestion is safe and torn-free.
     const EngineMetrics& metrics() const { return metrics_; }
     const SlidingWindow& window() const { return window_; }
+    const std::shared_ptr<RoutingEpochCache>& cache() const {
+        return cache_;
+    }
     std::uint64_t current_epoch() const { return window_epoch_; }
 
   private:
     const topology::Topology* topo_;
     const linalg::SparseMatrix* routing_;
     EngineConfig config_;
-    RoutingEpochCache cache_;
+    std::shared_ptr<RoutingEpochCache> cache_;
+    /// Pins the bound epoch so a shared cache serving other engines can
+    /// never destroy it under this engine's feet.
+    std::shared_ptr<const RoutingEpoch> epoch_;
     SlidingWindow window_;
     EstimatorScheduler scheduler_;
     EngineMetrics metrics_;
     TruthProvider truth_;
     std::uint64_t window_epoch_ = 0;         ///< fingerprint (reporting)
     std::uint64_t window_epoch_serial_ = 0;  ///< cache-unique identity
+    /// Structure of the bound epoch's routing, so a shared cache's
+    /// eviction-rebuild (same content, fresh serial) is recognized and
+    /// does not flush the window.
+    std::size_t window_epoch_rows_ = 0;
+    std::size_t window_epoch_cols_ = 0;
+    std::size_t window_epoch_nnz_ = 0;
     bool epoch_bound_ = false;  ///< window_epoch_* hold a real epoch
 };
 

@@ -18,22 +18,27 @@ RoutingEpoch::RoutingEpoch(std::uint64_t fingerprint, std::uint64_t serial,
       derived_(std::make_unique<Derived>()) {}
 
 const linalg::Matrix& RoutingEpoch::vardi_gram(double weight) const {
-    std::lock_guard<std::mutex> lock(derived_->mutex);
-    if (!derived_->vardi_built || derived_->vardi_weight != weight) {
-        const std::size_t pairs = gram_.rows();
-        linalg::Matrix g(pairs, pairs, 0.0);
-        for (std::size_t p = 0; p < pairs; ++p) {
-            for (std::size_t q = 0; q < pairs; ++q) {
-                const double g1 = gram_(p, q);
-                g(p, q) = g1 + weight * g1 * g1;
-            }
-        }
-        derived_->vardi = std::move(g);
-        derived_->vardi_weight = weight;
-        derived_->vardi_built = true;
-        ++derived_->builds;
+    {
+        std::shared_lock<std::shared_mutex> read(derived_->mutex);
+        const auto it = derived_->vardi_by_weight.find(weight);
+        if (it != derived_->vardi_by_weight.end()) return it->second;
     }
-    return derived_->vardi;
+    std::unique_lock<std::shared_mutex> write(derived_->mutex);
+    // Re-check: another cold caller may have built while we waited for
+    // the exclusive lock.
+    const auto it = derived_->vardi_by_weight.find(weight);
+    if (it != derived_->vardi_by_weight.end()) return it->second;
+    const std::size_t pairs = gram_.rows();
+    linalg::Matrix g(pairs, pairs, 0.0);
+    for (std::size_t p = 0; p < pairs; ++p) {
+        for (std::size_t q = 0; q < pairs; ++q) {
+            const double g1 = gram_(p, q);
+            g(p, q) = g1 + weight * g1 * g1;
+        }
+    }
+    ++derived_->builds;
+    return derived_->vardi_by_weight.emplace(weight, std::move(g))
+        .first->second;
 }
 
 const core::FanoutConstraints& RoutingEpoch::fanout_constraints(
@@ -43,7 +48,11 @@ const core::FanoutConstraints& RoutingEpoch::fanout_constraints(
             "RoutingEpoch::fanout_constraints: topology does not match "
             "the routing matrix");
     }
-    std::lock_guard<std::mutex> lock(derived_->mutex);
+    {
+        std::shared_lock<std::shared_mutex> read(derived_->mutex);
+        if (derived_->fanout_built) return derived_->fanout;
+    }
+    std::unique_lock<std::shared_mutex> write(derived_->mutex);
     if (!derived_->fanout_built) {
         derived_->fanout = core::FanoutConstraints::build(topo);
         derived_->fanout_built = true;
@@ -54,7 +63,15 @@ const core::FanoutConstraints& RoutingEpoch::fanout_constraints(
 
 std::shared_ptr<const core::ReducedFactor> RoutingEpoch::reduced_factor(
     const std::vector<std::size_t>& unknown, double tau) const {
-    std::lock_guard<std::mutex> lock(derived_->mutex);
+    {
+        std::shared_lock<std::shared_mutex> read(derived_->mutex);
+        if (derived_->reduced != nullptr &&
+            derived_->reduced->unknown == unknown &&
+            derived_->reduced->regularization == tau) {
+            return derived_->reduced;
+        }
+    }
+    std::unique_lock<std::shared_mutex> write(derived_->mutex);
     if (derived_->reduced == nullptr ||
         derived_->reduced->unknown != unknown ||
         derived_->reduced->regularization != tau) {
@@ -66,7 +83,7 @@ std::shared_ptr<const core::ReducedFactor> RoutingEpoch::reduced_factor(
 }
 
 std::size_t RoutingEpoch::derived_builds() const {
-    std::lock_guard<std::mutex> lock(derived_->mutex);
+    std::shared_lock<std::shared_mutex> read(derived_->mutex);
     return derived_->builds;
 }
 
@@ -83,16 +100,28 @@ RoutingEpochCache::RoutingEpochCache(std::size_t capacity,
     }
 }
 
-const RoutingEpoch& RoutingEpochCache::acquire(
+std::size_t RoutingEpochCache::size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return entries_.size();
+}
+
+std::shared_ptr<const RoutingEpoch> RoutingEpochCache::acquire_shared(
     const linalg::SparseMatrix& routing) {
+    // The fingerprint is a pure function of the matrix content; compute
+    // it outside the lock so concurrent engines only serialize on the
+    // LRU bookkeeping (and on a miss, the epoch build — holding the
+    // lock across the build means racing engines acquiring the same new
+    // routing build its Gram exactly once).
     const std::uint64_t fp = fingerprint_(routing);
+    std::lock_guard<std::mutex> lock(mutex_);
     for (auto it = entries_.begin(); it != entries_.end(); ++it) {
-        if (it->fingerprint() != fp) continue;
+        if ((*it)->fingerprint() != fp) continue;
         // A 64-bit fingerprint can collide; serving a colliding entry
         // would hand the wrong Gram to every solver.  Cheap structural
         // identity gates the hit; a mismatch falls through to a miss.
-        if (it->rows() != routing.rows() || it->cols() != routing.cols() ||
-            it->nonzeros() != routing.nonzeros()) {
+        if ((*it)->rows() != routing.rows() ||
+            (*it)->cols() != routing.cols() ||
+            (*it)->nonzeros() != routing.nonzeros()) {
             ++collisions_;
             continue;
         }
@@ -101,9 +130,10 @@ const RoutingEpoch& RoutingEpochCache::acquire(
         return entries_.front();
     }
     ++misses_;
-    entries_.emplace_front(fp, ++next_serial_, routing);
+    entries_.push_front(
+        std::make_shared<RoutingEpoch>(fp, ++next_serial_, routing));
     while (entries_.size() > capacity_) {
-        entries_.pop_back();
+        entries_.pop_back();  // pinned holders keep the epoch alive
         ++evictions_;
     }
     return entries_.front();

@@ -19,14 +19,26 @@
 // identity (rows / cols / nonzero count) on every fingerprint hit and
 // treats a mismatch as a miss, so a collision can never silently serve
 // the wrong Gram.
+//
+// Thread-safety: one cache may be shared by a whole fleet of engines on
+// the same topology.  acquire_shared() is safe to call concurrently
+// (the LRU list is mutex-guarded; the returned shared_ptr pins the
+// epoch across later evictions), and each epoch's lazy derived-data
+// accessors use shared-mutex double-checked builds so N engines
+// requesting the same quantity on a cold epoch build it exactly once
+// and then read it lock-free of each other.  Counters are relaxed
+// atomics so metric readers never see torn values.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <list>
+#include <map>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 
 #include "core/fanout.hpp"
 #include "core/tomo_direct.hpp"
@@ -56,21 +68,23 @@ class RoutingEpoch {
     std::size_t cols() const { return cols_; }
     std::size_t nonzeros() const { return nonzeros_; }
 
-    /// Dense Gram matrix R'R (pairs x pairs); built eagerly.
+    /// Dense Gram matrix R'R (pairs x pairs); built eagerly, immutable
+    /// afterwards, so concurrent readers need no lock.
     const linalg::Matrix& gram() const { return gram_; }
 
     /// Vardi's transformed Gram G1 + weight*(G1 .* G1), built lazily on
-    /// first use and cached for that weight.  Calling with a different
-    /// weight rebuilds in place, so concurrent callers must agree on
-    /// the weight (the scheduler always does — it is a per-run option).
-    /// The reference stays valid until the epoch is evicted or a
-    /// different weight is requested.
+    /// first use and cached per weight, so fleet jobs configured with
+    /// different weights can share the epoch safely (each weight builds
+    /// once; node-based storage keeps every returned reference valid
+    /// until the epoch dies, never invalidated by another weight's
+    /// build).
     const linalg::Matrix& vardi_gram(double weight) const;
 
     /// Fanout equality-constraint structure (row pattern of E and the
     /// all-ones right-hand side), built lazily from the topology on
     /// first use.  The topology must match the routing matrix's pair
-    /// count.  Valid until the epoch is evicted.
+    /// count.  Valid until the epoch dies; concurrent cold callers
+    /// build exactly once.
     const core::FanoutConstraints& fanout_constraints(
         const topology::Topology& topo) const;
 
@@ -89,10 +103,12 @@ class RoutingEpoch {
 
   private:
     struct Derived {
-        std::mutex mutex;
-        bool vardi_built = false;
-        double vardi_weight = 0.0;
-        linalg::Matrix vardi;
+        /// Readers share; a cold build upgrades to exclusive and
+        /// re-checks, so racing cold callers build each item once.
+        mutable std::shared_mutex mutex;
+        /// Node-based on purpose: inserting one weight's matrix never
+        /// moves another's, so returned references stay valid.
+        std::map<double, linalg::Matrix> vardi_by_weight;
         bool fanout_built = false;
         core::FanoutConstraints fanout;
         std::shared_ptr<const core::ReducedFactor> reduced;
@@ -121,28 +137,43 @@ class RoutingEpochCache {
     /// Returns the epoch for `routing`, building it on a miss.  A
     /// fingerprint hit additionally requires structural identity
     /// (rows/cols/nnz); a colliding entry is left in place and a fresh
-    /// epoch is built.  The reference stays valid until `capacity`
-    /// further distinct epochs have been acquired; no pointer to
-    /// `routing` is retained past this call.
-    const RoutingEpoch& acquire(const linalg::SparseMatrix& routing);
+    /// epoch is built.  The returned pointer pins the epoch: it stays
+    /// valid after eviction for as long as the caller holds it, so
+    /// in-flight pipeline windows and fleet engines can never observe a
+    /// destroyed epoch.  No pointer to `routing` is retained past this
+    /// call.  Safe to call concurrently from many engines.
+    std::shared_ptr<const RoutingEpoch> acquire_shared(
+        const linalg::SparseMatrix& routing);
+
+    /// Reference-returning convenience for single-threaded callers; the
+    /// reference stays valid until `capacity` further distinct epochs
+    /// have been acquired (at which point the entry is evicted and, if
+    /// unpinned, destroyed).
+    const RoutingEpoch& acquire(const linalg::SparseMatrix& routing) {
+        return *acquire_shared(routing);
+    }
 
     std::size_t capacity() const { return capacity_; }
-    std::size_t size() const { return entries_.size(); }
-    std::size_t hits() const { return hits_; }
-    std::size_t misses() const { return misses_; }
-    std::size_t evictions() const { return evictions_; }
+    std::size_t size() const;
+    std::size_t hits() const { return hits_.load(); }
+    std::size_t misses() const { return misses_.load(); }
+    std::size_t evictions() const { return evictions_.load(); }
     /// Fingerprint hits rejected by the structural-identity check.
-    std::size_t collisions() const { return collisions_; }
+    std::size_t collisions() const { return collisions_.load(); }
 
   private:
     std::size_t capacity_;
     Fingerprint fingerprint_;
+    mutable std::mutex mutex_;  ///< guards entries_ and next_serial_
     std::uint64_t next_serial_ = 0;
-    std::list<RoutingEpoch> entries_;  // most recently used first
-    std::size_t hits_ = 0;
-    std::size_t misses_ = 0;
-    std::size_t evictions_ = 0;
-    std::size_t collisions_ = 0;
+    /// Most recently used first.  shared_ptr entries so a concurrent
+    /// holder (pipeline window in flight, fleet engine) outlives an
+    /// eviction.
+    std::list<std::shared_ptr<RoutingEpoch>> entries_;
+    std::atomic<std::size_t> hits_{0};
+    std::atomic<std::size_t> misses_{0};
+    std::atomic<std::size_t> evictions_{0};
+    std::atomic<std::size_t> collisions_{0};
 };
 
 }  // namespace tme::engine

@@ -1,0 +1,129 @@
+// Multi-scenario fleet driver: replays N scenarios / engine
+// configurations over the same topology concurrently, one engine per
+// job, all sharing a single thread-safe RoutingEpochCache.
+//
+// The paper's evaluation sweeps whole days across two networks and
+// many method settings; learning-based follow-ups replay hundreds of
+// scenarios to build training sets.  Serially that is N full-day
+// replays back to back.  The fleet driver instead runs the jobs on a
+// small worker pool: every engine keeps its own sliding window, warm
+// lineage and metrics (nothing estimation-relevant is shared between
+// scenarios), while R-derived data — the Gram, Vardi's transformed
+// Gram, fanout constraints — is built once per distinct routing epoch
+// in the shared cache and read by all engines.  Per-job results and
+// metrics are aggregated into a FleetReport; bench_perf_engine gates
+// the fleet's aggregate window throughput against the serial baseline.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "engine/replay.hpp"
+
+namespace tme::engine {
+
+/// One scenario replay in the fleet.  The scenario (and any routing
+/// matrices referenced by replay.events) must outlive run().
+struct FleetJob {
+    std::string name;
+    const scenario::Scenario* scenario = nullptr;
+    ReplayOptions replay;
+    /// Per-job engine configuration; nullopt uses FleetConfig::engine.
+    std::optional<EngineConfig> engine;
+};
+
+struct FleetConfig {
+    /// Engine template for jobs without a per-job override.  Engines
+    /// default to threads = 0: the fleet parallelizes across
+    /// scenarios, not within a window.
+    EngineConfig engine;
+    /// Concurrent scenario workers; 0 picks
+    /// min(jobs, hardware_concurrency).
+    std::size_t concurrency = 0;
+    /// Per-engine pipeline depth; > 1 runs each job on a PipelinedEngine
+    /// (window passes overlap within a scenario too).  Overlap needs
+    /// workers, so a job left at the engine default threads = 0 gets a
+    /// small pool (2) on this path instead of silent inline execution.
+    std::size_t pipeline_depth = 1;
+    /// Decouple sample production from estimation with a bounded
+    /// producer/consumer queue (replay_scenario_async) on the
+    /// serial-engine path.
+    bool async_ingest = true;
+    std::size_t ingest_queue_capacity = 16;
+    /// Capacity of the shared routing-epoch cache.  Size it to the
+    /// number of distinct routing configurations the fleet touches at
+    /// once (base routings + injected reroutes), or flapping jobs will
+    /// rebuild each other's epochs.
+    std::size_t cache_capacity = 4;
+    /// Retain every job's full per-window results (estimates included)
+    /// in the report — needed for equivalence checks, sizeable for big
+    /// fleets.
+    bool keep_windows = false;
+};
+
+struct FleetJobReport {
+    std::string name;
+    std::map<Method, double> mean_mre;
+    EngineMetrics metrics;  ///< snapshot of the job's engine metrics
+    double seconds = 0.0;   ///< wall time inside this job's replay
+    std::size_t windows = 0;
+    /// Full per-window results when FleetConfig::keep_windows.
+    std::vector<WindowResult> window_results;
+};
+
+struct FleetReport {
+    std::vector<FleetJobReport> jobs;  ///< in input order
+    double wall_seconds = 0.0;         ///< whole-fleet wall time
+    std::size_t total_windows = 0;
+    // Shared epoch-cache statistics after the run.
+    std::size_t cache_hits = 0;
+    std::size_t cache_misses = 0;
+    std::size_t cache_evictions = 0;
+    std::size_t cache_collisions = 0;
+
+    /// Aggregate window throughput: windows completed per wall second
+    /// across the whole fleet.
+    double windows_per_second() const {
+        return wall_seconds > 0.0
+                   ? static_cast<double>(total_windows) / wall_seconds
+                   : 0.0;
+    }
+
+    /// Multi-line human-readable dump.
+    std::string summary() const;
+};
+
+class FleetDriver {
+  public:
+    /// `topo` is the fleet's common topology; every job's scenario must
+    /// structurally match it (link/pair counts).  It must outlive the
+    /// driver.
+    explicit FleetDriver(const topology::Topology& topo,
+                         FleetConfig config = {});
+
+    const FleetConfig& config() const { return config_; }
+    /// The shared routing-epoch cache (alive across run() calls, so a
+    /// second fleet over the same routings starts warm).
+    const std::shared_ptr<RoutingEpochCache>& cache() const {
+        return cache_;
+    }
+
+    /// Runs all jobs to completion and aggregates their reports.
+    /// Blocks; jobs execute on min(concurrency, jobs) worker threads.
+    /// The first job exception (if any) is rethrown after every worker
+    /// has stopped.
+    FleetReport run(const std::vector<FleetJob>& jobs);
+
+  private:
+    void run_job(const FleetJob& job, FleetJobReport& report);
+
+    const topology::Topology* topo_;
+    FleetConfig config_;
+    std::shared_ptr<RoutingEpochCache> cache_;
+};
+
+}  // namespace tme::engine

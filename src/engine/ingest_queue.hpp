@@ -1,0 +1,128 @@
+// Bounded producer/consumer queue decoupling sample production
+// (scenario::replay, a telemetry poller) from estimation.
+//
+// The producer pushes load samples as fast as it can generate them; the
+// consumer drains them into an engine.  The bound provides backpressure:
+// when estimation falls behind, push() blocks instead of letting the
+// queue grow without limit, so a whole-day replay never holds more than
+// `capacity` samples in memory.  close() lets the producer signal
+// end-of-stream; pop() then drains the remaining items and returns
+// nullopt exactly once the queue is both closed and empty.
+//
+// The queue is deliberately order-preserving and single-lane (FIFO):
+// sample order is load-bearing for the sliding window (strictly
+// increasing indices) and for warm-start lineage, so decoupling must
+// never reorder.  Multiple producers/consumers are safe but share the
+// one FIFO.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+
+#include "linalg/sparse.hpp"
+#include "linalg/vector_ops.hpp"
+
+namespace tme::engine {
+
+/// One ingestion work item: a load sample plus the routing matrix it
+/// was measured under (so a route change travels *in-band*, in sample
+/// order — the consumer applies it exactly between the right samples).
+/// The routing matrix is not owned and must outlive consumption.
+struct IngestItem {
+    std::size_t sample = 0;
+    linalg::Vector loads;
+    bool gap = false;
+    const linalg::SparseMatrix* routing = nullptr;
+};
+
+class IngestQueue {
+  public:
+    explicit IngestQueue(std::size_t capacity) : capacity_(capacity) {
+        if (capacity_ == 0) {
+            throw std::invalid_argument("IngestQueue: zero capacity");
+        }
+    }
+
+    IngestQueue(const IngestQueue&) = delete;
+    IngestQueue& operator=(const IngestQueue&) = delete;
+
+    /// Blocks while the queue is full (backpressure).  Returns false —
+    /// dropping the item — iff the queue was closed, so a consumer-side
+    /// abort unblocks a stuck producer instead of deadlocking it.
+    bool push(IngestItem item) {
+        std::unique_lock<std::mutex> lock(mutex_);
+        while (items_.size() >= capacity_ && !closed_) {
+            ++producer_blocks_;
+            space_cv_.wait(lock, [this] {
+                return items_.size() < capacity_ || closed_;
+            });
+        }
+        if (closed_) return false;
+        items_.push_back(std::move(item));
+        if (items_.size() > max_depth_) max_depth_ = items_.size();
+        lock.unlock();
+        ready_cv_.notify_one();
+        return true;
+    }
+
+    /// Blocks while the queue is empty and not closed.  Returns nullopt
+    /// once the queue is closed AND drained — remaining items are
+    /// always delivered first.
+    std::optional<IngestItem> pop() {
+        std::unique_lock<std::mutex> lock(mutex_);
+        ready_cv_.wait(lock, [this] { return !items_.empty() || closed_; });
+        if (items_.empty()) return std::nullopt;  // closed and drained
+        IngestItem item = std::move(items_.front());
+        items_.pop_front();
+        lock.unlock();
+        space_cv_.notify_one();
+        return item;
+    }
+
+    /// Ends the stream: blocked producers return false, and consumers
+    /// see nullopt after draining.  Idempotent.
+    void close() {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            closed_ = true;
+        }
+        ready_cv_.notify_all();
+        space_cv_.notify_all();
+    }
+
+    bool closed() const {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return closed_;
+    }
+    std::size_t size() const {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return items_.size();
+    }
+    std::size_t capacity() const { return capacity_; }
+    /// High-water mark of the queue depth (bounded by capacity).
+    std::size_t max_depth() const {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return max_depth_;
+    }
+    /// Times a push found the queue full and had to wait.
+    std::size_t producer_blocks() const {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return producer_blocks_;
+    }
+
+  private:
+    const std::size_t capacity_;
+    mutable std::mutex mutex_;
+    std::condition_variable ready_cv_;
+    std::condition_variable space_cv_;
+    std::deque<IngestItem> items_;
+    bool closed_ = false;
+    std::size_t max_depth_ = 0;
+    std::size_t producer_blocks_ = 0;
+};
+
+}  // namespace tme::engine

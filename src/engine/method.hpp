@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstddef>
+#include <vector>
 
 namespace tme::engine {
 
@@ -42,6 +43,14 @@ constexpr const char* method_name(Method m) {
 
 constexpr bool is_series_method(Method m) {
     return m == Method::vardi || m == Method::fanout;
+}
+
+/// Whether `wanted` appears in a scheduled method list.
+inline bool schedules(const std::vector<Method>& methods, Method wanted) {
+    for (Method m : methods) {
+        if (m == wanted) return true;
+    }
+    return false;
 }
 
 }  // namespace tme::engine

@@ -11,30 +11,32 @@ std::string EngineMetrics::summary() const {
     std::snprintf(line, sizeof(line),
                   "samples=%zu gaps=%zu windows=%zu flushes=%zu "
                   "epoch_changes=%zu\n",
-                  samples_ingested, gap_samples, windows_run,
-                  window_flushes, epoch_changes);
+                  samples_ingested.load(), gap_samples.load(),
+                  windows_run.load(), window_flushes.load(),
+                  epoch_changes.load());
     out += line;
     std::snprintf(line, sizeof(line),
                   "epoch cache: hit rate %.3f (%zu hits, %zu misses, "
                   "%zu evictions, %zu collisions)\n",
-                  cache_hit_rate(), cache_hits, cache_misses,
-                  cache_evictions, cache_collisions);
+                  cache_hit_rate(), cache_hits.load(), cache_misses.load(),
+                  cache_evictions.load(), cache_collisions.load());
     out += line;
     std::snprintf(line, sizeof(line),
                   "latency: total %.3fs, last window %.2fms\n",
-                  total_seconds, last_window_seconds * 1e3);
+                  total_seconds.load(), last_window_seconds.load() * 1e3);
     out += line;
     for (const auto& [method, stats] : methods) {
         std::snprintf(line, sizeof(line),
                       "  %-9s runs=%zu warm=%zu/%zu mean=%.2fms "
                       "last=%.2fms",
-                      method_name(method), stats.runs,
-                      stats.warm_accepted_runs, stats.warm_runs,
-                      stats.mean_seconds() * 1e3, stats.last_seconds * 1e3);
+                      method_name(method), stats.runs.load(),
+                      stats.warm_accepted_runs.load(),
+                      stats.warm_runs.load(), stats.mean_seconds() * 1e3,
+                      stats.last_seconds.load() * 1e3);
         out += line;
-        if (stats.mre_count > 0) {
+        if (stats.mre_count.load() > 0) {
             std::snprintf(line, sizeof(line), " mean_mre=%.4f last_mre=%.4f",
-                          stats.mean_mre(), stats.last_mre);
+                          stats.mean_mre(), stats.last_mre.load());
             out += line;
         }
         out += '\n';

@@ -1,8 +1,17 @@
 // Engine observability: per-window latency, routing-epoch cache
 // statistics, gap bookkeeping, and estimation error against ground
 // truth when the feeding scenario provides it.
+//
+// All counters are relaxed atomics wrapped so the structs stay
+// copyable snapshot types: a fleet driver or progress reporter may poll
+// an engine's metrics while its worker threads are still updating them,
+// and must never observe a torn value.  The per-method map is
+// pre-populated by the engine at construction (one entry per scheduled
+// method), so its structure never changes while workers update the
+// atomic fields inside — concurrent iteration is safe.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <limits>
 #include <map>
@@ -12,52 +21,97 @@
 
 namespace tme::engine {
 
+/// Relaxed atomic cell that copies by value.  Copying snapshots the
+/// current value, so EngineMetrics keeps working as a plain struct for
+/// single-threaded callers while concurrent readers get torn-free
+/// loads.  Use .load() where a plain value is required (printf-style
+/// varargs reject non-trivially-copyable types, which is deliberate:
+/// the compiler flags every site that would otherwise pass a raw cell).
+template <typename T>
+class MetricCell {
+  public:
+    MetricCell(T value = T{}) : value_(value) {}
+    MetricCell(const MetricCell& other) : value_(other.load()) {}
+    MetricCell& operator=(const MetricCell& other) {
+        store(other.load());
+        return *this;
+    }
+    MetricCell& operator=(T value) {
+        store(value);
+        return *this;
+    }
+
+    T load() const { return value_.load(std::memory_order_relaxed); }
+    void store(T value) { value_.store(value, std::memory_order_relaxed); }
+    operator T() const { return load(); }
+
+    MetricCell& operator++() {
+        value_.fetch_add(T{1}, std::memory_order_relaxed);
+        return *this;
+    }
+    MetricCell& operator+=(T delta) {
+        value_.fetch_add(delta, std::memory_order_relaxed);
+        return *this;
+    }
+
+  private:
+    std::atomic<T> value_;
+};
+
 struct MethodStats {
-    std::size_t runs = 0;
-    std::size_t warm_runs = 0;
+    MetricCell<std::size_t> runs;
+    MetricCell<std::size_t> warm_runs;
     /// Runs whose warm-start seed survived verification (the fanout
     /// QP can reject an inconsistent seed and fall back to a cold
     /// solve; for the other methods this tracks warm_runs).
-    std::size_t warm_accepted_runs = 0;
-    double total_seconds = 0.0;
-    double last_seconds = 0.0;
-    double last_mre = std::numeric_limits<double>::quiet_NaN();
-    double mre_sum = 0.0;
-    std::size_t mre_count = 0;
+    MetricCell<std::size_t> warm_accepted_runs;
+    MetricCell<double> total_seconds{0.0};
+    MetricCell<double> last_seconds{0.0};
+    MetricCell<double> last_mre{std::numeric_limits<double>::quiet_NaN()};
+    MetricCell<double> mre_sum{0.0};
+    MetricCell<std::size_t> mre_count;
 
     double mean_seconds() const {
-        return runs > 0 ? total_seconds / static_cast<double>(runs) : 0.0;
+        const std::size_t n = runs.load();
+        return n > 0 ? total_seconds.load() / static_cast<double>(n) : 0.0;
     }
     double mean_mre() const {
-        return mre_count > 0
-                   ? mre_sum / static_cast<double>(mre_count)
-                   : std::numeric_limits<double>::quiet_NaN();
+        const std::size_t n = mre_count.load();
+        return n > 0 ? mre_sum.load() / static_cast<double>(n)
+                     : std::numeric_limits<double>::quiet_NaN();
     }
 };
 
 struct EngineMetrics {
-    std::size_t samples_ingested = 0;
-    std::size_t gap_samples = 0;       ///< samples flagged as interpolated
-    std::size_t windows_run = 0;
-    std::size_t window_flushes = 0;    ///< windows dropped on epoch change
-    std::size_t epoch_changes = 0;     ///< routing fingerprint transitions
-    std::size_t cache_hits = 0;
-    std::size_t cache_misses = 0;
-    std::size_t cache_evictions = 0;
+    MetricCell<std::size_t> samples_ingested;
+    MetricCell<std::size_t> gap_samples;   ///< samples flagged as interpolated
+    MetricCell<std::size_t> windows_run;
+    MetricCell<std::size_t> window_flushes;  ///< windows dropped on epoch change
+    MetricCell<std::size_t> epoch_changes;   ///< routing fingerprint transitions
+    /// Epoch-cache statistics.  NOTE: these snapshot the engine's
+    /// cache, which under a fleet is the SHARED cache — they are then
+    /// fleet-wide totals, not this engine's share (FleetReport carries
+    /// the authoritative shared numbers once).
+    MetricCell<std::size_t> cache_hits;
+    MetricCell<std::size_t> cache_misses;
+    MetricCell<std::size_t> cache_evictions;
     /// Fingerprint hits rejected by the structural-identity check.
-    std::size_t cache_collisions = 0;
+    MetricCell<std::size_t> cache_collisions;
     /// Method runs skipped by MRE scoring because the truth reference
     /// carried no traffic at all (all-quiet window).
-    std::size_t mre_skipped_runs = 0;
-    double total_seconds = 0.0;        ///< scheduler time across windows
-    double last_window_seconds = 0.0;
+    MetricCell<std::size_t> mre_skipped_runs;
+    MetricCell<double> total_seconds{0.0};  ///< scheduler time across windows
+    MetricCell<double> last_window_seconds{0.0};
+    /// Pre-populated by the engine for every scheduled method; the map
+    /// structure is immutable afterwards (only the atomic fields move).
     std::map<Method, MethodStats> methods;
 
     double cache_hit_rate() const {
-        const std::size_t total = cache_hits + cache_misses;
-        return total > 0 ? static_cast<double>(cache_hits) /
-                               static_cast<double>(total)
-                         : 0.0;
+        const std::size_t h = cache_hits.load();
+        const std::size_t total = h + cache_misses.load();
+        return total > 0
+                   ? static_cast<double>(h) / static_cast<double>(total)
+                   : 0.0;
     }
 
     /// Multi-line human-readable dump.

@@ -1,0 +1,163 @@
+// Pipelined window fan-out: estimation passes for successive sliding
+// windows overlap in time.
+//
+// The serial OnlineEngine finishes every method of window t before it
+// will even look at sample t+1, so one slow QP stalls the whole
+// stream.  The PipelinedEngine instead snapshots each closed window
+// into an immutable WindowContext and dispatches it as a pipeline
+// stage: window t+1's cheap methods (gravity, Kruithof, Bayesian) run
+// while window t's fanout QP is still solving.  Three rules keep this
+// exactly equivalent (to the bit) to the serial engine:
+//
+//   * per-method lineages — each method's windows execute strictly in
+//     window order on a private FIFO, so warm-start state flows
+//     window -> next window exactly as in the serial scheduler, and an
+//     out-of-order completion of one method can never seed another
+//     window's solve with a stale estimate;
+//   * warm generation tags — every routing-epoch rebind bumps a
+//     generation counter and lineage warm state is tagged with it, so
+//     a window after a reroute always cold-starts (the serial engine's
+//     reset_warm_state), even when in-flight windows of the old epoch
+//     are still completing;
+//   * bounded depth — at most `depth` windows are in flight; submit()
+//     blocks (backpressure) instead of queueing without limit.  Depth 1
+//     degenerates to fully serial execution, and a zero-thread pool
+//     runs everything inline, which is the deterministic single-thread
+//     fallback the tests pin against the serial engine.
+//
+// The routing epoch is pinned (shared_ptr) by every in-flight window,
+// so epoch-cache evictions — including those triggered by *other*
+// engines sharing the cache in a fleet — can never destroy derived
+// data a stage is still reading.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "engine/engine.hpp"
+
+namespace tme::engine {
+
+struct PipelineOptions {
+    /// Maximum windows in flight (>= 1).  1 reproduces serial order;
+    /// small depths (2-4) already hide the expensive series methods
+    /// behind the next windows' cheap ones.
+    std::size_t depth = 2;
+};
+
+class PipelinedEngine {
+  public:
+    /// `topo` and `routing` must outlive the engine.  `shared_cache` as
+    /// in OnlineEngine (fleet engines share derived data per epoch).
+    /// config.threads sizes the pipeline's worker pool; 0 runs every
+    /// stage inline inside submit() (serial fallback).
+    PipelinedEngine(const topology::Topology& topo,
+                    const linalg::SparseMatrix& routing,
+                    EngineConfig config, PipelineOptions pipeline = {},
+                    std::shared_ptr<RoutingEpochCache> shared_cache =
+                        nullptr);
+
+    /// Drains all in-flight windows before destruction.
+    ~PipelinedEngine();
+
+    PipelinedEngine(const PipelinedEngine&) = delete;
+    PipelinedEngine& operator=(const PipelinedEngine&) = delete;
+
+    /// As OnlineEngine::set_routing: takes effect for subsequent
+    /// submits; the flush happens on the next submit if the content
+    /// fingerprint changed.  Swapping to a different matrix object
+    /// drains the in-flight windows first (they alias the current
+    /// object, which the caller may free once this returns); routing
+    /// changes are rare enough that the barrier is negligible.
+    void set_routing(const linalg::SparseMatrix& routing);
+    const linalg::SparseMatrix& routing() const { return *routing_; }
+
+    /// Attaches the ground-truth provider (scored refs are captured at
+    /// submit time).  Must not be called while windows are in flight.
+    void set_truth(TruthProvider truth) { truth_ = std::move(truth); }
+    const TruthProvider& truth() const { return truth_; }
+
+    /// Ingests one sample and dispatches the updated window's
+    /// estimation pass into the pipeline.  Blocks while `depth` windows
+    /// are already in flight (backpressure).  Sample indices must be
+    /// strictly increasing within a routing epoch.
+    void submit(std::size_t sample, linalg::Vector loads, bool gap = false);
+
+    /// Blocks until every submitted window has completed; returns their
+    /// results in submission order and clears the internal buffer (the
+    /// engine is reusable afterwards).  Rethrows the first estimator
+    /// exception, if any stage failed.
+    std::vector<WindowResult> finish();
+
+    /// Live metrics (atomic counters; safe to read concurrently).
+    /// windows_run lags samples_ingested by the windows in flight;
+    /// total_seconds sums overlapping window walls, so it can exceed
+    /// the stream's wall time.
+    const EngineMetrics& metrics() const { return metrics_; }
+    const SlidingWindow& window() const { return window_; }
+    const std::shared_ptr<RoutingEpochCache>& cache() const {
+        return cache_;
+    }
+
+    std::size_t depth() const { return depth_; }
+    /// High-water mark of windows simultaneously in flight (<= depth).
+    std::size_t max_in_flight() const;
+
+  private:
+    struct WindowJob;
+    struct Lineage;
+
+    void enqueue_stage(Lineage& lineage, std::shared_ptr<WindowJob> job,
+                       std::size_t method_index);
+    void drain_lineage(Lineage& lineage);
+    void run_stage(Lineage& lineage, WindowJob& job,
+                   std::size_t method_index);
+    void finalize(WindowJob& job);
+    Lineage& lineage(Method m);
+
+    const topology::Topology* topo_;
+    const linalg::SparseMatrix* routing_;
+    EngineConfig config_;
+    std::size_t depth_;
+    std::shared_ptr<RoutingEpochCache> cache_;
+    std::shared_ptr<const RoutingEpoch> epoch_;
+    SlidingWindow window_;
+    EngineMetrics metrics_;
+    TruthProvider truth_;
+
+    std::uint64_t window_epoch_ = 0;         ///< bound fingerprint
+    std::uint64_t window_epoch_serial_ = 0;  ///< cache-unique identity
+    /// Bound epoch's routing structure (see OnlineEngine: recognizes a
+    /// shared cache's eviction-rebuild of identical content).
+    std::size_t window_epoch_rows_ = 0;
+    std::size_t window_epoch_cols_ = 0;
+    std::size_t window_epoch_nnz_ = 0;
+    bool epoch_bound_ = false;
+    /// Bumped on every epoch rebind; lineage warm state carrying an
+    /// older generation is never used as a seed.
+    std::uint64_t generation_ = 0;
+    std::size_t next_ordinal_ = 0;
+
+    std::unique_ptr<Lineage[]> lineages_;  // indexed by Method
+
+    mutable std::mutex state_mutex_;
+    std::condition_variable state_cv_;
+    std::size_t in_flight_ = 0;
+    std::size_t submitted_ = 0;
+    std::size_t completed_ = 0;
+    std::size_t max_in_flight_ = 0;
+    std::deque<std::shared_ptr<WindowJob>> jobs_;  // submission order
+    std::exception_ptr first_error_;
+
+    /// Declared last on purpose: the pool is destroyed FIRST, joining
+    /// every worker (a drainer's final empty-check included) while the
+    /// lineages and state mutex above are still alive.
+    ThreadPool pool_;
+};
+
+}  // namespace tme::engine

@@ -2,12 +2,24 @@
 // day of 5-minute samples into an OnlineEngine in time order, applying
 // injected route changes and scoring every window against the
 // scenario's ground-truth demands.
+//
+// Three drive modes share one result shape:
+//   * replay_scenario(OnlineEngine&, ...)    — synchronous, serial;
+//   * replay_scenario_async(OnlineEngine&, ...) — a producer thread
+//     generates the samples and pushes them through a bounded
+//     IngestQueue while the calling thread consumes and estimates;
+//     identical results, but sample generation no longer blocks on the
+//     solvers (and backpressure bounds the decoupling buffer);
+//   * replay_scenario(PipelinedEngine&, ...) — pipelined window
+//     fan-out: successive windows' estimation passes overlap.
 #pragma once
 
+#include <cstddef>
 #include <map>
 #include <vector>
 
 #include "engine/engine.hpp"
+#include "engine/pipeline.hpp"
 #include "scenario/scenario.hpp"
 
 namespace tme::engine {
@@ -29,6 +41,23 @@ struct ReplayResult {
 /// Replays the scenario through the engine.  The engine must have been
 /// constructed on the scenario's topology and routing matrix.
 ReplayResult replay_scenario(OnlineEngine& engine,
+                             const scenario::Scenario& sc,
+                             const ReplayOptions& options = {});
+
+/// As replay_scenario, but sample production runs on a dedicated
+/// producer thread decoupled from estimation by a bounded IngestQueue
+/// of `queue_capacity` samples.  Route changes travel in-band with the
+/// samples, so the consumer applies them at exactly the same stream
+/// positions as the synchronous replay; results are identical.
+ReplayResult replay_scenario_async(OnlineEngine& engine,
+                                   const scenario::Scenario& sc,
+                                   const ReplayOptions& options = {},
+                                   std::size_t queue_capacity = 16);
+
+/// Replays the scenario through a pipelined engine (overlapping window
+/// passes) and waits for the pipeline to drain.  Warm-start lineage
+/// makes the estimates equivalent to the serial engine's.
+ReplayResult replay_scenario(PipelinedEngine& engine,
                              const scenario::Scenario& sc,
                              const ReplayOptions& options = {});
 

@@ -2,28 +2,212 @@
 
 #include <chrono>
 #include <optional>
-#include <stdexcept>
 #include <utility>
 
 #include "core/gravity.hpp"
+#include "engine/clock.hpp"
 
 namespace tme::engine {
 
-namespace {
-
-using Clock = std::chrono::steady_clock;
-
-double seconds_since(Clock::time_point start) {
-    return std::chrono::duration<double>(Clock::now() - start).count();
-}
-
-}  // namespace
+using Clock = SteadyClock;
 
 const MethodRun* WindowResult::find(Method method) const {
     for (const MethodRun& run : runs) {
         if (run.method == method) return &run;
     }
     return nullptr;
+}
+
+std::string SchedulerConfigCheck::message() const {
+    switch (error) {
+        case SchedulerConfigError::none:
+            return "ok";
+        case SchedulerConfigError::no_methods:
+            return "no methods scheduled";
+        case SchedulerConfigError::duplicate_method:
+            return std::string("duplicate method '") +
+                   method_name(offender) + "'";
+    }
+    return "?";
+}
+
+SchedulerConfigCheck EstimatorScheduler::validate_methods(
+    const std::vector<Method>& methods) {
+    SchedulerConfigCheck check;
+    if (methods.empty()) {
+        check.error = SchedulerConfigError::no_methods;
+        return check;
+    }
+    // Uniqueness is load-bearing, not just hygiene: each method owns
+    // one warm-start slot (and, on the pipeline, one lineage), so two
+    // runs of the same method per window would race.
+    std::vector<bool> seen(method_count, false);
+    for (Method m : methods) {
+        std::vector<bool>::reference slot_seen =
+            seen[static_cast<std::size_t>(m)];
+        if (slot_seen) {
+            check.error = SchedulerConfigError::duplicate_method;
+            check.offender = m;
+            return check;
+        }
+        slot_seen = true;
+    }
+    return check;
+}
+
+WindowContext WindowContext::capture(
+    const SlidingWindow& window, std::shared_ptr<const RoutingEpoch> epoch,
+    const std::vector<Method>& methods, std::size_t min_series_window,
+    std::size_t ordinal) {
+    if (window.empty()) {
+        throw std::logic_error("WindowContext::capture: empty window");
+    }
+    WindowContext ctx;
+    ctx.ordinal = ordinal;
+    ctx.window_start_sample = window.first_sample();
+    ctx.window_end_sample = window.last_sample();
+    ctx.window_size = window.size();
+    ctx.epoch = std::move(epoch);
+    ctx.run_series = window.size() >= std::max<std::size_t>(
+                                          min_series_window, 1);
+
+    ctx.series = window.series();  // copies the loads; topo/routing alias
+    ctx.latest.topo = ctx.series.topo;
+    ctx.latest.routing = ctx.series.routing;
+    ctx.latest.loads = window.latest();
+
+    bool need_prior = false;
+    bool need_vardi = false;
+    bool need_fanout = false;
+    for (Method m : methods) {
+        if (m == Method::gravity || m == Method::kruithof ||
+            m == Method::entropy || m == Method::bayesian) {
+            need_prior = true;
+        }
+        if (m == Method::vardi && ctx.run_series) need_vardi = true;
+        if (m == Method::fanout && ctx.run_series) need_fanout = true;
+    }
+
+    // Gravity prior, shared by Kruithof / entropy / Bayesian.
+    if (need_prior) {
+        const Clock::time_point prior_start = Clock::now();
+        ctx.prior = core::gravity_estimate(ctx.latest);
+        ctx.prior_seconds = seconds_since(prior_start);
+    }
+
+    // Window aggregates, materialized once per window from the ring
+    // buffer's incrementally-maintained sums.
+    if (need_vardi || need_fanout) ctx.mean_loads = window.mean_loads();
+    if (need_vardi) ctx.covariance = window.covariance();
+    if (need_fanout) {
+        ctx.source_outer = window.source_outer();
+        ctx.weighted_rhs = window.weighted_rhs();
+    }
+    return ctx;
+}
+
+MethodExecution execute_method(Method m, const WindowContext& ctx,
+                               const MethodOptions& options,
+                               const linalg::Vector* warm_seed,
+                               bool collect_warm) {
+    const Clock::time_point start = Clock::now();
+    MethodExecution out;
+    MethodRun& run = out.run;
+    run.method = m;
+    switch (m) {
+        case Method::gravity: {
+            run.estimate = ctx.prior;
+            run.seconds = ctx.prior_seconds;
+            return out;  // prior timing, not this call's
+        }
+        case Method::kruithof: {
+            run.estimate =
+                core::kruithof_general(ctx.latest, ctx.prior,
+                                       options.kruithof)
+                    .s;
+            break;
+        }
+        case Method::entropy: {
+            core::EntropyOptions opts = options.entropy;
+            if (warm_seed != nullptr) {
+                opts.solver.initial = warm_seed;
+                run.warm_started = true;
+                run.warm_accepted = true;
+            }
+            run.estimate =
+                core::entropy_estimate(ctx.latest, ctx.prior, opts);
+            if (collect_warm) {
+                out.warm_next = run.estimate;
+                out.warm_next_valid = true;
+            }
+            break;
+        }
+        case Method::bayesian: {
+            core::BayesianOptions opts = options.bayesian;
+            opts.shared_gram = &ctx.epoch->gram();
+            if (warm_seed != nullptr) {
+                opts.warm_start = warm_seed;
+                run.warm_started = true;
+                run.warm_accepted = true;
+            }
+            run.estimate =
+                core::bayesian_estimate(ctx.latest, ctx.prior, opts);
+            if (collect_warm) {
+                out.warm_next = run.estimate;
+                out.warm_next_valid = true;
+            }
+            break;
+        }
+        case Method::vardi: {
+            core::VardiOptions opts = options.vardi;
+            // Per-epoch transformed Gram G1 + w*(G1 .* G1), built
+            // lazily on the first Vardi window of the epoch.
+            opts.shared_transformed_gram =
+                &ctx.epoch->vardi_gram(options.vardi.second_moment_weight);
+            opts.mean_loads = &ctx.mean_loads;
+            opts.load_covariance = &ctx.covariance;
+            if (warm_seed != nullptr) {
+                opts.warm_start = warm_seed;
+                run.warm_started = true;
+                run.warm_accepted = true;
+            }
+            run.estimate = core::vardi_estimate(ctx.series, opts).lambda;
+            if (collect_warm) {
+                out.warm_next = run.estimate;
+                out.warm_next_valid = true;
+            }
+            break;
+        }
+        case Method::fanout: {
+            core::FanoutOptions opts = options.fanout;
+            opts.shared_gram = &ctx.epoch->gram();
+            opts.shared_constraints =
+                &ctx.epoch->fanout_constraints(*ctx.series.topo);
+            core::FanoutWindowAggregates aggregates;
+            aggregates.source_outer = &ctx.source_outer;
+            aggregates.weighted_rhs = &ctx.weighted_rhs;
+            aggregates.mean_loads = &ctx.mean_loads;
+            opts.aggregates = aggregates;
+            if (warm_seed != nullptr) {
+                opts.warm_start = warm_seed;
+                run.warm_started = true;
+            }
+            core::FanoutResult fanout =
+                core::fanout_estimate(ctx.series, opts);
+            run.warm_accepted = fanout.warm_accepted;
+            run.estimate = std::move(fanout.mean_demands);
+            // The QP's variable space is the fanout vector, not the
+            // demand estimate: that is what seeds the next window's
+            // active set.
+            if (collect_warm) {
+                out.warm_next = std::move(fanout.fanouts);
+                out.warm_next_valid = true;
+            }
+            break;
+        }
+    }
+    run.seconds = seconds_since(start);
+    return out;
 }
 
 EstimatorScheduler::EstimatorScheduler(std::vector<Method> methods,
@@ -36,178 +220,45 @@ EstimatorScheduler::EstimatorScheduler(std::vector<Method> methods,
       min_series_window_(min_series_window < 1 ? 1 : min_series_window),
       warm_(method_count),
       pool_(threads) {
-    if (methods_.empty()) {
-        throw std::invalid_argument("EstimatorScheduler: no methods");
-    }
-    // Uniqueness is load-bearing, not just hygiene: each method owns
-    // one warm-start slot, and the fanout task writes its slot from
-    // inside the pool — two tasks for the same method would race.
-    std::vector<bool> seen(method_count, false);
-    for (Method m : methods_) {
-        std::vector<bool>::reference slot_seen =
-            seen[static_cast<std::size_t>(m)];
-        if (slot_seen) {
-            throw std::invalid_argument(
-                "EstimatorScheduler: duplicate method");
-        }
-        slot_seen = true;
-    }
+    const SchedulerConfigCheck check = validate_methods(methods_);
+    if (!check) throw SchedulerConfigException(check);
 }
 
 void EstimatorScheduler::reset_warm_state() {
     for (WarmSlot& s : warm_) s.valid = false;
 }
 
-WindowResult EstimatorScheduler::run(const SlidingWindow& window,
-                                     const RoutingEpoch& epoch) {
+WindowResult EstimatorScheduler::run(
+    const SlidingWindow& window,
+    std::shared_ptr<const RoutingEpoch> epoch) {
     if (window.empty()) {
         throw std::logic_error("EstimatorScheduler::run: empty window");
     }
     const Clock::time_point pass_start = Clock::now();
 
-    const core::SeriesProblem& series = window.series();
-    core::SnapshotProblem latest;
-    latest.topo = series.topo;
-    latest.routing = series.routing;
-    latest.loads = window.latest();
+    const WindowContext ctx =
+        WindowContext::capture(window, std::move(epoch), methods_,
+                               min_series_window_, next_ordinal_++);
 
-    const bool run_series = window.size() >= min_series_window_;
-    bool need_prior = false;
-    bool need_vardi = false;
-    bool need_fanout = false;
-    for (Method m : methods_) {
-        if (m == Method::gravity || m == Method::kruithof ||
-            m == Method::entropy || m == Method::bayesian) {
-            need_prior = true;
-        }
-        if (m == Method::vardi && run_series) need_vardi = true;
-        if (m == Method::fanout && run_series) need_fanout = true;
-    }
-
-    // Gravity prior, shared by Kruithof / entropy / Bayesian.
-    const Clock::time_point prior_start = Clock::now();
-    const linalg::Vector prior =
-        need_prior ? core::gravity_estimate(latest) : linalg::Vector();
-    const double prior_seconds = seconds_since(prior_start);
-
-    // Window aggregates, materialized once per window from the ring
-    // buffer's incrementally-maintained sums.
-    linalg::Vector mean_loads;
-    linalg::Matrix covariance;
-    core::FanoutWindowAggregates aggregates;
-    if (need_vardi || need_fanout) mean_loads = window.mean_loads();
-    if (need_vardi) covariance = window.covariance();
-    if (need_fanout) {
-        aggregates.source_outer = &window.source_outer();
-        aggregates.weighted_rhs = &window.weighted_rhs();
-        aggregates.mean_loads = &mean_loads;
-    }
-
-    std::vector<std::optional<MethodRun>> slots(methods_.size());
+    std::vector<std::optional<MethodExecution>> slots(methods_.size());
     std::vector<std::exception_ptr> errors(methods_.size());
     std::vector<std::function<void()>> tasks;
 
     for (std::size_t i = 0; i < methods_.size(); ++i) {
         const Method m = methods_[i];
-        if (is_series_method(m) && !run_series) continue;
+        if (is_series_method(m) && !ctx.run_series) continue;
         if (m == Method::gravity) {
-            MethodRun run;
-            run.method = m;
-            run.estimate = prior;
-            run.seconds = prior_seconds;
-            slots[i] = std::move(run);
+            // The prior was already computed in capture(); no task.
+            slots[i] = execute_method(m, ctx, options_, nullptr);
             continue;
         }
-        tasks.push_back([this, i, m, &latest, &series, &epoch, &prior,
-                         &mean_loads, &covariance, &aggregates, &slots,
-                         &errors] {
+        tasks.push_back([this, i, m, &ctx, &slots, &errors] {
             try {
-                const Clock::time_point start = Clock::now();
-                MethodRun run;
-                run.method = m;
                 const WarmSlot& warm = slot(m);
-                const bool use_warm = warm_start_ && warm.valid;
-                switch (m) {
-                    case Method::kruithof: {
-                        run.estimate =
-                            core::kruithof_general(latest, prior,
-                                                   options_.kruithof)
-                                .s;
-                        break;
-                    }
-                    case Method::entropy: {
-                        core::EntropyOptions opts = options_.entropy;
-                        if (use_warm) {
-                            opts.solver.initial = &warm.estimate;
-                            run.warm_started = true;
-                            run.warm_accepted = true;
-                        }
-                        run.estimate =
-                            core::entropy_estimate(latest, prior, opts);
-                        break;
-                    }
-                    case Method::bayesian: {
-                        core::BayesianOptions opts = options_.bayesian;
-                        opts.shared_gram = &epoch.gram();
-                        if (use_warm) {
-                            opts.warm_start = &warm.estimate;
-                            run.warm_started = true;
-                            run.warm_accepted = true;
-                        }
-                        run.estimate =
-                            core::bayesian_estimate(latest, prior, opts);
-                        break;
-                    }
-                    case Method::vardi: {
-                        core::VardiOptions opts = options_.vardi;
-                        // Per-epoch transformed Gram G1 + w*(G1 .* G1),
-                        // built lazily on the first Vardi window of the
-                        // epoch.
-                        opts.shared_transformed_gram = &epoch.vardi_gram(
-                            options_.vardi.second_moment_weight);
-                        opts.mean_loads = &mean_loads;
-                        opts.load_covariance = &covariance;
-                        if (use_warm) {
-                            opts.warm_start = &warm.estimate;
-                            run.warm_started = true;
-                            run.warm_accepted = true;
-                        }
-                        run.estimate =
-                            core::vardi_estimate(series, opts).lambda;
-                        break;
-                    }
-                    case Method::fanout: {
-                        core::FanoutOptions opts = options_.fanout;
-                        opts.shared_gram = &epoch.gram();
-                        opts.shared_constraints =
-                            &epoch.fanout_constraints(*series.topo);
-                        opts.aggregates = aggregates;
-                        if (use_warm) {
-                            opts.warm_start = &warm.estimate;
-                            run.warm_started = true;
-                        }
-                        core::FanoutResult fanout =
-                            core::fanout_estimate(series, opts);
-                        run.warm_accepted = fanout.warm_accepted;
-                        run.estimate = std::move(fanout.mean_demands);
-                        // The QP's variable space is the fanout vector,
-                        // not the demand estimate: thread it into the
-                        // next window's active-set seed here.  Safe
-                        // without locking — each method owns its slot
-                        // and the scheduler joins the pool before
-                        // reading any of them.
-                        if (warm_start_) {
-                            WarmSlot& s = slot(m);
-                            s.estimate = std::move(fanout.fanouts);
-                            s.valid = true;
-                        }
-                        break;
-                    }
-                    case Method::gravity:
-                        break;  // handled inline above
-                }
-                run.seconds = seconds_since(start);
-                slots[i] = std::move(run);
+                const linalg::Vector* seed =
+                    warm_start_ && warm.valid ? &warm.estimate : nullptr;
+                slots[i] =
+                    execute_method(m, ctx, options_, seed, warm_start_);
             } catch (...) {
                 errors[i] = std::current_exception();
             }
@@ -220,24 +271,21 @@ WindowResult EstimatorScheduler::run(const SlidingWindow& window,
     }
 
     WindowResult result;
-    result.window_start_sample = window.first_sample();
-    result.window_end_sample = window.last_sample();
-    result.window_size = window.size();
-    result.epoch_fingerprint = epoch.fingerprint();
-    for (std::optional<MethodRun>& maybe : slots) {
+    result.window_start_sample = ctx.window_start_sample;
+    result.window_end_sample = ctx.window_end_sample;
+    result.window_size = ctx.window_size;
+    result.epoch_fingerprint = ctx.epoch->fingerprint();
+    for (std::optional<MethodExecution>& maybe : slots) {
         if (!maybe.has_value()) continue;
-        // Thread the solution into the next window's warm start for the
-        // methods whose optimum is start-point independent (fanout
-        // threads its own QP-space state inside the task above).
-        const Method m = maybe->method;
-        if (warm_start_ &&
-            (m == Method::entropy || m == Method::bayesian ||
-             m == Method::vardi)) {
-            WarmSlot& s = slot(m);
-            s.estimate = maybe->estimate;
+        // Thread the solution into the next window's warm start.  Safe
+        // here without locking: the pool batch has been joined, so no
+        // task can still touch the slots.
+        if (warm_start_ && maybe->warm_next_valid) {
+            WarmSlot& s = slot(maybe->run.method);
+            s.estimate = std::move(maybe->warm_next);
             s.valid = true;
         }
-        result.runs.push_back(std::move(*maybe));
+        result.runs.push_back(std::move(maybe->run));
     }
     result.seconds = seconds_since(pass_start);
     return result;

@@ -10,11 +10,24 @@
 // far fewer iterations when consecutive windows are similar.  The
 // gravity prior is computed once per window and shared by Kruithof,
 // entropy and Bayesian, exactly as in the paper's evaluation.
+//
+// The per-window estimation pass is split into two reusable pieces so
+// the serial scheduler and the window pipeline share one code path
+// (which is what makes their estimates bitwise identical):
+//   * WindowContext::capture() snapshots everything a pass consumes —
+//     an owning copy of the window loads, the materialized incremental
+//     aggregates, the pinned routing epoch, and the gravity prior;
+//   * execute_method() runs one method over a captured context with an
+//     optional warm-start seed and returns the run plus the state that
+//     seeds the method's next window.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
 #include <limits>
+#include <memory>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "core/bayesian.hpp"
@@ -70,23 +83,125 @@ struct WindowResult {
     const MethodRun* find(Method method) const;
 };
 
+/// Typed scheduler configuration diagnosis.  validate_methods() lets
+/// callers reject a bad method list up front without catching an
+/// exception mid-stream; the scheduler constructor throws the same
+/// diagnosis wrapped in SchedulerConfigException (which still derives
+/// std::invalid_argument for callers that only care that construction
+/// failed).
+enum class SchedulerConfigError {
+    none,
+    no_methods,        ///< the method list is empty
+    duplicate_method,  ///< a method appears more than once (see offender)
+};
+
+struct SchedulerConfigCheck {
+    SchedulerConfigError error = SchedulerConfigError::none;
+    /// The duplicated method when error == duplicate_method.
+    Method offender = Method::gravity;
+
+    bool ok() const { return error == SchedulerConfigError::none; }
+    explicit operator bool() const { return ok(); }
+    std::string message() const;
+};
+
+class SchedulerConfigException : public std::invalid_argument {
+  public:
+    explicit SchedulerConfigException(SchedulerConfigCheck check)
+        : std::invalid_argument("EstimatorScheduler: " + check.message()),
+          check_(check) {}
+    const SchedulerConfigCheck& check() const { return check_; }
+
+  private:
+    SchedulerConfigCheck check_;
+};
+
+/// Immutable snapshot of everything one window's estimation pass
+/// consumes.  The snapshot owns copies of the window loads and the
+/// materialized incremental aggregates, and pins the routing epoch, so
+/// the live window may keep sliding (and the epoch cache evicting)
+/// while the pass is still in flight on a pipeline.
+struct WindowContext {
+    /// Monotone window index within the engine (pipeline lineage
+    /// position; purely informational for the serial scheduler).
+    std::size_t ordinal = 0;
+    std::size_t window_start_sample = 0;
+    std::size_t window_end_sample = 0;
+    std::size_t window_size = 0;
+    /// Whether series methods (Vardi, fanout) run for this window.
+    bool run_series = false;
+    std::shared_ptr<const RoutingEpoch> epoch;
+    core::SeriesProblem series;       ///< owned copy of the window loads
+    core::SnapshotProblem latest;     ///< newest sample
+    linalg::Vector prior;             ///< gravity prior (empty if unused)
+    double prior_seconds = 0.0;
+    linalg::Vector mean_loads;
+    linalg::Matrix covariance;        ///< Vardi only
+    linalg::Matrix source_outer;      ///< fanout only
+    linalg::Vector weighted_rhs;      ///< fanout only
+
+    /// Materializes the snapshot for `methods`: only the aggregates a
+    /// scheduled method actually consumes are copied/computed, and the
+    /// gravity prior is evaluated here (shared by Kruithof / entropy /
+    /// Bayesian).  `ordinal` tags the window's lineage position.
+    static WindowContext capture(const SlidingWindow& window,
+                                 std::shared_ptr<const RoutingEpoch> epoch,
+                                 const std::vector<Method>& methods,
+                                 std::size_t min_series_window,
+                                 std::size_t ordinal);
+};
+
+/// One method's execution result plus the warm-start state that seeds
+/// the SAME method's next window (lineage order): the demand estimate
+/// for entropy/Bayesian/Vardi, the fanout vector (QP primal) for the
+/// fanout method, nothing for gravity/Kruithof.
+struct MethodExecution {
+    MethodRun run;
+    linalg::Vector warm_next;
+    bool warm_next_valid = false;
+};
+
+/// Runs one method over a captured window.  `warm_seed` is the
+/// previous window's state for this method (nullptr = cold start); it
+/// must stay alive for the duration of the call.  `collect_warm`
+/// skips materializing warm_next when the caller will not thread it
+/// forward (warm starts disabled) — it costs a pairs-length copy per
+/// run.  Pure apart from lazy derived-data builds on the pinned epoch
+/// (which are thread-safe), so any thread may execute any method —
+/// correctness of warm seeding is the caller's ordering
+/// responsibility.
+MethodExecution execute_method(Method m, const WindowContext& ctx,
+                               const MethodOptions& options,
+                               const linalg::Vector* warm_seed,
+                               bool collect_warm = true);
+
 class EstimatorScheduler {
   public:
     EstimatorScheduler(std::vector<Method> methods, MethodOptions options,
                        std::size_t threads, bool warm_start,
                        std::size_t min_series_window);
 
+    /// Non-throwing configuration check (typed error instead of an
+    /// exception): empty list and duplicate methods are rejected.
+    /// Duplicates matter because each method owns one warm-start slot —
+    /// two runs of the same method per window would race on it.
+    static SchedulerConfigCheck validate_methods(
+        const std::vector<Method>& methods);
+
     /// Runs every scheduled method over the window.  Series methods are
     /// skipped while the window holds fewer than min_series_window
     /// samples.  Throws if an estimator throws.
-    WindowResult run(const SlidingWindow& window, const RoutingEpoch& epoch);
+    WindowResult run(const SlidingWindow& window,
+                     std::shared_ptr<const RoutingEpoch> epoch);
 
     /// Drops all warm-start state (routing-epoch change: the previous
     /// window's estimates are no longer valid starting points).
     void reset_warm_state();
 
     const std::vector<Method>& methods() const { return methods_; }
+    const MethodOptions& options() const { return options_; }
     bool warm_start_enabled() const { return warm_start_; }
+    std::size_t min_series_window() const { return min_series_window_; }
 
   private:
     struct WarmSlot {
@@ -102,6 +217,7 @@ class EstimatorScheduler {
     MethodOptions options_;
     bool warm_start_;
     std::size_t min_series_window_;
+    std::size_t next_ordinal_ = 0;
     std::vector<WarmSlot> warm_;
     ThreadPool pool_;
 };

@@ -1,10 +1,17 @@
-// Minimal fixed-size thread pool for the estimator scheduler.
+// Minimal fixed-size thread pool for the estimator scheduler and the
+// window pipeline.
 //
-// One engine window fans its per-method estimation tasks out as a batch
-// and waits for completion; batches never overlap, so the pool only
-// needs a shared queue and a pending counter.  Constructed with zero
-// threads it degrades to inline execution, which keeps single-threaded
-// runs deterministic and trivially debuggable.
+// Two usage patterns share one queue and pending counter:
+//   * run_batch(): one engine window fans its per-method estimation
+//     tasks out as a batch and waits for completion (the serial
+//     scheduler; batches never overlap within one engine);
+//   * submit(): the window pipeline enqueues free-running tasks and
+//     tracks completion itself, never waiting on the pool.
+// run_batch() waits for the pool to go globally idle, so it must not be
+// mixed with concurrent submit() traffic on the same pool — the
+// pipeline therefore owns its pool exclusively.  Constructed with zero
+// threads the pool degrades to inline execution, which keeps
+// single-threaded runs deterministic and trivially debuggable.
 #pragma once
 
 #include <condition_variable>
@@ -53,6 +60,30 @@ class ThreadPool {
             pending_ += tasks.size();
         }
         work_cv_.notify_all();
+        std::unique_lock<std::mutex> lock(mutex_);
+        done_cv_.wait(lock, [this] { return pending_ == 0; });
+    }
+
+    /// Enqueues one task and returns immediately (inline execution with
+    /// zero workers).  The caller tracks completion itself; tasks must
+    /// not throw.
+    void submit(std::function<void()> task) {
+        if (workers_.empty()) {
+            task();
+            return;
+        }
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            queue_.push(std::move(task));
+            ++pending_;
+        }
+        work_cv_.notify_one();
+    }
+
+    /// Blocks until every enqueued task has finished (pool globally
+    /// idle).  Only meaningful when no other thread keeps submitting.
+    void wait_idle() {
+        if (workers_.empty()) return;
         std::unique_lock<std::mutex> lock(mutex_);
         done_cv_.wait(lock, [this] { return pending_ == 0; });
     }

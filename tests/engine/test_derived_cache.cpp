@@ -35,10 +35,13 @@ TEST(RoutingEpochDerived, VardiGramLazyBuildAndReuse) {
     // Second call with the same weight is a cache hit...
     epoch.vardi_gram(w);
     EXPECT_EQ(epoch.derived_builds(), 1u);
-    // ...a different weight rebuilds in place.
+    // ...a different weight builds its own cached matrix, leaving the
+    // first weight's (and any outstanding references to it) intact.
     const linalg::Matrix& other = epoch.vardi_gram(1.0);
     EXPECT_EQ(epoch.derived_builds(), 2u);
     EXPECT_EQ(other(0, 0), g1(0, 0) + g1(0, 0) * g1(0, 0));
+    EXPECT_EQ(&epoch.vardi_gram(w), &transformed);
+    EXPECT_EQ(epoch.derived_builds(), 2u);  // both weights stay cached
 }
 
 TEST(RoutingEpochDerived, FanoutConstraintsLazyBuild) {

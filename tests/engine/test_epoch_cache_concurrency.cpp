@@ -1,0 +1,166 @@
+// Epoch cache under concurrent access: N threads racing on a cold
+// epoch build each derived quantity exactly once (and observe the same
+// object), concurrent acquires of one routing build one epoch, and a
+// pinned epoch survives eviction by other engines.
+#include <gtest/gtest.h>
+
+#include <barrier>
+#include <thread>
+#include <vector>
+
+#include "core/route_change.hpp"
+#include "core/test_helpers.hpp"
+#include "engine/epoch_cache.hpp"
+
+namespace tme::engine {
+namespace {
+
+using core::testing::SmallNetwork;
+using core::testing::tiny_network;
+
+constexpr std::size_t kThreads = 8;
+
+TEST(RoutingEpochConcurrency, ColdDerivedDataBuildsExactlyOnce) {
+    const SmallNetwork net = tiny_network();
+    RoutingEpochCache cache(2);
+    const std::shared_ptr<const RoutingEpoch> epoch =
+        cache.acquire_shared(net.routing);
+    ASSERT_EQ(epoch->derived_builds(), 0u);
+
+    const std::vector<std::size_t> unknown = {0, 2};
+    constexpr double kWeight = 0.5;
+    constexpr double kTau = 1e-3;
+
+    std::vector<const linalg::Matrix*> vardi_ptrs(kThreads);
+    std::vector<const core::FanoutConstraints*> fanout_ptrs(kThreads);
+    std::vector<std::shared_ptr<const core::ReducedFactor>> reduced(
+        kThreads);
+    std::barrier sync(kThreads);
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (std::size_t t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t] {
+            sync.arrive_and_wait();  // maximize the cold-build race
+            vardi_ptrs[t] = &epoch->vardi_gram(kWeight);
+            fanout_ptrs[t] = &epoch->fanout_constraints(net.topo);
+            reduced[t] = epoch->reduced_factor(unknown, kTau);
+        });
+    }
+    for (std::thread& t : threads) t.join();
+
+    // Exactly one build per derived quantity, however the race went.
+    EXPECT_EQ(epoch->derived_builds(), 3u);
+    // Every thread observed the same objects.
+    for (std::size_t t = 1; t < kThreads; ++t) {
+        EXPECT_EQ(vardi_ptrs[t], vardi_ptrs[0]);
+        EXPECT_EQ(fanout_ptrs[t], fanout_ptrs[0]);
+        EXPECT_EQ(reduced[t].get(), reduced[0].get());
+    }
+    // The race never misfired into the collision path.
+    EXPECT_EQ(cache.collisions(), 0u);
+
+    // The built data is correct, not just unique: spot-check Vardi's
+    // transform against the eager Gram.
+    const linalg::Matrix& gram = epoch->gram();
+    const linalg::Matrix& vardi = *vardi_ptrs[0];
+    for (std::size_t p = 0; p < gram.rows(); ++p) {
+        for (std::size_t q = 0; q < gram.cols(); ++q) {
+            const double g1 = gram(p, q);
+            EXPECT_DOUBLE_EQ(vardi(p, q), g1 + kWeight * g1 * g1);
+        }
+    }
+}
+
+TEST(RoutingEpochConcurrency, DistinctVardiWeightsCoexistSafely) {
+    // Regression: fleet jobs may configure different Vardi weights on
+    // one shared epoch.  Each weight builds its own cached matrix and
+    // earlier references stay valid (no rebuild-in-place).
+    const SmallNetwork net = tiny_network();
+    RoutingEpochCache cache(2);
+    const std::shared_ptr<const RoutingEpoch> epoch =
+        cache.acquire_shared(net.routing);
+
+    const linalg::Matrix& light = epoch->vardi_gram(0.25);
+    const double light_00 = light(0, 0);
+    std::vector<const linalg::Matrix*> heavy_ptrs(kThreads);
+    std::barrier sync(kThreads);
+    std::vector<std::thread> threads;
+    for (std::size_t t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t] {
+            sync.arrive_and_wait();
+            // Half the threads race on a NEW weight while the other
+            // half keep reading the existing one.
+            if (t % 2 == 0) {
+                heavy_ptrs[t] = &epoch->vardi_gram(2.0);
+            } else {
+                heavy_ptrs[t] = &epoch->vardi_gram(0.25);
+            }
+        });
+    }
+    for (std::thread& t : threads) t.join();
+
+    // Two weights -> exactly two builds, and the first weight's matrix
+    // was neither moved nor overwritten.
+    EXPECT_EQ(epoch->derived_builds(), 2u);
+    EXPECT_EQ(&epoch->vardi_gram(0.25), &light);
+    EXPECT_EQ(light(0, 0), light_00);
+    for (std::size_t t = 0; t < kThreads; ++t) {
+        EXPECT_EQ(heavy_ptrs[t],
+                  t % 2 == 0 ? &epoch->vardi_gram(2.0) : &light);
+    }
+    const double g00 = epoch->gram()(0, 0);
+    EXPECT_DOUBLE_EQ(epoch->vardi_gram(2.0)(0, 0), g00 + 2.0 * g00 * g00);
+    EXPECT_DOUBLE_EQ(light(0, 0), g00 + 0.25 * g00 * g00);
+}
+
+TEST(RoutingEpochCacheConcurrency, ConcurrentAcquiresBuildOneEpoch) {
+    const SmallNetwork net = tiny_network();
+    RoutingEpochCache cache(2);
+    std::vector<std::shared_ptr<const RoutingEpoch>> epochs(kThreads);
+    std::barrier sync(kThreads);
+    std::vector<std::thread> threads;
+    for (std::size_t t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t] {
+            sync.arrive_and_wait();
+            epochs[t] = cache.acquire_shared(net.routing);
+        });
+    }
+    for (std::thread& t : threads) t.join();
+    EXPECT_EQ(cache.misses(), 1u);
+    EXPECT_EQ(cache.hits(), kThreads - 1);
+    for (std::size_t t = 1; t < kThreads; ++t) {
+        EXPECT_EQ(epochs[t].get(), epochs[0].get());
+    }
+}
+
+TEST(RoutingEpochCacheConcurrency, PinnedEpochSurvivesEviction) {
+    const SmallNetwork net = tiny_network();
+    RoutingEpochCache cache(1);
+    const std::shared_ptr<const RoutingEpoch> pinned =
+        cache.acquire_shared(net.routing);
+    const std::uint64_t serial = pinned->serial();
+
+    // Another engine's routing churn evicts the entry from the LRU...
+    const linalg::SparseMatrix r2 = core::perturbed_routing(net.topo, 0.9, 1);
+    const linalg::SparseMatrix r3 = core::perturbed_routing(net.topo, 0.9, 2);
+    cache.acquire_shared(r2);
+    cache.acquire_shared(r3);
+    EXPECT_EQ(cache.evictions(), 2u);
+    EXPECT_EQ(cache.size(), 1u);
+
+    // ...but the pinned epoch (an in-flight pipeline window, say) is
+    // still fully usable, derived data included.
+    EXPECT_EQ(pinned->serial(), serial);
+    EXPECT_EQ(linalg::max_abs_diff(pinned->gram(), net.routing.gram()),
+              0.0);
+    EXPECT_GT(pinned->vardi_gram(1.0).rows(), 0u);
+
+    // Re-acquiring the original routing rebuilds a NEW epoch (distinct
+    // serial): eviction really dropped it from the cache.
+    const std::shared_ptr<const RoutingEpoch> rebuilt =
+        cache.acquire_shared(net.routing);
+    EXPECT_NE(rebuilt->serial(), serial);
+}
+
+}  // namespace
+}  // namespace tme::engine

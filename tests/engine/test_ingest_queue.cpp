@@ -1,0 +1,96 @@
+// Bounded ingestion queue: FIFO order, close-then-drain semantics,
+// and backpressure (the producer blocks instead of the queue growing).
+#include "engine/ingest_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+namespace tme::engine {
+namespace {
+
+IngestItem item_for(std::size_t sample) {
+    IngestItem item;
+    item.sample = sample;
+    item.loads = linalg::Vector{static_cast<double>(sample)};
+    return item;
+}
+
+TEST(IngestQueue, FifoOrderAndCloseDrainsRemainingItems) {
+    IngestQueue queue(8);
+    for (std::size_t k = 0; k < 5; ++k) {
+        EXPECT_TRUE(queue.push(item_for(k)));
+    }
+    queue.close();
+    // Remaining items are always delivered before end-of-stream.
+    for (std::size_t k = 0; k < 5; ++k) {
+        const std::optional<IngestItem> item = queue.pop();
+        ASSERT_TRUE(item.has_value());
+        EXPECT_EQ(item->sample, k);
+        ASSERT_EQ(item->loads.size(), 1u);
+        EXPECT_EQ(item->loads[0], static_cast<double>(k));
+    }
+    EXPECT_FALSE(queue.pop().has_value());
+    // End-of-stream is sticky.
+    EXPECT_FALSE(queue.pop().has_value());
+    // Pushing after close drops the item.
+    EXPECT_FALSE(queue.push(item_for(99)));
+}
+
+TEST(IngestQueue, BackpressureBoundsDepthAndPreservesOrder) {
+    constexpr std::size_t kCapacity = 2;
+    constexpr std::size_t kItems = 64;
+    IngestQueue queue(kCapacity);
+    std::thread producer([&] {
+        for (std::size_t k = 0; k < kItems; ++k) {
+            ASSERT_TRUE(queue.push(item_for(k)));
+        }
+        queue.close();
+    });
+    std::vector<std::size_t> seen;
+    while (std::optional<IngestItem> item = queue.pop()) {
+        seen.push_back(item->sample);
+        // A slow consumer forces the producer into the full-queue wait.
+        if (seen.size() == 1) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        }
+    }
+    producer.join();
+    ASSERT_EQ(seen.size(), kItems);
+    for (std::size_t k = 0; k < kItems; ++k) {
+        EXPECT_EQ(seen[k], k);  // decoupling must never reorder
+    }
+    // The bound held: the queue never grew past its capacity.
+    EXPECT_LE(queue.max_depth(), kCapacity);
+    EXPECT_GE(queue.max_depth(), 1u);
+}
+
+TEST(IngestQueue, CloseUnblocksAStuckProducer) {
+    IngestQueue queue(1);
+    ASSERT_TRUE(queue.push(item_for(0)));
+    bool second_push_result = true;
+    std::thread producer(
+        [&] { second_push_result = queue.push(item_for(1)); });
+    // Wait until the producer is provably parked on the full queue.
+    while (queue.producer_blocks() == 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    queue.close();
+    producer.join();
+    // The blocked push was refused instead of deadlocking.
+    EXPECT_FALSE(second_push_result);
+    // The item accepted before close is still delivered.
+    const std::optional<IngestItem> item = queue.pop();
+    ASSERT_TRUE(item.has_value());
+    EXPECT_EQ(item->sample, 0u);
+    EXPECT_FALSE(queue.pop().has_value());
+}
+
+TEST(IngestQueue, ZeroCapacityIsRejected) {
+    EXPECT_THROW(IngestQueue(0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tme::engine

@@ -1,0 +1,282 @@
+// Pipelined window fan-out: deterministic equivalence against the
+// serial engine.  Every concurrency claim is pinned here: pipeline
+// depths 1/2/4 reproduce the serial estimates to 1e-9 for every method
+// on Europe and USA days with a mid-day reroute; the zero-thread
+// fallback is bitwise identical; warm-start lineage produces exactly
+// the serial engine's warm-run pattern (no stale-window seeding); and
+// the depth bound (backpressure) is never exceeded.
+#include "engine/pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+
+#include "core/route_change.hpp"
+#include "engine/replay.hpp"
+
+namespace tme::engine {
+namespace {
+
+/// Replay length for the full equivalence sweep.  Overridable so slow
+/// instrumented runs (ThreadSanitizer CI) can shorten the day without
+/// losing any of the concurrency coverage.
+std::size_t sweep_samples() {
+    if (const char* env = std::getenv("TME_PIPELINE_SAMPLES")) {
+        const long v = std::atol(env);
+        if (v >= 8) return static_cast<std::size_t>(v);
+    }
+    return 80;
+}
+
+scenario::Scenario day_scenario(scenario::Network network,
+                                std::size_t samples) {
+    scenario::Scenario sc = scenario::make_scenario(network);
+    if (sc.demands.size() > samples) {
+        sc.demands.resize(samples);
+        sc.loads.resize(samples);
+    }
+    return sc;
+}
+
+EngineConfig all_method_config(std::size_t threads) {
+    EngineConfig config;
+    config.window_size = 8;
+    config.min_series_window = 3;
+    config.methods = {Method::gravity, Method::kruithof, Method::entropy,
+                      Method::bayesian, Method::vardi,   Method::fanout};
+    config.threads = threads;
+    config.warm_start = true;
+    // The equivalence claim is about scheduling, not solver depth: cap
+    // the iterative solvers so whole-day sweeps stay fast.  Both sides
+    // of every comparison share these options, so estimates still
+    // match bit for bit.
+    config.method_options.entropy.solver.max_iterations = 200;
+    config.method_options.entropy.solver.tolerance = 1e-6;
+    config.method_options.kruithof.max_iterations = 100;
+    config.method_options.kruithof.tolerance = 1e-8;
+    return config;
+}
+
+double worst_estimate_diff(const std::vector<WindowResult>& a,
+                           const std::vector<WindowResult>& b) {
+    EXPECT_EQ(a.size(), b.size());
+    if (a.size() != b.size()) return 1e300;
+    double worst = 0.0;
+    for (std::size_t k = 0; k < a.size(); ++k) {
+        EXPECT_EQ(a[k].runs.size(), b[k].runs.size()) << "window " << k;
+        if (a[k].runs.size() != b[k].runs.size()) return 1e300;
+        EXPECT_EQ(a[k].epoch_fingerprint, b[k].epoch_fingerprint)
+            << "window " << k;
+        EXPECT_EQ(a[k].window_start_sample, b[k].window_start_sample);
+        EXPECT_EQ(a[k].window_size, b[k].window_size);
+        for (std::size_t m = 0; m < a[k].runs.size(); ++m) {
+            const MethodRun& ra = a[k].runs[m];
+            const MethodRun& rb = b[k].runs[m];
+            EXPECT_EQ(ra.method, rb.method) << "window " << k;
+            EXPECT_EQ(ra.estimate.size(), rb.estimate.size());
+            if (ra.method != rb.method ||
+                ra.estimate.size() != rb.estimate.size()) {
+                return 1e300;
+            }
+            for (std::size_t p = 0; p < ra.estimate.size(); ++p) {
+                worst = std::max(
+                    worst, std::abs(ra.estimate[p] - rb.estimate[p]));
+            }
+            // MRE is a pure function of the estimate, so it must track.
+            if (std::isnan(ra.mre)) {
+                EXPECT_TRUE(std::isnan(rb.mre)) << "window " << k;
+            } else {
+                worst = std::max(worst, std::abs(ra.mre - rb.mre));
+            }
+        }
+    }
+    return worst;
+}
+
+TEST(PipelinedEngine, MatchesSerialEngineAtDepths124WithMidDayReroute) {
+    for (const scenario::Network network :
+         {scenario::Network::europe, scenario::Network::usa}) {
+        const scenario::Scenario sc = day_scenario(network, sweep_samples());
+        const std::size_t change_at = sc.demands.size() / 2;
+        const linalg::SparseMatrix rerouted =
+            core::perturbed_routing(sc.topo, 0.8, 5);
+        ReplayOptions options;
+        options.events = {{change_at, &rerouted}};
+
+        OnlineEngine serial(sc.topo, sc.routing, all_method_config(0));
+        const ReplayResult reference =
+            replay_scenario(serial, sc, options);
+        ASSERT_EQ(reference.windows.size(), sc.demands.size());
+        ASSERT_EQ(serial.metrics().epoch_changes.load(), 1u);
+
+        for (const std::size_t depth : {1u, 2u, 4u}) {
+            PipelineOptions pipeline;
+            pipeline.depth = depth;
+            PipelinedEngine engine(sc.topo, sc.routing,
+                                   all_method_config(2), pipeline);
+            const ReplayResult result =
+                replay_scenario(engine, sc, options);
+            const double worst =
+                worst_estimate_diff(reference.windows, result.windows);
+            EXPECT_LE(worst, 1e-9)
+                << sc.name << " depth " << depth;
+            EXPECT_LE(engine.max_in_flight(), depth);
+
+            // Warm-start lineage replicates the serial warm pattern
+            // exactly: same number of runs and warm(-accepted) runs per
+            // method, including the cold restart after the reroute — an
+            // out-of-order completion seeding from a stale window would
+            // break these counts.
+            for (const auto& [method, stats] : serial.metrics().methods) {
+                const auto it = engine.metrics().methods.find(method);
+                ASSERT_NE(it, engine.metrics().methods.end());
+                EXPECT_EQ(it->second.runs.load(), stats.runs.load())
+                    << method_name(method) << " depth " << depth;
+                EXPECT_EQ(it->second.warm_runs.load(),
+                          stats.warm_runs.load())
+                    << method_name(method) << " depth " << depth;
+                EXPECT_EQ(it->second.warm_accepted_runs.load(),
+                          stats.warm_accepted_runs.load())
+                    << method_name(method) << " depth " << depth;
+            }
+        }
+    }
+}
+
+TEST(PipelinedEngine, ZeroThreadFallbackIsBitwiseIdenticalToSerial) {
+    const scenario::Scenario sc =
+        day_scenario(scenario::Network::europe, 60);
+    OnlineEngine serial(sc.topo, sc.routing, all_method_config(0));
+    const ReplayResult reference = replay_scenario(serial, sc);
+
+    PipelineOptions pipeline;
+    pipeline.depth = 4;
+    PipelinedEngine engine(sc.topo, sc.routing, all_method_config(0),
+                           pipeline);
+    const ReplayResult result = replay_scenario(engine, sc);
+    // Inline execution: not just within tolerance — identical bits.
+    EXPECT_EQ(worst_estimate_diff(reference.windows, result.windows), 0.0);
+    // With zero worker threads every stage completes inside submit().
+    EXPECT_EQ(engine.max_in_flight(), 1u);
+}
+
+TEST(PipelinedEngine, DepthOneIsStrictlySerialEvenWithWorkers) {
+    const scenario::Scenario sc =
+        day_scenario(scenario::Network::europe, 40);
+    PipelineOptions pipeline;
+    pipeline.depth = 1;
+    PipelinedEngine engine(sc.topo, sc.routing, all_method_config(2),
+                           pipeline);
+    const ReplayResult result = replay_scenario(engine, sc);
+    EXPECT_EQ(result.windows.size(), sc.demands.size());
+    // Backpressure at depth 1 admits one window at a time,
+    // deterministically, no matter how many workers exist.
+    EXPECT_EQ(engine.max_in_flight(), 1u);
+    // Results arrive in submission order.
+    for (std::size_t k = 0; k < result.windows.size(); ++k) {
+        EXPECT_EQ(result.windows[k].window_end_sample, k);
+    }
+}
+
+TEST(PipelinedEngine, SetRoutingDrainsInFlightWindowsBeforeSwapping) {
+    // Regression: in-flight windows alias the current routing matrix;
+    // swapping to a new (even content-identical) object must drain
+    // them first, because the caller may free the old object the
+    // moment set_routing returns.
+    const scenario::Scenario sc =
+        day_scenario(scenario::Network::europe, 16);
+    EngineConfig config = all_method_config(2);
+    config.methods = {Method::gravity, Method::bayesian, Method::fanout};
+    PipelineOptions pipeline;
+    pipeline.depth = 4;
+    PipelinedEngine engine(sc.topo, sc.routing, config, pipeline);
+    for (std::size_t k = 0; k < 8; ++k) {
+        engine.submit(k, sc.loads[k]);
+    }
+    {
+        // Content-identical copy in a fresh object, as a caller
+        // replacing its matrix would produce.
+        const linalg::SparseMatrix copy = sc.routing;
+        engine.set_routing(copy);
+        // Every submitted window completed before the swap took hold.
+        EXPECT_EQ(engine.metrics().windows_run.load(), 8u);
+        for (std::size_t k = 8; k < 12; ++k) {
+            engine.submit(k, sc.loads[k]);
+        }
+        const std::vector<WindowResult> results = engine.finish();
+        EXPECT_EQ(results.size(), 12u);
+        // Same fingerprint: no epoch change, window kept growing.
+        EXPECT_EQ(engine.metrics().epoch_changes.load(), 0u);
+        EXPECT_EQ(engine.metrics().window_flushes.load(), 0u);
+        // Swap back (drains again) and rebind the window off `copy`
+        // with one more submit while it is still alive; after that the
+        // copy can die.
+        engine.set_routing(sc.routing);
+        engine.submit(12, sc.loads[12]);
+        const std::vector<WindowResult> tail = engine.finish();
+        EXPECT_EQ(tail.size(), 1u);
+    }
+    EXPECT_EQ(engine.metrics().window_flushes.load(), 0u);
+    EXPECT_EQ(engine.metrics().windows_run.load(), 13u);
+}
+
+TEST(PipelinedEngine, SeriesOnlyConfigCompletesWarmupWindows) {
+    // Regression: a window where EVERY scheduled method is a series
+    // method still below min_series_window has zero stages — it must
+    // complete (with an empty run list, like the serial scheduler)
+    // instead of holding its pipeline slot forever.
+    const scenario::Scenario sc =
+        day_scenario(scenario::Network::europe, 8);
+    EngineConfig config;
+    config.window_size = 6;
+    config.min_series_window = 3;
+    config.methods = {Method::vardi, Method::fanout};
+    config.threads = 2;
+    PipelineOptions pipeline;
+    pipeline.depth = 2;
+    PipelinedEngine engine(sc.topo, sc.routing, config, pipeline);
+    for (std::size_t k = 0; k < sc.loads.size(); ++k) {
+        engine.submit(k, sc.loads[k]);
+    }
+    const std::vector<WindowResult> results = engine.finish();
+    ASSERT_EQ(results.size(), sc.loads.size());
+    for (std::size_t k = 0; k < results.size(); ++k) {
+        if (k + 1 < config.min_series_window) {
+            EXPECT_TRUE(results[k].runs.empty()) << "window " << k;
+        } else {
+            EXPECT_EQ(results[k].runs.size(), 2u) << "window " << k;
+        }
+    }
+    EXPECT_EQ(engine.metrics().windows_run.load(), sc.loads.size());
+}
+
+TEST(PipelinedEngine, ReusableAfterFinishAndValidatesConfig) {
+    const scenario::Scenario sc =
+        day_scenario(scenario::Network::europe, 12);
+    EngineConfig config = all_method_config(1);
+    config.methods = {Method::gravity, Method::bayesian};
+    PipelinedEngine engine(sc.topo, sc.routing, config);
+    for (std::size_t k = 0; k < 6; ++k) {
+        engine.submit(k, sc.loads[k]);
+    }
+    const std::vector<WindowResult> first = engine.finish();
+    EXPECT_EQ(first.size(), 6u);
+    // finish() clears the buffer; the engine keeps streaming.
+    for (std::size_t k = 6; k < 12; ++k) {
+        engine.submit(k, sc.loads[k]);
+    }
+    const std::vector<WindowResult> second = engine.finish();
+    ASSERT_EQ(second.size(), 6u);
+    EXPECT_EQ(second.front().window_end_sample, 6u);
+    EXPECT_EQ(engine.metrics().windows_run.load(), 12u);
+
+    // Config validation is typed, as for the scheduler.
+    EngineConfig bad = config;
+    bad.methods = {Method::gravity, Method::gravity};
+    EXPECT_THROW(PipelinedEngine(sc.topo, sc.routing, bad),
+                 SchedulerConfigException);
+}
+
+}  // namespace
+}  // namespace tme::engine
