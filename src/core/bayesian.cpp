@@ -20,23 +20,29 @@ linalg::Vector bayesian_estimate(const SnapshotProblem& problem,
     }
     const double w = 1.0 / options.regularization;  // sigma^{-2}
 
-    linalg::Matrix g;
+    // The prior term only shifts the Gram diagonal, so the solver takes
+    // the bare Gram plus a virtual shift: no per-window O(P^2) copy of
+    // a shared epoch Gram, and the dual refresh runs over R's nonzeros.
+    linalg::Matrix local_gram;
     if (options.shared_gram != nullptr) {
         if (options.shared_gram->rows() != r.cols() ||
             options.shared_gram->cols() != r.cols()) {
             throw std::invalid_argument(
                 "bayesian_estimate: shared gram dimension mismatch");
         }
-        g = *options.shared_gram;
     } else {
-        g = r.gram();
+        local_gram = r.gram();
     }
-    for (std::size_t i = 0; i < g.rows(); ++i) g(i, i) += w;
+    const linalg::Matrix& g = options.shared_gram != nullptr
+                                  ? *options.shared_gram
+                                  : local_gram;
     linalg::Vector rhs = r.multiply_transpose(problem.loads);
     for (std::size_t i = 0; i < rhs.size(); ++i) rhs[i] += w * prior[i];
 
     linalg::NnlsOptions nnls_options;
     nnls_options.warm_start = options.warm_start;
+    nnls_options.gram_diagonal_shift = w;
+    nnls_options.gram_operator = &r;
     return linalg::nnls_gram(g, rhs, 0.0, nnls_options).x;
 }
 

@@ -42,7 +42,12 @@ CaoResult cao_estimate(const SeriesProblem& problem,
         }
     }
 
-    // Initial iterate: first moments only.
+    // Initial iterate: first moments only.  NOTE: the first-moment
+    // system is rank deficient (rank R < pairs), so its minimizer is
+    // not unique — the dense dual refresh is kept deliberately, because
+    // switching the refresh arithmetic (e.g. to the sparse-operator
+    // form) can legitimately land on a different minimizer and change
+    // the published estimates.
     CaoResult result;
     result.lambda = linalg::nnls_gram(g1, g1_rhs).x;
     if (w == 0.0) return result;

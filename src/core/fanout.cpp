@@ -29,11 +29,15 @@ FanoutConstraints FanoutConstraints::build(const topology::Topology& topo) {
     const std::size_t nodes = topo.pop_count();
     c.source_of.resize(pairs);
     c.equality = linalg::Matrix(nodes, pairs, 0.0);
+    std::vector<linalg::Triplet> trips;
+    trips.reserve(pairs);
     for (std::size_t p = 0; p < pairs; ++p) {
         const std::size_t src = topo.pair_nodes(p).first;
         c.source_of[p] = src;
         c.equality(src, p) = 1.0;
+        trips.push_back({src, p, 1.0});
     }
+    c.equality_sparse = linalg::SparseMatrix(nodes, pairs, std::move(trips));
     c.rhs.assign(nodes, 1.0);
     return c;
 }
@@ -81,7 +85,9 @@ FanoutResult fanout_estimate(const SeriesProblem& problem,
     if (options.shared_constraints != nullptr) {
         if (options.shared_constraints->source_of.size() != pairs ||
             options.shared_constraints->equality.rows() != nodes ||
-            options.shared_constraints->equality.cols() != pairs) {
+            options.shared_constraints->equality.cols() != pairs ||
+            options.shared_constraints->equality_sparse.rows() != nodes ||
+            options.shared_constraints->equality_sparse.cols() != pairs) {
             throw std::invalid_argument(
                 "fanout_estimate: shared constraints dimension mismatch");
         }
@@ -162,6 +168,7 @@ FanoutResult fanout_estimate(const SeriesProblem& problem,
     }
 
     linalg::EqQpNonnegOptions qp_options;
+    qp_options.equality_operator = &constraints.equality_sparse;
     if (options.warm_start != nullptr) {
         if (options.warm_start->size() != pairs) {
             throw std::invalid_argument(

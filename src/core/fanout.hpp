@@ -29,6 +29,10 @@ namespace tme::core {
 struct FanoutConstraints {
     std::vector<std::size_t> source_of;  ///< pair -> source PoP
     linalg::Matrix equality;             ///< E (pops x pairs)
+    /// CSR form of `equality` (one nonzero per column); handed to the
+    /// QP so its constraint sweeps run over the P nonzeros instead of
+    /// the N x P dense matrix.
+    linalg::SparseMatrix equality_sparse;
     linalg::Vector rhs;                  ///< all-ones right-hand side
 
     static FanoutConstraints build(const topology::Topology& topo);

@@ -100,6 +100,14 @@ ReducedFactor ReducedFactor::slice(const linalg::Matrix& full_gram,
     return ReducedFactor(std::move(unknown_pairs), std::move(g), tau);
 }
 
+ReducedFactor ReducedFactor::from_routing(
+    const linalg::SparseMatrix& routing,
+    std::vector<std::size_t> unknown_pairs, double tau) {
+    linalg::Matrix g =
+        linalg::gram_sparse(routing.select_columns(unknown_pairs));
+    return ReducedFactor(std::move(unknown_pairs), std::move(g), tau);
+}
+
 linalg::Vector estimate_with_measured_factored(
     const SnapshotProblem& problem, const linalg::Vector& prior,
     const linalg::Vector& true_demands,
@@ -128,8 +136,7 @@ linalg::Vector estimate_with_measured_factored(
     } else {
         // G_u equals the Gram of the column-selected routing matrix.
         factor = std::make_shared<const ReducedFactor>(
-            setup.unknown, r.select_columns(setup.unknown).gram(),
-            regularization);
+            ReducedFactor::from_routing(r, setup.unknown, regularization));
     }
 
     // R_u columns are columns of R, so R_u' t is a gather of R' t.

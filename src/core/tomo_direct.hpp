@@ -76,6 +76,15 @@ struct ReducedFactor {
     static ReducedFactor slice(const linalg::Matrix& full_gram,
                                std::vector<std::size_t> unknown_pairs,
                                double tau);
+
+    /// Builds G_u straight from the sparse routing matrix (column
+    /// selection + sparse Gram) — no dense P x P Gram is ever formed,
+    /// which is what makes the direct-measurement workflow viable on
+    /// generated backbones whose full Gram would not fit in memory.
+    /// Entry-for-entry bitwise equal to slice() on the same inputs.
+    static ReducedFactor from_routing(const linalg::SparseMatrix& routing,
+                                      std::vector<std::size_t> unknown_pairs,
+                                      double tau);
 };
 
 /// Source of (shared) reduced factorizations, keyed by the unmeasured

@@ -14,10 +14,31 @@ RoutingEpoch::RoutingEpoch(std::uint64_t fingerprint, std::uint64_t serial,
       rows_(routing.rows()),
       cols_(routing.cols()),
       nonzeros_(routing.nonzeros()),
-      gram_(routing.gram()),
+      routing_(routing),
       derived_(std::make_unique<Derived>()) {}
 
+const linalg::Matrix& RoutingEpoch::gram() const {
+    {
+        std::shared_lock<std::shared_mutex> read(derived_->mutex);
+        if (derived_->gram_built) return derived_->gram;
+    }
+    std::unique_lock<std::shared_mutex> write(derived_->mutex);
+    if (!derived_->gram_built) {
+        derived_->gram = linalg::gram_sparse(routing_);
+        derived_->gram_built = true;
+    }
+    return derived_->gram;
+}
+
+bool RoutingEpoch::gram_built() const {
+    std::shared_lock<std::shared_mutex> read(derived_->mutex);
+    return derived_->gram_built;
+}
+
 const linalg::Matrix& RoutingEpoch::vardi_gram(double weight) const {
+    // Force the Gram build (under its own critical section) before
+    // taking the exclusive lock below — gram() grabs the same mutex.
+    const linalg::Matrix& g1m = gram();
     {
         std::shared_lock<std::shared_mutex> read(derived_->mutex);
         const auto it = derived_->vardi_by_weight.find(weight);
@@ -28,12 +49,15 @@ const linalg::Matrix& RoutingEpoch::vardi_gram(double weight) const {
     // the exclusive lock.
     const auto it = derived_->vardi_by_weight.find(weight);
     if (it != derived_->vardi_by_weight.end()) return it->second;
-    const std::size_t pairs = gram_.rows();
+    const std::size_t pairs = g1m.rows();
     linalg::Matrix g(pairs, pairs, 0.0);
     for (std::size_t p = 0; p < pairs; ++p) {
+        const double* __restrict src = g1m.row_data(p);
+        double* __restrict dst = g.row_data(p);
         for (std::size_t q = 0; q < pairs; ++q) {
-            const double g1 = gram_(p, q);
-            g(p, q) = g1 + weight * g1 * g1;
+            const double g1 = src[q];
+            // Structural zeros of G1 stay exact zeros; skip the writes.
+            if (g1 != 0.0) dst[q] = g1 + weight * g1 * g1;
         }
     }
     ++derived_->builds;
@@ -75,8 +99,10 @@ std::shared_ptr<const core::ReducedFactor> RoutingEpoch::reduced_factor(
     if (derived_->reduced == nullptr ||
         derived_->reduced->unknown != unknown ||
         derived_->reduced->regularization != tau) {
+        // Built from the sparse routing copy: bitwise what slicing the
+        // dense Gram would give, without ever needing the dense Gram.
         derived_->reduced = std::make_shared<const core::ReducedFactor>(
-            core::ReducedFactor::slice(gram_, unknown, tau));
+            core::ReducedFactor::from_routing(routing_, unknown, tau));
         ++derived_->builds;
     }
     return derived_->reduced;
@@ -109,9 +135,9 @@ std::shared_ptr<const RoutingEpoch> RoutingEpochCache::acquire_shared(
     const linalg::SparseMatrix& routing) {
     // The fingerprint is a pure function of the matrix content; compute
     // it outside the lock so concurrent engines only serialize on the
-    // LRU bookkeeping (and on a miss, the epoch build — holding the
-    // lock across the build means racing engines acquiring the same new
-    // routing build its Gram exactly once).
+    // LRU bookkeeping (a miss now only copies the CSR arrays — the Gram
+    // and all deeper derived data build lazily under the epoch's own
+    // double-checked lock, still exactly once per epoch).
     const std::uint64_t fp = fingerprint_(routing);
     std::lock_guard<std::mutex> lock(mutex_);
     for (auto it = entries_.begin(); it != entries_.end(); ++it) {

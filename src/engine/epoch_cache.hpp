@@ -5,14 +5,17 @@
 // only when the IGP reconverges or an operator reroutes LSPs — while
 // load samples arrive every five minutes.  Everything derived purely
 // from R is therefore cached per epoch and invalidated *exactly* when a
-// route change produces a matrix with a different fingerprint.  The
-// Gram matrix R'R is built eagerly (every scheduled method consumes
-// it); the deeper derived data — Vardi's transformed Gram
+// route change produces a matrix with a different fingerprint.  All
+// derived data — the dense Gram R'R, Vardi's transformed Gram
 // G1 + w*(G1 .* G1), the fanout equality-constraint structure, and
 // reduced-problem factorizations for the direct-measurement workflow —
-// is built lazily on first use and dies with the epoch.  A small LRU
-// keeps the last few epochs alive so routing flaps that revert to a
-// previous configuration hit the cache again.
+// is built lazily on first use and dies with the epoch.  Laziness
+// matters at generated-backbone scale: a 100-PoP network's dense Gram
+// is ~0.8 GB, and an engine scheduling only Gram-free methods (gravity,
+// Kruithof) or only the direct-measurement workflow (whose reduced Gram
+// is built straight from the sparse routing copy) never pays for it.
+// A small LRU keeps the last few epochs alive so routing flaps that
+// revert to a previous configuration hit the cache again.
 //
 // Fingerprints are 64-bit, so distinct routing matrices could in
 // principle collide; acquire() therefore verifies cheap structural
@@ -47,9 +50,10 @@
 
 namespace tme::engine {
 
-/// Cached derived data for one routing configuration.  The epoch never
-/// retains a pointer to the matrix it was built from — callers may
-/// destroy their matrix the moment acquire() returns.
+/// Cached derived data for one routing configuration.  The epoch keeps
+/// a private CSR *copy* of the matrix it was built from (cheap — the
+/// nonzeros only), never a pointer — callers may destroy their matrix
+/// the moment acquire() returns.
 class RoutingEpoch {
   public:
     RoutingEpoch(std::uint64_t fingerprint, std::uint64_t serial,
@@ -68,9 +72,18 @@ class RoutingEpoch {
     std::size_t cols() const { return cols_; }
     std::size_t nonzeros() const { return nonzeros_; }
 
-    /// Dense Gram matrix R'R (pairs x pairs); built eagerly, immutable
-    /// afterwards, so concurrent readers need no lock.
-    const linalg::Matrix& gram() const { return gram_; }
+    /// The epoch's own immutable copy of the routing matrix.
+    const linalg::SparseMatrix& routing() const { return routing_; }
+
+    /// Dense Gram matrix R'R (pairs x pairs); built lazily from the
+    /// sparse routing copy on first use (shared-mutex double-checked,
+    /// so N racing cold callers build it exactly once), immutable
+    /// afterwards.  Does not count toward derived_builds().
+    const linalg::Matrix& gram() const;
+
+    /// True once the dense Gram has been built (telemetry / tests —
+    /// schedulers running only Gram-free methods must never trigger it).
+    bool gram_built() const;
 
     /// Vardi's transformed Gram G1 + weight*(G1 .* G1), built lazily on
     /// first use and cached per weight, so fleet jobs configured with
@@ -90,7 +103,8 @@ class RoutingEpoch {
 
     /// Reduced-problem factorization for the direct-measurement
     /// workflow: G_u + tau*I Cholesky for the unmeasured pair set
-    /// `unknown`, sliced from the cached Gram.  Memoizes the most
+    /// `unknown`, built straight from the sparse routing copy (the
+    /// dense P x P Gram is never required).  Memoizes the most
     /// recent selection — the streaming pattern is a fixed measured set
     /// re-estimated window after window — and returns shared ownership
     /// so a factor stays usable across an eviction.
@@ -106,6 +120,8 @@ class RoutingEpoch {
         /// Readers share; a cold build upgrades to exclusive and
         /// re-checks, so racing cold callers build each item once.
         mutable std::shared_mutex mutex;
+        bool gram_built = false;
+        linalg::Matrix gram;
         /// Node-based on purpose: inserting one weight's matrix never
         /// moves another's, so returned references stay valid.
         std::map<double, linalg::Matrix> vardi_by_weight;
@@ -120,7 +136,7 @@ class RoutingEpoch {
     std::size_t rows_ = 0;
     std::size_t cols_ = 0;
     std::size_t nonzeros_ = 0;
-    linalg::Matrix gram_;
+    linalg::SparseMatrix routing_;
     std::unique_ptr<Derived> derived_;
 };
 

@@ -7,8 +7,82 @@ namespace tme::linalg {
 
 namespace {
 
-// Returns the lower Cholesky factor, or an empty matrix on failure.
-Matrix factorize(const Matrix& a, double jitter) {
+// Dimension at which Cholesky switches from the exact unblocked kernel
+// to the blocked one.  Every system the paper-scale pipeline factors
+// (Europe 132 / USA 600-pair reduced problems cap out below this) stays
+// bit-for-bit on the historical kernel; generated-backbone systems flip
+// to the blocked path.
+constexpr std::size_t kBlockedThreshold = 512;
+
+// Panel width of the blocked factorization.
+constexpr std::size_t kPanel = 48;
+
+// Factorizes the columns [j0, j1) of l in place, assuming all columns
+// < j0 have already been folded into the panel by trailing updates.
+// Returns false when a pivot is not positive.
+bool factor_panel(Matrix& l, std::size_t j0, std::size_t j1) {
+    const std::size_t n = l.rows();
+    for (std::size_t j = j0; j < j1; ++j) {
+        const double* __restrict lrow_j = l.row_data(j);
+        double diag = lrow_j[j];
+        for (std::size_t k = j0; k < j; ++k) diag -= lrow_j[k] * lrow_j[k];
+        if (diag <= 0.0 || !std::isfinite(diag)) return false;
+        const double ljj = std::sqrt(diag);
+        l(j, j) = ljj;
+        const double inv = 1.0 / ljj;
+        for (std::size_t i = j + 1; i < n; ++i) {
+            double* __restrict lrow_i = l.row_data(i);
+            double v = lrow_i[j];
+            for (std::size_t k = j0; k < j; ++k) v -= lrow_i[k] * lrow_j[k];
+            lrow_i[j] = v * inv;
+        }
+    }
+    return true;
+}
+
+// Trailing update after the panel [j0, j1): for every (i, c) in the
+// lower triangle with i, c >= j1,  l(i, c) -= sum_k l(i, k) l(c, k),
+// k over the panel.  2x4 register tiles give each dot product an
+// independent accumulator chain (the unblocked kernel's single serial
+// chain is what makes it latency-bound).
+void trailing_update(Matrix& l, std::size_t j0, std::size_t j1) {
+    const std::size_t n = l.rows();
+    for (std::size_t i0 = j1; i0 < n; i0 += 2) {
+        const std::size_t in = std::min<std::size_t>(2, n - i0);
+        const double* __restrict ri0 = l.row_data(i0) + j0;
+        const double* __restrict ri1 =
+            in > 1 ? l.row_data(i0 + 1) + j0 : ri0;
+        for (std::size_t c0 = j1; c0 <= i0 + in - 1; c0 += 4) {
+            const std::size_t cn =
+                std::min<std::size_t>(4, i0 + in - c0);
+            double acc[2][4] = {{0.0, 0.0, 0.0, 0.0},
+                                {0.0, 0.0, 0.0, 0.0}};
+            for (std::size_t cc = 0; cc < cn; ++cc) {
+                const double* __restrict rc = l.row_data(c0 + cc) + j0;
+                double s0 = 0.0;
+                double s1 = 0.0;
+                const std::size_t width = j1 - j0;
+                for (std::size_t k = 0; k < width; ++k) {
+                    s0 += ri0[k] * rc[k];
+                    s1 += ri1[k] * rc[k];
+                }
+                acc[0][cc] = s0;
+                acc[1][cc] = s1;
+            }
+            for (std::size_t ii = 0; ii < in; ++ii) {
+                double* __restrict row = l.row_data(i0 + ii);
+                for (std::size_t cc = 0; cc < cn; ++cc) {
+                    const std::size_t c = c0 + cc;
+                    if (c <= i0 + ii) row[c] -= acc[ii][cc];
+                }
+            }
+        }
+    }
+}
+
+}  // namespace
+
+Matrix cholesky_factor_unblocked(const Matrix& a, double jitter) {
     const std::size_t n = a.rows();
     Matrix l(n, n, 0.0);
     for (std::size_t j = 0; j < n; ++j) {
@@ -24,6 +98,33 @@ Matrix factorize(const Matrix& a, double jitter) {
         }
     }
     return l;
+}
+
+Matrix cholesky_factor_blocked(const Matrix& a, double jitter) {
+    const std::size_t n = a.rows();
+    Matrix l(n, n, 0.0);
+    // Seed with the lower triangle of a (+ jitter on the diagonal); the
+    // factorization then runs fully in place over contiguous rows.
+    for (std::size_t i = 0; i < n; ++i) {
+        const double* __restrict src = a.row_data(i);
+        double* __restrict dst = l.row_data(i);
+        for (std::size_t j = 0; j < i; ++j) dst[j] = src[j];
+        dst[i] = src[i] + jitter;
+    }
+    for (std::size_t j0 = 0; j0 < n; j0 += kPanel) {
+        const std::size_t j1 = std::min(n, j0 + kPanel);
+        if (!factor_panel(l, j0, j1)) return Matrix();
+        if (j1 < n) trailing_update(l, j0, j1);
+    }
+    return l;
+}
+
+namespace {
+
+// Returns the lower Cholesky factor, or an empty matrix on failure.
+Matrix factorize(const Matrix& a, double jitter) {
+    return a.rows() >= kBlockedThreshold ? cholesky_factor_blocked(a, jitter)
+                                         : cholesky_factor_unblocked(a, jitter);
 }
 
 }  // namespace
@@ -64,9 +165,32 @@ Matrix Cholesky::solve(const Matrix& b) const {
     if (b.rows() != l_.rows()) {
         throw std::invalid_argument("Cholesky::solve: size mismatch");
     }
-    Matrix x(b.rows(), b.cols());
-    for (std::size_t j = 0; j < b.cols(); ++j) {
-        x.set_col(j, solve(b.col(j)));
+    const std::size_t n = l_.rows();
+    const std::size_t nrhs = b.cols();
+    // All right-hand sides advance through the substitution together:
+    // each elimination step updates a contiguous row of X across every
+    // column, instead of extracting one strided column at a time.  The
+    // per-column arithmetic (and order) is identical to solve(Vector).
+    Matrix x = b;
+    for (std::size_t i = 0; i < n; ++i) {
+        double* __restrict xi = x.row_data(i);
+        for (std::size_t k = 0; k < i; ++k) {
+            const double lik = l_(i, k);
+            const double* __restrict xk = x.row_data(k);
+            for (std::size_t j = 0; j < nrhs; ++j) xi[j] -= lik * xk[j];
+        }
+        const double ljj = l_(i, i);
+        for (std::size_t j = 0; j < nrhs; ++j) xi[j] /= ljj;
+    }
+    for (std::size_t ii = n; ii-- > 0;) {
+        double* __restrict xi = x.row_data(ii);
+        for (std::size_t k = ii + 1; k < n; ++k) {
+            const double lki = l_(k, ii);
+            const double* __restrict xk = x.row_data(k);
+            for (std::size_t j = 0; j < nrhs; ++j) xi[j] -= lki * xk[j];
+        }
+        const double ljj = l_(ii, ii);
+        for (std::size_t j = 0; j < nrhs; ++j) xi[j] /= ljj;
     }
     return x;
 }

@@ -44,6 +44,21 @@ class Cholesky {
 /// throwing when the matrix is not positive definite.
 std::optional<Cholesky> try_cholesky(const Matrix& a, double jitter = 0.0);
 
+/// Plain column-by-column factorization (the exact kernel the library
+/// shipped with): returns the lower factor of a + jitter*I, or an empty
+/// matrix when the input is not positive definite.  Kept public as the
+/// reference implementation for the blocked kernel's property tests and
+/// the solver benches.
+Matrix cholesky_factor_unblocked(const Matrix& a, double jitter = 0.0);
+
+/// Right-looking blocked factorization (panel factor + register-tiled
+/// trailing update; see PERF.md).  Same contract as the unblocked
+/// kernel; the two factors agree to ~1e-12 relative (summation order
+/// differs).  `Cholesky` uses this kernel automatically for dimensions
+/// >= 512, keeping every paper-scale system on the bitwise-exact
+/// unblocked path.
+Matrix cholesky_factor_blocked(const Matrix& a, double jitter = 0.0);
+
 /// Solves the SPD system A x = b with automatic escalating jitter: tries
 /// exact factorization first, then adds geometrically increasing diagonal
 /// regularization (relative to trace(A)/n) until factorization succeeds.

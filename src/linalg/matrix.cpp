@@ -2,13 +2,45 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
+#include <new>
 #include <sstream>
 #include <stdexcept>
 
+#if defined(__linux__)
+#include <sys/mman.h>
+#endif
+
 namespace tme::linalg {
 
+namespace detail {
+
+void* zeroed_allocate(std::size_t bytes) {
+    void* p = std::calloc(bytes, 1);
+    if (p == nullptr) throw std::bad_alloc();
+#if defined(__linux__)
+    // Multi-MB Grams fault in hundreds of thousands of 4 KB pages; ask
+    // for transparent huge pages (no-op where THP is off).
+    if (bytes >= (std::size_t{8} << 20)) {
+        madvise(p, bytes, MADV_HUGEPAGE);
+    }
+#endif
+    return p;
+}
+
+void zeroed_deallocate(void* p) { std::free(p); }
+
+}  // namespace detail
+
 Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
-    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+    : rows_(rows), cols_(cols) {
+    if (fill == 0.0 && !std::signbit(fill)) {
+        // Value-init path: calloc zero pages, no element writes.
+        data_.resize(rows * cols);
+    } else {
+        data_.assign(rows * cols, fill);
+    }
+}
 
 Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows) {
     rows_ = rows.size();
@@ -49,7 +81,11 @@ Vector Matrix::row(std::size_t i) const {
 Vector Matrix::col(std::size_t j) const {
     if (j >= cols_) throw std::out_of_range("Matrix::col: index out of range");
     Vector v(rows_);
-    for (std::size_t i = 0; i < rows_; ++i) v[i] = (*this)(i, j);
+    // Single strided pass over the column: the pointer walks the storage
+    // once with a fixed stride instead of re-deriving i*cols_+j per row.
+    const double* __restrict src = data_.data() + j;
+    double* __restrict dst = v.data();
+    for (std::size_t i = 0; i < rows_; ++i, src += cols_) dst[i] = *src;
     return v;
 }
 
@@ -64,13 +100,29 @@ void Matrix::set_col(std::size_t j, const Vector& v) {
     if (j >= cols_ || v.size() != rows_) {
         throw std::invalid_argument("Matrix::set_col: bad column or size");
     }
-    for (std::size_t i = 0; i < rows_; ++i) (*this)(i, j) = v[i];
+    double* __restrict dst = data_.data() + j;
+    const double* __restrict src = v.data();
+    for (std::size_t i = 0; i < rows_; ++i, dst += cols_) *dst = src[i];
 }
 
 Matrix Matrix::transposed() const {
     Matrix t(cols_, rows_);
-    for (std::size_t i = 0; i < rows_; ++i) {
-        for (std::size_t j = 0; j < cols_; ++j) t(j, i) = (*this)(i, j);
+    // Tiled transpose: a straight j-inner loop strides through the output
+    // by rows_ doubles per store, missing cache on every write for large
+    // matrices.  Square tiles keep both the read rows and the written
+    // rows resident while a tile is processed.
+    constexpr std::size_t kTile = 32;
+    for (std::size_t i0 = 0; i0 < rows_; i0 += kTile) {
+        const std::size_t ilim = std::min(rows_, i0 + kTile);
+        for (std::size_t j0 = 0; j0 < cols_; j0 += kTile) {
+            const std::size_t jlim = std::min(cols_, j0 + kTile);
+            for (std::size_t i = i0; i < ilim; ++i) {
+                const double* __restrict src = row_data(i);
+                for (std::size_t j = j0; j < jlim; ++j) {
+                    t(j, i) = src[j];
+                }
+            }
+        }
     }
     return t;
 }
@@ -104,10 +156,12 @@ Vector gemv(const Matrix& a, const Vector& x) {
         throw std::invalid_argument("gemv: dimension mismatch");
     }
     Vector y(a.rows(), 0.0);
+    const std::size_t n = a.cols();
+    const double* __restrict xp = x.data();
     for (std::size_t i = 0; i < a.rows(); ++i) {
-        const double* row = a.row_data(i);
+        const double* __restrict row = a.row_data(i);
         double acc = 0.0;
-        for (std::size_t j = 0; j < a.cols(); ++j) acc += row[j] * x[j];
+        for (std::size_t j = 0; j < n; ++j) acc += row[j] * xp[j];
         y[i] = acc;
     }
     return y;
@@ -118,28 +172,55 @@ Vector gemv_transpose(const Matrix& a, const Vector& x) {
         throw std::invalid_argument("gemv_transpose: dimension mismatch");
     }
     Vector y(a.cols(), 0.0);
+    const std::size_t n = a.cols();
+    double* __restrict yp = y.data();
     for (std::size_t i = 0; i < a.rows(); ++i) {
-        const double* row = a.row_data(i);
+        const double* __restrict row = a.row_data(i);
         const double xi = x[i];
         if (xi == 0.0) continue;
-        for (std::size_t j = 0; j < a.cols(); ++j) y[j] += xi * row[j];
+        for (std::size_t j = 0; j < n; ++j) yp[j] += xi * row[j];
     }
     return y;
 }
+
+namespace {
+
+// Blocking shape shared by gemm and gram: kRowTile output rows advance
+// together through the k sweep (each B/source row is loaded once per
+// row *block* instead of once per row), over j tiles of kColTile
+// doubles (4 KB) so the active output slice stays in L1 however wide
+// the matrices get.  Each output element still accumulates its terms
+// with k strictly ascending and with the same zero-skip as the plain
+// triple loop, so the blocked kernels are bit-for-bit identical to the
+// naive ones on finite inputs.
+constexpr std::size_t kRowTile = 4;
+constexpr std::size_t kColTile = 512;
+
+}  // namespace
 
 Matrix gemm(const Matrix& a, const Matrix& b) {
     if (a.cols() != b.rows()) {
         throw std::invalid_argument("gemm: dimension mismatch");
     }
-    Matrix c(a.rows(), b.cols(), 0.0);
-    for (std::size_t i = 0; i < a.rows(); ++i) {
-        const double* arow = a.row_data(i);
-        double* crow = c.row_data(i);
-        for (std::size_t k = 0; k < a.cols(); ++k) {
-            const double aik = arow[k];
-            if (aik == 0.0) continue;
-            const double* brow = b.row_data(k);
-            for (std::size_t j = 0; j < b.cols(); ++j) crow[j] += aik * brow[j];
+    const std::size_t m = a.rows();
+    const std::size_t kk = a.cols();
+    const std::size_t n = b.cols();
+    Matrix c(m, n, 0.0);
+    for (std::size_t i0 = 0; i0 < m; i0 += kRowTile) {
+        const std::size_t ilim = std::min(m, i0 + kRowTile);
+        for (std::size_t j0 = 0; j0 < n; j0 += kColTile) {
+            const std::size_t jn = std::min(n, j0 + kColTile) - j0;
+            for (std::size_t k = 0; k < kk; ++k) {
+                const double* __restrict brow = b.row_data(k) + j0;
+                for (std::size_t ii = i0; ii < ilim; ++ii) {
+                    const double aik = a(ii, k);
+                    if (aik == 0.0) continue;
+                    double* __restrict crow = c.row_data(ii) + j0;
+                    for (std::size_t jj = 0; jj < jn; ++jj) {
+                        crow[jj] += aik * brow[jj];
+                    }
+                }
+            }
         }
     }
     return c;
@@ -147,20 +228,53 @@ Matrix gemm(const Matrix& a, const Matrix& b) {
 
 Matrix gram(const Matrix& a) {
     const std::size_t n = a.cols();
+    const std::size_t m = a.rows();
     Matrix g(n, n, 0.0);
-    for (std::size_t i = 0; i < a.rows(); ++i) {
-        const double* row = a.row_data(i);
-        for (std::size_t p = 0; p < n; ++p) {
-            const double rp = row[p];
-            if (rp == 0.0) continue;
-            double* grow = g.row_data(p);
-            for (std::size_t q = p; q < n; ++q) grow[q] += rp * row[q];
+    // Upper triangle, kRowTile output rows per pass over A: each source
+    // row is read once per row block, and every (p, q) element sums its
+    // terms with i ascending, exactly like the naive rank-1 loop.
+    for (std::size_t p0 = 0; p0 < n; p0 += kRowTile) {
+        const std::size_t plim = std::min(n, p0 + kRowTile);
+        for (std::size_t q0 = p0; q0 < n; q0 += kColTile) {
+            const std::size_t qlim = std::min(n, q0 + kColTile);
+            for (std::size_t i = 0; i < m; ++i) {
+                const double* __restrict row = a.row_data(i);
+                for (std::size_t pp = p0; pp < plim; ++pp) {
+                    const double rp = row[pp];
+                    if (rp == 0.0) continue;
+                    // Stay on or above the diagonal inside the tile.
+                    const std::size_t qs = std::max(pp, q0);
+                    double* __restrict grow = g.row_data(pp);
+                    for (std::size_t q = qs; q < qlim; ++q) {
+                        grow[q] += rp * row[q];
+                    }
+                }
+            }
         }
     }
-    for (std::size_t p = 0; p < n; ++p) {
-        for (std::size_t q = 0; q < p; ++q) g(p, q) = g(q, p);
-    }
+    symmetrize_from_upper(g);
     return g;
+}
+
+void symmetrize_from_upper(Matrix& g) {
+    if (g.rows() != g.cols()) {
+        throw std::invalid_argument(
+            "symmetrize_from_upper: matrix must be square");
+    }
+    const std::size_t n = g.rows();
+    constexpr std::size_t kTile = 64;
+    for (std::size_t p0 = 0; p0 < n; p0 += kTile) {
+        const std::size_t plim = std::min(n, p0 + kTile);
+        for (std::size_t q0 = 0; q0 <= p0; q0 += kTile) {
+            const std::size_t qlim = std::min(plim, q0 + kTile);
+            for (std::size_t p = p0; p < plim; ++p) {
+                double* __restrict grow = g.row_data(p);
+                for (std::size_t q = q0; q < qlim && q < p; ++q) {
+                    grow[q] = g(q, p);
+                }
+            }
+        }
+    }
 }
 
 Matrix add(double alpha, const Matrix& a, double beta, const Matrix& b) {

@@ -1,17 +1,69 @@
 // Dense row-major matrix of doubles plus the BLAS-level-2/3 surface needed
 // by the traffic-matrix estimation solvers (gemv, gemm, transpose, Gram
-// products).  Sizes in this library are small (hundreds of rows/columns),
-// so a straightforward cache-friendly implementation is sufficient.
+// products).  The level-3 kernels (gemm, gram) are register-blocked for
+// the generated large-backbone workloads while accumulating each output
+// element in exactly the same floating-point order as the plain triple
+// loop, so results stay bit-for-bit identical to the naive kernels (see
+// PERF.md for the blocking scheme and measured speedups).
 #pragma once
 
 #include <cstddef>
 #include <initializer_list>
+#include <new>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 #include "linalg/vector_ops.hpp"
 
 namespace tme::linalg {
+
+namespace detail {
+
+/// calloc-backed zeroed buffer (plus transparent-huge-page advice for
+/// multi-MB buffers on Linux); defined in matrix.cpp so the platform
+/// headers stay out of this widely included header.  Throws
+/// std::bad_alloc on failure.
+void* zeroed_allocate(std::size_t bytes);
+void zeroed_deallocate(void* p);
+
+/// Allocator backing Matrix storage: memory comes from calloc, and
+/// value-initialization is a no-op (the pages are already zero).  A
+/// zero-filled Gram at generated-backbone scale (hundreds of MB) is
+/// thereby mapped as untouched zero pages instead of being written
+/// once by the constructor and again by the accumulation — the
+/// allocation cost of Matrix(n, n, 0.0) drops from O(n^2) writes to
+/// O(1).  Element construction with explicit arguments (fills, copies)
+/// behaves normally.
+template <typename T>
+struct ZeroAllocator {
+    using value_type = T;
+    using is_always_equal = std::true_type;
+
+    ZeroAllocator() = default;
+    template <typename U>
+    ZeroAllocator(const ZeroAllocator<U>&) {}
+
+    T* allocate(std::size_t n) {
+        if (n == 0) return nullptr;
+        return static_cast<T*>(zeroed_allocate(n * sizeof(T)));
+    }
+    void deallocate(T* p, std::size_t) { zeroed_deallocate(p); }
+
+    /// Value-initialization: already zero from calloc.  (Safe because
+    /// Matrix never shrinks-and-regrows its storage in place — every
+    /// buffer is freshly allocated.)
+    template <typename U>
+    void construct(U*) {}
+    template <typename U, typename... Args>
+    void construct(U* p, Args&&... args) {
+        ::new (static_cast<void*>(p)) U(std::forward<Args>(args)...);
+    }
+
+    bool operator==(const ZeroAllocator&) const { return true; }
+};
+
+}  // namespace detail
 
 /// Dense row-major matrix.  Invariant: data_.size() == rows_*cols_.
 class Matrix {
@@ -75,7 +127,7 @@ class Matrix {
   private:
     std::size_t rows_ = 0;
     std::size_t cols_ = 0;
-    std::vector<double> data_;
+    std::vector<double, detail::ZeroAllocator<double>> data_;
 };
 
 /// y = A x.
@@ -89,6 +141,11 @@ Matrix gemm(const Matrix& a, const Matrix& b);
 
 /// C = A' A  (Gram matrix, exploits symmetry).
 Matrix gram(const Matrix& a);
+
+/// Copies the strict upper triangle of a square matrix onto the lower
+/// one (tiled — a straight column walk over a multi-hundred-MB Gram is
+/// a cache miss per element).  The Gram builders finish with this.
+void symmetrize_from_upper(Matrix& g);
 
 /// C = alpha*A + beta*B.
 Matrix add(double alpha, const Matrix& a, double beta, const Matrix& b);

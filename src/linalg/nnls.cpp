@@ -16,8 +16,14 @@ namespace {
 // of the O(n^4) a refactorize-every-step implementation would cost.
 class PassiveFactor {
   public:
-    PassiveFactor(const Matrix& gram, double jitter)
-        : gram_(&gram), jitter_(jitter), l_(gram.rows(), gram.rows(), 0.0) {}
+    /// `shift` is the virtual diagonal shift of NnlsOptions: every read
+    /// of a diagonal Gram entry adds it, as if the caller had passed
+    /// G + shift*I.
+    PassiveFactor(const Matrix& gram, double jitter, double shift)
+        : gram_(&gram),
+          jitter_(jitter),
+          shift_(shift),
+          l_(gram.rows(), gram.rows(), 0.0) {}
 
     const std::vector<std::size_t>& passive() const { return passive_; }
 
@@ -33,7 +39,7 @@ class PassiveFactor {
             for (std::size_t t = 0; t < i; ++t) v -= l_(i, t) * w[t];
             w[i] = v / l_(i, i);
         }
-        double diag = (*gram_)(j, j) + jitter_ - dot(w, w);
+        double diag = (*gram_)(j, j) + shift_ + jitter_ - dot(w, w);
         if (diag <= 0.0 || !std::isfinite(diag)) {
             // Rank-deficient addition: retry with escalated jitter via a
             // full rebuild including j.
@@ -88,7 +94,7 @@ class PassiveFactor {
             bool ok = true;
             for (std::size_t col = 0; col < k && ok; ++col) {
                 double diag =
-                    (*gram_)(passive_[col], passive_[col]) + jitter;
+                    (*gram_)(passive_[col], passive_[col]) + shift_ + jitter;
                 for (std::size_t t = 0; t < col; ++t) {
                     diag -= l_(col, t) * l_(col, t);
                 }
@@ -111,7 +117,8 @@ class PassiveFactor {
             }
             double scale = 0.0;
             for (std::size_t i = 0; i < k; ++i) {
-                scale = std::max(scale, (*gram_)(passive_[i], passive_[i]));
+                scale = std::max(
+                    scale, (*gram_)(passive_[i], passive_[i]) + shift_);
             }
             jitter = (jitter == 0.0 ? std::max(scale, 1.0) * 1e-12
                                     : jitter * 100.0);
@@ -121,6 +128,7 @@ class PassiveFactor {
 
     const Matrix* gram_;
     double jitter_;
+    double shift_;
     Matrix l_;  // leading k x k block holds the factor
     std::vector<std::size_t> passive_;
 };
@@ -133,13 +141,25 @@ NnlsResult nnls_gram(const Matrix& gram_matrix, const Vector& atb, double btb,
     if (gram_matrix.rows() != n || gram_matrix.cols() != n) {
         throw std::invalid_argument("nnls_gram: dimension mismatch");
     }
+    if (options.gram_operator != nullptr &&
+        options.gram_operator->cols() != n) {
+        throw std::invalid_argument(
+            "nnls_gram: gram_operator column count does not match the "
+            "Gram system");
+    }
+    if (options.gram_diagonal_shift < 0.0) {
+        throw std::invalid_argument(
+            "nnls_gram: negative gram_diagonal_shift");
+    }
+    const double shift = options.gram_diagonal_shift;
+    const SparseMatrix* op = options.gram_operator;
     const std::size_t max_iter =
         options.max_iterations > 0 ? options.max_iterations : 3 * n + 16;
 
     NnlsResult result;
     result.x.assign(n, 0.0);
     std::vector<bool> in_passive(n, false);
-    PassiveFactor factor(gram_matrix, 0.0);
+    PassiveFactor factor(gram_matrix, 0.0, shift);
 
     double scale = nrm_inf(atb);
     if (scale == 0.0) scale = 1.0;
@@ -211,13 +231,25 @@ NnlsResult nnls_gram(const Matrix& gram_matrix, const Vector& atb, double btb,
         }
     };
 
-    // Refresh dual: w = g - G x restricted to passive support.
+    // Refresh dual: w = g - (G + shift I) x restricted to passive
+    // support.  With a sparse operator behind the Gram this is two
+    // sparse mat-vecs (O(nnz)); otherwise a dense row sweep per
+    // coordinate (O(n * |passive|)).
     const auto refresh_dual = [&]() {
+        if (op != nullptr) {
+            const Vector atax =
+                op->multiply_transpose(op->multiply(result.x));
+            for (std::size_t j = 0; j < n; ++j) {
+                w[j] = atb[j] - atax[j] - shift * result.x[j];
+            }
+            return;
+        }
         const std::vector<std::size_t>& passive = factor.passive();
         for (std::size_t j = 0; j < n; ++j) {
             double acc = atb[j];
             for (std::size_t p : passive) {
-                acc -= gram_matrix(j, p) * result.x[p];
+                acc -= (gram_matrix(j, p) + (j == p ? shift : 0.0)) *
+                       result.x[p];
             }
             w[j] = acc;
         }
@@ -271,7 +303,10 @@ NnlsResult nnls_gram(const Matrix& gram_matrix, const Vector& atb, double btb,
             if (result.x[p] == 0.0) continue;
             double gx = 0.0;
             for (std::size_t q = 0; q < n; ++q) {
-                if (result.x[q] != 0.0) gx += gram_matrix(p, q) * result.x[q];
+                if (result.x[q] != 0.0) {
+                    gx += (gram_matrix(p, q) + (p == q ? shift : 0.0)) *
+                          result.x[q];
+                }
             }
             quad += result.x[p] * (gx - 2.0 * atb[p]);
         }
@@ -295,8 +330,14 @@ NnlsResult nnls(const SparseMatrix& a, const Vector& b,
     if (a.rows() != b.size()) {
         throw std::invalid_argument("nnls: dimension mismatch");
     }
-    NnlsResult r =
-        nnls_gram(a.gram(), a.multiply_transpose(b), dot(b, b), options);
+    // The Gram is the operator's own, so the dual refresh can run over
+    // A's nonzeros instead of dense Gram rows.
+    NnlsOptions sparse_options = options;
+    if (sparse_options.gram_operator == nullptr) {
+        sparse_options.gram_operator = &a;
+    }
+    NnlsResult r = nnls_gram(gram_sparse(a), a.multiply_transpose(b),
+                             dot(b, b), sparse_options);
     r.residual_norm = nrm2(sub(a.multiply(r.x), b));
     return r;
 }

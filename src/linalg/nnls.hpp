@@ -34,6 +34,21 @@ struct NnlsOptions {
     /// is shortened.  Streaming callers pass the previous window's
     /// solution here.  Not owned; must outlive the call.
     const Vector* warm_start = nullptr;
+    /// Treat the supplied Gram matrix as G + gram_diagonal_shift * I
+    /// without materializing the shifted copy.  Ridge-regularized
+    /// callers (the Bayesian estimator's prior term) pass the bare Gram
+    /// plus this shift, saving an O(n^2) copy per solve; every read of
+    /// a diagonal entry adds the shift, so the arithmetic is bit-for-bit
+    /// the one the pre-shifted copy would produce.
+    double gram_diagonal_shift = 0.0;
+    /// Optional sparse operator A with A'A equal to the supplied Gram
+    /// (before the diagonal shift).  When set, the dual refresh
+    /// w = atb - (G + shift I) x is evaluated as atb - A'(A x) - shift x
+    /// in O(nnz) instead of the O(n * |passive|) dense sweep — the
+    /// difference between paper-scale and generated-backbone runtimes.
+    /// The active-set subproblem itself stays dense (it factorizes
+    /// G[passive, passive]).  Not owned; must outlive the call.
+    const SparseMatrix* gram_operator = nullptr;
 };
 
 struct NnlsResult {

@@ -49,6 +49,12 @@ EqQpNonnegResult solve_eq_qp_nonneg(const Matrix& h, const Vector& f,
         d.size() != m) {
         throw std::invalid_argument("solve_eq_qp_nonneg: dimension mismatch");
     }
+    const SparseMatrix* eop = options.equality_operator;
+    if (eop != nullptr && (eop->rows() != m || eop->cols() != n)) {
+        throw std::invalid_argument(
+            "solve_eq_qp_nonneg: equality_operator dimensions do not "
+            "match e");
+    }
     // Active-set on the non-negativity constraints over exact KKT solves
     // of the equality-constrained subproblem (free variables only).  A
     // penalty reformulation would bury the data term's fine structure
@@ -100,12 +106,24 @@ EqQpNonnegResult solve_eq_qp_nonneg(const Matrix& h, const Vector& f,
         // escalations on it.
         if (seeded) {
             bool rows_supported = true;
-            for (std::size_t r = 0; r < m && rows_supported; ++r) {
-                bool has_free = false;
-                for (std::size_t a = 0; a < k && !has_free; ++a) {
-                    has_free = e(r, free_vars[a]) != 0.0;
+            if (eop != nullptr) {
+                const CsrView ev = eop->view();
+                for (std::size_t r = 0; r < m && rows_supported; ++r) {
+                    bool has_free = false;
+                    for (std::size_t t = ev.offsets[r];
+                         t < ev.offsets[r + 1] && !has_free; ++t) {
+                        has_free = !fixed_zero[ev.col_index[t]];
+                    }
+                    rows_supported = has_free;
                 }
-                rows_supported = has_free;
+            } else {
+                for (std::size_t r = 0; r < m && rows_supported; ++r) {
+                    bool has_free = false;
+                    for (std::size_t a = 0; a < k && !has_free; ++a) {
+                        has_free = e(r, free_vars[a]) != 0.0;
+                    }
+                    rows_supported = has_free;
+                }
             }
             if (!rows_supported) {
                 std::fill(fixed_zero.begin(), fixed_zero.end(), 0);
@@ -124,12 +142,35 @@ EqQpNonnegResult solve_eq_qp_nonneg(const Matrix& h, const Vector& f,
         Vector rhs(k + m, 0.0);
         for (std::size_t a = 0; a < k; ++a) {
             rhs[a] = f[free_vars[a]];
+            const double* __restrict hrow = h.row_data(free_vars[a]);
+            double* __restrict krow = kkt.row_data(a);
             for (std::size_t b = 0; b < k; ++b) {
-                kkt(a, b) = h(free_vars[a], free_vars[b]);
+                krow[b] = hrow[free_vars[b]];
             }
+        }
+        if (eop != nullptr) {
+            // Free-variable index per column, for scattering E's
+            // nonzeros straight into the bordered blocks.
+            std::vector<std::size_t> free_index(n, SIZE_MAX);
+            for (std::size_t a = 0; a < k; ++a) {
+                free_index[free_vars[a]] = a;
+            }
+            const CsrView ev = eop->view();
             for (std::size_t r = 0; r < m; ++r) {
-                kkt(a, k + r) = e(r, free_vars[a]);
-                kkt(k + r, a) = e(r, free_vars[a]);
+                for (std::size_t t = ev.offsets[r]; t < ev.offsets[r + 1];
+                     ++t) {
+                    const std::size_t a = free_index[ev.col_index[t]];
+                    if (a == SIZE_MAX) continue;
+                    kkt(a, k + r) = ev.values[t];
+                    kkt(k + r, a) = ev.values[t];
+                }
+            }
+        } else {
+            for (std::size_t a = 0; a < k; ++a) {
+                for (std::size_t r = 0; r < m; ++r) {
+                    kkt(a, k + r) = e(r, free_vars[a]);
+                    kkt(k + r, a) = e(r, free_vars[a]);
+                }
             }
         }
         for (std::size_t r = 0; r < m; ++r) rhs[k + r] = d[r];
@@ -194,14 +235,27 @@ EqQpNonnegResult solve_eq_qp_nonneg(const Matrix& h, const Vector& f,
         std::size_t worst = n;
         double worst_mu = -mu_tol;
         std::vector<std::size_t> violators;
+        // E' nu gathered once over the nonzeros when the CSR form is
+        // available (the dense fallback walks column j per coordinate).
+        Vector etnu;
+        if (eop != nullptr && m > 0) {
+            const Vector nu(sol.begin() + static_cast<std::ptrdiff_t>(k),
+                            sol.begin() + static_cast<std::ptrdiff_t>(k + m));
+            etnu = eop->multiply_transpose(nu);
+        }
         for (std::size_t j = 0; j < n; ++j) {
             if (!fixed_zero[j]) continue;
             double mu = -f[j];
+            const double* __restrict hrow = h.row_data(j);
             for (std::size_t a = 0; a < k; ++a) {
-                mu += h(j, free_vars[a]) * sol[a];
+                mu += hrow[free_vars[a]] * sol[a];
             }
-            for (std::size_t r = 0; r < m; ++r) {
-                mu += e(r, j) * sol[k + r];
+            if (eop != nullptr) {
+                if (m > 0) mu += etnu[j];
+            } else {
+                for (std::size_t r = 0; r < m; ++r) {
+                    mu += e(r, j) * sol[k + r];
+                }
             }
             if (mu < -mu_tol) violators.push_back(j);
             if (mu < worst_mu) {
@@ -248,8 +302,9 @@ EqQpNonnegResult solve_eq_qp_nonneg(const Matrix& h, const Vector& f,
 
     result.active.assign(fixed_zero.begin(), fixed_zero.end());
     if (m > 0) {
-        Vector viol = sub(gemv(e, result.x), d);
-        result.equality_violation = nrm_inf(viol);
+        Vector ex = eop != nullptr ? eop->multiply(result.x)
+                                   : gemv(e, result.x);
+        result.equality_violation = nrm_inf(sub(ex, d));
     }
     return result;
 }

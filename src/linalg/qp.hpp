@@ -22,6 +22,7 @@
 
 #include "linalg/matrix.hpp"
 #include "linalg/nnls.hpp"
+#include "linalg/sparse.hpp"
 
 namespace tme::linalg {
 
@@ -47,6 +48,18 @@ struct EqQpNonnegOptions {
     /// minimizer as a cold solve.  Size must equal the number of
     /// variables.  Not owned; must outlive the call.
     const Vector* warm_start = nullptr;
+    /// Optional CSR form of E (must hold exactly the same coefficients
+    /// as the dense `e` argument).  The per-round seed support checks,
+    /// the KKT assembly of the constraint blocks, the pinned-multiplier
+    /// verification and the final equality-violation evaluation then
+    /// iterate E's nonzeros instead of dense m x n sweeps — on the
+    /// fanout QP E has one nonzero per column, so this turns O(m * n)
+    /// passes into O(n) ones.  With one nonzero per column the produced
+    /// iterates are bit-for-bit the dense path's (the skipped terms are
+    /// exact zeros); for general E the multiplier sums regroup and the
+    /// two paths agree to solver precision.  Not owned; must outlive
+    /// the call.
+    const SparseMatrix* equality_operator = nullptr;
 };
 
 struct EqQpNonnegResult {

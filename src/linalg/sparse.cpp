@@ -42,6 +42,38 @@ SparseMatrix::SparseMatrix(std::size_t rows, std::size_t cols,
     for (std::size_t r = 0; r < rows_; ++r) offsets_[r + 1] += offsets_[r];
 }
 
+SparseMatrix SparseMatrix::from_csr(std::size_t rows, std::size_t cols,
+                                    std::vector<std::size_t> offsets,
+                                    std::vector<std::size_t> col_indices,
+                                    std::vector<double> values) {
+    if (offsets.size() != rows + 1 || offsets.front() != 0 ||
+        offsets.back() != col_indices.size() ||
+        col_indices.size() != values.size()) {
+        throw std::invalid_argument("SparseMatrix::from_csr: bad shape");
+    }
+    for (std::size_t i = 0; i < rows; ++i) {
+        if (offsets[i] > offsets[i + 1]) {
+            throw std::invalid_argument(
+                "SparseMatrix::from_csr: offsets not monotone");
+        }
+        for (std::size_t k = offsets[i]; k < offsets[i + 1]; ++k) {
+            if (col_indices[k] >= cols ||
+                (k > offsets[i] && col_indices[k - 1] >= col_indices[k])) {
+                throw std::invalid_argument(
+                    "SparseMatrix::from_csr: columns not sorted unique in "
+                    "range");
+            }
+        }
+    }
+    SparseMatrix m;
+    m.rows_ = rows;
+    m.cols_ = cols;
+    m.offsets_ = std::move(offsets);
+    m.cols_idx_ = std::move(col_indices);
+    m.values_ = std::move(values);
+    return m;
+}
+
 SparseMatrix SparseMatrix::from_dense(const Matrix& dense, double drop_tol) {
     std::vector<Triplet> trips;
     for (std::size_t i = 0; i < dense.rows(); ++i) {
@@ -58,12 +90,17 @@ Vector SparseMatrix::multiply(const Vector& x) const {
         throw std::invalid_argument("SparseMatrix::multiply: size mismatch");
     }
     Vector y(rows_, 0.0);
+    const std::size_t* __restrict off = offsets_.data();
+    const std::size_t* __restrict cidx = cols_idx_.data();
+    const double* __restrict vals = values_.data();
+    const double* __restrict xp = x.data();
+    double* __restrict yp = y.data();
     for (std::size_t i = 0; i < rows_; ++i) {
         double acc = 0.0;
-        for (std::size_t k = offsets_[i]; k < offsets_[i + 1]; ++k) {
-            acc += values_[k] * x[cols_idx_[k]];
+        for (std::size_t k = off[i]; k < off[i + 1]; ++k) {
+            acc += vals[k] * xp[cidx[k]];
         }
-        y[i] = acc;
+        yp[i] = acc;
     }
     return y;
 }
@@ -74,31 +111,93 @@ Vector SparseMatrix::multiply_transpose(const Vector& x) const {
             "SparseMatrix::multiply_transpose: size mismatch");
     }
     Vector y(cols_, 0.0);
+    const std::size_t* __restrict off = offsets_.data();
+    const std::size_t* __restrict cidx = cols_idx_.data();
+    const double* __restrict vals = values_.data();
+    double* __restrict yp = y.data();
     for (std::size_t i = 0; i < rows_; ++i) {
         const double xi = x[i];
         if (xi == 0.0) continue;
-        for (std::size_t k = offsets_[i]; k < offsets_[i + 1]; ++k) {
-            y[cols_idx_[k]] += xi * values_[k];
+        for (std::size_t k = off[i]; k < off[i + 1]; ++k) {
+            yp[cidx[k]] += xi * vals[k];
         }
     }
     return y;
 }
 
-Matrix SparseMatrix::gram() const {
-    Matrix g(cols_, cols_, 0.0);
-    for (std::size_t i = 0; i < rows_; ++i) {
-        for (std::size_t k = offsets_[i]; k < offsets_[i + 1]; ++k) {
-            const std::size_t p = cols_idx_[k];
-            const double vp = values_[k];
-            for (std::size_t l = k; l < offsets_[i + 1]; ++l) {
-                g(p, cols_idx_[l]) += vp * values_[l];
-            }
+Matrix SparseMatrix::gram() const { return gram_sparse(*this); }
+
+namespace {
+
+/// CSC-style column supports of a CSR matrix: for each column p, the
+/// CSR positions of its nonzeros (source rows ascending — a
+/// column-counting pass over the row-sorted CSR arrays yields them in
+/// that order) plus the bounds of the row each nonzero lives in.  The
+/// shared indexing pass of both Gram kernels.
+struct ColumnSupports {
+    std::vector<std::size_t> col_start;  // cols + 1 entries
+    std::vector<std::size_t> entry_pos;
+    std::vector<std::size_t> entry_row_start;
+    std::vector<std::size_t> entry_row_end;
+};
+
+ColumnSupports column_supports(const CsrView& v, std::size_t nnz) {
+    ColumnSupports cs;
+    cs.col_start.assign(v.cols + 1, 0);
+    for (std::size_t k = 0; k < nnz; ++k) {
+        ++cs.col_start[v.col_index[k] + 1];
+    }
+    for (std::size_t p = 0; p < v.cols; ++p) {
+        cs.col_start[p + 1] += cs.col_start[p];
+    }
+    cs.entry_pos.resize(nnz);
+    cs.entry_row_start.resize(nnz);
+    cs.entry_row_end.resize(nnz);
+    std::vector<std::size_t> fill(cs.col_start.begin(),
+                                  cs.col_start.end() - 1);
+    for (std::size_t i = 0; i < v.rows; ++i) {
+        const std::size_t row_start = v.offsets[i];
+        const std::size_t row_end = v.offsets[i + 1];
+        for (std::size_t k = row_start; k < row_end; ++k) {
+            const std::size_t slot = fill[v.col_index[k]]++;
+            cs.entry_pos[slot] = k;
+            cs.entry_row_start[slot] = row_start;
+            cs.entry_row_end[slot] = row_end;
         }
     }
-    // The loop above fills the upper triangle (CSR columns are sorted per
-    // row); mirror it.
-    for (std::size_t p = 0; p < cols_; ++p) {
-        for (std::size_t q = 0; q < p; ++q) g(p, q) = g(q, p);
+    return cs;
+}
+
+}  // namespace
+
+Matrix gram_sparse(const SparseMatrix& a) {
+    const CsrView v = a.view();
+    Matrix g(v.cols, v.cols, 0.0);
+
+    // CSC-ordered accumulation: for each output row p, visit the source
+    // rows carrying column p (ascending) and fold in each carrying
+    // row's full span.  Every G(p, q) element thereby accumulates its
+    // terms in source-row-ascending order — bitwise what the naive
+    // row-outer upper-triangle sweep plus a mirror copy produces
+    // (products commute, so the lower entries match their mirrored
+    // twins exactly) — but with two locality wins: all updates to G
+    // row p happen back to back, and structurally-zero regions of the
+    // (potentially huge) output are never touched at all, so their
+    // calloc-backed pages stay unfaulted.
+    const ColumnSupports cs = column_supports(v, a.nonzeros());
+    const std::size_t* __restrict qi = v.col_index;
+    const double* __restrict qv = v.values;
+    for (std::size_t p = 0; p < v.cols; ++p) {
+        double* __restrict grow = g.row_data(p);
+        for (std::size_t slot = cs.col_start[p]; slot < cs.col_start[p + 1];
+             ++slot) {
+            const double vp = qv[cs.entry_pos[slot]];
+            const std::size_t row_end = cs.entry_row_end[slot];
+            for (std::size_t l = cs.entry_row_start[slot]; l < row_end;
+                 ++l) {
+                grow[qi[l]] += vp * qv[l];
+            }
+        }
     }
     return g;
 }
@@ -174,6 +273,55 @@ std::size_t SparseMatrix::column_nonzeros(std::size_t j) const {
         if (c == j) ++count;
     }
     return count;
+}
+
+SparseMatrix gram_sparse_csr(const SparseMatrix& a) {
+    const CsrView v = a.view();
+    const std::size_t n = v.cols;
+    const std::size_t nnz = a.nonzeros();
+    const ColumnSupports cs = column_supports(v, nnz);
+
+    // Gustavson: scatter each output row into a dense scratch that
+    // stays cache-resident, then harvest it in column order (so the
+    // produced CSR rows are sorted without any per-row sort).  Bounds
+    // tracked per row keep the harvest scan to the touched span.
+    std::vector<double> scratch(n, 0.0);
+    std::vector<std::size_t> offsets(n + 1, 0);
+    std::vector<std::size_t> cols_idx;
+    std::vector<double> values;
+    cols_idx.reserve(4 * nnz);
+    values.reserve(4 * nnz);
+    const std::size_t* __restrict qi = v.col_index;
+    const double* __restrict qv = v.values;
+    double* __restrict sc = scratch.data();
+    for (std::size_t p = 0; p < n; ++p) {
+        std::size_t lo = n;
+        std::size_t hi = 0;
+        for (std::size_t slot = cs.col_start[p]; slot < cs.col_start[p + 1];
+             ++slot) {
+            const double vp = qv[cs.entry_pos[slot]];
+            const std::size_t row_end = cs.entry_row_end[slot];
+            const std::size_t row_start = cs.entry_row_start[slot];
+            if (row_start < row_end) {
+                lo = std::min(lo, qi[row_start]);
+                hi = std::max(hi, qi[row_end - 1] + 1);
+            }
+            for (std::size_t l = row_start; l < row_end; ++l) {
+                sc[qi[l]] += vp * qv[l];
+            }
+        }
+        for (std::size_t q = lo; q < hi; ++q) {
+            const double val = sc[q];
+            if (val != 0.0) {
+                cols_idx.push_back(q);
+                values.push_back(val);
+                sc[q] = 0.0;
+            }
+        }
+        offsets[p + 1] = cols_idx.size();
+    }
+    return SparseMatrix::from_csr(n, n, std::move(offsets),
+                                  std::move(cols_idx), std::move(values));
 }
 
 SparseMatrix sparse_vstack(const SparseMatrix& a, const SparseMatrix& b) {

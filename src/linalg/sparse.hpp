@@ -21,6 +21,18 @@ struct Triplet {
     double value = 0.0;
 };
 
+/// Raw-pointer CSR view for tight solver loops: no bounds checks, no
+/// vector indirection, stable for the lifetime of the SparseMatrix it
+/// was taken from.  Row i's nonzeros live at [offsets[i], offsets[i+1])
+/// in `col_index` / `values`.
+struct CsrView {
+    std::size_t rows = 0;
+    std::size_t cols = 0;
+    const std::size_t* offsets = nullptr;   // rows + 1 entries
+    const std::size_t* col_index = nullptr;
+    const double* values = nullptr;
+};
+
 /// Immutable CSR sparse matrix.  Duplicate triplets are summed.
 class SparseMatrix {
   public:
@@ -32,6 +44,16 @@ class SparseMatrix {
 
     static SparseMatrix from_dense(const Matrix& dense,
                                    double drop_tol = 0.0);
+
+    /// Adopts ready-made CSR arrays (offsets.size() == rows + 1, column
+    /// indices sorted strictly ascending within each row).  O(nnz)
+    /// validation, no re-sorting — the constructor for kernels that
+    /// produce CSR output directly (gram_sparse_csr).  Throws
+    /// std::invalid_argument on malformed input.
+    static SparseMatrix from_csr(std::size_t rows, std::size_t cols,
+                                 std::vector<std::size_t> offsets,
+                                 std::vector<std::size_t> col_indices,
+                                 std::vector<double> values);
 
     std::size_t rows() const { return rows_; }
     std::size_t cols() const { return cols_; }
@@ -69,6 +91,12 @@ class SparseMatrix {
     const std::vector<std::size_t>& column_indices() const { return cols_idx_; }
     const std::vector<double>& values() const { return values_; }
 
+    /// Pointer-level CSR view (valid while this matrix is alive).
+    CsrView view() const {
+        return {rows_, cols_, offsets_.data(), cols_idx_.data(),
+                values_.data()};
+    }
+
   private:
     std::size_t rows_ = 0;
     std::size_t cols_ = 0;
@@ -79,5 +107,25 @@ class SparseMatrix {
 
 /// Stacks A over B (A.cols() == B.cols()).
 SparseMatrix sparse_vstack(const SparseMatrix& a, const SparseMatrix& b);
+
+/// Dense Gram matrix G = A'A accumulated from row outer products over
+/// the nonzeros only — A is never densified, so the arithmetic cost is
+/// sum_i nnz(row_i)^2 instead of the nnz * cols of the densifying
+/// path.  Element-for-element the accumulation order matches
+/// gram(A.to_dense()) (source rows ascending), so the two are bitwise
+/// equal on finite inputs.  SparseMatrix::gram() forwards here.
+Matrix gram_sparse(const SparseMatrix& a);
+
+/// Gram matrix G = A'A in CSR form (Gustavson's algorithm: one dense
+/// scratch row that stays cache-resident, harvested in column order
+/// per output row).  Nothing of size cols^2 is ever allocated, which
+/// is what makes Gram construction possible at scales where the dense
+/// matrix cannot exist at all (a 200-PoP backbone's 39800^2 Gram is
+/// ~12.7 GB dense; its CSR form holds only the structurally coupled
+/// pair-pairs).  Values accumulate in the same source-row-ascending
+/// order as the dense kernels: to_dense() of the result equals
+/// gram(A.to_dense()) bitwise on finite inputs (entries that cancel to
+/// exactly 0.0 become structural zeros).
+SparseMatrix gram_sparse_csr(const SparseMatrix& a);
 
 }  // namespace tme::linalg

@@ -78,30 +78,36 @@ linalg::Vector project_rowspace(const linalg::SparseMatrix& r,
 Scenario assemble(std::string name, topology::Topology topo,
                   const traffic::DemandModelConfig& demand_config,
                   const traffic::SeriesConfig& series_config,
-                  std::size_t busy_start, double rowspace_alignment) {
+                  std::size_t busy_start, double rowspace_alignment,
+                  std::size_t busy_length = 50, bool igp_routing = false) {
     Scenario sc;
     sc.name = std::move(name);
     sc.topo = std::move(topo);
     sc.busy_start = busy_start;
-    sc.busy_length = 50;
+    sc.busy_length = busy_length;
 
     // Spatial base demands (normalized to unit total).
     sc.base_mean = traffic::base_demands(sc.topo, demand_config);
 
     // CSPF LSP mesh: bandwidth values from the base demands, scaled so
     // the largest demand is ~1200 Mbps (the paper mentions this as the
-    // order of the largest demands).
+    // order of the largest demands).  Generated stress-scaling
+    // scenarios route over plain IGP shortest paths instead.
     double max_base = 0.0;
     for (double v : sc.base_mean) max_base = std::max(max_base, v);
     sc.scale_mbps = 1200.0 / std::max(max_base, 1e-12);
-    linalg::Vector bandwidth = sc.base_mean;
-    for (double& v : bandwidth) v *= sc.scale_mbps;
-    routing::CspfOptions cspf;
-    cspf.max_utilization = 1.0;
-    cspf.fallback_to_igp = true;
-    const std::vector<routing::Lsp> mesh =
-        routing::build_lsp_mesh(sc.topo, bandwidth, cspf);
-    sc.routing = routing::build_routing_matrix(sc.topo, mesh);
+    if (igp_routing) {
+        sc.routing = routing::igp_routing_matrix(sc.topo);
+    } else {
+        linalg::Vector bandwidth = sc.base_mean;
+        for (double& v : bandwidth) v *= sc.scale_mbps;
+        routing::CspfOptions cspf;
+        cspf.max_utilization = 1.0;
+        cspf.fallback_to_igp = true;
+        const std::vector<routing::Lsp> mesh =
+            routing::build_lsp_mesh(sc.topo, bandwidth, cspf);
+        sc.routing = routing::build_routing_matrix(sc.topo, mesh);
+    }
 
     // Row-space alignment (see the header): shrink the component of the
     // matrix's own gravity error that the link loads cannot see.  The
@@ -243,6 +249,50 @@ void replay(const Scenario& sc, const std::vector<RouteChangeEvent>& events,
                  sc.demands[k]);
         }
     }
+}
+
+Scenario make_generated_scenario(const GeneratedScenarioConfig& config) {
+    if (config.samples < 2) {
+        throw std::invalid_argument(
+            "make_generated_scenario: need at least 2 samples");
+    }
+    topology::Topology topo = topology::generated_backbone(
+        config.pops, config.avg_core_degree, config.seed);
+
+    traffic::DemandModelConfig demand;
+    demand.seed = 7000 + config.seed;
+    demand.lognormal_sigma = 0.3;
+    demand.hotspots_per_source = 2;
+    demand.hotspot_strength = 2.0;
+
+    traffic::SeriesConfig series;
+    series.profile.peak_minute = 18.0 * 60.0;
+    series.profile.trough_fraction = 0.35;
+    series.profile.sharpness = 2.0;
+    series.reference_longitude = -95.0;
+    series.minutes_per_degree = 4.0;
+    series.noise.phi = 0.0015;
+    series.noise.c = 1.5;
+    series.seed = 8000 + config.seed;
+    series.samples = config.samples;
+
+    // Busy window around the 18:00 peak, clipped to short smoke-test
+    // days (which never reach the peak — any window is fine there).
+    constexpr std::size_t peak_sample = 216;  // 18:00 in 5-min bins
+    const std::size_t busy_length =
+        std::min<std::size_t>(50, std::max<std::size_t>(1,
+                                                        config.samples / 2));
+    std::size_t busy_start =
+        peak_sample >= 25 ? peak_sample - 25 : 0;
+    if (busy_start + busy_length > config.samples) {
+        busy_start = config.samples - busy_length;
+    }
+
+    const std::string name = "Generated-" + std::to_string(config.pops) +
+                             "pop-seed" + std::to_string(config.seed);
+    return assemble(name, std::move(topo), demand, series, busy_start,
+                    /*rowspace_alignment=*/0.0, busy_length,
+                    /*igp_routing=*/!config.cspf_routing);
 }
 
 Scenario make_custom_scenario(topology::Topology topo,

@@ -92,6 +92,27 @@ Scenario make_custom_scenario(topology::Topology topo,
                               const CustomScenarioConfig& config,
                               const std::string& name = "custom");
 
+/// Stress-scaling scenario on a topology::generated_backbone(): the
+/// same demand/diurnal machinery as the paper networks at arbitrary PoP
+/// count, so engine replays and fleet runs can load
+/// hundreds-of-PoP days.  Two scale-conscious defaults differ from the
+/// paper assembly: routing comes from plain IGP shortest paths (the
+/// bandwidth-constrained CSPF mesh is available via `cspf_routing` but
+/// costs P Dijkstra passes with reservations), and the row-space
+/// alignment step is skipped (its dense L x L projector assembly is an
+/// O(L^2 P) preprocessing artifact of the paper-fidelity calibration,
+/// not something stress scaling needs).
+struct GeneratedScenarioConfig {
+    std::size_t pops = 100;
+    double avg_core_degree = 4.0;
+    unsigned seed = 1;
+    /// Day length in 5-minute samples; trim for smoke tests (the busy
+    /// window shrinks with it).
+    std::size_t samples = 288;
+    bool cspf_routing = false;
+};
+Scenario make_generated_scenario(const GeneratedScenarioConfig& config);
+
 /// A routing change injected during a replay: every sample with index
 /// >= at_sample uses `routing` (until a later event applies).  The
 /// matrix must have the scenario's pair count as column count and is not

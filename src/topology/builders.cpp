@@ -219,6 +219,141 @@ Topology tiny_backbone() {
     return t;
 }
 
+Topology generated_backbone(std::size_t pops, double avg_core_degree,
+                            unsigned seed) {
+    if (pops < 2) {
+        throw std::invalid_argument("generated_backbone: need >= 2 PoPs");
+    }
+    if (avg_core_degree < 1.0) {
+        throw std::invalid_argument(
+            "generated_backbone: average core degree must be >= 1");
+    }
+    std::mt19937_64 rng(0x9e3779b97f4a7c15ULL ^ seed);
+    std::uniform_real_distribution<double> jitter(-1.2, 1.2);
+
+    // PoPs on a jittered continental grid (a US-like lat/lon box).
+    const std::size_t grid_cols = static_cast<std::size_t>(
+        std::ceil(std::sqrt(static_cast<double>(pops))));
+    const std::size_t grid_rows = (pops + grid_cols - 1) / grid_cols;
+    const double lat_lo = 26.0, lat_hi = 48.0;
+    const double lon_lo = -122.0, lon_hi = -72.0;
+
+    // Zipf-like hub hierarchy over a shuffled rank assignment: the
+    // heavy PoPs land at deterministic-but-scattered grid positions
+    // instead of clustering in one corner.
+    std::vector<std::size_t> rank_of(pops);
+    for (std::size_t i = 0; i < pops; ++i) rank_of[i] = i;
+    std::shuffle(rank_of.begin(), rank_of.end(), rng);
+
+    Topology t;
+    for (std::size_t i = 0; i < pops; ++i) {
+        const std::size_t gr = i / grid_cols;
+        const std::size_t gc = i % grid_cols;
+        Pop p;
+        p.name = "G" + std::to_string(i);
+        p.latitude = lat_lo +
+                     (lat_hi - lat_lo) * (static_cast<double>(gr) + 0.5) /
+                         static_cast<double>(grid_rows) +
+                     jitter(rng);
+        p.longitude = lon_lo +
+                      (lon_hi - lon_lo) * (static_cast<double>(gc) + 0.5) /
+                          static_cast<double>(grid_cols) +
+                      jitter(rng);
+        // w ~ 1/(rank+1)^0.9, scaled so the top hub is ~an order of
+        // magnitude heavier than the median PoP (the paper's "limited
+        // subset of nodes carries most traffic").
+        p.weight =
+            12.0 / std::pow(static_cast<double>(rank_of[i]) + 1.0, 0.9);
+        t.add_pop(std::move(p));
+    }
+
+    // All unordered pairs by great-circle distance, as in us_backbone().
+    struct Cand {
+        std::size_t a;
+        std::size_t b;
+        double km;
+    };
+    std::vector<Cand> cands;
+    cands.reserve(pops * (pops - 1) / 2);
+    for (std::size_t a = 0; a < pops; ++a) {
+        for (std::size_t b = a + 1; b < pops; ++b) {
+            cands.push_back({a, b, great_circle_km(t.pop(a), t.pop(b))});
+        }
+    }
+    std::sort(cands.begin(), cands.end(), [](const Cand& x, const Cand& y) {
+        return x.km != y.km ? x.km < y.km
+                            : (x.a != y.a ? x.a < y.a : x.b < y.b);
+    });
+
+    const std::size_t target_edges = std::max<std::size_t>(
+        pops - 1,
+        static_cast<std::size_t>(
+            std::llround(avg_core_degree * static_cast<double>(pops) / 2.0)));
+    std::vector<std::vector<bool>> used(pops, std::vector<bool>(pops, false));
+    std::vector<std::size_t> degree(pops, 0);
+    std::size_t edges = 0;
+    auto add_edge = [&](std::size_t a, std::size_t b) {
+        const double cap = great_circle_km(t.pop(a), t.pop(b)) > 1500.0
+                               ? 10000.0
+                               : 2500.0;
+        connect(t, a, b, cap);
+        used[a][b] = used[b][a] = true;
+        ++degree[a];
+        ++degree[b];
+        ++edges;
+    };
+
+    // Pass 1: spanning connectivity via Kruskal on distance.
+    std::vector<std::size_t> comp(pops);
+    for (std::size_t i = 0; i < pops; ++i) comp[i] = i;
+    auto find = [&comp](std::size_t x) {
+        while (comp[x] != x) x = comp[x] = comp[comp[x]];
+        return x;
+    };
+    for (const Cand& c : cands) {
+        if (find(c.a) != find(c.b)) {
+            comp[find(c.a)] = find(c.b);
+            add_edge(c.a, c.b);
+        }
+    }
+
+    // Pass 2: long-haul express chords between the heaviest hubs (ranks
+    // 0..kHubs-1), richly meshing the traffic concentrators the way
+    // operators overlay express waves between major metros.
+    const std::size_t hubs = std::min<std::size_t>(
+        std::max<std::size_t>(3, pops / 16), 12);
+    std::vector<std::size_t> hub_pop;
+    for (std::size_t i = 0; i < pops; ++i) {
+        if (rank_of[i] < hubs) hub_pop.push_back(i);
+    }
+    for (std::size_t x = 0; x < hub_pop.size() && edges < target_edges;
+         ++x) {
+        for (std::size_t y = x + 1;
+             y < hub_pop.size() && edges < target_edges; ++y) {
+            if (!used[hub_pop[x]][hub_pop[y]]) {
+                add_edge(hub_pop[x], hub_pop[y]);
+            }
+        }
+    }
+
+    // Pass 3: densify with the shortest remaining pairs under a degree
+    // cap; pass 4 relaxes the cap if it starved the target.
+    const std::size_t degree_cap = std::max<std::size_t>(
+        6, static_cast<std::size_t>(std::llround(3.0 * avg_core_degree)));
+    for (const Cand& c : cands) {
+        if (edges >= target_edges) break;
+        if (used[c.a][c.b]) continue;
+        if (degree[c.a] >= degree_cap || degree[c.b] >= degree_cap) continue;
+        add_edge(c.a, c.b);
+    }
+    for (const Cand& c : cands) {
+        if (edges >= target_edges) break;
+        if (used[c.a][c.b]) continue;
+        add_edge(c.a, c.b);
+    }
+    return t;
+}
+
 Topology random_backbone(std::size_t pops, double avg_core_degree,
                          unsigned seed) {
     if (pops < 2) {

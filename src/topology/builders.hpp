@@ -40,4 +40,20 @@ Topology tiny_backbone();
 Topology random_backbone(std::size_t pops, double avg_core_degree,
                          unsigned seed);
 
+/// Deterministic parametric backbone with the paper-like access/core
+/// structure of the hand-built continental networks, at arbitrary
+/// scale — the stress-scaling workload (hundreds of PoPs) the sparse
+/// and blocked solver kernels exist for.  Construction mirrors
+/// us_backbone(): PoPs on a jittered continental grid with a Zipf-like
+/// hub hierarchy in the weights (a handful of PoPs dominate traffic,
+/// reproducing the paper's Fig. 3 concentration), distance-derived IGP
+/// metrics, a Kruskal spanning tree on great-circle distance, proximity
+/// chords under a degree cap up to `avg_core_degree`, and long-haul
+/// express chords between the top hubs.  Every choice is a pure
+/// function of (pops, avg_core_degree, seed): the same arguments yield
+/// the same topology bit for bit, and therefore the same routing-matrix
+/// fingerprint.
+Topology generated_backbone(std::size_t pops, double avg_core_degree,
+                            unsigned seed);
+
 }  // namespace tme::topology

@@ -180,5 +180,23 @@ TEST(TomoDirect, FactoredEstimateTracksTruthAsMeasurementsGrow) {
     }
 }
 
+// The sparse-routing builder exists so the engine's epoch cache never
+// needs the dense P x P Gram; it must reproduce the dense-Gram slice
+// bit for bit (even with an unsorted unknown set).
+TEST(TomoDirect, FromRoutingMatchesSliceBitwise) {
+    const SmallNetwork net = tiny_network(4);
+    const std::vector<std::size_t> unknown{7, 1, 4, 10, 2};
+    const double tau = 1e-3;
+    const ReducedFactor sliced =
+        ReducedFactor::slice(net.routing.gram(), unknown, tau);
+    const ReducedFactor direct =
+        ReducedFactor::from_routing(net.routing, unknown, tau);
+    ASSERT_EQ(sliced.unknown, direct.unknown);
+    EXPECT_EQ(linalg::max_abs_diff(sliced.gram, direct.gram), 0.0);
+    EXPECT_EQ(linalg::max_abs_diff(sliced.chol.factor(),
+                                   direct.chol.factor()),
+              0.0);
+}
+
 }  // namespace
 }  // namespace tme::core

@@ -54,6 +54,35 @@ TEST(RoutingEpochCache, HitMissAndGramCorrectness) {
               0.0);
 }
 
+// The dense Gram is lazy: engines scheduling only Gram-free methods
+// (gravity, Kruithof) or only the direct-measurement workflow must
+// never pay for a P x P matrix.
+TEST(RoutingEpochCache, GramIsLazy) {
+    const SmallNetwork net = tiny_network();
+    RoutingEpochCache cache(2);
+    const RoutingEpoch& epoch = cache.acquire(net.routing);
+    EXPECT_FALSE(epoch.gram_built());
+    // The epoch's private routing copy is content-identical.
+    EXPECT_EQ(epoch.routing().nonzeros(), net.routing.nonzeros());
+
+    // The reduced factor builds from the sparse routing copy — still no
+    // dense Gram.
+    const std::vector<std::size_t> unknown = {0, 2, 5};
+    const auto factor = epoch.reduced_factor(unknown, 1e-3);
+    ASSERT_NE(factor, nullptr);
+    EXPECT_FALSE(epoch.gram_built());
+    // ... and matches the dense-Gram slice bitwise.
+    const core::ReducedFactor sliced =
+        core::ReducedFactor::slice(net.routing.gram(), unknown, 1e-3);
+    EXPECT_EQ(linalg::max_abs_diff(factor->gram, sliced.gram), 0.0);
+
+    // First gram() call builds; later calls return the same object.
+    const linalg::Matrix& g = epoch.gram();
+    EXPECT_TRUE(epoch.gram_built());
+    EXPECT_EQ(&epoch.gram(), &g);
+    EXPECT_EQ(linalg::max_abs_diff(g, net.routing.gram()), 0.0);
+}
+
 TEST(RoutingEpochCache, FlapRecoveryAndEviction) {
     const SmallNetwork net = tiny_network();
     RoutingEpochCache cache(2);

@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
+#include "core/route_change.hpp"
+#include "routing/routing_matrix.hpp"
+
 namespace tme::topology {
 namespace {
 
@@ -104,6 +109,63 @@ TEST(Builders, RandomBackboneConnected) {
 
 TEST(Builders, RandomBackboneRejectsDegenerate) {
     EXPECT_THROW(random_backbone(1, 2.0, 1), std::invalid_argument);
+}
+
+// Same seed must give a bitwise-identical topology AND an identical
+// routing fingerprint — generated-backbone scaling runs are only
+// reproducible across processes/hosts if every derived quantity is.
+TEST(Builders, GeneratedBackboneDeterministic) {
+    const Topology a = generated_backbone(40, 4.0, 9);
+    const Topology b = generated_backbone(40, 4.0, 9);
+    ASSERT_EQ(a.pop_count(), b.pop_count());
+    ASSERT_EQ(a.link_count(), b.link_count());
+    for (std::size_t i = 0; i < a.pop_count(); ++i) {
+        EXPECT_EQ(a.pop(i).name, b.pop(i).name);
+        EXPECT_EQ(a.pop(i).latitude, b.pop(i).latitude);
+        EXPECT_EQ(a.pop(i).longitude, b.pop(i).longitude);
+        EXPECT_EQ(a.pop(i).weight, b.pop(i).weight);
+    }
+    for (std::size_t i = 0; i < a.link_count(); ++i) {
+        EXPECT_EQ(a.link(i).src, b.link(i).src);
+        EXPECT_EQ(a.link(i).dst, b.link(i).dst);
+        EXPECT_EQ(a.link(i).capacity_mbps, b.link(i).capacity_mbps);
+        EXPECT_EQ(a.link(i).igp_metric, b.link(i).igp_metric);
+    }
+    const std::uint64_t fa =
+        core::routing_fingerprint(routing::igp_routing_matrix(a));
+    const std::uint64_t fb =
+        core::routing_fingerprint(routing::igp_routing_matrix(b));
+    EXPECT_EQ(fa, fb);
+    // A different seed moves the PoPs, so the routing must differ too.
+    const std::uint64_t fc = core::routing_fingerprint(
+        routing::igp_routing_matrix(generated_backbone(40, 4.0, 10)));
+    EXPECT_NE(fa, fc);
+}
+
+TEST(Builders, GeneratedBackboneStructure) {
+    const std::size_t pops = 60;
+    const double degree = 4.0;
+    const Topology t = generated_backbone(pops, degree, 3);
+    EXPECT_EQ(t.pop_count(), pops);
+    EXPECT_TRUE(t.strongly_connected());
+    // Every PoP has its two edge links; core edges hit the requested
+    // average degree (each undirected adjacency = 2 directed links).
+    EXPECT_EQ(t.link_count(), 2 * pops + t.core_link_count());
+    EXPECT_EQ(t.core_link_count(),
+              2 * static_cast<std::size_t>(degree * pops / 2.0));
+    // Zipf-like hub hierarchy: clear weight dominance.
+    double wmax = 0.0;
+    double wmin = 1e18;
+    for (const Pop& p : t.pops()) {
+        wmax = std::max(wmax, p.weight);
+        wmin = std::min(wmin, p.weight);
+    }
+    EXPECT_GT(wmax / wmin, 10.0);
+}
+
+TEST(Builders, GeneratedBackboneRejectsDegenerate) {
+    EXPECT_THROW(generated_backbone(1, 4.0, 1), std::invalid_argument);
+    EXPECT_THROW(generated_backbone(10, 0.5, 1), std::invalid_argument);
 }
 
 }  // namespace
