@@ -20,6 +20,34 @@ linalg::Vector bayesian_estimate(const SnapshotProblem& problem,
     }
     const double w = 1.0 / options.regularization;  // sigma^{-2}
 
+    // Factored path: the MAP normal system G + w I is exactly the
+    // factored QP's Hessian shape (sparse CSR Gram + diagonal), and the
+    // problem has no equality constraints — nothing quadratic in the
+    // pair count is allocated.  Strictly convex, so the minimizer
+    // matches the NNLS path below to solver precision.
+    if (options.shared_sparse_gram != nullptr &&
+        options.shared_gram == nullptr) {
+        const linalg::SparseMatrix& g = *options.shared_sparse_gram;
+        if (g.rows() != r.cols() || g.cols() != r.cols()) {
+            throw std::invalid_argument(
+                "bayesian_estimate: shared sparse gram dimension mismatch");
+        }
+        linalg::Vector rhs = r.multiply_transpose(problem.loads);
+        for (std::size_t i = 0; i < rhs.size(); ++i) {
+            rhs[i] += w * prior[i];
+        }
+        const linalg::Vector shift(r.cols(), w);
+        linalg::FactoredHessian hessian;
+        hessian.matrix = g.view();
+        hessian.diagonal = &shift;
+        linalg::EqQpNonnegOptions qp_options = options.qp;
+        qp_options.equality_operator = nullptr;
+        qp_options.warm_start = options.warm_start;
+        return linalg::solve_eq_qp_nonneg_factored(
+                   hessian, rhs, linalg::SparseMatrix(), {}, qp_options)
+            .x;
+    }
+
     // The prior term only shifts the Gram diagonal, so the solver takes
     // the bare Gram plus a virtual shift: no per-window O(P^2) copy of
     // a shared epoch Gram, and the dual refresh runs over R's nonzeros.

@@ -13,6 +13,7 @@
 #pragma once
 
 #include "core/problem.hpp"
+#include "linalg/qp.hpp"
 
 namespace tme::core {
 
@@ -24,10 +25,24 @@ struct BayesianOptions {
     /// under an unchanged routing skip the Gram assembly; it MUST equal
     /// problem.routing->gram().  Not owned.
     const linalg::Matrix* shared_gram = nullptr;
+    /// Optional sparse Gram R'R in CSR form (e.g. the epoch cache's
+    /// sparse_gram()); MUST equal gram_sparse_csr(*problem.routing).
+    /// When set (and shared_gram is not), the MAP system is solved
+    /// through the factored QP — G as a CsrView plus the virtual
+    /// (1/lambda) I diagonal — so nothing quadratic in the pair count
+    /// is allocated.  The system is strictly convex, so the minimizer
+    /// is the NNLS path's to solver precision (~1e-9); this is what
+    /// lets the Bayesian method run at 200-PoP generated-backbone
+    /// scale, where the dense Gram (~12.7 GB) cannot exist.  Not owned.
+    const linalg::SparseMatrix* shared_sparse_gram = nullptr;
     /// Optional warm start for the active-set NNLS (see NnlsOptions).
     /// G + (1/lambda) I is positive definite, so the minimizer is unique
     /// and unchanged by warm starting.  Not owned.
     const linalg::Vector* warm_start = nullptr;
+    /// Factored-path tuning (dense-gather limit, projected-CG
+    /// tolerance/cap); only read when shared_sparse_gram is set.  The
+    /// warm_start member inside is ignored.
+    linalg::EqQpNonnegOptions qp;
 };
 
 /// MAP estimate with non-negativity.  `prior` is pair-indexed.

@@ -28,13 +28,11 @@ FanoutConstraints FanoutConstraints::build(const topology::Topology& topo) {
     const std::size_t pairs = topo.pair_count();
     const std::size_t nodes = topo.pop_count();
     c.source_of.resize(pairs);
-    c.equality = linalg::Matrix(nodes, pairs, 0.0);
     std::vector<linalg::Triplet> trips;
     trips.reserve(pairs);
     for (std::size_t p = 0; p < pairs; ++p) {
         const std::size_t src = topo.pair_nodes(p).first;
         c.source_of[p] = src;
-        c.equality(src, p) = 1.0;
         trips.push_back({src, p, 1.0});
     }
     c.equality_sparse = linalg::SparseMatrix(nodes, pairs, std::move(trips));
@@ -65,27 +63,30 @@ FanoutResult fanout_estimate(const SeriesProblem& problem,
             "fanout_estimate: aggregate dimension mismatch");
     }
 
-    // g1 is read-only here, so a shared Gram is used in place (no copy).
-    linalg::Matrix local_gram;
-    if (options.shared_gram != nullptr) {
-        if (options.shared_gram->rows() != pairs ||
-            options.shared_gram->cols() != pairs) {
+    // Sparse Gram G1 = R'R in CSR form, shared per routing epoch by the
+    // engine, derived locally otherwise.  The dense P x P Gram the
+    // pre-factored path weighted element-by-element is never built.
+    linalg::SparseMatrix local_gram;
+    if (options.shared_sparse_gram != nullptr) {
+        if (options.shared_sparse_gram->rows() != pairs ||
+            options.shared_sparse_gram->cols() != pairs) {
             throw std::invalid_argument(
                 "fanout_estimate: shared gram dimension mismatch");
         }
     } else {
-        local_gram = r.gram();
+        local_gram = linalg::gram_sparse_csr(r);
     }
-    const linalg::Matrix& g1 =
-        options.shared_gram != nullptr ? *options.shared_gram : local_gram;
+    const linalg::SparseMatrix& g1 = options.shared_sparse_gram != nullptr
+                                         ? *options.shared_sparse_gram
+                                         : local_gram;
+    const linalg::CsrView gv = g1.view();
+    const std::size_t gnnz = g1.nonzeros();
 
     // Equality-constraint structure (per source, fanouts sum to one):
     // shared per routing epoch by the engine, derived locally otherwise.
     FanoutConstraints local_constraints;
     if (options.shared_constraints != nullptr) {
         if (options.shared_constraints->source_of.size() != pairs ||
-            options.shared_constraints->equality.rows() != nodes ||
-            options.shared_constraints->equality.cols() != pairs ||
             options.shared_constraints->equality_sparse.rows() != nodes ||
             options.shared_constraints->equality_sparse.cols() != pairs) {
             throw std::invalid_argument(
@@ -98,36 +99,39 @@ FanoutResult fanout_estimate(const SeriesProblem& problem,
         options.shared_constraints != nullptr ? *options.shared_constraints
                                               : local_constraints;
 
-    // Accumulate H = sum_k W_k G1 W_k (elementwise weighting of the Gram
-    // matrix) and f = sum_k W_k R' t[k].
-    linalg::Matrix h(pairs, pairs, 0.0);
+    // Factored data term H = sum_k W_k G1 W_k: G1's CSR structure with
+    // per-entry source weights — H(p, q) = (sum_k w_k[p] w_k[q]) G1(p, q)
+    // and the weight only depends on the source nodes of p and q.  Each
+    // value multiplies exactly as the dense assembly did (same products,
+    // same accumulation order over the window), so the factored values
+    // are the dense H's entries bit-for-bit; only the P x P container is
+    // gone.
+    std::vector<double> hvals(gnnz, 0.0);
     linalg::Vector f(pairs, 0.0);
+    const std::vector<std::size_t>& source_of = constraints.source_of;
     if (agg.complete()) {
-        // The weighting sum_k w_k[p] w_k[q] only depends on the source
-        // nodes of p and q, so the nodes x nodes aggregate lifts to pair
-        // space in a single O(P^2) pass.
-        const std::vector<std::size_t>& source_of = constraints.source_of;
+        const linalg::Matrix& outer = *agg.source_outer;
         for (std::size_t p = 0; p < pairs; ++p) {
-            const std::size_t np = source_of[p];
-            for (std::size_t q = 0; q < pairs; ++q) {
-                if (g1(p, q) != 0.0) {
-                    h(p, q) =
-                        (*agg.source_outer)(np, source_of[q]) * g1(p, q);
-                }
+            const double* __restrict orow = outer.row_data(source_of[p]);
+            for (std::size_t t = gv.offsets[p]; t < gv.offsets[p + 1];
+                 ++t) {
+                hvals[t] = orow[source_of[gv.col_index[t]]] * gv.values[t];
             }
         }
         f = *agg.weighted_rhs;
     } else {
-        // sum_k w_k[p] w_k[q] accumulated in h first, then scaled by G1.
+        linalg::Vector rt;
         for (std::size_t k = 0; k < window; ++k) {
             const linalg::Vector w =
                 pair_source_totals(topo, problem.loads[k]);
-            const linalg::Vector rt = r.multiply_transpose(problem.loads[k]);
+            r.multiply_transpose_into(problem.loads[k], rt);
             for (std::size_t p = 0; p < pairs; ++p) {
                 f[p] += w[p] * rt[p];
                 if (w[p] == 0.0) continue;
-                for (std::size_t q = 0; q < pairs; ++q) {
-                    if (g1(p, q) != 0.0) h(p, q) += w[p] * w[q] * g1(p, q);
+                const double wp = w[p];
+                for (std::size_t t = gv.offsets[p]; t < gv.offsets[p + 1];
+                     ++t) {
+                    hvals[t] += wp * w[gv.col_index[t]] * gv.values[t];
                 }
             }
         }
@@ -135,6 +139,9 @@ FanoutResult fanout_estimate(const SeriesProblem& problem,
 
     // Weak gravity-fanout tie-break (see FanoutOptions): alpha_gravity
     // for pair (n, m) is the destination's share of mean exit traffic.
+    // The ridge lives in the factored Hessian's added diagonal — the
+    // weighted Gram values stay untouched.
+    linalg::Vector tiebreak_diag;
     if (options.gravity_tiebreak_weight > 0.0) {
         linalg::Vector mean_loads(r.rows(), 0.0);
         if (agg.complete()) {
@@ -151,10 +158,18 @@ FanoutResult fanout_estimate(const SeriesProblem& problem,
         }
         double hmax = 0.0;
         for (std::size_t p = 0; p < pairs; ++p) {
-            hmax = std::max(hmax, h(p, p));
+            for (std::size_t t = gv.offsets[p]; t < gv.offsets[p + 1];
+                 ++t) {
+                if (gv.col_index[t] == p) {
+                    hmax = std::max(hmax, hvals[t]);
+                    break;
+                }
+                if (gv.col_index[t] > p) break;
+            }
         }
         const double eps =
             options.gravity_tiebreak_weight * std::max(hmax, 1e-300);
+        tiebreak_diag.assign(pairs, eps);
         for (std::size_t p = 0; p < pairs; ++p) {
             const auto [src, dst] = topo.pair_nodes(p);
             (void)src;
@@ -162,13 +177,13 @@ FanoutResult fanout_estimate(const SeriesProblem& problem,
                 total_exit > 0.0
                     ? mean_loads[topo.egress_link(dst)] / total_exit
                     : 0.0;
-            h(p, p) += eps;
             f[p] += eps * alpha_gravity;
         }
     }
 
-    linalg::EqQpNonnegOptions qp_options;
-    qp_options.equality_operator = &constraints.equality_sparse;
+    linalg::EqQpNonnegOptions qp_options = options.qp;
+    qp_options.equality_operator = nullptr;
+    qp_options.warm_start = nullptr;
     if (options.warm_start != nullptr) {
         if (options.warm_start->size() != pairs) {
             throw std::invalid_argument(
@@ -176,13 +191,19 @@ FanoutResult fanout_estimate(const SeriesProblem& problem,
         }
         qp_options.warm_start = options.warm_start;
     }
-    const linalg::EqQpNonnegResult qp = linalg::solve_eq_qp_nonneg(
-        h, f, constraints.equality, constraints.rhs, qp_options);
+    linalg::FactoredHessian hessian;
+    hessian.matrix = {pairs, pairs, gv.offsets, gv.col_index, hvals.data()};
+    hessian.diagonal =
+        tiebreak_diag.empty() ? nullptr : &tiebreak_diag;
+    const linalg::EqQpNonnegResult qp = linalg::solve_eq_qp_nonneg_factored(
+        hessian, f, constraints.equality_sparse, constraints.rhs,
+        qp_options);
 
     FanoutResult result;
     result.fanouts = qp.x;
     result.equality_violation = qp.equality_violation;
     result.qp_iterations = qp.iterations;
+    result.qp_cg_iterations = qp.cg_iterations;
     result.warm_accepted = qp.warm_accepted;
 
     // Window-averaged demand estimate.  w_k is linear in the loads, so

@@ -18,20 +18,20 @@
 #include <cstdint>
 
 #include "core/problem.hpp"
+#include "linalg/qp.hpp"
 
 namespace tme::core {
 
 /// The fanout QP's equality-constraint structure: per source, fanouts
 /// sum to one.  It depends only on the topology's pair enumeration (one
 /// row per source PoP, E(src(p), p) = 1), so the online engine builds
-/// it once per routing epoch and shares it across windows instead of
-/// re-deriving an O(N x P) matrix per estimate.
+/// it once per routing epoch and shares it across windows.  Held in
+/// CSR form only (one nonzero per column) — the factored QP iterates
+/// E's nonzeros directly, and the historical dense N x P copy (63 MB
+/// per epoch at 200 PoPs) bought nothing.
 struct FanoutConstraints {
     std::vector<std::size_t> source_of;  ///< pair -> source PoP
-    linalg::Matrix equality;             ///< E (pops x pairs)
-    /// CSR form of `equality` (one nonzero per column); handed to the
-    /// QP so its constraint sweeps run over the P nonzeros instead of
-    /// the N x P dense matrix.
+    /// E in CSR form (pops x pairs, one nonzero per column).
     linalg::SparseMatrix equality_sparse;
     linalg::Vector rhs;                  ///< all-ones right-hand side
 
@@ -72,9 +72,13 @@ struct FanoutOptions {
     /// solution among the near-optimal ones instead of an arbitrary
     /// vertex.  Set to 0 for the paper's pure formulation.
     double gravity_tiebreak_weight = 1e-3;
-    /// Optional precomputed Gram matrix R'R; MUST equal
-    /// problem.routing->gram().  Not owned.
-    const linalg::Matrix* shared_gram = nullptr;
+    /// Optional precomputed sparse Gram R'R in CSR form (e.g. the
+    /// engine's per-epoch RoutingEpoch::sparse_gram()); MUST equal
+    /// gram_sparse_csr(*problem.routing).  The estimator's data term
+    /// is this structure with per-entry source weights — nothing
+    /// quadratic in the pair count is ever allocated, dense or
+    /// otherwise.  Not owned.
+    const linalg::SparseMatrix* shared_sparse_gram = nullptr;
     /// Optional precomputed equality-constraint structure; MUST equal
     /// FanoutConstraints::build(*problem.topo).  Not owned.
     const FanoutConstraints* shared_constraints = nullptr;
@@ -86,6 +90,11 @@ struct FanoutOptions {
     const linalg::Vector* warm_start = nullptr;
     /// Optional incremental window aggregates (see above).
     FanoutWindowAggregates aggregates;
+    /// Tuning knobs forwarded to the factored QP solve
+    /// (dense-gather limit, projected-CG tolerance/cap).  The
+    /// warm_start and equality_operator members are ignored — the
+    /// estimator manages those itself.
+    linalg::EqQpNonnegOptions qp;
 };
 
 struct FanoutResult {
@@ -95,6 +104,9 @@ struct FanoutResult {
     linalg::Vector mean_demands;
     double equality_violation = 0.0; ///< worst |sum_m a_nm - 1|
     std::size_t qp_iterations = 0;   ///< KKT solves the QP performed
+    /// Projected-CG iterations across those solves (0 when every KKT
+    /// system fit the dense-gather path; see EqQpNonnegResult).
+    std::size_t qp_cg_iterations = 0;
     /// True when the warm-start seed passed KKT verification (no cold
     /// fall-back); feed `fanouts` into the next window's warm_start.
     bool warm_accepted = false;

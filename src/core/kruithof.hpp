@@ -19,6 +19,19 @@ struct KruithofOptions {
     std::size_t max_iterations = 500;
     /// Convergence: max relative marginal/constraint violation.
     double tolerance = 1e-10;
+    /// Convergence-check cadence: the violation is evaluated every
+    /// `check_every` sweeps (and always on the last); large-backbone
+    /// callers that know they need tens of sweeps can raise it.  In
+    /// kruithof_general the per-sweep measure piggy-backs on the MART
+    /// pass (each row's residual before its own rescale), which is one
+    /// sweep staler than the historical post-sweep R s residual — a
+    /// tolerance-converged run can therefore take a sweep longer than
+    /// the pre-rewrite loop (iterates at equal sweep counts are
+    /// unchanged).  A candidate convergence is always confirmed
+    /// against an exactly recomputed post-sweep R s before being
+    /// reported, so a false convergence is impossible.  0 behaves
+    /// as 1.
+    std::size_t check_every = 1;
 };
 
 struct KruithofResult {

@@ -35,6 +35,25 @@ bool RoutingEpoch::gram_built() const {
     return derived_->gram_built;
 }
 
+const linalg::SparseMatrix& RoutingEpoch::sparse_gram() const {
+    {
+        std::shared_lock<std::shared_mutex> read(derived_->mutex);
+        if (derived_->sparse_gram_built) return derived_->sparse_gram;
+    }
+    std::unique_lock<std::shared_mutex> write(derived_->mutex);
+    if (!derived_->sparse_gram_built) {
+        derived_->sparse_gram = linalg::gram_sparse_csr(routing_);
+        derived_->sparse_gram_built = true;
+        ++derived_->builds;
+    }
+    return derived_->sparse_gram;
+}
+
+bool RoutingEpoch::sparse_gram_built() const {
+    std::shared_lock<std::shared_mutex> read(derived_->mutex);
+    return derived_->sparse_gram_built;
+}
+
 const linalg::Matrix& RoutingEpoch::vardi_gram(double weight) const {
     // Force the Gram build (under its own critical section) before
     // taking the exclusive lock below — gram() grabs the same mutex.

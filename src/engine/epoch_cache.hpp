@@ -6,7 +6,8 @@
 // load samples arrive every five minutes.  Everything derived purely
 // from R is therefore cached per epoch and invalidated *exactly* when a
 // route change produces a matrix with a different fingerprint.  All
-// derived data — the dense Gram R'R, Vardi's transformed Gram
+// derived data — the dense Gram R'R, the sparse CSR Gram (the factored
+// fanout-QP/Bayesian data term), Vardi's transformed Gram
 // G1 + w*(G1 .* G1), the fanout equality-constraint structure, and
 // reduced-problem factorizations for the direct-measurement workflow —
 // is built lazily on first use and dies with the epoch.  Laziness
@@ -85,6 +86,19 @@ class RoutingEpoch {
     /// schedulers running only Gram-free methods must never trigger it).
     bool gram_built() const;
 
+    /// Sparse CSR Gram R'R (Gustavson), built lazily from the routing
+    /// copy on first use — the factored data term the fanout QP and
+    /// the Bayesian sparse path share per epoch.  Holds only the
+    /// structurally coupled pair-pairs, so it exists at scales where
+    /// the dense Gram cannot (200 PoPs: ~12.7 GB dense), and building
+    /// it never triggers (or reads) the dense Gram.  Same double-
+    /// checked once-build discipline as every other derived item;
+    /// counts toward derived_builds().
+    const linalg::SparseMatrix& sparse_gram() const;
+
+    /// True once the sparse Gram has been built (telemetry / tests).
+    bool sparse_gram_built() const;
+
     /// Vardi's transformed Gram G1 + weight*(G1 .* G1), built lazily on
     /// first use and cached per weight, so fleet jobs configured with
     /// different weights can share the epoch safely (each weight builds
@@ -122,6 +136,8 @@ class RoutingEpoch {
         mutable std::shared_mutex mutex;
         bool gram_built = false;
         linalg::Matrix gram;
+        bool sparse_gram_built = false;
+        linalg::SparseMatrix sparse_gram;
         /// Node-based on purpose: inserting one weight's matrix never
         /// moves another's, so returned references stay valid.
         std::map<double, linalg::Matrix> vardi_by_weight;

@@ -180,7 +180,10 @@ MethodExecution execute_method(Method m, const WindowContext& ctx,
         }
         case Method::fanout: {
             core::FanoutOptions opts = options.fanout;
-            opts.shared_gram = &ctx.epoch->gram();
+            // The factored QP consumes the CSR Gram: a fanout-only (or
+            // fanout+gravity+Kruithof) schedule never materializes the
+            // dense P x P Gram at all.
+            opts.shared_sparse_gram = &ctx.epoch->sparse_gram();
             opts.shared_constraints =
                 &ctx.epoch->fanout_constraints(*ctx.series.topo);
             core::FanoutWindowAggregates aggregates;

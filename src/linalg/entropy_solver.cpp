@@ -26,10 +26,19 @@ double generalized_kl(const Vector& s, const Vector& p) {
 
 namespace {
 
-double objective(const SparseMatrix& a, const Vector& b, const Vector& prior,
-                 double w, const Vector& s) {
-    const Vector r = sub(a.multiply(s), b);
-    return dot(r, r) + (w > 0.0 ? w * generalized_kl(s, prior) : 0.0);
+/// ||A s - b||^2 + w D(s||p) evaluated from a precomputed product
+/// as = A s.  The residual squares accumulate in row order, exactly as
+/// the historical sub-then-dot evaluation did, so objective values (and
+/// therefore every Armijo accept/reject decision) are bit-for-bit the
+/// pre-rewrite solver's.
+double objective_at(const Vector& as, const Vector& b, const Vector& prior,
+                    double w, const Vector& s) {
+    double quad = 0.0;
+    for (std::size_t i = 0; i < as.size(); ++i) {
+        const double ri = as[i] - b[i];
+        quad += ri * ri;
+    }
+    return quad + (w > 0.0 ? w * generalized_kl(s, prior) : 0.0);
 }
 
 }  // namespace
@@ -71,14 +80,32 @@ EntropySolverResult kl_regularized_ls(const SparseMatrix& a, const Vector& b,
     if (bscale == 0.0) bscale = 1.0;
     const double grad_scale = std::max(1.0, bscale * bscale);
 
-    double f = objective(a, b, p, w, result.s);
+    // Operator-form data term: the only contact with A is A x and A' x
+    // over its nonzeros — A'A is never formed and nothing quadratic in
+    // the variable count is ever allocated.  All work vectors live
+    // outside the loop, and the product A s is carried across accepted
+    // steps (the accepted trial's A*trial IS the next iteration's A s,
+    // bit-for-bit), so a full iteration costs one transpose product for
+    // the gradient plus one forward product per backtracking probe —
+    // the forward re-multiply per iteration the historical loop paid is
+    // gone.
+    Vector as;  // A * result.s, maintained across iterations
+    a.multiply_into(result.s, as);
+    Vector resid(a.rows(), 0.0);
+    Vector grad(n, 0.0);
+    Vector trial(n, 0.0);
+    Vector atrial;  // A * trial
+
+    double f = objective_at(as, b, p, w, result.s);
     double eta = options.initial_step;
 
     for (result.iterations = 0; result.iterations < options.max_iterations;
          ++result.iterations) {
         // grad F = 2 A'(A s - b) + w log(s ./ p).
-        const Vector resid = sub(a.multiply(result.s), b);
-        Vector grad = a.multiply_transpose(resid);
+        for (std::size_t i = 0; i < resid.size(); ++i) {
+            resid[i] = as[i] - b[i];
+        }
+        a.multiply_transpose_into(resid, grad);
         scale(2.0, grad);
         if (w > 0.0) {
             for (std::size_t i = 0; i < n; ++i) {
@@ -102,7 +129,6 @@ EntropySolverResult kl_regularized_ls(const SparseMatrix& a, const Vector& b,
         const double norm = std::max(stat, 1e-300);
         bool accepted = false;
         for (int bt = 0; bt < 60; ++bt) {
-            Vector trial(n);
             const double step = eta / norm;
             for (std::size_t i = 0; i < n; ++i) {
                 // Clip the exponent to avoid overflow; +-40 changes s by
@@ -111,9 +137,11 @@ EntropySolverResult kl_regularized_ls(const SparseMatrix& a, const Vector& b,
                 ex = std::clamp(ex, -40.0, 40.0);
                 trial[i] = result.s[i] * std::exp(ex);
             }
-            const double ft = objective(a, b, p, w, trial);
+            a.multiply_into(trial, atrial);
+            const double ft = objective_at(atrial, b, p, w, trial);
             if (ft < f - 1e-12 * std::abs(f)) {
-                result.s = std::move(trial);
+                result.s.swap(trial);
+                as.swap(atrial);
                 f = ft;
                 accepted = true;
                 // Allow the step to grow again after a success.

@@ -1,6 +1,7 @@
 #include "linalg/matrix.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstdlib>
 #include <new>
@@ -15,7 +16,25 @@ namespace tme::linalg {
 
 namespace detail {
 
+namespace {
+std::atomic<std::size_t> g_peak_allocation_bytes{0};
+}  // namespace
+
+std::size_t peak_matrix_allocation_bytes() {
+    return g_peak_allocation_bytes.load(std::memory_order_relaxed);
+}
+
+void reset_peak_matrix_allocation() {
+    g_peak_allocation_bytes.store(0, std::memory_order_relaxed);
+}
+
 void* zeroed_allocate(std::size_t bytes) {
+    std::size_t peak =
+        g_peak_allocation_bytes.load(std::memory_order_relaxed);
+    while (bytes > peak &&
+           !g_peak_allocation_bytes.compare_exchange_weak(
+               peak, bytes, std::memory_order_relaxed)) {
+    }
     void* p = std::calloc(bytes, 1);
     if (p == nullptr) throw std::bad_alloc();
 #if defined(__linux__)

@@ -27,6 +27,15 @@ namespace detail {
 void* zeroed_allocate(std::size_t bytes);
 void zeroed_deallocate(void* p);
 
+/// High-water mark of the largest single Matrix allocation (bytes)
+/// since the last reset.  Telemetry for the scale gates: the
+/// generated-backbone bench asserts that no estimator ever allocates a
+/// dense pairs x pairs structure (the factored fanout QP's whole
+/// point), and a counter beats auditing call sites by hand.  Relaxed
+/// atomics — cheap enough to leave on unconditionally.
+std::size_t peak_matrix_allocation_bytes();
+void reset_peak_matrix_allocation();
+
 /// Allocator backing Matrix storage: memory comes from calloc, and
 /// value-initialization is a no-op (the pages are already zero).  A
 /// zero-filled Gram at generated-backbone scale (hundreds of MB) is

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 #include <stdexcept>
 #include <vector>
 
+#include "linalg/cholesky.hpp"
 #include "linalg/lu.hpp"
 
 namespace tme::linalg {
@@ -305,6 +307,672 @@ EqQpNonnegResult solve_eq_qp_nonneg(const Matrix& h, const Vector& f,
         Vector ex = eop != nullptr ? eop->multiply(result.x)
                                    : gemv(e, result.x);
         result.equality_violation = nrm_inf(sub(ex, d));
+    }
+    return result;
+}
+
+namespace {
+
+/// Column adjacency of a CSR matrix: per column, the (row, value)
+/// pairs with rows ascending.  The projected-CG solve needs E's
+/// columns to assemble the constraint normal matrix E_F M^-1 E_F'.
+struct ColumnLists {
+    std::vector<std::size_t> offsets;  // cols + 1
+    std::vector<std::size_t> rows;
+    std::vector<double> values;
+};
+
+ColumnLists column_lists(const CsrView& a) {
+    ColumnLists c;
+    c.offsets.assign(a.cols + 1, 0);
+    const std::size_t nnz = a.rows > 0 ? a.offsets[a.rows] : 0;
+    for (std::size_t k = 0; k < nnz; ++k) ++c.offsets[a.col_index[k] + 1];
+    for (std::size_t j = 0; j < a.cols; ++j) {
+        c.offsets[j + 1] += c.offsets[j];
+    }
+    c.rows.resize(nnz);
+    c.values.resize(nnz);
+    std::vector<std::size_t> cursor(c.offsets.begin(), c.offsets.end() - 1);
+    for (std::size_t i = 0; i < a.rows; ++i) {
+        for (std::size_t k = a.offsets[i]; k < a.offsets[i + 1]; ++k) {
+            const std::size_t slot = cursor[a.col_index[k]]++;
+            c.rows[slot] = i;
+            c.values[slot] = a.values[k];
+        }
+    }
+    return c;
+}
+
+/// Matrix-free solve of the equality-constrained subproblem on the
+/// free set:  min (1/2) x'(H + ridge I)x - f'x  s.t.  E_F x = d,
+/// where H is the factored Hessian restricted to the free variables.
+/// Projected CG with the constraint preconditioner [M E'; E 0]
+/// (M = Jacobi diagonal of H + ridge): each application costs one
+/// O(nnz(E_F)) projection plus an m x m triangular solve, and each
+/// iteration one O(nnz(H)) operator product.  Feasibility is
+/// maintained by the projection — even a truncated solve returns an
+/// E_F x = d point.  Returns (x_F, nu) of length k + m, or an empty
+/// vector when E_F M^-1 E_F' is structurally singular (an equality row
+/// with no free support).
+Vector pcg_kkt_solve(const CsrView& h, const Vector* extra_diag,
+                     const Vector& hdiag_total, const Vector& f,
+                     const CsrView& ev, const ColumnLists& ecols,
+                     const Vector& d,
+                     const std::vector<std::size_t>& free_vars,
+                     const std::vector<std::size_t>& free_index,
+                     double ridge, const Vector* initial_full,
+                     const EqQpNonnegOptions& options,
+                     std::size_t& cg_iterations) {
+    const std::size_t k = free_vars.size();
+    const std::size_t m = ev.rows;
+    const std::size_t n = h.cols;
+
+    // Jacobi metric; strictly positive thanks to the ridge.
+    Vector mdiag(k);
+    for (std::size_t a = 0; a < k; ++a) {
+        mdiag[a] = hdiag_total[free_vars[a]] + ridge;
+    }
+
+    // Constraint normal matrix S = E_F M^-1 E_F' via E's columns
+    // (cost sum_j colnnz(j)^2 — one flop per column on the fanout E).
+    std::optional<Cholesky> schol;
+    if (m > 0) {
+        Matrix smat(m, m, 0.0);
+        for (std::size_t a = 0; a < k; ++a) {
+            const std::size_t j = free_vars[a];
+            const double mi = 1.0 / mdiag[a];
+            for (std::size_t c1 = ecols.offsets[j];
+                 c1 < ecols.offsets[j + 1]; ++c1) {
+                for (std::size_t c2 = c1; c2 < ecols.offsets[j + 1];
+                     ++c2) {
+                    smat(ecols.rows[c1], ecols.rows[c2]) +=
+                        ecols.values[c1] * ecols.values[c2] * mi;
+                }
+            }
+        }
+        symmetrize_from_upper(smat);
+        // The caller guarantees every row has free support, so the
+        // diagonal is positive; only a tiny conditioning jitter is ever
+        // appropriate here.  A factorization that still fails (truly
+        // dependent equality rows) is reported as singular — hiding it
+        // behind a large jitter would silently solve a different
+        // problem.
+        double smax = 0.0;
+        for (std::size_t r = 0; r < m; ++r) {
+            smax = std::max(smax, smat(r, r));
+        }
+        double jitter = 0.0;
+        for (int attempt = 0; attempt < 3 && !schol.has_value();
+             ++attempt) {
+            schol = try_cholesky(smat, jitter);
+            jitter = std::max(jitter * 100.0, 1e-14 * std::max(1.0, smax));
+        }
+        if (!schol.has_value()) return {};
+    }
+
+    // out = E_F w (w in free space).
+    Vector escratch(m, 0.0);
+    auto e_apply = [&](const Vector& w, Vector& out) {
+        for (std::size_t r = 0; r < m; ++r) {
+            double acc = 0.0;
+            for (std::size_t t = ev.offsets[r]; t < ev.offsets[r + 1];
+                 ++t) {
+                const std::size_t a = free_index[ev.col_index[t]];
+                if (a != SIZE_MAX) acc += ev.values[t] * w[a];
+            }
+            out[r] = acc;
+        }
+    };
+    // v -= M^-1 E_F' lambda.
+    auto et_apply_scaled_sub = [&](const Vector& lambda, Vector& v) {
+        for (std::size_t r = 0; r < m; ++r) {
+            const double lr = lambda[r];
+            if (lr == 0.0) continue;
+            for (std::size_t t = ev.offsets[r]; t < ev.offsets[r + 1];
+                 ++t) {
+                const std::size_t a = free_index[ev.col_index[t]];
+                if (a != SIZE_MAX) v[a] -= ev.values[t] * lr / mdiag[a];
+            }
+        }
+    };
+    // v = P M^-1 r: the constraint-preconditioner application.
+    Vector lambda(m, 0.0);
+    auto precondition = [&](const Vector& r_, Vector& v) {
+        for (std::size_t a = 0; a < k; ++a) v[a] = r_[a] / mdiag[a];
+        if (m > 0) {
+            e_apply(v, escratch);
+            lambda = schol->solve(escratch);
+            et_apply_scaled_sub(lambda, v);
+        }
+    };
+    // out = (H_FF + ridge I) w via a scatter into full space.
+    Vector xfull(n, 0.0);
+    auto h_apply = [&](const Vector& w, Vector& out) {
+        for (std::size_t a = 0; a < k; ++a) xfull[free_vars[a]] = w[a];
+        for (std::size_t a = 0; a < k; ++a) {
+            const std::size_t i = free_vars[a];
+            double acc = 0.0;
+            for (std::size_t t = h.offsets[i]; t < h.offsets[i + 1]; ++t) {
+                acc += h.values[t] * xfull[h.col_index[t]];
+            }
+            if (extra_diag != nullptr) acc += (*extra_diag)[i] * w[a];
+            out[a] = acc + ridge * w[a];
+        }
+        for (std::size_t a = 0; a < k; ++a) xfull[free_vars[a]] = 0.0;
+    };
+
+    // Feasible start.  Cold: the least-M-norm point
+    // x0 = M^-1 E_F' S^-1 d.  With a prior iterate (the previous
+    // active-set round's solution — the rounds differ by a few pinned
+    // coordinates, so it is nearly optimal already): restrict it to the
+    // free set and correct the constraint residual in the M metric,
+    // x0 = x_prev + M^-1 E_F' S^-1 (d - E_F x_prev).  Later rounds then
+    // converge in a handful of CG iterations instead of restarting the
+    // whole Krylov build-up.
+    Vector x(k, 0.0);
+    if (initial_full != nullptr) {
+        for (std::size_t a = 0; a < k; ++a) {
+            x[a] = (*initial_full)[free_vars[a]];
+        }
+    }
+    if (m > 0) {
+        Vector cresid(m, 0.0);
+        if (initial_full != nullptr) {
+            e_apply(x, cresid);
+            for (std::size_t r = 0; r < m; ++r) {
+                cresid[r] = d[r] - cresid[r];
+            }
+        } else {
+            cresid = d;
+        }
+        const Vector lambda0 = schol->solve(cresid);
+        for (std::size_t r = 0; r < m; ++r) {
+            const double lr = lambda0[r];
+            if (lr == 0.0) continue;
+            for (std::size_t t = ev.offsets[r]; t < ev.offsets[r + 1];
+                 ++t) {
+                const std::size_t a = free_index[ev.col_index[t]];
+                if (a != SIZE_MAX) x[a] += ev.values[t] * lr / mdiag[a];
+            }
+        }
+    }
+
+    Vector hx(k, 0.0);
+    Vector resid(k, 0.0);
+    Vector v(k, 0.0);
+    Vector p(k, 0.0);
+    Vector hp(k, 0.0);
+    // The stopping threshold is anchored to a fixed problem scale (the
+    // preconditioned gradient norm at x = 0) rather than this solve's
+    // own initial residual: a warm-started solve that begins close to
+    // the optimum must be allowed to stop after a handful of
+    // iterations instead of being asked for the same multiplicative
+    // reduction a cold solve needs.
+    double fscale = 0.0;
+    for (std::size_t a = 0; a < k; ++a) {
+        fscale += f[free_vars[a]] * f[free_vars[a]] / mdiag[a];
+    }
+    const std::size_t max_iterations =
+        options.cg_max_iterations > 0
+            ? options.cg_max_iterations
+            : std::min<std::size_t>(2 * (k + m) + 50, 1500);
+    std::size_t it = 0;
+    double tol2 = 0.0;
+    Vector x_best(k, 0.0);
+    // Restart loop: the recursively updated residual drifts from the
+    // true residual (textbook CG behaviour), so each pass recomputes it
+    // from x and a pass that still measures large gets the remaining
+    // iteration budget with a fresh Krylov space.  Two floor guards
+    // keep the recurrence honest once double precision is exhausted:
+    // within a pass the best-residual iterate is snapshotted and a
+    // clearly diverging recurrence (junk alpha steps at the floor can
+    // catapult x off the constraint manifold) is cut and rolled back,
+    // and a pass that failed to halve the true residual ends the solve
+    // (the floor is reached; more iterations cannot help).
+    for (int restart = 0; restart < 4 && it < max_iterations; ++restart) {
+        h_apply(x, hx);
+        for (std::size_t a = 0; a < k; ++a) {
+            resid[a] = hx[a] - f[free_vars[a]];
+        }
+        precondition(resid, v);
+        for (std::size_t a = 0; a < k; ++a) p[a] = -v[a];
+        double rv = 0.0;
+        for (std::size_t a = 0; a < k; ++a) rv += resid[a] * v[a];
+        if (restart == 0) {
+            tol2 = options.cg_tolerance * options.cg_tolerance *
+                   std::max(std::max(rv, 0.0), fscale);
+        }
+        if (!(rv > tol2) || !std::isfinite(rv)) break;  // truly done
+        const double rv_pass_start = rv;
+        double rv_best = rv;
+        std::copy(x.begin(), x.end(), x_best.begin());
+        while (it < max_iterations && std::isfinite(rv) && rv > tol2 &&
+               rv > 0.0) {
+            h_apply(p, hp);
+            double php = 0.0;
+            for (std::size_t a = 0; a < k; ++a) php += p[a] * hp[a];
+            if (!(php > 0.0) || !std::isfinite(php)) break;
+            const double alpha = rv / php;
+            for (std::size_t a = 0; a < k; ++a) x[a] += alpha * p[a];
+            for (std::size_t a = 0; a < k; ++a) resid[a] += alpha * hp[a];
+            precondition(resid, v);
+            double rv_next = 0.0;
+            for (std::size_t a = 0; a < k; ++a) rv_next += resid[a] * v[a];
+            ++it;
+            if (!std::isfinite(rv_next) || rv_next <= 0.0) {
+                rv = rv_next;
+                break;
+            }
+            if (rv_next < rv_best) {
+                rv_best = rv_next;
+                std::copy(x.begin(), x.end(), x_best.begin());
+            } else if (rv_next > 4.0 * rv_best) {
+                rv = rv_next;
+                break;  // diverging at the floor; roll back below
+            }
+            const double beta = rv_next / rv;
+            rv = rv_next;
+            for (std::size_t a = 0; a < k; ++a) p[a] = -v[a] + beta * p[a];
+        }
+        if (!(rv > 0.0) || rv > rv_best) {
+            std::copy(x_best.begin(), x_best.end(), x.begin());
+        }
+        if (!(rv_best < 0.5 * rv_pass_start)) break;  // floor reached
+    }
+    cg_iterations += it;
+
+    // Multiplier estimate nu = S^-1 E_F M^-1 (f_F - H x): the weighted
+    // least-squares solution of the free-variable stationarity system
+    // (exact at a KKT point; E_F' has full row support by the S
+    // factorization above).
+    Vector sol(k + m, 0.0);
+    std::copy(x.begin(), x.end(), sol.begin());
+    if (m > 0) {
+        h_apply(x, hx);
+        for (std::size_t a = 0; a < k; ++a) {
+            v[a] = (f[free_vars[a]] - hx[a]) / mdiag[a];
+        }
+        e_apply(v, escratch);
+        const Vector nu = schol->solve(escratch);
+        std::copy(nu.begin(), nu.end(),
+                  sol.begin() + static_cast<std::ptrdiff_t>(k));
+    }
+    return sol;
+}
+
+}  // namespace
+
+EqQpNonnegResult solve_eq_qp_nonneg_factored(
+    const FactoredHessian& hf, const Vector& f, const SparseMatrix& e,
+    const Vector& d, const EqQpNonnegOptions& options) {
+    const CsrView h = hf.matrix;
+    const std::size_t n = h.cols;
+    const std::size_t m = e.rows();
+    if (h.rows != n || f.size() != n || (m > 0 && e.cols() != n) ||
+        d.size() != m) {
+        throw std::invalid_argument(
+            "solve_eq_qp_nonneg_factored: dimension mismatch");
+    }
+    if (hf.diagonal != nullptr && hf.diagonal->size() != n) {
+        throw std::invalid_argument(
+            "solve_eq_qp_nonneg_factored: diagonal size mismatch");
+    }
+    const CsrView ev = e.view();
+
+    // Total Hessian diagonal (CSR diagonal entry + added diagonal) —
+    // the only dense-H quantity the active-set driver ever reads.
+    Vector hdiag(n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+        double v = 0.0;
+        for (std::size_t t = h.offsets[i]; t < h.offsets[i + 1]; ++t) {
+            if (h.col_index[t] == i) {
+                v = h.values[t];
+                break;
+            }
+            if (h.col_index[t] > i) break;
+        }
+        if (hf.diagonal != nullptr) v += (*hf.diagonal)[i];
+        hdiag[i] = v;
+    }
+    double hmax = 1.0;
+    for (std::size_t i = 0; i < n; ++i) hmax = std::max(hmax, hdiag[i]);
+    double fmax = 1.0;
+    for (std::size_t i = 0; i < n; ++i) fmax = std::max(fmax, std::abs(f[i]));
+
+    const ColumnLists ecols = column_lists(ev);
+
+    std::vector<std::uint8_t> fixed_zero(n, 0);
+    EqQpNonnegResult result;
+    result.x.assign(n, 0.0);
+
+    // Warm start: pin the coordinates the seed holds at zero (same
+    // verified-seed discipline as the dense solver).
+    bool seeded = false;
+    if (options.warm_start != nullptr) {
+        if (options.warm_start->size() != n) {
+            throw std::invalid_argument(
+                "solve_eq_qp_nonneg_factored: warm start size mismatch");
+        }
+        std::size_t pinned = 0;
+        for (std::size_t j = 0; j < n; ++j) {
+            fixed_zero[j] = (*options.warm_start)[j] <= 0.0 ? 1 : 0;
+            pinned += fixed_zero[j];
+        }
+        if (pinned < n) {
+            seeded = true;
+        } else {
+            std::fill(fixed_zero.begin(), fixed_zero.end(), 0);
+        }
+    }
+
+    // Step discipline.  Problems in the exact-LU regime replay the
+    // dense solver's pin-all-negatives / release-worst moves, which
+    // keeps the whole trajectory — and the returned minimizer —
+    // bit-for-bit the dense path's.  Problems in the CG regime use
+    // block principal pivoting (Portugal-Judice-Vicente): every round
+    // flips the complete infeasibility set (negative free coordinates
+    // pinned, negative-multiplier pinned coordinates released) while
+    // the count of infeasibilities keeps shrinking, and falls back to
+    // single worst-coordinate pivots (Murty's finite rule) when it
+    // stops shrinking.  Block flips give the bulk convergence of the
+    // pin-all discipline; the Murty fallback removes its failure mode
+    // (endgame zigzag between nearby active sets, which inexact CG
+    // solves otherwise provoke on degenerate problems).
+    const bool block_pivoting = n + m > options.dense_kkt_limit;
+    std::size_t best_infeasible = n + m + 1;
+    std::size_t nonimproving = 0;
+    constexpr std::size_t kMaxNonimproving = 3;
+
+    const std::size_t max_rounds = options.max_active_set_rounds > 0
+                                       ? options.max_active_set_rounds
+                                       : 3 * n + 16;
+    constexpr std::size_t kMaxSeedRepairs = 4;
+    std::size_t releases = 0;
+    std::size_t seed_repairs = 0;
+    std::size_t support_repairs = 0;
+    std::vector<std::size_t> free_index(n, SIZE_MAX);
+    Vector pcg_prev;  // previous round's full-space iterate (CG path)
+    // Legacy-discipline anti-cycling: each round's active set is
+    // hashed; a revisit ends the loop (the dense discipline has no
+    // termination proof under inexact solves).  Block pivoting needs no
+    // such guard — the Murty fallback is finite by construction.
+    std::vector<std::uint64_t> visited_sets;
+    for (std::size_t round = 0; round < max_rounds; ++round) {
+        std::vector<std::size_t> free_vars;
+        for (std::size_t j = 0; j < n; ++j) {
+            if (!fixed_zero[j]) free_vars.push_back(j);
+        }
+        if (free_vars.empty()) break;
+        const std::size_t k = free_vars.size();
+        std::fill(free_index.begin(), free_index.end(), SIZE_MAX);
+        for (std::size_t a = 0; a < k; ++a) free_index[free_vars[a]] = a;
+
+        if (!block_pivoting) {
+            // FNV-1a over the active-set bitmap.
+            std::uint64_t set_hash = 1469598103934665603ull;
+            for (std::size_t j = 0; j < n; ++j) {
+                set_hash ^= fixed_zero[j];
+                set_hash *= 1099511628211ull;
+            }
+            if (std::find(visited_sets.begin(), visited_sets.end(),
+                          set_hash) != visited_sets.end()) {
+                result.converged = false;
+                break;
+            }
+            visited_sets.push_back(set_hash);
+        }
+
+        // An equality row whose entire support is pinned makes the
+        // subproblem structurally infeasible (a multiplier row with no
+        // free columns).  A seed that does this falls back to cold, as
+        // in the dense solver; a cold iteration that pinned its way
+        // into the state is repaired by releasing the offending row's
+        // pins — those pins cannot all be right, since the row sum
+        // must still be met.
+        {
+            bool repaired = false;
+            bool seed_unsupported = false;
+            for (std::size_t r = 0; r < m; ++r) {
+                bool has_free = false;
+                for (std::size_t t = ev.offsets[r];
+                     t < ev.offsets[r + 1] && !has_free; ++t) {
+                    has_free = !fixed_zero[ev.col_index[t]];
+                }
+                if (has_free) continue;
+                if (seeded) {
+                    seed_unsupported = true;
+                    break;
+                }
+                if (support_repairs < m + 16) {
+                    for (std::size_t t = ev.offsets[r];
+                         t < ev.offsets[r + 1]; ++t) {
+                        fixed_zero[ev.col_index[t]] = 0;
+                    }
+                    ++support_repairs;
+                    repaired = true;
+                }
+            }
+            if (seed_unsupported) {
+                std::fill(fixed_zero.begin(), fixed_zero.end(), 0);
+                seeded = false;
+                continue;
+            }
+            if (repaired) continue;
+        }
+        ++result.iterations;
+
+        Vector sol;
+        const bool used_cg = k + m > options.dense_kkt_limit;
+        if (!used_cg) {
+            // Dense gather of the free-set KKT system — exact LU, and
+            // bit-for-bit the dense solver's arithmetic (the gathered
+            // values are the same doubles; structural zeros match the
+            // dense H's stored zeros).
+            Matrix kkt(k + m, k + m, 0.0);
+            Vector rhs(k + m, 0.0);
+            for (std::size_t a = 0; a < k; ++a) {
+                rhs[a] = f[free_vars[a]];
+                const std::size_t i = free_vars[a];
+                double* __restrict krow = kkt.row_data(a);
+                for (std::size_t t = h.offsets[i]; t < h.offsets[i + 1];
+                     ++t) {
+                    const std::size_t b = free_index[h.col_index[t]];
+                    if (b != SIZE_MAX) krow[b] = h.values[t];
+                }
+            }
+            for (std::size_t r = 0; r < m; ++r) {
+                for (std::size_t t = ev.offsets[r]; t < ev.offsets[r + 1];
+                     ++t) {
+                    const std::size_t a = free_index[ev.col_index[t]];
+                    if (a == SIZE_MAX) continue;
+                    kkt(a, k + r) = ev.values[t];
+                    kkt(k + r, a) = ev.values[t];
+                }
+            }
+            for (std::size_t r = 0; r < m; ++r) rhs[k + r] = d[r];
+
+            double ridge = 1e-10 * hmax;
+            for (int attempt = 0; attempt < 12; ++attempt) {
+                for (std::size_t a = 0; a < k; ++a) {
+                    kkt(a, a) = hdiag[free_vars[a]] + ridge;
+                }
+                Lu lu(kkt);
+                if (!lu.singular()) {
+                    sol = lu.solve(rhs);
+                    break;
+                }
+                ridge *= 100.0;
+            }
+        } else {
+            // Matrix-free projected CG on the free set, warm-started
+            // from the previous round's iterate when there is one.
+            const double ridge = 1e-10 * hmax;
+            sol = pcg_kkt_solve(h, hf.diagonal, hdiag, f, ev, ecols, d,
+                                free_vars, free_index, ridge,
+                                pcg_prev.empty() ? nullptr : &pcg_prev,
+                                options, result.cg_iterations);
+            if (!sol.empty()) {
+                pcg_prev.assign(n, 0.0);
+                for (std::size_t a = 0; a < k; ++a) {
+                    pcg_prev[free_vars[a]] = sol[a];
+                }
+            }
+        }
+        if (sol.empty()) {
+            if (seeded) {
+                std::fill(fixed_zero.begin(), fixed_zero.end(), 0);
+                seeded = false;
+                continue;
+            }
+            throw std::runtime_error(
+                "solve_eq_qp_nonneg_factored: singular KKT system");
+        }
+
+        // Decision thresholds scale with the iterate, as in the dense
+        // solver.  CG rounds widen the band two orders above the inner
+        // solve's ~1e-9 accuracy so coordinates inside the error band
+        // do not flip classification from round to round.
+        const double decision_tol = used_cg ? 1e-7 : 1e-9;
+        double xmax = 0.0;
+        for (std::size_t a = 0; a < k; ++a) {
+            xmax = std::max(xmax, std::abs(sol[a]));
+        }
+        const double neg_tol = decision_tol * std::max(1.0, xmax);
+        const double mu_tol =
+            decision_tol * std::max({1.0, fmax, hmax * xmax});
+
+        std::vector<std::size_t> negatives;
+        for (std::size_t a = 0; a < k; ++a) {
+            if (sol[a] < -neg_tol) negatives.push_back(a);
+        }
+
+        // Pinned-coordinate multipliers mu_j = (H x - f + E' nu)_j.
+        // The H row walk restricted to the free columns visits the
+        // same nonzero terms, ascending, as the dense solver's
+        // free-variable sweep (the skipped terms are exact zeros), and
+        // E' nu gathers over E's nonzeros.  Block pivoting consumes
+        // the multipliers every round; the legacy discipline — like
+        // the dense solver it replays — only reads them at primal-
+        // feasible rounds, so the sweep is skipped on its pin rounds.
+        std::size_t worst = n;
+        double worst_mu = -mu_tol;
+        std::vector<std::size_t> violators;
+        if (block_pivoting || negatives.empty()) {
+            Vector etnu;
+            if (m > 0) {
+                const Vector nu(
+                    sol.begin() + static_cast<std::ptrdiff_t>(k),
+                    sol.begin() + static_cast<std::ptrdiff_t>(k + m));
+                etnu = e.multiply_transpose(nu);
+            }
+            for (std::size_t j = 0; j < n; ++j) {
+                if (!fixed_zero[j]) continue;
+                double mu = -f[j];
+                for (std::size_t t = h.offsets[j]; t < h.offsets[j + 1];
+                     ++t) {
+                    const std::size_t a = free_index[h.col_index[t]];
+                    if (a != SIZE_MAX) mu += h.values[t] * sol[a];
+                }
+                if (m > 0) mu += etnu[j];
+                if (mu < -mu_tol) violators.push_back(j);
+                if (mu < worst_mu) {
+                    worst_mu = mu;
+                    worst = j;
+                }
+            }
+        }
+
+        if (negatives.empty() && worst == n) {
+            // Feasible and dual-feasible: the KKT point.
+            result.x.assign(n, 0.0);
+            for (std::size_t a = 0; a < k; ++a) {
+                result.x[free_vars[a]] = std::max(0.0, sol[a]);
+            }
+            result.converged = true;
+            result.warm_accepted = seeded;
+            break;
+        }
+
+        if (block_pivoting) {
+            const std::size_t infeasible =
+                negatives.size() + violators.size();
+            bool block_step = false;
+            if (infeasible < best_infeasible) {
+                best_infeasible = infeasible;
+                nonimproving = 0;
+                block_step = true;
+            } else if (nonimproving < kMaxNonimproving) {
+                ++nonimproving;
+                block_step = true;
+            }
+            if (block_step) {
+                for (std::size_t a : negatives) {
+                    fixed_zero[free_vars[a]] = 1;
+                }
+                for (std::size_t j : violators) fixed_zero[j] = 0;
+            } else {
+                // Murty's rule: flip only the largest-index
+                // infeasibility — finite by construction.
+                const std::size_t neg_j =
+                    negatives.empty() ? 0 : free_vars[negatives.back()];
+                const std::size_t vio_j =
+                    violators.empty() ? 0 : violators.back();
+                if (!negatives.empty() &&
+                    (violators.empty() || neg_j > vio_j)) {
+                    fixed_zero[neg_j] = 1;
+                } else if (!violators.empty()) {
+                    fixed_zero[vio_j] = 0;
+                }
+            }
+            result.converged = false;
+            continue;
+        }
+
+        // Legacy discipline (the dense solver's moves, needed for
+        // bitwise parity on the exact-LU path).
+        if (!negatives.empty()) {
+            for (std::size_t a : negatives) {
+                fixed_zero[free_vars[a]] = 1;
+            }
+            result.converged = false;
+            continue;
+        }
+        // Primal feasible: provisional solution on the free set.
+        result.x.assign(n, 0.0);
+        for (std::size_t a = 0; a < k; ++a) {
+            result.x[free_vars[a]] = std::max(0.0, sol[a]);
+        }
+        result.converged = true;
+        if (seeded && seed_repairs >= kMaxSeedRepairs) {
+            std::fill(fixed_zero.begin(), fixed_zero.end(), 0);
+            seeded = false;
+            result.converged = false;
+            continue;
+        }
+        if (!seeded && releases >= n) {
+            result.converged = false;
+            break;
+        }
+        if (seeded) {
+            ++seed_repairs;
+            for (std::size_t j : violators) fixed_zero[j] = 0;
+        } else {
+            ++releases;
+            fixed_zero[worst] = 0;
+        }
+        result.converged = false;
+    }
+
+    if (!result.converged) {
+        // Terminated without a verified KKT point (round cap, release
+        // cap, or legacy-path cycle): clamp the last iterate so the
+        // caller still gets a nonnegative point, honestly flagged.
+        for (double& v : result.x) v = std::max(0.0, v);
+    }
+    result.active.assign(fixed_zero.begin(), fixed_zero.end());
+    if (m > 0) {
+        result.equality_violation =
+            nrm_inf(sub(e.multiply(result.x), d));
     }
     return result;
 }

@@ -60,6 +60,45 @@ struct EqQpNonnegOptions {
     /// two paths agree to solver precision.  Not owned; must outlive
     /// the call.
     const SparseMatrix* equality_operator = nullptr;
+    /// solve_eq_qp_nonneg_factored only: KKT systems whose bordered
+    /// dimension (free variables + equality rows) is at most this are
+    /// gathered into a dense matrix and LU-solved exactly — bit-for-bit
+    /// the dense-H path on matching inputs.  Larger systems switch to
+    /// the matrix-free projected-CG solve, which never allocates
+    /// anything quadratic in the variable count.  Every paper-scale
+    /// problem (<= 600 pairs) sits far below the default.
+    std::size_t dense_kkt_limit = 1024;
+    /// solve_eq_qp_nonneg_factored only: relative preconditioned-
+    /// residual tolerance of the projected-CG inner solve.  The
+    /// default sits just above the double-precision floor of the
+    /// recurrence; asking for much less makes every inner solve burn
+    /// its remaining budget at the floor without gaining accuracy.
+    double cg_tolerance = 1e-10;
+    /// solve_eq_qp_nonneg_factored only: hard cap on CG iterations per
+    /// KKT solve; 0 picks min(2 * (free + rows) + 50, 1500).  A capped
+    /// (inexact) solve still yields a feasible iterate — the equality
+    /// constraint is maintained by the projection, not by convergence.
+    std::size_t cg_max_iterations = 0;
+    /// solve_eq_qp_nonneg_factored only: hard cap on active-set rounds
+    /// (KKT solves); 0 picks the dense solver's 3n + 16.  Time-boxed
+    /// callers (benches, soft-real-time windows) can bound the whole
+    /// solve; a capped run returns the last iterate clamped to the
+    /// nonnegative orthant with converged = false.
+    std::size_t max_active_set_rounds = 0;
+};
+
+/// Factored Hessian H = S + diag(extra): a symmetric sparse matrix in
+/// CSR form plus an optional added diagonal, never materialized
+/// densely.  This is exactly the shape of the estimator data terms —
+/// the fanout QP's source-weighted Gram plus its gravity tie-break
+/// ridge, and the Bayesian MAP system's Gram plus the prior precision —
+/// whose dense P x P form is the last quadratic-in-pairs allocation at
+/// generated-backbone scale (a 200-PoP backbone's 39800^2 Hessian would
+/// be ~12.7 GB).  The view (and the diagonal, when set) must outlive
+/// the solver call; `matrix` must be square with sorted CSR rows.
+struct FactoredHessian {
+    CsrView matrix;
+    const Vector* diagonal = nullptr;  ///< optional, length matrix.cols
 };
 
 struct EqQpNonnegResult {
@@ -75,6 +114,9 @@ struct EqQpNonnegResult {
     /// verification, and shaped the returned solution (no cold
     /// fall-back happened).
     bool warm_accepted = false;
+    /// Total projected-CG iterations across the KKT solves (factored
+    /// solver only; 0 when every solve took the dense-gather path).
+    std::size_t cg_iterations = 0;
 };
 
 /// Minimizes (1/2) x'Hx - f'x  subject to  E x = d,  x >= 0, via an
@@ -89,5 +131,28 @@ struct EqQpNonnegResult {
 EqQpNonnegResult solve_eq_qp_nonneg(const Matrix& h, const Vector& f,
                                     const Matrix& e, const Vector& d,
                                     const EqQpNonnegOptions& options = {});
+
+/// Minimizes (1/2) x'Hx - f'x  subject to  E x = d,  x >= 0, with the
+/// Hessian given in factored form (sparse CSR + diagonal) — the dense
+/// P x P H never exists.  Warm-start seeding, equality-row support
+/// checks and scale-relative tolerances follow solve_eq_qp_nonneg.
+/// Problems whose bordered dimension fits
+/// EqQpNonnegOptions::dense_kkt_limit replay the dense solver's
+/// pin-all-negatives / release-worst discipline over exact dense
+/// gathers of the free-set KKT system (LU) — on inputs whose factored
+/// values equal a dense H the produced iterates are bit-for-bit
+/// solve_eq_qp_nonneg's with equality_operator set.  Larger problems
+/// switch to matrix-free projected CG for the inner solves
+/// (constraint-preconditioned with the Jacobi diagonal; O(nnz) per
+/// iteration, feasibility maintained by projection) driven by a block
+/// principal pivoting active set (flip every infeasibility while the
+/// count shrinks, Murty single-pivot fallback when it stops) — the
+/// combination that stays robust under inexact inner solves.  `e`
+/// doubles as the equality operator (no dense E is taken at all);
+/// m == 0 is allowed and reduces to a bound-constrained solve of the
+/// factored normal equations — the Bayesian estimator's sparse path.
+EqQpNonnegResult solve_eq_qp_nonneg_factored(
+    const FactoredHessian& h, const Vector& f, const SparseMatrix& e,
+    const Vector& d, const EqQpNonnegOptions& options = {});
 
 }  // namespace tme::linalg

@@ -86,10 +86,16 @@ SparseMatrix SparseMatrix::from_dense(const Matrix& dense, double drop_tol) {
 }
 
 Vector SparseMatrix::multiply(const Vector& x) const {
+    Vector y;
+    multiply_into(x, y);
+    return y;
+}
+
+void SparseMatrix::multiply_into(const Vector& x, Vector& y) const {
     if (x.size() != cols_) {
         throw std::invalid_argument("SparseMatrix::multiply: size mismatch");
     }
-    Vector y(rows_, 0.0);
+    y.assign(rows_, 0.0);
     const std::size_t* __restrict off = offsets_.data();
     const std::size_t* __restrict cidx = cols_idx_.data();
     const double* __restrict vals = values_.data();
@@ -102,15 +108,21 @@ Vector SparseMatrix::multiply(const Vector& x) const {
         }
         yp[i] = acc;
     }
-    return y;
 }
 
 Vector SparseMatrix::multiply_transpose(const Vector& x) const {
+    Vector y;
+    multiply_transpose_into(x, y);
+    return y;
+}
+
+void SparseMatrix::multiply_transpose_into(const Vector& x,
+                                           Vector& y) const {
     if (x.size() != rows_) {
         throw std::invalid_argument(
             "SparseMatrix::multiply_transpose: size mismatch");
     }
-    Vector y(cols_, 0.0);
+    y.assign(cols_, 0.0);
     const std::size_t* __restrict off = offsets_.data();
     const std::size_t* __restrict cidx = cols_idx_.data();
     const double* __restrict vals = values_.data();
@@ -122,7 +134,6 @@ Vector SparseMatrix::multiply_transpose(const Vector& x) const {
             yp[cidx[k]] += xi * vals[k];
         }
     }
-    return y;
 }
 
 Matrix SparseMatrix::gram() const { return gram_sparse(*this); }

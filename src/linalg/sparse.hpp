@@ -62,8 +62,17 @@ class SparseMatrix {
     /// y = A x.
     Vector multiply(const Vector& x) const;
 
+    /// y = A x into a caller-owned buffer (resized to rows()).  Exactly
+    /// the arithmetic of multiply(), minus the per-call allocation —
+    /// the iterative projection solvers (MART, entropy) call this every
+    /// sweep, where a fresh rows()-sized vector per call is pure churn.
+    void multiply_into(const Vector& x, Vector& y) const;
+
     /// y = A' x.
     Vector multiply_transpose(const Vector& x) const;
+
+    /// y = A' x into a caller-owned buffer (resized to cols()).
+    void multiply_transpose_into(const Vector& x, Vector& y) const;
 
     /// Dense Gram matrix G = A' A (cols x cols).
     Matrix gram() const;

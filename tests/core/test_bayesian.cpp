@@ -107,6 +107,65 @@ TEST_P(BayesianMonotonicity, ResidualDecreasesWithRegularization) {
     }
 }
 
+TEST(Bayesian, SparseGramFactoredPathMatchesNnls) {
+    // The CSR-Gram factored-QP path must land on the NNLS path's
+    // minimizer: the MAP system is strictly convex, so the minimizer is
+    // unique and solver-independent.
+    const SmallNetwork net = core::testing::europe_network();
+    const SnapshotProblem snap = net.snapshot();
+    linalg::Vector prior(net.truth.size(), 1.0);
+    const linalg::Vector dense_path = bayesian_estimate(snap, prior);
+
+    const linalg::SparseMatrix sparse_gram =
+        linalg::gram_sparse_csr(net.routing);
+    BayesianOptions options;
+    options.shared_sparse_gram = &sparse_gram;
+    const linalg::Vector sparse_path =
+        bayesian_estimate(snap, prior, options);
+    ASSERT_EQ(sparse_path.size(), dense_path.size());
+    double scale = 1.0;
+    for (double v : dense_path) scale = std::max(scale, v);
+    for (std::size_t p = 0; p < dense_path.size(); ++p) {
+        EXPECT_NEAR(sparse_path[p], dense_path[p], 1e-9 * scale)
+            << "pair " << p;
+    }
+
+    // Warm start through the factored path: same minimizer.
+    BayesianOptions warm = options;
+    warm.warm_start = &sparse_path;
+    const linalg::Vector warm_path = bayesian_estimate(snap, prior, warm);
+    for (std::size_t p = 0; p < dense_path.size(); ++p) {
+        EXPECT_NEAR(warm_path[p], dense_path[p], 1e-9 * scale);
+    }
+
+    // Dimension mismatch is rejected.
+    const linalg::SparseMatrix wrong(3, 3, {});
+    BayesianOptions bad;
+    bad.shared_sparse_gram = &wrong;
+    EXPECT_THROW(bayesian_estimate(snap, prior, bad),
+                 std::invalid_argument);
+}
+
+TEST(Bayesian, SparseGramForcedCgPathStaysClose) {
+    // dense_kkt_limit = 0 exercises the projected-CG branch even at
+    // paper scale; the strictly convex minimizer is unchanged.
+    const SmallNetwork net = tiny_network(3);
+    const SnapshotProblem snap = net.snapshot();
+    linalg::Vector prior(net.truth.size(), 1.0);
+    const linalg::Vector dense_path = bayesian_estimate(snap, prior);
+    const linalg::SparseMatrix sparse_gram =
+        linalg::gram_sparse_csr(net.routing);
+    BayesianOptions options;
+    options.shared_sparse_gram = &sparse_gram;
+    options.qp.dense_kkt_limit = 0;
+    const linalg::Vector cg_path = bayesian_estimate(snap, prior, options);
+    double scale = 1.0;
+    for (double v : dense_path) scale = std::max(scale, v);
+    for (std::size_t p = 0; p < dense_path.size(); ++p) {
+        EXPECT_NEAR(cg_path[p], dense_path[p], 1e-6 * scale);
+    }
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, BayesianMonotonicity,
                          ::testing::Values(1u, 2u, 3u, 4u));
 

@@ -142,6 +142,45 @@ TEST(Fanout, SharedConstraintsIdentical) {
     EXPECT_THROW(fanout_estimate(series, bad), std::invalid_argument);
 }
 
+TEST(Fanout, SharedSparseGramIdentical) {
+    const SmallNetwork net = tiny_network(6);
+    const SeriesProblem series = constant_fanout_series(net, 5, 13, nullptr);
+    const FanoutResult plain = fanout_estimate(series);
+
+    const linalg::SparseMatrix gram = linalg::gram_sparse_csr(net.routing);
+    FanoutOptions options;
+    options.shared_sparse_gram = &gram;
+    const FanoutResult shared = fanout_estimate(series, options);
+    // Same Gram values, same deterministic QP path: bit-for-bit.
+    ASSERT_EQ(shared.fanouts.size(), plain.fanouts.size());
+    for (std::size_t p = 0; p < plain.fanouts.size(); ++p) {
+        EXPECT_EQ(shared.fanouts[p], plain.fanouts[p]);
+    }
+
+    const linalg::SparseMatrix wrong(2, 2, {});
+    FanoutOptions bad;
+    bad.shared_sparse_gram = &wrong;
+    EXPECT_THROW(fanout_estimate(series, bad), std::invalid_argument);
+}
+
+TEST(Fanout, ForcedCgQpPathStaysCloseToExact) {
+    // Routing the factored QP through the projected-CG branch (as a
+    // 100+ PoP backbone would) must reproduce the exact-LU fanouts to
+    // solver precision.
+    const SmallNetwork net = tiny_network(8);
+    const SeriesProblem series = constant_fanout_series(net, 6, 7, nullptr);
+    const FanoutResult exact = fanout_estimate(series);
+    FanoutOptions options;
+    options.qp.dense_kkt_limit = 0;
+    const FanoutResult cg = fanout_estimate(series, options);
+    EXPECT_GT(cg.qp_cg_iterations, 0u);
+    EXPECT_EQ(exact.qp_cg_iterations, 0u);
+    for (std::size_t p = 0; p < exact.fanouts.size(); ++p) {
+        EXPECT_NEAR(cg.fanouts[p], exact.fanouts[p], 1e-6);
+    }
+    EXPECT_LT(cg.equality_violation, 1e-8);
+}
+
 TEST(Fanout, WarmStartSameEstimate) {
     const SmallNetwork net = tiny_network(9);
     const SeriesProblem series = constant_fanout_series(net, 6, 4, nullptr);

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+#include <random>
+
 #include "linalg/entropy_solver.hpp"
 #include "test_helpers.hpp"
 #include "traffic/traffic_matrix.hpp"
@@ -101,6 +105,151 @@ TEST(KruithofGeneral, ZeroLoadZerosDemands) {
     const KruithofResult r = kruithof_general(snap, prior);
     for (std::size_t m = 1; m < net.topo.pop_count(); ++m) {
         EXPECT_DOUBLE_EQ(r.s[net.topo.pair_index(0, m)], 0.0);
+    }
+}
+
+TEST(KruithofIpf, MatchesDenseReferenceBitwise) {
+    // The flat skip-diagonal rewrite must reproduce the historical
+    // TrafficMatrix-based sweep bit-for-bit: same totals in the same
+    // summation order, same scaling products.
+    const std::size_t n = 6;
+    std::mt19937_64 rng(17);
+    std::uniform_real_distribution<double> dist(0.2, 3.0);
+    linalg::Vector prior(n * (n - 1));
+    for (double& v : prior) v = dist(rng);
+    traffic::TrafficMatrix target(n, prior);
+    linalg::Vector rows = target.row_totals();
+    linalg::Vector cols = target.col_totals();
+    // Perturb the prior so the iteration actually has work to do.
+    for (double& v : prior) v *= dist(rng);
+
+    KruithofOptions options;
+    options.max_iterations = 200;
+    const KruithofResult fast =
+        kruithof_ipf(n, prior, rows, cols, options);
+
+    // Reference: the pre-rewrite implementation, verbatim.
+    traffic::TrafficMatrix tm(n, prior);
+    KruithofResult ref;
+    for (ref.iterations = 0; ref.iterations < options.max_iterations;
+         ++ref.iterations) {
+        linalg::Vector rt = tm.row_totals();
+        for (std::size_t i = 0; i < n; ++i) {
+            if (rt[i] <= 0.0) continue;
+            const double f = rows[i] / rt[i];
+            for (std::size_t j = 0; j < n; ++j) {
+                if (i != j) tm.set(i, j, tm(i, j) * f);
+            }
+        }
+        linalg::Vector ct = tm.col_totals();
+        for (std::size_t j = 0; j < n; ++j) {
+            if (ct[j] <= 0.0) continue;
+            const double f = cols[j] / ct[j];
+            for (std::size_t i = 0; i < n; ++i) {
+                if (i != j) tm.set(i, j, tm(i, j) * f);
+            }
+        }
+        rt = tm.row_totals();
+        ct = tm.col_totals();
+        double viol = 0.0;
+        for (std::size_t i = 0; i < n; ++i) {
+            if (rows[i] > 0.0) {
+                viol = std::max(viol,
+                                std::abs(rt[i] - rows[i]) / rows[i]);
+            }
+            if (cols[i] > 0.0) {
+                viol = std::max(viol,
+                                std::abs(ct[i] - cols[i]) / cols[i]);
+            }
+        }
+        ref.max_violation = viol;
+        if (viol <= options.tolerance) {
+            ref.converged = true;
+            break;
+        }
+    }
+    ref.s = tm.to_pair_vector();
+
+    EXPECT_EQ(fast.converged, ref.converged);
+    EXPECT_EQ(fast.iterations, ref.iterations);
+    EXPECT_EQ(fast.max_violation, ref.max_violation);
+    ASSERT_EQ(fast.s.size(), ref.s.size());
+    for (std::size_t p = 0; p < ref.s.size(); ++p) {
+        EXPECT_EQ(fast.s[p], ref.s[p]) << "pair " << p;
+    }
+}
+
+TEST(KruithofIpf, CheckCadenceReachesSameFixedPoint) {
+    const std::size_t n = 5;
+    std::mt19937_64 rng(3);
+    std::uniform_real_distribution<double> dist(0.5, 2.0);
+    linalg::Vector prior(n * (n - 1));
+    for (double& v : prior) v = dist(rng);
+    traffic::TrafficMatrix target(n, prior);
+    const linalg::Vector rows = target.row_totals();
+    const linalg::Vector cols = target.col_totals();
+    for (double& v : prior) v *= dist(rng);
+
+    const KruithofResult every = kruithof_ipf(n, prior, rows, cols);
+    KruithofOptions sparse_checks;
+    sparse_checks.check_every = 7;
+    const KruithofResult cadenced =
+        kruithof_ipf(n, prior, rows, cols, sparse_checks);
+    ASSERT_TRUE(every.converged);
+    ASSERT_TRUE(cadenced.converged);
+    // The cadenced run may do a few extra sweeps past the tolerance;
+    // both land on the (unique) biproportional fit.
+    for (std::size_t p = 0; p < every.s.size(); ++p) {
+        EXPECT_NEAR(cadenced.s[p], every.s[p],
+                    1e-9 * (1.0 + every.s[p]));
+    }
+    EXPECT_GE(cadenced.iterations, every.iterations);
+}
+
+TEST(KruithofGeneral, CheckCadenceReachesSameSolution) {
+    const SmallNetwork net = tiny_network(5);
+    const SnapshotProblem snap = net.snapshot();
+    linalg::Vector prior(net.truth.size(), 1.0);
+    KruithofOptions base;
+    base.max_iterations = 3000;
+    base.tolerance = 1e-9;
+    const KruithofResult every = kruithof_general(snap, prior, base);
+    KruithofOptions cadenced_options = base;
+    cadenced_options.check_every = 10;
+    const KruithofResult cadenced =
+        kruithof_general(snap, prior, cadenced_options);
+    ASSERT_TRUE(every.converged);
+    ASSERT_TRUE(cadenced.converged);
+    for (std::size_t p = 0; p < every.s.size(); ++p) {
+        EXPECT_NEAR(cadenced.s[p], every.s[p],
+                    1e-7 * (1.0 + every.s[p]));
+    }
+}
+
+TEST(KruithofGeneral, FractionalRoutingTakesPowPath) {
+    // ECMP-style fractional routing entries exercise the pow branch of
+    // the MART update (the 0/1 fast path must not change semantics for
+    // general non-negative matrices).
+    const std::size_t links = 4;
+    const std::size_t pairs = 3;
+    std::vector<linalg::Triplet> trips = {
+        {0, 0, 0.5}, {1, 0, 0.5}, {0, 1, 1.0}, {2, 1, 0.5},
+        {2, 2, 1.0}, {3, 2, 0.5},
+    };
+    const linalg::SparseMatrix r(links, pairs, std::move(trips));
+    const linalg::Vector truth{2.0, 1.0, 3.0};
+    SnapshotProblem snap;
+    snap.routing = &r;
+    snap.loads = r.multiply(truth);
+    linalg::Vector prior(pairs, 1.0);
+    KruithofOptions options;
+    options.max_iterations = 5000;
+    options.tolerance = 1e-10;
+    const KruithofResult result = kruithof_general(snap, prior, options);
+    EXPECT_TRUE(result.converged) << result.max_violation;
+    const linalg::Vector pred = r.multiply(result.s);
+    for (std::size_t l = 0; l < links; ++l) {
+        EXPECT_NEAR(pred[l], snap.loads[l], 1e-7 * (1.0 + snap.loads[l]));
     }
 }
 

@@ -44,6 +44,35 @@ TEST(RoutingEpochDerived, VardiGramLazyBuildAndReuse) {
     EXPECT_EQ(epoch.derived_builds(), 2u);  // both weights stay cached
 }
 
+TEST(RoutingEpochDerived, SparseGramLazyBuildAndDenseGramUntouched) {
+    const SmallNetwork net = tiny_network();
+    RoutingEpochCache cache(2);
+    const RoutingEpoch& epoch = cache.acquire(net.routing);
+
+    EXPECT_FALSE(epoch.sparse_gram_built());
+    const linalg::SparseMatrix& g = epoch.sparse_gram();
+    EXPECT_TRUE(epoch.sparse_gram_built());
+    const std::size_t builds = epoch.derived_builds();
+    EXPECT_GE(builds, 1u);
+    // Second call is a cache hit on the same object.
+    EXPECT_EQ(&epoch.sparse_gram(), &g);
+    EXPECT_EQ(epoch.derived_builds(), builds);
+    // The CSR Gram never requires (or triggers) the dense Gram.
+    EXPECT_FALSE(epoch.gram_built());
+
+    // Values are exactly gram_sparse_csr of the routing copy.
+    const linalg::SparseMatrix expected =
+        linalg::gram_sparse_csr(net.routing);
+    ASSERT_EQ(g.nonzeros(), expected.nonzeros());
+    const linalg::Matrix gd = g.to_dense();
+    const linalg::Matrix ed = expected.to_dense();
+    for (std::size_t i = 0; i < ed.rows(); ++i) {
+        for (std::size_t j = 0; j < ed.cols(); ++j) {
+            EXPECT_EQ(gd(i, j), ed(i, j));
+        }
+    }
+}
+
 TEST(RoutingEpochDerived, FanoutConstraintsLazyBuild) {
     const SmallNetwork net = tiny_network();
     RoutingEpochCache cache(2);
@@ -58,10 +87,17 @@ TEST(RoutingEpochDerived, FanoutConstraintsLazyBuild) {
     const core::FanoutConstraints expected =
         core::FanoutConstraints::build(net.topo);
     ASSERT_EQ(cached.source_of, expected.source_of);
-    ASSERT_EQ(cached.equality.rows(), expected.equality.rows());
-    for (std::size_t i = 0; i < expected.equality.rows(); ++i) {
-        for (std::size_t j = 0; j < expected.equality.cols(); ++j) {
-            EXPECT_EQ(cached.equality(i, j), expected.equality(i, j));
+    ASSERT_EQ(cached.equality_sparse.rows(),
+              expected.equality_sparse.rows());
+    ASSERT_EQ(cached.equality_sparse.cols(),
+              expected.equality_sparse.cols());
+    ASSERT_EQ(cached.rhs, expected.rhs);
+    const linalg::Matrix cached_dense = cached.equality_sparse.to_dense();
+    const linalg::Matrix expected_dense =
+        expected.equality_sparse.to_dense();
+    for (std::size_t i = 0; i < expected_dense.rows(); ++i) {
+        for (std::size_t j = 0; j < expected_dense.cols(); ++j) {
+            EXPECT_EQ(cached_dense(i, j), expected_dense(i, j));
         }
     }
 

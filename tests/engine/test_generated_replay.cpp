@@ -28,9 +28,10 @@ TEST(GeneratedReplay, HundredPopSmoke) {
 
     EngineConfig engine_config;
     engine_config.window_size = 4;
-    // Gravity only: Gram-free AND cheap enough for the TSan lane (the
-    // Kruithof projection is seconds per window at 9900 pairs — its
-    // sparse-aware rewrite is a ROADMAP item, not this smoke test).
+    // Gravity only: Gram-free AND cheap enough for the TSan lane.
+    // (Kruithof's sparse-aware rewrite now runs at this scale too —
+    // bench_perf_solvers phase 5 covers it — but 500 MART sweeps per
+    // window under TSan would still dominate this smoke test.)
     engine_config.methods = {Method::gravity};
     OnlineEngine engine(sc.topo, sc.routing, engine_config);
 

@@ -2,7 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <random>
+
+#include "routing/routing_matrix.hpp"
+#include "topology/builders.hpp"
 
 namespace tme::linalg {
 namespace {
@@ -251,6 +255,294 @@ TEST_P(EqQpNonnegScale, LargeLoadsDoNotBurnExtraRounds) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, EqQpNonnegScale,
                          ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u));
+
+// ---- Factored-Hessian solver -------------------------------------------
+
+/// Random factored problem H = A'A (sparse CSR) + diag(shift) with its
+/// dense twin, plus two disjoint sum constraints in both forms.
+struct FactoredProblem {
+    SparseMatrix gram;   // CSR A'A
+    Matrix dense_h;      // dense twin, shift already on the diagonal
+    Vector shift;
+    Vector f;
+    Matrix e_dense;
+    SparseMatrix e_sparse;
+    Vector d;
+};
+
+FactoredProblem make_factored_problem(unsigned seed, std::size_t n,
+                                      double shift_value) {
+    std::mt19937_64 rng(seed);
+    std::uniform_real_distribution<double> dist(0.1, 1.0);
+    std::uniform_int_distribution<int> coin(0, 2);
+    Matrix a(2 * n, n, 0.0);
+    for (std::size_t i = 0; i < a.rows(); ++i) {
+        for (std::size_t j = 0; j < n; ++j) {
+            if (coin(rng) == 0) a(i, j) = dist(rng);
+        }
+    }
+    FactoredProblem p;
+    p.gram = gram_sparse_csr(SparseMatrix::from_dense(a));
+    p.shift.assign(n, shift_value);
+    p.dense_h = p.gram.to_dense();
+    for (std::size_t i = 0; i < n; ++i) p.dense_h(i, i) += shift_value;
+    p.f.resize(n);
+    for (double& v : p.f) v = dist(rng) - 0.3;
+    p.e_dense = Matrix(2, n, 0.0);
+    std::vector<Triplet> trips;
+    for (std::size_t j = 0; j < n; ++j) {
+        const std::size_t r = j < n / 2 ? 0 : 1;
+        p.e_dense(r, j) = 1.0;
+        trips.push_back({r, j, 1.0});
+    }
+    p.e_sparse = SparseMatrix(2, n, std::move(trips));
+    p.d = {1.0, 2.0};
+    return p;
+}
+
+class EqQpFactored : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(EqQpFactored, GatherPathBitwiseMatchesDense) {
+    // Below dense_kkt_limit the factored solver gathers the same KKT
+    // doubles the dense solver assembles, so the whole active-set
+    // trajectory — and the returned minimizer — must be bit-for-bit.
+    const FactoredProblem p = make_factored_problem(GetParam(), 14, 0.05);
+    EqQpNonnegOptions dense_opts;
+    dense_opts.equality_operator = &p.e_sparse;
+    const EqQpNonnegResult dense =
+        solve_eq_qp_nonneg(p.dense_h, p.f, p.e_dense, p.d, dense_opts);
+
+    FactoredHessian h;
+    h.matrix = p.gram.view();
+    h.diagonal = &p.shift;
+    const EqQpNonnegResult fact =
+        solve_eq_qp_nonneg_factored(h, p.f, p.e_sparse, p.d);
+    ASSERT_TRUE(fact.converged);
+    ASSERT_EQ(fact.x.size(), dense.x.size());
+    for (std::size_t j = 0; j < dense.x.size(); ++j) {
+        EXPECT_EQ(fact.x[j], dense.x[j]) << "var " << j;
+    }
+    EXPECT_EQ(fact.iterations, dense.iterations);
+    EXPECT_EQ(fact.cg_iterations, 0u);
+    EXPECT_EQ(fact.active, dense.active);
+}
+
+TEST_P(EqQpFactored, ProjectedCgMatchesDense) {
+    // dense_kkt_limit = 0 forces every KKT solve through the
+    // matrix-free projected CG; the strictly convex problem has one
+    // minimizer, so the two paths must agree to solver precision.
+    const FactoredProblem p = make_factored_problem(GetParam() + 50, 24,
+                                                    0.5);
+    EqQpNonnegOptions dense_opts;
+    dense_opts.equality_operator = &p.e_sparse;
+    const EqQpNonnegResult dense =
+        solve_eq_qp_nonneg(p.dense_h, p.f, p.e_dense, p.d, dense_opts);
+
+    FactoredHessian h;
+    h.matrix = p.gram.view();
+    h.diagonal = &p.shift;
+    EqQpNonnegOptions opts;
+    opts.dense_kkt_limit = 0;
+    opts.cg_tolerance = 1e-13;
+    const EqQpNonnegResult fact =
+        solve_eq_qp_nonneg_factored(h, p.f, p.e_sparse, p.d, opts);
+    ASSERT_TRUE(fact.converged);
+    EXPECT_GT(fact.cg_iterations, 0u);
+    // The CG path trades the last two digits of active-set resolution
+    // for scale-independence (decision band 1e-7 vs the gather path's
+    // 1e-9), so agreement is to ~1e-6 relative, not bitwise.
+    const double scale = std::max(1.0, nrm_inf(dense.x));
+    for (std::size_t j = 0; j < dense.x.size(); ++j) {
+        EXPECT_NEAR(fact.x[j], dense.x[j], 1e-6 * scale) << "var " << j;
+    }
+    EXPECT_LT(fact.equality_violation, 1e-9 * scale);
+}
+
+TEST_P(EqQpFactored, WarmStartOnCgPathReturnsSameMinimizer) {
+    const FactoredProblem p = make_factored_problem(GetParam() + 90, 20,
+                                                    0.4);
+    FactoredHessian h;
+    h.matrix = p.gram.view();
+    h.diagonal = &p.shift;
+    EqQpNonnegOptions opts;
+    opts.dense_kkt_limit = 0;
+    const EqQpNonnegResult cold =
+        solve_eq_qp_nonneg_factored(h, p.f, p.e_sparse, p.d, opts);
+    ASSERT_TRUE(cold.converged);
+
+    EqQpNonnegOptions warm_opts = opts;
+    warm_opts.warm_start = &cold.x;
+    const EqQpNonnegResult warm =
+        solve_eq_qp_nonneg_factored(h, p.f, p.e_sparse, p.d, warm_opts);
+    ASSERT_TRUE(warm.converged);
+    EXPECT_LE(warm.iterations, cold.iterations);
+    const double scale = std::max(1.0, nrm_inf(cold.x));
+    for (std::size_t j = 0; j < cold.x.size(); ++j) {
+        EXPECT_NEAR(warm.x[j], cold.x[j], 1e-6 * scale) << "var " << j;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EqQpFactored,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u));
+
+TEST(EqQpFactoredEdge, NoEqualityReducesToBoundConstrainedSolve) {
+    // m == 0 is the Bayesian MAP shape: factored normal equations with
+    // non-negativity only.  Gather path bitwise vs the dense solver,
+    // CG path to 1e-9.
+    const FactoredProblem p = make_factored_problem(7, 12, 0.3);
+    const EqQpNonnegResult dense =
+        solve_eq_qp_nonneg(p.dense_h, p.f, Matrix(0, 12), {});
+    FactoredHessian h;
+    h.matrix = p.gram.view();
+    h.diagonal = &p.shift;
+    const EqQpNonnegResult gather =
+        solve_eq_qp_nonneg_factored(h, p.f, SparseMatrix(), {});
+    for (std::size_t j = 0; j < dense.x.size(); ++j) {
+        EXPECT_EQ(gather.x[j], dense.x[j]) << "var " << j;
+    }
+    EqQpNonnegOptions opts;
+    opts.dense_kkt_limit = 0;
+    const EqQpNonnegResult cg =
+        solve_eq_qp_nonneg_factored(h, p.f, SparseMatrix(), {}, opts);
+    const double scale = std::max(1.0, nrm_inf(dense.x));
+    for (std::size_t j = 0; j < dense.x.size(); ++j) {
+        EXPECT_NEAR(cg.x[j], dense.x[j], 1e-6 * scale) << "var " << j;
+    }
+}
+
+TEST(EqQpFactoredEdge, Validation) {
+    const FactoredProblem p = make_factored_problem(3, 10, 0.1);
+    FactoredHessian h;
+    h.matrix = p.gram.view();
+    h.diagonal = &p.shift;
+    // f of the wrong length.
+    EXPECT_THROW(
+        solve_eq_qp_nonneg_factored(h, Vector(3, 0.0), p.e_sparse, p.d),
+        std::invalid_argument);
+    // Added diagonal of the wrong length.
+    const Vector bad_diag(4, 1.0);
+    FactoredHessian bad = h;
+    bad.diagonal = &bad_diag;
+    EXPECT_THROW(solve_eq_qp_nonneg_factored(bad, p.f, p.e_sparse, p.d),
+                 std::invalid_argument);
+    // Warm-start seed of the wrong length.
+    const Vector bad_seed(3, 1.0);
+    EqQpNonnegOptions opts;
+    opts.warm_start = &bad_seed;
+    EXPECT_THROW(
+        solve_eq_qp_nonneg_factored(h, p.f, p.e_sparse, p.d, opts),
+        std::invalid_argument);
+}
+
+TEST(EqQpFactoredScale, HundredPopFanoutShapeKktResiduals) {
+    // Property test at generated-backbone scale (100 PoPs, 9900 pairs):
+    // the projected-CG path must satisfy the KKT conditions of the
+    // fanout-shaped QP — per-source sum constraints met, per-source
+    // stationarity value constant across the free fanouts, pinned
+    // multipliers non-negative — without ever allocating anything
+    // quadratic in the pair count.
+    const topology::Topology topo = topology::generated_backbone(100, 4.0, 1);
+    const SparseMatrix r = routing::igp_routing_matrix(topo);
+    const std::size_t pairs = r.cols();
+    const std::size_t nodes = topo.pop_count();
+    const SparseMatrix g = gram_sparse_csr(r);
+    const CsrView gv = g.view();
+
+    double diag_mean = 0.0;
+    for (std::size_t p = 0; p < pairs; ++p) {
+        diag_mean += g.at(p, p);
+    }
+    diag_mean /= static_cast<double>(pairs);
+    const Vector shift(pairs, 0.5 * diag_mean);
+
+    std::vector<Triplet> trips;
+    std::vector<std::size_t> source_of(pairs);
+    for (std::size_t p = 0; p < pairs; ++p) {
+        source_of[p] = topo.pair_nodes(p).first;
+        trips.push_back({source_of[p], p, 1.0});
+    }
+    const SparseMatrix e(nodes, pairs, std::move(trips));
+    const Vector d(nodes, 1.0);
+
+    // f = H alpha for a feasible fanout vector, plus a bias that drives
+    // part of the optimum onto the boundary.
+    std::mt19937_64 rng(11);
+    std::uniform_real_distribution<double> dist(0.0, 1.0);
+    Vector alpha(pairs);
+    Vector row_sum(nodes, 0.0);
+    for (std::size_t p = 0; p < pairs; ++p) {
+        alpha[p] = dist(rng);
+        row_sum[source_of[p]] += alpha[p];
+    }
+    for (std::size_t p = 0; p < pairs; ++p) alpha[p] /= row_sum[source_of[p]];
+    auto h_times = [&](const Vector& x) {
+        Vector y(pairs, 0.0);
+        for (std::size_t p = 0; p < pairs; ++p) {
+            double acc = 0.0;
+            for (std::size_t t = gv.offsets[p]; t < gv.offsets[p + 1];
+                 ++t) {
+                acc += gv.values[t] * x[gv.col_index[t]];
+            }
+            y[p] = acc + shift[p] * x[p];
+        }
+        return y;
+    };
+    Vector f = h_times(alpha);
+    for (std::size_t p = 0; p < pairs; ++p) {
+        f[p] += (dist(rng) - 0.7) * 0.05 * diag_mean;
+    }
+
+    FactoredHessian h;
+    h.matrix = gv;
+    h.diagonal = &shift;
+    EqQpNonnegOptions opts;
+    opts.cg_tolerance = 1e-12;
+    detail::reset_peak_matrix_allocation();
+    const EqQpNonnegResult result =
+        solve_eq_qp_nonneg_factored(h, f, e, d, opts);
+    // 9900 free variables >> dense_kkt_limit: this must have gone
+    // through the projected CG, and nothing close to a pairs x pairs
+    // dense matrix may have been allocated along the way.
+    EXPECT_GT(result.cg_iterations, 0u);
+    EXPECT_LT(detail::peak_matrix_allocation_bytes(),
+              pairs * pairs * sizeof(double) / 16);
+
+    ASSERT_EQ(result.x.size(), pairs);
+    double xmax = 0.0;
+    for (double v : result.x) {
+        ASSERT_TRUE(std::isfinite(v));
+        ASSERT_GE(v, 0.0);
+        xmax = std::max(xmax, v);
+    }
+    EXPECT_LT(result.equality_violation, 1e-8);
+
+    // KKT residuals: within each source, (H x - f)_p must be a constant
+    // -nu_r on the free fanouts and >= -nu_r (up to scale) on the
+    // pinned ones.
+    const Vector hx = h_times(result.x);
+    double hmax = 0.0;
+    for (std::size_t p = 0; p < pairs; ++p) {
+        hmax = std::max(hmax, g.at(p, p) + shift[p]);
+    }
+    const double tol = 1e-6 * std::max(1.0, hmax * std::max(1.0, xmax));
+    std::vector<double> nu(nodes, 0.0);
+    std::vector<bool> nu_set(nodes, false);
+    for (std::size_t p = 0; p < pairs; ++p) {
+        if (result.active[p]) continue;
+        const double grad = hx[p] - f[p];
+        const std::size_t src = source_of[p];
+        if (!nu_set[src]) {
+            nu[src] = -grad;
+            nu_set[src] = true;
+        } else {
+            EXPECT_NEAR(grad, -nu[src], tol) << "pair " << p;
+        }
+    }
+    for (std::size_t p = 0; p < pairs; ++p) {
+        if (!result.active[p]) continue;
+        EXPECT_GE(hx[p] - f[p] + nu[source_of[p]], -tol) << "pair " << p;
+    }
+}
 
 }  // namespace
 }  // namespace tme::linalg
