@@ -24,9 +24,19 @@
 // aggregate window throughput (the gate is skipped on a single
 // hardware thread, where no speedup is physically possible).
 //
+// A third phase measures the observability layer itself: a traced
+// replay must produce bit-for-bit the estimates of an untraced one
+// (counters and spans may never perturb arithmetic), the per-span cost
+// is microbenchmarked and scaled by the replay's span count to gate
+// the tracing overhead (<1% of replay wall disabled, <5% enabled —
+// derived rather than differenced, so the gate is stable on a loaded
+// single-core host), and a two-scenario fleet run is exported as a
+// Chrome trace_event JSON artifact for Perfetto.
+//
 // Results are also written to BENCH_engine.json (per-method window
-// timings, cold/warm speedups, cache hit rate, fleet throughput) so
-// the perf trajectory stays machine-readable across PRs.
+// timings with p50/p95/p99 latency and solver iteration counters,
+// cold/warm speedups, cache hit rate, fleet throughput) so the perf
+// trajectory stays machine-readable across PRs.
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -42,6 +52,8 @@
 #include "core/vardi.hpp"
 #include "engine/engine.hpp"
 #include "engine/fleet.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
 
 namespace {
 
@@ -231,6 +243,7 @@ int main(int argc, char** argv) {
     std::size_t window_size = 36;
     scenario::Network network = scenario::Network::europe;
     std::string json_path = "BENCH_engine.json";
+    std::string trace_path = "BENCH_engine_trace.json";
     for (int i = 1; i < argc; ++i) {
         if (!std::strcmp(argv[i], "--samples") && i + 1 < argc) {
             samples = static_cast<std::size_t>(std::atoi(argv[++i]));
@@ -240,9 +253,11 @@ int main(int argc, char** argv) {
             network = scenario::Network::usa;
         } else if (!std::strcmp(argv[i], "--json") && i + 1 < argc) {
             json_path = argv[++i];
+        } else if (!std::strcmp(argv[i], "--trace") && i + 1 < argc) {
+            trace_path = argv[++i];
         } else {
             std::printf("usage: %s [--samples N] [--window W] [--usa] "
-                        "[--json PATH]\n",
+                        "[--json PATH] [--trace PATH]\n",
                         argv[0]);
             return 2;
         }
@@ -380,64 +395,153 @@ int main(int argc, char** argv) {
                 fleet_diff_vs_serial);
     std::printf("%s", fleet.summary().c_str());
 
+    // ---- Observability phase: tracing cost, equivalence, export.
+    std::printf("\nobservability: tracing %s\n",
+                obs::tracing_compiled() ? "compiled in" : "compiled out");
+
+    // Per-span cost, microbenchmarked disabled (one relaxed load) and
+    // enabled (ring push).  The replay-level overhead is derived as
+    // span_count x per-span cost / replay wall rather than differenced
+    // between two full runs, so the <1%/<5% gates hold even when a
+    // loaded host adds multi-percent run-to-run wall-clock noise.
+    constexpr std::size_t kSpanReps = 2000000;
+    const auto span_cost_ns = [](std::size_t reps) {
+        const Clock::time_point t0 = Clock::now();
+        for (std::size_t i = 0; i < reps; ++i) {
+            obs::Span span("bench/span_cost");
+        }
+        return seconds_since(t0) * 1e9 / static_cast<double>(reps);
+    };
+    const double span_disabled_ns = span_cost_ns(kSpanReps);
+    double span_enabled_ns = 0.0;
+    {
+        obs::ScopedTracing tracing(true);
+        span_enabled_ns = span_cost_ns(kSpanReps);
+    }
+    obs::Tracer::instance().clear();
+
+    // Traced replay of scenario 0: estimates must be bit-for-bit those
+    // of the untraced serial replay (spans and counters never touch the
+    // arithmetic), and its span count feeds the overhead model.
+    std::uint64_t replay_spans = 0;
+    double traced_diff = 0.0;
+    double traced_seconds = 0.0;
+    {
+        obs::ScopedTracing tracing(true);
+        const std::uint64_t recorded0 =
+            obs::Tracer::instance().recorded();
+        engine::OnlineEngine eng(fleet_scenarios[0].topo,
+                                 fleet_scenarios[0].routing,
+                                 fleet_engine_config);
+        const Clock::time_point t0 = Clock::now();
+        engine::ReplayResult r = engine::replay_scenario(
+            eng, fleet_scenarios[0], fleet_jobs[0].replay);
+        traced_seconds = seconds_since(t0);
+        replay_spans = obs::Tracer::instance().recorded() - recorded0;
+        traced_diff = compare_windows(serial_windows[0], r.windows);
+    }
+    const double replay_ns = traced_seconds * 1e9;
+    const double overhead_disabled_pct =
+        replay_ns > 0.0 ? 100.0 * static_cast<double>(replay_spans) *
+                              span_disabled_ns / replay_ns
+                        : 0.0;
+    const double overhead_enabled_pct =
+        replay_ns > 0.0 ? 100.0 * static_cast<double>(replay_spans) *
+                              span_enabled_ns / replay_ns
+                        : 0.0;
+    std::printf("  span cost: disabled %.2f ns, enabled %.1f ns\n",
+                span_disabled_ns, span_enabled_ns);
+    std::printf("  traced replay: %llu spans, derived overhead "
+                "disabled %.4f%% / enabled %.3f%%, max |diff| vs "
+                "untraced %.3g\n",
+                static_cast<unsigned long long>(replay_spans),
+                overhead_disabled_pct, overhead_enabled_pct, traced_diff);
+
+    // Two-scenario fleet under tracing: the exported Chrome trace is
+    // the CI artifact (and what the trace-validation test re-parses).
+    obs::Tracer::instance().clear();
+    {
+        obs::ScopedTracing tracing(true);
+        const std::vector<engine::FleetJob> trace_jobs{fleet_jobs[0],
+                                                       fleet_jobs[1]};
+        run_fleet(trace_jobs, fleet_engine_config);
+    }
+    const bool trace_written =
+        obs::Tracer::instance().write_chrome_trace(trace_path);
+    std::printf("  %s %s (%llu spans, %llu dropped)\n",
+                trace_written ? "wrote" : "WARNING: could not write",
+                trace_path.c_str(),
+                static_cast<unsigned long long>(
+                    obs::Tracer::instance().recorded()),
+                static_cast<unsigned long long>(
+                    obs::Tracer::instance().dropped()));
+
     // Machine-readable record for cross-PR perf tracking.
-    std::FILE* json = std::fopen(json_path.c_str(), "w");
-    if (json != nullptr) {
-        std::fprintf(json, "{\n");
-        std::fprintf(json, "  \"network\": \"%s\",\n", sc.name.c_str());
-        std::fprintf(json, "  \"samples\": %zu,\n", samples);
-        std::fprintf(json, "  \"window\": %zu,\n", window_size);
-        std::fprintf(json, "  \"naive_seconds\": %.6f,\n", naive_seconds);
-        std::fprintf(json, "  \"cold_seconds\": %.6f,\n", cold_seconds);
-        std::fprintf(json, "  \"warm_seconds\": %.6f,\n", warm_seconds);
-        std::fprintf(json, "  \"speedup_cold\": %.4f,\n",
-                     naive_seconds / cold_seconds);
-        std::fprintf(json, "  \"speedup_warm\": %.4f,\n",
-                     naive_seconds / warm_seconds);
-        std::fprintf(json, "  \"max_diff_cold\": %.3e,\n", cold_diff);
-        std::fprintf(json, "  \"max_diff_warm\": %.3e,\n", warm_diff);
-        std::fprintf(json, "  \"cache_hit_rate\": %.4f,\n",
-                     engine_warm.metrics.cache_hit_rate());
-        std::fprintf(json, "  \"fanout_warm_speedup\": %.4f,\n",
-                     fanout_warm_speedup);
-        std::fprintf(json, "  \"fleet_jobs\": %zu,\n", kFleetJobs);
-        std::fprintf(json, "  \"fleet_serial_seconds\": %.6f,\n",
-                     fleet_serial_seconds);
-        std::fprintf(json, "  \"fleet_wall_seconds\": %.6f,\n",
-                     fleet.wall_seconds);
-        std::fprintf(json, "  \"fleet_speedup\": %.4f,\n", fleet_speedup);
-        std::fprintf(json, "  \"fleet_max_diff_vs_serial\": %.3e,\n",
-                     fleet_diff_vs_serial);
-        std::fprintf(json, "  \"fleet_bitstable\": %s,\n",
-                     fleet_diff_repeat == 0.0 ? "true" : "false");
-        std::fprintf(json, "  \"fleet_gate_applied\": %s,\n",
-                     fleet_gate_applicable ? "true" : "false");
-        std::fprintf(json, "  \"methods\": {\n");
-        bool first = true;
+    obs::Report report("bench_perf_engine");
+    report.set("network", sc.name);
+    report.set("samples", samples);
+    report.set("window", window_size);
+    report.set("naive_seconds", naive_seconds);
+    report.set("cold_seconds", cold_seconds);
+    report.set("warm_seconds", warm_seconds);
+    report.set("speedup_cold", naive_seconds / cold_seconds);
+    report.set("speedup_warm", naive_seconds / warm_seconds);
+    report.set("max_diff_cold", cold_diff);
+    report.set("max_diff_warm", warm_diff);
+    report.set("cache_hit_rate", engine_warm.metrics.cache_hit_rate());
+    report.set("fanout_warm_speedup", fanout_warm_speedup);
+    report.set("fleet_jobs", kFleetJobs);
+    report.set("fleet_serial_seconds", fleet_serial_seconds);
+    report.set("fleet_wall_seconds", fleet.wall_seconds);
+    report.set("fleet_speedup", fleet_speedup);
+    report.set("fleet_max_diff_vs_serial", fleet_diff_vs_serial);
+    report.set("fleet_bitstable", fleet_diff_repeat == 0.0);
+    report.set("fleet_gate_applied", fleet_gate_applicable);
+    {
+        obs::Json obs_section = obs::Json::object();
+        obs_section.set("tracing_compiled", obs::tracing_compiled());
+        obs_section.set("span_cost_disabled_ns", span_disabled_ns);
+        obs_section.set("span_cost_enabled_ns", span_enabled_ns);
+        obs_section.set("replay_spans", replay_spans);
+        obs_section.set("overhead_disabled_pct", overhead_disabled_pct);
+        obs_section.set("overhead_enabled_pct", overhead_enabled_pct);
+        obs_section.set("traced_max_diff", traced_diff);
+        obs_section.set("trace_path", trace_path);
+        obs_section.set("trace_written", trace_written);
+        report.set("obs", std::move(obs_section));
+    }
+    {
+        obs::Json methods = obs::Json::object();
         for (const auto& [method, cold_stats] :
              engine_cold.metrics.methods) {
             const auto it = engine_warm.metrics.methods.find(method);
             if (it == engine_warm.metrics.methods.end()) continue;
             const tme::engine::MethodStats& warm_stats = it->second;
-            std::fprintf(json, "%s    \"%s\": {\n", first ? "" : ",\n",
-                         tme::engine::method_name(method));
-            first = false;
-            std::fprintf(json, "      \"runs\": %zu,\n",
-                         cold_stats.runs.load());
-            std::fprintf(json,
-                         "      \"cold_mean_window_seconds\": %.6e,\n",
-                         cold_stats.mean_seconds());
-            std::fprintf(json,
-                         "      \"warm_mean_window_seconds\": %.6e,\n",
-                         warm_stats.mean_seconds());
-            std::fprintf(json, "      \"warm_runs\": %zu,\n",
-                         warm_stats.warm_runs.load());
-            std::fprintf(json, "      \"warm_accepted_runs\": %zu\n",
-                         warm_stats.warm_accepted_runs.load());
-            std::fprintf(json, "    }");
+            obs::Json entry = obs::Json::object();
+            entry.set("runs", cold_stats.runs.load());
+            entry.set("cold_mean_window_seconds",
+                      cold_stats.mean_seconds());
+            entry.set("warm_mean_window_seconds",
+                      warm_stats.mean_seconds());
+            entry.set("warm_runs", warm_stats.warm_runs.load());
+            entry.set("warm_accepted_runs",
+                      warm_stats.warm_accepted_runs.load());
+            entry.set("warm_latency", obs::histogram_to_json(
+                                          warm_stats.latency.snapshot()));
+            const obs::SolverCounters counters =
+                warm_stats.solver.snapshot();
+            if (counters.any()) {
+                entry.set("solver", obs::counters_to_json(counters));
+            }
+            methods.set(tme::engine::method_name(method),
+                        std::move(entry));
         }
-        std::fprintf(json, "\n  }\n}\n");
-        std::fclose(json);
+        report.set("methods", std::move(methods));
+    }
+    // Full structured snapshot of the warm engine — the same document
+    // EngineMetrics::to_json() serves operators at runtime.
+    report.set("warm_engine_metrics", engine_warm.metrics.to_json());
+    if (report.write_file(json_path)) {
         std::printf("\nwrote %s\n", json_path.c_str());
     } else {
         std::printf("\nWARNING: could not write %s\n", json_path.c_str());
@@ -489,6 +593,32 @@ int main(int argc, char** argv) {
         std::printf("NOTE: single hardware thread — fleet 1.5x "
                     "throughput gate skipped (measured %.2fx)\n",
                     fleet_speedup);
+    }
+    if (traced_diff != 0.0) {
+        std::printf("FAIL: tracing perturbs estimates (max |diff| %.3g, "
+                    "must be bitwise 0)\n",
+                    traced_diff);
+        ok = false;
+    }
+    if (obs::tracing_compiled()) {
+        if (overhead_disabled_pct >= 1.0) {
+            std::printf("FAIL: disabled-tracing overhead above the 1%% "
+                        "budget (%.4f%%)\n",
+                        overhead_disabled_pct);
+            ok = false;
+        }
+        if (overhead_enabled_pct >= 5.0) {
+            std::printf("FAIL: enabled-tracing overhead above the 5%% "
+                        "budget (%.3f%%)\n",
+                        overhead_enabled_pct);
+            ok = false;
+        }
+        if (!trace_written) {
+            std::printf("FAIL: could not write the Chrome trace artifact "
+                        "%s\n",
+                        trace_path.c_str());
+            ok = false;
+        }
     }
     if (ok) {
         std::printf("\nPASS: identical estimates (<= 1e-9); incremental "

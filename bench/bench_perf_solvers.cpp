@@ -65,6 +65,7 @@
 #include "linalg/nnls.hpp"
 #include "linalg/qp.hpp"
 #include "linalg/sparse.hpp"
+#include "obs/report.hpp"
 #include "routing/routing_matrix.hpp"
 #include "scenario/scenario.hpp"
 #include "topology/builders.hpp"
@@ -963,6 +964,7 @@ int main(int argc, char** argv) {
     double p200_bayesian_seconds = 0.0;
     double p200_fanout_seconds = 0.0;
     std::size_t p200_peak_alloc_bytes = 0;
+    std::size_t p200_total_alloc_bytes = 0;
     bool p200_ok = true;
     {
         const topology::Topology topo =
@@ -995,6 +997,7 @@ int main(int argc, char** argv) {
         }
 
         linalg::detail::reset_peak_matrix_allocation();
+        linalg::detail::reset_total_matrix_allocation();
         const auto check_estimate = [&](const char* name,
                                         const linalg::Vector& est) {
             if (est.size() != pairs) {
@@ -1078,11 +1081,14 @@ int main(int argc, char** argv) {
         // (~11 MB); the gate leaves two orders of headroom below the
         // 12.7 GB dense Hessian/Gram.
         p200_peak_alloc_bytes = linalg::detail::peak_matrix_allocation_bytes();
+        p200_total_alloc_bytes =
+            linalg::detail::total_matrix_allocation_bytes();
         const std::size_t dense_pairs_bytes =
             pairs * pairs * sizeof(double);
-        std::printf("  peak dense Matrix allocation: %.1f MB (dense "
-                    "pairs^2 would be %.1f GB)\n",
+        std::printf("  peak dense Matrix allocation: %.1f MB, cumulative "
+                    "churn %.1f MB (dense pairs^2 would be %.1f GB)\n",
                     static_cast<double>(p200_peak_alloc_bytes) / 1e6,
+                    static_cast<double>(p200_total_alloc_bytes) / 1e6,
                     static_cast<double>(dense_pairs_bytes) / 1e9);
         if (p200_peak_alloc_bytes >= dense_pairs_bytes / 100) {
             fail("a dense allocation within 100x of pairs^2 happened at "
@@ -1093,112 +1099,82 @@ int main(int argc, char** argv) {
     }
 
     // ---- JSON record -------------------------------------------------
-    std::FILE* json = std::fopen(json_path.c_str(), "w");
-    if (json != nullptr) {
-        std::fprintf(json, "{\n");
-        std::fprintf(json, "  \"gemm_n\": %zu,\n", gemm_n);
-        std::fprintf(json, "  \"gemm_naive_seconds\": %.6f,\n",
-                     gemm_naive_s);
-        std::fprintf(json, "  \"gemm_blocked_seconds\": %.6f,\n",
-                     gemm_blocked_s);
-        std::fprintf(json, "  \"gemm_speedup\": %.4f,\n", gemm_speedup);
-        std::fprintf(json, "  \"gemm_bitwise\": %s,\n",
-                     gemm_bitwise ? "true" : "false");
-        std::fprintf(json, "  \"cholesky\": [\n");
-        for (std::size_t i = 0; i < chol_points.size(); ++i) {
-            const CholeskyPoint& pt = chol_points[i];
-            std::fprintf(json,
-                         "    {\"n\": %zu, \"unblocked_seconds\": %.6f, "
-                         "\"blocked_seconds\": %.6f, \"speedup\": %.4f, "
-                         "\"max_factor_diff\": %.3e}%s\n",
-                         pt.n, pt.unblocked_seconds, pt.blocked_seconds,
-                         pt.speedup, pt.max_factor_diff,
-                         i + 1 < chol_points.size() ? "," : "");
+    obs::Report report("bench_perf_solvers");
+    report.set("gemm_n", gemm_n);
+    report.set("gemm_naive_seconds", gemm_naive_s);
+    report.set("gemm_blocked_seconds", gemm_blocked_s);
+    report.set("gemm_speedup", gemm_speedup);
+    report.set("gemm_bitwise", gemm_bitwise);
+    {
+        obs::Json cholesky = obs::Json::array();
+        for (const CholeskyPoint& pt : chol_points) {
+            obs::Json entry = obs::Json::object();
+            entry.set("n", pt.n);
+            entry.set("unblocked_seconds", pt.unblocked_seconds);
+            entry.set("blocked_seconds", pt.blocked_seconds);
+            entry.set("speedup", pt.speedup);
+            entry.set("max_factor_diff", pt.max_factor_diff);
+            cholesky.push_back(std::move(entry));
         }
-        std::fprintf(json, "  ],\n");
-        std::fprintf(json, "  \"cholesky_gate_speedup\": %.4f,\n",
-                     chol_gate_speedup);
-        std::fprintf(json, "  \"scaling\": [\n");
-        for (std::size_t i = 0; i < scale_points.size(); ++i) {
-            const ScalePoint& pt = scale_points[i];
-            std::fprintf(
-                json,
-                "    {\"pops\": %zu, \"links\": %zu, \"pairs\": %zu, "
-                "\"nnz\": %zu, \"routing_build_seconds\": %.6f,\n"
-                "     \"gemv_dense_seconds\": %.6e, "
-                "\"gemv_sparse_seconds\": %.6e,\n"
-                "     \"gemv_transpose_dense_seconds\": %.6e, "
-                "\"gemv_transpose_sparse_seconds\": %.6e,\n"
-                "     \"gram_measured\": %s, "
-                "\"gram_reference_seconds\": %.6f, "
-                "\"gram_dense_seconds\": %.6f, "
-                "\"gram_sparse_seconds\": %.6f, "
-                "\"gram_csr_seconds\": %.6f, \"gram_csr_nnz\": %zu, "
-                "\"gram_csr_speedup_vs_reference\": %.4f, "
-                "\"gram_dense_out_speedup_vs_reference\": %.4f, "
-                "\"gram_exact\": %s}%s\n",
-                pt.pops, pt.links, pt.pairs, pt.nonzeros,
-                pt.routing_build_seconds, pt.gemv_dense_seconds,
-                pt.gemv_sparse_seconds, pt.gemv_t_dense_seconds,
-                pt.gemv_t_sparse_seconds,
-                pt.gram_measured ? "true" : "false",
-                pt.gram_reference_seconds, pt.gram_dense_seconds,
-                pt.gram_sparse_seconds, pt.gram_csr_seconds,
-                pt.gram_csr_nnz, pt.gram_speedup,
-                pt.gram_speedup_dense_out,
-                pt.gram_exact ? "true" : "false",
-                i + 1 < scale_points.size() ? "," : "");
+        report.set("cholesky", std::move(cholesky));
+    }
+    report.set("cholesky_gate_speedup", chol_gate_speedup);
+    {
+        obs::Json scaling = obs::Json::array();
+        for (const ScalePoint& pt : scale_points) {
+            obs::Json entry = obs::Json::object();
+            entry.set("pops", pt.pops);
+            entry.set("links", pt.links);
+            entry.set("pairs", pt.pairs);
+            entry.set("nnz", pt.nonzeros);
+            entry.set("routing_build_seconds", pt.routing_build_seconds);
+            entry.set("gemv_dense_seconds", pt.gemv_dense_seconds);
+            entry.set("gemv_sparse_seconds", pt.gemv_sparse_seconds);
+            entry.set("gemv_transpose_dense_seconds",
+                      pt.gemv_t_dense_seconds);
+            entry.set("gemv_transpose_sparse_seconds",
+                      pt.gemv_t_sparse_seconds);
+            entry.set("gram_measured", pt.gram_measured);
+            entry.set("gram_reference_seconds", pt.gram_reference_seconds);
+            entry.set("gram_dense_seconds", pt.gram_dense_seconds);
+            entry.set("gram_sparse_seconds", pt.gram_sparse_seconds);
+            entry.set("gram_csr_seconds", pt.gram_csr_seconds);
+            entry.set("gram_csr_nnz", pt.gram_csr_nnz);
+            entry.set("gram_csr_speedup_vs_reference", pt.gram_speedup);
+            entry.set("gram_dense_out_speedup_vs_reference",
+                      pt.gram_speedup_dense_out);
+            entry.set("gram_exact", pt.gram_exact);
+            scaling.push_back(std::move(entry));
         }
-        std::fprintf(json, "  ],\n");
-        std::fprintf(json, "  \"gram_gate_speedup\": %.4f,\n",
-                     gram_gate_speedup);
-        std::fprintf(json, "  \"bayesian_max_diff\": %.3e,\n", bayes_worst);
-        std::fprintf(json, "  \"vardi_max_diff\": %.3e,\n", vardi_worst);
-        std::fprintf(json, "  \"paper_gram_exact\": %s,\n",
-                     paper_gram_exact ? "true" : "false");
-        std::fprintf(json, "  \"kruithof_reference_seconds\": %.6f,\n",
-                     kruithof_ref_seconds);
-        std::fprintf(json, "  \"kruithof_fast_seconds\": %.6f,\n",
-                     kruithof_fast_seconds);
-        std::fprintf(json, "  \"kruithof_speedup\": %.4f,\n",
-                     kruithof_speedup);
-        std::fprintf(json, "  \"kruithof_rel_diff\": %.3e,\n",
-                     kruithof_rel_diff);
-        std::fprintf(json, "  \"ipf_reference_seconds\": %.6f,\n",
-                     ipf_ref_seconds);
-        std::fprintf(json, "  \"ipf_fast_seconds\": %.6f,\n",
-                     ipf_fast_seconds);
-        std::fprintf(json, "  \"ipf_bitwise\": %s,\n",
-                     ipf_bitwise ? "true" : "false");
-        std::fprintf(json, "  \"entropy_window_seconds\": %.6f,\n",
-                     entropy_window_seconds);
-        std::fprintf(json, "  \"entropy_reference_seconds\": %.6f,\n",
-                     entropy_ref_seconds);
-        std::fprintf(json, "  \"entropy_speedup\": %.4f,\n",
-                     entropy_speedup);
-        std::fprintf(json, "  \"entropy_budget_seconds\": %.1f,\n",
-                     entropy_budget_seconds);
-        std::fprintf(json, "  \"entropy_paper_rel_diff\": %.3e,\n",
-                     entropy_paper_diff);
-        std::fprintf(json, "  \"fanout_paper_rel_diff\": %.3e,\n",
-                     fanout_paper_rel_diff);
-        std::fprintf(json, "  \"p200_gravity_seconds\": %.4f,\n",
-                     p200_gravity_seconds);
-        std::fprintf(json, "  \"p200_kruithof_seconds\": %.4f,\n",
-                     p200_kruithof_seconds);
-        std::fprintf(json, "  \"p200_entropy_seconds\": %.4f,\n",
-                     p200_entropy_seconds);
-        std::fprintf(json, "  \"p200_bayesian_seconds\": %.4f,\n",
-                     p200_bayesian_seconds);
-        std::fprintf(json, "  \"p200_fanout_seconds\": %.4f,\n",
-                     p200_fanout_seconds);
-        std::fprintf(json, "  \"p200_peak_alloc_bytes\": %zu,\n",
-                     p200_peak_alloc_bytes);
-        std::fprintf(json, "  \"p200_ok\": %s,\n",
-                     p200_ok ? "true" : "false");
-        std::fprintf(json, "  \"pass\": %s\n", g_ok ? "true" : "false");
-        std::fprintf(json, "}\n");
-        std::fclose(json);
+        report.set("scaling", std::move(scaling));
+    }
+    report.set("gram_gate_speedup", gram_gate_speedup);
+    report.set("bayesian_max_diff", bayes_worst);
+    report.set("vardi_max_diff", vardi_worst);
+    report.set("paper_gram_exact", paper_gram_exact);
+    report.set("kruithof_reference_seconds", kruithof_ref_seconds);
+    report.set("kruithof_fast_seconds", kruithof_fast_seconds);
+    report.set("kruithof_speedup", kruithof_speedup);
+    report.set("kruithof_rel_diff", kruithof_rel_diff);
+    report.set("ipf_reference_seconds", ipf_ref_seconds);
+    report.set("ipf_fast_seconds", ipf_fast_seconds);
+    report.set("ipf_bitwise", ipf_bitwise);
+    report.set("entropy_window_seconds", entropy_window_seconds);
+    report.set("entropy_reference_seconds", entropy_ref_seconds);
+    report.set("entropy_speedup", entropy_speedup);
+    report.set("entropy_budget_seconds", entropy_budget_seconds);
+    report.set("entropy_paper_rel_diff", entropy_paper_diff);
+    report.set("fanout_paper_rel_diff", fanout_paper_rel_diff);
+    report.set("p200_gravity_seconds", p200_gravity_seconds);
+    report.set("p200_kruithof_seconds", p200_kruithof_seconds);
+    report.set("p200_entropy_seconds", p200_entropy_seconds);
+    report.set("p200_bayesian_seconds", p200_bayesian_seconds);
+    report.set("p200_fanout_seconds", p200_fanout_seconds);
+    report.set("p200_peak_alloc_bytes", p200_peak_alloc_bytes);
+    report.set("p200_total_alloc_bytes", p200_total_alloc_bytes);
+    report.set("p200_ok", p200_ok);
+    report.set("pass", g_ok);
+    if (report.write_file(json_path)) {
         std::printf("\nwrote %s\n", json_path.c_str());
     } else {
         std::printf("\nWARNING: could not write %s\n", json_path.c_str());

@@ -14,10 +14,15 @@
 //  * the per-method MRE is essentially unaffected once the window
 //    refills, because the estimators now consume loads consistent with
 //    the new routing matrix.
+//  * the closing latency table gives each method's p50/p95/p99 from
+//    the HDR histograms in EngineMetrics, and the whole replay is
+//    traced: load streaming_trace.json into Perfetto / chrome://tracing
+//    to see the window spans and per-solver runs nested inside them.
 #include <cstdio>
 
 #include "core/route_change.hpp"
 #include "engine/replay.hpp"
+#include "obs/trace.hpp"
 
 int main() {
     using namespace tme;
@@ -43,6 +48,7 @@ int main() {
 
     engine::ReplayOptions replay;
     replay.events = {{change_at, &rerouted}};
+    obs::ScopedTracing tracing(true);  // no-op unless built with TME_TRACING
     const engine::ReplayResult result =
         engine::replay_scenario(eng, sc, replay);
 
@@ -74,7 +80,31 @@ int main() {
     for (const auto& [method, mre] : result.mean_mre) {
         std::printf("  %s=%.4f", engine::method_name(method), mre);
     }
-    std::printf("\n\nengine metrics\n--------------\n%s",
+    // Per-method latency percentiles from the HDR histograms (the
+    // summary() block below repeats them inline; this table is the
+    // at-a-glance view).
+    std::printf("\n\nper-method latency\n------------------\n");
+    std::printf("%-9s %8s %8s %8s %8s\n", "method", "p50", "p95", "p99",
+                "max");
+    for (const auto& [method, stats] : eng.metrics().methods) {
+        const obs::HistogramSnapshot hist = stats.latency.snapshot();
+        std::printf("%-9s %6.2fms %6.2fms %6.2fms %6.2fms\n",
+                    engine::method_name(method), hist.p50() * 1e3,
+                    hist.p95() * 1e3, hist.p99() * 1e3,
+                    hist.max_seconds() * 1e3);
+    }
+
+    std::printf("\nengine metrics\n--------------\n%s",
                 eng.metrics().summary().c_str());
+
+    if (obs::tracing_compiled()) {
+        const char* trace_path = "streaming_trace.json";
+        if (obs::Tracer::instance().write_chrome_trace(trace_path)) {
+            std::printf(
+                "\nwrote %zu trace spans to %s "
+                "(open in Perfetto or chrome://tracing)\n",
+                obs::Tracer::instance().recorded(), trace_path);
+        }
+    }
     return 0;
 }

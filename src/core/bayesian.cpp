@@ -43,6 +43,7 @@ linalg::Vector bayesian_estimate(const SnapshotProblem& problem,
         linalg::EqQpNonnegOptions qp_options = options.qp;
         qp_options.equality_operator = nullptr;
         qp_options.warm_start = options.warm_start;
+        qp_options.counters = options.counters;
         return linalg::solve_eq_qp_nonneg_factored(
                    hessian, rhs, linalg::SparseMatrix(), {}, qp_options)
             .x;
@@ -71,6 +72,7 @@ linalg::Vector bayesian_estimate(const SnapshotProblem& problem,
     nnls_options.warm_start = options.warm_start;
     nnls_options.gram_diagonal_shift = w;
     nnls_options.gram_operator = &r;
+    nnls_options.counters = options.counters;
     return linalg::nnls_gram(g, rhs, 0.0, nnls_options).x;
 }
 

@@ -43,6 +43,11 @@ struct BayesianOptions {
     /// tolerance/cap); only read when shared_sparse_gram is set.  The
     /// warm_start member inside is ignored.
     linalg::EqQpNonnegOptions qp;
+    /// Optional iteration telemetry sink, forwarded to whichever solver
+    /// runs: the factored QP adds active-set rounds / CG iterations,
+    /// the dense NNLS path adds pivots.  Overrides qp.counters.  Not
+    /// owned; must outlive the call.
+    obs::SolverCounters* counters = nullptr;
 };
 
 /// MAP estimate with non-negativity.  `prior` is pair-indexed.

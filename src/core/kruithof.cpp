@@ -120,6 +120,9 @@ KruithofResult kruithof_ipf(std::size_t nodes, const linalg::Vector& prior,
             break;
         }
     }
+    if (options.counters != nullptr) {
+        options.counters->kruithof_sweeps += result.iterations;
+    }
     return result;
 }
 
@@ -249,6 +252,9 @@ KruithofResult kruithof_general(const SnapshotProblem& problem,
             result.converged = true;
             break;
         }
+    }
+    if (options.counters != nullptr) {
+        options.counters->kruithof_sweeps += result.iterations;
     }
     return result;
 }

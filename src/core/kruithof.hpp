@@ -12,6 +12,7 @@
 #pragma once
 
 #include "core/problem.hpp"
+#include "obs/counters.hpp"
 
 namespace tme::core {
 
@@ -32,6 +33,10 @@ struct KruithofOptions {
     /// reported, so a false convergence is impossible.  0 behaves
     /// as 1.
     std::size_t check_every = 1;
+    /// Optional iteration telemetry sink: on return the solver adds its
+    /// scaling sweeps to kruithof_sweeps.  Written once at the return
+    /// site only.  Not owned; must outlive the call.
+    obs::SolverCounters* counters = nullptr;
 };
 
 struct KruithofResult {

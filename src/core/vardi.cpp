@@ -98,6 +98,7 @@ VardiResult vardi_estimate(const SeriesProblem& problem,
     VardiResult result;
     linalg::NnlsOptions nnls_options;
     nnls_options.warm_start = options.warm_start;
+    nnls_options.counters = options.counters;
     result.lambda = linalg::nnls_gram(*gsolve, rhs, 0.0, nnls_options).x;
 
     // Residual diagnostics.

@@ -18,6 +18,7 @@
 #pragma once
 
 #include "core/problem.hpp"
+#include "obs/counters.hpp"
 
 namespace tme::core {
 
@@ -44,6 +45,9 @@ struct VardiOptions {
     const linalg::Matrix* load_covariance = nullptr;
     /// Optional warm start for the NNLS (previous window's lambda).
     const linalg::Vector* warm_start = nullptr;
+    /// Optional iteration telemetry sink: the moment-matching NNLS adds
+    /// its pivots on return.  Not owned; must outlive the call.
+    obs::SolverCounters* counters = nullptr;
 };
 
 struct VardiResult {

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "core/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace tme::engine {
 
@@ -44,6 +45,8 @@ void OnlineEngine::set_routing(const linalg::SparseMatrix& routing) {
 
 WindowResult OnlineEngine::ingest(std::size_t sample, linalg::Vector loads,
                                   bool gap) {
+    obs::Span span("engine/ingest", "sample",
+                   static_cast<long long>(sample));
     epoch_ = cache_->acquire_shared(*routing_);
     const RoutingEpoch& epoch = *epoch_;
     // Epoch identity is the cache serial, not the bare fingerprint: a
@@ -95,6 +98,9 @@ WindowResult OnlineEngine::ingest(std::size_t sample, linalg::Vector loads,
     metrics_.cache_misses = cache_->misses();
     metrics_.cache_evictions = cache_->evictions();
     metrics_.cache_collisions = cache_->collisions();
+    // Shared-cache caveat as above: under a fleet these are the build
+    // times every engine triggered, not just this one's.
+    metrics_.epoch_build_latency = cache_->build_latency();
 
     WindowResult result = scheduler_.run(window_, epoch_);
 
@@ -137,6 +143,7 @@ WindowResult OnlineEngine::ingest(std::size_t sample, linalg::Vector loads,
     ++metrics_.windows_run;
     metrics_.total_seconds += result.seconds;
     metrics_.last_window_seconds = result.seconds;
+    metrics_.window_latency.record(result.seconds);
     for (const MethodRun& run : result.runs) {
         MethodStats& stats = metrics_.methods[run.method];
         ++stats.runs;
@@ -144,6 +151,9 @@ WindowResult OnlineEngine::ingest(std::size_t sample, linalg::Vector loads,
         if (run.warm_accepted) ++stats.warm_accepted_runs;
         stats.total_seconds += run.seconds;
         stats.last_seconds = run.seconds;
+        stats.max_seconds.fetch_max(run.seconds);
+        stats.latency.record(run.seconds);
+        stats.solver.add(run.solver);
         if (truth_ && !std::isnan(run.mre)) {
             // Skipped (all-quiet) windows stay out of the MRE average.
             stats.last_mre = run.mre;

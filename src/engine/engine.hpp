@@ -96,6 +96,28 @@ class OnlineEngine {
     /// The currently attached truth provider (empty when detached).
     const TruthProvider& truth() const { return truth_; }
 
+    /// Records time a feeder spent waiting for samples (async replay's
+    /// consumer blocking on the ingest queue) / stalled pushing into a
+    /// full queue.  Exposed so feed loops outside the engine can land
+    /// their wait time in this engine's metrics.
+    void note_ingest_wait(double seconds) {
+        metrics_.ingest_wait.record(seconds);
+    }
+    void note_backpressure_wait(double seconds) {
+        metrics_.backpressure_wait.record(seconds);
+    }
+
+    /// Histogram sinks for IngestQueue::set_wait_sinks: producer stalls
+    /// land in backpressure_wait, consumer waits in ingest_wait.  The
+    /// histograms are internally atomic, so the queue's threads may
+    /// record into them concurrently with ingestion and metric readers.
+    obs::LatencyHistogram& ingest_wait_sink() {
+        return metrics_.ingest_wait;
+    }
+    obs::LatencyHistogram& backpressure_wait_sink() {
+        return metrics_.backpressure_wait;
+    }
+
     /// Live metrics.  Counters are atomics and the per-method map is
     /// pre-populated at construction, so reading (or copying) the
     /// metrics concurrently with ingestion is safe and torn-free.

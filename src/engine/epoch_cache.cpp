@@ -4,18 +4,27 @@
 #include <utility>
 
 #include "core/route_change.hpp"
+#include "engine/clock.hpp"
+#include "obs/trace.hpp"
 
 namespace tme::engine {
 
 RoutingEpoch::RoutingEpoch(std::uint64_t fingerprint, std::uint64_t serial,
-                           const linalg::SparseMatrix& routing)
+                           const linalg::SparseMatrix& routing,
+                           std::shared_ptr<obs::LatencyHistogram>
+                               build_latency)
     : fingerprint_(fingerprint),
       serial_(serial),
       rows_(routing.rows()),
       cols_(routing.cols()),
       nonzeros_(routing.nonzeros()),
       routing_(routing),
-      derived_(std::make_unique<Derived>()) {}
+      derived_(std::make_unique<Derived>()),
+      build_latency_(std::move(build_latency)) {}
+
+void RoutingEpoch::record_build(double build_seconds) const {
+    if (build_latency_ != nullptr) build_latency_->record(build_seconds);
+}
 
 const linalg::Matrix& RoutingEpoch::gram() const {
     {
@@ -24,8 +33,11 @@ const linalg::Matrix& RoutingEpoch::gram() const {
     }
     std::unique_lock<std::shared_mutex> write(derived_->mutex);
     if (!derived_->gram_built) {
+        obs::Span span("epoch/build_gram");
+        const SteadyClock::time_point start = SteadyClock::now();
         derived_->gram = linalg::gram_sparse(routing_);
         derived_->gram_built = true;
+        record_build(seconds_since(start));
     }
     return derived_->gram;
 }
@@ -42,9 +54,12 @@ const linalg::SparseMatrix& RoutingEpoch::sparse_gram() const {
     }
     std::unique_lock<std::shared_mutex> write(derived_->mutex);
     if (!derived_->sparse_gram_built) {
+        obs::Span span("epoch/build_sparse_gram");
+        const SteadyClock::time_point start = SteadyClock::now();
         derived_->sparse_gram = linalg::gram_sparse_csr(routing_);
         derived_->sparse_gram_built = true;
         ++derived_->builds;
+        record_build(seconds_since(start));
     }
     return derived_->sparse_gram;
 }
@@ -68,6 +83,8 @@ const linalg::Matrix& RoutingEpoch::vardi_gram(double weight) const {
     // the exclusive lock.
     const auto it = derived_->vardi_by_weight.find(weight);
     if (it != derived_->vardi_by_weight.end()) return it->second;
+    obs::Span span("epoch/build_vardi_gram");
+    const SteadyClock::time_point start = SteadyClock::now();
     const std::size_t pairs = g1m.rows();
     linalg::Matrix g(pairs, pairs, 0.0);
     for (std::size_t p = 0; p < pairs; ++p) {
@@ -80,6 +97,7 @@ const linalg::Matrix& RoutingEpoch::vardi_gram(double weight) const {
         }
     }
     ++derived_->builds;
+    record_build(seconds_since(start));
     return derived_->vardi_by_weight.emplace(weight, std::move(g))
         .first->second;
 }
@@ -97,9 +115,12 @@ const core::FanoutConstraints& RoutingEpoch::fanout_constraints(
     }
     std::unique_lock<std::shared_mutex> write(derived_->mutex);
     if (!derived_->fanout_built) {
+        obs::Span span("epoch/build_fanout_constraints");
+        const SteadyClock::time_point start = SteadyClock::now();
         derived_->fanout = core::FanoutConstraints::build(topo);
         derived_->fanout_built = true;
         ++derived_->builds;
+        record_build(seconds_since(start));
     }
     return derived_->fanout;
 }
@@ -118,11 +139,14 @@ std::shared_ptr<const core::ReducedFactor> RoutingEpoch::reduced_factor(
     if (derived_->reduced == nullptr ||
         derived_->reduced->unknown != unknown ||
         derived_->reduced->regularization != tau) {
+        obs::Span span("epoch/build_reduced_factor");
+        const SteadyClock::time_point start = SteadyClock::now();
         // Built from the sparse routing copy: bitwise what slicing the
         // dense Gram would give, without ever needing the dense Gram.
         derived_->reduced = std::make_shared<const core::ReducedFactor>(
             core::ReducedFactor::from_routing(routing_, unknown, tau));
         ++derived_->builds;
+        record_build(seconds_since(start));
     }
     return derived_->reduced;
 }
@@ -158,6 +182,7 @@ std::shared_ptr<const RoutingEpoch> RoutingEpochCache::acquire_shared(
     // and all deeper derived data build lazily under the epoch's own
     // double-checked lock, still exactly once per epoch).
     const std::uint64_t fp = fingerprint_(routing);
+    obs::Span span("cache/acquire");
     std::lock_guard<std::mutex> lock(mutex_);
     for (auto it = entries_.begin(); it != entries_.end(); ++it) {
         if ((*it)->fingerprint() != fp) continue;
@@ -171,12 +196,14 @@ std::shared_ptr<const RoutingEpoch> RoutingEpochCache::acquire_shared(
             continue;
         }
         ++hits_;
+        span.arg("hit", 1);
         entries_.splice(entries_.begin(), entries_, it);
         return entries_.front();
     }
     ++misses_;
-    entries_.push_front(
-        std::make_shared<RoutingEpoch>(fp, ++next_serial_, routing));
+    span.arg("hit", 0);
+    entries_.push_front(std::make_shared<RoutingEpoch>(
+        fp, ++next_serial_, routing, build_latency_));
     while (entries_.size() > capacity_) {
         entries_.pop_back();  // pinned holders keep the epoch alive
         ++evictions_;

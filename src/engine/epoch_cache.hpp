@@ -48,6 +48,7 @@
 #include "core/tomo_direct.hpp"
 #include "linalg/matrix.hpp"
 #include "linalg/sparse.hpp"
+#include "obs/histogram.hpp"
 
 namespace tme::engine {
 
@@ -57,8 +58,13 @@ namespace tme::engine {
 /// the moment acquire() returns.
 class RoutingEpoch {
   public:
+    /// `build_latency` (optional) receives one sample per lazy derived-
+    /// data build; co-owned so an epoch pinned past its cache's death
+    /// still has a live sink.
     RoutingEpoch(std::uint64_t fingerprint, std::uint64_t serial,
-                 const linalg::SparseMatrix& routing);
+                 const linalg::SparseMatrix& routing,
+                 std::shared_ptr<obs::LatencyHistogram> build_latency =
+                     nullptr);
 
     std::uint64_t fingerprint() const { return fingerprint_; }
 
@@ -147,6 +153,10 @@ class RoutingEpoch {
         std::size_t builds = 0;
     };
 
+    /// Times `build_seconds` into the build-latency histogram (no-op
+    /// without a sink).
+    void record_build(double build_seconds) const;
+
     std::uint64_t fingerprint_ = 0;
     std::uint64_t serial_ = 0;
     std::size_t rows_ = 0;
@@ -154,6 +164,7 @@ class RoutingEpoch {
     std::size_t nonzeros_ = 0;
     linalg::SparseMatrix routing_;
     std::unique_ptr<Derived> derived_;
+    std::shared_ptr<obs::LatencyHistogram> build_latency_;
 };
 
 class RoutingEpochCache {
@@ -193,6 +204,12 @@ class RoutingEpochCache {
     /// Fingerprint hits rejected by the structural-identity check.
     std::size_t collisions() const { return collisions_.load(); }
 
+    /// Derived-data build times across every epoch this cache created
+    /// (a shared cache aggregates the whole fleet's builds).
+    const obs::LatencyHistogram& build_latency() const {
+        return *build_latency_;
+    }
+
   private:
     std::size_t capacity_;
     Fingerprint fingerprint_;
@@ -206,6 +223,10 @@ class RoutingEpochCache {
     std::atomic<std::size_t> misses_{0};
     std::atomic<std::size_t> evictions_{0};
     std::atomic<std::size_t> collisions_{0};
+    /// shared_ptr so epochs pinned past the cache's lifetime can still
+    /// record their late lazy builds safely.
+    std::shared_ptr<obs::LatencyHistogram> build_latency_ =
+        std::make_shared<obs::LatencyHistogram>();
 };
 
 }  // namespace tme::engine

@@ -10,6 +10,7 @@
 #include <utility>
 
 #include "engine/clock.hpp"
+#include "obs/trace.hpp"
 
 namespace tme::engine {
 
@@ -49,7 +50,11 @@ FleetDriver::FleetDriver(const topology::Topology& topo, FleetConfig config)
     if (!check) throw SchedulerConfigException(check);
 }
 
-void FleetDriver::run_job(const FleetJob& job, FleetJobReport& report) {
+void FleetDriver::run_job(const FleetJob& job, FleetJobReport& report,
+                          std::size_t index) {
+    // Job names are dynamic (span args are numeric), so the span
+    // carries the job's input-order index; the report maps it to a name.
+    obs::Span span("fleet/job", "job", static_cast<long long>(index));
     const scenario::Scenario& sc = *job.scenario;
     const EngineConfig& cfg =
         job.engine.has_value() ? *job.engine : config_.engine;
@@ -79,6 +84,7 @@ void FleetDriver::run_job(const FleetJob& job, FleetJobReport& report) {
     }
     report.seconds = seconds_since(start);
     report.windows = replay.windows.size();
+    span.arg("windows", static_cast<long long>(report.windows));
     report.mean_mre = std::move(replay.mean_mre);
     if (config_.keep_windows) {
         report.window_results = std::move(replay.windows);
@@ -129,7 +135,7 @@ FleetReport FleetDriver::run(const std::vector<FleetJob>& jobs) {
                 next.fetch_add(1, std::memory_order_relaxed);
             if (i >= jobs.size()) return;
             try {
-                run_job(jobs[i], report.jobs[i]);
+                run_job(jobs[i], report.jobs[i], i);
             } catch (...) {
                 std::lock_guard<std::mutex> lock(error_mutex);
                 if (!first_error) first_error = std::current_exception();

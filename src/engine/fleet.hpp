@@ -119,7 +119,8 @@ class FleetDriver {
     FleetReport run(const std::vector<FleetJob>& jobs);
 
   private:
-    void run_job(const FleetJob& job, FleetJobReport& report);
+    void run_job(const FleetJob& job, FleetJobReport& report,
+                 std::size_t index);
 
     const topology::Topology* topo_;
     FleetConfig config_;

@@ -23,8 +23,10 @@
 #include <optional>
 #include <stdexcept>
 
+#include "engine/clock.hpp"
 #include "linalg/sparse.hpp"
 #include "linalg/vector_ops.hpp"
+#include "obs/histogram.hpp"
 
 namespace tme::engine {
 
@@ -50,16 +52,32 @@ class IngestQueue {
     IngestQueue(const IngestQueue&) = delete;
     IngestQueue& operator=(const IngestQueue&) = delete;
 
+    /// Wires the queue's wait times into caller-owned histograms: the
+    /// push sink receives one sample per producer stall on a full queue
+    /// (backpressure), the pop sink one per consumer wait on an empty
+    /// one.  Sinks must outlive the queue; histograms are internally
+    /// atomic, so an engine's metrics work directly.  Non-blocking
+    /// operations record nothing, keeping the histograms pure wait time.
+    void set_wait_sinks(obs::LatencyHistogram* push_wait,
+                        obs::LatencyHistogram* pop_wait) {
+        push_wait_ = push_wait;
+        pop_wait_ = pop_wait;
+    }
+
     /// Blocks while the queue is full (backpressure).  Returns false —
     /// dropping the item — iff the queue was closed, so a consumer-side
     /// abort unblocks a stuck producer instead of deadlocking it.
     bool push(IngestItem item) {
         std::unique_lock<std::mutex> lock(mutex_);
-        while (items_.size() >= capacity_ && !closed_) {
+        if (items_.size() >= capacity_ && !closed_) {
             ++producer_blocks_;
+            const SteadyClock::time_point wait_start = SteadyClock::now();
             space_cv_.wait(lock, [this] {
                 return items_.size() < capacity_ || closed_;
             });
+            if (push_wait_ != nullptr) {
+                push_wait_->record(seconds_since(wait_start));
+            }
         }
         if (closed_) return false;
         items_.push_back(std::move(item));
@@ -74,7 +92,14 @@ class IngestQueue {
     /// always delivered first.
     std::optional<IngestItem> pop() {
         std::unique_lock<std::mutex> lock(mutex_);
-        ready_cv_.wait(lock, [this] { return !items_.empty() || closed_; });
+        if (items_.empty() && !closed_) {
+            const SteadyClock::time_point wait_start = SteadyClock::now();
+            ready_cv_.wait(lock,
+                           [this] { return !items_.empty() || closed_; });
+            if (pop_wait_ != nullptr) {
+                pop_wait_->record(seconds_since(wait_start));
+            }
+        }
         if (items_.empty()) return std::nullopt;  // closed and drained
         IngestItem item = std::move(items_.front());
         items_.pop_front();
@@ -123,6 +148,8 @@ class IngestQueue {
     bool closed_ = false;
     std::size_t max_depth_ = 0;
     std::size_t producer_blocks_ = 0;
+    obs::LatencyHistogram* push_wait_ = nullptr;  ///< producer stalls
+    obs::LatencyHistogram* pop_wait_ = nullptr;   ///< consumer waits
 };
 
 }  // namespace tme::engine

@@ -2,11 +2,14 @@
 
 #include <cmath>
 #include <cstdio>
+#include <utility>
+
+#include "obs/report.hpp"
 
 namespace tme::engine {
 
 std::string EngineMetrics::summary() const {
-    char line[256];
+    char line[320];
     std::string out;
     std::snprintf(line, sizeof(line),
                   "samples=%zu gaps=%zu windows=%zu flushes=%zu "
@@ -21,27 +24,95 @@ std::string EngineMetrics::summary() const {
                   cache_hit_rate(), cache_hits.load(), cache_misses.load(),
                   cache_evictions.load(), cache_collisions.load());
     out += line;
+    const obs::HistogramSnapshot window = window_latency.snapshot();
     std::snprintf(line, sizeof(line),
-                  "latency: total %.3fs, last window %.2fms\n",
-                  total_seconds.load(), last_window_seconds.load() * 1e3);
+                  "latency: total %.3fs, last window %.2fms, "
+                  "p50=%.2fms p95=%.2fms p99=%.2fms max=%.2fms\n",
+                  total_seconds.load(), last_window_seconds.load() * 1e3,
+                  window.p50() * 1e3, window.p95() * 1e3,
+                  window.p99() * 1e3, window.max_seconds() * 1e3);
     out += line;
     for (const auto& [method, stats] : methods) {
+        const obs::HistogramSnapshot hist = stats.latency.snapshot();
         std::snprintf(line, sizeof(line),
                       "  %-9s runs=%zu warm=%zu/%zu mean=%.2fms "
-                      "last=%.2fms",
+                      "last=%.2fms p50=%.2fms p95=%.2fms p99=%.2fms "
+                      "max=%.2fms",
                       method_name(method), stats.runs.load(),
                       stats.warm_accepted_runs.load(),
                       stats.warm_runs.load(), stats.mean_seconds() * 1e3,
-                      stats.last_seconds.load() * 1e3);
+                      stats.last_seconds.load() * 1e3, hist.p50() * 1e3,
+                      hist.p95() * 1e3, hist.p99() * 1e3,
+                      stats.max_seconds.load() * 1e3);
         out += line;
         if (stats.mre_count.load() > 0) {
             std::snprintf(line, sizeof(line), " mean_mre=%.4f last_mre=%.4f",
                           stats.mean_mre(), stats.last_mre.load());
             out += line;
         }
+        const obs::SolverCounters solver = stats.solver.snapshot();
+        if (solver.any()) {
+            out += " iters=";
+            out += obs::counters_to_json(solver).dump();
+        }
         out += '\n';
     }
     return out;
+}
+
+obs::Json EngineMetrics::to_json() const {
+    obs::Json j = obs::Json::object();
+    j.set("samples_ingested",
+          static_cast<long long>(samples_ingested.load()));
+    j.set("gap_samples", static_cast<long long>(gap_samples.load()));
+    j.set("windows_run", static_cast<long long>(windows_run.load()));
+    j.set("window_flushes", static_cast<long long>(window_flushes.load()));
+    j.set("epoch_changes", static_cast<long long>(epoch_changes.load()));
+
+    obs::Json cache = obs::Json::object();
+    cache.set("hits", static_cast<long long>(cache_hits.load()));
+    cache.set("misses", static_cast<long long>(cache_misses.load()));
+    cache.set("evictions", static_cast<long long>(cache_evictions.load()));
+    cache.set("collisions",
+              static_cast<long long>(cache_collisions.load()));
+    cache.set("hit_rate", cache_hit_rate());
+    j.set("epoch_cache", std::move(cache));
+
+    j.set("total_seconds", total_seconds.load());
+    j.set("last_window_seconds", last_window_seconds.load());
+    j.set("window_latency",
+          obs::histogram_to_json(window_latency.snapshot()));
+    j.set("ingest_wait", obs::histogram_to_json(ingest_wait.snapshot()));
+    j.set("backpressure_wait",
+          obs::histogram_to_json(backpressure_wait.snapshot()));
+    j.set("epoch_build_latency",
+          obs::histogram_to_json(epoch_build_latency.snapshot()));
+    j.set("mre_skipped_runs",
+          static_cast<long long>(mre_skipped_runs.load()));
+
+    obs::Json per_method = obs::Json::object();
+    for (const auto& [method, stats] : methods) {
+        obs::Json m = obs::Json::object();
+        m.set("runs", static_cast<long long>(stats.runs.load()));
+        m.set("warm_runs", static_cast<long long>(stats.warm_runs.load()));
+        m.set("warm_accepted_runs",
+              static_cast<long long>(stats.warm_accepted_runs.load()));
+        m.set("mean_seconds", stats.mean_seconds());
+        m.set("last_seconds", stats.last_seconds.load());
+        m.set("max_seconds", stats.max_seconds.load());
+        m.set("latency", obs::histogram_to_json(stats.latency.snapshot()));
+        const obs::SolverCounters solver = stats.solver.snapshot();
+        if (solver.any()) {
+            m.set("solver", obs::counters_to_json(solver));
+        }
+        if (stats.mre_count.load() > 0) {
+            m.set("mean_mre", stats.mean_mre());
+            m.set("last_mre", stats.last_mre.load());
+        }
+        per_method.set(method_name(method), std::move(m));
+    }
+    j.set("methods", std::move(per_method));
+    return j;
 }
 
 }  // namespace tme::engine

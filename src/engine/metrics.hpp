@@ -9,54 +9,30 @@
 // pre-populated by the engine at construction (one entry per scheduled
 // method), so its structure never changes while workers update the
 // atomic fields inside — concurrent iteration is safe.
+//
+// Latency is tracked two ways per method: the legacy mean/last fields
+// (cheap, used by summary lines and existing tests) and an HDR-style
+// obs::LatencyHistogram giving p50/p95/p99/max.  Solver iteration
+// totals (QP active-set rounds, CG iterations, entropy Armijo probes,
+// MART sweeps, NNLS pivots) accumulate per method in SolverCounterCells.
 #pragma once
 
-#include <atomic>
 #include <cstddef>
 #include <limits>
 #include <map>
 #include <string>
 
 #include "engine/method.hpp"
+#include "obs/counters.hpp"
+#include "obs/histogram.hpp"
+#include "obs/json.hpp"
+#include "obs/metric_cell.hpp"
 
 namespace tme::engine {
 
-/// Relaxed atomic cell that copies by value.  Copying snapshots the
-/// current value, so EngineMetrics keeps working as a plain struct for
-/// single-threaded callers while concurrent readers get torn-free
-/// loads.  Use .load() where a plain value is required (printf-style
-/// varargs reject non-trivially-copyable types, which is deliberate:
-/// the compiler flags every site that would otherwise pass a raw cell).
-template <typename T>
-class MetricCell {
-  public:
-    MetricCell(T value = T{}) : value_(value) {}
-    MetricCell(const MetricCell& other) : value_(other.load()) {}
-    MetricCell& operator=(const MetricCell& other) {
-        store(other.load());
-        return *this;
-    }
-    MetricCell& operator=(T value) {
-        store(value);
-        return *this;
-    }
-
-    T load() const { return value_.load(std::memory_order_relaxed); }
-    void store(T value) { value_.store(value, std::memory_order_relaxed); }
-    operator T() const { return load(); }
-
-    MetricCell& operator++() {
-        value_.fetch_add(T{1}, std::memory_order_relaxed);
-        return *this;
-    }
-    MetricCell& operator+=(T delta) {
-        value_.fetch_add(delta, std::memory_order_relaxed);
-        return *this;
-    }
-
-  private:
-    std::atomic<T> value_;
-};
+/// Relaxed atomic cell that copies by value (see obs/metric_cell.hpp).
+/// Re-exported here because engine code predates src/obs/.
+using obs::MetricCell;
 
 struct MethodStats {
     MetricCell<std::size_t> runs;
@@ -67,9 +43,16 @@ struct MethodStats {
     MetricCell<std::size_t> warm_accepted_runs;
     MetricCell<double> total_seconds{0.0};
     MetricCell<double> last_seconds{0.0};
+    /// Worst-case run latency (monotone fetch_max — survives where
+    /// last_seconds is overwritten every window).
+    MetricCell<double> max_seconds{0.0};
     MetricCell<double> last_mre{std::numeric_limits<double>::quiet_NaN()};
     MetricCell<double> mre_sum{0.0};
     MetricCell<std::size_t> mre_count;
+    /// Full latency distribution (p50/p95/p99 via latency.snapshot()).
+    obs::LatencyHistogram latency;
+    /// Solver iteration totals attributed to this method's runs.
+    obs::SolverCounterCells solver;
 
     double mean_seconds() const {
         const std::size_t n = runs.load();
@@ -102,6 +85,19 @@ struct EngineMetrics {
     MetricCell<std::size_t> mre_skipped_runs;
     MetricCell<double> total_seconds{0.0};  ///< scheduler time across windows
     MetricCell<double> last_window_seconds{0.0};
+    /// End-to-end window latency distribution (same samples that feed
+    /// total_seconds / last_window_seconds).
+    obs::LatencyHistogram window_latency;
+    /// Consumer-side waits popping the bounded ingest queue during
+    /// async replay (time the engine sat starved for samples).
+    obs::LatencyHistogram ingest_wait;
+    /// Producer-side stalls: pipeline submit() blocked at depth, and
+    /// ingest-queue push() blocked on a full queue.
+    obs::LatencyHistogram backpressure_wait;
+    /// Routing-epoch derived-data build times (gram, vardi gram,
+    /// fanout constraints, reduced factor) observed via this engine's
+    /// cache — shared-cache caveat above applies.
+    obs::LatencyHistogram epoch_build_latency;
     /// Pre-populated by the engine for every scheduled method; the map
     /// structure is immutable afterwards (only the atomic fields move).
     std::map<Method, MethodStats> methods;
@@ -116,6 +112,11 @@ struct EngineMetrics {
 
     /// Multi-line human-readable dump.
     std::string summary() const;
+
+    /// Structured export mirroring summary(): engine-level counters,
+    /// latency histograms, and a per-method object with runs/latency
+    /// percentiles/solver iteration counters.
+    obs::Json to_json() const;
 };
 
 }  // namespace tme::engine

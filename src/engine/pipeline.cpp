@@ -9,6 +9,7 @@
 
 #include "core/metrics.hpp"
 #include "engine/clock.hpp"
+#include "obs/trace.hpp"
 
 namespace tme::engine {
 
@@ -111,6 +112,8 @@ std::size_t PipelinedEngine::max_in_flight() const {
 
 void PipelinedEngine::submit(std::size_t sample, linalg::Vector loads,
                              bool gap) {
+    obs::Span span("pipeline/submit", "sample",
+                   static_cast<long long>(sample));
     // Same epoch/flush protocol as OnlineEngine::ingest (see there for
     // the serial-vs-fingerprint rationale, including the rebuilt-
     // same-content exception for shared-cache eviction churn);
@@ -150,6 +153,9 @@ void PipelinedEngine::submit(std::size_t sample, linalg::Vector loads,
     metrics_.cache_misses = cache_->misses();
     metrics_.cache_evictions = cache_->evictions();
     metrics_.cache_collisions = cache_->collisions();
+    // Shared-cache caveat as in OnlineEngine::ingest: under a fleet
+    // these are every engine's builds, not just this one's.
+    metrics_.epoch_build_latency = cache_->build_latency();
 
     // Everything that can throw (snapshotting, the user-supplied truth
     // provider) runs BEFORE pipeline admission: an exception here must
@@ -199,8 +205,11 @@ void PipelinedEngine::submit(std::size_t sample, linalg::Vector loads,
     // Backpressure: admit the window only when a pipeline slot frees
     // up.  Nothing below this point throws.
     {
+        obs::Span wait_span("pipeline/backpressure_wait");
+        const Clock::time_point wait_start = Clock::now();
         std::unique_lock<std::mutex> lock(state_mutex_);
         state_cv_.wait(lock, [this] { return in_flight_ < depth_; });
+        metrics_.backpressure_wait.record(seconds_since(wait_start));
         ++in_flight_;
         ++submitted_;
         if (in_flight_ > max_in_flight_) max_in_flight_ = in_flight_;
@@ -320,6 +329,9 @@ void PipelinedEngine::finalize(WindowJob& job) {
             if (run.warm_accepted) ++stats.warm_accepted_runs;
             stats.total_seconds += run.seconds;
             stats.last_seconds = run.seconds;
+            stats.max_seconds.fetch_max(run.seconds);
+            stats.latency.record(run.seconds);
+            stats.solver.add(run.solver);
             if (job.scored && !std::isnan(run.mre)) {
                 stats.last_mre = run.mre;
                 stats.mre_sum += run.mre;
@@ -331,6 +343,7 @@ void PipelinedEngine::finalize(WindowJob& job) {
     ++metrics_.windows_run;
     metrics_.total_seconds += result.seconds;
     metrics_.last_window_seconds = result.seconds;
+    metrics_.window_latency.record(result.seconds);
     {
         std::lock_guard<std::mutex> lock(state_mutex_);
         ++completed_;

@@ -93,6 +93,10 @@ ReplayResult replay_scenario_async(OnlineEngine& engine,
     result.windows.reserve(sc.demands.size());
     with_scenario_truth(engine, sc, options.attach_truth, [&] {
         IngestQueue queue(queue_capacity);
+        // Producer stalls (full queue) and consumer waits (empty queue)
+        // land in the engine's backpressure/ingest-wait histograms.
+        queue.set_wait_sinks(&engine.backpressure_wait_sink(),
+                             &engine.ingest_wait_sink());
         std::exception_ptr producer_error;
         // Producer: generates the day's samples (loads under the active
         // routing) and pushes them through the bounded queue.  Route

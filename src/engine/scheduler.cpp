@@ -6,10 +6,29 @@
 
 #include "core/gravity.hpp"
 #include "engine/clock.hpp"
+#include "obs/trace.hpp"
 
 namespace tme::engine {
 
 using Clock = SteadyClock;
+
+namespace {
+
+/// Static span names per method ("solver/<name>"): span records keep
+/// the pointer, so the strings must outlive every drain.
+const char* solver_span_name(Method m) {
+    switch (m) {
+        case Method::gravity: return "solver/gravity";
+        case Method::kruithof: return "solver/kruithof";
+        case Method::entropy: return "solver/entropy";
+        case Method::bayesian: return "solver/bayesian";
+        case Method::vardi: return "solver/vardi";
+        case Method::fanout: return "solver/fanout";
+    }
+    return "solver/?";
+}
+
+}  // namespace
 
 const MethodRun* WindowResult::find(Method method) const {
     for (const MethodRun& run : runs) {
@@ -62,6 +81,8 @@ WindowContext WindowContext::capture(
     if (window.empty()) {
         throw std::logic_error("WindowContext::capture: empty window");
     }
+    obs::Span span("window/capture", "ordinal",
+                   static_cast<long long>(ordinal));
     WindowContext ctx;
     ctx.ordinal = ordinal;
     ctx.window_start_sample = window.first_sample();
@@ -110,6 +131,9 @@ MethodExecution execute_method(Method m, const WindowContext& ctx,
                                const MethodOptions& options,
                                const linalg::Vector* warm_seed,
                                bool collect_warm) {
+    obs::Span span(solver_span_name(m), "ordinal",
+                   static_cast<long long>(ctx.ordinal), "warm",
+                   warm_seed != nullptr ? 1 : 0);
     const Clock::time_point start = Clock::now();
     MethodExecution out;
     MethodRun& run = out.run;
@@ -121,14 +145,15 @@ MethodExecution execute_method(Method m, const WindowContext& ctx,
             return out;  // prior timing, not this call's
         }
         case Method::kruithof: {
+            core::KruithofOptions opts = options.kruithof;
+            opts.counters = &run.solver;
             run.estimate =
-                core::kruithof_general(ctx.latest, ctx.prior,
-                                       options.kruithof)
-                    .s;
+                core::kruithof_general(ctx.latest, ctx.prior, opts).s;
             break;
         }
         case Method::entropy: {
             core::EntropyOptions opts = options.entropy;
+            opts.solver.counters = &run.solver;
             if (warm_seed != nullptr) {
                 opts.solver.initial = warm_seed;
                 run.warm_started = true;
@@ -144,6 +169,7 @@ MethodExecution execute_method(Method m, const WindowContext& ctx,
         }
         case Method::bayesian: {
             core::BayesianOptions opts = options.bayesian;
+            opts.counters = &run.solver;
             opts.shared_gram = &ctx.epoch->gram();
             if (warm_seed != nullptr) {
                 opts.warm_start = warm_seed;
@@ -160,6 +186,7 @@ MethodExecution execute_method(Method m, const WindowContext& ctx,
         }
         case Method::vardi: {
             core::VardiOptions opts = options.vardi;
+            opts.counters = &run.solver;
             // Per-epoch transformed Gram G1 + w*(G1 .* G1), built
             // lazily on the first Vardi window of the epoch.
             opts.shared_transformed_gram =
@@ -180,6 +207,7 @@ MethodExecution execute_method(Method m, const WindowContext& ctx,
         }
         case Method::fanout: {
             core::FanoutOptions opts = options.fanout;
+            opts.qp.counters = &run.solver;
             // The factored QP consumes the CSR Gram: a fanout-only (or
             // fanout+gravity+Kruithof) schedule never materializes the
             // dense P x P Gram at all.
@@ -237,6 +265,9 @@ WindowResult EstimatorScheduler::run(
     if (window.empty()) {
         throw std::logic_error("EstimatorScheduler::run: empty window");
     }
+    obs::Span span("scheduler/window", "ordinal",
+                   static_cast<long long>(next_ordinal_), "end_sample",
+                   static_cast<long long>(window.last_sample()));
     const Clock::time_point pass_start = Clock::now();
 
     const WindowContext ctx =

@@ -39,6 +39,7 @@
 #include "engine/method.hpp"
 #include "engine/thread_pool.hpp"
 #include "engine/window.hpp"
+#include "obs/counters.hpp"
 
 namespace tme::engine {
 
@@ -68,6 +69,9 @@ struct MethodRun {
     /// Mean relative error over large demands vs. ground truth; NaN when
     /// the feed provides no truth.  Filled by the engine.
     double mre = std::numeric_limits<double>::quiet_NaN();
+    /// Solver iteration counts for this run (QP rounds/CG, entropy
+    /// steps/probes, MART sweeps, NNLS pivots); zero for gravity.
+    obs::SolverCounters solver;
 };
 
 /// Everything one window's estimation pass produced.

@@ -98,6 +98,7 @@ EntropySolverResult kl_regularized_ls(const SparseMatrix& a, const Vector& b,
 
     double f = objective_at(as, b, p, w, result.s);
     double eta = options.initial_step;
+    std::size_t armijo_probes = 0;
 
     for (result.iterations = 0; result.iterations < options.max_iterations;
          ++result.iterations) {
@@ -139,6 +140,7 @@ EntropySolverResult kl_regularized_ls(const SparseMatrix& a, const Vector& b,
             }
             a.multiply_into(trial, atrial);
             const double ft = objective_at(atrial, b, p, w, trial);
+            ++armijo_probes;
             if (ft < f - 1e-12 * std::abs(f)) {
                 result.s.swap(trial);
                 as.swap(atrial);
@@ -158,6 +160,10 @@ EntropySolverResult kl_regularized_ls(const SparseMatrix& a, const Vector& b,
         }
     }
     result.objective = f;
+    if (options.counters != nullptr) {
+        options.counters->entropy_iterations += result.iterations;
+        options.counters->entropy_armijo_probes += armijo_probes;
+    }
     return result;
 }
 

@@ -27,6 +27,7 @@
 
 #include "linalg/sparse.hpp"
 #include "linalg/vector_ops.hpp"
+#include "obs/counters.hpp"
 
 namespace tme::linalg {
 
@@ -45,6 +46,11 @@ struct EntropySolverOptions {
     /// initial point (e.g. the previous window's solution in a streaming
     /// setting) only shortens the iteration.  Not owned.
     const Vector* initial = nullptr;
+    /// Optional iteration telemetry sink: on return the solver adds its
+    /// accepted iterations to entropy_iterations and its backtracking
+    /// objective evaluations to entropy_armijo_probes.  Written once at
+    /// the return site only.  Not owned; must outlive the call.
+    obs::SolverCounters* counters = nullptr;
 };
 
 struct EntropySolverResult {

@@ -18,6 +18,7 @@ namespace detail {
 
 namespace {
 std::atomic<std::size_t> g_peak_allocation_bytes{0};
+std::atomic<std::size_t> g_total_allocation_bytes{0};
 }  // namespace
 
 std::size_t peak_matrix_allocation_bytes() {
@@ -28,6 +29,14 @@ void reset_peak_matrix_allocation() {
     g_peak_allocation_bytes.store(0, std::memory_order_relaxed);
 }
 
+std::size_t total_matrix_allocation_bytes() {
+    return g_total_allocation_bytes.load(std::memory_order_relaxed);
+}
+
+void reset_total_matrix_allocation() {
+    g_total_allocation_bytes.store(0, std::memory_order_relaxed);
+}
+
 void* zeroed_allocate(std::size_t bytes) {
     std::size_t peak =
         g_peak_allocation_bytes.load(std::memory_order_relaxed);
@@ -35,6 +44,7 @@ void* zeroed_allocate(std::size_t bytes) {
            !g_peak_allocation_bytes.compare_exchange_weak(
                peak, bytes, std::memory_order_relaxed)) {
     }
+    g_total_allocation_bytes.fetch_add(bytes, std::memory_order_relaxed);
     void* p = std::calloc(bytes, 1);
     if (p == nullptr) throw std::bad_alloc();
 #if defined(__linux__)

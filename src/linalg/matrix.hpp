@@ -36,6 +36,14 @@ void zeroed_deallocate(void* p);
 std::size_t peak_matrix_allocation_bytes();
 void reset_peak_matrix_allocation();
 
+/// Cumulative bytes handed out by zeroed_allocate since the last
+/// reset.  Where the peak answers "did anything quadratic appear?",
+/// the total measures allocation *churn* — a solver that allocates the
+/// same temporary every window shows up here while staying invisible
+/// to the peak.  Reported per phase in BENCH_solvers.json.
+std::size_t total_matrix_allocation_bytes();
+void reset_total_matrix_allocation();
+
 /// Allocator backing Matrix storage: memory comes from calloc, and
 /// value-initialization is a no-op (the pages are already zero).  A
 /// zero-filled Gram at generated-backbone scale (hundreds of MB) is

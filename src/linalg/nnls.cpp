@@ -312,6 +312,9 @@ NnlsResult nnls_gram(const Matrix& gram_matrix, const Vector& atb, double btb,
         }
         result.residual_norm = std::sqrt(std::max(0.0, quad + btb));
     }
+    if (options.counters != nullptr) {
+        options.counters->nnls_pivots += result.iterations;
+    }
     return result;
 }
 

@@ -19,6 +19,7 @@
 
 #include "linalg/matrix.hpp"
 #include "linalg/sparse.hpp"
+#include "obs/counters.hpp"
 
 namespace tme::linalg {
 
@@ -49,6 +50,10 @@ struct NnlsOptions {
     /// The active-set subproblem itself stays dense (it factorizes
     /// G[passive, passive]).  Not owned; must outlive the call.
     const SparseMatrix* gram_operator = nullptr;
+    /// Optional iteration telemetry sink: on return the solver adds its
+    /// outer active-set iterations to nnls_pivots.  Written once at the
+    /// return site only.  Not owned; must outlive the call.
+    obs::SolverCounters* counters = nullptr;
 };
 
 struct NnlsResult {

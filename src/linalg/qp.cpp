@@ -308,6 +308,9 @@ EqQpNonnegResult solve_eq_qp_nonneg(const Matrix& h, const Vector& f,
                                    : gemv(e, result.x);
         result.equality_violation = nrm_inf(sub(ex, d));
     }
+    if (options.counters != nullptr) {
+        options.counters->qp_active_set_rounds += result.iterations;
+    }
     return result;
 }
 
@@ -973,6 +976,10 @@ EqQpNonnegResult solve_eq_qp_nonneg_factored(
     if (m > 0) {
         result.equality_violation =
             nrm_inf(sub(e.multiply(result.x), d));
+    }
+    if (options.counters != nullptr) {
+        options.counters->qp_active_set_rounds += result.iterations;
+        options.counters->qp_cg_iterations += result.cg_iterations;
     }
     return result;
 }

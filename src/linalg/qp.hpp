@@ -23,6 +23,7 @@
 #include "linalg/matrix.hpp"
 #include "linalg/nnls.hpp"
 #include "linalg/sparse.hpp"
+#include "obs/counters.hpp"
 
 namespace tme::linalg {
 
@@ -85,6 +86,12 @@ struct EqQpNonnegOptions {
     /// solve; a capped run returns the last iterate clamped to the
     /// nonnegative orthant with converged = false.
     std::size_t max_active_set_rounds = 0;
+    /// Optional iteration telemetry sink: on return the solver adds its
+    /// active-set rounds to qp_active_set_rounds and (factored solver)
+    /// its CG total to qp_cg_iterations.  Written once at the return
+    /// site only — attaching counters never changes the arithmetic.
+    /// Not owned; must outlive the call.
+    obs::SolverCounters* counters = nullptr;
 };
 
 /// Factored Hessian H = S + diag(extra): a symmetric sparse matrix in

@@ -1,0 +1,98 @@
+#include "obs/histogram.hpp"
+
+#include <algorithm>
+#include <bit>
+
+namespace tme::obs {
+namespace detail {
+
+std::size_t hist_index(std::uint64_t ns) {
+    if (ns < kHistSub) return static_cast<std::size_t>(ns);
+    const int msb = 63 - std::countl_zero(ns);
+    const int shift = msb - kHistSubBits;
+    const std::uint64_t sub = (ns >> shift) & (kHistSub - 1);
+    // Octave `msb` starts right after the exact range plus the
+    // preceding octaves; shift+1 == msb - kHistSubBits + 1 octave rows
+    // of kHistSub buckets each lie below it.
+    return static_cast<std::size_t>(shift + 1) * kHistSub +
+           static_cast<std::size_t>(sub);
+}
+
+std::uint64_t hist_lower_bound(std::size_t idx) {
+    if (idx < kHistSub) return idx;
+    const std::size_t shift = idx / kHistSub - 1;
+    const std::uint64_t sub = idx % kHistSub;
+    return (kHistSub + sub) << shift;
+}
+
+}  // namespace detail
+
+double HistogramSnapshot::quantile(double q) const {
+    if (count == 0 || buckets.empty()) return 0.0;
+    q = std::clamp(q, 0.0, 1.0);
+    // Rank of the target sample, 1-based; q=1 maps to the last sample.
+    std::uint64_t rank = static_cast<std::uint64_t>(
+        q * static_cast<double>(count) + 0.5);
+    rank = std::clamp<std::uint64_t>(rank, 1, count);
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < buckets.size(); ++i) {
+        seen += buckets[i];
+        if (seen >= rank) {
+            return 1e-9 *
+                   static_cast<double>(detail::hist_lower_bound(i));
+        }
+    }
+    return max_seconds();
+}
+
+void HistogramSnapshot::merge(const HistogramSnapshot& other) {
+    if (other.count == 0) return;
+    if (buckets.empty()) {
+        buckets.assign(detail::kHistBuckets, 0);
+    }
+    for (std::size_t i = 0; i < buckets.size() && i < other.buckets.size();
+         ++i) {
+        buckets[i] += other.buckets[i];
+    }
+    if (count == 0 || other.min_ns < min_ns) min_ns = other.min_ns;
+    if (other.max_ns > max_ns) max_ns = other.max_ns;
+    count += other.count;
+    sum_seconds += other.sum_seconds;
+}
+
+LatencyHistogram& LatencyHistogram::operator=(
+    const LatencyHistogram& other) {
+    if (this == &other) return *this;
+    for (std::size_t i = 0; i < detail::kHistBuckets; ++i) {
+        buckets_[i] = other.buckets_[i].load();
+    }
+    count_ = other.count_.load();
+    sum_seconds_ = other.sum_seconds_.load();
+    min_ns_ = other.min_ns_.load();
+    max_ns_ = other.max_ns_.load();
+    return *this;
+}
+
+void LatencyHistogram::record_ns(std::uint64_t ns) {
+    ++buckets_[detail::hist_index(ns)];
+    ++count_;
+    sum_seconds_ += 1e-9 * static_cast<double>(ns);
+    min_ns_.fetch_min(ns);
+    max_ns_.fetch_max(ns);
+}
+
+HistogramSnapshot LatencyHistogram::snapshot() const {
+    HistogramSnapshot snap;
+    snap.buckets.resize(detail::kHistBuckets);
+    for (std::size_t i = 0; i < detail::kHistBuckets; ++i) {
+        snap.buckets[i] = buckets_[i].load();
+    }
+    snap.count = count_.load();
+    snap.sum_seconds = sum_seconds_.load();
+    snap.max_ns = max_ns_.load();
+    const std::uint64_t min = min_ns_.load();
+    snap.min_ns = (snap.count == 0 && min == ~std::uint64_t{0}) ? 0 : min;
+    return snap;
+}
+
+}  // namespace tme::obs

@@ -1,0 +1,326 @@
+#include "obs/json.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+namespace tme::obs {
+namespace {
+
+void append_escaped(std::string& out, const std::string& s) {
+    out += '"';
+    for (const char c : s) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\b': out += "\\b"; break;
+            case '\f': out += "\\f"; break;
+            case '\n': out += "\\n"; break;
+            case '\r': out += "\\r"; break;
+            case '\t': out += "\\t"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof(buf), "\\u%04x",
+                                  static_cast<unsigned>(c));
+                    out += buf;
+                } else {
+                    out += c;
+                }
+        }
+    }
+    out += '"';
+}
+
+void append_double(std::string& out, double v) {
+    if (!std::isfinite(v)) {
+        // JSON has no inf/nan; null is the conventional stand-in.
+        out += "null";
+        return;
+    }
+    char buf[32];
+    // %.17g round-trips but litters 0.1 as 0.1000...1; try shorter
+    // precisions first and keep the first that re-parses exactly.
+    for (int prec = 6; prec <= 17; prec += prec < 15 ? 3 : 1) {
+        const int n = std::snprintf(buf, sizeof(buf), "%.*g", prec, v);
+        double back = 0.0;
+        if (std::sscanf(buf, "%lf", &back) == 1 && back == v) {
+            out.append(buf, static_cast<std::size_t>(n));
+            return;
+        }
+    }
+    out += buf;
+}
+
+struct Parser {
+    std::string_view text;
+    std::size_t pos = 0;
+
+    void skip_ws() {
+        while (pos < text.size() &&
+               std::isspace(static_cast<unsigned char>(text[pos]))) {
+            ++pos;
+        }
+    }
+    bool eof() const { return pos >= text.size(); }
+    char peek() const { return text[pos]; }
+    bool consume(char c) {
+        if (eof() || text[pos] != c) return false;
+        ++pos;
+        return true;
+    }
+    bool consume_word(std::string_view word) {
+        if (text.substr(pos, word.size()) != word) return false;
+        pos += word.size();
+        return true;
+    }
+
+    std::optional<Json> value() {
+        skip_ws();
+        if (eof()) return std::nullopt;
+        switch (peek()) {
+            case '{': return object();
+            case '[': return array();
+            case '"': {
+                std::optional<std::string> s = string();
+                if (!s) return std::nullopt;
+                return Json(std::move(*s));
+            }
+            case 't':
+                return consume_word("true") ? std::optional<Json>(Json(true))
+                                            : std::nullopt;
+            case 'f':
+                return consume_word("false")
+                           ? std::optional<Json>(Json(false))
+                           : std::nullopt;
+            case 'n':
+                return consume_word("null") ? std::optional<Json>(Json())
+                                            : std::nullopt;
+            default: return number();
+        }
+    }
+
+    std::optional<Json> object() {
+        if (!consume('{')) return std::nullopt;
+        Json obj = Json::object();
+        skip_ws();
+        if (consume('}')) return obj;
+        while (true) {
+            skip_ws();
+            std::optional<std::string> key = string();
+            if (!key) return std::nullopt;
+            skip_ws();
+            if (!consume(':')) return std::nullopt;
+            std::optional<Json> v = value();
+            if (!v) return std::nullopt;
+            obj.set(*key, std::move(*v));
+            skip_ws();
+            if (consume(',')) continue;
+            if (consume('}')) return obj;
+            return std::nullopt;
+        }
+    }
+
+    std::optional<Json> array() {
+        if (!consume('[')) return std::nullopt;
+        Json arr = Json::array();
+        skip_ws();
+        if (consume(']')) return arr;
+        while (true) {
+            std::optional<Json> v = value();
+            if (!v) return std::nullopt;
+            arr.push_back(std::move(*v));
+            skip_ws();
+            if (consume(',')) continue;
+            if (consume(']')) return arr;
+            return std::nullopt;
+        }
+    }
+
+    std::optional<std::string> string() {
+        if (!consume('"')) return std::nullopt;
+        std::string out;
+        while (!eof()) {
+            const char c = text[pos++];
+            if (c == '"') return out;
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (eof()) return std::nullopt;
+            const char esc = text[pos++];
+            switch (esc) {
+                case '"': out += '"'; break;
+                case '\\': out += '\\'; break;
+                case '/': out += '/'; break;
+                case 'b': out += '\b'; break;
+                case 'f': out += '\f'; break;
+                case 'n': out += '\n'; break;
+                case 'r': out += '\r'; break;
+                case 't': out += '\t'; break;
+                case 'u': {
+                    if (pos + 4 > text.size()) return std::nullopt;
+                    unsigned code = 0;
+                    for (int i = 0; i < 4; ++i) {
+                        const char h = text[pos++];
+                        code <<= 4;
+                        if (h >= '0' && h <= '9') {
+                            code |= static_cast<unsigned>(h - '0');
+                        } else if (h >= 'a' && h <= 'f') {
+                            code |= static_cast<unsigned>(h - 'a' + 10);
+                        } else if (h >= 'A' && h <= 'F') {
+                            code |= static_cast<unsigned>(h - 'A' + 10);
+                        } else {
+                            return std::nullopt;
+                        }
+                    }
+                    // UTF-8 encode (surrogate pairs unsupported; the
+                    // exporter never emits them).
+                    if (code < 0x80) {
+                        out += static_cast<char>(code);
+                    } else if (code < 0x800) {
+                        out += static_cast<char>(0xC0 | (code >> 6));
+                        out += static_cast<char>(0x80 | (code & 0x3F));
+                    } else {
+                        out += static_cast<char>(0xE0 | (code >> 12));
+                        out += static_cast<char>(0x80 |
+                                                 ((code >> 6) & 0x3F));
+                        out += static_cast<char>(0x80 | (code & 0x3F));
+                    }
+                    break;
+                }
+                default: return std::nullopt;
+            }
+        }
+        return std::nullopt;
+    }
+
+    std::optional<Json> number() {
+        const std::size_t start = pos;
+        if (!eof() && (peek() == '-' || peek() == '+')) ++pos;
+        bool is_integer = true;
+        while (!eof()) {
+            const char c = peek();
+            if (std::isdigit(static_cast<unsigned char>(c))) {
+                ++pos;
+            } else if (c == '.' || c == 'e' || c == 'E' || c == '-' ||
+                       c == '+') {
+                if (c == '.' || c == 'e' || c == 'E') is_integer = false;
+                ++pos;
+            } else {
+                break;
+            }
+        }
+        const std::string_view tok = text.substr(start, pos - start);
+        if (tok.empty()) return std::nullopt;
+        if (is_integer) {
+            std::int64_t v = 0;
+            const auto [ptr, ec] =
+                std::from_chars(tok.data(), tok.data() + tok.size(), v);
+            if (ec == std::errc{} && ptr == tok.data() + tok.size()) {
+                return Json(static_cast<long long>(v));
+            }
+        }
+        // Fall back to double (also covers integers out of int64 range).
+        char buf[64];
+        if (tok.size() >= sizeof(buf)) return std::nullopt;
+        std::memcpy(buf, tok.data(), tok.size());
+        buf[tok.size()] = '\0';
+        char* end = nullptr;
+        const double v = std::strtod(buf, &end);
+        if (end != buf + tok.size()) return std::nullopt;
+        return Json(v);
+    }
+};
+
+}  // namespace
+
+Json& Json::push_back(Json value) {
+    if (type_ == Type::null) type_ = Type::array;
+    items_.push_back(std::move(value));
+    return items_.back();
+}
+
+Json& Json::set(std::string_view key, Json value) {
+    if (type_ == Type::null) type_ = Type::object;
+    for (auto& [k, v] : members_) {
+        if (k == key) {
+            v = std::move(value);
+            return v;
+        }
+    }
+    members_.emplace_back(std::string(key), std::move(value));
+    return members_.back().second;
+}
+
+const Json* Json::find(std::string_view key) const {
+    if (!is_object()) return nullptr;
+    for (const auto& [k, v] : members_) {
+        if (k == key) return &v;
+    }
+    return nullptr;
+}
+
+void Json::dump_to(std::string& out, int indent, int depth) const {
+    const auto newline_pad = [&](int d) {
+        if (indent <= 0) return;
+        out += '\n';
+        out.append(static_cast<std::size_t>(indent * d), ' ');
+    };
+    switch (type_) {
+        case Type::null: out += "null"; break;
+        case Type::boolean: out += bool_ ? "true" : "false"; break;
+        case Type::integer: {
+            char buf[24];
+            const int n = std::snprintf(buf, sizeof(buf), "%" PRId64, int_);
+            out.append(buf, static_cast<std::size_t>(n));
+            break;
+        }
+        case Type::number: append_double(out, num_); break;
+        case Type::string: append_escaped(out, str_); break;
+        case Type::array: {
+            out += '[';
+            for (std::size_t i = 0; i < items_.size(); ++i) {
+                if (i) out += ',';
+                newline_pad(depth + 1);
+                items_[i].dump_to(out, indent, depth + 1);
+            }
+            if (!items_.empty()) newline_pad(depth);
+            out += ']';
+            break;
+        }
+        case Type::object: {
+            out += '{';
+            for (std::size_t i = 0; i < members_.size(); ++i) {
+                if (i) out += ',';
+                newline_pad(depth + 1);
+                append_escaped(out, members_[i].first);
+                out += indent > 0 ? ": " : ":";
+                members_[i].second.dump_to(out, indent, depth + 1);
+            }
+            if (!members_.empty()) newline_pad(depth);
+            out += '}';
+            break;
+        }
+    }
+}
+
+std::string Json::dump(int indent) const {
+    std::string out;
+    dump_to(out, indent, 0);
+    return out;
+}
+
+std::optional<Json> Json::parse(std::string_view text) {
+    Parser p{text};
+    std::optional<Json> v = p.value();
+    if (!v) return std::nullopt;
+    p.skip_ws();
+    if (!p.eof()) return std::nullopt;
+    return v;
+}
+
+}  // namespace tme::obs

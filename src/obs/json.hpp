@@ -1,0 +1,109 @@
+// Minimal ordered JSON document model for telemetry export.
+//
+// Every BENCH_*.json and trace file in this repo is machine-diffed and
+// eyeballed, so object key order must be deterministic and meaningful:
+// objects here are insertion-ordered vectors of (key, value), not
+// maps.  Integers and doubles are kept distinct (counters print as
+// integers, latencies as shortest-round-trip doubles) and strings are
+// escaped per RFC 8259.
+//
+// The parser exists for the trace-validation test — it accepts strict
+// JSON (objects/arrays/strings/numbers/bools/null, no comments or
+// trailing commas) and is not a general-purpose ingestion surface.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace tme::obs {
+
+class Json {
+  public:
+    enum class Type { null, boolean, integer, number, string, array, object };
+
+    Json() : type_(Type::null) {}
+    Json(std::nullptr_t) : type_(Type::null) {}
+    Json(bool b) : type_(Type::boolean), bool_(b) {}
+    Json(int v) : type_(Type::integer), int_(v) {}
+    Json(long v) : type_(Type::integer), int_(v) {}
+    Json(long long v) : type_(Type::integer), int_(v) {}
+    Json(unsigned v) : type_(Type::integer), int_(v) {}
+    Json(unsigned long v)
+        : type_(Type::integer), int_(static_cast<std::int64_t>(v)) {}
+    Json(unsigned long long v)
+        : type_(Type::integer), int_(static_cast<std::int64_t>(v)) {}
+    Json(double v) : type_(Type::number), num_(v) {}
+    Json(const char* s) : type_(Type::string), str_(s) {}
+    Json(std::string s) : type_(Type::string), str_(std::move(s)) {}
+
+    static Json array() {
+        Json j;
+        j.type_ = Type::array;
+        return j;
+    }
+    static Json object() {
+        Json j;
+        j.type_ = Type::object;
+        return j;
+    }
+
+    Type type() const { return type_; }
+    bool is_object() const { return type_ == Type::object; }
+    bool is_array() const { return type_ == Type::array; }
+    bool is_string() const { return type_ == Type::string; }
+    bool is_integer() const { return type_ == Type::integer; }
+    bool is_number() const {
+        return type_ == Type::number || type_ == Type::integer;
+    }
+
+    bool as_bool() const { return bool_; }
+    std::int64_t as_int() const {
+        return type_ == Type::number ? static_cast<std::int64_t>(num_)
+                                     : int_;
+    }
+    double as_double() const {
+        return type_ == Type::integer ? static_cast<double>(int_) : num_;
+    }
+    const std::string& as_string() const { return str_; }
+    const std::vector<Json>& items() const { return items_; }
+    const std::vector<std::pair<std::string, Json>>& members() const {
+        return members_;
+    }
+
+    /// Array append.  Converts a null value to an array on first use.
+    Json& push_back(Json value);
+    /// Object append/overwrite (linear key scan keeps first-insertion
+    /// order stable).  Converts a null value to an object on first use.
+    Json& set(std::string_view key, Json value);
+    /// Object lookup; nullptr when absent or not an object.
+    const Json* find(std::string_view key) const;
+
+    std::size_t size() const {
+        return is_object() ? members_.size() : items_.size();
+    }
+
+    /// Serialize.  indent <= 0 emits compact one-line JSON; indent > 0
+    /// pretty-prints with that many spaces per level.
+    std::string dump(int indent = 0) const;
+
+    /// Strict parse of a complete JSON document; nullopt on any error
+    /// (including trailing garbage).
+    static std::optional<Json> parse(std::string_view text);
+
+  private:
+    void dump_to(std::string& out, int indent, int depth) const;
+
+    Type type_;
+    bool bool_ = false;
+    std::int64_t int_ = 0;
+    double num_ = 0.0;
+    std::string str_;
+    std::vector<Json> items_;
+    std::vector<std::pair<std::string, Json>> members_;
+};
+
+}  // namespace tme::obs

@@ -1,0 +1,76 @@
+// Relaxed atomic metric cell shared by every observability surface.
+//
+// A MetricCell is a copyable wrapper over std::atomic<T> with relaxed
+// ordering throughout: metric writers (engine ingestion, pipeline
+// stages, fleet workers) update cells concurrently while readers poll
+// or copy whole metric structs, and no reader may ever observe a torn
+// value.  Copying snapshots the current value, so structs built from
+// cells keep working as plain value types for single-threaded callers.
+//
+// Lives in obs (not engine) because histograms, counters and reports
+// are built on it; engine/metrics.hpp re-exports the name so existing
+// engine code keeps compiling unchanged.
+#pragma once
+
+#include <atomic>
+
+namespace tme::obs {
+
+/// Relaxed atomic cell that copies by value.  Use .load() where a
+/// plain value is required (printf-style varargs reject non-trivially-
+/// copyable types, which is deliberate: the compiler flags every site
+/// that would otherwise pass a raw cell).
+template <typename T>
+class MetricCell {
+  public:
+    MetricCell(T value = T{}) : value_(value) {}
+    MetricCell(const MetricCell& other) : value_(other.load()) {}
+    MetricCell& operator=(const MetricCell& other) {
+        store(other.load());
+        return *this;
+    }
+    MetricCell& operator=(T value) {
+        store(value);
+        return *this;
+    }
+
+    T load() const { return value_.load(std::memory_order_relaxed); }
+    void store(T value) { value_.store(value, std::memory_order_relaxed); }
+    operator T() const { return load(); }
+
+    MetricCell& operator++() {
+        value_.fetch_add(T{1}, std::memory_order_relaxed);
+        return *this;
+    }
+    MetricCell& operator+=(T delta) {
+        value_.fetch_add(delta, std::memory_order_relaxed);
+        return *this;
+    }
+
+    /// Monotone maximum: raises the cell to `value` iff it is larger.
+    /// CAS loop (not fetch_max) so floating-point cells work too; lost
+    /// races retry until the cell is at least `value`.  Used for
+    /// worst-case latency cells, where only the high-water mark
+    /// matters.
+    void fetch_max(T value) {
+        T current = value_.load(std::memory_order_relaxed);
+        while (current < value &&
+               !value_.compare_exchange_weak(current, value,
+                                             std::memory_order_relaxed)) {
+        }
+    }
+
+    /// Monotone minimum: lowers the cell to `value` iff it is smaller.
+    void fetch_min(T value) {
+        T current = value_.load(std::memory_order_relaxed);
+        while (value < current &&
+               !value_.compare_exchange_weak(current, value,
+                                             std::memory_order_relaxed)) {
+        }
+    }
+
+  private:
+    std::atomic<T> value_;
+};
+
+}  // namespace tme::obs

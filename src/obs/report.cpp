@@ -1,0 +1,51 @@
+#include "obs/report.hpp"
+
+#include <cstdio>
+#include <utility>
+
+namespace tme::obs {
+
+Json histogram_to_json(const HistogramSnapshot& snapshot) {
+    Json j = Json::object();
+    j.set("count", static_cast<long long>(snapshot.count));
+    j.set("mean_s", snapshot.mean_seconds());
+    j.set("p50_s", snapshot.p50());
+    j.set("p95_s", snapshot.p95());
+    j.set("p99_s", snapshot.p99());
+    j.set("max_s", snapshot.max_seconds());
+    if (snapshot.count > 0) j.set("min_s", snapshot.min_seconds());
+    return j;
+}
+
+Json counters_to_json(const SolverCounters& counters) {
+    Json j = Json::object();
+    const auto put = [&j](const char* key, std::size_t value) {
+        if (value != 0) j.set(key, static_cast<long long>(value));
+    };
+    put("qp_active_set_rounds", counters.qp_active_set_rounds);
+    put("qp_cg_iterations", counters.qp_cg_iterations);
+    put("entropy_iterations", counters.entropy_iterations);
+    put("entropy_armijo_probes", counters.entropy_armijo_probes);
+    put("kruithof_sweeps", counters.kruithof_sweeps);
+    put("nnls_pivots", counters.nnls_pivots);
+    return j;
+}
+
+Report::Report(std::string name) : root_(Json::object()) {
+    root_.set("report", std::move(name));
+}
+
+bool Report::write_file(const std::string& path, int indent) const {
+    const std::string text = to_json(indent) + "\n";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return false;
+    const std::size_t written =
+        std::fwrite(text.data(), 1, text.size(), f);
+    if (written != text.size()) {
+        std::fclose(f);
+        return false;
+    }
+    return std::fclose(f) == 0;
+}
+
+}  // namespace tme::obs

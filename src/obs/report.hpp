@@ -1,0 +1,48 @@
+// Structured telemetry export: one Report type that every BENCH_*.json
+// producer and EngineMetrics::to_json() build on, so the files share
+// schema conventions (ordered keys, integer counters, seconds as
+// doubles, histograms as {count, mean/p50/p95/p99/max seconds}).
+#pragma once
+
+#include <string>
+
+#include "obs/counters.hpp"
+#include "obs/histogram.hpp"
+#include "obs/json.hpp"
+
+namespace tme::obs {
+
+/// Compact summary of a histogram snapshot:
+/// {count, mean_s, p50_s, p95_s, p99_s, max_s} (min_s included when
+/// nonzero samples exist).  Omits the raw buckets — merge snapshots
+/// first if cross-source rollups are needed.
+Json histogram_to_json(const HistogramSnapshot& snapshot);
+
+/// {qp_active_set_rounds, qp_cg_iterations, ...} with zero fields
+/// omitted (a gravity-only report stays free of QP noise).  All-zero
+/// counters serialize to an empty object.
+Json counters_to_json(const SolverCounters& counters);
+
+/// A named JSON document destined for a file: benches fill `root` and
+/// call write_file().  The name lands in the document itself under
+/// "report" so a stray BENCH file self-identifies.
+class Report {
+  public:
+    explicit Report(std::string name);
+
+    Json& root() { return root_; }
+    const Json& root() const { return root_; }
+    /// Shorthand for root().set(key, value).
+    Json& set(std::string_view key, Json value) {
+        return root_.set(key, std::move(value));
+    }
+
+    std::string to_json(int indent = 2) const { return root_.dump(indent); }
+    /// Pretty-printed dump to `path` (trailing newline included).
+    bool write_file(const std::string& path, int indent = 2) const;
+
+  private:
+    Json root_;
+};
+
+}  // namespace tme::obs

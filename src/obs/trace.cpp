@@ -1,0 +1,192 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace tme::obs {
+namespace {
+
+struct TraceRecord {
+    const char* name = nullptr;
+    std::uint64_t start_ns = 0;
+    std::uint64_t end_ns = 0;
+    const char* arg_key[2] = {nullptr, nullptr};
+    long long arg_value[2] = {0, 0};
+};
+
+struct ThreadBuffer {
+    // 16K records × 64B ≈ 1 MiB per traced thread; enough for every
+    // bench/test workload in-repo (a 200-sample 6-method replay emits
+    // ~3K spans) while bounding memory on long-lived fleets.
+    static constexpr std::uint64_t kCapacity = 1u << 14;
+
+    explicit ThreadBuffer(int tid_) : tid(tid_), records(kCapacity) {}
+
+    void push(const TraceRecord& r) {
+        const std::uint64_t h = head.load(std::memory_order_relaxed);
+        records[h % kCapacity] = r;
+        // Release so a quiescent drainer that reads head sees the
+        // record bytes; concurrent drains are documented unsupported.
+        head.store(h + 1, std::memory_order_release);
+    }
+
+    const int tid;
+    std::vector<TraceRecord> records;
+    std::atomic<std::uint64_t> head{0};
+};
+
+std::chrono::steady_clock::time_point g_base =
+    std::chrono::steady_clock::now();
+
+}  // namespace
+
+struct Tracer::Impl {
+    mutable std::mutex mutex;
+    std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+    int next_tid = 1;
+
+    std::shared_ptr<ThreadBuffer> register_thread() {
+        std::lock_guard<std::mutex> lock(mutex);
+        auto buf = std::make_shared<ThreadBuffer>(next_tid++);
+        buffers.push_back(buf);
+        return buf;
+    }
+};
+
+namespace {
+
+ThreadBuffer& local_buffer() {
+    // The shared_ptr keeps the ring alive in the registry after the
+    // thread exits, so post-join drains still see its spans.
+    thread_local std::shared_ptr<ThreadBuffer> buf =
+        Tracer::instance().impl().register_thread();
+    return *buf;
+}
+
+}  // namespace
+
+Tracer::Tracer() : impl_(new Impl) {
+    (void)g_base;  // force base-time init before any span
+}
+
+Tracer& Tracer::instance() {
+    static Tracer tracer;
+    return tracer;
+}
+
+void Tracer::set_enabled(bool on) {
+#if TME_TRACING
+    detail::g_trace_enabled.store(on, std::memory_order_relaxed);
+#else
+    (void)on;
+#endif
+}
+
+std::uint64_t Tracer::now_ns() {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - g_base)
+            .count());
+}
+
+std::uint64_t Tracer::recorded() const {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    std::uint64_t total = 0;
+    for (const auto& buf : impl_->buffers) {
+        total += buf->head.load(std::memory_order_acquire);
+    }
+    return total;
+}
+
+std::uint64_t Tracer::dropped() const {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    std::uint64_t total = 0;
+    for (const auto& buf : impl_->buffers) {
+        const std::uint64_t h = buf->head.load(std::memory_order_acquire);
+        if (h > ThreadBuffer::kCapacity) {
+            total += h - ThreadBuffer::kCapacity;
+        }
+    }
+    return total;
+}
+
+void Tracer::clear() {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    for (const auto& buf : impl_->buffers) {
+        buf->head.store(0, std::memory_order_release);
+    }
+}
+
+Json Tracer::chrome_trace() const {
+    Json events = Json::array();
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    for (const auto& buf : impl_->buffers) {
+        const std::uint64_t head = buf->head.load(std::memory_order_acquire);
+        const std::uint64_t n = std::min(head, ThreadBuffer::kCapacity);
+        for (std::uint64_t i = head - n; i < head; ++i) {
+            const TraceRecord& r =
+                buf->records[i % ThreadBuffer::kCapacity];
+            Json event = Json::object();
+            event.set("name", r.name);
+            // Category = name prefix before the first '/', for
+            // Perfetto filtering ("solver/entropy" -> "solver").
+            const char* slash = std::strchr(r.name, '/');
+            event.set("cat", slash ? std::string(r.name, slash) : r.name);
+            event.set("ph", "X");
+            event.set("ts", 1e-3 * static_cast<double>(r.start_ns));
+            event.set("dur",
+                      1e-3 * static_cast<double>(r.end_ns - r.start_ns));
+            event.set("pid", 1);
+            event.set("tid", buf->tid);
+            if (r.arg_key[0] != nullptr) {
+                Json args = Json::object();
+                for (int a = 0; a < 2 && r.arg_key[a] != nullptr; ++a) {
+                    args.set(r.arg_key[a],
+                             static_cast<long long>(r.arg_value[a]));
+                }
+                event.set("args", std::move(args));
+            }
+            events.push_back(std::move(event));
+        }
+    }
+    Json doc = Json::object();
+    doc.set("traceEvents", std::move(events));
+    doc.set("displayTimeUnit", "ns");
+    return doc;
+}
+
+bool Tracer::write_chrome_trace(const std::string& path) const {
+    const std::string text = chrome_trace().dump();
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return false;
+    const std::size_t written =
+        std::fwrite(text.data(), 1, text.size(), f);
+    const bool ok = written == text.size() && std::fclose(f) == 0;
+    if (!ok && written != text.size()) std::fclose(f);
+    return ok;
+}
+
+void Span::begin(const char* name) {
+    name_ = name;
+    start_ns_ = Tracer::now_ns();
+    active_ = true;
+}
+
+void Span::end() {
+    TraceRecord r;
+    r.name = name_;
+    r.start_ns = start_ns_;
+    r.end_ns = Tracer::now_ns();
+    for (int i = 0; i < 2; ++i) {
+        r.arg_key[i] = arg_key_[i];
+        r.arg_value[i] = arg_value_[i];
+    }
+    local_buffer().push(r);
+}
+
+}  // namespace tme::obs

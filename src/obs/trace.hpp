@@ -1,0 +1,170 @@
+// Per-thread span tracing with Chrome trace_event export.
+//
+// Span model: an obs::Span is an RAII scope — construction stamps a
+// start time, destruction stamps the end and pushes one fixed-size
+// record into the *current thread's* ring buffer.  Records never cross
+// threads at write time, so the hot path is two steady_clock reads,
+// a relaxed head bump, and a 64-byte store: no locks, no allocation.
+// Nesting is implicit (a child span's [start, end] interval is
+// contained in its parent's, and Perfetto/chrome://tracing reconstruct
+// the stack from containment of "X" complete events).
+//
+// Span names must be string literals or other static storage — records
+// keep the pointer, not a copy.  The convention is "layer/detail"
+// ("solver/entropy", "cache/acquire"); the export splits on the first
+// '/' to populate the trace category.
+//
+// Cost model and toggles:
+//   - TME_TRACING=0 at compile time turns Span into an empty struct
+//     and Tracer::enabled() into `false` — zero code on the hot path.
+//   - Compiled in but runtime-disabled (the default), each span site
+//     costs one relaxed atomic load.
+//   - Enabled, a span costs ~100ns; bench_perf_engine gates the total
+//     against its overhead budget (<1% disabled, <5% enabled).
+//
+// Draining (chrome_trace()/write_chrome_trace()) walks every thread
+// ring including those of exited threads (buffers are shared_ptr-kept
+// in a registry).  Drain at quiescence — after joins / engine drain —
+// since in-flight writers are not synchronized against the reader
+// beyond the relaxed head counter.  Rings are fixed-size; on overflow
+// the oldest records are overwritten and counted as dropped.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "obs/json.hpp"
+
+#if !defined(TME_TRACING)
+#define TME_TRACING 0
+#endif
+
+namespace tme::obs {
+
+/// True when span support is compiled in (TME_TRACING).  Tests use
+/// this to skip trace-content assertions in compiled-out builds.
+constexpr bool tracing_compiled() { return TME_TRACING != 0; }
+
+namespace detail {
+#if TME_TRACING
+inline std::atomic<bool> g_trace_enabled{false};
+#endif
+}  // namespace detail
+
+class Tracer {
+  public:
+    static Tracer& instance();
+
+    /// Hot-path check: one relaxed load when compiled in, constant
+    /// false otherwise (span sites fold away entirely).
+    static bool enabled() {
+#if TME_TRACING
+        return detail::g_trace_enabled.load(std::memory_order_relaxed);
+#else
+        return false;
+#endif
+    }
+    /// Runtime toggle.  No-op when tracing is compiled out.
+    void set_enabled(bool on);
+
+    /// Total spans recorded (including any since overwritten) and
+    /// dropped to ring overflow, across all threads ever registered.
+    std::uint64_t recorded() const;
+    std::uint64_t dropped() const;
+
+    /// Discard all recorded spans (rings keep their threads).  Call at
+    /// quiescence only, like the drains below.
+    void clear();
+
+    /// Drain every thread ring into a Chrome trace_event document:
+    /// {"traceEvents": [{"ph":"X","name",...}, ...]}.  Call at
+    /// quiescence.
+    Json chrome_trace() const;
+    /// chrome_trace() written to `path` (compact JSON).  Returns false
+    /// if the file cannot be written.
+    bool write_chrome_trace(const std::string& path) const;
+
+    /// Nanoseconds since tracer construction (monotonic).
+    static std::uint64_t now_ns();
+
+    /// Opaque implementation handle — incomplete outside trace.cpp.
+    struct Impl;
+    Impl& impl() const { return *impl_; }
+
+  private:
+    Tracer();
+    Impl* impl_;
+};
+
+/// Re-entrant runtime enable for benches/tests: flips tracing on (or
+/// off) for the scope and restores the previous state on exit.
+class ScopedTracing {
+  public:
+    explicit ScopedTracing(bool on = true) : previous_(Tracer::enabled()) {
+        Tracer::instance().set_enabled(on);
+    }
+    ~ScopedTracing() { Tracer::instance().set_enabled(previous_); }
+    ScopedTracing(const ScopedTracing&) = delete;
+    ScopedTracing& operator=(const ScopedTracing&) = delete;
+
+  private:
+    bool previous_;
+};
+
+class Span {
+  public:
+    /// `name` must point to static storage (string literal,
+    /// method_name(), ...).
+    explicit Span(const char* name) {
+        if (Tracer::enabled()) begin(name);
+    }
+    Span(const char* name, const char* key, long long value) {
+        if (Tracer::enabled()) {
+            begin(name);
+            arg(key, value);
+        }
+    }
+    Span(const char* name, const char* key1, long long value1,
+         const char* key2, long long value2) {
+        if (Tracer::enabled()) {
+            begin(name);
+            arg(key1, value1);
+            arg(key2, value2);
+        }
+    }
+    ~Span() {
+        if (active_) end();
+    }
+    Span(const Span&) = delete;
+    Span& operator=(const Span&) = delete;
+
+    /// Attach a numeric argument (at most 2 per span; extras are
+    /// silently ignored).  Keys must be static storage, like names.
+    /// No-op when the span is inactive, so callers never need their
+    /// own enabled() guard.
+    void arg(const char* key, long long value) {
+        if (!active_) return;
+        for (int i = 0; i < 2; ++i) {
+            if (arg_key_[i] == nullptr) {
+                arg_key_[i] = key;
+                arg_value_[i] = value;
+                return;
+            }
+        }
+    }
+
+    bool active() const { return active_; }
+
+  private:
+    void begin(const char* name);
+    void end();
+
+    const char* name_ = nullptr;
+    std::uint64_t start_ns_ = 0;
+    const char* arg_key_[2] = {nullptr, nullptr};
+    long long arg_value_[2] = {0, 0};
+    bool active_ = false;
+};
+
+}  // namespace tme::obs

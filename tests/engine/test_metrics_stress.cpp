@@ -101,5 +101,124 @@ TEST(EngineMetricsStress, FleetAggregationReadsLiveEngines) {
     }
 }
 
+// Hand-built metrics with known values: pins the exact summary()
+// rendering (field order, millisecond formatting, warm ratio, solver
+// iteration suffix) so a formatting regression is caught as a string
+// diff, not by eyeballing bench logs.
+TEST(EngineMetricsGolden, SummaryMatchesGoldenString) {
+    EngineMetrics m;
+    m.samples_ingested.store(10);
+    m.gap_samples.store(1);
+    m.windows_run.store(10);
+    m.window_flushes.store(2);
+    m.epoch_changes.store(3);
+    m.cache_hits.store(8);
+    m.cache_misses.store(2);
+    m.total_seconds.store(1.5);
+    m.last_window_seconds.store(0.002);
+
+    MethodStats& gravity = m.methods[Method::gravity];
+    gravity.runs.store(10);
+    gravity.total_seconds.store(0.05);
+    gravity.last_seconds.store(0.005);
+    gravity.max_seconds.store(0.006);
+
+    MethodStats& kruithof = m.methods[Method::kruithof];
+    kruithof.runs.store(4);
+    kruithof.total_seconds.store(0.004);
+    kruithof.last_seconds.store(0.001);
+    kruithof.max_seconds.store(0.002);
+    obs::SolverCounters sweeps;
+    sweeps.kruithof_sweeps = 5;
+    kruithof.solver.add(sweeps);
+
+    const std::string expected =
+        "samples=10 gaps=1 windows=10 flushes=2 epoch_changes=3\n"
+        "epoch cache: hit rate 0.800 (8 hits, 2 misses, 0 evictions, "
+        "0 collisions)\n"
+        "latency: total 1.500s, last window 2.00ms, "
+        "p50=0.00ms p95=0.00ms p99=0.00ms max=0.00ms\n"
+        "  gravity   runs=10 warm=0/0 mean=5.00ms last=5.00ms "
+        "p50=0.00ms p95=0.00ms p99=0.00ms max=6.00ms\n"
+        "  kruithof  runs=4 warm=0/0 mean=1.00ms last=1.00ms "
+        "p50=0.00ms p95=0.00ms p99=0.00ms max=2.00ms "
+        "iters={\"kruithof_sweeps\":5}\n";
+    EXPECT_EQ(m.summary(), expected);
+}
+
+TEST(EngineMetricsGolden, ToJsonStructureAndRoundTrip) {
+    EngineMetrics m;
+    m.samples_ingested.store(10);
+    m.cache_hits.store(3);
+    m.cache_misses.store(1);
+    m.window_latency.record(0.002);
+    m.window_latency.record(0.004);
+
+    MethodStats& fanout = m.methods[Method::fanout];
+    fanout.runs.store(6);
+    fanout.warm_runs.store(5);
+    fanout.warm_accepted_runs.store(4);
+    fanout.total_seconds.store(0.012);
+    fanout.max_seconds.store(0.003);
+    fanout.latency.record(0.002);
+    obs::SolverCounters iters;
+    iters.qp_active_set_rounds = 7;
+    iters.qp_cg_iterations = 42;
+    fanout.solver.add(iters);
+    fanout.last_mre.store(0.25);
+    fanout.mre_sum.store(0.5);
+    fanout.mre_count.store(2);
+
+    const obs::Json j = m.to_json();
+    ASSERT_NE(j.find("samples_ingested"), nullptr);
+    EXPECT_EQ(j.find("samples_ingested")->as_int(), 10);
+    const obs::Json* cache = j.find("epoch_cache");
+    ASSERT_NE(cache, nullptr);
+    EXPECT_EQ(cache->find("hits")->as_int(), 3);
+    EXPECT_NEAR(cache->find("hit_rate")->as_double(), 0.75, 1e-12);
+    const obs::Json* window = j.find("window_latency");
+    ASSERT_NE(window, nullptr);
+    EXPECT_EQ(window->find("count")->as_int(), 2);
+    // Histograms that never recorded still export a zeroed block.
+    ASSERT_NE(j.find("ingest_wait"), nullptr);
+    EXPECT_EQ(j.find("ingest_wait")->find("count")->as_int(), 0);
+
+    const obs::Json* methods = j.find("methods");
+    ASSERT_NE(methods, nullptr);
+    const obs::Json* fj = methods->find("fanout");
+    ASSERT_NE(fj, nullptr);
+    EXPECT_EQ(fj->find("runs")->as_int(), 6);
+    EXPECT_EQ(fj->find("warm_runs")->as_int(), 5);
+    EXPECT_EQ(fj->find("warm_accepted_runs")->as_int(), 4);
+    EXPECT_NEAR(fj->find("mean_seconds")->as_double(), 0.002, 1e-12);
+    EXPECT_NEAR(fj->find("max_seconds")->as_double(), 0.003, 1e-12);
+    const obs::Json* solver = fj->find("solver");
+    ASSERT_NE(solver, nullptr);
+    EXPECT_EQ(solver->find("qp_active_set_rounds")->as_int(), 7);
+    EXPECT_EQ(solver->find("qp_cg_iterations")->as_int(), 42);
+    // Zero counters are omitted from the solver block.
+    EXPECT_EQ(solver->find("kruithof_sweeps"), nullptr);
+    EXPECT_NEAR(fj->find("mean_mre")->as_double(), 0.25, 1e-12);
+    EXPECT_NEAR(fj->find("last_mre")->as_double(), 0.25, 1e-12);
+    // Methods without runs export too, minus optional blocks.
+    MethodStats& idle = m.methods[Method::vardi];
+    (void)idle;
+    const obs::Json j2 = m.to_json();
+    const obs::Json* vj = j2.find("methods")->find("vardi");
+    ASSERT_NE(vj, nullptr);
+    EXPECT_EQ(vj->find("runs")->as_int(), 0);
+    EXPECT_EQ(vj->find("solver"), nullptr);
+    EXPECT_EQ(vj->find("mean_mre"), nullptr);
+
+    // The export must survive a dump -> strict-parse round trip in
+    // both compact and pretty form (this is what lands in BENCH files).
+    const std::optional<obs::Json> compact = obs::Json::parse(j2.dump(0));
+    ASSERT_TRUE(compact.has_value());
+    const std::optional<obs::Json> pretty = obs::Json::parse(j2.dump(2));
+    ASSERT_TRUE(pretty.has_value());
+    EXPECT_EQ(pretty->find("methods")->find("fanout")->find("runs")->as_int(),
+              6);
+}
+
 }  // namespace
 }  // namespace tme::engine

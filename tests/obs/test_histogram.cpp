@@ -1,0 +1,139 @@
+// Bucket-indexing, quantile, and merge correctness for the HDR-style
+// latency histogram.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "obs/histogram.hpp"
+
+namespace obs = tme::obs;
+namespace detail = tme::obs::detail;
+
+TEST(HistIndex, ExactUnitBucketsBelowSixteen) {
+    for (std::uint64_t ns = 0; ns < 16; ++ns) {
+        EXPECT_EQ(detail::hist_index(ns), ns);
+        EXPECT_EQ(detail::hist_lower_bound(ns), ns);
+    }
+}
+
+TEST(HistIndex, MonotoneAndWithinBounds) {
+    std::size_t previous = 0;
+    for (std::uint64_t ns = 0; ns < (1u << 20); ns += 7) {
+        const std::size_t idx = detail::hist_index(ns);
+        ASSERT_LT(idx, detail::kHistBuckets);
+        ASSERT_GE(idx, previous);
+        previous = idx;
+    }
+}
+
+TEST(HistIndex, LowerBoundIsInclusiveAndTight) {
+    // Every recorded value must land in a bucket whose lower bound is
+    // <= the value, and the *next* bucket's lower bound must exceed it.
+    std::mt19937_64 rng(42);
+    for (int i = 0; i < 20000; ++i) {
+        const std::uint64_t ns = rng() >> (rng() % 50);
+        const std::size_t idx = detail::hist_index(ns);
+        EXPECT_LE(detail::hist_lower_bound(idx), ns);
+        if (idx + 1 < detail::kHistBuckets) {
+            EXPECT_GT(detail::hist_lower_bound(idx + 1), ns);
+        }
+    }
+}
+
+TEST(HistIndex, RelativeBucketWidthAtMostOneSixteenth) {
+    for (std::size_t idx = 16; idx + 1 < detail::kHistBuckets; ++idx) {
+        const double lo =
+            static_cast<double>(detail::hist_lower_bound(idx));
+        const double hi =
+            static_cast<double>(detail::hist_lower_bound(idx + 1));
+        EXPECT_LE((hi - lo) / lo, 1.0 / 16.0 + 1e-12);
+    }
+}
+
+TEST(LatencyHistogram, CountSumMinMax) {
+    obs::LatencyHistogram h;
+    h.record(0.001);
+    h.record(0.002);
+    h.record(0.004);
+    h.record(-1.0);  // clamps to 0
+    const obs::HistogramSnapshot s = h.snapshot();
+    EXPECT_EQ(s.count, 4u);
+    EXPECT_NEAR(s.sum_seconds, 0.007, 1e-12);
+    EXPECT_EQ(s.min_ns, 0u);
+    EXPECT_EQ(s.max_ns, 4000000u);
+    EXPECT_NEAR(s.max_seconds(), 0.004, 1e-12);
+    EXPECT_NEAR(s.mean_seconds(), 0.00175, 1e-12);
+}
+
+TEST(LatencyHistogram, EmptySnapshotIsAllZero) {
+    const obs::LatencyHistogram h;
+    const obs::HistogramSnapshot s = h.snapshot();
+    EXPECT_EQ(s.count, 0u);
+    EXPECT_EQ(s.min_ns, 0u);
+    EXPECT_EQ(s.max_ns, 0u);
+    EXPECT_EQ(s.quantile(0.5), 0.0);
+    EXPECT_EQ(s.mean_seconds(), 0.0);
+}
+
+TEST(LatencyHistogram, QuantilesResolveToBucketLowerBounds) {
+    obs::LatencyHistogram h;
+    // 100 samples: 1ms x 90, 10ms x 9, 100ms x 1.
+    for (int i = 0; i < 90; ++i) h.record(0.001);
+    for (int i = 0; i < 9; ++i) h.record(0.010);
+    h.record(0.100);
+    const obs::HistogramSnapshot s = h.snapshot();
+    // Each quantile under-reports by at most one bucket width (6.25%).
+    EXPECT_NEAR(s.p50(), 0.001, 0.001 / 16.0);
+    EXPECT_NEAR(s.p95(), 0.010, 0.010 / 16.0);
+    EXPECT_NEAR(s.p99(), 0.010, 0.010 / 16.0);
+    EXPECT_NEAR(s.quantile(1.0), 0.100, 0.100 / 16.0);
+    EXPECT_LE(s.p50(), 0.001);
+    EXPECT_LE(s.p95(), 0.010);
+}
+
+TEST(LatencyHistogram, MergeMatchesCombinedRecording) {
+    obs::LatencyHistogram a;
+    obs::LatencyHistogram b;
+    obs::LatencyHistogram combined;
+    std::mt19937_64 rng(7);
+    std::uniform_real_distribution<double> dist(1e-6, 1e-1);
+    for (int i = 0; i < 1000; ++i) {
+        const double v = dist(rng);
+        ((i % 2 == 0) ? a : b).record(v);
+        combined.record(v);
+    }
+    obs::HistogramSnapshot merged = a.snapshot();
+    merged.merge(b.snapshot());
+    const obs::HistogramSnapshot reference = combined.snapshot();
+    EXPECT_EQ(merged.count, reference.count);
+    EXPECT_NEAR(merged.sum_seconds, reference.sum_seconds, 1e-9);
+    EXPECT_EQ(merged.min_ns, reference.min_ns);
+    EXPECT_EQ(merged.max_ns, reference.max_ns);
+    ASSERT_EQ(merged.buckets.size(), reference.buckets.size());
+    for (std::size_t i = 0; i < merged.buckets.size(); ++i) {
+        EXPECT_EQ(merged.buckets[i], reference.buckets[i]) << "bucket " << i;
+    }
+    EXPECT_EQ(merged.quantile(0.5), reference.quantile(0.5));
+    EXPECT_EQ(merged.quantile(0.99), reference.quantile(0.99));
+}
+
+TEST(LatencyHistogram, MergeIntoEmptyAdoptsOther) {
+    obs::LatencyHistogram a;
+    a.record(0.003);
+    obs::HistogramSnapshot empty;  // default: no bucket vector at all
+    empty.merge(a.snapshot());
+    EXPECT_EQ(empty.count, 1u);
+    EXPECT_EQ(empty.max_ns, 3000000u);
+    EXPECT_GT(empty.quantile(0.5), 0.0);
+}
+
+TEST(LatencyHistogram, CopySnapshotsLiveCells) {
+    obs::LatencyHistogram a;
+    a.record(0.001);
+    obs::LatencyHistogram copy = a;
+    a.record(0.002);
+    EXPECT_EQ(copy.count(), 1u);
+    EXPECT_EQ(a.count(), 2u);
+}

@@ -1,0 +1,173 @@
+// End-to-end trace export validation: a two-scenario fleet run under
+// tracing must produce a Chrome trace_event JSON document that parses,
+// and whose spans nest properly (within each thread, any two spans are
+// either disjoint or one contains the other — the invariant Perfetto
+// relies on to rebuild the stack from "X" complete events).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "engine/fleet.hpp"
+#include "obs/json.hpp"
+#include "obs/trace.hpp"
+#include "scenario/scenario.hpp"
+
+namespace {
+
+using namespace tme;
+
+struct Event {
+    std::string name;
+    double ts = 0.0;
+    double dur = 0.0;
+    double end() const { return ts + dur; }
+};
+
+}  // namespace
+
+TEST(TraceExport, FleetRunProducesBalancedChromeTrace) {
+    if (!obs::tracing_compiled()) {
+        GTEST_SKIP() << "tracing compiled out (TME_TRACING=0)";
+    }
+
+    // Two whole-day scenarios through the fleet driver under tracing.
+    const scenario::Scenario sc1 =
+        scenario::make_scenario(scenario::Network::europe, 1);
+    scenario::Scenario sc2 =
+        scenario::make_scenario(scenario::Network::europe, 2);
+    constexpr std::size_t kSamples = 48;
+    sc2.demands.resize(std::min(sc2.demands.size(), kSamples));
+    sc2.loads.resize(sc2.demands.size());
+    scenario::Scenario sc1_cut = sc1;
+    sc1_cut.demands.resize(std::min(sc1_cut.demands.size(), kSamples));
+    sc1_cut.loads.resize(sc1_cut.demands.size());
+
+    engine::FleetConfig config;
+    config.engine.methods = {engine::Method::gravity,
+                             engine::Method::bayesian,
+                             engine::Method::fanout};
+    config.concurrency = 2;
+    config.cache_capacity = 2;
+    std::vector<engine::FleetJob> jobs(2);
+    jobs[0].name = "trace-a";
+    jobs[0].scenario = &sc1_cut;
+    jobs[1].name = "trace-b";
+    jobs[1].scenario = &sc2;
+
+    obs::Tracer::instance().clear();
+    {
+        obs::ScopedTracing tracing(true);
+        engine::FleetDriver driver(sc1_cut.topo, config);
+        const engine::FleetReport report = driver.run(jobs);
+        ASSERT_EQ(report.jobs.size(), 2u);
+        EXPECT_GT(report.total_windows, 0u);
+    }
+    ASSERT_GT(obs::Tracer::instance().recorded(), 0u);
+
+    const std::string path = ::testing::TempDir() + "tme_fleet_trace.json";
+    ASSERT_TRUE(obs::Tracer::instance().write_chrome_trace(path));
+
+    // The written file must re-parse as strict JSON.
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    const std::optional<obs::Json> doc = obs::Json::parse(buffer.str());
+    ASSERT_TRUE(doc.has_value()) << "trace JSON does not parse";
+    std::remove(path.c_str());
+
+    const obs::Json* events = doc->find("traceEvents");
+    ASSERT_NE(events, nullptr);
+    ASSERT_TRUE(events->is_array());
+    ASSERT_GT(events->size(), 0u);
+
+    // Collect per-thread event lists and sanity-check every record.
+    std::map<std::int64_t, std::vector<Event>> by_tid;
+    bool saw_fleet_job = false;
+    bool saw_ingest = false;
+    bool saw_solver = false;
+    for (const obs::Json& ev : events->items()) {
+        ASSERT_TRUE(ev.is_object());
+        const obs::Json* ph = ev.find("ph");
+        ASSERT_NE(ph, nullptr);
+        EXPECT_EQ(ph->as_string(), "X");
+        const obs::Json* name = ev.find("name");
+        ASSERT_NE(name, nullptr);
+        EXPECT_FALSE(name->as_string().empty());
+        const obs::Json* ts = ev.find("ts");
+        const obs::Json* dur = ev.find("dur");
+        const obs::Json* tid = ev.find("tid");
+        ASSERT_NE(ts, nullptr);
+        ASSERT_NE(dur, nullptr);
+        ASSERT_NE(tid, nullptr);
+        EXPECT_GE(dur->as_double(), 0.0);
+        Event e;
+        e.name = name->as_string();
+        e.ts = ts->as_double();
+        e.dur = dur->as_double();
+        by_tid[tid->as_int()].push_back(std::move(e));
+        if (name->as_string() == "fleet/job") saw_fleet_job = true;
+        if (name->as_string() == "engine/ingest") saw_ingest = true;
+        if (name->as_string().rfind("solver/", 0) == 0) saw_solver = true;
+    }
+    EXPECT_TRUE(saw_fleet_job);
+    EXPECT_TRUE(saw_ingest);
+    EXPECT_TRUE(saw_solver);
+    // Two concurrent jobs => at least two traced threads.
+    EXPECT_GE(by_tid.size(), 2u);
+
+    // Balanced nesting per thread: sorted by start (ties: longest
+    // first), every span either starts after the enclosing span ends
+    // or lies entirely within it.  RAII spans guarantee this in
+    // nanoseconds; microsecond conversion is monotone, so exact
+    // comparisons are safe.
+    for (auto& [tid, list] : by_tid) {
+        std::sort(list.begin(), list.end(),
+                  [](const Event& a, const Event& b) {
+                      if (a.ts != b.ts) return a.ts < b.ts;
+                      return a.dur > b.dur;
+                  });
+        std::vector<const Event*> stack;
+        for (const Event& e : list) {
+            while (!stack.empty() && stack.back()->end() <= e.ts) {
+                stack.pop_back();
+            }
+            if (!stack.empty()) {
+                EXPECT_LE(e.end(), stack.back()->end())
+                    << "span '" << e.name << "' overlaps '"
+                    << stack.back()->name << "' on tid " << tid;
+            }
+            stack.push_back(&e);
+        }
+    }
+}
+
+TEST(TraceExport, DisabledTracerRecordsNothing) {
+    obs::Tracer::instance().clear();
+    ASSERT_FALSE(obs::Tracer::enabled());
+    {
+        obs::Span span("test/should_not_record", "k", 1);
+        EXPECT_FALSE(span.active());
+    }
+    EXPECT_EQ(obs::Tracer::instance().recorded(), 0u);
+}
+
+TEST(TraceExport, ScopedTracingRestoresPreviousState) {
+    ASSERT_FALSE(obs::Tracer::enabled());
+    {
+        obs::ScopedTracing on(true);
+        EXPECT_EQ(obs::Tracer::enabled(), obs::tracing_compiled());
+        {
+            obs::ScopedTracing off(false);
+            EXPECT_FALSE(obs::Tracer::enabled());
+        }
+        EXPECT_EQ(obs::Tracer::enabled(), obs::tracing_compiled());
+    }
+    EXPECT_FALSE(obs::Tracer::enabled());
+}
