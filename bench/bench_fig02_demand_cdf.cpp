@@ -20,7 +20,8 @@ void cdf(const tme::scenario::Scenario& sc) {
         acc += s[i];
         const double frac =
             100.0 * static_cast<double>(i + 1) / static_cast<double>(s.size());
-        while (mi < std::size(marks) && frac >= marks[mi]) {
+        while (mi < std::size(marks) &&
+               frac >= static_cast<double>(marks[mi])) {
             std::printf("%20zu%% %11.1f%%  %s\n", marks[mi],
                         100.0 * acc / total,
                         bench::bar(acc / total, 1.0, 30).c_str());

@@ -1,0 +1,40 @@
+#include "check/contract.hpp"
+
+namespace tme::check {
+
+namespace {
+
+std::string format_message(const char* condition, const char* file, int line,
+                           const std::string& detail) {
+    std::string out = "contract violated: ";
+    out += detail;
+    out += " [";
+    out += condition;
+    out += "] at ";
+    out += file;
+    out += ':';
+    out += std::to_string(line);
+    return out;
+}
+
+}  // namespace
+
+ContractViolation::ContractViolation(const char* condition, const char* file,
+                                     int line, const std::string& detail)
+    : std::logic_error(format_message(condition, file, line, detail)),
+      condition_(condition),
+      file_(file),
+      line_(line) {}
+
+namespace detail {
+
+std::atomic<bool> g_contracts_armed{true};
+
+void raise(const char* condition, const char* file, int line,
+           const std::string& detail) {
+    throw ContractViolation(condition, file, line, detail);
+}
+
+}  // namespace detail
+
+}  // namespace tme::check

@@ -1,0 +1,166 @@
+#include "check/validators.hpp"
+
+#include <cmath>
+#include <string>
+
+namespace tme::check {
+
+namespace {
+
+[[noreturn]] void fail(const char* invariant, const std::string& detail) {
+    // Validators share one raise path so every diagnostic carries the
+    // "contract violated" prefix and the invariant name tests grep for.
+    detail::raise(invariant, __FILE__, __LINE__, detail);
+}
+
+std::string at_index(const char* what, std::size_t i) {
+    return std::string(what) + "[" + std::to_string(i) + "]";
+}
+
+}  // namespace
+
+void csr_structure(const linalg::CsrView& a, const char* what) {
+    const std::string name(what);
+    if (a.rows > 0 && a.offsets == nullptr) {
+        fail("csr_structure", name + ": null offsets array");
+    }
+    if (a.rows == 0) return;
+    if (a.offsets[0] != 0) {
+        fail("csr_structure",
+             name + ": offsets[0] = " + std::to_string(a.offsets[0]) +
+                 ", expected 0");
+    }
+    for (std::size_t i = 0; i < a.rows; ++i) {
+        if (a.offsets[i + 1] < a.offsets[i]) {
+            fail("csr_structure",
+                 name + ": row_ptr not monotone at row " + std::to_string(i) +
+                     " (" + std::to_string(a.offsets[i]) + " -> " +
+                     std::to_string(a.offsets[i + 1]) + ")");
+        }
+        std::size_t prev_col = 0;
+        bool first = true;
+        for (std::size_t k = a.offsets[i]; k < a.offsets[i + 1]; ++k) {
+            const std::size_t col = a.col_index[k];
+            if (col >= a.cols) {
+                fail("csr_structure",
+                     name + ": column index " + std::to_string(col) +
+                         " out of bounds (cols = " + std::to_string(a.cols) +
+                         ") in row " + std::to_string(i));
+            }
+            if (!first && col <= prev_col) {
+                fail("csr_structure",
+                     name + ": column indices not strictly ascending in row " +
+                         std::to_string(i) + " (" + std::to_string(prev_col) +
+                         " then " + std::to_string(col) + ")");
+            }
+            prev_col = col;
+            first = false;
+        }
+    }
+}
+
+void csr_structure(const linalg::SparseMatrix& a, const char* what) {
+    const std::string name(what);
+    if (a.row_offsets().size() != a.rows() + 1) {
+        fail("csr_structure",
+             name + ": offsets size " +
+                 std::to_string(a.row_offsets().size()) + " != rows + 1 = " +
+                 std::to_string(a.rows() + 1));
+    }
+    if (a.row_offsets().back() != a.nonzeros()) {
+        fail("csr_structure",
+             name + ": final offset " +
+                 std::to_string(a.row_offsets().back()) + " != nnz = " +
+                 std::to_string(a.nonzeros()));
+    }
+    if (a.column_indices().size() != a.nonzeros() ||
+        a.values().size() != a.nonzeros()) {
+        fail("csr_structure", name + ": index/value array sizes disagree "
+                                     "with the nonzero count");
+    }
+    csr_structure(a.view(), what);
+}
+
+void finite(const linalg::Vector& v, const char* what) {
+    for (std::size_t i = 0; i < v.size(); ++i) {
+        if (!std::isfinite(v[i])) {
+            fail("finite", at_index(what, i) + " = " + std::to_string(v[i]));
+        }
+    }
+}
+
+void finite(const linalg::Matrix& m, const char* what) {
+    for (std::size_t i = 0; i < m.rows(); ++i) {
+        const double* row = m.row_data(i);
+        for (std::size_t j = 0; j < m.cols(); ++j) {
+            if (!std::isfinite(row[j])) {
+                fail("finite", std::string(what) + "(" + std::to_string(i) +
+                                   "," + std::to_string(j) + ") = " +
+                                   std::to_string(row[j]));
+            }
+        }
+    }
+}
+
+void finite_nonnegative(const linalg::Vector& v, const char* what,
+                        double tolerance) {
+    for (std::size_t i = 0; i < v.size(); ++i) {
+        if (!std::isfinite(v[i])) {
+            fail("finite", at_index(what, i) + " = " + std::to_string(v[i]));
+        }
+        if (v[i] < -tolerance) {
+            fail("nonnegative",
+                 at_index(what, i) + " = " + std::to_string(v[i]) +
+                     " below -tolerance = " + std::to_string(-tolerance));
+        }
+    }
+}
+
+void solver_boundary(const char* solver, const linalg::CsrView& a,
+                     const linalg::Vector& b) {
+    const std::string name(solver);
+    csr_structure(a, solver);
+    if (b.size() != a.rows) {
+        fail("solver_boundary",
+             name + ": rhs size " + std::to_string(b.size()) +
+                 " != operator rows " + std::to_string(a.rows));
+    }
+    finite(b, (name + " rhs").c_str());
+}
+
+void solver_boundary(const char* solver, const linalg::Matrix& gram,
+                     const linalg::Vector& atb) {
+    const std::string name(solver);
+    if (gram.rows() != gram.cols()) {
+        fail("solver_boundary",
+             name + ": Gram not square (" + std::to_string(gram.rows()) +
+                 " x " + std::to_string(gram.cols()) + ")");
+    }
+    if (atb.size() != gram.rows()) {
+        fail("solver_boundary",
+             name + ": rhs size " + std::to_string(atb.size()) +
+                 " != Gram dimension " + std::to_string(gram.rows()));
+    }
+    finite(gram, (name + " Gram").c_str());
+    finite(atb, (name + " rhs").c_str());
+}
+
+void solver_boundary(const char* solver, const linalg::Vector& x,
+                     bool require_nonnegative) {
+    const std::string name = std::string(solver) + " result";
+    if (require_nonnegative) {
+        // Scale-relative slack: active-set iterates are accepted at
+        // solver precision, so a strict 0 would misfire on -1e-18
+        // noise while still catching any genuinely negative demand.
+        double scale = 0.0;
+        for (std::size_t i = 0; i < x.size(); ++i) {
+            const double a = std::abs(x[i]);
+            if (a > scale) scale = a;
+        }
+        finite_nonnegative(x, name.c_str(), 1e-9 * scale);
+    } else {
+        finite(x, name.c_str());
+    }
+}
+
+}  // namespace tme::check

@@ -1,0 +1,56 @@
+// Reusable contract validators for the numerical core.
+//
+// Each validator throws check::ContractViolation with a precise
+// diagnostic (which element, which row, what value) on the first broken
+// invariant and returns normally otherwise.  They are plain functions:
+// call sites gate them behind TME_CONTRACT_CHECK / TME_CONTRACT_DBG_CHECK
+// (check/contract.hpp) so a contracts-off build never evaluates them.
+//
+// All validators are read-only — attaching them to a solver boundary can
+// never perturb an estimate, which is what lets the bench gate
+// contracts-on vs contracts-off runs bitwise.
+#pragma once
+
+#include <cstddef>
+
+#include "check/contract.hpp"
+#include "linalg/matrix.hpp"
+#include "linalg/sparse.hpp"
+#include "linalg/vector_ops.hpp"
+
+namespace tme::check {
+
+/// CSR structural integrity: offsets array monotone non-decreasing with
+/// offsets[0] == 0, every column index in range and strictly ascending
+/// within its row, and the final offset equal to the nonzero count.
+/// `what` names the matrix in the diagnostic ("routing", "sparse Gram").
+void csr_structure(const linalg::CsrView& a, const char* what);
+void csr_structure(const linalg::SparseMatrix& a, const char* what);
+
+/// No NaN/Inf anywhere.  O(n) / O(rows*cols) scan — gate behind the DBG
+/// tier on hot paths.
+void finite(const linalg::Vector& v, const char* what);
+void finite(const linalg::Matrix& m, const char* what);
+
+/// Finite and elementwise >= -tolerance (solver outputs that are
+/// nonnegative by construction: NNLS/QP primal iterates, demand
+/// estimates).
+void finite_nonnegative(const linalg::Vector& v, const char* what,
+                        double tolerance = 0.0);
+
+/// Solver entry boundary, operator form: A well-formed, b finite, and
+/// b.size() == A.rows.
+void solver_boundary(const char* solver, const linalg::CsrView& a,
+                     const linalg::Vector& b);
+
+/// Solver entry boundary, normal-equations form: square Gram with finite
+/// entries and atb.size() == gram.rows().
+void solver_boundary(const char* solver, const linalg::Matrix& gram,
+                     const linalg::Vector& atb);
+
+/// Solver exit boundary: the produced iterate is finite (and nonnegative
+/// when the solver guarantees it).
+void solver_boundary(const char* solver, const linalg::Vector& x,
+                     bool require_nonnegative = false);
+
+}  // namespace tme::check

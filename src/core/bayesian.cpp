@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "check/contract.hpp"
+#include "check/validators.hpp"
 #include "linalg/nnls.hpp"
 
 namespace tme::core {
@@ -18,6 +20,8 @@ linalg::Vector bayesian_estimate(const SnapshotProblem& problem,
         throw std::invalid_argument(
             "bayesian_estimate: regularization must be positive");
     }
+    TME_CONTRACT_DBG_CHECK(
+        check::finite(prior, "bayesian_estimate prior"));
     const double w = 1.0 / options.regularization;  // sigma^{-2}
 
     // Factored path: the MAP normal system G + w I is exactly the
@@ -44,9 +48,14 @@ linalg::Vector bayesian_estimate(const SnapshotProblem& problem,
         qp_options.equality_operator = nullptr;
         qp_options.warm_start = options.warm_start;
         qp_options.counters = options.counters;
-        return linalg::solve_eq_qp_nonneg_factored(
-                   hessian, rhs, linalg::SparseMatrix(), {}, qp_options)
-            .x;
+        linalg::Vector x =
+            linalg::solve_eq_qp_nonneg_factored(
+                hessian, rhs, linalg::SparseMatrix(), {}, qp_options)
+                .x;
+        TME_CONTRACT_DBG_CHECK(check::solver_boundary(
+            "bayesian_estimate (factored)", x,
+            /*require_nonnegative=*/true));
+        return x;
     }
 
     // The prior term only shifts the Gram diagonal, so the solver takes
@@ -73,7 +82,10 @@ linalg::Vector bayesian_estimate(const SnapshotProblem& problem,
     nnls_options.gram_diagonal_shift = w;
     nnls_options.gram_operator = &r;
     nnls_options.counters = options.counters;
-    return linalg::nnls_gram(g, rhs, 0.0, nnls_options).x;
+    linalg::Vector x = linalg::nnls_gram(g, rhs, 0.0, nnls_options).x;
+    TME_CONTRACT_DBG_CHECK(check::solver_boundary(
+        "bayesian_estimate", x, /*require_nonnegative=*/true));
+    return x;
 }
 
 }  // namespace tme::core

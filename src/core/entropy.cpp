@@ -2,6 +2,9 @@
 
 #include <stdexcept>
 
+#include "check/contract.hpp"
+#include "check/validators.hpp"
+
 namespace tme::core {
 
 linalg::Vector entropy_estimate(const SnapshotProblem& problem,
@@ -15,10 +18,16 @@ linalg::Vector entropy_estimate(const SnapshotProblem& problem,
         throw std::invalid_argument(
             "entropy_estimate: regularization must be positive");
     }
+    TME_CONTRACT_DBG_CHECK(
+        check::finite(prior, "entropy_estimate prior"));
     const double w = 1.0 / options.regularization;
-    return linalg::kl_regularized_ls(*problem.routing, problem.loads, prior,
-                                     w, options.solver)
-        .s;
+    linalg::Vector s = linalg::kl_regularized_ls(*problem.routing,
+                                                 problem.loads, prior, w,
+                                                 options.solver)
+                           .s;
+    TME_CONTRACT_DBG_CHECK(check::solver_boundary(
+        "entropy_estimate", s, /*require_nonnegative=*/true));
+    return s;
 }
 
 }  // namespace tme::core

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "check/contract.hpp"
+#include "check/validators.hpp"
 #include "linalg/qp.hpp"
 
 namespace tme::core {
@@ -227,6 +229,9 @@ FanoutResult fanout_estimate(const SeriesProblem& problem,
             v /= static_cast<double>(window);
         }
     }
+    TME_CONTRACT_DBG_CHECK(check::solver_boundary(
+        "fanout_estimate", result.mean_demands,
+        /*require_nonnegative=*/true));
     return result;
 }
 

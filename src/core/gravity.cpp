@@ -2,6 +2,9 @@
 
 #include <stdexcept>
 
+#include "check/contract.hpp"
+#include "check/validators.hpp"
+
 namespace tme::core {
 
 namespace {
@@ -42,6 +45,8 @@ linalg::Vector gravity_estimate(const SnapshotProblem& problem) {
                 et.entering[n] * et.exiting[m] / et.total_exit;
         }
     }
+    TME_CONTRACT_DBG_CHECK(check::solver_boundary(
+        "gravity_estimate", s, /*require_nonnegative=*/true));
     return s;
 }
 
@@ -77,6 +82,8 @@ linalg::Vector generalized_gravity_estimate(const SnapshotProblem& problem) {
                 et.entering[n] * et.exiting[m] / allowed_exit;
         }
     }
+    TME_CONTRACT_DBG_CHECK(check::solver_boundary(
+        "generalized_gravity_estimate", s, /*require_nonnegative=*/true));
     return s;
 }
 

@@ -6,6 +6,9 @@
 #include <stdexcept>
 #include <vector>
 
+#include "check/contract.hpp"
+#include "check/validators.hpp"
+
 namespace tme::core {
 
 namespace {
@@ -123,6 +126,8 @@ KruithofResult kruithof_ipf(std::size_t nodes, const linalg::Vector& prior,
     if (options.counters != nullptr) {
         options.counters->kruithof_sweeps += result.iterations;
     }
+    TME_CONTRACT_DBG_CHECK(check::solver_boundary(
+        "kruithof_ipf", result.s, /*require_nonnegative=*/true));
     return result;
 }
 
@@ -256,6 +261,8 @@ KruithofResult kruithof_general(const SnapshotProblem& problem,
     if (options.counters != nullptr) {
         options.counters->kruithof_sweeps += result.iterations;
     }
+    TME_CONTRACT_DBG_CHECK(check::solver_boundary(
+        "kruithof_general", result.s, /*require_nonnegative=*/true));
     return result;
 }
 

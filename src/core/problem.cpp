@@ -2,6 +2,9 @@
 
 #include <stdexcept>
 
+#include "check/contract.hpp"
+#include "check/validators.hpp"
+
 namespace tme::core {
 
 void SnapshotProblem::validate() const {
@@ -11,6 +14,13 @@ void SnapshotProblem::validate() const {
     if (loads.size() != routing->rows()) {
         throw std::invalid_argument("SnapshotProblem: load vector size");
     }
+    // Every estimator funnels through validate(), so this is the single
+    // entry boundary of the whole method suite: a malformed routing CSR
+    // or a NaN load sample is caught before any solver runs on it.
+    TME_CONTRACT_DBG_CHECK(
+        check::csr_structure(*routing, "SnapshotProblem routing"));
+    TME_CONTRACT_DBG_CHECK(
+        check::finite(loads, "SnapshotProblem loads"));
 }
 
 void SnapshotProblem::validate_with_topology() const {
@@ -36,7 +46,11 @@ void SeriesProblem::validate() const {
         if (t.size() != routing->rows()) {
             throw std::invalid_argument("SeriesProblem: load vector size");
         }
+        TME_CONTRACT_DBG_CHECK(
+            check::finite(t, "SeriesProblem load sample"));
     }
+    TME_CONTRACT_DBG_CHECK(
+        check::csr_structure(*routing, "SeriesProblem routing"));
 }
 
 void SeriesProblem::validate_with_topology() const {

@@ -58,6 +58,10 @@ RouteChangeResult route_change_estimate(
 
     // Accumulate the Gram system of the stacked problem:
     // G = sum_j R_j' R_j, g = sum_j R_j' t_j.
+    // Offline route-change analysis, not the per-window estimation
+    // path: the stacked system is solved once per reconvergence
+    // event and the dense Grams it sums already exist.
+    // lint: allow(dense-alloc)
     linalg::Matrix g(pairs, pairs, 0.0);
     linalg::Vector rhs(pairs, 0.0);
     double btb = 0.0;

@@ -91,6 +91,9 @@ ReducedFactor ReducedFactor::slice(const linalg::Matrix& full_gram,
             throw std::invalid_argument("ReducedFactor::slice: bad index");
         }
     }
+    // k x k over the *unmeasured* pair set only — small by design
+    // (direct measurement covers the heavy hitters).
+    // lint: allow(dense-alloc)
     linalg::Matrix g(k, k, 0.0);
     for (std::size_t i = 0; i < k; ++i) {
         for (std::size_t j = 0; j < k; ++j) {

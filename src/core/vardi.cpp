@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "check/contract.hpp"
+#include "check/validators.hpp"
 #include "linalg/nnls.hpp"
 #include "linalg/stats.hpp"
 
@@ -120,6 +122,8 @@ VardiResult vardi_estimate(const SeriesProblem& problem,
                 columns[cols[k]].push_back({l, vals[k]});
             }
         }
+        // links x links second-moment matrix, not pairs x pairs.
+        // lint: allow(dense-alloc)
         linalg::Matrix m(links, links, 0.0);
         for (std::size_t p = 0; p < pairs; ++p) {
             const double lp = result.lambda[p];
@@ -138,6 +142,8 @@ VardiResult vardi_estimate(const SeriesProblem& problem,
         }
         result.second_moment_residual = std::sqrt(acc);
     }
+    TME_CONTRACT_DBG_CHECK(check::solver_boundary(
+        "vardi_estimate", result.lambda, /*require_nonnegative=*/true));
     return result;
 }
 

@@ -3,6 +3,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "check/contract.hpp"
+#include "check/validators.hpp"
 #include "core/route_change.hpp"
 #include "engine/clock.hpp"
 #include "obs/trace.hpp"
@@ -37,6 +39,10 @@ const linalg::Matrix& RoutingEpoch::gram() const {
         const SteadyClock::time_point start = SteadyClock::now();
         derived_->gram = linalg::gram_sparse(routing_);
         derived_->gram_built = true;
+        // Every estimator sharing this epoch consumes the Gram as-is; a
+        // NaN here (corrupted routing values) poisons all of them.
+        TME_CONTRACT_DBG_CHECK(
+            check::finite(derived_->gram, "epoch dense Gram"));
         record_build(seconds_since(start));
     }
     return derived_->gram;
@@ -58,6 +64,8 @@ const linalg::SparseMatrix& RoutingEpoch::sparse_gram() const {
         const SteadyClock::time_point start = SteadyClock::now();
         derived_->sparse_gram = linalg::gram_sparse_csr(routing_);
         derived_->sparse_gram_built = true;
+        TME_CONTRACT_DBG_CHECK(check::csr_structure(
+            derived_->sparse_gram, "epoch sparse Gram"));
         ++derived_->builds;
         record_build(seconds_since(start));
     }
@@ -86,6 +94,10 @@ const linalg::Matrix& RoutingEpoch::vardi_gram(double weight) const {
     obs::Span span("epoch/build_vardi_gram");
     const SteadyClock::time_point start = SteadyClock::now();
     const std::size_t pairs = g1m.rows();
+    // Vardi's transformed Gram is inherently dense (it maps the already-
+    // built dense Gram elementwise); built lazily at most once per
+    // (epoch, weight), never on the per-window path.
+    // lint: allow(dense-alloc)
     linalg::Matrix g(pairs, pairs, 0.0);
     for (std::size_t p = 0; p < pairs; ++p) {
         const double* __restrict src = g1m.row_data(p);
@@ -96,6 +108,8 @@ const linalg::Matrix& RoutingEpoch::vardi_gram(double weight) const {
             if (g1 != 0.0) dst[q] = g1 + weight * g1 * g1;
         }
     }
+    TME_CONTRACT_DBG_CHECK(
+        check::finite(g, "epoch Vardi transformed Gram"));
     ++derived_->builds;
     record_build(seconds_since(start));
     return derived_->vardi_by_weight.emplace(weight, std::move(g))
@@ -119,6 +133,9 @@ const core::FanoutConstraints& RoutingEpoch::fanout_constraints(
         const SteadyClock::time_point start = SteadyClock::now();
         derived_->fanout = core::FanoutConstraints::build(topo);
         derived_->fanout_built = true;
+        TME_CONTRACT_DBG_CHECK(check::csr_structure(
+            derived_->fanout.equality_sparse,
+            "epoch fanout equality constraints"));
         ++derived_->builds;
         record_build(seconds_since(start));
     }
@@ -192,21 +209,21 @@ std::shared_ptr<const RoutingEpoch> RoutingEpochCache::acquire_shared(
         if ((*it)->rows() != routing.rows() ||
             (*it)->cols() != routing.cols() ||
             (*it)->nonzeros() != routing.nonzeros()) {
-            ++collisions_;
+            collisions_.fetch_add(1, std::memory_order_relaxed);
             continue;
         }
-        ++hits_;
+        hits_.fetch_add(1, std::memory_order_relaxed);
         span.arg("hit", 1);
         entries_.splice(entries_.begin(), entries_, it);
         return entries_.front();
     }
-    ++misses_;
+    misses_.fetch_add(1, std::memory_order_relaxed);
     span.arg("hit", 0);
     entries_.push_front(std::make_shared<RoutingEpoch>(
         fp, ++next_serial_, routing, build_latency_));
     while (entries_.size() > capacity_) {
         entries_.pop_back();  // pinned holders keep the epoch alive
-        ++evictions_;
+        evictions_.fetch_add(1, std::memory_order_relaxed);
     }
     return entries_.front();
 }

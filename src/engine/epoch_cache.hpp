@@ -198,11 +198,19 @@ class RoutingEpochCache {
 
     std::size_t capacity() const { return capacity_; }
     std::size_t size() const;
-    std::size_t hits() const { return hits_.load(); }
-    std::size_t misses() const { return misses_.load(); }
-    std::size_t evictions() const { return evictions_.load(); }
+    std::size_t hits() const {
+        return hits_.load(std::memory_order_relaxed);
+    }
+    std::size_t misses() const {
+        return misses_.load(std::memory_order_relaxed);
+    }
+    std::size_t evictions() const {
+        return evictions_.load(std::memory_order_relaxed);
+    }
     /// Fingerprint hits rejected by the structural-identity check.
-    std::size_t collisions() const { return collisions_.load(); }
+    std::size_t collisions() const {
+        return collisions_.load(std::memory_order_relaxed);
+    }
 
     /// Derived-data build times across every epoch this cache created
     /// (a shared cache aggregates the whole fleet's builds).

@@ -4,6 +4,8 @@
 #include <optional>
 #include <utility>
 
+#include "check/contract.hpp"
+#include "check/validators.hpp"
 #include "core/gravity.hpp"
 #include "engine/clock.hpp"
 #include "obs/trace.hpp"
@@ -81,6 +83,15 @@ WindowContext WindowContext::capture(
     if (window.empty()) {
         throw std::logic_error("WindowContext::capture: empty window");
     }
+    // The snapshot must be built against the epoch it pins: a stale or
+    // mismatched epoch would hand every method of this window derived
+    // data (Gram, constraints) for a different routing matrix.
+    TME_CONTRACT(epoch != nullptr, "WindowContext::capture: null epoch");
+    TME_CONTRACT(epoch->rows() == window.series().routing->rows() &&
+                     epoch->cols() == window.series().routing->cols() &&
+                     epoch->nonzeros() == window.series().routing->nonzeros(),
+                 "WindowContext::capture: pinned epoch does not match the "
+                 "window's routing matrix");
     obs::Span span("window/capture", "ordinal",
                    static_cast<long long>(ordinal));
     WindowContext ctx;
@@ -124,6 +135,20 @@ WindowContext WindowContext::capture(
         ctx.source_outer = window.source_outer();
         ctx.weighted_rhs = window.weighted_rhs();
     }
+    // Exit boundary: the materialized aggregates are consumed by every
+    // method of this window — a NaN from a downdate gone wrong (or an
+    // interpolated gap sample) must be caught here, not three solvers
+    // later.
+    TME_CONTRACT_DBG_CHECK(
+        check::finite(ctx.mean_loads, "window capture mean_loads"));
+    TME_CONTRACT_DBG_CHECK(
+        check::finite(ctx.covariance, "window capture covariance"));
+    TME_CONTRACT_DBG_CHECK(
+        check::finite(ctx.source_outer, "window capture source_outer"));
+    TME_CONTRACT_DBG_CHECK(
+        check::finite(ctx.weighted_rhs, "window capture weighted_rhs"));
+    TME_CONTRACT_DBG_CHECK(
+        check::finite(ctx.prior, "window capture gravity prior"));
     return ctx;
 }
 

@@ -29,8 +29,11 @@ SlidingWindow::SlidingWindow(const topology::Topology* topo,
     const std::size_t pairs = routing->cols();
     sum_loads_.assign(links, 0.0);
     if (track_moments_) {
+        // links x links load covariance: L ~ O(hundreds), not O(P^2).
+        // lint: allow(dense-alloc)
         sum_outer_ = linalg::Matrix(links, links, 0.0);
     }
+    // nodes x nodes source moments: N PoPs, tiny.  lint: allow(dense-alloc)
     source_outer_ = linalg::Matrix(nodes, nodes, 0.0);
     weighted_rhs_.assign(pairs, 0.0);
 }
@@ -182,6 +185,7 @@ linalg::Matrix SlidingWindow::covariance() const {
     for (std::size_t l = 0; l < links; ++l) {
         dbar[l] = sum_loads_[l] * inv_k - anchor_[l];
     }
+    // links x links covariance: link count, not pair count.  lint: allow(dense-alloc)
     linalg::Matrix cov(links, links, 0.0);
     for (std::size_t l = 0; l < links; ++l) {
         for (std::size_t m = 0; m < links; ++m) {

@@ -3,6 +3,9 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "check/contract.hpp"
+#include "check/validators.hpp"
+
 namespace tme::linalg {
 
 namespace {
@@ -133,6 +136,9 @@ Cholesky::Cholesky(const Matrix& a, double jitter) {
     if (a.rows() != a.cols()) {
         throw std::invalid_argument("Cholesky: matrix must be square");
     }
+    // A NaN/Inf input would fail factorization with a misleading
+    // "not positive definite"; name the real problem first.
+    TME_CONTRACT_DBG_CHECK(check::finite(a, "Cholesky input"));
     l_ = factorize(a, jitter);
     if (l_.empty() && a.rows() > 0) {
         throw std::runtime_error("Cholesky: matrix not positive definite");

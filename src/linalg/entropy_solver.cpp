@@ -4,6 +4,9 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "check/contract.hpp"
+#include "check/validators.hpp"
+
 namespace tme::linalg {
 
 double generalized_kl(const Vector& s, const Vector& p) {
@@ -53,6 +56,10 @@ EntropySolverResult kl_regularized_ls(const SparseMatrix& a, const Vector& b,
     if (w < 0.0) {
         throw std::invalid_argument("kl_regularized_ls: w must be >= 0");
     }
+    TME_CONTRACT_DBG_CHECK(
+        check::solver_boundary("kl_regularized_ls", a.view(), b));
+    TME_CONTRACT_DBG_CHECK(
+        check::finite(prior, "kl_regularized_ls prior"));
 
     // Clamp the prior away from zero so log(s/p) stays finite.
     Vector p = prior;
@@ -164,6 +171,8 @@ EntropySolverResult kl_regularized_ls(const SparseMatrix& a, const Vector& b,
         options.counters->entropy_iterations += result.iterations;
         options.counters->entropy_armijo_probes += armijo_probes;
     }
+    TME_CONTRACT_DBG_CHECK(check::solver_boundary(
+        "kl_regularized_ls", result.s, /*require_nonnegative=*/true));
     return result;
 }
 

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "check/contract.hpp"
+#include "check/validators.hpp"
 #include "linalg/cholesky.hpp"
 
 namespace tme::linalg {
@@ -140,6 +142,12 @@ NnlsResult nnls_gram(const Matrix& gram_matrix, const Vector& atb, double btb,
     const std::size_t n = atb.size();
     if (gram_matrix.rows() != n || gram_matrix.cols() != n) {
         throw std::invalid_argument("nnls_gram: dimension mismatch");
+    }
+    TME_CONTRACT_DBG_CHECK(
+        check::solver_boundary("nnls_gram", gram_matrix, atb));
+    if (options.gram_operator != nullptr) {
+        TME_CONTRACT_DBG_CHECK(check::csr_structure(
+            *options.gram_operator, "nnls_gram gram_operator"));
     }
     if (options.gram_operator != nullptr &&
         options.gram_operator->cols() != n) {
@@ -315,6 +323,8 @@ NnlsResult nnls_gram(const Matrix& gram_matrix, const Vector& atb, double btb,
     if (options.counters != nullptr) {
         options.counters->nnls_pivots += result.iterations;
     }
+    TME_CONTRACT_DBG_CHECK(check::solver_boundary(
+        "nnls_gram", result.x, /*require_nonnegative=*/true));
     return result;
 }
 

@@ -6,6 +6,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "check/contract.hpp"
+#include "check/validators.hpp"
 #include "linalg/cholesky.hpp"
 #include "linalg/lu.hpp"
 
@@ -56,6 +58,13 @@ EqQpNonnegResult solve_eq_qp_nonneg(const Matrix& h, const Vector& f,
         throw std::invalid_argument(
             "solve_eq_qp_nonneg: equality_operator dimensions do not "
             "match e");
+    }
+    TME_CONTRACT_DBG_CHECK(
+        check::solver_boundary("solve_eq_qp_nonneg", h, f));
+    TME_CONTRACT_DBG_CHECK(check::finite(d, "solve_eq_qp_nonneg d"));
+    if (eop != nullptr) {
+        TME_CONTRACT_DBG_CHECK(check::csr_structure(
+            *eop, "solve_eq_qp_nonneg equality_operator"));
     }
     // Active-set on the non-negativity constraints over exact KKT solves
     // of the equality-constrained subproblem (free variables only).  A
@@ -311,6 +320,8 @@ EqQpNonnegResult solve_eq_qp_nonneg(const Matrix& h, const Vector& f,
     if (options.counters != nullptr) {
         options.counters->qp_active_set_rounds += result.iterations;
     }
+    TME_CONTRACT_DBG_CHECK(
+        check::solver_boundary("solve_eq_qp_nonneg", result.x));
     return result;
 }
 
@@ -619,6 +630,22 @@ EqQpNonnegResult solve_eq_qp_nonneg_factored(
     if (hf.diagonal != nullptr && hf.diagonal->size() != n) {
         throw std::invalid_argument(
             "solve_eq_qp_nonneg_factored: diagonal size mismatch");
+    }
+    TME_CONTRACT_DBG_CHECK(check::csr_structure(
+        h, "solve_eq_qp_nonneg_factored Hessian"));
+    // m == 0 means "no equality constraints": a default-constructed
+    // SparseMatrix with no offsets array, not a malformed CSR.
+    if (m > 0) {
+        TME_CONTRACT_DBG_CHECK(check::csr_structure(
+            e, "solve_eq_qp_nonneg_factored equality operator"));
+    }
+    TME_CONTRACT_DBG_CHECK(
+        check::finite(f, "solve_eq_qp_nonneg_factored f"));
+    TME_CONTRACT_DBG_CHECK(
+        check::finite(d, "solve_eq_qp_nonneg_factored d"));
+    if (hf.diagonal != nullptr) {
+        TME_CONTRACT_DBG_CHECK(check::finite(
+            *hf.diagonal, "solve_eq_qp_nonneg_factored added diagonal"));
     }
     const CsrView ev = e.view();
 
@@ -981,6 +1008,8 @@ EqQpNonnegResult solve_eq_qp_nonneg_factored(
         options.counters->qp_active_set_rounds += result.iterations;
         options.counters->qp_cg_iterations += result.cg_iterations;
     }
+    TME_CONTRACT_DBG_CHECK(
+        check::solver_boundary("solve_eq_qp_nonneg_factored", result.x));
     return result;
 }
 

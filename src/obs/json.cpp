@@ -58,6 +58,23 @@ void append_double(std::string& out, double v) {
 struct Parser {
     std::string_view text;
     std::size_t pos = 0;
+    int depth = 0;
+
+    /// Nesting bound: the parser is recursive-descent, so untrusted
+    /// input like "[[[[..." otherwise converts directly into stack
+    /// exhaustion.  Telemetry documents nest a handful of levels; 96
+    /// is far above any legitimate artifact and far below the stack.
+    static constexpr int kMaxDepth = 96;
+
+    struct DepthGuard {
+        Parser* p;
+        bool ok;
+        explicit DepthGuard(Parser* parser)
+            : p(parser), ok(++parser->depth <= kMaxDepth) {}
+        ~DepthGuard() { --p->depth; }
+        DepthGuard(const DepthGuard&) = delete;
+        DepthGuard& operator=(const DepthGuard&) = delete;
+    };
 
     void skip_ws() {
         while (pos < text.size() &&
@@ -104,6 +121,8 @@ struct Parser {
     }
 
     std::optional<Json> object() {
+        const DepthGuard guard(this);
+        if (!guard.ok) return std::nullopt;
         if (!consume('{')) return std::nullopt;
         Json obj = Json::object();
         skip_ws();
@@ -125,6 +144,8 @@ struct Parser {
     }
 
     std::optional<Json> array() {
+        const DepthGuard guard(this);
+        if (!guard.ok) return std::nullopt;
         if (!consume('[')) return std::nullopt;
         Json arr = Json::array();
         skip_ws();
@@ -140,16 +161,106 @@ struct Parser {
         }
     }
 
+    /// One 4-hex-digit escape payload; std::nullopt on truncation or a
+    /// non-hex digit.  Surrogate pairing happens in the caller.
+    std::optional<unsigned> hex4() {
+        if (pos + 4 > text.size()) return std::nullopt;
+        unsigned code = 0;
+        for (int i = 0; i < 4; ++i) {
+            const char h = text[pos++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+                code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+                code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+                code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+                return std::nullopt;
+            }
+        }
+        return code;
+    }
+
+    static void utf8_encode(std::string& out, unsigned code) {
+        if (code < 0x80) {
+            out += static_cast<char>(code);
+        } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+        } else if (code < 0x10000) {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+        } else {
+            out += static_cast<char>(0xF0 | (code >> 18));
+            out += static_cast<char>(0x80 | ((code >> 12) & 0x3F));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+        }
+    }
+
+    /// Copies one raw (non-escape) UTF-8 sequence starting at text[pos]
+    /// into `out`, validating length, continuation bytes, shortest
+    /// form, and the code-point range.  False on any malformed byte —
+    /// a truncated multi-byte tail or stray 0x80..0xFF must fail the
+    /// parse, not smuggle invalid bytes into re-exported artifacts.
+    bool copy_utf8(std::string& out) {
+        const unsigned char b0 = static_cast<unsigned char>(text[pos]);
+        std::size_t len = 0;
+        unsigned code = 0;
+        if (b0 < 0x80) {
+            len = 1;
+            code = b0;
+        } else if ((b0 & 0xE0) == 0xC0) {
+            len = 2;
+            code = b0 & 0x1Fu;
+        } else if ((b0 & 0xF0) == 0xE0) {
+            len = 3;
+            code = b0 & 0x0Fu;
+        } else if ((b0 & 0xF8) == 0xF0) {
+            len = 4;
+            code = b0 & 0x07u;
+        } else {
+            return false;  // continuation byte or 0xF8+: never a lead
+        }
+        if (pos + len > text.size()) return false;
+        for (std::size_t i = 1; i < len; ++i) {
+            const unsigned char b = static_cast<unsigned char>(
+                text[pos + i]);
+            if ((b & 0xC0) != 0x80) return false;
+            code = (code << 6) | (b & 0x3Fu);
+        }
+        static constexpr unsigned kMinForLen[5] = {0, 0, 0x80, 0x800,
+                                                   0x10000};
+        if (len > 1 && code < kMinForLen[len]) return false;  // overlong
+        if (code > 0x10FFFF) return false;
+        if (code >= 0xD800 && code <= 0xDFFF) return false;  // surrogate
+        out.append(text.substr(pos, len));
+        pos += len;
+        return true;
+    }
+
     std::optional<std::string> string() {
         if (!consume('"')) return std::nullopt;
         std::string out;
         while (!eof()) {
-            const char c = text[pos++];
-            if (c == '"') return out;
+            const char c = text[pos];
+            if (c == '"') {
+                ++pos;
+                return out;
+            }
+            if (static_cast<unsigned char>(c) < 0x20) {
+                // Raw control bytes (including newlines) must be
+                // escaped per RFC 8259; accepting them corrupts
+                // line-oriented artifact processing downstream.
+                return std::nullopt;
+            }
             if (c != '\\') {
-                out += c;
+                if (!copy_utf8(out)) return std::nullopt;
                 continue;
             }
+            ++pos;
             if (eof()) return std::nullopt;
             const char esc = text[pos++];
             switch (esc) {
@@ -162,40 +273,34 @@ struct Parser {
                 case 'r': out += '\r'; break;
                 case 't': out += '\t'; break;
                 case 'u': {
-                    if (pos + 4 > text.size()) return std::nullopt;
-                    unsigned code = 0;
-                    for (int i = 0; i < 4; ++i) {
-                        const char h = text[pos++];
-                        code <<= 4;
-                        if (h >= '0' && h <= '9') {
-                            code |= static_cast<unsigned>(h - '0');
-                        } else if (h >= 'a' && h <= 'f') {
-                            code |= static_cast<unsigned>(h - 'a' + 10);
-                        } else if (h >= 'A' && h <= 'F') {
-                            code |= static_cast<unsigned>(h - 'A' + 10);
-                        } else {
+                    std::optional<unsigned> code = hex4();
+                    if (!code) return std::nullopt;
+                    unsigned cp = *code;
+                    if (cp >= 0xDC00 && cp <= 0xDFFF) {
+                        return std::nullopt;  // lone low surrogate
+                    }
+                    if (cp >= 0xD800 && cp <= 0xDBFF) {
+                        // High surrogate: a \uDC00..\uDFFF low half
+                        // must follow, combining to one code point.
+                        if (pos + 2 > text.size() || text[pos] != '\\' ||
+                            text[pos + 1] != 'u') {
                             return std::nullopt;
                         }
+                        pos += 2;
+                        std::optional<unsigned> low = hex4();
+                        if (!low || *low < 0xDC00 || *low > 0xDFFF) {
+                            return std::nullopt;
+                        }
+                        cp = 0x10000 + ((cp - 0xD800) << 10) +
+                             (*low - 0xDC00);
                     }
-                    // UTF-8 encode (surrogate pairs unsupported; the
-                    // exporter never emits them).
-                    if (code < 0x80) {
-                        out += static_cast<char>(code);
-                    } else if (code < 0x800) {
-                        out += static_cast<char>(0xC0 | (code >> 6));
-                        out += static_cast<char>(0x80 | (code & 0x3F));
-                    } else {
-                        out += static_cast<char>(0xE0 | (code >> 12));
-                        out += static_cast<char>(0x80 |
-                                                 ((code >> 6) & 0x3F));
-                        out += static_cast<char>(0x80 | (code & 0x3F));
-                    }
+                    utf8_encode(out, cp);
                     break;
                 }
                 default: return std::nullopt;
             }
         }
-        return std::nullopt;
+        return std::nullopt;  // unterminated string
     }
 
     std::optional<Json> number() {

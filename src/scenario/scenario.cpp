@@ -59,6 +59,7 @@ linalg::Vector project_rowspace(const linalg::SparseMatrix& r,
     const std::size_t links = r.rows();
     // RR' assembled densely (links x links; at most 284 here).
     const linalg::Matrix dense = r.to_dense();
+    // lint: allow(dense-alloc) — links x links, bounded by the comment above
     linalg::Matrix rrt(links, links, 0.0);
     for (std::size_t i = 0; i < links; ++i) {
         for (std::size_t j = i; j < links; ++j) {

@@ -59,7 +59,7 @@ TEST(EngineMetricsStress, ConcurrentReadersSeeMonotonicUntornCounters) {
             EXPECT_GE(it->second.total_seconds.load(), 0.0);
             // summary() walks everything; it must be safe mid-stream.
             EXPECT_FALSE(snap.summary().empty());
-            ++reads;
+            reads.fetch_add(1, std::memory_order_relaxed);
         }
     };
 
@@ -70,7 +70,7 @@ TEST(EngineMetricsStress, ConcurrentReadersSeeMonotonicUntornCounters) {
     for (std::thread& t : readers) t.join();
 
     EXPECT_EQ(result.windows.size(), kSamples);
-    EXPECT_GT(reads.load(), 0u);
+    EXPECT_GT(reads.load(std::memory_order_relaxed), 0u);
     EXPECT_EQ(live.samples_ingested.load(), kSamples);
     EXPECT_EQ(live.windows_run.load(), kSamples);
     EXPECT_EQ(live.methods.at(Method::bayesian).runs.load(), kSamples);

@@ -169,8 +169,8 @@ TEST_P(ScenarioTest, DeterministicForFixedSeed) {
 
 INSTANTIATE_TEST_SUITE_P(Networks, ScenarioTest,
                          ::testing::Values(Network::europe, Network::usa),
-                         [](const auto& info) {
-                             return info.param == Network::europe
+                         [](const auto& param_info) {
+                             return param_info.param == Network::europe
                                         ? "Europe"
                                         : "USA";
                          });

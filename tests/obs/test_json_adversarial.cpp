@@ -1,0 +1,123 @@
+// Adversarial inputs for obs::Json::parse.  The strict parser runs on
+// CI-artifact round-trips (trace exports, metrics JSON), so a crash or
+// a silently-accepted malformed document wedges or corrupts the bench
+// lane.  Every case here must come back std::nullopt — never crash,
+// never accept — and the accept table pins the valid forms that
+// hardening must not break.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <string>
+
+#include "obs/json.hpp"
+
+namespace {
+
+using tme::obs::Json;
+
+struct RejectCase {
+    const char* label;
+    std::string input;
+};
+
+std::string nested(std::size_t depth, char open, char close) {
+    std::string s(depth, open);
+    s.append(depth, close);
+    return s;
+}
+
+TEST(JsonAdversarial, MalformedInputsAreRejectedNotCrashed) {
+    const RejectCase cases[] = {
+        {"empty", ""},
+        {"ws only", "   \n\t  "},
+        {"deep array nesting", std::string(100000, '[')},
+        {"deep closed array nesting", nested(5000, '[', ']')},
+        {"deep object nesting",
+         [] {
+             std::string s;
+             for (int i = 0; i < 5000; ++i) s += "{\"k\":";
+             s += "0";
+             for (int i = 0; i < 5000; ++i) s += "}";
+             return s;
+         }()},
+        {"truncated string", "\"abc"},
+        {"truncated escape", "\"abc\\"},
+        {"bad escape letter", "\"\\q\""},
+        {"truncated unicode escape", "\"\\u12\""},
+        {"non-hex unicode escape", "\"\\u12G4\""},
+        {"lone high surrogate", "\"\\uD834\""},
+        {"lone low surrogate", "\"\\uDD1E\""},
+        {"high surrogate then text", "\"\\uD834x\""},
+        {"high surrogate then bad low", "\"\\uD834\\u0041\""},
+        {"raw newline in string", "\"a\nb\""},
+        {"raw tab in string", "\"a\tb\""},
+        {"raw NUL in string", std::string("\"a\0b\"", 5)},
+        {"stray continuation byte", "\"a\x80" "b\""},
+        {"invalid lead byte 0xFF", "\"a\xFF" "b\""},
+        {"truncated 2-byte utf8", "\"\xC3\""},
+        {"truncated 3-byte utf8", "\"\xE2\x82\""},
+        {"overlong utf8 slash", "\"\xC0\xAF\""},
+        {"utf8 encoded surrogate", "\"\xED\xA0\x80\""},
+        {"utf8 beyond U+10FFFF", "\"\xF4\x90\x80\x80\""},
+        {"bare word", "tru"},
+        {"trailing garbage", "{} x"},
+        {"unclosed object", "{\"a\": 1"},
+        {"missing colon", "{\"a\" 1}"},
+        {"missing value", "{\"a\":}"},
+        {"trailing comma array", "[1, 2,]"},
+        {"trailing comma object", "{\"a\":1,}"},
+        {"unquoted key", "{a: 1}"},
+        {"double sign number", "--1"},
+        {"number then junk", "1.2.3"},
+        {"huge number token",
+         "1" + std::string(100, '0') + std::string(60, '0') + "e"},
+    };
+    for (const RejectCase& c : cases) {
+        const std::optional<Json> parsed = Json::parse(c.input);
+        EXPECT_FALSE(parsed.has_value()) << "accepted: " << c.label;
+    }
+}
+
+TEST(JsonAdversarial, ValidInputsStillAccepted) {
+    // The hardening must not reject well-formed documents.
+    EXPECT_TRUE(Json::parse("{}").has_value());
+    EXPECT_TRUE(Json::parse("[]").has_value());
+    EXPECT_TRUE(Json::parse("null").has_value());
+    EXPECT_TRUE(Json::parse("-12.5e-3").has_value());
+    EXPECT_TRUE(Json::parse(nested(90, '[', ']')).has_value());
+    EXPECT_FALSE(Json::parse(nested(97, '[', ']')).has_value());
+
+    // Escaped control characters, the escaped-quote family, and BMP
+    // escapes round-trip.
+    const std::optional<Json> s =
+        Json::parse("\"a\\n\\t\\\"\\\\b\\u00e9\"");
+    ASSERT_TRUE(s.has_value());
+    EXPECT_EQ(s->as_string(), "a\n\t\"\\b\xC3\xA9");
+
+    // A surrogate pair combines into one non-BMP code point
+    // (U+1D11E MUSICAL SYMBOL G CLEF -> 4-byte UTF-8).
+    const std::optional<Json> clef = Json::parse("\"\\uD834\\uDD1E\"");
+    ASSERT_TRUE(clef.has_value());
+    EXPECT_EQ(clef->as_string(), "\xF0\x9D\x84\x9E");
+
+    // Raw multi-byte UTF-8 passes through byte-identical.
+    const std::optional<Json> raw = Json::parse("\"caf\xC3\xA9\"");
+    ASSERT_TRUE(raw.has_value());
+    EXPECT_EQ(raw->as_string(), "caf\xC3\xA9");
+
+    // Document-shaped input typical of the artifact round-trip.
+    const std::optional<Json> doc = Json::parse(
+        "{\"metrics\": {\"runs\": 10, \"p99\": 0.0031},"
+        " \"methods\": [\"gravity\", \"fanout\"], \"ok\": true}");
+    ASSERT_TRUE(doc.has_value());
+    EXPECT_EQ(doc->find("metrics")->find("runs")->as_int(), 10);
+
+    // Round-trip: dump() of a parsed document re-parses to the same
+    // dump (the property the CI artifact checks rely on).
+    const std::string dumped = doc->dump();
+    const std::optional<Json> again = Json::parse(dumped);
+    ASSERT_TRUE(again.has_value());
+    EXPECT_EQ(again->dump(), dumped);
+}
+
+}  // namespace
