@@ -163,4 +163,31 @@ void solver_boundary(const char* solver, const linalg::Vector& x,
     }
 }
 
+void snapshot_structure(std::uint64_t version, std::size_t window_start,
+                        std::size_t window_end,
+                        const std::vector<std::size_t>& estimate_lengths,
+                        const char* what) {
+    const std::string name(what);
+    if (version == 0) {
+        fail("snapshot_structure",
+             name + ": publication version must be nonzero");
+    }
+    if (window_start > window_end) {
+        fail("snapshot_structure",
+             name + ": window bounds out of order (" +
+                 std::to_string(window_start) + " > " +
+                 std::to_string(window_end) + ")");
+    }
+    for (std::size_t i = 1; i < estimate_lengths.size(); ++i) {
+        if (estimate_lengths[i] != estimate_lengths[0]) {
+            fail("snapshot_structure",
+                 name + ": method " + std::to_string(i) +
+                     " estimate length " +
+                     std::to_string(estimate_lengths[i]) +
+                     " != method 0 length " +
+                     std::to_string(estimate_lengths[0]));
+        }
+    }
+}
+
 }  // namespace tme::check

@@ -12,6 +12,8 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <vector>
 
 #include "check/contract.hpp"
 #include "linalg/matrix.hpp"
@@ -52,5 +54,15 @@ void solver_boundary(const char* solver, const linalg::Matrix& gram,
 /// when the solver guarantees it).
 void solver_boundary(const char* solver, const linalg::Vector& x,
                      bool require_nonnegative = false);
+
+/// Published-snapshot structural integrity (serving layer): a nonzero
+/// publication version, ordered window bounds, and uniform estimate
+/// lengths across every served method — the shape invariants the
+/// lock-free read path's torn-read checks assume.  `estimate_lengths`
+/// holds each method's estimate size in method order.
+void snapshot_structure(std::uint64_t version, std::size_t window_start,
+                        std::size_t window_end,
+                        const std::vector<std::size_t>& estimate_lengths,
+                        const char* what);
 
 }  // namespace tme::check

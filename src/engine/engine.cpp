@@ -161,6 +161,7 @@ WindowResult OnlineEngine::ingest(std::size_t sample, linalg::Vector loads,
             ++stats.mre_count;
         }
     }
+    if (sink_) sink_(result);
     return result;
 }
 

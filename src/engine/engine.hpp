@@ -96,6 +96,13 @@ class OnlineEngine {
     /// The currently attached truth provider (empty when detached).
     const TruthProvider& truth() const { return truth_; }
 
+    /// Attaches a window-completion sink, invoked at the end of every
+    /// ingest with the finished (scored) WindowResult — after metrics
+    /// accumulation, before ingest returns.  Pass an empty function to
+    /// detach.  A sink exception propagates out of ingest.
+    void set_window_sink(WindowSink sink) { sink_ = std::move(sink); }
+    const WindowSink& window_sink() const { return sink_; }
+
     /// Records time a feeder spent waiting for samples (async replay's
     /// consumer blocking on the ingest queue) / stalled pushing into a
     /// full queue.  Exposed so feed loops outside the engine can land
@@ -140,6 +147,7 @@ class OnlineEngine {
     EstimatorScheduler scheduler_;
     EngineMetrics metrics_;
     TruthProvider truth_;
+    WindowSink sink_;
     std::uint64_t window_epoch_ = 0;         ///< fingerprint (reporting)
     std::uint64_t window_epoch_serial_ = 0;  ///< cache-unique identity
     /// Structure of the bound epoch's routing, so a shared cache's

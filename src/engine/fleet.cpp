@@ -70,15 +70,18 @@ void FleetDriver::run_job(const FleetJob& job, FleetJobReport& report,
         if (piped.threads == 0) piped.threads = 2;
         PipelinedEngine engine(sc.topo, sc.routing, piped, pipeline,
                                cache_);
+        if (job.window_sink) engine.set_window_sink(job.window_sink);
         replay = replay_scenario(engine, sc, job.replay);
         report.metrics = engine.metrics();
     } else if (config_.async_ingest) {
         OnlineEngine engine(sc.topo, sc.routing, cfg, cache_);
+        if (job.window_sink) engine.set_window_sink(job.window_sink);
         replay = replay_scenario_async(engine, sc, job.replay,
                                        config_.ingest_queue_capacity);
         report.metrics = engine.metrics();
     } else {
         OnlineEngine engine(sc.topo, sc.routing, cfg, cache_);
+        if (job.window_sink) engine.set_window_sink(job.window_sink);
         replay = replay_scenario(engine, sc, job.replay);
         report.metrics = engine.metrics();
     }

@@ -34,6 +34,13 @@ struct FleetJob {
     ReplayOptions replay;
     /// Per-job engine configuration; nullopt uses FleetConfig::engine.
     std::optional<EngineConfig> engine;
+    /// Window-completion sink installed on this job's engine (all three
+    /// drive modes).  Called from the job's worker thread, one window
+    /// at a time, in submission order — a serving-layer publisher
+    /// (serve::make_publisher) slots in directly.  Jobs never share an
+    /// engine, so per-job sinks need no cross-job synchronization, but
+    /// one sink attached to several jobs must be thread-safe.
+    WindowSink window_sink;
 };
 
 struct FleetConfig {

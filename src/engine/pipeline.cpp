@@ -29,6 +29,7 @@ struct PipelinedEngine::WindowJob {
     std::vector<std::optional<MethodRun>> runs;  // per methods_ index
     std::atomic<std::size_t> remaining{0};
     WindowResult result;  ///< assembled by finalize()
+    bool done = false;    ///< finalized (guarded by state_mutex_)
 };
 
 /// Per-method execution lane.  Stages for one method run strictly in
@@ -346,10 +347,49 @@ void PipelinedEngine::finalize(WindowJob& job) {
     metrics_.window_latency.record(result.seconds);
     {
         std::lock_guard<std::mutex> lock(state_mutex_);
-        ++completed_;
-        --in_flight_;
+        job.done = true;
     }
-    state_cv_.notify_all();
+    flush_completed();
+}
+
+void PipelinedEngine::flush_completed() {
+    // Methods finish when they finish, so finalize() runs out of
+    // submission order — but the window-sink contract is strictly
+    // ordered.  The publish mutex admits one flusher at a time; it
+    // walks the submission-order cursor over every consecutively-done
+    // window (its own and any predecessors-completed-later it
+    // unblocked), invokes the sink outside state_mutex_, and only then
+    // counts the window completed, so finish()/~PipelinedEngine cannot
+    // return while a sink call is still running.
+    std::lock_guard<std::mutex> publish_lock(publish_mutex_);
+    while (true) {
+        std::shared_ptr<WindowJob> job;
+        {
+            std::lock_guard<std::mutex> lock(state_mutex_);
+            if (next_publish_ >= jobs_.size() ||
+                !jobs_[next_publish_]->done) {
+                break;
+            }
+            job = jobs_[next_publish_];
+            ++next_publish_;
+        }
+        if (sink_) {
+            try {
+                sink_(job->result);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(state_mutex_);
+                if (!first_error_) {
+                    first_error_ = std::current_exception();
+                }
+            }
+        }
+        {
+            std::lock_guard<std::mutex> lock(state_mutex_);
+            ++completed_;
+            --in_flight_;
+        }
+        state_cv_.notify_all();
+    }
 }
 
 std::vector<WindowResult> PipelinedEngine::finish() {
@@ -363,6 +403,7 @@ std::vector<WindowResult> PipelinedEngine::finish() {
             out.push_back(std::move(job->result));
         }
         jobs_.clear();
+        next_publish_ = 0;
         error = first_error_;
         first_error_ = nullptr;
     }

@@ -82,6 +82,17 @@ class PipelinedEngine {
     void set_truth(TruthProvider truth) { truth_ = std::move(truth); }
     const TruthProvider& truth() const { return truth_; }
 
+    /// Attaches a window-completion sink.  Windows may *finalize* out
+    /// of submission order (methods finish when they finish), but the
+    /// sink is invoked strictly in submission order, one call at a
+    /// time — a completed window waits for its predecessors before it
+    /// is published (see finalize()/flush_completed() in pipeline.cpp).
+    /// Must not be called while windows are in flight.  A sink
+    /// exception is captured and rethrown by finish(), like a stage
+    /// exception.
+    void set_window_sink(WindowSink sink) { sink_ = std::move(sink); }
+    const WindowSink& window_sink() const { return sink_; }
+
     /// Ingests one sample and dispatches the updated window's
     /// estimation pass into the pipeline.  Blocks while `depth` windows
     /// are already in flight (backpressure).  Sample indices must be
@@ -118,6 +129,7 @@ class PipelinedEngine {
     void run_stage(Lineage& lineage, WindowJob& job,
                    std::size_t method_index);
     void finalize(WindowJob& job);
+    void flush_completed();
     Lineage& lineage(Method m);
 
     const topology::Topology* topo_;
@@ -129,6 +141,7 @@ class PipelinedEngine {
     SlidingWindow window_;
     EngineMetrics metrics_;
     TruthProvider truth_;
+    WindowSink sink_;
 
     std::uint64_t window_epoch_ = 0;         ///< bound fingerprint
     std::uint64_t window_epoch_serial_ = 0;  ///< cache-unique identity
@@ -153,6 +166,12 @@ class PipelinedEngine {
     std::size_t max_in_flight_ = 0;
     std::deque<std::shared_ptr<WindowJob>> jobs_;  // submission order
     std::exception_ptr first_error_;
+    /// Completion-flush cursor into jobs_: windows below it have been
+    /// handed to the sink (or skipped past, when none is attached).
+    /// Guarded by state_mutex_; the flush itself serializes on
+    /// publish_mutex_ (ordered: publish_mutex_ -> state_mutex_).
+    std::size_t next_publish_ = 0;
+    std::mutex publish_mutex_;
 
     /// Declared last on purpose: the pool is destroyed FIRST, joining
     /// every worker (a drainer's final empty-check included) while the

@@ -24,6 +24,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <limits>
 #include <memory>
 #include <stdexcept>
@@ -86,6 +87,13 @@ struct WindowResult {
     /// The run for `method`, or nullptr if it did not run this window.
     const MethodRun* find(Method method) const;
 };
+
+/// Window-completion hook: every engine flavour invokes it once per
+/// completed window, in submission order, from exactly one thread at a
+/// time (the serving layer's snapshot publisher attaches here — see
+/// src/serve/publish.hpp).  The engine layer only defines the seam, so
+/// it stays embeddable without the serving layer.
+using WindowSink = std::function<void(const WindowResult&)>;
 
 /// Typed scheduler configuration diagnosis.  validate_methods() lets
 /// callers reject a bad method list up front without catching an

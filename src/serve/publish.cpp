@@ -1,0 +1,11 @@
+#include "serve/publish.hpp"
+
+namespace tme::serve {
+
+engine::WindowSink make_publisher(EstimateStore& store) {
+    return [&store](const engine::WindowResult& window) {
+        store.publish(EstimateSnapshot::from_window(window));
+    };
+}
+
+}  // namespace tme::serve

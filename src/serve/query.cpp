@@ -1,0 +1,83 @@
+#include "serve/query.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace tme::serve {
+
+const char* query_status_name(QueryStatus status) {
+    switch (status) {
+        case QueryStatus::ok: return "ok";
+        case QueryStatus::empty_store: return "empty_store";
+        case QueryStatus::version_unknown: return "version_unknown";
+        case QueryStatus::version_retired: return "version_retired";
+        case QueryStatus::method_not_served: return "method_not_served";
+        case QueryStatus::pair_out_of_range: return "pair_out_of_range";
+        case QueryStatus::zero_k: return "zero_k";
+        case QueryStatus::invalid_range: return "invalid_range";
+        case QueryStatus::shape_mismatch: return "shape_mismatch";
+    }
+    return "unknown";
+}
+
+QueryResult<double> point(const EstimateSnapshot& snap, engine::Method m,
+                          std::size_t pair) {
+    const MethodEstimate* me = snap.find(m);
+    if (me == nullptr) return {QueryStatus::method_not_served, 0.0};
+    if (pair >= me->estimate.size()) {
+        return {QueryStatus::pair_out_of_range, 0.0};
+    }
+    return {QueryStatus::ok, me->estimate[pair]};
+}
+
+QueryResult<std::vector<HeavyHitter>> top_k(const EstimateSnapshot& snap,
+                                            engine::Method m,
+                                            std::size_t k) {
+    if (k == 0) return {QueryStatus::zero_k, {}};
+    const MethodEstimate* me = snap.find(m);
+    if (me == nullptr) return {QueryStatus::method_not_served, {}};
+    const linalg::Vector& est = me->estimate;
+    const std::size_t n = est.size();
+    if (k > n) k = n;
+    std::vector<std::size_t> idx(n);
+    std::iota(idx.begin(), idx.end(), std::size_t{0});
+    const auto heavier = [&est](std::size_t a, std::size_t b) {
+        if (est[a] != est[b]) return est[a] > est[b];
+        return a < b;  // deterministic tie-break: lower pair first
+    };
+    // Partial select: everything at/above the k-th heaviest moves to
+    // the front in O(n), then only that prefix is sorted.
+    if (k < n) {
+        std::nth_element(idx.begin(),
+                         idx.begin() + static_cast<std::ptrdiff_t>(k - 1),
+                         idx.end(), heavier);
+    }
+    std::sort(idx.begin(), idx.begin() + static_cast<std::ptrdiff_t>(k),
+              heavier);
+    std::vector<HeavyHitter> out;
+    out.reserve(k);
+    for (std::size_t i = 0; i < k; ++i) {
+        out.push_back({idx[i], est[idx[i]]});
+    }
+    return {QueryStatus::ok, std::move(out)};
+}
+
+QueryResult<linalg::Vector> delta(const EstimateSnapshot& newer,
+                                  const EstimateSnapshot& older,
+                                  engine::Method m) {
+    const MethodEstimate* a = newer.find(m);
+    const MethodEstimate* b = older.find(m);
+    if (a == nullptr || b == nullptr) {
+        return {QueryStatus::method_not_served, {}};
+    }
+    if (a->estimate.size() != b->estimate.size()) {
+        return {QueryStatus::shape_mismatch, {}};
+    }
+    linalg::Vector out(a->estimate.size());
+    for (std::size_t i = 0; i < out.size(); ++i) {
+        out[i] = a->estimate[i] - b->estimate[i];
+    }
+    return {QueryStatus::ok, std::move(out)};
+}
+
+}  // namespace tme::serve

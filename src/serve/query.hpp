@@ -1,0 +1,76 @@
+// Typed query surface over published estimate snapshots.
+//
+// Every lookup returns QueryResult<T>: a status plus the value.  A miss
+// is always a *typed* error — pair_out_of_range, method_not_served,
+// version_retired — never a silently empty result, so a consumer can
+// distinguish "the fanout QP did not run this window" from "that OD
+// pair does not exist" (the property tests pin this).
+//
+// The snapshot-level queries are pure functions over one immutable
+// EstimateSnapshot, so they are trivially safe to run from any number
+// of reader threads:
+//   * point()  — one OD pair's estimate under one method;
+//   * top_k()  — the k heaviest OD pairs (partial-select via
+//     std::nth_element: O(pairs + k log k), no full sort; ties break
+//     deterministically toward the lower pair index);
+//   * delta()  — elementwise newer - older between two windows.
+// Store-level queries (time ranges, version lookups) live on
+// serve::Reader (store.hpp), which adds the lock-free version pinning.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "serve/snapshot.hpp"
+
+namespace tme::serve {
+
+enum class QueryStatus {
+    ok,
+    empty_store,        ///< nothing has been published yet
+    version_unknown,    ///< version 0 or beyond the store head
+    version_retired,    ///< version fell out of the retention window
+    method_not_served,  ///< the window holds no estimate for the method
+    pair_out_of_range,  ///< OD pair index >= the snapshot's pair count
+    zero_k,             ///< top-k with k == 0 is a caller bug, not "[]"
+    invalid_range,      ///< sample/version range with lo > hi
+    shape_mismatch,     ///< delta between different-sized estimates
+};
+
+/// Stable name for diagnostics ("ok", "pair_out_of_range", ...).
+const char* query_status_name(QueryStatus status);
+
+template <typename T>
+struct QueryResult {
+    QueryStatus status = QueryStatus::ok;
+    T value{};
+
+    bool ok() const { return status == QueryStatus::ok; }
+    explicit operator bool() const { return ok(); }
+};
+
+/// One heavy-hitter entry: OD pair index and its estimated demand.
+struct HeavyHitter {
+    std::size_t pair = 0;
+    double value = 0.0;
+};
+
+/// The estimate for one OD pair under one method.
+QueryResult<double> point(const EstimateSnapshot& snap, engine::Method m,
+                          std::size_t pair);
+
+/// The k heaviest OD pairs under `m`, ordered by descending estimate
+/// with ties broken by ascending pair index (fully deterministic, so
+/// concurrent readers of one snapshot agree bitwise).  k > pair_count
+/// returns every pair; k == 0 is rejected as zero_k.
+QueryResult<std::vector<HeavyHitter>> top_k(const EstimateSnapshot& snap,
+                                            engine::Method m,
+                                            std::size_t k);
+
+/// Elementwise newer - older of the two snapshots' estimates for `m`.
+/// Both snapshots must serve the method with equal-length estimates.
+QueryResult<linalg::Vector> delta(const EstimateSnapshot& newer,
+                                  const EstimateSnapshot& older,
+                                  engine::Method m);
+
+}  // namespace tme::serve

@@ -1,0 +1,133 @@
+#include "serve/snapshot.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+#include "obs/report.hpp"
+
+namespace tme::serve {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+void fnv_u64(std::uint64_t& h, std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+        h ^= (v >> (8 * i)) & 0xffu;
+        h *= kFnvPrime;
+    }
+}
+
+void fnv_double(std::uint64_t& h, double d) {
+    std::uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(d));
+    std::memcpy(&bits, &d, sizeof(bits));
+    fnv_u64(h, bits);
+}
+
+std::string hex_u64(std::uint64_t v) {
+    char buf[19];
+    std::snprintf(buf, sizeof(buf), "0x%016llx",
+                  static_cast<unsigned long long>(v));
+    return buf;
+}
+
+}  // namespace
+
+EstimateSnapshot EstimateSnapshot::from_window(
+    const engine::WindowResult& window) {
+    EstimateSnapshot snap;
+    snap.window_start_sample_ = window.window_start_sample;
+    snap.window_end_sample_ = window.window_end_sample;
+    snap.window_size_ = window.window_size;
+    snap.epoch_fingerprint_ = window.epoch_fingerprint;
+    snap.window_seconds_ = window.seconds;
+    snap.methods_.reserve(window.runs.size());
+    for (const engine::MethodRun& run : window.runs) {
+        MethodEstimate m;
+        m.method = run.method;
+        m.estimate = run.estimate;
+        m.mre = run.mre;
+        m.seconds = run.seconds;
+        m.warm_started = run.warm_started;
+        m.warm_accepted = run.warm_accepted;
+        m.solver = run.solver;
+        snap.methods_.push_back(std::move(m));
+    }
+    return snap;
+}
+
+const MethodEstimate* EstimateSnapshot::find(engine::Method m) const {
+    for (const MethodEstimate& me : methods_) {
+        if (me.method == m) return &me;
+    }
+    return nullptr;
+}
+
+obs::SolverCounters EstimateSnapshot::solver_totals() const {
+    obs::SolverCounters total;
+    for (const MethodEstimate& me : methods_) total.add(me.solver);
+    return total;
+}
+
+void EstimateSnapshot::freeze(std::uint64_t version) {
+    version_ = version;
+    checksum_ = compute_checksum();
+}
+
+std::uint64_t EstimateSnapshot::compute_checksum() const {
+    std::uint64_t h = kFnvOffset;
+    fnv_u64(h, version_);
+    fnv_u64(h, window_start_sample_);
+    fnv_u64(h, window_end_sample_);
+    fnv_u64(h, window_size_);
+    fnv_u64(h, epoch_fingerprint_);
+    fnv_double(h, window_seconds_);
+    fnv_u64(h, methods_.size());
+    for (const MethodEstimate& me : methods_) {
+        fnv_u64(h, static_cast<std::uint64_t>(me.method));
+        fnv_double(h, me.mre);
+        fnv_double(h, me.seconds);
+        fnv_u64(h, (me.warm_started ? 1u : 0u) |
+                       (me.warm_accepted ? 2u : 0u));
+        fnv_u64(h, me.estimate.size());
+        for (double v : me.estimate) fnv_double(h, v);
+    }
+    return h;
+}
+
+obs::Json EstimateSnapshot::to_json(bool include_estimates) const {
+    obs::Json doc = obs::Json::object();
+    doc.set("version", version_);
+    doc.set("window_start_sample", window_start_sample_);
+    doc.set("window_end_sample", window_end_sample_);
+    doc.set("window_size", window_size_);
+    doc.set("epoch_fingerprint", hex_u64(epoch_fingerprint_));
+    doc.set("checksum", hex_u64(checksum_));
+    doc.set("window_seconds", window_seconds_);
+    doc.set("pairs", pair_count());
+    obs::Json methods = obs::Json::object();
+    for (const MethodEstimate& me : methods_) {
+        obs::Json m = obs::Json::object();
+        m.set("pairs", me.estimate.size());
+        // NaN (unscored window) is not representable in JSON; the field
+        // is simply absent, and the round-trip test pins that.
+        if (!std::isnan(me.mre)) m.set("mre", me.mre);
+        m.set("seconds", me.seconds);
+        m.set("warm_started", me.warm_started);
+        m.set("warm_accepted", me.warm_accepted);
+        m.set("solver", obs::counters_to_json(me.solver));
+        if (include_estimates) {
+            obs::Json est = obs::Json::array();
+            for (double v : me.estimate) est.push_back(v);
+            m.set("estimate", std::move(est));
+        }
+        methods.set(engine::method_name(me.method), std::move(m));
+    }
+    doc.set("methods", std::move(methods));
+    return doc;
+}
+
+}  // namespace tme::serve

@@ -1,0 +1,106 @@
+// Immutable per-window estimate snapshot — the unit the serving layer
+// publishes and readers query.
+//
+// Each completed engine window becomes one EstimateSnapshot: every
+// method's estimate vector, its MRE (NaN when the feed had no truth),
+// its wall time and solver counters, plus the window bounds and the
+// routing-epoch fingerprint the estimates were computed under.  A
+// snapshot is frozen exactly once — when EstimateStore::publish()
+// assigns its version — and never mutated afterwards, which is what
+// makes the store's lock-free read path safe: a reader that wins the
+// version check holds a pointer to data nobody will ever write again.
+//
+// Freezing computes a 64-bit FNV-1a checksum over the version, the
+// window identity and every estimate's bit pattern; consistent()
+// recomputes it, so a torn read (impossible by design, asserted by the
+// stress tests and bench) is detectable rather than silent.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "engine/scheduler.hpp"
+#include "obs/counters.hpp"
+#include "obs/json.hpp"
+
+namespace tme::serve {
+
+/// One method's published output for one window (a value-copy of the
+/// engine's MethodRun, decoupled from engine buffers).
+struct MethodEstimate {
+    engine::Method method = engine::Method::gravity;
+    linalg::Vector estimate;  ///< per-OD-pair demand estimate
+    double mre = 0.0;         ///< NaN when the window was unscored
+    double seconds = 0.0;
+    bool warm_started = false;
+    bool warm_accepted = false;
+    obs::SolverCounters solver;
+};
+
+class EstimateSnapshot
+    : public std::enable_shared_from_this<EstimateSnapshot> {
+  public:
+    EstimateSnapshot() = default;
+
+    /// Value-copies one window result into a publishable snapshot.
+    /// The version stays 0 (unpublished) until a store freezes it.
+    static EstimateSnapshot from_window(const engine::WindowResult& window);
+
+    /// Store-assigned publication version; 0 before publication.
+    std::uint64_t version() const { return version_; }
+    std::size_t window_start_sample() const { return window_start_sample_; }
+    std::size_t window_end_sample() const { return window_end_sample_; }
+    std::size_t window_size() const { return window_size_; }
+    std::uint64_t epoch_fingerprint() const { return epoch_fingerprint_; }
+    /// Wall time of the window's whole estimation pass.
+    double window_seconds() const { return window_seconds_; }
+
+    const std::vector<MethodEstimate>& methods() const { return methods_; }
+    /// The published estimate for `m`, or nullptr if the window did not
+    /// run it (series methods below min_series_window).
+    const MethodEstimate* find(engine::Method m) const;
+    /// OD-pair count of the estimate vectors (0 for an empty window).
+    std::size_t pair_count() const {
+        return methods_.empty() ? 0 : methods_.front().estimate.size();
+    }
+    /// Solver-counter telemetry summed over the window's methods.
+    obs::SolverCounters solver_totals() const;
+
+    /// Checksum frozen at publication (0 before).
+    std::uint64_t checksum() const { return checksum_; }
+    /// Recomputes the checksum over the current bytes; false means the
+    /// snapshot was torn or mutated after freeze — which the store's
+    /// protocol makes impossible, so the stress tests assert it.
+    bool consistent() const {
+        return version_ != 0 && compute_checksum() == checksum_;
+    }
+
+    /// Snapshot metadata as an obs::Json document.  The 64-bit epoch
+    /// fingerprint and checksum are exported as "0x..." hex strings:
+    /// obs::Json integers are int64, and a high-bit fingerprint must
+    /// survive a dump/parse round trip exactly.  Estimate vectors are
+    /// included only when `include_estimates` (they dominate the size).
+    obs::Json to_json(bool include_estimates = false) const;
+
+  private:
+    friend class EstimateStore;
+
+    /// Assigns the publication version and seals the checksum.  Called
+    /// exactly once, by the publishing store, before the snapshot
+    /// becomes reachable by any reader.
+    void freeze(std::uint64_t version);
+    std::uint64_t compute_checksum() const;
+
+    std::uint64_t version_ = 0;
+    std::size_t window_start_sample_ = 0;
+    std::size_t window_end_sample_ = 0;
+    std::size_t window_size_ = 0;
+    std::uint64_t epoch_fingerprint_ = 0;
+    double window_seconds_ = 0.0;
+    std::vector<MethodEstimate> methods_;
+    std::uint64_t checksum_ = 0;
+};
+
+}  // namespace tme::serve

@@ -1,0 +1,216 @@
+// Versioned estimate store with a lock-free read path.
+//
+// One writer (the engine's window-completion hook) publishes immutable
+// EstimateSnapshots under monotonically increasing versions; any number
+// of readers query them with zero locks and without ever stalling the
+// writer.  The design is a seqlock/RCU hybrid over a fixed ring of
+// `retention` slots:
+//
+//   * Each slot carries an atomic {version, pointer} pair written
+//     seqlock-style: version <- 0 (invalidate), pointer <- snapshot,
+//     version <- v, all with release ordering.  A reader loads
+//     version / pointer / version with acquire ordering and accepts the
+//     slot only if both version loads equal the version it wants —
+//     versions are strictly monotone per slot (v, v+K, v+2K, ...), so
+//     an ABA swap is impossible and a torn {version, pointer} pair can
+//     never validate.
+//   * Lifetime is hazard-pointer style: a reader announces the version
+//     it is pinning in its Reader handle, executes a seq_cst fence, and
+//     re-checks the store's reclaim floor.  The writer advances the
+//     floor, executes the matching seq_cst fence, and only frees
+//     retained snapshots below both the floor and every announced pin
+//     (the Dekker store/load pattern: at least one side always sees the
+//     other).  The writer NEVER waits — a pinned old snapshot just
+//     defers its reclamation to a later publish (writer_waits() == 0 is
+//     a bench gate).
+//   * Once validated, the reader mints a shared_ptr from the pinned raw
+//     pointer (enable_shared_from_this) and drops the pin: from then on
+//     ordinary shared ownership keeps the snapshot alive for as long as
+//     the reader holds the SnapshotRef, entirely decoupled from the
+//     ring.
+//
+// Memory orders are documented per-site in src/engine/THREADING.md
+// ("Serving layer" rows) and enforced explicit by the memory-order
+// lint.  Multiple writers are tolerated (publishes serialize on a
+// writer mutex); readers are registered Reader handles, each usable by
+// one thread at a time.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "obs/histogram.hpp"
+#include "obs/json.hpp"
+#include "serve/query.hpp"
+#include "serve/snapshot.hpp"
+
+namespace tme::serve {
+
+struct StoreOptions {
+    /// Published versions kept queryable (>= 2).  Version v retires
+    /// when version v + retention is published.
+    std::size_t retention = 8;
+    /// Maximum concurrently registered Reader handles.  Fixed at
+    /// construction so the writer's pin scan is a bounded array walk.
+    std::size_t max_readers = 64;
+};
+
+/// A version-stamped reference to one published snapshot.  Plain shared
+/// ownership: holding it keeps the snapshot alive indefinitely without
+/// blocking the writer or retention.
+struct SnapshotRef {
+    std::uint64_t version = 0;
+    std::shared_ptr<const EstimateSnapshot> snapshot;
+
+    explicit operator bool() const { return snapshot != nullptr; }
+    const EstimateSnapshot* operator->() const { return snapshot.get(); }
+    const EstimateSnapshot& operator*() const { return *snapshot; }
+};
+
+class Reader;
+
+class EstimateStore {
+  public:
+    explicit EstimateStore(StoreOptions options = {});
+    ~EstimateStore();
+
+    EstimateStore(const EstimateStore&) = delete;
+    EstimateStore& operator=(const EstimateStore&) = delete;
+
+    /// Publishes `snap` as the next version and returns it.  Freezes
+    /// the snapshot (assigns the version, seals the checksum), swaps it
+    /// into the ring with release ordering, then reclaims snapshots
+    /// below the retention floor that no reader has pinned.  Never
+    /// blocks on readers; concurrent publishers serialize on an
+    /// internal mutex.
+    std::uint64_t publish(EstimateSnapshot snap);
+
+    /// Newest published version (0 while empty).  Safe from any thread.
+    std::uint64_t head_version() const {
+        return head_.load(std::memory_order_acquire);
+    }
+    /// Oldest version still guaranteed queryable (reclaim floor).
+    std::uint64_t floor_version() const {
+        return floor_.load(std::memory_order_acquire);
+    }
+
+    std::size_t retention() const { return retention_; }
+    std::size_t max_readers() const { return handles_.size(); }
+
+    // -- Telemetry -----------------------------------------------------
+    /// Snapshots currently owned by the store's retention buffer.
+    std::size_t retained_count() const;
+    /// Publishes whose reclamation was deferred by a concurrent pin
+    /// (the snapshot was freed on a later publish instead).
+    std::uint64_t reclaim_deferred() const {
+        return reclaim_deferred_.load(std::memory_order_relaxed);
+    }
+    /// Times the writer blocked on a reader.  Structurally zero — the
+    /// protocol has no such wait — and gated at zero by the bench.
+    std::uint64_t writer_waits() const { return 0; }
+    obs::HistogramSnapshot publish_latency() const {
+        return publish_latency_.snapshot();
+    }
+    /// Store metadata + publish-latency summary as JSON (no snapshot
+    /// payloads).
+    obs::Json to_json() const;
+
+  private:
+    friend class Reader;
+
+    /// One ring slot: a seqlock-protected {version, snapshot*} pair.
+    /// version == 0 means "mid-swap, do not trust the pointer".
+    struct Slot {
+        std::atomic<std::uint64_t> version{0};
+        std::atomic<const EstimateSnapshot*> ptr{nullptr};
+    };
+    /// One registered reader's hazard state.  `active` holds the
+    /// version the reader is validating right now (0 = no pin).
+    struct Handle {
+        std::atomic<bool> claimed{false};
+        std::atomic<std::uint64_t> active{0};
+    };
+
+    std::size_t retention_;
+    std::vector<Slot> slots_;      // indexed by version % retention_
+    std::vector<Handle> handles_;  // fixed; scanned by the writer
+    std::atomic<std::uint64_t> head_{0};
+    std::atomic<std::uint64_t> floor_{1};
+
+    /// Serializes publishers (and the retained_count() telemetry
+    /// probe), never readers.
+    mutable std::mutex writer_mutex_;
+    /// Writer-owned ownership of live snapshots, oldest first.  Readers
+    /// never touch this — they reach snapshots through the slots.
+    std::deque<std::shared_ptr<const EstimateSnapshot>> retained_;
+
+    std::atomic<std::uint64_t> reclaim_deferred_{0};
+    obs::LatencyHistogram publish_latency_;
+};
+
+/// A registered read handle: the hazard-pointer slot readers pin
+/// versions through.  Construct one per reader thread (a Reader is NOT
+/// thread-safe; the store supports max_readers of them concurrently).
+/// Destroying the Reader releases its handle for reuse.
+///
+/// All query methods are lock-free and never block the writer.
+class Reader {
+  public:
+    /// Claims a handle; throws std::runtime_error when max_readers
+    /// handles are already claimed.
+    explicit Reader(EstimateStore& store);
+    ~Reader();
+
+    Reader(const Reader&) = delete;
+    Reader& operator=(const Reader&) = delete;
+
+    /// The newest published snapshot.  empty_store while none exists;
+    /// otherwise always succeeds (retries internally if the head
+    /// advances mid-validation).
+    QueryResult<SnapshotRef> latest();
+
+    /// The snapshot published as `version`.  version_unknown above the
+    /// head or zero; version_retired below the retention window.
+    QueryResult<SnapshotRef> at(std::uint64_t version);
+
+    /// Every retained snapshot whose window overlaps the inclusive
+    /// sample range [sample_lo, sample_hi], oldest first.  A snapshot
+    /// that retires mid-scan is skipped (it was outside the guarantee).
+    QueryResult<std::vector<SnapshotRef>> window_range(
+        std::size_t sample_lo, std::size_t sample_hi);
+
+    /// Point lookup across time: `pair`'s estimate under `m` in every
+    /// retained window overlapping [sample_lo, sample_hi].  Typed
+    /// errors from the per-snapshot lookups propagate.
+    struct PointSample {
+        std::uint64_t version = 0;
+        std::size_t window_start_sample = 0;
+        std::size_t window_end_sample = 0;
+        double value = 0.0;
+    };
+    QueryResult<std::vector<PointSample>> point_series(
+        engine::Method m, std::size_t pair, std::size_t sample_lo,
+        std::size_t sample_hi);
+
+    /// Elementwise estimate delta between two retained versions
+    /// (newer - older).
+    QueryResult<linalg::Vector> version_delta(engine::Method m,
+                                              std::uint64_t older_version,
+                                              std::uint64_t newer_version);
+
+  private:
+    /// Seqlock + hazard-pin acquisition of one version.  ok, or
+    /// version_retired when the slot moved on, or version_unknown /
+    /// empty_store for out-of-range requests.
+    QueryResult<SnapshotRef> acquire(std::uint64_t version);
+
+    EstimateStore* store_;
+    EstimateStore::Handle* handle_;
+};
+
+}  // namespace tme::serve

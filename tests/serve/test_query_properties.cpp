@@ -1,0 +1,225 @@
+// Property tests for the serving-layer query API:
+//   * top_k ≡ brute-force full sort (descending value, ascending pair
+//     on ties) on randomized vectors, ties included, for every k;
+//   * delta ≡ elementwise subtraction;
+//   * misses are typed errors (pair_out_of_range, method_not_served,
+//     version_retired, ...), never silently empty results.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+#include <random>
+#include <vector>
+
+#include "serve/publish.hpp"
+#include "serve/query.hpp"
+#include "serve/store.hpp"
+
+namespace tme::serve {
+namespace {
+
+engine::WindowResult make_window(
+    std::size_t start, std::size_t end,
+    std::vector<std::pair<engine::Method, linalg::Vector>> runs) {
+    engine::WindowResult window;
+    window.window_start_sample = start;
+    window.window_end_sample = end;
+    window.window_size = end - start + 1;
+    window.epoch_fingerprint = 0x1234;
+    for (auto& [method, estimate] : runs) {
+        engine::MethodRun run;
+        run.method = method;
+        run.estimate = std::move(estimate);
+        window.runs.push_back(std::move(run));
+    }
+    return window;
+}
+
+std::vector<HeavyHitter> brute_force_top_k(const linalg::Vector& est,
+                                           std::size_t k) {
+    std::vector<std::size_t> idx(est.size());
+    std::iota(idx.begin(), idx.end(), std::size_t{0});
+    std::sort(idx.begin(), idx.end(),
+              [&est](std::size_t a, std::size_t b) {
+                  if (est[a] != est[b]) return est[a] > est[b];
+                  return a < b;
+              });
+    if (k > idx.size()) k = idx.size();
+    std::vector<HeavyHitter> out;
+    for (std::size_t i = 0; i < k; ++i) {
+        out.push_back({idx[i], est[idx[i]]});
+    }
+    return out;
+}
+
+TEST(ServeQueryProperties, TopKMatchesBruteForceSortWithTies) {
+    std::mt19937 rng(7);
+    for (const std::size_t n : {1u, 2u, 7u, 64u, 300u}) {
+        for (int trial = 0; trial < 8; ++trial) {
+            linalg::Vector est(n);
+            if (trial % 2 == 0) {
+                // Discrete values force heavy ties.
+                std::uniform_int_distribution<int> d(0, 4);
+                for (double& v : est) {
+                    v = static_cast<double>(d(rng));
+                }
+            } else {
+                std::uniform_real_distribution<double> d(0.0, 100.0);
+                for (double& v : est) v = d(rng);
+            }
+            EstimateSnapshot snap = EstimateSnapshot::from_window(
+                make_window(0, 5, {{engine::Method::gravity, est}}));
+            for (const std::size_t k :
+                 {std::size_t{1}, std::size_t{3}, n / 2 + 1, n, n + 5}) {
+                const auto got =
+                    top_k(snap, engine::Method::gravity, k);
+                ASSERT_TRUE(got.ok()) << query_status_name(got.status);
+                const auto want = brute_force_top_k(est, k);
+                ASSERT_EQ(got.value.size(), want.size())
+                    << "n=" << n << " k=" << k;
+                for (std::size_t i = 0; i < want.size(); ++i) {
+                    EXPECT_EQ(got.value[i].pair, want[i].pair)
+                        << "n=" << n << " k=" << k << " i=" << i;
+                    EXPECT_EQ(got.value[i].value, want[i].value);
+                }
+            }
+        }
+    }
+}
+
+TEST(ServeQueryProperties, DeltaIsElementwiseSubtraction) {
+    std::mt19937 rng(11);
+    std::uniform_real_distribution<double> d(-50.0, 50.0);
+    for (int trial = 0; trial < 6; ++trial) {
+        const std::size_t n = 40 + static_cast<std::size_t>(trial) * 17;
+        linalg::Vector a(n), b(n);
+        for (std::size_t i = 0; i < n; ++i) {
+            a[i] = d(rng);
+            b[i] = d(rng);
+        }
+        const EstimateSnapshot newer = EstimateSnapshot::from_window(
+            make_window(6, 11, {{engine::Method::vardi, a}}));
+        const EstimateSnapshot older = EstimateSnapshot::from_window(
+            make_window(0, 5, {{engine::Method::vardi, b}}));
+        const auto got = delta(newer, older, engine::Method::vardi);
+        ASSERT_TRUE(got.ok());
+        ASSERT_EQ(got.value.size(), n);
+        for (std::size_t i = 0; i < n; ++i) {
+            EXPECT_EQ(got.value[i], a[i] - b[i]) << "i=" << i;
+        }
+    }
+}
+
+TEST(ServeQueryProperties, LookupsReturnTypedErrorsNotEmptyResults) {
+    const linalg::Vector est = {3.0, 1.0, 2.0};
+    const EstimateSnapshot snap = EstimateSnapshot::from_window(
+        make_window(0, 5, {{engine::Method::gravity, est}}));
+
+    // Pair out of range is a typed error, not 0.0.
+    EXPECT_EQ(point(snap, engine::Method::gravity, 3).status,
+              QueryStatus::pair_out_of_range);
+    EXPECT_EQ(point(snap, engine::Method::gravity, 2).value, 2.0);
+
+    // A method the window did not run is method_not_served everywhere.
+    EXPECT_EQ(point(snap, engine::Method::fanout, 0).status,
+              QueryStatus::method_not_served);
+    EXPECT_EQ(top_k(snap, engine::Method::fanout, 2).status,
+              QueryStatus::method_not_served);
+    EXPECT_EQ(delta(snap, snap, engine::Method::fanout).status,
+              QueryStatus::method_not_served);
+
+    // k == 0 is a caller bug, not an empty list.
+    EXPECT_EQ(top_k(snap, engine::Method::gravity, 0).status,
+              QueryStatus::zero_k);
+
+    // Shape mismatch between windows is typed.
+    const EstimateSnapshot other = EstimateSnapshot::from_window(
+        make_window(6, 11, {{engine::Method::gravity, {1.0, 2.0}}}));
+    EXPECT_EQ(delta(snap, other, engine::Method::gravity).status,
+              QueryStatus::shape_mismatch);
+}
+
+TEST(ServeQueryProperties, StoreLookupsReturnTypedErrors) {
+    StoreOptions options;
+    options.retention = 4;
+    EstimateStore store(options);
+    Reader reader(store);
+
+    // Empty store.
+    EXPECT_EQ(reader.latest().status, QueryStatus::empty_store);
+    EXPECT_EQ(reader.at(1).status, QueryStatus::empty_store);
+    EXPECT_EQ(reader.window_range(0, 10).status,
+              QueryStatus::empty_store);
+
+    // Publish retention + 3 versions; the first three retire.
+    for (std::size_t w = 0; w < 7; ++w) {
+        store.publish(EstimateSnapshot::from_window(make_window(
+            w * 6, w * 6 + 5,
+            {{engine::Method::gravity, {1.0, 2.0, 3.0}}})));
+    }
+    EXPECT_EQ(store.head_version(), 7u);
+    EXPECT_EQ(store.floor_version(), 4u);
+
+    EXPECT_EQ(reader.at(0).status, QueryStatus::version_unknown);
+    EXPECT_EQ(reader.at(8).status, QueryStatus::version_unknown);
+    EXPECT_EQ(reader.at(3).status, QueryStatus::version_retired);
+    ASSERT_TRUE(reader.at(4).ok());
+    ASSERT_TRUE(reader.at(7).ok());
+
+    // Ranges: inverted bounds are typed; valid ranges resolve.
+    EXPECT_EQ(reader.window_range(10, 2).status,
+              QueryStatus::invalid_range);
+    const auto range = reader.window_range(0, 1000);
+    ASSERT_TRUE(range.ok());
+    EXPECT_EQ(range.value.size(), 4u);  // the retained window
+    EXPECT_EQ(range.value.front().version, 4u);
+    EXPECT_EQ(range.value.back().version, 7u);
+
+    // point_series propagates per-snapshot typed errors.
+    EXPECT_EQ(reader
+                  .point_series(engine::Method::gravity, 99, 0, 1000)
+                  .status,
+              QueryStatus::pair_out_of_range);
+    EXPECT_EQ(reader
+                  .point_series(engine::Method::fanout, 0, 0, 1000)
+                  .status,
+              QueryStatus::method_not_served);
+    const auto series =
+        reader.point_series(engine::Method::gravity, 1, 0, 1000);
+    ASSERT_TRUE(series.ok());
+    ASSERT_EQ(series.value.size(), 4u);
+    for (const Reader::PointSample& s : series.value) {
+        EXPECT_EQ(s.value, 2.0);
+    }
+
+    // version_delta: typed range/retirement errors, exact values.
+    EXPECT_EQ(reader
+                  .version_delta(engine::Method::gravity, 7, 4)
+                  .status,
+              QueryStatus::invalid_range);
+    EXPECT_EQ(reader
+                  .version_delta(engine::Method::gravity, 2, 7)
+                  .status,
+              QueryStatus::version_retired);
+    const auto vdelta =
+        reader.version_delta(engine::Method::gravity, 4, 7);
+    ASSERT_TRUE(vdelta.ok());
+    for (double v : vdelta.value) EXPECT_EQ(v, 0.0);
+}
+
+TEST(ServeQueryProperties, ReaderHandleExhaustionThrows) {
+    StoreOptions options;
+    options.max_readers = 2;
+    EstimateStore store(options);
+    Reader r1(store);
+    {
+        Reader r2(store);
+        EXPECT_THROW(Reader r3(store), std::runtime_error);
+    }
+    // Destroying a reader releases its handle for reuse.
+    Reader r4(store);
+}
+
+}  // namespace
+}  // namespace tme::serve

@@ -1,0 +1,137 @@
+// Golden round trip for snapshot export: EstimateSnapshot::to_json()
+// dumped and re-parsed with obs::Json::parse reproduces the version,
+// the 64-bit epoch fingerprint (hex string — it may exceed int64),
+// per-method MRE and the solver-counter telemetry exactly.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <limits>
+#include <optional>
+#include <string>
+
+#include "serve/store.hpp"
+
+namespace tme::serve {
+namespace {
+
+std::uint64_t parse_hex(const obs::Json& doc, const char* key) {
+    const obs::Json* field = doc.find(key);
+    EXPECT_NE(field, nullptr) << key;
+    if (field == nullptr || !field->is_string()) return 0;
+    return std::strtoull(field->as_string().c_str(), nullptr, 16);
+}
+
+EstimateSnapshot published_snapshot(EstimateStore& store) {
+    engine::WindowResult window;
+    window.window_start_sample = 42;
+    window.window_end_sample = 53;
+    window.window_size = 12;
+    // High bit set: only the hex-string export survives obs::Json's
+    // int64 integers.
+    window.epoch_fingerprint = 0xDEADBEEFCAFEBABEull;
+    window.seconds = 0.125;
+
+    engine::MethodRun gravity;
+    gravity.method = engine::Method::gravity;
+    gravity.estimate = {0.1, 1.0 / 3.0, 1e-17, 12345.678, 0.0};
+    gravity.mre = 0.23456789012345678;  // full double precision
+    gravity.seconds = 0.001953125;
+    window.runs.push_back(gravity);
+
+    engine::MethodRun entropy;
+    entropy.method = engine::Method::entropy;
+    entropy.estimate = {1.0, 2.0, 3.0, 4.0, 5.0};
+    entropy.mre = std::numeric_limits<double>::quiet_NaN();  // unscored
+    entropy.seconds = 0.25;
+    entropy.warm_started = true;
+    entropy.warm_accepted = true;
+    entropy.solver.entropy_iterations = 17;
+    entropy.solver.entropy_armijo_probes = 5;
+    window.runs.push_back(entropy);
+
+    store.publish(EstimateSnapshot::from_window(window));
+    Reader reader(store);
+    return *reader.latest().value.snapshot;
+}
+
+TEST(ServeSnapshotJson, RoundTripReproducesEveryFieldExactly) {
+    EstimateStore store;
+    const EstimateSnapshot snap = published_snapshot(store);
+    ASSERT_EQ(snap.version(), 1u);
+    ASSERT_TRUE(snap.consistent());
+
+    const std::string text = snap.to_json(true).dump(2);
+    const std::optional<obs::Json> parsed = obs::Json::parse(text);
+    ASSERT_TRUE(parsed.has_value()) << text;
+    const obs::Json& doc = *parsed;
+
+    EXPECT_EQ(doc.find("version")->as_int(), 1);
+    EXPECT_EQ(doc.find("window_start_sample")->as_int(), 42);
+    EXPECT_EQ(doc.find("window_end_sample")->as_int(), 53);
+    EXPECT_EQ(doc.find("window_size")->as_int(), 12);
+    EXPECT_EQ(parse_hex(doc, "epoch_fingerprint"),
+              0xDEADBEEFCAFEBABEull);
+    EXPECT_EQ(parse_hex(doc, "checksum"), snap.checksum());
+    EXPECT_EQ(doc.find("window_seconds")->as_double(), 0.125);
+    EXPECT_EQ(doc.find("pairs")->as_int(), 5);
+
+    const obs::Json* methods = doc.find("methods");
+    ASSERT_NE(methods, nullptr);
+    ASSERT_EQ(methods->size(), 2u);
+
+    const obs::Json* gravity = methods->find("gravity");
+    ASSERT_NE(gravity, nullptr);
+    EXPECT_EQ(gravity->find("mre")->as_double(),
+              0.23456789012345678);  // exact: shortest-round-trip dump
+    EXPECT_EQ(gravity->find("seconds")->as_double(), 0.001953125);
+    EXPECT_FALSE(gravity->find("warm_started")->as_bool());
+    const obs::Json* est = gravity->find("estimate");
+    ASSERT_NE(est, nullptr);
+    ASSERT_EQ(est->size(), 5u);
+    EXPECT_EQ(est->items()[0].as_double(), 0.1);
+    EXPECT_EQ(est->items()[1].as_double(), 1.0 / 3.0);
+    EXPECT_EQ(est->items()[2].as_double(), 1e-17);
+    EXPECT_EQ(est->items()[3].as_double(), 12345.678);
+    EXPECT_EQ(est->items()[4].as_double(), 0.0);
+
+    const obs::Json* entropy = methods->find("entropy");
+    ASSERT_NE(entropy, nullptr);
+    // NaN MRE (unscored window) is not representable in JSON: the
+    // field must be absent, not null/0.
+    EXPECT_EQ(entropy->find("mre"), nullptr);
+    EXPECT_TRUE(entropy->find("warm_started")->as_bool());
+    EXPECT_TRUE(entropy->find("warm_accepted")->as_bool());
+    const obs::Json* solver = entropy->find("solver");
+    ASSERT_NE(solver, nullptr);
+    EXPECT_EQ(solver->find("entropy_iterations")->as_int(), 17);
+    EXPECT_EQ(solver->find("entropy_armijo_probes")->as_int(), 5);
+    // Zero counters are omitted by counters_to_json.
+    EXPECT_EQ(solver->find("qp_active_set_rounds"), nullptr);
+}
+
+TEST(ServeSnapshotJson, MetadataOnlyExportOmitsEstimates) {
+    EstimateStore store;
+    const EstimateSnapshot snap = published_snapshot(store);
+    const std::string text = snap.to_json(false).dump();
+    const std::optional<obs::Json> parsed = obs::Json::parse(text);
+    ASSERT_TRUE(parsed.has_value());
+    const obs::Json* gravity = parsed->find("methods")->find("gravity");
+    ASSERT_NE(gravity, nullptr);
+    EXPECT_EQ(gravity->find("estimate"), nullptr);
+    EXPECT_EQ(gravity->find("pairs")->as_int(), 5);
+}
+
+TEST(ServeSnapshotJson, StoreTelemetryExports) {
+    EstimateStore store;
+    (void)published_snapshot(store);
+    const std::optional<obs::Json> doc =
+        obs::Json::parse(store.to_json().dump(2));
+    ASSERT_TRUE(doc.has_value());
+    EXPECT_EQ(doc->find("head_version")->as_int(), 1);
+    EXPECT_EQ(doc->find("writer_waits")->as_int(), 0);
+    EXPECT_EQ(doc->find("publish_latency")->find("count")->as_int(), 1);
+}
+
+}  // namespace
+}  // namespace tme::serve

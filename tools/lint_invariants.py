@@ -15,10 +15,13 @@ compiler flag checks:
                   the THREADING.md audit table documents each choice.
                   (obs::MetricCell encapsulates its own relaxed ordering
                   and is exempt by construction.)
-  layering        src/core/ and src/linalg/ never include src/engine/
-                  headers, and from src/obs/ only the public counter
-                  interface (obs/counters.hpp).  The method and kernel
-                  layers must stay embeddable without the online engine.
+  layering        src/core/ and src/linalg/ never include src/engine/,
+                  src/serve/ or (beyond the public counter interface
+                  obs/counters.hpp) src/obs/ headers, and src/engine/ /
+                  src/obs/ never include src/serve/.  The method and
+                  kernel layers must stay embeddable without the online
+                  engine, and the engine without the serving layer
+                  (serve may include engine/obs, not vice versa).
   self-contained  Every header under src/ compiles standalone
                   (g++ -fsyntax-only): a header that leans on its
                   includer's includes breaks the next reorganisation.
@@ -77,8 +80,16 @@ INCLUDE_RE = re.compile(r'^\s*#\s*include\s*"([^"]+)"')
 # The one obs/ header the method/kernel layers may use: the plain
 # counter structs estimators fill in (no engine machinery behind it).
 LAYERING_OBS_ALLOWED = {"obs/counters.hpp"}
-LAYERED_DIRS = ("src/core", "src/linalg")
-FORBIDDEN_PREFIXES = ("engine/", "obs/")
+# Directory -> include prefixes it must not reach into.  core/linalg
+# stay embeddable without the engine/observability/serving layers;
+# engine and obs stay embeddable without the serving layer (serve sits
+# on top: it may include engine/ and obs/ freely).
+LAYERING_RULES = {
+    "src/core": ("engine/", "obs/", "serve/"),
+    "src/linalg": ("engine/", "obs/", "serve/"),
+    "src/engine": ("serve/",),
+    "src/obs": ("serve/",),
+}
 
 
 class Violation:
@@ -239,7 +250,7 @@ def check_memory_order(root: str,
 
 def check_layering(root: str) -> list[Violation]:
     violations = []
-    for sub in LAYERED_DIRS:
+    for sub, forbidden in LAYERING_RULES.items():
         for path in iter_source_files(root, (sub,), SOURCE_EXTS):
             rel = relpath(root, path)
             raw_lines = open(path, encoding="utf-8",
@@ -249,16 +260,17 @@ def check_layering(root: str) -> list[Violation]:
                 if not m:
                     continue
                 inc = m.group(1)
-                if not inc.startswith(FORBIDDEN_PREFIXES):
+                if not inc.startswith(tuple(forbidden)):
                     continue
                 if inc in LAYERING_OBS_ALLOWED:
                     continue
                 if suppressed(raw_lines, lineno, "layering"):
                     continue
+                layers = "/".join(p.rstrip("/") for p in forbidden)
                 violations.append(Violation(
                     "layering", rel, lineno,
                     f'#include "{inc}" — {sub}/ must stay embeddable '
-                    "without the engine/observability layers (allowed "
+                    f"without the {layers} layer(s) (allowed "
                     f"exceptions: {sorted(LAYERING_OBS_ALLOWED)})"))
     return violations
 
@@ -346,6 +358,21 @@ SELF_TEST_CASES = [
         "src/core/bad_layer.cpp",
         '#include "engine/scheduler.hpp"\n',
         '#include "obs/counters.hpp"\n',
+    ),
+    (
+        # core must not reach up into the serving layer.
+        "layering",
+        "src/core/bad_serve_layer.cpp",
+        '#include "serve/store.hpp"\n',
+        '#include "obs/counters.hpp"\n',
+    ),
+    (
+        # engine must stay embeddable without serve (serve includes
+        # engine, never the reverse); engine -> obs stays allowed.
+        "layering",
+        "src/engine/bad_serve_layer.cpp",
+        '#include "serve/snapshot.hpp"\n',
+        '#include "obs/histogram.hpp"\n',
     ),
     (
         "self-contained",
