@@ -24,7 +24,11 @@
 //     sparse-gradient solve vs the historical copy-shift-dense solve to
 //     1e-9, and Vardi's shared transformed Gram vs its self-derived one
 //     to 1e-9.  (The QP's sparse-E path is pinned bitwise against the
-//     dense path in tests/linalg/test_blocked_kernels.cpp.)
+//     dense path in tests/linalg/test_blocked_kernels.cpp.)  The
+//     Gram-free operator forms are gated bitwise here: operator Vardi
+//     (on-demand transformed-Gram columns) against the dense path, and
+//     operator Bayesian (factored passive-set NNLS over on-demand Gram
+//     columns) against the dense NNLS path.
 //
 //  4. Projection / QP hot paths.  The sparse-aware Kruithof rewrite
 //     must beat the pre-PR loop >= 3x at 100 PoPs and agree to 1e-9;
@@ -38,7 +42,19 @@
 //     Bayesian (factored QP) and fanout (factored QP) all complete a
 //     window, and the peak dense Matrix allocation stays orders of
 //     magnitude below the 12.7 GB pairs^2 Hessian/Gram that the
-//     factored paths eliminated.
+//     factored paths eliminated.  Vardi joins through its operator
+//     form — the first scale at which the method exists at all (its
+//     dense transformed Gram would be those same 12.7 GB) — and a
+//     warm start from the cold solution must verify and return the
+//     same estimate to 1e-9.
+//
+//  7. 500-PoP Gram-free window (phase 6 is the contract-layer gate).
+//     Gravity, Kruithof, entropy, Bayesian (operator QP) and fanout
+//     (operator QP) complete a window at 249500 pairs with no
+//     pairs x pairs structure — dense or CSR — ever materialized
+//     (peak dense Matrix allocation < 10 MB), and the engine
+//     scheduler's default schedule finishes a full window without
+//     triggering the epoch's sparse or dense Gram.
 //
 // Results land in BENCH_solvers.json next to BENCH_engine.json so the
 // perf trajectory stays machine-readable across PRs.
@@ -60,6 +76,10 @@
 #include "core/gravity.hpp"
 #include "core/kruithof.hpp"
 #include "core/vardi.hpp"
+#include "engine/epoch_cache.hpp"
+#include "engine/method.hpp"
+#include "engine/scheduler.hpp"
+#include "engine/window.hpp"
 #include "linalg/cholesky.hpp"
 #include "linalg/entropy_solver.hpp"
 #include "linalg/matrix.hpp"
@@ -107,6 +127,14 @@ double vec_max_abs_diff(const linalg::Vector& a, const linalg::Vector& b) {
         worst = std::max(worst, std::abs(a[i] - b[i]));
     }
     return worst;
+}
+
+bool vec_bitwise(const linalg::Vector& a, const linalg::Vector& b) {
+    if (a.size() != b.size()) return false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        if (a[i] != b[i]) return false;
+    }
+    return true;
 }
 
 /// The naive dense Gram the blocked kernel replaced (reference —
@@ -617,6 +645,10 @@ int main(int argc, char** argv) {
     std::printf("\n[3] paper-scale estimator equivalence\n");
     double bayes_worst = 0.0;
     double vardi_worst = 0.0;
+    double vardi_operator_worst = 0.0;
+    bool vardi_operator_bitwise = true;
+    double bayes_operator_worst = 0.0;
+    bool bayes_operator_bitwise = true;
     bool paper_gram_exact = true;
     for (const scenario::Network network :
          {scenario::Network::europe, scenario::Network::usa}) {
@@ -661,10 +693,42 @@ int main(int argc, char** argv) {
         const double vdiff = vec_max_abs_diff(self_derived, shared_result);
         vardi_worst = std::max(vardi_worst, vdiff);
 
+        // Gram-free operator forms vs the dense paths above.  Both are
+        // bitwise by construction: the operator Vardi generates
+        // transformed-Gram columns that replay the Gram kernels'
+        // accumulation order with the dense loop's transform
+        // expression, and the operator Bayesian (paper scale: pairs
+        // within the dense-KKT limit) runs the factored passive-set
+        // NNLS whose dual refresh and KKT rows reproduce the dense
+        // NNLS path's arithmetic term for term.
+        core::VardiOptions vop_op = vopt;
+        vop_op.operator_form = true;
+        const linalg::Vector vardi_operator =
+            core::vardi_estimate(series, vop_op).lambda;
+        vardi_operator_bitwise =
+            vardi_operator_bitwise && vec_bitwise(vardi_operator,
+                                                  self_derived);
+        vardi_operator_worst =
+            std::max(vardi_operator_worst,
+                     vec_max_abs_diff(vardi_operator, self_derived));
+
+        core::BayesianOptions bop_op = bopt;
+        bop_op.operator_form = true;
+        const linalg::Vector bayes_operator =
+            core::bayesian_estimate(snap, prior, bop_op);
+        bayes_operator_bitwise =
+            bayes_operator_bitwise && vec_bitwise(bayes_operator, fast);
+        bayes_operator_worst = std::max(
+            bayes_operator_worst, vec_max_abs_diff(bayes_operator, fast));
+
         std::printf("  %-6s gram exact=%s  bayesian |fast-ref| %.3g  "
-                    "vardi |self-shared| %.3g\n",
+                    "vardi |self-shared| %.3g  operator bitwise: "
+                    "vardi=%s bayesian=%s\n",
                     sc.name.c_str(), gram_exact ? "yes" : "NO", bdiff,
-                    vdiff);
+                    vdiff,
+                    vec_bitwise(vardi_operator, self_derived) ? "yes"
+                                                              : "NO",
+                    vec_bitwise(bayes_operator, fast) ? "yes" : "NO");
     }
     if (!paper_gram_exact) {
         fail("sparse Gram not bitwise on a paper routing matrix");
@@ -677,6 +741,16 @@ int main(int argc, char** argv) {
     if (vardi_worst > 1e-9) {
         fail("Vardi shared transformed Gram diverges (%.3g > 1e-9)",
              vardi_worst);
+    }
+    if (!vardi_operator_bitwise) {
+        fail("operator-form Vardi is not bit-for-bit the dense path at "
+             "paper scale (max diff %.3g)",
+             vardi_operator_worst);
+    }
+    if (!bayes_operator_bitwise) {
+        fail("operator-form Bayesian is not bit-for-bit the dense NNLS "
+             "path at paper scale (max diff %.3g)",
+             bayes_operator_worst);
     }
 
     // ---- Phase 4: projection / QP hot paths --------------------------
@@ -847,6 +921,8 @@ int main(int argc, char** argv) {
     // fanout estimate through the factored QP (exact-LU gather regime)
     // and the entropy estimate through the operator loop vs the pre-PR
     // dense-path references.
+    bool fanout_operator_bitwise = true;
+    double fanout_operator_worst = 0.0;
     for (const scenario::Network network :
          {scenario::Network::europe, scenario::Network::usa}) {
         const scenario::Scenario sc = scenario::make_scenario(network);
@@ -925,6 +1001,40 @@ int main(int argc, char** argv) {
         fanout_paper_rel_diff =
             std::max(fanout_paper_rel_diff, fan_diff / fan_scale);
 
+        // Gram-free operator fanout vs the factored CSR path, both
+        // consuming the SAME incremental window aggregates (the
+        // engine's configuration).  With aggregates the factored
+        // assembly reads H(p,q) = outer(src p, src q) * G1(p,q) —
+        // exactly the values the operator's on-demand KKT columns
+        // generate — so the dense-gather exact-LU regime at paper
+        // scale is bitwise.
+        engine::SlidingWindow agg_window(&sc.topo, &sc.routing, window,
+                                         /*track_load_moments=*/false);
+        for (std::size_t k = 0; k < window; ++k) {
+            agg_window.push(k, series.loads[k]);
+        }
+        const linalg::Vector agg_mean = agg_window.mean_loads();
+        core::FanoutWindowAggregates aggs;
+        aggs.source_outer = &agg_window.source_outer();
+        aggs.weighted_rhs = &agg_window.weighted_rhs();
+        aggs.mean_loads = &agg_mean;
+        core::FanoutOptions fo_factored;
+        fo_factored.aggregates = aggs;
+        core::FanoutOptions fo_operator;
+        fo_operator.operator_form = true;
+        fo_operator.aggregates = aggs;
+        const core::FanoutResult fan_factored =
+            core::fanout_estimate(series, fo_factored);
+        const core::FanoutResult fan_operator =
+            core::fanout_estimate(series, fo_operator);
+        fanout_operator_bitwise =
+            fanout_operator_bitwise &&
+            vec_bitwise(fan_operator.fanouts, fan_factored.fanouts);
+        fanout_operator_worst =
+            std::max(fanout_operator_worst,
+                     vec_max_abs_diff(fan_operator.fanouts,
+                                      fan_factored.fanouts));
+
         // Entropy: operator loop vs the pre-PR reference.
         const core::SnapshotProblem snap = sc.busy_snapshot();
         const linalg::Vector prior = core::gravity_estimate(snap);
@@ -942,14 +1052,23 @@ int main(int argc, char** argv) {
                          std::abs(efast.s[p] - eref.s[p]) / escale);
         }
         std::printf("  %-6s fanout factored-vs-dense rel |da| %.3g  "
+                    "operator-vs-factored bitwise=%s  "
                     "entropy operator-vs-ref rel |ds| %.3g\n",
                     sc.name.c_str(), fan_diff / fan_scale,
+                    vec_bitwise(fan_operator.fanouts, fan_factored.fanouts)
+                        ? "yes"
+                        : "NO",
                     entropy_paper_diff);
     }
     if (fanout_paper_rel_diff > 1e-9) {
         fail("factored fanout QP diverges from the pre-PR dense path "
              "(rel %.3g > 1e-9)",
              fanout_paper_rel_diff);
+    }
+    if (!fanout_operator_bitwise) {
+        fail("operator-form fanout QP is not bit-for-bit the factored "
+             "CSR path under shared aggregates (max diff %.3g)",
+             fanout_operator_worst);
     }
     if (entropy_paper_diff > 1e-9) {
         fail("operator entropy diverges from the pre-PR path "
@@ -964,6 +1083,8 @@ int main(int argc, char** argv) {
     double p200_entropy_seconds = 0.0;
     double p200_bayesian_seconds = 0.0;
     double p200_fanout_seconds = 0.0;
+    double p200_vardi_seconds = 0.0;
+    double p200_vardi_warm_rel_diff = 0.0;
     std::size_t p200_peak_alloc_bytes = 0;
     std::size_t p200_total_alloc_bytes = 0;
     bool p200_ok = true;
@@ -1081,6 +1202,38 @@ int main(int argc, char** argv) {
                     fanout_result.qp_cg_iterations,
                     fanout_result.equality_violation);
 
+        // Vardi through the operator form: the first scale at which
+        // the method exists at all — its dense transformed Gram would
+        // be the same 12.7 GB the other methods already avoid.  The
+        // largest allocation it makes is the O(links^2) window
+        // covariance (~11 MB), which is what the peak-allocation gate
+        // below budgets for.  A warm start from the cold solution must
+        // pass the dual check and land on the same estimate.
+        core::VardiOptions vop;
+        vop.operator_form = true;
+        core::VardiResult vardi_cold;
+        p200_vardi_seconds = time_best(
+            1, [&] { vardi_cold = core::vardi_estimate(series, vop); });
+        check_estimate("vardi", vardi_cold.lambda);
+        core::VardiOptions vop_warm = vop;
+        vop_warm.warm_start = &vardi_cold.lambda;
+        const core::VardiResult vardi_warm =
+            core::vardi_estimate(series, vop_warm);
+        const double vardi_scale =
+            std::max(1.0, linalg::nrm_inf(vardi_cold.lambda));
+        p200_vardi_warm_rel_diff =
+            vec_max_abs_diff(vardi_warm.lambda, vardi_cold.lambda) /
+            vardi_scale;
+        std::printf("  vardi     %7.2fs (operator NNLS, warm-vs-cold "
+                    "rel |dl| %.3g)\n",
+                    p200_vardi_seconds, p200_vardi_warm_rel_diff);
+        if (p200_vardi_warm_rel_diff > 1e-9) {
+            fail("200-PoP operator Vardi warm start diverges from the "
+                 "cold solve (rel %.3g > 1e-9)",
+                 p200_vardi_warm_rel_diff);
+            p200_ok = false;
+        }
+
         // The point of the whole exercise: nothing dense and quadratic
         // in the pair count was ever allocated.  The largest legitimate
         // dense allocations at this scale are O(links^2) scratch
@@ -1190,6 +1343,246 @@ int main(int argc, char** argv) {
         }
     }
 
+    // ---- Phase 7: 500-PoP Gram-free window ---------------------------
+    // The Gram-free tentpole gate.  At 249500 pairs even the CSR Gram
+    // is a pairs-coupled structure nobody can afford per epoch; every
+    // method below runs off R and R' alone.  Two sub-gates:
+    //   * five methods (gravity, Kruithof, entropy, Bayesian operator
+    //     QP, fanout operator QP) complete a window inside the wall
+    //     budget with peak dense Matrix allocation < 10 MB — five
+    //     orders below the ~498 GB dense pairs^2 Gram;
+    //   * the engine scheduler's default schedule (gravity + Bayesian +
+    //     fanout) finishes a full window on a cold routing epoch with
+    //     sparse_gram_built() and gram_built() still false — the
+    //     operator wiring, not luck, keeps the quadratic builds off
+    //     the steady-state path.
+    std::printf("\n[7] 500-PoP generated backbone (Gram-free window)\n");
+    double p500_build_seconds = 0.0;
+    double p500_gravity_seconds = 0.0;
+    double p500_kruithof_seconds = 0.0;
+    double p500_entropy_seconds = 0.0;
+    double p500_bayesian_seconds = 0.0;
+    double p500_fanout_seconds = 0.0;
+    double p500_scheduler_seconds = 0.0;
+    std::size_t p500_pairs = 0;
+    std::size_t p500_links = 0;
+    std::size_t p500_nnz = 0;
+    std::size_t p500_peak_alloc_bytes = 0;
+    std::size_t p500_total_alloc_bytes = 0;
+    bool p500_sparse_gram_built = true;
+    bool p500_gram_built = true;
+    bool p500_transpose_built = false;
+    const double p500_budget_seconds = 300.0;
+    const std::size_t p500_peak_alloc_limit = 10u * 1000u * 1000u;
+    bool p500_ok = true;
+    {
+        topology::Topology topo;
+        linalg::SparseMatrix r;
+        p500_build_seconds = time_best(1, [&] {
+            topo = topology::generated_backbone(500, 4.0, 1);
+            r = routing::igp_routing_matrix(topo);
+        });
+        const std::size_t pairs = r.cols();
+        p500_pairs = pairs;
+        p500_links = topo.link_count();
+        p500_nnz = r.nonzeros();
+        // The shared operator input, exactly as the epoch cache hands
+        // it to the estimators: one O(nnz) CSR transpose.
+        const linalg::SparseMatrix rt = linalg::transpose(r);
+        const linalg::Vector truth = synthetic_demands(topo, 99);
+        core::SnapshotProblem snap;
+        snap.topo = &topo;
+        snap.routing = &r;
+        snap.loads = r.multiply(truth);
+
+        const std::size_t window = 4;
+        const linalg::Vector alpha = traffic::fanouts_from_demands(
+            topo.pop_count(), truth);
+        std::mt19937_64 rng(13);
+        std::uniform_real_distribution<double> dist(0.5, 2.0);
+        core::SeriesProblem series;
+        series.topo = &topo;
+        series.routing = &r;
+        const linalg::Vector totals0 =
+            traffic::node_totals_from_demands(topo.pop_count(), truth);
+        for (std::size_t k = 0; k < window; ++k) {
+            linalg::Vector totals = totals0;
+            for (double& v : totals) v *= dist(rng);
+            series.loads.push_back(r.multiply(
+                traffic::demands_from_fanouts(topo.pop_count(), alpha,
+                                              totals)));
+        }
+        std::printf("  pops=500 links=%zu pairs=%zu nnz=%zu "
+                    "(build %.2fs; dense pairs^2 would be %.0f GB)\n",
+                    p500_links, pairs, p500_nnz, p500_build_seconds,
+                    static_cast<double>(pairs) *
+                        static_cast<double>(pairs) * 8.0 / 1e9);
+
+        linalg::detail::reset_peak_matrix_allocation();
+        linalg::detail::reset_total_matrix_allocation();
+        const auto check_estimate = [&](const char* name,
+                                        const linalg::Vector& est) {
+            if (est.size() != pairs) {
+                fail("500-PoP %s estimate has wrong size", name);
+                p500_ok = false;
+                return;
+            }
+            for (double v : est) {
+                if (!std::isfinite(v) || v < 0.0) {
+                    fail("500-PoP %s estimate not finite/nonnegative",
+                         name);
+                    p500_ok = false;
+                    return;
+                }
+            }
+        };
+
+        linalg::Vector est;
+        p500_gravity_seconds =
+            time_best(1, [&] { est = core::gravity_estimate(snap); });
+        check_estimate("gravity", est);
+        const linalg::Vector prior = est;
+        std::printf("  gravity   %7.2fs\n", p500_gravity_seconds);
+
+        core::KruithofOptions kopt;
+        kopt.max_iterations = 30;
+        kopt.check_every = 10;
+        p500_kruithof_seconds = time_best(1, [&] {
+            est = core::kruithof_general(snap, prior, kopt).s;
+        });
+        check_estimate("kruithof", est);
+        std::printf("  kruithof  %7.2fs (30 sweeps)\n",
+                    p500_kruithof_seconds);
+
+        core::EntropyOptions ent;
+        ent.solver.max_iterations = 60;
+        p500_entropy_seconds = time_best(1, [&] {
+            est = core::entropy_estimate(snap, prior, ent);
+        });
+        check_estimate("entropy", est);
+        std::printf("  entropy   %7.2fs (60 iters)\n",
+                    p500_entropy_seconds);
+
+        core::BayesianOptions bopt;
+        bopt.operator_form = true;
+        bopt.shared_routing_transpose = &rt;
+        bopt.qp.cg_max_iterations = 120;
+        bopt.qp.max_active_set_rounds = 6;
+        p500_bayesian_seconds = time_best(1, [&] {
+            est = core::bayesian_estimate(snap, prior, bopt);
+        });
+        check_estimate("bayesian", est);
+        std::printf("  bayesian  %7.2fs (operator QP, cg<=120)\n",
+                    p500_bayesian_seconds);
+
+        core::FanoutOptions fopt;
+        fopt.operator_form = true;
+        fopt.shared_routing_transpose = &rt;
+        fopt.qp.cg_max_iterations = 80;
+        // 249500 nonneg variables need more block-pivoting rounds than
+        // the 200-PoP problem: each round flips the whole infeasibility
+        // set, and the set only shrinks to empty after ~a dozen flips
+        // at this scale.  Headroom, not extra work — the driver stops
+        // at convergence.
+        fopt.qp.max_active_set_rounds = 24;
+        core::FanoutResult fanout_result;
+        p500_fanout_seconds = time_best(
+            1, [&] { fanout_result = core::fanout_estimate(series, fopt); });
+        check_estimate("fanout", fanout_result.mean_demands);
+        if (fanout_result.equality_violation > 1e-6) {
+            fail("500-PoP fanout equality violation %.3g > 1e-6",
+                 fanout_result.equality_violation);
+            p500_ok = false;
+        }
+        std::printf("  fanout    %7.2fs (operator QP, %zu rounds, %zu cg "
+                    "iters, eq viol %.2e)\n",
+                    p500_fanout_seconds, fanout_result.qp_iterations,
+                    fanout_result.qp_cg_iterations,
+                    fanout_result.equality_violation);
+
+        const double p500_window_seconds =
+            p500_gravity_seconds + p500_kruithof_seconds +
+            p500_entropy_seconds + p500_bayesian_seconds +
+            p500_fanout_seconds;
+        if (p500_window_seconds > p500_budget_seconds) {
+            fail("500-PoP five-method window exceeds the %.0fs budget "
+                 "(%.2fs)",
+                 p500_budget_seconds, p500_window_seconds);
+            p500_ok = false;
+        }
+
+        // The scheduler's default schedule over a cold epoch: the
+        // operator wiring must leave both quadratic Gram builds
+        // untriggered after a full window.
+        engine::RoutingEpochCache cache;
+        const std::shared_ptr<const engine::RoutingEpoch> epoch =
+            cache.acquire_shared(r);
+        engine::SlidingWindow win(&topo, &r, window,
+                                  /*track_load_moments=*/false);
+        for (std::size_t k = 0; k < window; ++k) {
+            win.push(k, series.loads[k]);
+        }
+        engine::MethodOptions mopts;
+        mopts.bayesian.qp.cg_max_iterations = 120;
+        mopts.bayesian.qp.max_active_set_rounds = 6;
+        mopts.fanout.qp.cg_max_iterations = 80;
+        mopts.fanout.qp.max_active_set_rounds = 24;
+        engine::EstimatorScheduler scheduler(
+            {engine::Method::gravity, engine::Method::bayesian,
+             engine::Method::fanout},
+            mopts, /*threads=*/0, /*warm_start=*/true,
+            /*min_series_window=*/3);
+        engine::WindowResult wres;
+        p500_scheduler_seconds =
+            time_best(1, [&] { wres = scheduler.run(win, epoch); });
+        for (const engine::MethodRun& run : wres.runs) {
+            check_estimate("scheduler", run.estimate);
+        }
+        if (wres.runs.size() != 3) {
+            fail("500-PoP scheduler window ran %zu methods, expected 3",
+                 wres.runs.size());
+            p500_ok = false;
+        }
+        p500_sparse_gram_built = epoch->sparse_gram_built();
+        p500_gram_built = epoch->gram_built();
+        p500_transpose_built = epoch->routing_transpose_built();
+        std::printf("  scheduler %7.2fs (default schedule; sparse gram "
+                    "built=%s, dense gram built=%s, R' built=%s)\n",
+                    p500_scheduler_seconds,
+                    p500_sparse_gram_built ? "YES" : "no",
+                    p500_gram_built ? "YES" : "no",
+                    p500_transpose_built ? "yes" : "NO");
+        if (p500_sparse_gram_built || p500_gram_built) {
+            fail("500-PoP default schedule triggered a pairs^2 Gram "
+                 "build (sparse=%d dense=%d)",
+                 p500_sparse_gram_built ? 1 : 0, p500_gram_built ? 1 : 0);
+            p500_ok = false;
+        }
+        if (!p500_transpose_built) {
+            fail("500-PoP default schedule never built the shared "
+                 "routing transpose — the operator wiring is not "
+                 "engaged");
+            p500_ok = false;
+        }
+
+        p500_peak_alloc_bytes =
+            linalg::detail::peak_matrix_allocation_bytes();
+        p500_total_alloc_bytes =
+            linalg::detail::total_matrix_allocation_bytes();
+        std::printf("  peak dense Matrix allocation: %.2f MB, cumulative "
+                    "churn %.2f MB (limit 10 MB; dense pairs^2 %.0f GB)\n",
+                    static_cast<double>(p500_peak_alloc_bytes) / 1e6,
+                    static_cast<double>(p500_total_alloc_bytes) / 1e6,
+                    static_cast<double>(pairs) *
+                        static_cast<double>(pairs) * 8.0 / 1e9);
+        if (p500_peak_alloc_bytes >= p500_peak_alloc_limit) {
+            fail("a dense allocation >= 10 MB happened inside the "
+                 "500-PoP Gram-free window (%zu bytes)",
+                 p500_peak_alloc_bytes);
+            p500_ok = false;
+        }
+    }
+
     // ---- JSON record -------------------------------------------------
     obs::Report report("bench_perf_solvers");
     report.set("gemm_n", gemm_n);
@@ -1257,14 +1650,39 @@ int main(int argc, char** argv) {
     report.set("entropy_budget_seconds", entropy_budget_seconds);
     report.set("entropy_paper_rel_diff", entropy_paper_diff);
     report.set("fanout_paper_rel_diff", fanout_paper_rel_diff);
+    report.set("vardi_operator_bitwise", vardi_operator_bitwise);
+    report.set("vardi_operator_max_diff", vardi_operator_worst);
+    report.set("bayesian_operator_bitwise", bayes_operator_bitwise);
+    report.set("bayesian_operator_max_diff", bayes_operator_worst);
+    report.set("fanout_operator_bitwise", fanout_operator_bitwise);
+    report.set("fanout_operator_max_diff", fanout_operator_worst);
     report.set("p200_gravity_seconds", p200_gravity_seconds);
     report.set("p200_kruithof_seconds", p200_kruithof_seconds);
     report.set("p200_entropy_seconds", p200_entropy_seconds);
     report.set("p200_bayesian_seconds", p200_bayesian_seconds);
     report.set("p200_fanout_seconds", p200_fanout_seconds);
+    report.set("p200_vardi_seconds", p200_vardi_seconds);
+    report.set("p200_vardi_warm_rel_diff", p200_vardi_warm_rel_diff);
     report.set("p200_peak_alloc_bytes", p200_peak_alloc_bytes);
     report.set("p200_total_alloc_bytes", p200_total_alloc_bytes);
     report.set("p200_ok", p200_ok);
+    report.set("p500_pairs", p500_pairs);
+    report.set("p500_links", p500_links);
+    report.set("p500_nnz", p500_nnz);
+    report.set("p500_build_seconds", p500_build_seconds);
+    report.set("p500_gravity_seconds", p500_gravity_seconds);
+    report.set("p500_kruithof_seconds", p500_kruithof_seconds);
+    report.set("p500_entropy_seconds", p500_entropy_seconds);
+    report.set("p500_bayesian_seconds", p500_bayesian_seconds);
+    report.set("p500_fanout_seconds", p500_fanout_seconds);
+    report.set("p500_scheduler_seconds", p500_scheduler_seconds);
+    report.set("p500_budget_seconds", p500_budget_seconds);
+    report.set("p500_peak_alloc_bytes", p500_peak_alloc_bytes);
+    report.set("p500_total_alloc_bytes", p500_total_alloc_bytes);
+    report.set("p500_sparse_gram_built", p500_sparse_gram_built);
+    report.set("p500_gram_built", p500_gram_built);
+    report.set("p500_routing_transpose_built", p500_transpose_built);
+    report.set("p500_ok", p500_ok);
     report.set("contracts_compiled", check::contracts_compiled());
     report.set("contracts_armed_seconds", contracts_armed_seconds);
     report.set("contracts_suspended_seconds", contracts_suspended_seconds);

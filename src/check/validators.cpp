@@ -163,6 +163,38 @@ void solver_boundary(const char* solver, const linalg::Vector& x,
     }
 }
 
+void solver_boundary(const char* solver, const linalg::Vector& x,
+                     const std::vector<std::size_t>& passive_set) {
+    const std::string name(solver);
+    std::vector<bool> passive(x.size(), false);
+    for (std::size_t i = 0; i < passive_set.size(); ++i) {
+        const std::size_t j = passive_set[i];
+        if (j >= x.size()) {
+            fail("solver_boundary",
+                 name + ": passive index " + std::to_string(j) +
+                     " out of range (n = " + std::to_string(x.size()) + ")");
+        }
+        if (passive[j]) {
+            fail("solver_boundary",
+                 name + ": passive index " + std::to_string(j) +
+                     " listed twice");
+        }
+        passive[j] = true;
+        if (!(x[j] > 0.0)) {
+            fail("solver_boundary",
+                 name + ": passive " + at_index("x", j) + " = " +
+                     std::to_string(x[j]) + ", expected > 0");
+        }
+    }
+    for (std::size_t j = 0; j < x.size(); ++j) {
+        if (!passive[j] && x[j] != 0.0) {
+            fail("solver_boundary",
+                 name + ": active " + at_index("x", j) + " = " +
+                     std::to_string(x[j]) + ", expected exactly 0");
+        }
+    }
+}
+
 void snapshot_structure(std::uint64_t version, std::size_t window_start,
                         std::size_t window_end,
                         const std::vector<std::size_t>& estimate_lengths,

@@ -55,6 +55,15 @@ void solver_boundary(const char* solver, const linalg::Matrix& gram,
 void solver_boundary(const char* solver, const linalg::Vector& x,
                      bool require_nonnegative = false);
 
+/// Factored NNLS passive-set consistency: every passive index is in
+/// range and unique with x strictly positive there, and every
+/// non-passive coordinate sits exactly at the bound (x == 0).  Solvers
+/// call this after each pivot's feasibility restoration, where the
+/// active-set invariant must hold exactly — a drifting passive set is
+/// how a corrupted incremental factor first becomes visible.
+void solver_boundary(const char* solver, const linalg::Vector& x,
+                     const std::vector<std::size_t>& passive_set);
+
 /// Published-snapshot structural integrity (serving layer): a nonzero
 /// publication version, ordered window bounds, and uniform estimate
 /// lengths across every served method — the shape invariants the

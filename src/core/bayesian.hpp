@@ -35,6 +35,23 @@ struct BayesianOptions {
     /// lets the Bayesian method run at 200-PoP generated-backbone
     /// scale, where the dense Gram (~12.7 GB) cannot exist.  Not owned.
     const linalg::SparseMatrix* shared_sparse_gram = nullptr;
+    /// Gram-free solve: R'R is never materialized, not even in CSR.
+    /// Paper-scale problems (pairs within qp.dense_kkt_limit) run the
+    /// factored-passive-set NNLS over on-demand Gram columns
+    /// (linalg::gram_column) with the O(nnz) dual refresh through the
+    /// routing operator — bit-for-bit the dense NNLS path.  Larger
+    /// problems switch to the operator QP: the positive prior makes the
+    /// MAP solution dense-positive, so an active-set NNLS would pivot
+    /// once per pair, while the QP's block pivoting reaches the same
+    /// strictly convex minimizer in a handful of rounds with A'A
+    /// applied implicitly per CG iteration.  When set, shared_gram and
+    /// shared_sparse_gram are ignored.
+    bool operator_form = false;
+    /// Optional precomputed CSR transpose of the routing matrix; MUST
+    /// equal linalg::transpose(*problem.routing).  Only read by the
+    /// operator_form path (the engine caches it per routing epoch);
+    /// derived on the fly when absent.  Not owned.
+    const linalg::SparseMatrix* shared_routing_transpose = nullptr;
     /// Optional warm start for the active-set NNLS (see NnlsOptions).
     /// G + (1/lambda) I is positive definite, so the minimizer is unique
     /// and unchanged by warm starting.  Not owned.

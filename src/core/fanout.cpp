@@ -69,7 +69,10 @@ FanoutResult fanout_estimate(const SeriesProblem& problem,
     // engine, derived locally otherwise.  The dense P x P Gram the
     // pre-factored path weighted element-by-element is never built.
     linalg::SparseMatrix local_gram;
-    if (options.shared_sparse_gram != nullptr) {
+    if (options.operator_form) {
+        // Gram-free: the data term is applied through R and R' below;
+        // g1 stays empty and every use of it is guarded.
+    } else if (options.shared_sparse_gram != nullptr) {
         if (options.shared_sparse_gram->rows() != pairs ||
             options.shared_sparse_gram->cols() != pairs) {
             throw std::invalid_argument(
@@ -112,12 +115,16 @@ FanoutResult fanout_estimate(const SeriesProblem& problem,
     linalg::Vector f(pairs, 0.0);
     const std::vector<std::size_t>& source_of = constraints.source_of;
     if (agg.complete()) {
-        const linalg::Matrix& outer = *agg.source_outer;
-        for (std::size_t p = 0; p < pairs; ++p) {
-            const double* __restrict orow = outer.row_data(source_of[p]);
-            for (std::size_t t = gv.offsets[p]; t < gv.offsets[p + 1];
-                 ++t) {
-                hvals[t] = orow[source_of[gv.col_index[t]]] * gv.values[t];
+        if (!options.operator_form) {
+            const linalg::Matrix& outer = *agg.source_outer;
+            for (std::size_t p = 0; p < pairs; ++p) {
+                const double* __restrict orow =
+                    outer.row_data(source_of[p]);
+                for (std::size_t t = gv.offsets[p]; t < gv.offsets[p + 1];
+                     ++t) {
+                    hvals[t] =
+                        orow[source_of[gv.col_index[t]]] * gv.values[t];
+                }
             }
         }
         f = *agg.weighted_rhs;
@@ -129,13 +136,76 @@ FanoutResult fanout_estimate(const SeriesProblem& problem,
             r.multiply_transpose_into(problem.loads[k], rt);
             for (std::size_t p = 0; p < pairs; ++p) {
                 f[p] += w[p] * rt[p];
-                if (w[p] == 0.0) continue;
+                if (options.operator_form || w[p] == 0.0) continue;
                 const double wp = w[p];
                 for (std::size_t t = gv.offsets[p]; t < gv.offsets[p + 1];
                      ++t) {
                     hvals[t] += wp * w[gv.col_index[t]] * gv.values[t];
                 }
             }
+        }
+    }
+
+    // Operator-form precomputation: the routing transpose (epoch-cached
+    // or derived), the G1 diagonal replayed from R's column supports,
+    // the source-totals outer matrix (from the aggregates, or locally —
+    // nodes x nodes, never pairs-quadratic), and the per-sample window
+    // factors the Hessian applies run through.
+    linalg::SparseMatrix rt_local;
+    const linalg::SparseMatrix* rtp = nullptr;
+    linalg::Matrix local_outer;
+    const linalg::Matrix* outer_ptr = nullptr;
+    std::vector<linalg::Vector> window_w;
+    linalg::Vector d1;
+    if (options.operator_form) {
+        if (options.shared_routing_transpose != nullptr) {
+            if (options.shared_routing_transpose->rows() != pairs ||
+                options.shared_routing_transpose->cols() != r.rows()) {
+                throw std::invalid_argument(
+                    "fanout_estimate: shared routing transpose dimension "
+                    "mismatch");
+            }
+            rtp = options.shared_routing_transpose;
+        } else {
+            rt_local = linalg::transpose(r);
+            rtp = &rt_local;
+        }
+        const linalg::CsrView rtv = rtp->view();
+        // G1(p, p) = sum of squares over column p's carriers, source
+        // rows ascending — the Gram kernels' diagonal accumulation.
+        d1.assign(pairs, 0.0);
+        for (std::size_t p = 0; p < pairs; ++p) {
+            double dp = 0.0;
+            for (std::size_t t = rtv.offsets[p]; t < rtv.offsets[p + 1];
+                 ++t) {
+                dp += rtv.values[t] * rtv.values[t];
+            }
+            d1[p] = dp;
+        }
+        if (agg.complete()) {
+            outer_ptr = agg.source_outer;
+        } else {
+            // nodes x nodes, not pairs x pairs: 2 MB at 500 PoPs.
+            // lint: allow(dense-alloc)
+            local_outer = linalg::Matrix(nodes, nodes, 0.0);
+            for (std::size_t k = 0; k < window; ++k) {
+                for (std::size_t n1 = 0; n1 < nodes; ++n1) {
+                    const double te1 =
+                        problem.loads[k][topo.ingress_link(n1)];
+                    if (te1 == 0.0) continue;
+                    double* __restrict orow = local_outer.row_data(n1);
+                    for (std::size_t n2 = 0; n2 < nodes; ++n2) {
+                        orow[n2] +=
+                            te1 * problem.loads[k][topo.ingress_link(n2)];
+                    }
+                }
+            }
+            outer_ptr = &local_outer;
+        }
+        window_w.reserve(window);
+        for (std::size_t k = 0; k < window; ++k) {
+            window_w.push_back(
+                pair_source_totals(topo, problem.loads[k]));
         }
     }
 
@@ -159,14 +229,26 @@ FanoutResult fanout_estimate(const SeriesProblem& problem,
             total_exit += mean_loads[topo.egress_link(m)];
         }
         double hmax = 0.0;
-        for (std::size_t p = 0; p < pairs; ++p) {
-            for (std::size_t t = gv.offsets[p]; t < gv.offsets[p + 1];
-                 ++t) {
-                if (gv.col_index[t] == p) {
-                    hmax = std::max(hmax, hvals[t]);
-                    break;
+        if (options.operator_form) {
+            // Same scan over the same diagonal values — H(p, p) is the
+            // product the weighted-CSR assembly stores at the diagonal
+            // slot (structurally absent diagonals scan as 0, which
+            // cannot move the max of nonnegative values).
+            const linalg::Matrix& outer = *outer_ptr;
+            for (std::size_t p = 0; p < pairs; ++p) {
+                hmax = std::max(
+                    hmax, outer(source_of[p], source_of[p]) * d1[p]);
+            }
+        } else {
+            for (std::size_t p = 0; p < pairs; ++p) {
+                for (std::size_t t = gv.offsets[p]; t < gv.offsets[p + 1];
+                     ++t) {
+                    if (gv.col_index[t] == p) {
+                        hmax = std::max(hmax, hvals[t]);
+                        break;
+                    }
+                    if (gv.col_index[t] > p) break;
                 }
-                if (gv.col_index[t] > p) break;
             }
         }
         const double eps =
@@ -193,13 +275,65 @@ FanoutResult fanout_estimate(const SeriesProblem& problem,
         }
         qp_options.warm_start = options.warm_start;
     }
-    linalg::FactoredHessian hessian;
-    hessian.matrix = {pairs, pairs, gv.offsets, gv.col_index, hvals.data()};
-    hessian.diagonal =
-        tiebreak_diag.empty() ? nullptr : &tiebreak_diag;
-    const linalg::EqQpNonnegResult qp = linalg::solve_eq_qp_nonneg_factored(
-        hessian, f, constraints.equality_sparse, constraints.rhs,
-        qp_options);
+    linalg::EqQpNonnegResult qp;
+    if (options.operator_form) {
+        const linalg::CsrView rv = r.view();
+        const linalg::CsrView rtv = rtp->view();
+        const linalg::Matrix& outer = *outer_ptr;
+        linalg::Vector ubuf(pairs, 0.0);
+        linalg::Vector vbuf(r.rows(), 0.0);
+        linalg::Vector zbuf(pairs, 0.0);
+        linalg::HessianOperator hessian_op;
+        hessian_op.dimension = pairs;
+        // H x = sum_k W_k R' R W_k x: one R / R' product per window
+        // sample — O(nnz * window) per apply, rank-(window) structure
+        // exploited instead of the quadratic weighted Gram.
+        hessian_op.apply = [&](const linalg::Vector& x,
+                               linalg::Vector& y) {
+            y.assign(pairs, 0.0);
+            for (const linalg::Vector& wk : window_w) {
+                for (std::size_t p = 0; p < pairs; ++p) {
+                    ubuf[p] = wk[p] * x[p];
+                }
+                r.multiply_into(ubuf, vbuf);
+                r.multiply_transpose_into(vbuf, zbuf);
+                for (std::size_t p = 0; p < pairs; ++p) {
+                    y[p] += wk[p] * zbuf[p];
+                }
+            }
+        };
+        hessian_op.diag = [&](linalg::Vector& out) {
+            for (std::size_t p = 0; p < pairs; ++p) {
+                out[p] = outer(source_of[p], source_of[p]) * d1[p];
+            }
+        };
+        // Row j = source-weighted Gram column: the generated G1 values
+        // and the per-entry products are the weighted-CSR assembly's,
+        // bit-for-bit.
+        hessian_op.column = [&](std::size_t j,
+                                std::vector<double>& scratch,
+                                std::vector<std::size_t>& support) {
+            linalg::gram_column(rv, rtv, j, scratch.data(), support);
+            const double* __restrict orow = outer.row_data(source_of[j]);
+            for (const std::size_t q : support) {
+                scratch[q] = orow[source_of[q]] * scratch[q];
+            }
+        };
+        hessian_op.diagonal =
+            tiebreak_diag.empty() ? nullptr : &tiebreak_diag;
+        qp = linalg::solve_eq_qp_nonneg_operator(
+            hessian_op, f, constraints.equality_sparse, constraints.rhs,
+            qp_options);
+    } else {
+        linalg::FactoredHessian hessian;
+        hessian.matrix = {pairs, pairs, gv.offsets, gv.col_index,
+                          hvals.data()};
+        hessian.diagonal =
+            tiebreak_diag.empty() ? nullptr : &tiebreak_diag;
+        qp = linalg::solve_eq_qp_nonneg_factored(
+            hessian, f, constraints.equality_sparse, constraints.rhs,
+            qp_options);
+    }
 
     FanoutResult result;
     result.fanouts = qp.x;

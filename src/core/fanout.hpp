@@ -82,6 +82,21 @@ struct FanoutOptions {
     /// Optional precomputed equality-constraint structure; MUST equal
     /// FanoutConstraints::build(*problem.topo).  Not owned.
     const FanoutConstraints* shared_constraints = nullptr;
+    /// Gram-free solve: not even the CSR Gram R'R is built.  The QP's
+    /// data term H = sum_k W_k (R'R) W_k is supplied as an operator —
+    /// applies run per window sample through R and R' (O(nnz * window)
+    /// per product), and KKT rows are generated on demand as
+    /// source-weighted Gram columns (linalg::gram_column).  The
+    /// generated values replay the weighted-CSR assembly bit-for-bit,
+    /// so exact-LU-regime solves match the factored path exactly; the
+    /// projected-CG regime agrees to solver precision.  When set,
+    /// shared_sparse_gram is ignored.
+    bool operator_form = false;
+    /// Optional precomputed CSR transpose of the routing matrix; MUST
+    /// equal linalg::transpose(*problem.routing).  Only read by the
+    /// operator_form path (the engine caches it per routing epoch);
+    /// derived on the fly when absent.  Not owned.
+    const linalg::SparseMatrix* shared_routing_transpose = nullptr;
     /// Optional QP active-set warm start: the previous window's fanout
     /// vector (pair-indexed).  The QP verifies the seed's KKT
     /// feasibility and falls back to a cold solve when it is

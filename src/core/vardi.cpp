@@ -45,7 +45,11 @@ VardiResult vardi_estimate(const SeriesProblem& problem,
     // derived here.
     linalg::Matrix g;
     const linalg::Matrix* gsolve = nullptr;
-    if (options.shared_transformed_gram != nullptr) {
+    if (options.operator_form) {
+        // Gram-free path: columns of the transformed Gram are generated
+        // on demand inside the solve below; nothing pairs x pairs is
+        // built here.
+    } else if (options.shared_transformed_gram != nullptr) {
         if (options.shared_transformed_gram->rows() != pairs ||
             options.shared_transformed_gram->cols() != pairs) {
             throw std::invalid_argument(
@@ -86,7 +90,7 @@ VardiResult vardi_estimate(const SeriesProblem& problem,
             }
             rhs[p] += w * q;
         }
-        if (gsolve == nullptr) {
+        if (!options.operator_form && gsolve == nullptr) {
             for (std::size_t p = 0; p < pairs; ++p) {
                 for (std::size_t qx = 0; qx < pairs; ++qx) {
                     const double g1 = g(p, qx);
@@ -95,13 +99,53 @@ VardiResult vardi_estimate(const SeriesProblem& problem,
             }
         }
     }
-    if (gsolve == nullptr) gsolve = &g;
+    if (!options.operator_form && gsolve == nullptr) gsolve = &g;
 
     VardiResult result;
     linalg::NnlsOptions nnls_options;
     nnls_options.warm_start = options.warm_start;
     nnls_options.counters = options.counters;
-    result.lambda = linalg::nnls_gram(*gsolve, rhs, 0.0, nnls_options).x;
+    if (options.operator_form) {
+        if (options.shared_routing_transpose != nullptr &&
+            (options.shared_routing_transpose->rows() != pairs ||
+             options.shared_routing_transpose->cols() != r.rows())) {
+            throw std::invalid_argument(
+                "vardi_estimate: shared routing transpose dimension "
+                "mismatch");
+        }
+        linalg::SparseMatrix rt_local;
+        if (options.shared_routing_transpose == nullptr) {
+            rt_local = linalg::transpose(r);
+        }
+        const linalg::SparseMatrix& rt =
+            options.shared_routing_transpose != nullptr
+                ? *options.shared_routing_transpose
+                : rt_local;
+        const linalg::CsrView rv = r.view();
+        const linalg::CsrView rtv = rt.view();
+        linalg::GramColumnOracle oracle;
+        oracle.dimension = pairs;
+        oracle.column = [rv, rtv, w](std::size_t j,
+                                     std::vector<double>& scratch,
+                                     std::vector<std::size_t>& support) {
+            linalg::gram_column(rv, rtv, j, scratch.data(), support);
+            if (w > 0.0) {
+                // Same expression as the dense transform loop above,
+                // applied per support entry (the skipped entries are
+                // exact zeros, which the transform maps to zero) — the
+                // generated column is bitwise the dense row.
+                for (const std::size_t q : support) {
+                    const double g1 = scratch[q];
+                    scratch[q] = g1 + w * g1 * g1;
+                }
+            }
+        };
+        result.lambda =
+            linalg::nnls_operator(oracle, rhs, 0.0, nnls_options).x;
+    } else {
+        result.lambda =
+            linalg::nnls_gram(*gsolve, rhs, 0.0, nnls_options).x;
+    }
 
     // Residual diagnostics.
     const linalg::Vector pred = r.multiply(result.lambda);

@@ -43,6 +43,21 @@ struct VardiOptions {
     /// Either both or neither must be set.  Not owned.
     const linalg::Vector* mean_loads = nullptr;
     const linalg::Matrix* load_covariance = nullptr;
+    /// Gram-free solve: the transformed Gram G1 + w * (G1 .* G1) is
+    /// never materialized — not densely, not in CSR.  Columns are
+    /// generated on demand from R and R' (linalg::gram_column) with the
+    /// entrywise transform applied per support entry, and the NNLS runs
+    /// its factored passive-set solve over them.  Because the generated
+    /// columns replay the Gram kernels' accumulation order and the
+    /// transform is the dense loop's expression, the estimate is
+    /// bit-for-bit the dense path's wherever both can run.  When set,
+    /// shared_gram / shared_transformed_gram are ignored.
+    bool operator_form = false;
+    /// Optional precomputed CSR transpose of the routing matrix; MUST
+    /// equal linalg::transpose(*problem.routing).  Only read by the
+    /// operator_form path (the engine caches it per routing epoch);
+    /// derived on the fly when absent.  Not owned.
+    const linalg::SparseMatrix* shared_routing_transpose = nullptr;
     /// Optional warm start for the NNLS (previous window's lambda).
     const linalg::Vector* warm_start = nullptr;
     /// Optional iteration telemetry sink: the moment-matching NNLS adds

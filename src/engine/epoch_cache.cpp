@@ -77,6 +77,29 @@ bool RoutingEpoch::sparse_gram_built() const {
     return derived_->sparse_gram_built;
 }
 
+const linalg::SparseMatrix& RoutingEpoch::routing_transpose() const {
+    {
+        std::shared_lock<std::shared_mutex> read(derived_->mutex);
+        if (derived_->transpose_built) return derived_->transpose;
+    }
+    std::unique_lock<std::shared_mutex> write(derived_->mutex);
+    if (!derived_->transpose_built) {
+        obs::Span span("epoch/build_routing_transpose");
+        const SteadyClock::time_point start = SteadyClock::now();
+        derived_->transpose = linalg::transpose(routing_);
+        derived_->transpose_built = true;
+        TME_CONTRACT_DBG_CHECK(check::csr_structure(
+            derived_->transpose, "epoch routing transpose"));
+        record_build(seconds_since(start));
+    }
+    return derived_->transpose;
+}
+
+bool RoutingEpoch::routing_transpose_built() const {
+    std::shared_lock<std::shared_mutex> read(derived_->mutex);
+    return derived_->transpose_built;
+}
+
 const linalg::Matrix& RoutingEpoch::vardi_gram(double weight) const {
     // Force the Gram build (under its own critical section) before
     // taking the exclusive lock below — gram() grabs the same mutex.

@@ -105,6 +105,20 @@ class RoutingEpoch {
     /// True once the sparse Gram has been built (telemetry / tests).
     bool sparse_gram_built() const;
 
+    /// CSR transpose R' of the routing matrix, built lazily on first
+    /// use — the shared input of every Gram-free operator path (Vardi,
+    /// Bayesian, fanout): row p of R' lists column p's carriers, source
+    /// rows ascending, which is exactly what linalg::gram_column needs
+    /// to replay the Gram kernels bit-for-bit.  O(nnz) to build and
+    /// store — the scheduler's default schedule derives everything from
+    /// this instead of any pairs x pairs Gram.  Does not count toward
+    /// derived_builds() (like gram(): the counter tracks the expensive
+    /// quadratic builds the tests guard against).
+    const linalg::SparseMatrix& routing_transpose() const;
+
+    /// True once the routing transpose has been built (telemetry).
+    bool routing_transpose_built() const;
+
     /// Vardi's transformed Gram G1 + weight*(G1 .* G1), built lazily on
     /// first use and cached per weight, so fleet jobs configured with
     /// different weights can share the epoch safely (each weight builds
@@ -144,6 +158,8 @@ class RoutingEpoch {
         linalg::Matrix gram;
         bool sparse_gram_built = false;
         linalg::SparseMatrix sparse_gram;
+        bool transpose_built = false;
+        linalg::SparseMatrix transpose;
         /// Node-based on purpose: inserting one weight's matrix never
         /// moves another's, so returned references stay valid.
         std::map<double, linalg::Matrix> vardi_by_weight;

@@ -195,7 +195,12 @@ MethodExecution execute_method(Method m, const WindowContext& ctx,
         case Method::bayesian: {
             core::BayesianOptions opts = options.bayesian;
             opts.counters = &run.solver;
-            opts.shared_gram = &ctx.epoch->gram();
+            // Gram-free: the MAP system is solved through on-demand
+            // Gram columns / implicit A'A products off the epoch's
+            // cached R' — neither the dense nor the CSR Gram is ever
+            // triggered by the default schedule.
+            opts.operator_form = true;
+            opts.shared_routing_transpose = &ctx.epoch->routing_transpose();
             if (warm_seed != nullptr) {
                 opts.warm_start = warm_seed;
                 run.warm_started = true;
@@ -212,10 +217,12 @@ MethodExecution execute_method(Method m, const WindowContext& ctx,
         case Method::vardi: {
             core::VardiOptions opts = options.vardi;
             opts.counters = &run.solver;
-            // Per-epoch transformed Gram G1 + w*(G1 .* G1), built
-            // lazily on the first Vardi window of the epoch.
-            opts.shared_transformed_gram =
-                &ctx.epoch->vardi_gram(options.vardi.second_moment_weight);
+            // Gram-free: columns of the transformed Gram
+            // G1 + w*(G1 .* G1) are generated on demand off the
+            // epoch's cached R' — the dense per-epoch transformed Gram
+            // is never built on the default schedule.
+            opts.operator_form = true;
+            opts.shared_routing_transpose = &ctx.epoch->routing_transpose();
             opts.mean_loads = &ctx.mean_loads;
             opts.load_covariance = &ctx.covariance;
             if (warm_seed != nullptr) {
@@ -233,10 +240,12 @@ MethodExecution execute_method(Method m, const WindowContext& ctx,
         case Method::fanout: {
             core::FanoutOptions opts = options.fanout;
             opts.qp.counters = &run.solver;
-            // The factored QP consumes the CSR Gram: a fanout-only (or
-            // fanout+gravity+Kruithof) schedule never materializes the
-            // dense P x P Gram at all.
-            opts.shared_sparse_gram = &ctx.epoch->sparse_gram();
+            // Gram-free: the QP's data term is applied through R / R'
+            // per window sample and its KKT rows are generated on
+            // demand off the epoch's cached R' — not even the CSR Gram
+            // is materialized on the default schedule.
+            opts.operator_form = true;
+            opts.shared_routing_transpose = &ctx.epoch->routing_transpose();
             opts.shared_constraints =
                 &ctx.epoch->fanout_constraints(*ctx.series.topo);
             core::FanoutWindowAggregates aggregates;

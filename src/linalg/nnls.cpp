@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <stdexcept>
+#include <unordered_map>
 
 #include "check/contract.hpp"
 #include "check/validators.hpp"
@@ -12,20 +14,168 @@ namespace tme::linalg {
 
 namespace {
 
-// Maintains the Cholesky factor of G[passive, passive] incrementally:
-// appending a variable costs O(k^2); removals trigger a rebuild (O(k^3),
-// rare in practice).  This keeps Lawson-Hanson at ~O(n^3) overall instead
-// of the O(n^4) a refactorize-every-step implementation would cost.
+// --- Gram access policies -------------------------------------------------
+//
+// The active-set driver below is shared between nnls_gram (explicit
+// dense Gram) and nnls_operator (columns generated on demand).  A
+// policy answers entry/diagonal reads for the factor, runs the dense
+// dual sweep when no O(nnz) operator is available, and manages the
+// staged-column lifecycle the oracle path needs.  Both policies feed
+// the factor the same doubles in the same order, which is what keeps
+// the two entry points bitwise identical.
+
+struct DenseGramAccess {
+    const Matrix* gram;
+
+    double entry(std::size_t i, std::size_t j) const { return (*gram)(i, j); }
+    double diag(std::size_t j) const { return (*gram)(j, j); }
+
+    // Staged-column lifecycle: nothing to do, the Gram already exists.
+    void stage(std::size_t) {}
+    void commit(std::size_t) {}
+    void discard(std::size_t) {}
+    void drop(std::size_t) {}
+
+    void dual_sweep(Vector& w, const Vector& atb, const Vector& x,
+                    const std::vector<std::size_t>& passive,
+                    double shift) const {
+        const std::size_t n = atb.size();
+        for (std::size_t j = 0; j < n; ++j) {
+            double acc = atb[j];
+            for (std::size_t p : passive) {
+                acc -= ((*gram)(j, p) + (j == p ? shift : 0.0)) * x[p];
+            }
+            w[j] = acc;
+        }
+    }
+
+    double quad_row(std::size_t p, const Vector& x, double shift) const {
+        double gx = 0.0;
+        const std::size_t n = x.size();
+        for (std::size_t q = 0; q < n; ++q) {
+            if (x[q] != 0.0) {
+                gx += ((*gram)(p, q) + (p == q ? shift : 0.0)) * x[q];
+            }
+        }
+        return gx;
+    }
+};
+
+class OracleGramAccess {
+  public:
+    explicit OracleGramAccess(const GramColumnOracle& oracle)
+        : oracle_(&oracle), scratch_(oracle.dimension, 0.0) {}
+
+    // Entry reads resolve against the staged column when j is staged
+    // (O(1) from the dense scratch) and against the cached sparse
+    // passive columns otherwise (binary search; only the rare
+    // rank-deficient rebuild takes this path).
+    double entry(std::size_t i, std::size_t j) const {
+        if (j == staged_) return scratch_[i];
+        const auto it = cache_.find(j);
+        if (it == cache_.end()) return 0.0;
+        const Col& col = it->second;
+        const auto pos = std::lower_bound(col.idx.begin(), col.idx.end(), i);
+        if (pos != col.idx.end() && *pos == i) {
+            return col.val[static_cast<std::size_t>(pos - col.idx.begin())];
+        }
+        return 0.0;
+    }
+    double diag(std::size_t j) const { return entry(j, j); }
+
+    void stage(std::size_t j) {
+        clear_stage();
+        oracle_->column(j, scratch_, staged_support_);
+        staged_ = j;
+    }
+    void commit(std::size_t j) {
+        Col col;
+        col.idx = staged_support_;
+        col.val.reserve(staged_support_.size());
+        for (std::size_t q : staged_support_) col.val.push_back(scratch_[q]);
+        cache_[j] = std::move(col);
+        clear_stage();
+    }
+    void discard(std::size_t) { clear_stage(); }
+    void drop(std::size_t j) { cache_.erase(j); }
+
+    // Scatter form of the dense dual sweep, over the cached passive
+    // columns only.  For every coordinate j the same nonzero terms are
+    // subtracted in the same passive order with the same expression as
+    // the dense sweep; the terms the scatter skips are exact-0.0
+    // products there, which never change the accumulator.  Bitwise
+    // equal to DenseGramAccess::dual_sweep, at O(sum passive col nnz).
+    void dual_sweep(Vector& w, const Vector& atb, const Vector& x,
+                    const std::vector<std::size_t>& passive,
+                    double shift) const {
+        w = atb;
+        for (std::size_t p : passive) {
+            const auto it = cache_.find(p);
+            const Col& col = it->second;
+            const double xp = x[p];
+            bool diag_seen = false;
+            for (std::size_t k = 0; k < col.idx.size(); ++k) {
+                const std::size_t q = col.idx[k];
+                if (q == p) diag_seen = true;
+                w[q] -= (col.val[k] + (q == p ? shift : 0.0)) * xp;
+            }
+            if (!diag_seen && shift != 0.0) {
+                // Structurally empty diagonal: the dense sweep still
+                // subtracts the virtual shift term there.
+                w[p] -= (0.0 + shift) * xp;
+            }
+        }
+    }
+
+    double quad_row(std::size_t p, const Vector& x, double shift) {
+        stage(p);
+        double gx = 0.0;
+        const std::size_t n = x.size();
+        for (std::size_t q = 0; q < n; ++q) {
+            if (x[q] != 0.0) {
+                gx += (scratch_[q] + (p == q ? shift : 0.0)) * x[q];
+            }
+        }
+        clear_stage();
+        return gx;
+    }
+
+  private:
+    struct Col {
+        std::vector<std::size_t> idx;
+        std::vector<double> val;
+    };
+
+    void clear_stage() {
+        for (std::size_t q : staged_support_) scratch_[q] = 0.0;
+        staged_support_.clear();
+        staged_ = SIZE_MAX;
+    }
+
+    const GramColumnOracle* oracle_;
+    mutable std::vector<double> scratch_;
+    std::vector<std::size_t> staged_support_;
+    std::size_t staged_ = SIZE_MAX;
+    std::unordered_map<std::size_t, Col> cache_;
+};
+
+// Maintains the Cholesky factor of G[passive, passive] incrementally in
+// packed lower-triangular storage (row i at offset i(i+1)/2 — the
+// factor never re-densifies the passive block, so its footprint is
+// O(k^2) in the passive count, not the problem size).  Appending a
+// variable costs O(k^2); removing one deletes its row and repairs the
+// trailing block with a Givens-style rank-1 *update* (the deleted
+// column folds back in additively, so positive definiteness is never
+// at risk) in O((k - pos)^2).  Rank-deficient appends fall back to a
+// full rebuild with escalating jitter.
+template <typename GramAccess>
 class PassiveFactor {
   public:
     /// `shift` is the virtual diagonal shift of NnlsOptions: every read
     /// of a diagonal Gram entry adds it, as if the caller had passed
     /// G + shift*I.
-    PassiveFactor(const Matrix& gram, double jitter, double shift)
-        : gram_(&gram),
-          jitter_(jitter),
-          shift_(shift),
-          l_(gram.rows(), gram.rows(), 0.0) {}
+    PassiveFactor(GramAccess& gram, double jitter, double shift)
+        : gram_(&gram), jitter_(jitter), shift_(shift) {}
 
     const std::vector<std::size_t>& passive() const { return passive_; }
 
@@ -33,41 +183,51 @@ class PassiveFactor {
         const std::size_t k = passive_.size();
         // New column: c = G[passive + {j}, j].
         Vector c(k);
-        for (std::size_t i = 0; i < k; ++i) c[i] = (*gram_)(passive_[i], j);
+        for (std::size_t i = 0; i < k; ++i) {
+            c[i] = gram_->entry(passive_[i], j);
+        }
         // Solve L w = c (forward substitution on the kxk leading block).
         Vector w(k);
         for (std::size_t i = 0; i < k; ++i) {
             double v = c[i];
-            for (std::size_t t = 0; t < i; ++t) v -= l_(i, t) * w[t];
-            w[i] = v / l_(i, i);
+            const double* row = l_.data() + row_off(i);
+            for (std::size_t t = 0; t < i; ++t) v -= row[t] * w[t];
+            w[i] = v / row[i];
         }
-        double diag = (*gram_)(j, j) + shift_ + jitter_ - dot(w, w);
+        double diag = gram_->diag(j) + shift_ + jitter_ - dot(w, w);
         if (diag <= 0.0 || !std::isfinite(diag)) {
             // Rank-deficient addition: retry with escalated jitter via a
             // full rebuild including j.
             passive_.push_back(j);
+            l_.resize(row_off(k + 1));
             if (rebuild()) return true;
             passive_.pop_back();
+            l_.resize(row_off(k));
             rebuild();
             return false;
         }
-        for (std::size_t i = 0; i < k; ++i) l_(k, i) = w[i];
-        l_(k, k) = std::sqrt(diag);
+        l_.resize(row_off(k + 1));
+        double* row = l_.data() + row_off(k);
+        for (std::size_t i = 0; i < k; ++i) row[i] = w[i];
+        row[k] = std::sqrt(diag);
         passive_.push_back(j);
         return true;
     }
 
     void remove_indices(const std::vector<std::size_t>& to_remove) {
-        std::vector<std::size_t> next;
-        next.reserve(passive_.size());
-        for (std::size_t j : passive_) {
-            if (std::find(to_remove.begin(), to_remove.end(), j) ==
+        // Positions in the passive list, removed highest-first so the
+        // remaining positions stay valid.
+        std::vector<std::size_t> positions;
+        for (std::size_t i = 0; i < passive_.size(); ++i) {
+            if (std::find(to_remove.begin(), to_remove.end(), passive_[i]) !=
                 to_remove.end()) {
-                next.push_back(j);
+                positions.push_back(i);
             }
         }
-        passive_.swap(next);
-        rebuild();
+        for (std::size_t i = positions.size(); i-- > 0;) {
+            remove_position(positions[i]);
+        }
+        for (std::size_t j : to_remove) gram_->drop(j);
     }
 
     // Solves G[passive,passive] z = rhs[passive].
@@ -76,41 +236,90 @@ class PassiveFactor {
         Vector y(k);
         for (std::size_t i = 0; i < k; ++i) {
             double v = atb[passive_[i]];
-            for (std::size_t t = 0; t < i; ++t) v -= l_(i, t) * y[t];
-            y[i] = v / l_(i, i);
+            const double* row = l_.data() + row_off(i);
+            for (std::size_t t = 0; t < i; ++t) v -= row[t] * y[t];
+            y[i] = v / row[i];
         }
         Vector z(k);
         for (std::size_t ii = k; ii-- > 0;) {
             double v = y[ii];
-            for (std::size_t t = ii + 1; t < k; ++t) v -= l_(t, ii) * z[t];
-            z[ii] = v / l_(ii, ii);
+            for (std::size_t t = ii + 1; t < k; ++t) {
+                v -= l_[row_off(t) + ii] * z[t];
+            }
+            z[ii] = v / l_[row_off(ii) + ii];
         }
         return z;
     }
 
   private:
+    static std::size_t row_off(std::size_t i) { return i * (i + 1) / 2; }
+
+    void remove_position(std::size_t pos) {
+        const std::size_t k = passive_.size();
+        const std::size_t m = k - 1 - pos;
+        // Save the sub-diagonal of the deleted column: with row/column
+        // pos gone, the trailing block must satisfy
+        //   L~33 L~33' = L33 L33' + l32 l32',
+        // a rank-1 update of the old trailing factor by this vector.
+        std::vector<double> v(m);
+        for (std::size_t u = 0; u < m; ++u) {
+            v[u] = l_[row_off(pos + 1 + u) + pos];
+        }
+        // Shift rows pos+1..k-1 up one, dropping column pos.  Each
+        // destination row ends exactly where its source row begins, so
+        // the in-place forward copy never overlaps.
+        for (std::size_t r = pos + 1; r < k; ++r) {
+            const double* src = l_.data() + row_off(r);
+            double* dst = l_.data() + row_off(r - 1);
+            for (std::size_t t = 0; t < pos; ++t) dst[t] = src[t];
+            for (std::size_t t = pos; t < r; ++t) dst[t] = src[t + 1];
+        }
+        l_.resize(row_off(k - 1));
+        passive_.erase(passive_.begin() +
+                       static_cast<std::ptrdiff_t>(pos));
+        // Givens-style rank-1 update (LINPACK dchud recurrences) of the
+        // trailing block.  An update — unlike a downdate — keeps the
+        // diagonal bounded away from zero, so no pivoting or fallback
+        // is needed.
+        for (std::size_t t = 0; t < m; ++t) {
+            const std::size_t g = pos + t;
+            double* row = l_.data() + row_off(g);
+            const double ljj = row[g];
+            const double r = std::sqrt(ljj * ljj + v[t] * v[t]);
+            const double cosg = r / ljj;
+            const double sing = v[t] / ljj;
+            row[g] = r;
+            for (std::size_t u = t + 1; u < m; ++u) {
+                double& lhg = l_[row_off(pos + u) + g];
+                lhg = (lhg + sing * v[u]) / cosg;
+                v[u] = cosg * v[u] - sing * lhg;
+            }
+        }
+    }
+
     bool rebuild() {
         const std::size_t k = passive_.size();
         double jitter = jitter_;
         for (int attempt = 0; attempt < 20; ++attempt) {
             bool ok = true;
             for (std::size_t col = 0; col < k && ok; ++col) {
-                double diag =
-                    (*gram_)(passive_[col], passive_[col]) + shift_ + jitter;
+                double diag = gram_->diag(passive_[col]) + shift_ + jitter;
+                const double* crow = l_.data() + row_off(col);
                 for (std::size_t t = 0; t < col; ++t) {
-                    diag -= l_(col, t) * l_(col, t);
+                    diag -= crow[t] * crow[t];
                 }
                 if (diag <= 0.0 || !std::isfinite(diag)) {
                     ok = false;
                     break;
                 }
-                l_(col, col) = std::sqrt(diag);
+                l_[row_off(col) + col] = std::sqrt(diag);
                 for (std::size_t row = col + 1; row < k; ++row) {
-                    double v = (*gram_)(passive_[row], passive_[col]);
+                    double v = gram_->entry(passive_[row], passive_[col]);
+                    const double* rrow = l_.data() + row_off(row);
                     for (std::size_t t = 0; t < col; ++t) {
-                        v -= l_(row, t) * l_(col, t);
+                        v -= rrow[t] * crow[t];
                     }
-                    l_(row, col) = v / l_(col, col);
+                    l_[row_off(row) + col] = v / l_[row_off(col) + col];
                 }
             }
             if (ok) {
@@ -119,8 +328,8 @@ class PassiveFactor {
             }
             double scale = 0.0;
             for (std::size_t i = 0; i < k; ++i) {
-                scale = std::max(
-                    scale, (*gram_)(passive_[i], passive_[i]) + shift_);
+                scale = std::max(scale,
+                                 gram_->diag(passive_[i]) + shift_);
             }
             jitter = (jitter == 0.0 ? std::max(scale, 1.0) * 1e-12
                                     : jitter * 100.0);
@@ -128,37 +337,21 @@ class PassiveFactor {
         return false;
     }
 
-    const Matrix* gram_;
+    GramAccess* gram_;
     double jitter_;
     double shift_;
-    Matrix l_;  // leading k x k block holds the factor
+    std::vector<double> l_;  // packed lower triangle, k(k+1)/2 entries
     std::vector<std::size_t> passive_;
 };
 
-}  // namespace
-
-NnlsResult nnls_gram(const Matrix& gram_matrix, const Vector& atb, double btb,
-                     const NnlsOptions& options) {
+// Shared Lawson-Hanson driver.  The policy supplies Gram access; the
+// loop structure, pivot rule, feasibility restoration, and tolerances
+// are identical for both entry points, so identical problems follow
+// identical active-set trajectories.
+template <typename GramAccess>
+NnlsResult nnls_active_set(GramAccess& gram, const Vector& atb, double btb,
+                           const NnlsOptions& options) {
     const std::size_t n = atb.size();
-    if (gram_matrix.rows() != n || gram_matrix.cols() != n) {
-        throw std::invalid_argument("nnls_gram: dimension mismatch");
-    }
-    TME_CONTRACT_DBG_CHECK(
-        check::solver_boundary("nnls_gram", gram_matrix, atb));
-    if (options.gram_operator != nullptr) {
-        TME_CONTRACT_DBG_CHECK(check::csr_structure(
-            *options.gram_operator, "nnls_gram gram_operator"));
-    }
-    if (options.gram_operator != nullptr &&
-        options.gram_operator->cols() != n) {
-        throw std::invalid_argument(
-            "nnls_gram: gram_operator column count does not match the "
-            "Gram system");
-    }
-    if (options.gram_diagonal_shift < 0.0) {
-        throw std::invalid_argument(
-            "nnls_gram: negative gram_diagonal_shift");
-    }
     const double shift = options.gram_diagonal_shift;
     const SparseMatrix* op = options.gram_operator;
     const std::size_t max_iter =
@@ -167,7 +360,7 @@ NnlsResult nnls_gram(const Matrix& gram_matrix, const Vector& atb, double btb,
     NnlsResult result;
     result.x.assign(n, 0.0);
     std::vector<bool> in_passive(n, false);
-    PassiveFactor factor(gram_matrix, 0.0, shift);
+    PassiveFactor<GramAccess> factor(gram, 0.0, shift);
 
     double scale = nrm_inf(atb);
     if (scale == 0.0) scale = 1.0;
@@ -241,8 +434,9 @@ NnlsResult nnls_gram(const Matrix& gram_matrix, const Vector& atb, double btb,
 
     // Refresh dual: w = g - (G + shift I) x restricted to passive
     // support.  With a sparse operator behind the Gram this is two
-    // sparse mat-vecs (O(nnz)); otherwise a dense row sweep per
-    // coordinate (O(n * |passive|)).
+    // sparse mat-vecs (O(nnz)); otherwise the policy's sweep — a dense
+    // row sweep per coordinate, or the bitwise-equal scatter over the
+    // cached passive columns on the oracle path.
     const auto refresh_dual = [&]() {
         if (op != nullptr) {
             const Vector atax =
@@ -252,28 +446,28 @@ NnlsResult nnls_gram(const Matrix& gram_matrix, const Vector& atb, double btb,
             }
             return;
         }
-        const std::vector<std::size_t>& passive = factor.passive();
-        for (std::size_t j = 0; j < n; ++j) {
-            double acc = atb[j];
-            for (std::size_t p : passive) {
-                acc -= (gram_matrix(j, p) + (j == p ? shift : 0.0)) *
-                       result.x[p];
-            }
-            w[j] = acc;
-        }
+        gram.dual_sweep(w, atb, result.x, factor.passive(), shift);
     };
 
     if (options.warm_start != nullptr) {
         if (options.warm_start->size() != n) {
-            throw std::invalid_argument("nnls_gram: warm start size");
+            throw std::invalid_argument("nnls: warm start size");
         }
         for (std::size_t j = 0; j < n; ++j) {
-            if ((*options.warm_start)[j] > 0.0 && factor.append(j)) {
-                in_passive[j] = true;
+            if ((*options.warm_start)[j] > 0.0) {
+                gram.stage(j);
+                if (factor.append(j)) {
+                    gram.commit(j);
+                    in_passive[j] = true;
+                } else {
+                    gram.discard(j);
+                }
             }
         }
         if (!factor.passive().empty()) {
             restore_feasibility();
+            TME_CONTRACT_DBG_CHECK(check::solver_boundary(
+                "nnls passive set", result.x, factor.passive()));
             refresh_dual();
         }
     }
@@ -293,15 +487,20 @@ NnlsResult nnls_gram(const Matrix& gram_matrix, const Vector& atb, double btb,
             result.converged = true;
             break;
         }
+        gram.stage(best);
         if (!factor.append(best)) {
             // Numerically dependent column; treat as converged to avoid
             // cycling on a singular passive set.
+            gram.discard(best);
             result.converged = true;
             break;
         }
+        gram.commit(best);
         in_passive[best] = true;
 
         restore_feasibility();
+        TME_CONTRACT_DBG_CHECK(check::solver_boundary(
+            "nnls passive set", result.x, factor.passive()));
         refresh_dual();
     }
 
@@ -309,13 +508,7 @@ NnlsResult nnls_gram(const Matrix& gram_matrix, const Vector& atb, double btb,
         double quad = 0.0;
         for (std::size_t p = 0; p < n; ++p) {
             if (result.x[p] == 0.0) continue;
-            double gx = 0.0;
-            for (std::size_t q = 0; q < n; ++q) {
-                if (result.x[q] != 0.0) {
-                    gx += (gram_matrix(p, q) + (p == q ? shift : 0.0)) *
-                          result.x[q];
-                }
-            }
+            const double gx = gram.quad_row(p, result.x, shift);
             quad += result.x[p] * (gx - 2.0 * atb[p]);
         }
         result.residual_norm = std::sqrt(std::max(0.0, quad + btb));
@@ -324,8 +517,65 @@ NnlsResult nnls_gram(const Matrix& gram_matrix, const Vector& atb, double btb,
         options.counters->nnls_pivots += result.iterations;
     }
     TME_CONTRACT_DBG_CHECK(check::solver_boundary(
-        "nnls_gram", result.x, /*require_nonnegative=*/true));
+        "nnls", result.x, /*require_nonnegative=*/true));
     return result;
+}
+
+}  // namespace
+
+NnlsResult nnls_gram(const Matrix& gram_matrix, const Vector& atb, double btb,
+                     const NnlsOptions& options) {
+    const std::size_t n = atb.size();
+    if (gram_matrix.rows() != n || gram_matrix.cols() != n) {
+        throw std::invalid_argument("nnls_gram: dimension mismatch");
+    }
+    TME_CONTRACT_DBG_CHECK(
+        check::solver_boundary("nnls_gram", gram_matrix, atb));
+    if (options.gram_operator != nullptr) {
+        TME_CONTRACT_DBG_CHECK(check::csr_structure(
+            *options.gram_operator, "nnls_gram gram_operator"));
+    }
+    if (options.gram_operator != nullptr &&
+        options.gram_operator->cols() != n) {
+        throw std::invalid_argument(
+            "nnls_gram: gram_operator column count does not match the "
+            "Gram system");
+    }
+    if (options.gram_diagonal_shift < 0.0) {
+        throw std::invalid_argument(
+            "nnls_gram: negative gram_diagonal_shift");
+    }
+    DenseGramAccess access{&gram_matrix};
+    return nnls_active_set(access, atb, btb, options);
+}
+
+NnlsResult nnls_operator(const GramColumnOracle& gram, const Vector& atb,
+                         double btb, const NnlsOptions& options) {
+    const std::size_t n = atb.size();
+    if (gram.dimension != n) {
+        throw std::invalid_argument("nnls_operator: dimension mismatch");
+    }
+    if (!gram.column) {
+        throw std::invalid_argument("nnls_operator: null column generator");
+    }
+    TME_CONTRACT_DBG_CHECK(
+        check::finite(atb, "nnls_operator rhs"));
+    if (options.gram_operator != nullptr) {
+        TME_CONTRACT_DBG_CHECK(check::csr_structure(
+            *options.gram_operator, "nnls_operator gram_operator"));
+    }
+    if (options.gram_operator != nullptr &&
+        options.gram_operator->cols() != n) {
+        throw std::invalid_argument(
+            "nnls_operator: gram_operator column count does not match "
+            "the system");
+    }
+    if (options.gram_diagonal_shift < 0.0) {
+        throw std::invalid_argument(
+            "nnls_operator: negative gram_diagonal_shift");
+    }
+    OracleGramAccess access(gram);
+    return nnls_active_set(access, atb, btb, options);
 }
 
 NnlsResult nnls(const Matrix& a, const Vector& b, const NnlsOptions& options) {

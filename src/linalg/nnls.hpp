@@ -16,6 +16,8 @@
 #pragma once
 
 #include <cstddef>
+#include <functional>
+#include <vector>
 
 #include "linalg/matrix.hpp"
 #include "linalg/sparse.hpp"
@@ -76,5 +78,36 @@ NnlsResult nnls(const SparseMatrix& a, const Vector& b,
 /// btb (= b'b) is supplied, otherwise 0.
 NnlsResult nnls_gram(const Matrix& gram_matrix, const Vector& atb,
                      double btb = 0.0, const NnlsOptions& options = {});
+
+/// Column access to an implicit symmetric positive (semi)definite Gram
+/// matrix G that is never materialized.  `column(j, scratch, support)`
+/// writes column j's nonzero values into `scratch` — a caller-owned
+/// buffer of length `dimension` that is all-zero on entry — and the
+/// ascending support indices into `support` (cleared by the callee);
+/// entries outside `support` must be left zero, and the caller zeroes
+/// the support entries back after reading.  When the generator replays
+/// the Gram kernels' accumulation order (see linalg::gram_column), the
+/// produced values are bitwise the rows of the dense Gram, which is
+/// what pins nnls_operator to nnls_gram bit-for-bit at scales where
+/// both can run.
+struct GramColumnOracle {
+    std::size_t dimension = 0;
+    std::function<void(std::size_t j, std::vector<double>& scratch,
+                       std::vector<std::size_t>& support)>
+        column;
+};
+
+/// Lawson-Hanson NNLS with a factored passive-set solve over an
+/// implicit Gram: columns are generated on demand through the oracle,
+/// the Cholesky factor of G[passive, passive] is maintained under
+/// single-index pivots (O(k^2) append, O(k^2) Givens-style removal),
+/// and the dual refresh runs over the cached passive columns — or in
+/// O(nnz) through `options.gram_operator` when one is supplied.
+/// Nothing of size dimension^2 is ever allocated, dense or CSR; memory
+/// is bounded by the passive columns' nonzeros plus the packed factor.
+/// Identical pivot decisions and arithmetic to nnls_gram on the same
+/// problem: the two are bitwise equal wherever the dense Gram fits.
+NnlsResult nnls_operator(const GramColumnOracle& gram, const Vector& atb,
+                         double btb = 0.0, const NnlsOptions& options = {});
 
 }  // namespace tme::linalg

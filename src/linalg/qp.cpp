@@ -4,6 +4,7 @@
 #include <cmath>
 #include <optional>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "check/contract.hpp"
@@ -357,21 +358,193 @@ ColumnLists column_lists(const CsrView& a) {
     return c;
 }
 
+// --- Hessian access policies ---------------------------------------------
+//
+// The active-set driver below is shared between the CSR factored
+// Hessian and the pure-operator form.  A policy answers the five
+// Hessian touchpoints the driver has: the total diagonal, dense
+// gathers of free rows (exact-LU regime), the restricted operator
+// product (CG regime), and the pinned-multiplier terms.  The CSR
+// policy reproduces the pre-refactor loops instruction for
+// instruction, which is what keeps the factored path bit-for-bit its
+// old self — and, transitively, bit-for-bit the dense solver in the
+// exact-LU regime.
+
+struct CsrHessPolicy {
+    CsrView h;
+    const Vector* added;  // optional added diagonal
+    Vector xfull;         // n-sized scatter scratch for apply_free
+
+    explicit CsrHessPolicy(const FactoredHessian& hf)
+        : h(hf.matrix), added(hf.diagonal), xfull(hf.matrix.cols, 0.0) {}
+
+    std::size_t dimension() const { return h.cols; }
+
+    void total_diagonal(Vector& hdiag) const {
+        const std::size_t n = h.cols;
+        hdiag.assign(n, 0.0);
+        for (std::size_t i = 0; i < n; ++i) {
+            double v = 0.0;
+            for (std::size_t t = h.offsets[i]; t < h.offsets[i + 1]; ++t) {
+                if (h.col_index[t] == i) {
+                    v = h.values[t];
+                    break;
+                }
+                if (h.col_index[t] > i) break;
+            }
+            if (added != nullptr) v += (*added)[i];
+            hdiag[i] = v;
+        }
+    }
+
+    void gather_free_row(std::size_t i,
+                         const std::vector<std::size_t>& free_index,
+                         double* __restrict krow) const {
+        for (std::size_t t = h.offsets[i]; t < h.offsets[i + 1]; ++t) {
+            const std::size_t b = free_index[h.col_index[t]];
+            if (b != SIZE_MAX) krow[b] = h.values[t];
+        }
+    }
+
+    // out = (H_FF + ridge I) w via a scatter into full space.
+    void apply_free(const Vector& w,
+                    const std::vector<std::size_t>& free_vars, double ridge,
+                    Vector& out) {
+        const std::size_t k = free_vars.size();
+        for (std::size_t a = 0; a < k; ++a) xfull[free_vars[a]] = w[a];
+        for (std::size_t a = 0; a < k; ++a) {
+            const std::size_t i = free_vars[a];
+            double acc = 0.0;
+            for (std::size_t t = h.offsets[i]; t < h.offsets[i + 1]; ++t) {
+                acc += h.values[t] * xfull[h.col_index[t]];
+            }
+            if (added != nullptr) acc += (*added)[i] * w[a];
+            out[a] = acc + ridge * w[a];
+        }
+        for (std::size_t a = 0; a < k; ++a) xfull[free_vars[a]] = 0.0;
+    }
+
+    void prepare_mu(const Vector&, const std::vector<std::size_t>&, bool) {}
+
+    // mu += sum over free columns of H(j, col) * sol[col].  The row walk
+    // restricted to the free columns visits the same nonzero terms,
+    // ascending, as the dense solver's free-variable sweep (the skipped
+    // terms are exact zeros).  The added diagonal never contributes: j
+    // is pinned, so its diagonal multiplies nothing free.
+    void add_mu_terms(std::size_t j,
+                      const std::vector<std::size_t>& free_index,
+                      const Vector& sol, double& mu) const {
+        for (std::size_t t = h.offsets[j]; t < h.offsets[j + 1]; ++t) {
+            const std::size_t a = free_index[h.col_index[t]];
+            if (a != SIZE_MAX) mu += h.values[t] * sol[a];
+        }
+    }
+};
+
+struct OperatorHessPolicy {
+    const HessianOperator* op;
+    Vector xfull;  // n-sized scatter scratch
+    Vector ybuf;   // n-sized operator output
+    std::vector<double> colscratch;
+    std::vector<std::size_t> support;
+    Vector mu_full;        // H x at the current iterate (CG-regime sweep)
+    bool mu_ready = false;
+
+    explicit OperatorHessPolicy(const HessianOperator& hop)
+        : op(&hop),
+          xfull(hop.dimension, 0.0),
+          ybuf(hop.dimension, 0.0),
+          colscratch(hop.dimension, 0.0),
+          mu_full(hop.dimension, 0.0) {}
+
+    std::size_t dimension() const { return op->dimension; }
+
+    void total_diagonal(Vector& hdiag) const {
+        hdiag.assign(op->dimension, 0.0);
+        op->diag(hdiag);
+        if (op->diagonal != nullptr) {
+            for (std::size_t i = 0; i < op->dimension; ++i) {
+                hdiag[i] += (*op->diagonal)[i];
+            }
+        }
+    }
+
+    void gather_free_row(std::size_t i,
+                         const std::vector<std::size_t>& free_index,
+                         double* __restrict krow) {
+        // Rows through the symmetric column generator; the generated
+        // values are bitwise the CSR row when the generator replays the
+        // Gram kernels' accumulation order.
+        op->column(i, colscratch, support);
+        for (std::size_t q : support) {
+            const std::size_t b = free_index[q];
+            if (b != SIZE_MAX) krow[b] = colscratch[q];
+        }
+        for (std::size_t q : support) colscratch[q] = 0.0;
+    }
+
+    void apply_free(const Vector& w,
+                    const std::vector<std::size_t>& free_vars, double ridge,
+                    Vector& out) {
+        const std::size_t k = free_vars.size();
+        for (std::size_t a = 0; a < k; ++a) xfull[free_vars[a]] = w[a];
+        op->apply(xfull, ybuf);
+        for (std::size_t a = 0; a < k; ++a) {
+            const std::size_t i = free_vars[a];
+            double acc = ybuf[i];
+            if (op->diagonal != nullptr) acc += (*op->diagonal)[i] * w[a];
+            out[a] = acc + ridge * w[a];
+        }
+        for (std::size_t a = 0; a < k; ++a) xfull[free_vars[a]] = 0.0;
+    }
+
+    // CG-regime multiplier sweep: one full operator product serves every
+    // pinned coordinate (per-row generation would cost a column per
+    // pinned variable — quadratic over the run at scale).  The exact-LU
+    // regime keeps the per-row walk for bitwise parity with the CSR
+    // policy.
+    void prepare_mu(const Vector& sol,
+                    const std::vector<std::size_t>& free_vars,
+                    bool used_cg) {
+        mu_ready = used_cg;
+        if (!used_cg) return;
+        const std::size_t k = free_vars.size();
+        for (std::size_t a = 0; a < k; ++a) xfull[free_vars[a]] = sol[a];
+        op->apply(xfull, mu_full);
+        for (std::size_t a = 0; a < k; ++a) xfull[free_vars[a]] = 0.0;
+    }
+
+    void add_mu_terms(std::size_t j,
+                      const std::vector<std::size_t>& free_index,
+                      const Vector& sol, double& mu) {
+        if (mu_ready) {
+            mu += mu_full[j];
+            return;
+        }
+        op->column(j, colscratch, support);
+        for (std::size_t q : support) {
+            const std::size_t a = free_index[q];
+            if (a != SIZE_MAX) mu += colscratch[q] * sol[a];
+        }
+        for (std::size_t q : support) colscratch[q] = 0.0;
+    }
+};
+
 /// Matrix-free solve of the equality-constrained subproblem on the
 /// free set:  min (1/2) x'(H + ridge I)x - f'x  s.t.  E_F x = d,
-/// where H is the factored Hessian restricted to the free variables.
+/// where H is the policy's Hessian restricted to the free variables.
 /// Projected CG with the constraint preconditioner [M E'; E 0]
 /// (M = Jacobi diagonal of H + ridge): each application costs one
 /// O(nnz(E_F)) projection plus an m x m triangular solve, and each
-/// iteration one O(nnz(H)) operator product.  Feasibility is
-/// maintained by the projection — even a truncated solve returns an
-/// E_F x = d point.  Returns (x_F, nu) of length k + m, or an empty
-/// vector when E_F M^-1 E_F' is structurally singular (an equality row
-/// with no free support).
-Vector pcg_kkt_solve(const CsrView& h, const Vector* extra_diag,
-                     const Vector& hdiag_total, const Vector& f,
-                     const CsrView& ev, const ColumnLists& ecols,
-                     const Vector& d,
+/// iteration one operator product.  Feasibility is maintained by the
+/// projection — even a truncated solve returns an E_F x = d point.
+/// Returns (x_F, nu) of length k + m, or an empty vector when
+/// E_F M^-1 E_F' is structurally singular (an equality row with no
+/// free support).
+template <typename HessPolicy>
+Vector pcg_kkt_solve(HessPolicy& hp, const Vector& hdiag_total,
+                     const Vector& f, const CsrView& ev,
+                     const ColumnLists& ecols, const Vector& d,
                      const std::vector<std::size_t>& free_vars,
                      const std::vector<std::size_t>& free_index,
                      double ridge, const Vector* initial_full,
@@ -379,7 +552,6 @@ Vector pcg_kkt_solve(const CsrView& h, const Vector* extra_diag,
                      std::size_t& cg_iterations) {
     const std::size_t k = free_vars.size();
     const std::size_t m = ev.rows;
-    const std::size_t n = h.cols;
 
     // Jacobi metric; strictly positive thanks to the ridge.
     Vector mdiag(k);
@@ -459,20 +631,9 @@ Vector pcg_kkt_solve(const CsrView& h, const Vector* extra_diag,
             et_apply_scaled_sub(lambda, v);
         }
     };
-    // out = (H_FF + ridge I) w via a scatter into full space.
-    Vector xfull(n, 0.0);
+    // out = (H_FF + ridge I) w, through the policy.
     auto h_apply = [&](const Vector& w, Vector& out) {
-        for (std::size_t a = 0; a < k; ++a) xfull[free_vars[a]] = w[a];
-        for (std::size_t a = 0; a < k; ++a) {
-            const std::size_t i = free_vars[a];
-            double acc = 0.0;
-            for (std::size_t t = h.offsets[i]; t < h.offsets[i + 1]; ++t) {
-                acc += h.values[t] * xfull[h.col_index[t]];
-            }
-            if (extra_diag != nullptr) acc += (*extra_diag)[i] * w[a];
-            out[a] = acc + ridge * w[a];
-        }
-        for (std::size_t a = 0; a < k; ++a) xfull[free_vars[a]] = 0.0;
+        hp.apply_free(w, free_vars, ridge, out);
     };
 
     // Feasible start.  Cold: the least-M-norm point
@@ -515,7 +676,7 @@ Vector pcg_kkt_solve(const CsrView& h, const Vector* extra_diag,
     Vector resid(k, 0.0);
     Vector v(k, 0.0);
     Vector p(k, 0.0);
-    Vector hp(k, 0.0);
+    Vector hq(k, 0.0);
     // The stopping threshold is anchored to a fixed problem scale (the
     // preconditioned gradient norm at x = 0) rather than this solve's
     // own initial residual: a warm-started solve that begins close to
@@ -562,13 +723,13 @@ Vector pcg_kkt_solve(const CsrView& h, const Vector* extra_diag,
         std::copy(x.begin(), x.end(), x_best.begin());
         while (it < max_iterations && std::isfinite(rv) && rv > tol2 &&
                rv > 0.0) {
-            h_apply(p, hp);
+            h_apply(p, hq);
             double php = 0.0;
-            for (std::size_t a = 0; a < k; ++a) php += p[a] * hp[a];
+            for (std::size_t a = 0; a < k; ++a) php += p[a] * hq[a];
             if (!(php > 0.0) || !std::isfinite(php)) break;
             const double alpha = rv / php;
             for (std::size_t a = 0; a < k; ++a) x[a] += alpha * p[a];
-            for (std::size_t a = 0; a < k; ++a) resid[a] += alpha * hp[a];
+            for (std::size_t a = 0; a < k; ++a) resid[a] += alpha * hq[a];
             precondition(resid, v);
             double rv_next = 0.0;
             for (std::size_t a = 0; a < k; ++a) rv_next += resid[a] * v[a];
@@ -614,56 +775,26 @@ Vector pcg_kkt_solve(const CsrView& h, const Vector* extra_diag,
     return sol;
 }
 
-}  // namespace
-
-EqQpNonnegResult solve_eq_qp_nonneg_factored(
-    const FactoredHessian& hf, const Vector& f, const SparseMatrix& e,
-    const Vector& d, const EqQpNonnegOptions& options) {
-    const CsrView h = hf.matrix;
-    const std::size_t n = h.cols;
+/// Shared active-set driver over a Hessian access policy.  Both public
+/// entry points validate their inputs and land here; the policy decides
+/// how the five Hessian touchpoints (total diagonal, dense free-row
+/// gathers, restricted operator products, multiplier preparation and
+/// per-coordinate multiplier terms) are evaluated.  `name` labels
+/// diagnostics.
+template <typename HessPolicy>
+EqQpNonnegResult eq_qp_nonneg_active_set(HessPolicy& hp, const Vector& f,
+                                         const SparseMatrix& e,
+                                         const Vector& d,
+                                         const EqQpNonnegOptions& options,
+                                         const char* name) {
+    const std::size_t n = hp.dimension();
     const std::size_t m = e.rows();
-    if (h.rows != n || f.size() != n || (m > 0 && e.cols() != n) ||
-        d.size() != m) {
-        throw std::invalid_argument(
-            "solve_eq_qp_nonneg_factored: dimension mismatch");
-    }
-    if (hf.diagonal != nullptr && hf.diagonal->size() != n) {
-        throw std::invalid_argument(
-            "solve_eq_qp_nonneg_factored: diagonal size mismatch");
-    }
-    TME_CONTRACT_DBG_CHECK(check::csr_structure(
-        h, "solve_eq_qp_nonneg_factored Hessian"));
-    // m == 0 means "no equality constraints": a default-constructed
-    // SparseMatrix with no offsets array, not a malformed CSR.
-    if (m > 0) {
-        TME_CONTRACT_DBG_CHECK(check::csr_structure(
-            e, "solve_eq_qp_nonneg_factored equality operator"));
-    }
-    TME_CONTRACT_DBG_CHECK(
-        check::finite(f, "solve_eq_qp_nonneg_factored f"));
-    TME_CONTRACT_DBG_CHECK(
-        check::finite(d, "solve_eq_qp_nonneg_factored d"));
-    if (hf.diagonal != nullptr) {
-        TME_CONTRACT_DBG_CHECK(check::finite(
-            *hf.diagonal, "solve_eq_qp_nonneg_factored added diagonal"));
-    }
     const CsrView ev = e.view();
 
-    // Total Hessian diagonal (CSR diagonal entry + added diagonal) —
-    // the only dense-H quantity the active-set driver ever reads.
+    // Total Hessian diagonal (matrix diagonal + added diagonal) — the
+    // only dense-H quantity the active-set driver ever reads.
     Vector hdiag(n, 0.0);
-    for (std::size_t i = 0; i < n; ++i) {
-        double v = 0.0;
-        for (std::size_t t = h.offsets[i]; t < h.offsets[i + 1]; ++t) {
-            if (h.col_index[t] == i) {
-                v = h.values[t];
-                break;
-            }
-            if (h.col_index[t] > i) break;
-        }
-        if (hf.diagonal != nullptr) v += (*hf.diagonal)[i];
-        hdiag[i] = v;
-    }
+    hp.total_diagonal(hdiag);
     double hmax = 1.0;
     for (std::size_t i = 0; i < n; ++i) hmax = std::max(hmax, hdiag[i]);
     double fmax = 1.0;
@@ -680,8 +811,8 @@ EqQpNonnegResult solve_eq_qp_nonneg_factored(
     bool seeded = false;
     if (options.warm_start != nullptr) {
         if (options.warm_start->size() != n) {
-            throw std::invalid_argument(
-                "solve_eq_qp_nonneg_factored: warm start size mismatch");
+            throw std::invalid_argument(std::string(name) +
+                                        ": warm start size mismatch");
         }
         std::size_t pinned = 0;
         for (std::size_t j = 0; j < n; ++j) {
@@ -804,11 +935,7 @@ EqQpNonnegResult solve_eq_qp_nonneg_factored(
                 rhs[a] = f[free_vars[a]];
                 const std::size_t i = free_vars[a];
                 double* __restrict krow = kkt.row_data(a);
-                for (std::size_t t = h.offsets[i]; t < h.offsets[i + 1];
-                     ++t) {
-                    const std::size_t b = free_index[h.col_index[t]];
-                    if (b != SIZE_MAX) krow[b] = h.values[t];
-                }
+                hp.gather_free_row(i, free_index, krow);
             }
             for (std::size_t r = 0; r < m; ++r) {
                 for (std::size_t t = ev.offsets[r]; t < ev.offsets[r + 1];
@@ -837,8 +964,8 @@ EqQpNonnegResult solve_eq_qp_nonneg_factored(
             // Matrix-free projected CG on the free set, warm-started
             // from the previous round's iterate when there is one.
             const double ridge = 1e-10 * hmax;
-            sol = pcg_kkt_solve(h, hf.diagonal, hdiag, f, ev, ecols, d,
-                                free_vars, free_index, ridge,
+            sol = pcg_kkt_solve(hp, hdiag, f, ev, ecols, d, free_vars,
+                                free_index, ridge,
                                 pcg_prev.empty() ? nullptr : &pcg_prev,
                                 options, result.cg_iterations);
             if (!sol.empty()) {
@@ -854,8 +981,8 @@ EqQpNonnegResult solve_eq_qp_nonneg_factored(
                 seeded = false;
                 continue;
             }
-            throw std::runtime_error(
-                "solve_eq_qp_nonneg_factored: singular KKT system");
+            throw std::runtime_error(std::string(name) +
+                                     ": singular KKT system");
         }
 
         // Decision thresholds scale with the iterate, as in the dense
@@ -895,14 +1022,11 @@ EqQpNonnegResult solve_eq_qp_nonneg_factored(
                     sol.begin() + static_cast<std::ptrdiff_t>(k + m));
                 etnu = e.multiply_transpose(nu);
             }
+            hp.prepare_mu(sol, free_vars, used_cg);
             for (std::size_t j = 0; j < n; ++j) {
                 if (!fixed_zero[j]) continue;
                 double mu = -f[j];
-                for (std::size_t t = h.offsets[j]; t < h.offsets[j + 1];
-                     ++t) {
-                    const std::size_t a = free_index[h.col_index[t]];
-                    if (a != SIZE_MAX) mu += h.values[t] * sol[a];
-                }
+                hp.add_mu_terms(j, free_index, sol, mu);
                 if (m > 0) mu += etnu[j];
                 if (mu < -mu_tol) violators.push_back(j);
                 if (mu < worst_mu) {
@@ -924,6 +1048,14 @@ EqQpNonnegResult solve_eq_qp_nonneg_factored(
         }
 
         if (block_pivoting) {
+            // Keep the newest subproblem iterate: a round-capped solve
+            // must hand back the last E-feasible point (projected CG
+            // keeps E_F x = d even truncated), not the all-zero
+            // initialization; the final clamp below flags it honestly.
+            result.x.assign(n, 0.0);
+            for (std::size_t a = 0; a < k; ++a) {
+                result.x[free_vars[a]] = sol[a];
+            }
             const std::size_t infeasible =
                 negatives.size() + violators.size();
             bool block_step = false;
@@ -1008,9 +1140,81 @@ EqQpNonnegResult solve_eq_qp_nonneg_factored(
         options.counters->qp_active_set_rounds += result.iterations;
         options.counters->qp_cg_iterations += result.cg_iterations;
     }
-    TME_CONTRACT_DBG_CHECK(
-        check::solver_boundary("solve_eq_qp_nonneg_factored", result.x));
+    TME_CONTRACT_DBG_CHECK(check::solver_boundary(name, result.x));
     return result;
+}
+
+}  // namespace
+
+EqQpNonnegResult solve_eq_qp_nonneg_factored(
+    const FactoredHessian& hf, const Vector& f, const SparseMatrix& e,
+    const Vector& d, const EqQpNonnegOptions& options) {
+    const CsrView h = hf.matrix;
+    const std::size_t n = h.cols;
+    const std::size_t m = e.rows();
+    if (h.rows != n || f.size() != n || (m > 0 && e.cols() != n) ||
+        d.size() != m) {
+        throw std::invalid_argument(
+            "solve_eq_qp_nonneg_factored: dimension mismatch");
+    }
+    if (hf.diagonal != nullptr && hf.diagonal->size() != n) {
+        throw std::invalid_argument(
+            "solve_eq_qp_nonneg_factored: diagonal size mismatch");
+    }
+    TME_CONTRACT_DBG_CHECK(check::csr_structure(
+        h, "solve_eq_qp_nonneg_factored Hessian"));
+    // m == 0 means "no equality constraints": a default-constructed
+    // SparseMatrix with no offsets array, not a malformed CSR.
+    if (m > 0) {
+        TME_CONTRACT_DBG_CHECK(check::csr_structure(
+            e, "solve_eq_qp_nonneg_factored equality operator"));
+    }
+    TME_CONTRACT_DBG_CHECK(
+        check::finite(f, "solve_eq_qp_nonneg_factored f"));
+    TME_CONTRACT_DBG_CHECK(
+        check::finite(d, "solve_eq_qp_nonneg_factored d"));
+    if (hf.diagonal != nullptr) {
+        TME_CONTRACT_DBG_CHECK(check::finite(
+            *hf.diagonal, "solve_eq_qp_nonneg_factored added diagonal"));
+    }
+    CsrHessPolicy hp(hf);
+    return eq_qp_nonneg_active_set(hp, f, e, d, options,
+                                   "solve_eq_qp_nonneg_factored");
+}
+
+EqQpNonnegResult solve_eq_qp_nonneg_operator(
+    const HessianOperator& h, const Vector& f, const SparseMatrix& e,
+    const Vector& d, const EqQpNonnegOptions& options) {
+    const std::size_t n = h.dimension;
+    const std::size_t m = e.rows();
+    if (f.size() != n || (m > 0 && e.cols() != n) || d.size() != m) {
+        throw std::invalid_argument(
+            "solve_eq_qp_nonneg_operator: dimension mismatch");
+    }
+    if (!h.apply || !h.diag || !h.column) {
+        throw std::invalid_argument(
+            "solve_eq_qp_nonneg_operator: apply, diag and column "
+            "closures must all be set");
+    }
+    if (h.diagonal != nullptr && h.diagonal->size() != n) {
+        throw std::invalid_argument(
+            "solve_eq_qp_nonneg_operator: diagonal size mismatch");
+    }
+    if (m > 0) {
+        TME_CONTRACT_DBG_CHECK(check::csr_structure(
+            e, "solve_eq_qp_nonneg_operator equality operator"));
+    }
+    TME_CONTRACT_DBG_CHECK(
+        check::finite(f, "solve_eq_qp_nonneg_operator f"));
+    TME_CONTRACT_DBG_CHECK(
+        check::finite(d, "solve_eq_qp_nonneg_operator d"));
+    if (h.diagonal != nullptr) {
+        TME_CONTRACT_DBG_CHECK(check::finite(
+            *h.diagonal, "solve_eq_qp_nonneg_operator added diagonal"));
+    }
+    OperatorHessPolicy hp(h);
+    return eq_qp_nonneg_active_set(hp, f, e, d, options,
+                                   "solve_eq_qp_nonneg_operator");
 }
 
 }  // namespace tme::linalg

@@ -18,6 +18,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "linalg/matrix.hpp"
@@ -160,6 +161,46 @@ EqQpNonnegResult solve_eq_qp_nonneg(const Matrix& h, const Vector& f,
 /// factored normal equations — the Bayesian estimator's sparse path.
 EqQpNonnegResult solve_eq_qp_nonneg_factored(
     const FactoredHessian& h, const Vector& f, const SparseMatrix& e,
+    const Vector& d, const EqQpNonnegOptions& options = {});
+
+/// Matrix-free Hessian H = A + diag(extra) for
+/// solve_eq_qp_nonneg_operator: not even the CSR form of the matrix
+/// part exists.  This is the last step of the Gram-free ladder — at
+/// 500 PoPs the fanout/Bayesian data term's CSR Gram alone holds
+/// hundreds of millions of nonzeros, so the solver works entirely
+/// through three closures:
+///  * `apply`:   y = A x (matrix part only; the added `diagonal` and
+///               the solver's ridge are applied by the driver) — one
+///               call per CG iteration, O(nnz of the underlying
+///               routing operator);
+///  * `diag`:    fills a caller-sized vector with A's diagonal;
+///  * `column`:  column j of A under the GramColumnOracle scratch +
+///               ascending-support contract (see linalg/nnls.hpp) —
+///               the dense-gather KKT branch and the pinned-multiplier
+///               sweep read rows through it.
+/// When `column`/`diag` replay the Gram kernels' accumulation order,
+/// the exact-LU regime is bit-for-bit solve_eq_qp_nonneg_factored on
+/// the equivalent CSR Hessian; the CG regime agrees to solver
+/// precision.  All closures must be set; `diagonal` (when non-null)
+/// must have length `dimension` and outlive the call.
+struct HessianOperator {
+    std::size_t dimension = 0;
+    std::function<void(const Vector& x, Vector& y)> apply;
+    std::function<void(Vector& out)> diag;
+    std::function<void(std::size_t j, std::vector<double>& scratch,
+                       std::vector<std::size_t>& support)>
+        column;
+    const Vector* diagonal = nullptr;  ///< optional, length dimension
+};
+
+/// Minimizes (1/2) x'Hx - f'x  subject to  E x = d,  x >= 0, with the
+/// Hessian supplied as a pure operator — no dense or CSR form of H is
+/// ever materialized, so peak memory is O(n + nnz(E)) regardless of
+/// how dense H itself would be.  Step discipline, tolerances, warm
+/// starts and the dense-LU / projected-CG regime split all follow
+/// solve_eq_qp_nonneg_factored.
+EqQpNonnegResult solve_eq_qp_nonneg_operator(
+    const HessianOperator& h, const Vector& f, const SparseMatrix& e,
     const Vector& d, const EqQpNonnegOptions& options = {});
 
 }  // namespace tme::linalg

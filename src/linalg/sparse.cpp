@@ -335,6 +335,58 @@ SparseMatrix gram_sparse_csr(const SparseMatrix& a) {
                                   std::move(cols_idx), std::move(values));
 }
 
+SparseMatrix transpose(const SparseMatrix& a) {
+    const CsrView v = a.view();
+    const std::size_t nnz = a.nonzeros();
+    std::vector<std::size_t> offsets(v.cols + 1, 0);
+    for (std::size_t k = 0; k < nnz; ++k) {
+        ++offsets[v.col_index[k] + 1];
+    }
+    for (std::size_t p = 0; p < v.cols; ++p) offsets[p + 1] += offsets[p];
+    std::vector<std::size_t> cols_idx(nnz);
+    std::vector<double> values(nnz);
+    std::vector<std::size_t> fill(offsets.begin(), offsets.end() - 1);
+    for (std::size_t i = 0; i < v.rows; ++i) {
+        for (std::size_t k = v.offsets[i]; k < v.offsets[i + 1]; ++k) {
+            const std::size_t slot = fill[v.col_index[k]]++;
+            cols_idx[slot] = i;
+            values[slot] = v.values[k];
+        }
+    }
+    return SparseMatrix::from_csr(v.cols, v.rows, std::move(offsets),
+                                  std::move(cols_idx), std::move(values));
+}
+
+void gram_column(const CsrView& a, const CsrView& at, std::size_t j,
+                 double* scratch, std::vector<std::size_t>& support) {
+    support.clear();
+    // Row j of A' lists column j's carriers with source rows ascending
+    // and the stored values verbatim, so this loop replays the Gram
+    // kernels' output-row-j accumulation exactly: fold each carrying
+    // row's full span, weighted by the carrier value.
+    const std::size_t* __restrict qi = a.col_index;
+    const double* __restrict qv = a.values;
+    double* __restrict sc = scratch;
+    std::size_t lo = a.cols;
+    std::size_t hi = 0;
+    for (std::size_t t = at.offsets[j]; t < at.offsets[j + 1]; ++t) {
+        const double vp = at.values[t];
+        const std::size_t l = at.col_index[t];
+        const std::size_t row_start = a.offsets[l];
+        const std::size_t row_end = a.offsets[l + 1];
+        if (row_start < row_end) {
+            lo = std::min(lo, qi[row_start]);
+            hi = std::max(hi, qi[row_end - 1] + 1);
+        }
+        for (std::size_t k = row_start; k < row_end; ++k) {
+            sc[qi[k]] += vp * qv[k];
+        }
+    }
+    for (std::size_t q = lo; q < hi; ++q) {
+        if (sc[q] != 0.0) support.push_back(q);
+    }
+}
+
 SparseMatrix sparse_vstack(const SparseMatrix& a, const SparseMatrix& b) {
     if (a.cols() != b.cols()) {
         throw std::invalid_argument("sparse_vstack: column count mismatch");

@@ -117,6 +117,26 @@ class SparseMatrix {
 /// Stacks A over B (A.cols() == B.cols()).
 SparseMatrix sparse_vstack(const SparseMatrix& a, const SparseMatrix& b);
 
+/// CSR transpose (counting pass, values copied verbatim).  Row j of the
+/// result lists column j of A with source rows ascending — exactly the
+/// order in which the Gram kernels visit column j's carriers, which is
+/// what lets `gram_column` reproduce a Gram row bitwise without the
+/// Gram ever existing.
+SparseMatrix transpose(const SparseMatrix& a);
+
+/// Scatters row j of G = A'A into `scratch` (caller-owned, length
+/// A.cols(), all-zero on entry) and appends the ascending support
+/// indices to `support` (cleared first).  `at` must be transpose(A)'s
+/// view.  The accumulation visits column j's carriers in source-row
+/// order and folds each carrying row's full span — the same loop, in
+/// the same order, as gram_sparse / gram_sparse_csr run for output row
+/// j, so the scattered values are bitwise equal to that Gram row and
+/// entries that cancel to exactly 0.0 are absent from `support`.  The
+/// caller must zero the support entries of `scratch` back before the
+/// next call.
+void gram_column(const CsrView& a, const CsrView& at, std::size_t j,
+                 double* scratch, std::vector<std::size_t>& support);
+
 /// Dense Gram matrix G = A'A accumulated from row outer products over
 /// the nonzeros only — A is never densified, so the arithmetic cost is
 /// sum_i nnz(row_i)^2 instead of the nnz * cols of the densifying

@@ -1,0 +1,184 @@
+// Properties of the factored passive-set NNLS (nnls_operator): the
+// oracle path must be bit-for-bit the dense nnls_gram path wherever
+// the dense Gram fits — cold AND warm-started — and a warm start may
+// only shorten the active-set path, never move the minimizer.  The
+// full-scale versions of these gates (bitwise at the paper's 600-pair
+// USA backbone, 1e-9 warm-vs-cold at the 200-PoP generated backbone,
+// where the dense Gram cannot exist) run in bench_perf_solvers; this
+// test pins the same properties in the tier-1 suite on routing-shaped
+// random problems.
+#include "linalg/nnls.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <random>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "linalg/sparse.hpp"
+
+namespace tme::linalg {
+namespace {
+
+/// Routing-shaped sparse matrix: `links` rows, `pairs` columns, each
+/// column carrying a short path of distinct links (values 1.0, with an
+/// occasional 0.5 pair of rows standing in for an ECMP split).  Rank-
+/// deficient by construction whenever pairs > links — the regime every
+/// backbone estimator lives in.
+SparseMatrix routing_like(std::size_t links, std::size_t pairs,
+                          unsigned seed) {
+    std::mt19937_64 rng(seed);
+    std::uniform_int_distribution<std::size_t> link(0, links - 1);
+    std::uniform_int_distribution<int> hops(2, 6);
+    Matrix dense(links, pairs, 0.0);
+    for (std::size_t j = 0; j < pairs; ++j) {
+        const int h = hops(rng);
+        for (int t = 0; t < h; ++t) {
+            const std::size_t i = link(rng);
+            dense(i, j) = (t == 0 && j % 7 == 0) ? 0.5 : 1.0;
+        }
+    }
+    return SparseMatrix::from_dense(dense);
+}
+
+/// Oracle replaying the Gram kernels' row accumulation through the
+/// routing transpose — the construction the operator-form estimators
+/// use (see core::vardi_estimate / linalg::gram_column).
+GramColumnOracle make_oracle(const SparseMatrix& a,
+                             const SparseMatrix& at) {
+    GramColumnOracle oracle;
+    oracle.dimension = a.cols();
+    const CsrView av = a.view();
+    const CsrView atv = at.view();
+    oracle.column = [av, atv](std::size_t j, std::vector<double>& scratch,
+                              std::vector<std::size_t>& support) {
+        gram_column(av, atv, j, scratch.data(), support);
+    };
+    return oracle;
+}
+
+bool bitwise_equal(const Vector& a, const Vector& b) {
+    if (a.size() != b.size()) return false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        if (a[i] != b[i]) return false;
+    }
+    return true;
+}
+
+double rel_inf_diff(const Vector& a, const Vector& b) {
+    return nrm_inf(sub(a, b)) / std::max(1.0, nrm_inf(a));
+}
+
+class NnlsOperatorParity : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(NnlsOperatorParity, ColdSolveMatchesDenseGramBitwise) {
+    const std::size_t links = 40, pairs = 156;
+    const SparseMatrix a = routing_like(links, pairs, GetParam());
+    const SparseMatrix at = transpose(a);
+    const Matrix g = gram_sparse(a);
+
+    std::mt19937_64 rng(GetParam() + 77);
+    std::uniform_real_distribution<double> dist(0.0, 2.0);
+    Vector truth(pairs);
+    for (double& v : truth) v = dist(rng);
+    const Vector b = a.multiply(truth);
+    const Vector atb = a.multiply_transpose(b);
+    const double btb = dot(b, b);
+
+    const NnlsResult dense = nnls_gram(g, atb, btb);
+    const NnlsResult oper = nnls_operator(make_oracle(a, at), atb, btb);
+    EXPECT_EQ(dense.iterations, oper.iterations);
+    EXPECT_EQ(dense.converged, oper.converged);
+    EXPECT_TRUE(bitwise_equal(dense.x, oper.x))
+        << "factored passive-set solve diverged from the dense path "
+           "(rel diff "
+        << rel_inf_diff(dense.x, oper.x) << ")";
+    EXPECT_DOUBLE_EQ(dense.residual_norm, oper.residual_norm);
+}
+
+TEST_P(NnlsOperatorParity, WarmStartedSolveMatchesDenseGramBitwise) {
+    // The property the streaming engine leans on: with the previous
+    // window's solution seeding the passive set, the factored path must
+    // still replay the dense solver's pivot decisions and arithmetic
+    // exactly — warm starts change the trajectory, and the two
+    // implementations must change it identically.
+    const std::size_t links = 40, pairs = 156;
+    const SparseMatrix a = routing_like(links, pairs, GetParam());
+    const SparseMatrix at = transpose(a);
+    const Matrix g = gram_sparse(a);
+
+    std::mt19937_64 rng(GetParam() + 901);
+    std::uniform_real_distribution<double> dist(0.0, 2.0);
+    Vector truth(pairs);
+    for (double& v : truth) v = dist(rng);
+    const Vector atb = a.multiply_transpose(a.multiply(truth));
+
+    // Previous window: same routing, perturbed loads.
+    Vector prev_truth = truth;
+    for (double& v : prev_truth) v *= 0.8 + 0.4 * dist(rng);
+    const Vector prev_atb =
+        a.multiply_transpose(a.multiply(prev_truth));
+    const NnlsResult seed = nnls_gram(g, prev_atb);
+
+    NnlsOptions warm;
+    warm.warm_start = &seed.x;
+    const NnlsResult dense = nnls_gram(g, atb, 0.0, warm);
+    const NnlsResult oper =
+        nnls_operator(make_oracle(a, at), atb, 0.0, warm);
+    EXPECT_EQ(dense.iterations, oper.iterations);
+    EXPECT_TRUE(bitwise_equal(dense.x, oper.x))
+        << "warm-started factored solve diverged from the warm dense "
+           "path (rel diff "
+        << rel_inf_diff(dense.x, oper.x) << ")";
+}
+
+TEST_P(NnlsOperatorParity, WarmStartMovesThePathNotTheMinimizer) {
+    // Ridge-shifted (strictly convex) problem at a larger, heavily
+    // rank-deficient scale, operator path only — the warm-started
+    // solve must land on the cold solution to 1e-9 even when the seed
+    // is wrong in both directions (spurious positives that must pin
+    // back to zero, true positives perturbed).  bench_perf_solvers
+    // phase 5 runs the same property at the real 200-PoP backbone.
+    const std::size_t links = 120, pairs = 1200;
+    const SparseMatrix a = routing_like(links, pairs, GetParam() + 33);
+    const SparseMatrix at = transpose(a);
+
+    std::mt19937_64 rng(GetParam() + 4242);
+    std::uniform_real_distribution<double> dist(0.0, 2.0);
+    Vector truth(pairs);
+    for (double& v : truth) v = dist(rng);
+    const Vector atb = a.multiply_transpose(a.multiply(truth));
+
+    // Bayesian-prior-sized ridge: the dual stopping tolerance (1e-10)
+    // bounds the minimizer's displacement by roughly tol/shift, so a
+    // vanishing shift cannot certify 1e-9 on a rank-deficient Gram.
+    NnlsOptions opt;
+    opt.gram_diagonal_shift = 0.5;
+    const GramColumnOracle oracle = make_oracle(a, at);
+    const NnlsResult cold = nnls_operator(oracle, atb, 0.0, opt);
+    ASSERT_TRUE(cold.converged);
+
+    Vector seed = cold.x;
+    std::uniform_real_distribution<double> jitter(0.5, 1.5);
+    for (std::size_t j = 0; j < pairs; ++j) {
+        if (seed[j] > 0.0) {
+            seed[j] *= jitter(rng);
+        } else if (j % 11 == 0) {
+            seed[j] = 0.1;  // spurious passive coordinate
+        }
+    }
+    NnlsOptions warm = opt;
+    warm.warm_start = &seed;
+    const NnlsResult rewarmed = nnls_operator(oracle, atb, 0.0, warm);
+    ASSERT_TRUE(rewarmed.converged);
+    EXPECT_LE(rewarmed.iterations, cold.iterations + 8);
+    EXPECT_LE(rel_inf_diff(cold.x, rewarmed.x), 1e-9)
+        << "warm start moved the minimizer";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NnlsOperatorParity,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+}  // namespace
+}  // namespace tme::linalg
