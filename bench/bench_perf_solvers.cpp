@@ -1082,7 +1082,11 @@ int main(int argc, char** argv) {
     double p200_kruithof_seconds = 0.0;
     double p200_entropy_seconds = 0.0;
     double p200_bayesian_seconds = 0.0;
+    double p200_bayesian_factored_seconds = 0.0;
+    double p200_bayesian_operator_delta = 0.0;
     double p200_fanout_seconds = 0.0;
+    double p200_fanout_factored_seconds = 0.0;
+    double p200_fanout_operator_delta = 0.0;
     double p200_vardi_seconds = 0.0;
     double p200_vardi_warm_rel_diff = 0.0;
     std::size_t p200_peak_alloc_bytes = 0;
@@ -1167,19 +1171,35 @@ int main(int argc, char** argv) {
         // that exists at this scale).
         const linalg::SparseMatrix gram = linalg::gram_sparse_csr(r);
 
+        // Bayesian and fanout default to the Gram-free operator path at
+        // this scale (the engine's configuration); the factored-CSR
+        // path runs once alongside as the reference, and the timing
+        // plus worst element delta land in BENCH_solvers.json so the
+        // two paths' agreement is tracked per run.
         core::BayesianOptions bopt;
-        bopt.shared_sparse_gram = &gram;
+        bopt.operator_form = true;
         bopt.qp.cg_max_iterations = 120;
         bopt.qp.max_active_set_rounds = 6;
         p200_bayesian_seconds = time_best(1, [&] {
             est = core::bayesian_estimate(snap, prior, bopt);
         });
         check_estimate("bayesian", est);
-        std::printf("  bayesian  %7.2fs (factored QP, cg<=120)\n",
-                    p200_bayesian_seconds);
+        core::BayesianOptions bopt_csr;
+        bopt_csr.shared_sparse_gram = &gram;
+        bopt_csr.qp.cg_max_iterations = 120;
+        bopt_csr.qp.max_active_set_rounds = 6;
+        linalg::Vector bayes_csr;
+        p200_bayesian_factored_seconds = time_best(1, [&] {
+            bayes_csr = core::bayesian_estimate(snap, prior, bopt_csr);
+        });
+        p200_bayesian_operator_delta = vec_max_abs_diff(est, bayes_csr);
+        std::printf("  bayesian  %7.2fs (operator QP, cg<=120; factored "
+                    "CSR %.2fs, |delta| %.3g)\n",
+                    p200_bayesian_seconds, p200_bayesian_factored_seconds,
+                    p200_bayesian_operator_delta);
 
         core::FanoutOptions fopt;
-        fopt.shared_sparse_gram = &gram;
+        fopt.operator_form = true;
         fopt.qp.cg_max_iterations = 150;
         // Round-count headroom, not extra work: the driver stops at
         // convergence, and how many rounds that takes shifts by one or
@@ -1196,11 +1216,24 @@ int main(int argc, char** argv) {
                  fanout_result.equality_violation);
             p200_ok = false;
         }
-        std::printf("  fanout    %7.2fs (factored QP, %zu rounds, %zu cg "
-                    "iters, eq viol %.2e)\n",
+        core::FanoutOptions fopt_csr;
+        fopt_csr.shared_sparse_gram = &gram;
+        fopt_csr.qp.cg_max_iterations = 150;
+        fopt_csr.qp.max_active_set_rounds = 12;
+        core::FanoutResult fanout_csr;
+        p200_fanout_factored_seconds = time_best(
+            1,
+            [&] { fanout_csr = core::fanout_estimate(series, fopt_csr); });
+        p200_fanout_operator_delta = vec_max_abs_diff(
+            fanout_result.mean_demands, fanout_csr.mean_demands);
+        std::printf("  fanout    %7.2fs (operator QP, %zu rounds, %zu cg "
+                    "iters, eq viol %.2e; factored CSR %.2fs, |delta| "
+                    "%.3g)\n",
                     p200_fanout_seconds, fanout_result.qp_iterations,
                     fanout_result.qp_cg_iterations,
-                    fanout_result.equality_violation);
+                    fanout_result.equality_violation,
+                    p200_fanout_factored_seconds,
+                    p200_fanout_operator_delta);
 
         // Vardi through the operator form: the first scale at which
         // the method exists at all — its dense transformed Gram would
@@ -1660,7 +1693,14 @@ int main(int argc, char** argv) {
     report.set("p200_kruithof_seconds", p200_kruithof_seconds);
     report.set("p200_entropy_seconds", p200_entropy_seconds);
     report.set("p200_bayesian_seconds", p200_bayesian_seconds);
+    report.set("p200_bayesian_factored_seconds",
+               p200_bayesian_factored_seconds);
+    report.set("p200_bayesian_operator_delta",
+               p200_bayesian_operator_delta);
     report.set("p200_fanout_seconds", p200_fanout_seconds);
+    report.set("p200_fanout_factored_seconds",
+               p200_fanout_factored_seconds);
+    report.set("p200_fanout_operator_delta", p200_fanout_operator_delta);
     report.set("p200_vardi_seconds", p200_vardi_seconds);
     report.set("p200_vardi_warm_rel_diff", p200_vardi_warm_rel_diff);
     report.set("p200_peak_alloc_bytes", p200_peak_alloc_bytes);

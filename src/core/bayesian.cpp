@@ -68,6 +68,7 @@ linalg::Vector bayesian_estimate(const SnapshotProblem& problem,
             nnls_options.gram_diagonal_shift = w;
             nnls_options.gram_operator = &r;
             nnls_options.counters = options.counters;
+            nnls_options.budget = options.budget;
             linalg::Vector x =
                 linalg::nnls_operator(oracle, rhs, 0.0, nnls_options).x;
             TME_CONTRACT_DBG_CHECK(check::solver_boundary(
@@ -107,6 +108,7 @@ linalg::Vector bayesian_estimate(const SnapshotProblem& problem,
         qp_options.equality_operator = nullptr;
         qp_options.warm_start = options.warm_start;
         qp_options.counters = options.counters;
+        if (options.budget != nullptr) qp_options.budget = options.budget;
         linalg::Vector x = linalg::solve_eq_qp_nonneg_operator(
                                hessian, rhs, linalg::SparseMatrix(), {},
                                qp_options)
@@ -141,6 +143,7 @@ linalg::Vector bayesian_estimate(const SnapshotProblem& problem,
         qp_options.equality_operator = nullptr;
         qp_options.warm_start = options.warm_start;
         qp_options.counters = options.counters;
+        if (options.budget != nullptr) qp_options.budget = options.budget;
         linalg::Vector x =
             linalg::solve_eq_qp_nonneg_factored(
                 hessian, rhs, linalg::SparseMatrix(), {}, qp_options)
@@ -175,6 +178,7 @@ linalg::Vector bayesian_estimate(const SnapshotProblem& problem,
     nnls_options.gram_diagonal_shift = w;
     nnls_options.gram_operator = &r;
     nnls_options.counters = options.counters;
+    nnls_options.budget = options.budget;
     linalg::Vector x = linalg::nnls_gram(g, rhs, 0.0, nnls_options).x;
     TME_CONTRACT_DBG_CHECK(check::solver_boundary(
         "bayesian_estimate", x, /*require_nonnegative=*/true));

@@ -65,6 +65,12 @@ struct BayesianOptions {
     /// the dense NNLS path adds pivots.  Overrides qp.counters.  Not
     /// owned; must outlive the call.
     obs::SolverCounters* counters = nullptr;
+    /// Optional cooperative deadline, forwarded to whichever solver
+    /// runs (overrides qp.budget).  A tripped budget yields the
+    /// solver's best feasible iterate; the caller reads
+    /// budget->expired() afterwards to learn the solve was cut.  Not
+    /// owned; must outlive the call.
+    linalg::SolveBudget* budget = nullptr;
 };
 
 /// MAP estimate with non-negativity.  `prior` is pair-indexed.

@@ -68,8 +68,13 @@ KruithofResult kruithof_ipf(std::size_t nodes, const linalg::Vector& prior,
     linalg::Vector ct(nodes, 0.0);
     const std::size_t check_every = std::max<std::size_t>(
         1, options.check_every);
+    bool budget_tripped = false;
     for (result.iterations = 0; result.iterations < options.max_iterations;
          ++result.iterations) {
+        if (options.budget != nullptr && options.budget->exhausted()) {
+            budget_tripped = true;
+            break;
+        }
         // Row scaling.
         for (std::size_t i = 0; i < nodes; ++i) {
             double* __restrict block = s + i * stride;
@@ -123,6 +128,11 @@ KruithofResult kruithof_ipf(std::size_t nodes, const linalg::Vector& prior,
             break;
         }
     }
+    result.outcome = result.converged
+                         ? linalg::SolveOutcome::converged
+                     : budget_tripped
+                         ? linalg::SolveOutcome::budget_exhausted
+                         : linalg::SolveOutcome::iteration_capped;
     if (options.counters != nullptr) {
         options.counters->kruithof_sweeps += result.iterations;
     }
@@ -199,8 +209,13 @@ KruithofResult kruithof_general(const SnapshotProblem& problem,
     const std::size_t check_every = std::max<std::size_t>(
         1, options.check_every);
 
+    bool budget_tripped = false;
     for (result.iterations = 0; result.iterations < options.max_iterations;
          ++result.iterations) {
+        if (options.budget != nullptr && options.budget->exhausted()) {
+            budget_tripped = true;
+            break;
+        }
         // Cyclic MART pass: for each constraint l, scale the demands on
         // the constraint multiplicatively toward t_l.  Exponent
         // r_lp/max_l keeps the update stable for fractional matrices.
@@ -258,6 +273,11 @@ KruithofResult kruithof_general(const SnapshotProblem& problem,
             break;
         }
     }
+    result.outcome = result.converged
+                         ? linalg::SolveOutcome::converged
+                     : budget_tripped
+                         ? linalg::SolveOutcome::budget_exhausted
+                         : linalg::SolveOutcome::iteration_capped;
     if (options.counters != nullptr) {
         options.counters->kruithof_sweeps += result.iterations;
     }

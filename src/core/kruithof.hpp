@@ -12,6 +12,7 @@
 #pragma once
 
 #include "core/problem.hpp"
+#include "linalg/budget.hpp"
 #include "obs/counters.hpp"
 
 namespace tme::core {
@@ -37,6 +38,11 @@ struct KruithofOptions {
     /// scaling sweeps to kruithof_sweeps.  Written once at the return
     /// site only.  Not owned; must outlive the call.
     obs::SolverCounters* counters = nullptr;
+    /// Optional cooperative deadline, polled once per scaling sweep.  A
+    /// tripped budget returns the current (nonnegative, partially
+    /// fitted) iterate with outcome = budget_exhausted.  Not owned;
+    /// must outlive the call.
+    linalg::SolveBudget* budget = nullptr;
 };
 
 struct KruithofResult {
@@ -44,6 +50,9 @@ struct KruithofResult {
     std::size_t iterations = 0;
     bool converged = false;
     double max_violation = 0.0;  ///< final relative constraint violation
+    /// How the solve ended: converged, stalled at max_iterations, or
+    /// cut short by the SolveBudget (see linalg/budget.hpp).
+    linalg::SolveOutcome outcome = linalg::SolveOutcome::converged;
 };
 
 /// Classic Kruithof/IPF: scales `prior` (pair-indexed, nodes inferred

@@ -105,6 +105,7 @@ VardiResult vardi_estimate(const SeriesProblem& problem,
     linalg::NnlsOptions nnls_options;
     nnls_options.warm_start = options.warm_start;
     nnls_options.counters = options.counters;
+    nnls_options.budget = options.budget;
     if (options.operator_form) {
         if (options.shared_routing_transpose != nullptr &&
             (options.shared_routing_transpose->rows() != pairs ||

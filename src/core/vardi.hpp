@@ -18,6 +18,7 @@
 #pragma once
 
 #include "core/problem.hpp"
+#include "linalg/budget.hpp"
 #include "obs/counters.hpp"
 
 namespace tme::core {
@@ -63,6 +64,11 @@ struct VardiOptions {
     /// Optional iteration telemetry sink: the moment-matching NNLS adds
     /// its pivots on return.  Not owned; must outlive the call.
     obs::SolverCounters* counters = nullptr;
+    /// Optional cooperative deadline, forwarded to the NNLS.  A tripped
+    /// budget yields the current primal-feasible iterate; the caller
+    /// reads budget->expired() afterwards to learn the solve was cut.
+    /// Not owned; must outlive the call.
+    linalg::SolveBudget* budget = nullptr;
 };
 
 struct VardiResult {

@@ -1,9 +1,11 @@
 #include "engine/engine.hpp"
 
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 
 #include "core/metrics.hpp"
+#include "fault/injection.hpp"
 #include "obs/trace.hpp"
 
 namespace tme::engine {
@@ -47,6 +49,13 @@ WindowResult OnlineEngine::ingest(std::size_t sample, linalg::Vector loads,
                                   bool gap) {
     obs::Span span("engine/ingest", "sample",
                    static_cast<long long>(sample));
+    // Injected allocation failure at the ingest boundary: unlike the
+    // guarded per-method probe this one is NOT caught anywhere in the
+    // engine, so it models a job-killing crash (the fleet driver's
+    // quarantine path is what contains it).
+    if (fault::should_inject(fault::FaultSite::alloc_failure, "ingest")) {
+        throw std::bad_alloc();
+    }
     epoch_ = cache_->acquire_shared(*routing_);
     const RoutingEpoch& epoch = *epoch_;
     // Epoch identity is the cache serial, not the bare fingerprint: a
@@ -89,6 +98,53 @@ WindowResult OnlineEngine::ingest(std::size_t sample, linalg::Vector loads,
         if (window_.series().routing != routing_) {
             window_.rebind_routing(routing_);
         }
+    }
+
+    // Injected routing inconsistency: the capture would mix samples
+    // measured under different routings, which is exactly the epoch
+    // change hazard — handle it the same way (flush the window, drop
+    // warm state) and tally it as a routing fault.
+    if (fault::should_inject(fault::FaultSite::routing_inconsistency)) {
+        ++metrics_.routing_faults;
+        if (!window_.empty()) ++metrics_.window_flushes;
+        window_.reset(routing_);
+        scheduler_.reset_warm_state();
+    }
+
+    // Injected measurement corruption: what a broken collector would
+    // ship (one NaN load, one negated load, or a fully dropped poll).
+    if (!loads.empty()) {
+        if (fault::should_inject(fault::FaultSite::measurement_nan)) {
+            loads[fault::draw(fault::FaultSite::measurement_nan) %
+                  loads.size()] =
+                std::numeric_limits<double>::quiet_NaN();
+        }
+        if (fault::should_inject(fault::FaultSite::measurement_negative)) {
+            double& v = loads[fault::draw(
+                                  fault::FaultSite::measurement_negative) %
+                              loads.size()];
+            v = v != 0.0 ? -v : -1.0;
+        }
+        if (fault::should_inject(fault::FaultSite::measurement_drop)) {
+            loads.assign(loads.size(), 0.0);
+            gap = true;
+        }
+    }
+    // Always-compiled sanitizer: non-finite or negative loads — whether
+    // injected above or shipped by a real collector — must never reach
+    // the solvers (NNLS and the QPs assume finite nonnegative b).  The
+    // offending loads are repaired to zero and the sample is flagged as
+    // a gap so it is treated like a missed poll, not trusted data.
+    bool corrupt = false;
+    for (double& v : loads) {
+        if (!std::isfinite(v) || v < 0.0) {
+            v = 0.0;
+            corrupt = true;
+        }
+    }
+    if (corrupt) {
+        ++metrics_.corrupt_samples;
+        gap = true;
     }
 
     window_.push(sample, std::move(loads), gap);
@@ -154,6 +210,7 @@ WindowResult OnlineEngine::ingest(std::size_t sample, linalg::Vector loads,
         stats.max_seconds.fetch_max(run.seconds);
         stats.latency.record(run.seconds);
         stats.solver.add(run.solver);
+        record_run_quality(metrics_, run, result.window_end_sample);
         if (truth_ && !std::isnan(run.mre)) {
             // Skipped (all-quiet) windows stay out of the MRE average.
             stats.last_mre = run.mre;

@@ -10,6 +10,7 @@
 #include <utility>
 
 #include "engine/clock.hpp"
+#include "fault/injection.hpp"
 #include "obs/trace.hpp"
 
 namespace tme::engine {
@@ -31,10 +32,17 @@ std::string FleetReport::summary() const {
                   cache_collisions);
     out += line;
     for (const FleetJobReport& job : jobs) {
-        std::snprintf(line, sizeof(line),
-                      "  %-16s %5zu windows  %8.3fs  epochs=%zu\n",
-                      job.name.c_str(), job.windows, job.seconds,
-                      job.metrics.epoch_changes.load() + 1);
+        if (job.quarantined) {
+            std::snprintf(line, sizeof(line),
+                          "  %-16s QUARANTINED after %zu attempts: %s\n",
+                          job.name.c_str(), job.attempts,
+                          job.error.c_str());
+        } else {
+            std::snprintf(line, sizeof(line),
+                          "  %-16s %5zu windows  %8.3fs  epochs=%zu\n",
+                          job.name.c_str(), job.windows, job.seconds,
+                          job.metrics.epoch_changes.load() + 1);
+        }
         out += line;
     }
     return out;
@@ -55,6 +63,10 @@ void FleetDriver::run_job(const FleetJob& job, FleetJobReport& report,
     // Job names are dynamic (span args are numeric), so the span
     // carries the job's input-order index; the report maps it to a name.
     obs::Span span("fleet/job", "job", static_cast<long long>(index));
+    // Ambient fault scope = job name: a seeded schedule can poison
+    // exactly this job (everything its worker thread executes) while
+    // sibling jobs replay byte-identical to a fault-free run.
+    fault::ScopedFaultScope fault_scope(job.name);
     const scenario::Scenario& sc = *job.scenario;
     const EngineConfig& cfg =
         job.engine.has_value() ? *job.engine : config_.engine;
@@ -132,16 +144,62 @@ FleetReport FleetDriver::run(const std::vector<FleetJob>& jobs) {
     std::atomic<std::size_t> next{0};
     std::mutex error_mutex;
     std::exception_ptr first_error;
+    const std::size_t max_attempts =
+        config_.quarantine
+            ? (config_.max_job_attempts < 1 ? 1 : config_.max_job_attempts)
+            : 1;
     auto worker = [&] {
         while (true) {
             const std::size_t i =
                 next.fetch_add(1, std::memory_order_relaxed);
             if (i >= jobs.size()) return;
-            try {
-                run_job(jobs[i], report.jobs[i], i);
-            } catch (...) {
-                std::lock_guard<std::mutex> lock(error_mutex);
-                if (!first_error) first_error = std::current_exception();
+            FleetJobReport& rep = report.jobs[i];
+            for (std::size_t attempt = 1; attempt <= max_attempts;
+                 ++attempt) {
+                // Each attempt starts from a blank report: a failed
+                // attempt's partial metrics/windows must not leak into
+                // the retry's (the engine itself is rebuilt by run_job).
+                FleetJobReport fresh;
+                fresh.name = rep.name;
+                fresh.attempts = attempt;
+                std::exception_ptr failure;
+                try {
+                    run_job(jobs[i], fresh, i);
+                    fresh.completed = true;
+                } catch (...) {
+                    failure = std::current_exception();
+                }
+                if (!failure) {
+                    rep = std::move(fresh);
+                    break;
+                }
+                try {
+                    std::rethrow_exception(failure);
+                } catch (const std::exception& e) {
+                    fresh.error = e.what();
+                } catch (...) {
+                    fresh.error = "unknown exception";
+                }
+                rep = std::move(fresh);
+                if (!config_.quarantine) {
+                    std::lock_guard<std::mutex> lock(error_mutex);
+                    if (!first_error) first_error = failure;
+                    break;
+                }
+                if (attempt == max_attempts) {
+                    rep.quarantined = true;
+                    break;
+                }
+                // Deterministic exponential backoff (no jitter): a
+                // seeded fault schedule replays the same retry timeline
+                // every run.
+                if (config_.retry_backoff_seconds > 0.0) {
+                    const double backoff =
+                        config_.retry_backoff_seconds *
+                        static_cast<double>(1ull << (attempt - 1));
+                    std::this_thread::sleep_for(
+                        std::chrono::duration<double>(backoff));
+                }
             }
         }
     };
@@ -156,6 +214,7 @@ FleetReport FleetDriver::run(const std::vector<FleetJob>& jobs) {
 
     for (const FleetJobReport& job : report.jobs) {
         report.total_windows += job.windows;
+        if (job.quarantined) ++report.quarantined_jobs;
     }
     report.cache_hits = cache_->hits();
     report.cache_misses = cache_->misses();

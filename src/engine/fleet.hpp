@@ -70,6 +70,21 @@ struct FleetConfig {
     /// in the report — needed for equivalence checks, sizeable for big
     /// fleets.
     bool keep_windows = false;
+    /// Crash isolation.  When true (the default), a job whose replay
+    /// throws is retried from scratch up to max_job_attempts times and
+    /// then *quarantined* — marked failed in its FleetJobReport while
+    /// every sibling job runs to completion — instead of failing the
+    /// whole fleet.  When false, run() rethrows the first job exception
+    /// after all workers stop (the pre-isolation behaviour).
+    /// Configuration errors (null scenario, topology mismatch, bad
+    /// method list) are validated up front and always throw.
+    bool quarantine = true;
+    /// Total attempts per job (first run + retries); >= 1.
+    std::size_t max_job_attempts = 3;
+    /// Backoff before retry k (1-based) is retry_backoff_seconds *
+    /// 2^(k-1) — exponential, deliberately jitter-free so a seeded
+    /// fault schedule replays identically.  0 retries immediately.
+    double retry_backoff_seconds = 0.0;
 };
 
 struct FleetJobReport {
@@ -80,12 +95,23 @@ struct FleetJobReport {
     std::size_t windows = 0;
     /// Full per-window results when FleetConfig::keep_windows.
     std::vector<WindowResult> window_results;
+    /// Crash-isolation outcome: attempts actually made, whether the job
+    /// finally completed, and — when it did not and quarantine is on —
+    /// whether it was quarantined.  `error` is the what() of the last
+    /// failure (empty on success).  metrics/windows reflect the last
+    /// attempt only; earlier attempts are discarded wholesale.
+    std::size_t attempts = 0;
+    bool completed = false;
+    bool quarantined = false;
+    std::string error;
 };
 
 struct FleetReport {
     std::vector<FleetJobReport> jobs;  ///< in input order
     double wall_seconds = 0.0;         ///< whole-fleet wall time
     std::size_t total_windows = 0;
+    /// Jobs that exhausted their attempts and were quarantined.
+    std::size_t quarantined_jobs = 0;
     // Shared epoch-cache statistics after the run.
     std::size_t cache_hits = 0;
     std::size_t cache_misses = 0;
@@ -121,8 +147,11 @@ class FleetDriver {
 
     /// Runs all jobs to completion and aggregates their reports.
     /// Blocks; jobs execute on min(concurrency, jobs) worker threads.
-    /// The first job exception (if any) is rethrown after every worker
-    /// has stopped.
+    /// With FleetConfig::quarantine (the default) a crashing job is
+    /// retried with exponential backoff and finally quarantined —
+    /// sibling jobs are never disturbed and run() returns normally
+    /// (check FleetJobReport::quarantined).  With quarantine off, the
+    /// first job exception is rethrown after every worker has stopped.
     FleetReport run(const std::vector<FleetJob>& jobs);
 
   private:

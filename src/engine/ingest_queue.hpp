@@ -30,6 +30,19 @@
 
 namespace tme::engine {
 
+/// Typed end-of-stream signal: thrown by producers (e.g. the
+/// replay_scenario_async generator thread) when push() reports the
+/// queue closed under them — a consumer-side abort, not a data error.
+/// Derives std::runtime_error so generic handlers still catch it, while
+/// callers that care can distinguish "the consumer hung up" from a real
+/// failure.
+class QueueClosedError : public std::runtime_error {
+  public:
+    QueueClosedError() : std::runtime_error("ingest queue closed") {}
+    explicit QueueClosedError(const std::string& what)
+        : std::runtime_error(what) {}
+};
+
 /// One ingestion work item: a load sample plus the routing matrix it
 /// was measured under (so a route change travels *in-band*, in sample
 /// order — the consumer applies it exactly between the right samples).

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 namespace tme::engine {
@@ -43,6 +44,36 @@ constexpr const char* method_name(Method m) {
 
 constexpr bool is_series_method(Method m) {
     return m == Method::vardi || m == Method::fanout;
+}
+
+/// Quality of one method's estimate for one window, as served
+/// downstream.  Degradation is graceful and explicit: a window is never
+/// silently dropped, it is flagged.
+///  * exact    — the configured method ran to completion (including a
+///               deliberate iteration cap; see linalg::SolveOutcome).
+///  * degraded — the method's own solve was cut by its SolveBudget
+///               (best feasible iterate returned), or a fallback method
+///               produced the estimate after the configured one failed.
+///  * stale    — every method in the fallback chain failed and the
+///               estimate is the last good one carried forward
+///               (MethodRun::stale_age windows old).
+///  * failed   — nothing usable: no fallback succeeded and no last-good
+///               estimate exists.  The estimate is all zeros.
+enum class EstimateQuality : std::uint8_t {
+    exact,
+    degraded,
+    stale,
+    failed,
+};
+
+constexpr const char* estimate_quality_name(EstimateQuality q) {
+    switch (q) {
+        case EstimateQuality::exact: return "exact";
+        case EstimateQuality::degraded: return "degraded";
+        case EstimateQuality::stale: return "stale";
+        case EstimateQuality::failed: return "failed";
+    }
+    return "?";
 }
 
 /// Whether `wanted` appears in a scheduled method list.

@@ -4,9 +4,45 @@
 #include <cstdio>
 #include <utility>
 
+#include "engine/scheduler.hpp"
 #include "obs/report.hpp"
 
 namespace tme::engine {
+
+void record_run_quality(EngineMetrics& metrics, const MethodRun& run,
+                        std::size_t window_end_sample) {
+    MethodStats& stats = metrics.methods[run.method];
+    if (run.solve_outcome == SolveOutcome::budget_exhausted) {
+        ++stats.budget_exhausted_runs;
+        ++metrics.budget_exhausted_runs;
+    }
+    if (run.used_fallback) ++stats.fallback_runs;
+    switch (run.quality) {
+        case EstimateQuality::exact:
+            return;
+        case EstimateQuality::degraded:
+            ++stats.degraded_runs;
+            ++metrics.degraded_runs;
+            break;
+        case EstimateQuality::stale:
+            ++stats.stale_runs;
+            ++metrics.stale_runs;
+            break;
+        case EstimateQuality::failed:
+            ++stats.failed_runs;
+            ++metrics.failed_runs;
+            break;
+    }
+    DegradationRecord record;
+    record.window_end_sample = window_end_sample;
+    record.method = run.method;
+    record.quality = run.quality;
+    record.fallback_method = run.fallback_method;
+    record.used_fallback = run.used_fallback;
+    record.stale_age = run.stale_age;
+    record.reason = run.degradation_reason;
+    metrics.degradation.push(std::move(record));
+}
 
 std::string EngineMetrics::summary() const {
     char line[320];
@@ -32,6 +68,19 @@ std::string EngineMetrics::summary() const {
                   window.p50() * 1e3, window.p95() * 1e3,
                   window.p99() * 1e3, window.max_seconds() * 1e3);
     out += line;
+    const std::size_t total_degraded = degraded_runs.load() +
+                                       stale_runs.load() + failed_runs.load();
+    if (total_degraded > 0 || corrupt_samples.load() > 0 ||
+        routing_faults.load() > 0) {
+        std::snprintf(line, sizeof(line),
+                      "degradation: degraded=%zu stale=%zu failed=%zu "
+                      "budget_exhausted=%zu corrupt_samples=%zu "
+                      "routing_faults=%zu\n",
+                      degraded_runs.load(), stale_runs.load(),
+                      failed_runs.load(), budget_exhausted_runs.load(),
+                      corrupt_samples.load(), routing_faults.load());
+        out += line;
+    }
     for (const auto& [method, stats] : methods) {
         const obs::HistogramSnapshot hist = stats.latency.snapshot();
         std::snprintf(line, sizeof(line),
@@ -54,6 +103,15 @@ std::string EngineMetrics::summary() const {
         if (solver.any()) {
             out += " iters=";
             out += obs::counters_to_json(solver).dump();
+        }
+        if (stats.degraded_runs.load() > 0 || stats.stale_runs.load() > 0 ||
+            stats.failed_runs.load() > 0) {
+            std::snprintf(line, sizeof(line),
+                          " degraded=%zu stale=%zu failed=%zu fallback=%zu",
+                          stats.degraded_runs.load(), stats.stale_runs.load(),
+                          stats.failed_runs.load(),
+                          stats.fallback_runs.load());
+            out += line;
         }
         out += '\n';
     }
@@ -90,6 +148,38 @@ obs::Json EngineMetrics::to_json() const {
     j.set("mre_skipped_runs",
           static_cast<long long>(mre_skipped_runs.load()));
 
+    obs::Json degr = obs::Json::object();
+    degr.set("degraded_runs", static_cast<long long>(degraded_runs.load()));
+    degr.set("stale_runs", static_cast<long long>(stale_runs.load()));
+    degr.set("failed_runs", static_cast<long long>(failed_runs.load()));
+    degr.set("budget_exhausted_runs",
+             static_cast<long long>(budget_exhausted_runs.load()));
+    degr.set("corrupt_samples",
+             static_cast<long long>(corrupt_samples.load()));
+    degr.set("routing_faults", static_cast<long long>(routing_faults.load()));
+    degr.set("records_dropped",
+             static_cast<long long>(degradation.dropped()));
+    obs::Json records = obs::Json::array();
+    for (const DegradationRecord& record : degradation.snapshot()) {
+        obs::Json r = obs::Json::object();
+        r.set("window_end_sample",
+              static_cast<long long>(record.window_end_sample));
+        r.set("method", method_name(record.method));
+        r.set("quality", estimate_quality_name(record.quality));
+        if (record.used_fallback) {
+            r.set("fallback_method", method_name(record.fallback_method));
+        }
+        if (record.quality == EstimateQuality::stale) {
+            r.set("stale_age", static_cast<long long>(record.stale_age));
+        }
+        if (!record.reason.empty()) {
+            r.set("reason", record.reason);
+        }
+        records.push_back(std::move(r));
+    }
+    degr.set("records", std::move(records));
+    j.set("degradation", std::move(degr));
+
     obs::Json per_method = obs::Json::object();
     for (const auto& [method, stats] : methods) {
         obs::Json m = obs::Json::object();
@@ -109,6 +199,15 @@ obs::Json EngineMetrics::to_json() const {
             m.set("mean_mre", stats.mean_mre());
             m.set("last_mre", stats.last_mre.load());
         }
+        m.set("degraded_runs",
+              static_cast<long long>(stats.degraded_runs.load()));
+        m.set("stale_runs", static_cast<long long>(stats.stale_runs.load()));
+        m.set("failed_runs",
+              static_cast<long long>(stats.failed_runs.load()));
+        m.set("fallback_runs",
+              static_cast<long long>(stats.fallback_runs.load()));
+        m.set("budget_exhausted_runs",
+              static_cast<long long>(stats.budget_exhausted_runs.load()));
         per_method.set(method_name(method), std::move(m));
     }
     j.set("methods", std::move(per_method));

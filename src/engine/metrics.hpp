@@ -18,9 +18,12 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <limits>
 #include <map>
+#include <mutex>
 #include <string>
+#include <vector>
 
 #include "engine/method.hpp"
 #include "obs/counters.hpp"
@@ -53,6 +56,17 @@ struct MethodStats {
     obs::LatencyHistogram latency;
     /// Solver iteration totals attributed to this method's runs.
     obs::SolverCounterCells solver;
+    /// Graceful-degradation tallies (engine/method.hpp quality levels):
+    /// degraded = budget-cut or fallback-served windows, stale =
+    /// last-good carry-forwards, failed = all-zero placeholder windows.
+    /// fallback_runs counts the degraded subset served by another
+    /// method.  All zero on a healthy stream.
+    MetricCell<std::size_t> degraded_runs;
+    MetricCell<std::size_t> stale_runs;
+    MetricCell<std::size_t> failed_runs;
+    MetricCell<std::size_t> fallback_runs;
+    /// Runs whose own solve was cut by the SolveBudget deadline.
+    MetricCell<std::size_t> budget_exhausted_runs;
 
     double mean_seconds() const {
         const std::size_t n = runs.load();
@@ -63,6 +77,80 @@ struct MethodStats {
         return n > 0 ? mre_sum.load() / static_cast<double>(n)
                      : std::numeric_limits<double>::quiet_NaN();
     }
+};
+
+/// One degradation event: which window, which method, what quality the
+/// served estimate ended up with, and why.  Produced by the engines
+/// from MethodRun quality flags at metrics-update time (single writer),
+/// stored in the bounded DegradationLog below.
+struct DegradationRecord {
+    std::size_t window_end_sample = 0;
+    Method method = Method::gravity;
+    EstimateQuality quality = EstimateQuality::degraded;
+    /// The method that actually produced the served estimate (equals
+    /// `method` unless a fallback ran).
+    Method fallback_method = Method::gravity;
+    bool used_fallback = false;
+    std::size_t stale_age = 0;  ///< windows old, for quality == stale
+    std::string reason;
+};
+
+/// Bounded, internally-synchronized log of degradation events.  Push
+/// happens from the engines' (serialized) metrics-update points;
+/// snapshot/copy may race with pushes (the metrics-stress readers copy
+/// EngineMetrics mid-stream), hence the mutex.  Once kCapacity records
+/// are held further pushes only bump dropped() — the counters above
+/// stay exact, only per-event detail is shed.
+class DegradationLog {
+  public:
+    static constexpr std::size_t kCapacity = 256;
+
+    DegradationLog() = default;
+    DegradationLog(const DegradationLog& other) {
+        std::lock_guard<std::mutex> lock(other.mutex_);
+        records_ = other.records_;
+        dropped_ = other.dropped_;
+    }
+    DegradationLog& operator=(const DegradationLog& other) {
+        if (this == &other) return *this;
+        std::vector<DegradationRecord> copy;
+        std::size_t dropped = 0;
+        {
+            std::lock_guard<std::mutex> lock(other.mutex_);
+            copy = other.records_;
+            dropped = other.dropped_;
+        }
+        std::lock_guard<std::mutex> lock(mutex_);
+        records_ = std::move(copy);
+        dropped_ = dropped;
+        return *this;
+    }
+
+    void push(DegradationRecord record) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (records_.size() < kCapacity) {
+            records_.push_back(std::move(record));
+        } else {
+            ++dropped_;
+        }
+    }
+    std::vector<DegradationRecord> snapshot() const {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return records_;
+    }
+    std::size_t size() const {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return records_.size();
+    }
+    std::size_t dropped() const {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return dropped_;
+    }
+
+  private:
+    mutable std::mutex mutex_;
+    std::vector<DegradationRecord> records_;
+    std::size_t dropped_ = 0;
 };
 
 struct EngineMetrics {
@@ -83,6 +171,19 @@ struct EngineMetrics {
     /// Method runs skipped by MRE scoring because the truth reference
     /// carried no traffic at all (all-quiet window).
     MetricCell<std::size_t> mre_skipped_runs;
+    /// Engine-wide degradation tallies (sums of the per-method ones).
+    MetricCell<std::size_t> degraded_runs;
+    MetricCell<std::size_t> stale_runs;
+    MetricCell<std::size_t> failed_runs;
+    MetricCell<std::size_t> budget_exhausted_runs;
+    /// Samples whose loads arrived non-finite or negative and were
+    /// repaired (zeroed + flagged as a gap) by the ingest sanitizer.
+    MetricCell<std::size_t> corrupt_samples;
+    /// Routing-inconsistency events (injected or detected): the window
+    /// is flushed, as on an epoch change.
+    MetricCell<std::size_t> routing_faults;
+    /// Bounded per-event detail for the tallies above.
+    DegradationLog degradation;
     MetricCell<double> total_seconds{0.0};  ///< scheduler time across windows
     MetricCell<double> last_window_seconds{0.0};
     /// End-to-end window latency distribution (same samples that feed
@@ -118,5 +219,14 @@ struct EngineMetrics {
     /// percentiles/solver iteration counters.
     obs::Json to_json() const;
 };
+
+struct MethodRun;  // scheduler.hpp
+
+/// Folds one run's quality flags into the per-method and engine-wide
+/// degradation counters, appending a DegradationRecord for every
+/// non-exact run.  Call from the engines' single-writer metrics-update
+/// points (serial ingest loop, pipeline finalize).
+void record_run_quality(EngineMetrics& metrics, const MethodRun& run,
+                        std::size_t window_end_sample);
 
 }  // namespace tme::engine

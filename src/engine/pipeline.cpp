@@ -3,12 +3,14 @@
 #include <atomic>
 #include <chrono>
 #include <cmath>
+#include <limits>
 #include <optional>
 #include <stdexcept>
 #include <utility>
 
 #include "core/metrics.hpp"
 #include "engine/clock.hpp"
+#include "fault/injection.hpp"
 #include "obs/trace.hpp"
 
 namespace tme::engine {
@@ -45,6 +47,11 @@ struct PipelinedEngine::Lineage {
     linalg::Vector warm;
     bool warm_valid = false;
     std::uint64_t warm_generation = 0;
+    // Last-good estimate for graceful degradation (scheduler.hpp).
+    // Touched only by the lane's active drainer, like the warm fields;
+    // unlike them it survives routing rebinds (demand estimates do not
+    // depend on the routing).
+    FallbackState last_good;
 };
 
 PipelinedEngine::PipelinedEngine(
@@ -115,6 +122,11 @@ void PipelinedEngine::submit(std::size_t sample, linalg::Vector loads,
                              bool gap) {
     obs::Span span("pipeline/submit", "sample",
                    static_cast<long long>(sample));
+    // Uncaught by design — models a job-killing crash; see
+    // OnlineEngine::ingest.
+    if (fault::should_inject(fault::FaultSite::alloc_failure, "ingest")) {
+        throw std::bad_alloc();
+    }
     // Same epoch/flush protocol as OnlineEngine::ingest (see there for
     // the serial-vs-fingerprint rationale, including the rebuilt-
     // same-content exception for shared-cache eviction churn);
@@ -145,6 +157,43 @@ void PipelinedEngine::submit(std::size_t sample, linalg::Vector loads,
         if (window_.series().routing != routing_) {
             window_.rebind_routing(routing_);
         }
+    }
+
+    // Fault probes + always-compiled sanitizer, identical to
+    // OnlineEngine::ingest (see there for the semantics).
+    if (fault::should_inject(fault::FaultSite::routing_inconsistency)) {
+        ++metrics_.routing_faults;
+        if (!window_.empty()) ++metrics_.window_flushes;
+        window_.reset(routing_);
+        ++generation_;
+    }
+    if (!loads.empty()) {
+        if (fault::should_inject(fault::FaultSite::measurement_nan)) {
+            loads[fault::draw(fault::FaultSite::measurement_nan) %
+                  loads.size()] =
+                std::numeric_limits<double>::quiet_NaN();
+        }
+        if (fault::should_inject(fault::FaultSite::measurement_negative)) {
+            double& v = loads[fault::draw(
+                                  fault::FaultSite::measurement_negative) %
+                              loads.size()];
+            v = v != 0.0 ? -v : -1.0;
+        }
+        if (fault::should_inject(fault::FaultSite::measurement_drop)) {
+            loads.assign(loads.size(), 0.0);
+            gap = true;
+        }
+    }
+    bool corrupt = false;
+    for (double& v : loads) {
+        if (!std::isfinite(v) || v < 0.0) {
+            v = 0.0;
+            corrupt = true;
+        }
+    }
+    if (corrupt) {
+        ++metrics_.corrupt_samples;
+        gap = true;
     }
 
     window_.push(sample, std::move(loads), gap);
@@ -282,8 +331,9 @@ void PipelinedEngine::run_stage(Lineage& lin, WindowJob& job,
             seed = &lin.warm;
         }
         MethodExecution exec =
-            execute_method(m, job.ctx, config_.method_options, seed,
-                           config_.warm_start);
+            execute_method_guarded(m, job.ctx, config_.method_options,
+                                   seed, lin.last_good,
+                                   config_.warm_start);
         if (config_.warm_start && exec.warm_next_valid) {
             lin.warm = std::move(exec.warm_next);
             lin.warm_valid = true;
@@ -333,6 +383,8 @@ void PipelinedEngine::finalize(WindowJob& job) {
             stats.max_seconds.fetch_max(run.seconds);
             stats.latency.record(run.seconds);
             stats.solver.add(run.solver);
+            record_run_quality(metrics_, run,
+                               job.ctx.window_end_sample);
             if (job.scored && !std::isnan(run.mre)) {
                 stats.last_mre = run.mre;
                 stats.mre_sum += run.mre;

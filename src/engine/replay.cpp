@@ -116,8 +116,10 @@ ReplayResult replay_scenario_async(OnlineEngine& engine,
                         item.loads = loads;
                         item.routing = &routing;
                         if (!queue.push(std::move(item))) {
-                            // Consumer aborted; stop producing.
-                            throw std::runtime_error(
+                            // Consumer aborted; stop producing.  Typed
+                            // so the join below can tell this echo from
+                            // a genuine producer failure.
+                            throw QueueClosedError(
                                 "replay_scenario_async: queue closed");
                         }
                     });
@@ -144,8 +146,16 @@ ReplayResult replay_scenario_async(OnlineEngine& engine,
         }
         producer.join();
         // A closed-queue abort in the producer is only the echo of a
-        // consumer-side failure; any other producer error surfaces.
-        if (producer_error) std::rethrow_exception(producer_error);
+        // consumer-side close (the catch above rethrows the consumer's
+        // own error before reaching here); any other producer error
+        // surfaces.
+        if (producer_error) {
+            try {
+                std::rethrow_exception(producer_error);
+            } catch (const QueueClosedError&) {
+                // benign: consumer hung up first
+            }
+        }
     });
     result.mean_mre = summarize_mre(result.windows);
     return result;

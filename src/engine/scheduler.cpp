@@ -4,10 +4,14 @@
 #include <optional>
 #include <utility>
 
+#include <cmath>
+#include <new>
+
 #include "check/contract.hpp"
 #include "check/validators.hpp"
 #include "core/gravity.hpp"
 #include "engine/clock.hpp"
+#include "fault/injection.hpp"
 #include "obs/trace.hpp"
 
 namespace tme::engine {
@@ -163,15 +167,32 @@ MethodExecution execute_method(Method m, const WindowContext& ctx,
     MethodExecution out;
     MethodRun& run = out.run;
     run.method = m;
+    run.fallback_method = m;
+    // Simulated allocation failure at the solve boundary (compiled out
+    // with TME_FAULT_INJECTION=0).  Thrown before any solver state is
+    // built, exactly where a real Gram-column or factor allocation
+    // would fail; execute_method_guarded classifies it as degradable.
+    if (fault::should_inject(fault::FaultSite::alloc_failure,
+                             method_name(m))) {
+        throw std::bad_alloc();
+    }
+    if (m == Method::gravity) {
+        run.estimate = ctx.prior;
+        run.seconds = ctx.prior_seconds;
+        return out;  // prior timing, not this call's
+    }
+    // One budget per solve, armed here — arming is also the
+    // solver_stall injection point (the fault makes the first poll
+    // trip, simulating a wedged solve cut by its deadline).
+    SolveBudget budget(options.solve_deadline_seconds, method_name(m));
+    budget.start();
     switch (m) {
-        case Method::gravity: {
-            run.estimate = ctx.prior;
-            run.seconds = ctx.prior_seconds;
-            return out;  // prior timing, not this call's
-        }
+        case Method::gravity:
+            break;  // handled above
         case Method::kruithof: {
             core::KruithofOptions opts = options.kruithof;
             opts.counters = &run.solver;
+            opts.budget = &budget;
             run.estimate =
                 core::kruithof_general(ctx.latest, ctx.prior, opts).s;
             break;
@@ -179,6 +200,7 @@ MethodExecution execute_method(Method m, const WindowContext& ctx,
         case Method::entropy: {
             core::EntropyOptions opts = options.entropy;
             opts.solver.counters = &run.solver;
+            opts.solver.budget = &budget;
             if (warm_seed != nullptr) {
                 opts.solver.initial = warm_seed;
                 run.warm_started = true;
@@ -195,6 +217,7 @@ MethodExecution execute_method(Method m, const WindowContext& ctx,
         case Method::bayesian: {
             core::BayesianOptions opts = options.bayesian;
             opts.counters = &run.solver;
+            opts.budget = &budget;
             // Gram-free: the MAP system is solved through on-demand
             // Gram columns / implicit A'A products off the epoch's
             // cached R' — neither the dense nor the CSR Gram is ever
@@ -217,6 +240,7 @@ MethodExecution execute_method(Method m, const WindowContext& ctx,
         case Method::vardi: {
             core::VardiOptions opts = options.vardi;
             opts.counters = &run.solver;
+            opts.budget = &budget;
             // Gram-free: columns of the transformed Gram
             // G1 + w*(G1 .* G1) are generated on demand off the
             // epoch's cached R' — the dense per-epoch transformed Gram
@@ -240,6 +264,7 @@ MethodExecution execute_method(Method m, const WindowContext& ctx,
         case Method::fanout: {
             core::FanoutOptions opts = options.fanout;
             opts.qp.counters = &run.solver;
+            opts.qp.budget = &budget;
             // Gram-free: the QP's data term is applied through R / R'
             // per window sample and its KKT rows are generated on
             // demand off the epoch's cached R' — not even the CSR Gram
@@ -271,6 +296,172 @@ MethodExecution execute_method(Method m, const WindowContext& ctx,
             break;
         }
     }
+    // Simulated solver divergence: corrupt the estimate at the solve
+    // boundary.  execute_method_guarded's validation catches the NaNs
+    // and falls back, exactly as it would for a real blow-up.
+    if (fault::should_inject(fault::FaultSite::solver_diverge,
+                             method_name(m))) {
+        for (double& v : run.estimate) {
+            v = std::numeric_limits<double>::quiet_NaN();
+        }
+    }
+    if (budget.expired()) {
+        run.solve_outcome = SolveOutcome::budget_exhausted;
+    }
+    run.seconds = seconds_since(start);
+    return out;
+}
+
+namespace {
+
+/// A servable estimate: right-sized, finite, nonnegative.  Every
+/// estimator in the repo guarantees this on a clean return (solver
+/// boundary contracts); a violation here means the solve blew up (or a
+/// solver_diverge fault fired).
+bool estimate_usable(const linalg::Vector& estimate, std::size_t pairs) {
+    if (estimate.size() != pairs) return false;
+    for (double v : estimate) {
+        if (!std::isfinite(v) || v < 0.0) return false;
+    }
+    return true;
+}
+
+/// Classifies an estimator exception: data/solver faults (contract
+/// violations, allocation failure, runtime errors such as singular KKT
+/// systems) degrade; anything else is a programming error that must
+/// propagate.  Fills `reason` with the message when degradable.
+bool degradable_failure(const std::exception_ptr& error,
+                        std::string& reason) {
+    try {
+        std::rethrow_exception(error);
+    } catch (const check::ContractViolation& e) {
+        reason = e.what();
+        return true;
+    } catch (const std::bad_alloc&) {
+        reason = "allocation failure";
+        return true;
+    } catch (const std::runtime_error& e) {
+        reason = e.what();
+        return true;
+    } catch (...) {
+        return false;
+    }
+}
+
+}  // namespace
+
+MethodExecution execute_method_guarded(Method m, const WindowContext& ctx,
+                                       const MethodOptions& options,
+                                       const linalg::Vector* warm_seed,
+                                       FallbackState& last_good,
+                                       bool collect_warm) {
+    const std::size_t pairs = ctx.series.routing->cols();
+    MethodExecution out;
+    std::string reason;
+    bool primary_ok = false;
+    try {
+        out = execute_method(m, ctx, options, warm_seed, collect_warm);
+        if (estimate_usable(out.run.estimate, pairs)) {
+            primary_ok = true;
+        } else {
+            reason = "estimate not finite/nonnegative";
+        }
+    } catch (...) {
+        const std::exception_ptr error = std::current_exception();
+        if (!degradable_failure(error, reason)) {
+            std::rethrow_exception(error);
+        }
+    }
+
+    if (primary_ok) {
+        MethodRun& run = out.run;
+        if (run.solve_outcome == SolveOutcome::budget_exhausted) {
+            // Feasible but deadline-cut: serve it flagged, and keep it
+            // out of the warm slot and the last-good carry-forward so
+            // a degraded iterate never seeds future windows.
+            run.quality = EstimateQuality::degraded;
+            run.degradation_reason = "solve budget exhausted";
+            out.warm_next_valid = false;
+            ++last_good.age;
+        } else {
+            last_good.estimate = run.estimate;
+            last_good.valid = true;
+            last_good.age = 0;
+        }
+        return out;
+    }
+
+    // Fallback chain.  The primary run's partial state (timing,
+    // counters) is discarded with it; the fallback is timed on its own.
+    const Clock::time_point start = Clock::now();
+    out = MethodExecution{};
+    MethodRun& run = out.run;
+    run.method = m;
+    run.fallback_method = m;
+    run.degradation_reason = std::move(reason);
+    ++last_good.age;
+
+    auto accept_fallback = [&](Method fb, linalg::Vector&& estimate) {
+        if (!estimate_usable(estimate, pairs)) return false;
+        run.estimate = std::move(estimate);
+        run.used_fallback = true;
+        run.fallback_method = fb;
+        run.quality = EstimateQuality::degraded;
+        return true;
+    };
+
+    bool served = false;
+    // Fanout degrades to the Bayesian MAP estimate first — it is the
+    // next-best method on the paper's accuracy ladder and shares the
+    // captured context.  Requires the gravity prior (absent on
+    // fanout-only schedules, where the chain goes straight to gravity).
+    if (m == Method::fanout && ctx.prior.size() == pairs) {
+        try {
+            MethodExecution fb = execute_method(Method::bayesian, ctx,
+                                                options, nullptr, false);
+            run.solver = fb.run.solver;
+            served = accept_fallback(Method::bayesian,
+                                     std::move(fb.run.estimate));
+        } catch (...) {
+            std::string fb_reason;
+            if (!degradable_failure(std::current_exception(), fb_reason)) {
+                throw;
+            }
+        }
+    }
+    // Terminal method fallback: the gravity prior (already computed in
+    // capture for most schedules; recomputed here when it was not).
+    if (!served) {
+        linalg::Vector prior_estimate;
+        if (ctx.prior.size() == pairs) {
+            prior_estimate = ctx.prior;
+        } else {
+            try {
+                prior_estimate = core::gravity_estimate(ctx.latest);
+            } catch (...) {
+                std::string fb_reason;
+                if (!degradable_failure(std::current_exception(),
+                                        fb_reason)) {
+                    throw;
+                }
+            }
+        }
+        served = accept_fallback(Method::gravity,
+                                 std::move(prior_estimate));
+    }
+    // Every method failed: carry the last good estimate forward, aged.
+    if (!served && last_good.valid &&
+        last_good.estimate.size() == pairs) {
+        run.estimate = last_good.estimate;
+        run.used_fallback = true;
+        run.quality = EstimateQuality::stale;
+        run.stale_age = last_good.age;
+        served = true;
+    }
+    if (!served) {
+        run.estimate.assign(pairs, 0.0);
+        run.quality = EstimateQuality::failed;
+    }
     run.seconds = seconds_since(start);
     return out;
 }
@@ -284,6 +475,7 @@ EstimatorScheduler::EstimatorScheduler(std::vector<Method> methods,
       warm_start_(warm_start),
       min_series_window_(min_series_window < 1 ? 1 : min_series_window),
       warm_(method_count),
+      last_good_(method_count),
       pool_(threads) {
     const SchedulerConfigCheck check = validate_methods(methods_);
     if (!check) throw SchedulerConfigException(check);
@@ -317,7 +509,9 @@ WindowResult EstimatorScheduler::run(
         if (is_series_method(m) && !ctx.run_series) continue;
         if (m == Method::gravity) {
             // The prior was already computed in capture(); no task.
-            slots[i] = execute_method(m, ctx, options_, nullptr);
+            slots[i] = execute_method_guarded(
+                m, ctx, options_, nullptr,
+                last_good_[static_cast<std::size_t>(m)]);
             continue;
         }
         tasks.push_back([this, i, m, &ctx, &slots, &errors] {
@@ -325,8 +519,11 @@ WindowResult EstimatorScheduler::run(
                 const WarmSlot& warm = slot(m);
                 const linalg::Vector* seed =
                     warm_start_ && warm.valid ? &warm.estimate : nullptr;
-                slots[i] =
-                    execute_method(m, ctx, options_, seed, warm_start_);
+                // Each task touches only its own method's last-good
+                // slot, like the warm slots — no locking needed.
+                slots[i] = execute_method_guarded(
+                    m, ctx, options_, seed,
+                    last_good_[static_cast<std::size_t>(m)], warm_start_);
             } catch (...) {
                 errors[i] = std::current_exception();
             }

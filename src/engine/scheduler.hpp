@@ -44,6 +44,12 @@
 
 namespace tme::engine {
 
+/// Engine-side aliases for the solver budget layer (linalg/budget.hpp):
+/// engine code configures deadlines and reads outcomes without spelling
+/// the linalg namespace.
+using SolveBudget = linalg::SolveBudget;
+using SolveOutcome = linalg::SolveOutcome;
+
 /// Per-method solver options.  The scheduler overrides the reuse hooks
 /// (shared_gram, warm_start, window aggregates) per window; everything
 /// else is honoured as configured.
@@ -53,6 +59,15 @@ struct MethodOptions {
     core::BayesianOptions bayesian;
     core::VardiOptions vardi;
     core::FanoutOptions fanout;
+    /// Wall-clock deadline per method solve, in seconds; <= 0 means
+    /// unlimited.  execute_method arms one SolveBudget per run and
+    /// threads it into the method's inner solver loops (projected CG,
+    /// block pivoting, NNLS pivots, MART sweeps, entropy Armijo steps),
+    /// so a runaway solve returns its best feasible iterate with the
+    /// run flagged degraded instead of hanging the window.  The budget
+    /// is armed even when unlimited — that is the solver_stall fault
+    /// injection point (src/fault/injection.hpp).
+    double solve_deadline_seconds = 0.0;
 };
 
 /// One method's output for one window.
@@ -73,6 +88,23 @@ struct MethodRun {
     /// Solver iteration counts for this run (QP rounds/CG, entropy
     /// steps/probes, MART sweeps, NNLS pivots); zero for gravity.
     obs::SolverCounters solver;
+    /// How the method's own solve ended (budget_exhausted when the
+    /// SolveBudget cut it; see MethodOptions::solve_deadline_seconds).
+    SolveOutcome solve_outcome = SolveOutcome::converged;
+    /// Quality of `estimate` as served downstream (engine/method.hpp).
+    EstimateQuality quality = EstimateQuality::exact;
+    /// True when the configured method failed and `estimate` came from
+    /// `fallback_method` instead (execute_method_guarded's chain).
+    bool used_fallback = false;
+    /// The method that actually produced the estimate when
+    /// used_fallback is set; equals `method` otherwise.
+    Method fallback_method = Method::gravity;
+    /// Number of windows since the served estimate was computed; > 0
+    /// only for quality == stale (last-good carry-forward).
+    std::size_t stale_age = 0;
+    /// Human-readable cause when quality != exact (exception message,
+    /// "solve budget exhausted", ...); empty on clean runs.
+    std::string degradation_reason;
 };
 
 /// Everything one window's estimation pass produced.
@@ -187,6 +219,41 @@ MethodExecution execute_method(Method m, const WindowContext& ctx,
                                const linalg::Vector* warm_seed,
                                bool collect_warm = true);
 
+/// Last-good estimate carried across windows for one method: the
+/// graceful-degradation terminal fallback.  Updated only by exact runs;
+/// `age` counts the windows since.  Deliberately kept across routing
+/// epochs — a demand estimate does not depend on the routing, and a
+/// slightly stale estimate beats none when every solver fails.
+struct FallbackState {
+    linalg::Vector estimate;
+    bool valid = false;
+    std::size_t age = 0;
+};
+
+/// execute_method wrapped in graceful degradation; the serial scheduler
+/// and the pipeline both run methods through here, which keeps their
+/// degradation behaviour (and estimates) identical.
+///
+/// The run always comes back usable and honestly labelled:
+///  * clean solve                      -> exact (last_good updated);
+///  * SolveBudget cut the solve        -> degraded, best feasible
+///                                        iterate kept;
+///  * solver threw (ContractViolation, bad_alloc, runtime_error) or
+///    produced a non-finite/negative estimate -> fallback chain
+///    (fanout -> bayesian -> gravity prior; others -> gravity prior),
+///    degraded;
+///  * whole chain failed               -> last_good carry-forward,
+///                                        stale (age reported);
+///  * no last_good either              -> failed, all-zero estimate.
+/// Unexpected exception types (std::logic_error etc. — programming
+/// errors, not data/solver faults) still propagate.  A degraded run
+/// never updates the warm slot (warm_next_valid = false) nor last_good.
+MethodExecution execute_method_guarded(Method m, const WindowContext& ctx,
+                                       const MethodOptions& options,
+                                       const linalg::Vector* warm_seed,
+                                       FallbackState& last_good,
+                                       bool collect_warm = true);
+
 class EstimatorScheduler {
   public:
     EstimatorScheduler(std::vector<Method> methods, MethodOptions options,
@@ -231,6 +298,11 @@ class EstimatorScheduler {
     std::size_t min_series_window_;
     std::size_t next_ordinal_ = 0;
     std::vector<WarmSlot> warm_;
+    /// Per-method last-good estimates for degradation (each method's
+    /// task touches only its own slot, like warm_).  Survives
+    /// reset_warm_state: staleness beats nothing when solvers fail
+    /// right after an epoch change.
+    std::vector<FallbackState> last_good_;
     ThreadPool pool_;
 };
 

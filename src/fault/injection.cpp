@@ -1,0 +1,120 @@
+#include "fault/injection.hpp"
+
+#if TME_FAULT_INJECTION
+
+#include <atomic>
+#include <mutex>
+#include <utility>
+
+namespace tme::fault {
+
+namespace {
+
+struct ArmedSpec {
+    FaultSpec spec;
+    std::uint64_t matched = 0;  ///< matching probes seen so far
+};
+
+struct Registry {
+    std::mutex mutex;
+    std::vector<ArmedSpec> specs;
+    std::uint64_t seed = 0;
+    FaultStats stats;
+};
+
+Registry& registry() {
+    static Registry r;
+    return r;
+}
+
+/// Disarmed fast path: one relaxed load instead of the mutex.
+std::atomic<bool> g_armed{false};
+
+thread_local const char* t_scope = "";
+
+std::uint64_t splitmix64(std::uint64_t x) {
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+}  // namespace
+
+void arm(std::vector<FaultSpec> schedule, std::uint64_t seed) {
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    r.specs.clear();
+    r.specs.reserve(schedule.size());
+    for (FaultSpec& spec : schedule) {
+        r.specs.push_back(ArmedSpec{std::move(spec), 0});
+    }
+    r.seed = seed;
+    r.stats = FaultStats{};
+    g_armed.store(true, std::memory_order_release);
+}
+
+void disarm() {
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    r.specs.clear();
+    g_armed.store(false, std::memory_order_release);
+}
+
+bool armed() { return g_armed.load(std::memory_order_acquire); }
+
+FaultStats stats() {
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    return r.stats;
+}
+
+bool should_inject(FaultSite site, const char* detail) {
+    if (!g_armed.load(std::memory_order_acquire)) return false;
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    const std::size_t s = static_cast<std::size_t>(site);
+    ++r.stats.hits[s];
+    const char* ambient = t_scope;
+    bool fire = false;
+    for (ArmedSpec& armed_spec : r.specs) {
+        const FaultSpec& spec = armed_spec.spec;
+        if (spec.site != site) continue;
+        if (!spec.scope.empty()) {
+            const bool matches_detail =
+                detail != nullptr && spec.scope == detail;
+            const bool matches_ambient = spec.scope == ambient;
+            if (!matches_detail && !matches_ambient) continue;
+        }
+        const std::uint64_t ordinal = armed_spec.matched++;
+        if (ordinal >= spec.after_hits &&
+            ordinal < spec.after_hits + spec.count) {
+            fire = true;
+        }
+    }
+    if (fire) ++r.stats.fires[s];
+    return fire;
+}
+
+std::uint64_t draw(FaultSite site) {
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    const std::size_t s = static_cast<std::size_t>(site);
+    // Keyed by the fire ordinal so consecutive fires at one site draw
+    // distinct, schedule-stable values.
+    return splitmix64(r.seed ^ (static_cast<std::uint64_t>(s) << 32) ^
+                      r.stats.fires[s]);
+}
+
+const char* current_scope() { return t_scope; }
+
+ScopedFaultScope::ScopedFaultScope(std::string scope)
+    : scope_(std::move(scope)), previous_(t_scope) {
+    t_scope = scope_.c_str();
+}
+
+ScopedFaultScope::~ScopedFaultScope() { t_scope = previous_; }
+
+}  // namespace tme::fault
+
+#endif  // TME_FAULT_INJECTION

@@ -107,8 +107,15 @@ EntropySolverResult kl_regularized_ls(const SparseMatrix& a, const Vector& b,
     double eta = options.initial_step;
     std::size_t armijo_probes = 0;
 
+    bool budget_tripped = false;
     for (result.iterations = 0; result.iterations < options.max_iterations;
          ++result.iterations) {
+        if (options.budget != nullptr && options.budget->exhausted()) {
+            // Deadline cut: result.s is the best point visited (every
+            // accepted Armijo step lowered the objective).
+            budget_tripped = true;
+            break;
+        }
         // grad F = 2 A'(A s - b) + w log(s ./ p).
         for (std::size_t i = 0; i < resid.size(); ++i) {
             resid[i] = as[i] - b[i];
@@ -167,6 +174,9 @@ EntropySolverResult kl_regularized_ls(const SparseMatrix& a, const Vector& b,
         }
     }
     result.objective = f;
+    result.outcome = result.converged  ? SolveOutcome::converged
+                     : budget_tripped ? SolveOutcome::budget_exhausted
+                                      : SolveOutcome::iteration_capped;
     if (options.counters != nullptr) {
         options.counters->entropy_iterations += result.iterations;
         options.counters->entropy_armijo_probes += armijo_probes;

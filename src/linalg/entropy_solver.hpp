@@ -25,6 +25,7 @@
 
 #include <cstddef>
 
+#include "linalg/budget.hpp"
 #include "linalg/sparse.hpp"
 #include "linalg/vector_ops.hpp"
 #include "obs/counters.hpp"
@@ -51,6 +52,13 @@ struct EntropySolverOptions {
     /// objective evaluations to entropy_armijo_probes.  Written once at
     /// the return site only.  Not owned; must outlive the call.
     obs::SolverCounters* counters = nullptr;
+    /// Optional cooperative deadline, polled once per outer iteration
+    /// (before each gradient evaluation).  A tripped budget returns the
+    /// current strictly-positive iterate — every accepted step only
+    /// ever lowered the objective, so it is the best point visited —
+    /// with outcome = budget_exhausted.  Not owned; must outlive the
+    /// call.
+    SolveBudget* budget = nullptr;
 };
 
 struct EntropySolverResult {
@@ -58,6 +66,9 @@ struct EntropySolverResult {
     double objective = 0.0;
     std::size_t iterations = 0;
     bool converged = false;
+    /// How the solve ended: converged, stopped by max_iterations, or
+    /// cut short by the SolveBudget (see linalg/budget.hpp).
+    SolveOutcome outcome = SolveOutcome::converged;
 };
 
 /// Minimizes ||A s - b||^2 + w * D(s || prior) for s >= 0.

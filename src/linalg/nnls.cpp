@@ -472,8 +472,16 @@ NnlsResult nnls_active_set(GramAccess& gram, const Vector& atb, double btb,
         }
     }
 
+    bool budget_tripped = false;
     for (result.iterations = 0; result.iterations < max_iter;
          ++result.iterations) {
+        // Cooperative deadline: x is primal-feasible after every
+        // restore_feasibility(), so stopping between pivots returns a
+        // usable (if suboptimal) point.
+        if (options.budget != nullptr && options.budget->exhausted()) {
+            budget_tripped = true;
+            break;
+        }
         // Most infeasible dual coordinate among active variables.
         std::size_t best = n;
         double best_w = tol;
@@ -516,6 +524,9 @@ NnlsResult nnls_active_set(GramAccess& gram, const Vector& atb, double btb,
     if (options.counters != nullptr) {
         options.counters->nnls_pivots += result.iterations;
     }
+    result.outcome = result.converged ? SolveOutcome::converged
+                     : budget_tripped ? SolveOutcome::budget_exhausted
+                                      : SolveOutcome::iteration_capped;
     TME_CONTRACT_DBG_CHECK(check::solver_boundary(
         "nnls", result.x, /*require_nonnegative=*/true));
     return result;

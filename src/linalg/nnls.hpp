@@ -19,6 +19,7 @@
 #include <functional>
 #include <vector>
 
+#include "linalg/budget.hpp"
 #include "linalg/matrix.hpp"
 #include "linalg/sparse.hpp"
 #include "obs/counters.hpp"
@@ -56,6 +57,11 @@ struct NnlsOptions {
     /// outer active-set iterations to nnls_pivots.  Written once at the
     /// return site only.  Not owned; must outlive the call.
     obs::SolverCounters* counters = nullptr;
+    /// Optional cooperative deadline, polled once per outer pivot.  A
+    /// tripped budget returns the current (always primal-feasible)
+    /// iterate with outcome = budget_exhausted instead of pivoting on.
+    /// Not owned; must outlive the call.
+    SolveBudget* budget = nullptr;
 };
 
 struct NnlsResult {
@@ -63,6 +69,10 @@ struct NnlsResult {
     double residual_norm = 0.0;  ///< ||A x - b||_2 (when computable)
     std::size_t iterations = 0;  ///< outer active-set iterations used
     bool converged = false;      ///< dual feasibility reached
+    /// How the solve ended: converged, stopped by the configured
+    /// max_iterations cap, or cut short by the SolveBudget (see
+    /// linalg/budget.hpp for why the last two are distinct).
+    SolveOutcome outcome = SolveOutcome::converged;
 };
 
 /// Lawson-Hanson NNLS on an explicit dense matrix.

@@ -104,7 +104,16 @@ EqQpNonnegResult solve_eq_qp_nonneg(const Matrix& h, const Vector& f,
     constexpr std::size_t kMaxSeedRepairs = 4;
     std::size_t releases = 0;
     std::size_t seed_repairs = 0;
+    bool budget_tripped = false;
     for (std::size_t round = 0; round < max_rounds; ++round) {
+        if (options.budget != nullptr && options.budget->exhausted()) {
+            // Deadline cut: hand back the newest iterate (the previous
+            // round's primal-feasible point, or the zero vector before
+            // any round completed) honestly flagged below.
+            budget_tripped = true;
+            result.converged = false;
+            break;
+        }
         std::vector<std::size_t> free_vars;
         for (std::size_t j = 0; j < n; ++j) {
             if (!fixed_zero[j]) free_vars.push_back(j);
@@ -318,6 +327,9 @@ EqQpNonnegResult solve_eq_qp_nonneg(const Matrix& h, const Vector& f,
                                    : gemv(e, result.x);
         result.equality_violation = nrm_inf(sub(ex, d));
     }
+    result.outcome = result.converged  ? SolveOutcome::converged
+                     : budget_tripped ? SolveOutcome::budget_exhausted
+                                      : SolveOutcome::iteration_capped;
     if (options.counters != nullptr) {
         options.counters->qp_active_set_rounds += result.iterations;
     }
@@ -723,6 +735,14 @@ Vector pcg_kkt_solve(HessPolicy& hp, const Vector& hdiag_total,
         std::copy(x.begin(), x.end(), x_best.begin());
         while (it < max_iterations && std::isfinite(rv) && rv > tol2 &&
                rv > 0.0) {
+            // Cooperative deadline: a truncated solve is still usable —
+            // the projection keeps E_F x = d at every iterate, and the
+            // best-residual snapshot below hands back the strongest
+            // point reached.  The sticky trip also ends the restart
+            // loop (a pass that did not halve the residual breaks out).
+            if (options.budget != nullptr && options.budget->exhausted()) {
+                break;
+            }
             h_apply(p, hq);
             double php = 0.0;
             for (std::size_t a = 0; a < k; ++a) php += p[a] * hq[a];
@@ -858,7 +878,17 @@ EqQpNonnegResult eq_qp_nonneg_active_set(HessPolicy& hp, const Vector& f,
     // termination proof under inexact solves).  Block pivoting needs no
     // such guard — the Murty fallback is finite by construction.
     std::vector<std::uint64_t> visited_sets;
+    bool budget_tripped = false;
     for (std::size_t round = 0; round < max_rounds; ++round) {
+        if (options.budget != nullptr && options.budget->exhausted()) {
+            // Deadline cut between rounds.  result.x already holds the
+            // newest E-feasible subproblem iterate (block pivoting
+            // snapshots it every round; the legacy path stores each
+            // primal-feasible point), clamped honestly below.
+            budget_tripped = true;
+            result.converged = false;
+            break;
+        }
         std::vector<std::size_t> free_vars;
         for (std::size_t j = 0; j < n; ++j) {
             if (!fixed_zero[j]) free_vars.push_back(j);
@@ -1136,6 +1166,15 @@ EqQpNonnegResult eq_qp_nonneg_active_set(HessPolicy& hp, const Vector& f,
         result.equality_violation =
             nrm_inf(sub(e.multiply(result.x), d));
     }
+    // A budget trip inside projected CG surfaces through expired():
+    // the round then finishes on the truncated iterate and the next
+    // round's poll breaks the loop, so both paths land here tripped.
+    if (options.budget != nullptr && options.budget->expired()) {
+        budget_tripped = true;
+    }
+    result.outcome = result.converged  ? SolveOutcome::converged
+                     : budget_tripped ? SolveOutcome::budget_exhausted
+                                      : SolveOutcome::iteration_capped;
     if (options.counters != nullptr) {
         options.counters->qp_active_set_rounds += result.iterations;
         options.counters->qp_cg_iterations += result.cg_iterations;

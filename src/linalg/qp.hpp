@@ -93,6 +93,12 @@ struct EqQpNonnegOptions {
     /// site only — attaching counters never changes the arithmetic.
     /// Not owned; must outlive the call.
     obs::SolverCounters* counters = nullptr;
+    /// Optional cooperative deadline, polled once per active-set round
+    /// and once per projected-CG iteration.  A tripped budget returns
+    /// the newest iterate (clamped to the nonnegative orthant, equality
+    /// feasibility as maintained by the projection) with
+    /// outcome = budget_exhausted.  Not owned; must outlive the call.
+    SolveBudget* budget = nullptr;
 };
 
 /// Factored Hessian H = S + diag(extra): a symmetric sparse matrix in
@@ -125,6 +131,10 @@ struct EqQpNonnegResult {
     /// Total projected-CG iterations across the KKT solves (factored
     /// solver only; 0 when every solve took the dense-gather path).
     std::size_t cg_iterations = 0;
+    /// How the solve ended: converged, stopped by a configured cap
+    /// (max_active_set_rounds / the release or cycle guards), or cut
+    /// short by the SolveBudget (see linalg/budget.hpp).
+    SolveOutcome outcome = SolveOutcome::converged;
 };
 
 /// Minimizes (1/2) x'Hx - f'x  subject to  E x = d,  x >= 0, via an

@@ -36,16 +36,26 @@ Report::Report(std::string name) : root_(Json::object()) {
 }
 
 bool Report::write_file(const std::string& path, int indent) const {
+    // Write-then-rename so the report appears atomically: a reader (CI
+    // gate, dashboard scraper) polling `path` sees either the previous
+    // complete report or the new complete report, never a torn partial
+    // write — and a crash mid-write leaves the previous report intact.
     const std::string text = to_json(indent) + "\n";
-    std::FILE* f = std::fopen(path.c_str(), "w");
+    const std::string tmp = path + ".tmp";
+    std::FILE* f = std::fopen(tmp.c_str(), "w");
     if (f == nullptr) return false;
-    const std::size_t written =
-        std::fwrite(text.data(), 1, text.size(), f);
-    if (written != text.size()) {
-        std::fclose(f);
+    const bool wrote_all =
+        std::fwrite(text.data(), 1, text.size(), f) == text.size();
+    const bool closed = std::fclose(f) == 0;
+    if (!wrote_all || !closed) {
+        std::remove(tmp.c_str());
         return false;
     }
-    return std::fclose(f) == 0;
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        return false;
+    }
+    return true;
 }
 
 }  // namespace tme::obs

@@ -39,6 +39,9 @@ class Report {
 
     std::string to_json(int indent = 2) const { return root_.dump(indent); }
     /// Pretty-printed dump to `path` (trailing newline included).
+    /// Atomic: writes `path`.tmp and renames, so concurrent readers
+    /// never observe a torn report and a crash mid-write preserves the
+    /// previous one.
     bool write_file(const std::string& path, int indent = 2) const;
 
   private:

@@ -54,6 +54,10 @@ EstimateSnapshot EstimateSnapshot::from_window(
         m.warm_started = run.warm_started;
         m.warm_accepted = run.warm_accepted;
         m.solver = run.solver;
+        m.quality = run.quality;
+        m.used_fallback = run.used_fallback;
+        m.fallback_method = run.fallback_method;
+        m.stale_age = run.stale_age;
         snap.methods_.push_back(std::move(m));
     }
     return snap;
@@ -91,7 +95,11 @@ std::uint64_t EstimateSnapshot::compute_checksum() const {
         fnv_double(h, me.mre);
         fnv_double(h, me.seconds);
         fnv_u64(h, (me.warm_started ? 1u : 0u) |
-                       (me.warm_accepted ? 2u : 0u));
+                       (me.warm_accepted ? 2u : 0u) |
+                       (me.used_fallback ? 4u : 0u));
+        fnv_u64(h, static_cast<std::uint64_t>(me.quality));
+        fnv_u64(h, static_cast<std::uint64_t>(me.fallback_method));
+        fnv_u64(h, me.stale_age);
         fnv_u64(h, me.estimate.size());
         for (double v : me.estimate) fnv_double(h, v);
     }
@@ -118,6 +126,14 @@ obs::Json EstimateSnapshot::to_json(bool include_estimates) const {
         m.set("seconds", me.seconds);
         m.set("warm_started", me.warm_started);
         m.set("warm_accepted", me.warm_accepted);
+        m.set("quality", engine::estimate_quality_name(me.quality));
+        if (me.used_fallback) {
+            m.set("fallback_method",
+                  engine::method_name(me.fallback_method));
+        }
+        if (me.quality == engine::EstimateQuality::stale) {
+            m.set("stale_age", me.stale_age);
+        }
         m.set("solver", obs::counters_to_json(me.solver));
         if (include_estimates) {
             obs::Json est = obs::Json::array();

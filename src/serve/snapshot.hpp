@@ -37,6 +37,16 @@ struct MethodEstimate {
     bool warm_started = false;
     bool warm_accepted = false;
     obs::SolverCounters solver;
+    /// Graceful-degradation flags (engine/method.hpp): readers must
+    /// check `quality` before trusting the estimate — degraded/stale/
+    /// failed windows are published (never silently dropped) but
+    /// labelled.
+    engine::EstimateQuality quality = engine::EstimateQuality::exact;
+    bool used_fallback = false;
+    /// Method that actually produced the estimate (== method unless
+    /// used_fallback).
+    engine::Method fallback_method = engine::Method::gravity;
+    std::size_t stale_age = 0;  ///< windows old, quality == stale only
 };
 
 class EstimateSnapshot

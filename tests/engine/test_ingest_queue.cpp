@@ -92,5 +92,43 @@ TEST(IngestQueue, ZeroCapacityIsRejected) {
     EXPECT_THROW(IngestQueue(0), std::invalid_argument);
 }
 
+// Regression: a producer loop that translates a refused push into the
+// typed QueueClosedError must be woken by a concurrent close() while
+// parked on a full queue — and the error must stay distinguishable
+// from a generic runtime_error (replay_scenario_async relies on that
+// to tell a consumer hang-up echo from a genuine producer failure).
+TEST(IngestQueue, CloseRaisesTypedErrorInBlockedProducer) {
+    IngestQueue queue(1);
+    ASSERT_TRUE(queue.push(item_for(0)));
+    std::exception_ptr producer_error;
+    std::thread producer([&] {
+        try {
+            for (std::size_t k = 1;; ++k) {
+                if (!queue.push(item_for(k))) {
+                    throw QueueClosedError();
+                }
+            }
+        } catch (...) {
+            producer_error = std::current_exception();
+        }
+    });
+    while (queue.producer_blocks() == 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    queue.close();
+    producer.join();
+    ASSERT_TRUE(producer_error != nullptr);
+    // Typed: catchable specifically, and as a runtime_error generically.
+    bool caught_typed = false;
+    try {
+        std::rethrow_exception(producer_error);
+    } catch (const QueueClosedError&) {
+        caught_typed = true;
+    } catch (const std::runtime_error&) {
+        caught_typed = false;
+    }
+    EXPECT_TRUE(caught_typed);
+}
+
 }  // namespace
 }  // namespace tme::engine

@@ -1,0 +1,150 @@
+// Fault-injection registry semantics: deterministic matching-hit
+// ordinals, scope filters (probe detail and thread-ambient job scope),
+// seeded draw() streams, and per-site statistics.  With the layer
+// compiled out every entry point must be a constant no-op.
+#include "fault/injection.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace tme::fault {
+namespace {
+
+std::size_t idx(FaultSite s) { return static_cast<std::size_t>(s); }
+
+/// Disarm on scope exit so one test's schedule never leaks into the
+/// next (the registry is process-global).
+struct DisarmGuard {
+    ~DisarmGuard() { disarm(); }
+};
+
+TEST(FaultInjection, CompiledOutIsInertEverywhere) {
+    if (compiled()) GTEST_SKIP() << "fault layer compiled in";
+    arm({FaultSpec{FaultSite::measurement_nan, "", 0, 1000}}, 7);
+    EXPECT_FALSE(armed());
+    EXPECT_FALSE(should_inject(FaultSite::measurement_nan));
+    EXPECT_EQ(draw(FaultSite::measurement_nan), 0u);
+    EXPECT_EQ(stats().total_fires(), 0u);
+    EXPECT_STREQ(current_scope(), "");
+    disarm();
+}
+
+TEST(FaultInjection, DisarmedProbesNeverFire) {
+    if (!compiled()) GTEST_SKIP() << "needs TME_FAULT_INJECTION=ON";
+    disarm();
+    EXPECT_FALSE(armed());
+    for (int k = 0; k < 10; ++k) {
+        EXPECT_FALSE(should_inject(FaultSite::solver_stall, "bayesian"));
+    }
+    EXPECT_EQ(stats().total_fires(), 0u);
+}
+
+TEST(FaultInjection, FiresOnExactMatchingHitOrdinals) {
+    if (!compiled()) GTEST_SKIP() << "needs TME_FAULT_INJECTION=ON";
+    DisarmGuard guard;
+    // Skip 2 matching probes, then fire 2 consecutive ones.
+    arm({FaultSpec{FaultSite::measurement_drop, "", 2, 2}}, 1);
+    ASSERT_TRUE(armed());
+    EXPECT_FALSE(should_inject(FaultSite::measurement_drop));
+    EXPECT_FALSE(should_inject(FaultSite::measurement_drop));
+    EXPECT_TRUE(should_inject(FaultSite::measurement_drop));
+    EXPECT_TRUE(should_inject(FaultSite::measurement_drop));
+    EXPECT_FALSE(should_inject(FaultSite::measurement_drop));
+    // Other sites are untouched by this spec.
+    EXPECT_FALSE(should_inject(FaultSite::measurement_nan));
+    const FaultStats st = stats();
+    EXPECT_EQ(st.hits[idx(FaultSite::measurement_drop)], 5u);
+    EXPECT_EQ(st.fires[idx(FaultSite::measurement_drop)], 2u);
+    EXPECT_EQ(st.hits[idx(FaultSite::measurement_nan)], 1u);
+    EXPECT_EQ(st.total_fires(), 2u);
+}
+
+TEST(FaultInjection, ScopeFiltersByProbeDetail) {
+    if (!compiled()) GTEST_SKIP() << "needs TME_FAULT_INJECTION=ON";
+    DisarmGuard guard;
+    arm({FaultSpec{FaultSite::solver_stall, "bayesian", 0, 100}}, 1);
+    EXPECT_FALSE(should_inject(FaultSite::solver_stall, "gravity"));
+    EXPECT_FALSE(should_inject(FaultSite::solver_stall));
+    EXPECT_TRUE(should_inject(FaultSite::solver_stall, "bayesian"));
+    // Non-matching probes do not advance the spec's ordinal, only the
+    // site hit counter.
+    const FaultStats st = stats();
+    EXPECT_EQ(st.hits[idx(FaultSite::solver_stall)], 3u);
+    EXPECT_EQ(st.fires[idx(FaultSite::solver_stall)], 1u);
+}
+
+TEST(FaultInjection, ScopeFiltersByAmbientThreadScope) {
+    if (!compiled()) GTEST_SKIP() << "needs TME_FAULT_INJECTION=ON";
+    DisarmGuard guard;
+    arm({FaultSpec{FaultSite::alloc_failure, "poisoned", 0, 100}}, 1);
+    EXPECT_STREQ(current_scope(), "");
+    // Same probe a fleet worker would issue (detail "ingest"): inert
+    // outside the poisoned job's ambient scope, firing inside it.
+    EXPECT_FALSE(should_inject(FaultSite::alloc_failure, "ingest"));
+    {
+        ScopedFaultScope job_scope("poisoned");
+        EXPECT_STREQ(current_scope(), "poisoned");
+        EXPECT_TRUE(should_inject(FaultSite::alloc_failure, "ingest"));
+        {
+            ScopedFaultScope nested("sibling");
+            EXPECT_STREQ(current_scope(), "sibling");
+            EXPECT_FALSE(
+                should_inject(FaultSite::alloc_failure, "ingest"));
+        }
+        EXPECT_STREQ(current_scope(), "poisoned");
+    }
+    EXPECT_STREQ(current_scope(), "");
+    // The ambient scope is per-thread: a sibling worker thread with its
+    // own scope never matches the poisoned spec.
+    bool sibling_fired = true;
+    std::thread sibling([&] {
+        ScopedFaultScope job_scope("clean");
+        sibling_fired = should_inject(FaultSite::alloc_failure, "ingest");
+    });
+    sibling.join();
+    EXPECT_FALSE(sibling_fired);
+}
+
+TEST(FaultInjection, DrawIsSeededAndScheduleStable) {
+    if (!compiled()) GTEST_SKIP() << "needs TME_FAULT_INJECTION=ON";
+    DisarmGuard guard;
+    arm({FaultSpec{FaultSite::measurement_nan, "", 0, 2}}, 42);
+    ASSERT_TRUE(should_inject(FaultSite::measurement_nan));
+    const std::uint64_t first = draw(FaultSite::measurement_nan);
+    ASSERT_TRUE(should_inject(FaultSite::measurement_nan));
+    const std::uint64_t second = draw(FaultSite::measurement_nan);
+    // Consecutive fires draw from distinct points of the stream.
+    EXPECT_NE(first, second);
+
+    // Re-arming the same schedule with the same seed replays the same
+    // draws; a different seed moves the whole stream.
+    arm({FaultSpec{FaultSite::measurement_nan, "", 0, 2}}, 42);
+    ASSERT_TRUE(should_inject(FaultSite::measurement_nan));
+    EXPECT_EQ(draw(FaultSite::measurement_nan), first);
+    ASSERT_TRUE(should_inject(FaultSite::measurement_nan));
+    EXPECT_EQ(draw(FaultSite::measurement_nan), second);
+
+    arm({FaultSpec{FaultSite::measurement_nan, "", 0, 2}}, 43);
+    ASSERT_TRUE(should_inject(FaultSite::measurement_nan));
+    EXPECT_NE(draw(FaultSite::measurement_nan), first);
+}
+
+TEST(FaultInjection, ArmReplacesScheduleAndZeroesStats) {
+    if (!compiled()) GTEST_SKIP() << "needs TME_FAULT_INJECTION=ON";
+    DisarmGuard guard;
+    arm({FaultSpec{FaultSite::solver_diverge, "", 0, 1}}, 1);
+    EXPECT_TRUE(should_inject(FaultSite::solver_diverge));
+    arm({FaultSpec{FaultSite::routing_inconsistency, "", 0, 1}}, 1);
+    const FaultStats st = stats();
+    EXPECT_EQ(st.total_fires(), 0u);  // zeroed by the second arm()
+    // The old spec is gone; the new one fires.
+    EXPECT_FALSE(should_inject(FaultSite::solver_diverge));
+    EXPECT_TRUE(should_inject(FaultSite::routing_inconsistency));
+    disarm();
+    EXPECT_FALSE(armed());
+    EXPECT_FALSE(should_inject(FaultSite::routing_inconsistency));
+}
+
+}  // namespace
+}  // namespace tme::fault

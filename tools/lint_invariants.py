@@ -114,6 +114,10 @@ LAYERING_RULES = {
     "src/linalg": ("engine/", "obs/", "serve/"),
     "src/engine": ("serve/",),
     "src/obs": ("serve/",),
+    # fault/ is a base layer like obs/counters.hpp — every layer may
+    # call into it, so it must depend on nothing above the std library.
+    "src/fault": ("core/", "linalg/", "engine/", "obs/", "serve/",
+                  "telemetry/", "scenario/", "topology/", "check/"),
 }
 
 
